@@ -1,0 +1,9 @@
+//! Fig 5 — SLOC of proof-generation code per pass, measured from this
+//! repository's own sources.
+
+fn main() {
+    let rows = crellvm_bench::measure_sloc();
+    print!("{}", crellvm_bench::tables::fig5(&rows));
+    println!("\n(paper, LLVM C++: mem2reg 568/213 = 37.5%, gvn 1092/440 = 40.3%,");
+    println!(" licm 706/286 = 40.5%, instcombine 702/1357 = 193.3%)");
+}

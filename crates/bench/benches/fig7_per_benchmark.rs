@@ -1,0 +1,18 @@
+//! Fig 7 — validation results per benchmark (LLVM 3.7.1 bug population).
+
+use crellvm_bench::experiment::{default_scale, run_corpus_experiment};
+use crellvm_bench::tables;
+use crellvm_passes::{BugSet, PassConfig};
+
+fn main() {
+    let scale = default_scale();
+    let config = PassConfig::with_bugs(BugSet::llvm_3_7_1());
+    let r = run_corpus_experiment(scale, 4, &config);
+    print!(
+        "{}",
+        tables::per_benchmark_results(
+            &format!("Fig 7 — validation results per benchmark (scale {scale} fn/KLoC)"),
+            &r
+        )
+    );
+}

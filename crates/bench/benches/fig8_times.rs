@@ -1,0 +1,21 @@
+//! Fig 8 — time spent per benchmark on proof generation, I/O, and
+//! checking (LLVM 3.7.1 bug population).
+
+use crellvm_bench::experiment::{default_scale, run_corpus_experiment};
+use crellvm_bench::tables;
+use crellvm_passes::{BugSet, PassConfig};
+
+fn main() {
+    let scale = default_scale();
+    let config = PassConfig::with_bugs(BugSet::llvm_3_7_1());
+    let r = run_corpus_experiment(scale, 4, &config);
+    print!(
+        "{}",
+        tables::per_benchmark_times(
+            &format!("Fig 8 — time breakdown per benchmark (scale {scale} fn/KLoC)"),
+            &r
+        )
+    );
+    println!("\n(paper shape: PCal exceeds Orig by one to two orders of magnitude;");
+    println!(" I/O and PCheck dominate the total — see EXPERIMENTS.md.)");
+}

@@ -1,0 +1,24 @@
+//! Figs 9–11 — the LLVM 5.0.1 port *before* the GVN patch: mem2reg is
+//! fixed, the D38619-style PRE bug remains.
+
+use crellvm_bench::experiment::{default_scale, run_corpus_experiment};
+use crellvm_bench::tables;
+use crellvm_passes::{BugSet, PassConfig};
+
+fn main() {
+    let scale = default_scale();
+    let config = PassConfig::with_bugs(BugSet::llvm_5_0_1_prepatch());
+    let r = run_corpus_experiment(scale, 4, &config);
+    print!(
+        "{}",
+        tables::summary(
+            &format!("Fig 9 — LLVM 5.0.1 before the GVN patch (scale {scale} fn/KLoC)"),
+            &r
+        )
+    );
+    println!();
+    print!("{}", tables::per_benchmark_results("Fig 10 — per-benchmark results", &r));
+    println!();
+    print!("{}", tables::per_benchmark_times("Fig 11 — per-benchmark times", &r));
+    println!("\n(paper shape: mem2reg #F drops to 0, gvn retains 134 PRE failures.)");
+}

@@ -1,0 +1,441 @@
+//! Automation functions (`Auto(...)`, paper §2.3).
+//!
+//! An automation function inspects the current assertion `Q` and the goal
+//! `Q'` and proposes a sequence of inference rules that might close the
+//! gap. Crucially, automation is **not** part of the trusted computing
+//! base: whatever it proposes still goes through [`crate::apply_inf`],
+//! which checks every premise. A buggy automation function can only make
+//! validation fail, never succeed incorrectly.
+
+use crate::assertion::Assertion;
+use crate::expr::{Expr, Side, TReg, TValue};
+use crate::infrule::InfRule;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The available automation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AutoKind {
+    /// Search lessdef chains to justify goal lessdefs (the paper's
+    /// `transitivity` automation, used by mem2reg).
+    Transitivity,
+    /// Try to discharge maydiff obligations (`reduce_maydiff`, used by
+    /// instcombine).
+    ReduceMaydiff,
+    /// The combined GVN-PRE automation (§C.4): transitivity plus maydiff
+    /// reduction tuned for value-numbering ghosts.
+    GvnPre,
+}
+
+/// Run an automation function, returning proposed rules (possibly empty).
+pub fn run_auto(kind: AutoKind, q: &Assertion, goal: &Assertion) -> Vec<InfRule> {
+    match kind {
+        AutoKind::Transitivity => auto_transitivity(q, goal),
+        AutoKind::ReduceMaydiff => auto_reduce_maydiff(q, goal),
+        AutoKind::GvnPre => {
+            let mut rules = auto_transitivity(q, goal);
+            // Re-run maydiff reduction on the (predicted) strengthened
+            // assertion so chains found by transitivity become usable.
+            let mut strengthened = q.clone();
+            for r in &rules {
+                if let Ok(next) = crate::infrule::apply_inf(r, &strengthened, &Default::default()) {
+                    strengthened = next;
+                }
+            }
+            rules.extend(auto_reduce_maydiff(&strengthened, goal));
+            rules
+        }
+    }
+}
+
+/// Bounded BFS over one side's lessdef graph from `from` towards `to`;
+/// returns the chain of intermediate expressions if found.
+fn lessdef_path(q: &Assertion, side: Side, from: &Expr, to: &Expr, max_depth: usize) -> Option<Vec<Expr>> {
+    if from == to {
+        return Some(vec![from.clone()]);
+    }
+    let u = q.side(side);
+    let mut parents: HashMap<Expr, Expr> = HashMap::new();
+    let mut queue: VecDeque<(Expr, usize)> = VecDeque::new();
+    let mut seen: HashSet<Expr> = HashSet::new();
+    queue.push_back((from.clone(), 0));
+    seen.insert(from.clone());
+    while let Some((cur, d)) = queue.pop_front() {
+        if d >= max_depth {
+            continue;
+        }
+        for next in u.lessdef_rhs_of(&cur) {
+            if seen.insert(next.clone()) {
+                parents.insert(next.clone(), cur.clone());
+                if next == to {
+                    // Reconstruct.
+                    let mut chain = vec![to.clone()];
+                    let mut node = to.clone();
+                    while let Some(p) = parents.get(&node) {
+                        chain.push(p.clone());
+                        node = p.clone();
+                    }
+                    chain.reverse();
+                    return Some(chain);
+                }
+                queue.push_back((next.clone(), d + 1));
+            }
+        }
+    }
+    None
+}
+
+/// Emit the transitivity rules realizing a chain `e0 ⊒ e1 ⊒ … ⊒ en`.
+fn chain_rules(side: Side, chain: &[Expr]) -> Vec<InfRule> {
+    let mut rules = Vec::new();
+    if chain.len() < 3 {
+        return rules;
+    }
+    // Fold left: derive e0 ⊒ e2, then e0 ⊒ e3, …
+    for i in 2..chain.len() {
+        rules.push(InfRule::Transitivity {
+            side,
+            e1: chain[0].clone(),
+            e2: chain[i - 1].clone(),
+            e3: chain[i].clone(),
+        });
+    }
+    rules
+}
+
+/// For every goal lessdef missing from `q`, search for a transitive chain.
+fn auto_transitivity(q: &Assertion, goal: &Assertion) -> Vec<InfRule> {
+    let mut rules = Vec::new();
+    for side in [Side::Src, Side::Tgt] {
+        for (a, b) in goal.side(side).lessdefs() {
+            if q.side(side).has_lessdef(a, b) {
+                continue;
+            }
+            if let Some(chain) = lessdef_path(q, side, a, b, 8) {
+                rules.extend(chain_rules(side, &chain));
+            }
+        }
+    }
+    rules
+}
+
+/// For every register the goal requires out of the maydiff set, look for a
+/// mediating expression (or drop unused ghosts/olds).
+fn auto_reduce_maydiff(q: &Assertion, goal: &Assertion) -> Vec<InfRule> {
+    let mut rules = Vec::new();
+    for r in &q.maydiff {
+        if goal.maydiff.contains(r) {
+            continue;
+        }
+        let rv = Expr::Value(TValue::Reg(r.clone()));
+        // Try every `r ⊒ e` (src) whose mirror `e' ⊒ r` (tgt) exists with a
+        // shared, injected mediator — searching one transitive hop deep.
+        let mut found = false;
+        let src_reach = reachable_rhs(q, Side::Src, &rv, 4);
+        let tgt_reach = reachable_lhs(q, Side::Tgt, &rv, 4);
+        for via in &src_reach {
+            if found {
+                break;
+            }
+            if tgt_reach.contains(via) && !via.mentions(r) && injected_except(q, via, r) {
+                // Materialize the chains first, then the reduction.
+                if let Some(chain) = lessdef_path(q, Side::Src, &rv, via, 4) {
+                    rules.extend(chain_rules(Side::Src, &chain));
+                }
+                if let Some(chain) = lessdef_path_rev(q, Side::Tgt, via, &rv, 4) {
+                    rules.extend(chain_rules(Side::Tgt, &chain));
+                }
+                rules.push(InfRule::ReduceMaydiffLessdef { r: r.clone(), via: via.clone() });
+                found = true;
+            }
+        }
+        if !found {
+            found = try_operand_substitution(q, r, &mut rules);
+        }
+        if !found && !r.is_phy() {
+            let used = q.src.iter().any(|p| p.mentions(r)) || q.tgt.iter().any(|p| p.mentions(r));
+            if !used {
+                rules.push(InfRule::ReduceMaydiffNonPhysical { r: r.clone() });
+            }
+        }
+    }
+    rules
+}
+
+/// The deeper strategy (paper §2.3's transitivity + substitution search):
+/// when both sides define `r` by same-shape expressions whose operands are
+/// pairwise mediated by ghosts (`a ⊒ m` in src, `m ⊒ b` in tgt), rewrite
+/// both definitions to a common mediated expression and reduce through it.
+fn try_operand_substitution(q: &Assertion, r: &TReg, rules: &mut Vec<InfRule>) -> bool {
+    let rv = Expr::Value(TValue::Reg(r.clone()));
+    for (lhs, es) in q.src.lessdefs() {
+        if *lhs != rv || matches!(es, Expr::Value(_)) {
+            continue;
+        }
+        for (et, rhs) in q.tgt.lessdefs() {
+            if *rhs != rv || !es.same_shape(et) {
+                continue;
+            }
+            let (ops_s, ops_t) = (es.operands(), et.operands());
+            if ops_s.len() != ops_t.len() {
+                continue;
+            }
+            // Find a mediator for every differing operand pair. Repeated
+            // source operands must agree on their mediator (whole-value
+            // substitution cannot distinguish positions).
+            let mut pairs: Vec<(TValue, TValue, TValue)> = Vec::new(); // (a, m, b)
+            let mut ok = true;
+            for (a, b) in ops_s.iter().zip(&ops_t) {
+                if a == b {
+                    let injected = match a {
+                        TValue::Reg(x) => x == r || !q.maydiff.contains(x),
+                        TValue::Const(_) => true,
+                    };
+                    if !injected || a.as_reg() == Some(r) {
+                        ok = false;
+                        break;
+                    }
+                    continue;
+                }
+                if let Some((_, _, b0)) = pairs.iter().find(|(pa, _, _)| pa == a) {
+                    // A repeated source operand must map to the same
+                    // target operand (one substitution covers both).
+                    if b0 != b {
+                        ok = false;
+                        break;
+                    }
+                    continue;
+                }
+                match find_value_mediator(q, a, b, r) {
+                    Some(m) => pairs.push((a.clone(), m, b.clone())),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // Source chain: es ⊒ es[a↦m] ⊒ … (forward substitution; safe
+            // because each `a` is replaced everywhere by its mediator).
+            let mut cur = es.clone();
+            let mut src_chain = vec![cur.clone()];
+            for (a, m, _) in &pairs {
+                if cur.operands().contains(a) {
+                    rules.push(InfRule::Substitute {
+                        side: Side::Src,
+                        from: a.clone(),
+                        to: m.clone(),
+                        e: cur.clone(),
+                    });
+                    cur = cur.subst(a, m);
+                    src_chain.push(cur.clone());
+                }
+            }
+            let mid = cur;
+            // Target chain: mid ⊒ mid[m↦b] ⊒ … ⊒ et (also forward, from
+            // the mediated middle point — this is positionally safe even
+            // when `b` already occurs elsewhere in et).
+            let mut curt = mid.clone();
+            let mut tgt_chain = vec![curt.clone()];
+            for (_, m, b) in &pairs {
+                if curt.operands().contains(m) {
+                    rules.push(InfRule::Substitute {
+                        side: Side::Tgt,
+                        from: m.clone(),
+                        to: b.clone(),
+                        e: curt.clone(),
+                    });
+                    curt = curt.subst(m, b);
+                    tgt_chain.push(curt.clone());
+                }
+            }
+            if curt != *et {
+                continue; // positions diverged irreparably
+            }
+            // Transitivity: r ⊒ es ⊒ … ⊒ mid, and mid ⊒ … ⊒ et ⊒ r.
+            let mut full_src = vec![rv.clone()];
+            full_src.extend(src_chain);
+            rules.extend(chain_rules(Side::Src, &full_src));
+            let mut full_tgt: Vec<Expr> = tgt_chain;
+            full_tgt.push(rv.clone());
+            rules.extend(chain_rules(Side::Tgt, &full_tgt));
+            rules.push(InfRule::ReduceMaydiffLessdef { r: r.clone(), via: mid });
+            return true;
+        }
+    }
+    false
+}
+
+/// A mediator `m` with `a ⊒ m` (src), `m ⊒ b` (tgt), `m` injected
+/// (ignoring `r`, which is being reduced).
+fn find_value_mediator(q: &Assertion, a: &TValue, b: &TValue, r: &TReg) -> Option<TValue> {
+    let ea = Expr::Value(a.clone());
+    let eb = Expr::Value(b.clone());
+    for m in q.src.lessdef_rhs_of(&ea) {
+        let Expr::Value(mv) = m else { continue };
+        if mv.as_reg() == Some(r) {
+            continue;
+        }
+        let injected = match mv {
+            TValue::Reg(x) => !q.maydiff.contains(x),
+            TValue::Const(_) => true,
+        };
+        if injected && q.tgt.has_lessdef(m, &eb) {
+            return Some(mv.clone());
+        }
+    }
+    None
+}
+
+/// Expressions reachable from `from` following `⊒` edges forward.
+fn reachable_rhs(q: &Assertion, side: Side, from: &Expr, max_depth: usize) -> Vec<Expr> {
+    let u = q.side(side);
+    let mut out = Vec::new();
+    let mut seen: HashSet<Expr> = HashSet::new();
+    let mut queue = VecDeque::new();
+    queue.push_back((from.clone(), 0usize));
+    seen.insert(from.clone());
+    while let Some((cur, d)) = queue.pop_front() {
+        if d >= max_depth {
+            continue;
+        }
+        for next in u.lessdef_rhs_of(&cur) {
+            if seen.insert(next.clone()) {
+                out.push(next.clone());
+                queue.push_back((next.clone(), d + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Expressions reaching `to` following `⊒` edges backward.
+fn reachable_lhs(q: &Assertion, side: Side, to: &Expr, max_depth: usize) -> HashSet<Expr> {
+    let u = q.side(side);
+    let mut seen: HashSet<Expr> = HashSet::new();
+    let mut queue = VecDeque::new();
+    queue.push_back((to.clone(), 0usize));
+    seen.insert(to.clone());
+    while let Some((cur, d)) = queue.pop_front() {
+        if d >= max_depth {
+            continue;
+        }
+        for next in u.lessdef_lhs_of(&cur) {
+            if seen.insert(next.clone()) {
+                queue.push_back((next.clone(), d + 1));
+            }
+        }
+    }
+    seen
+}
+
+/// Like [`lessdef_path`] but the result chain ends at a register `to`
+/// (searching backwards from `to`).
+fn lessdef_path_rev(q: &Assertion, side: Side, from: &Expr, to: &Expr, max_depth: usize) -> Option<Vec<Expr>> {
+    lessdef_path(q, side, from, to, max_depth)
+}
+
+/// Is every register of `e` injected, ignoring `except` (which is about to
+/// be removed from the maydiff set)?
+fn injected_except(q: &Assertion, e: &Expr, except: &TReg) -> bool {
+    e.regs().iter().all(|r| r == except || !q.maydiff.contains(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infrule::{apply_inf, CheckerConfig};
+    use crellvm_ir::RegId;
+
+    fn r(i: usize) -> TValue {
+        TValue::Reg(TReg::Phy(RegId::from_index(i)))
+    }
+
+    fn ev(v: TValue) -> Expr {
+        Expr::Value(v)
+    }
+
+    fn apply_all(q: &Assertion, rules: &[InfRule]) -> Assertion {
+        let mut cur = q.clone();
+        for rule in rules {
+            cur = apply_inf(rule, &cur, &CheckerConfig::sound()).expect("auto-proposed rule applies");
+        }
+        cur
+    }
+
+    #[test]
+    fn transitivity_auto_finds_chains() {
+        let mut q = Assertion::new();
+        q.src.insert_lessdef(ev(r(0)), ev(r(1)));
+        q.src.insert_lessdef(ev(r(1)), ev(r(2)));
+        q.src.insert_lessdef(ev(r(2)), ev(r(3)));
+        let mut goal = Assertion::new();
+        goal.src.insert_lessdef(ev(r(0)), ev(r(3)));
+        let rules = run_auto(AutoKind::Transitivity, &q, &goal);
+        let q2 = apply_all(&q, &rules);
+        assert!(q2.implies(&goal));
+    }
+
+    #[test]
+    fn reduce_maydiff_auto_uses_ghost_mediator() {
+        // The end of a mem2reg-style derivation: y in maydiff, y ⊒ ĝ in
+        // src, ĝ ⊒ y in tgt.
+        let mut q = Assertion::new();
+        q.add_maydiff(TReg::Phy(RegId::from_index(0)));
+        q.src.insert_lessdef(ev(r(0)), ev(TValue::ghost("g")));
+        q.tgt.insert_lessdef(ev(TValue::ghost("g")), ev(r(0)));
+        let goal = Assertion::new(); // wants MD(∅)
+        let rules = run_auto(AutoKind::ReduceMaydiff, &q, &goal);
+        let q2 = apply_all(&q, &rules);
+        assert!(q2.implies(&goal), "got {q2}");
+    }
+
+    #[test]
+    fn reduce_maydiff_auto_chains_transitively() {
+        // y ⊒ a ⊒ ĝ in src; ĝ ⊒ b ⊒ y in tgt.
+        let mut q = Assertion::new();
+        q.add_maydiff(TReg::Phy(RegId::from_index(0)));
+        q.src.insert_lessdef(ev(r(0)), ev(r(5)));
+        q.src.insert_lessdef(ev(r(5)), ev(TValue::ghost("g")));
+        q.tgt.insert_lessdef(ev(TValue::ghost("g")), ev(r(6)));
+        q.tgt.insert_lessdef(ev(r(6)), ev(r(0)));
+        let goal = Assertion::new();
+        let rules = run_auto(AutoKind::ReduceMaydiff, &q, &goal);
+        let q2 = apply_all(&q, &rules);
+        assert!(q2.implies(&goal), "got {q2}");
+    }
+
+    #[test]
+    fn reduce_maydiff_auto_drops_unused_ghosts() {
+        let mut q = Assertion::new();
+        q.add_maydiff(TReg::ghost("tmp"));
+        let goal = Assertion::new();
+        let rules = run_auto(AutoKind::ReduceMaydiff, &q, &goal);
+        let q2 = apply_all(&q, &rules);
+        assert!(q2.implies(&goal));
+    }
+
+    #[test]
+    fn auto_never_proposes_inapplicable_rules() {
+        // Even with an unsatisfiable goal, every proposed rule must apply.
+        let mut q = Assertion::new();
+        q.add_maydiff(TReg::Phy(RegId::from_index(0)));
+        let mut goal = Assertion::new();
+        goal.src.insert_lessdef(ev(r(7)), ev(r(8)));
+        for kind in [AutoKind::Transitivity, AutoKind::ReduceMaydiff, AutoKind::GvnPre] {
+            let rules = run_auto(kind, &q, &goal);
+            let _ = apply_all(&q, &rules); // must not panic
+        }
+    }
+
+    #[test]
+    fn identity_value_is_trivially_equal_without_rules() {
+        // values_equivalent with a common injected mediator needs no rules;
+        // the autos should return nothing for an already-satisfied goal.
+        let q = Assertion::new();
+        let goal = Assertion::new();
+        assert!(run_auto(AutoKind::GvnPre, &q, &goal).is_empty());
+    }
+}

@@ -1,0 +1,426 @@
+//! Inference rules and their application (`ApplyInf`, paper Fig 4/Fig 16).
+//!
+//! A rule transforms an assertion `Q` into a strengthened `Q'`; application
+//! *checks the rule's premises* against `Q` and fails otherwise. The rules
+//! here correspond to the paper's 9 formally verified non-arithmetic rules
+//! (Fig 16) plus the arithmetic rule library (the paper installs 221 rules
+//! in total, of which 202 are arithmetic; ours live in
+//! [`crate::rules_arith`]).
+//!
+//! The deliberately **unsound** behaviour that led to the paper's second
+//! mem2reg bug (PR33673) is reproduced behind
+//! [`CheckerConfig::trust_trapping_constexprs`]: with it enabled, rules and
+//! equivalence checks treat trapping constant expressions as plain values —
+//! exactly the assumption LLVM's mem2reg makes — and the semantic test
+//! suite refutes the combination.
+
+use crate::assertion::{Assertion, Pred};
+use crate::expr::{Expr, Side, TReg, TValue};
+use crate::rules_arith::ArithRule;
+use crellvm_ir::{IcmpPred, Type};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Checker configuration (trusted-computing-base switches).
+#[derive(Debug, Clone, Default)]
+pub struct CheckerConfig {
+    /// Treat trapping constant expressions as ordinary constants (the
+    /// unsound PR33673 assumption). **Off by default.**
+    pub trust_trapping_constexprs: bool,
+}
+
+impl CheckerConfig {
+    /// The sound default configuration.
+    pub fn sound() -> CheckerConfig {
+        CheckerConfig::default()
+    }
+
+    /// The configuration reproducing the unsound constexpr rule the paper
+    /// discovered during Coq verification.
+    pub fn with_unsound_constexpr_rule() -> CheckerConfig {
+        CheckerConfig { trust_trapping_constexprs: true }
+    }
+}
+
+/// An inference rule instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InfRule {
+    /// `e1 ⊒ e2, e2 ⊒ e3 ⊢ e1 ⊒ e3` on one side.
+    Transitivity {
+        /// Which side.
+        side: Side,
+        /// First expression.
+        e1: Expr,
+        /// Middle expression.
+        e2: Expr,
+        /// Last expression.
+        e3: Expr,
+    },
+    /// `from ⊒ to ⊢ e ⊒ e[from ↦ to]` (Fig 16 `substitute`).
+    Substitute {
+        /// Which side.
+        side: Side,
+        /// The replaced value.
+        from: TValue,
+        /// The replacement value.
+        to: TValue,
+        /// The expression to rewrite.
+        e: Expr,
+    },
+    /// `from ⊒ to ⊢ e[to ↦ from] ⊒ e` (Fig 16 `substitute_rev`).
+    SubstituteRev {
+        /// Which side.
+        side: Side,
+        /// The "smaller" value.
+        from: TValue,
+        /// The value appearing in `e`.
+        to: TValue,
+        /// The expression to rewrite.
+        e: Expr,
+    },
+    /// Introduce a ghost register: clears `ĝ` and adds `e ⊒ ĝ` (src) and
+    /// `ĝ ⊒ e` (tgt). Requires every register of `e` to be outside the
+    /// maydiff set (Fig 16 `intro_ghost`).
+    IntroGhost {
+        /// Ghost name.
+        g: String,
+        /// The mediated expression.
+        e: Expr,
+    },
+    /// Add the reflexive fact `e ⊒ e` on one side (Fig 16 `intro_eq_tgt`
+    /// and its source twin).
+    IntroEq {
+        /// Which side.
+        side: Side,
+        /// The expression.
+        e: Expr,
+    },
+    /// `undef ⊒ e` for a constant `e` that cannot trap — used to justify
+    /// replacing a use of an undefined value by an arbitrary constant
+    /// (mem2reg's load-before-store rewriting).
+    ///
+    /// With [`CheckerConfig::trust_trapping_constexprs`] the no-trap
+    /// side-condition is skipped — the unsound PR33673 variant.
+    IntroLessdefUndef {
+        /// Which side.
+        side: Side,
+        /// Result type of the undef.
+        ty: Type,
+        /// The constant expression.
+        e: Expr,
+    },
+    /// Remove a non-physical (ghost/old) register from the maydiff set once
+    /// no predicate mentions it (Fig 16 `reduce_maydiff_non_physical`).
+    ReduceMaydiffNonPhysical {
+        /// The register.
+        r: TReg,
+    },
+    /// Remove `r` from the maydiff set given `r ⊒ via` (src), `via ⊒ r`
+    /// (tgt) with `via` injected (Fig 16 `reduce_maydiff_lessdef`).
+    ReduceMaydiffLessdef {
+        /// The register.
+        r: TReg,
+        /// The mediating expression.
+        via: Expr,
+    },
+    /// `true ⊒ (icmp eq ty a b)  ⊢  a ⊒ b ∧ b ⊒ a` (and the dual
+    /// `false ⊒ icmp ne`) — the paper's `icmp_to_eq` used by GVN's
+    /// branch-condition reasoning (§C).
+    IcmpToEq {
+        /// Which side.
+        side: Side,
+        /// The boolean the comparison evaluated to.
+        flag: bool,
+        /// Operand type.
+        ty: Type,
+        /// Left operand.
+        a: TValue,
+        /// Right operand.
+        b: TValue,
+    },
+    /// An arithmetic rule (the "202 rules like `assoc_add`").
+    Arith(ArithRule),
+}
+
+/// Why a rule application failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfError {
+    /// The failing rule (display form).
+    pub rule: String,
+    /// The missing premise / violated side-condition.
+    pub reason: String,
+}
+
+impl fmt::Display for InfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inference rule {} failed: {}", self.rule, self.reason)
+    }
+}
+
+impl std::error::Error for InfError {}
+
+fn err(rule: &InfRule, reason: impl Into<String>) -> InfError {
+    InfError { rule: format!("{rule:?}"), reason: reason.into() }
+}
+
+/// Apply an inference rule to an assertion (paper's `ApplyInf`).
+///
+/// # Errors
+///
+/// Fails with [`InfError`] when a premise is missing or a side-condition is
+/// violated. Every rule only *adds* facts (or shrinks the maydiff set), so
+/// the checker can apply rule lists in sequence.
+pub fn apply_inf(rule: &InfRule, q: &Assertion, config: &CheckerConfig) -> Result<Assertion, InfError> {
+    let mut out = q.clone();
+    match rule {
+        InfRule::Transitivity { side, e1, e2, e3 } => {
+            let u = out.side_mut(*side);
+            if !u.has_lessdef(e1, e2) {
+                return Err(err(rule, format!("missing premise {e1} >= {e2}")));
+            }
+            if !u.has_lessdef(e2, e3) {
+                return Err(err(rule, format!("missing premise {e2} >= {e3}")));
+            }
+            u.insert_lessdef(e1.clone(), e3.clone());
+        }
+        InfRule::Substitute { side, from, to, e } => {
+            let u = out.side_mut(*side);
+            let prem = Pred::Lessdef(Expr::Value(from.clone()), Expr::Value(to.clone()));
+            if !u.holds(&prem) {
+                return Err(err(rule, format!("missing premise {from} >= {to}")));
+            }
+            let e2 = e.subst(from, to);
+            u.insert_lessdef(e.clone(), e2);
+        }
+        InfRule::SubstituteRev { side, from, to, e } => {
+            let u = out.side_mut(*side);
+            let prem = Pred::Lessdef(Expr::Value(from.clone()), Expr::Value(to.clone()));
+            if !u.holds(&prem) {
+                return Err(err(rule, format!("missing premise {from} >= {to}")));
+            }
+            let e2 = e.subst(to, from);
+            u.insert_lessdef(e2, e.clone());
+        }
+        InfRule::IntroGhost { g, e } => {
+            let ghost = TReg::ghost(g.clone());
+            if e.mentions(&ghost) {
+                return Err(err(rule, "ghost occurs in its own definition"));
+            }
+            if !out.expr_injected(e) {
+                return Err(err(rule, format!("expression {e} mentions maydiff registers")));
+            }
+            if e.is_load() {
+                return Err(err(rule, "loads cannot be mediated by intro_ghost"));
+            }
+            // Make ĝ fresh.
+            out.src.kill_reg(&ghost);
+            out.tgt.kill_reg(&ghost);
+            out.remove_maydiff(&ghost);
+            out.src.insert_lessdef(e.clone(), Expr::Value(TValue::Reg(ghost.clone())));
+            out.tgt.insert_lessdef(Expr::Value(TValue::Reg(ghost)), e.clone());
+        }
+        InfRule::IntroEq { side, e } => {
+            out.side_mut(*side).insert_lessdef(e.clone(), e.clone());
+        }
+        InfRule::IntroLessdefUndef { side, ty, e } => {
+            let trapping = match e {
+                Expr::Value(TValue::Const(c)) => c.may_trap(),
+                Expr::Value(TValue::Reg(_)) => {
+                    return Err(err(rule, "intro_lessdef_undef requires a constant"))
+                }
+                _ => return Err(err(rule, "intro_lessdef_undef requires a value expression")),
+            };
+            if trapping && !config.trust_trapping_constexprs {
+                return Err(err(
+                    rule,
+                    "constant expression may raise undefined behaviour (e.g. division by zero)",
+                ));
+            }
+            out.side_mut(*side).insert_lessdef(Expr::undef(*ty), e.clone());
+        }
+        InfRule::ReduceMaydiffNonPhysical { r } => {
+            if r.is_phy() {
+                return Err(err(rule, "register is physical"));
+            }
+            let used = out.src.iter().any(|p| p.mentions(r)) || out.tgt.iter().any(|p| p.mentions(r));
+            if used {
+                return Err(err(rule, format!("register {r} is still mentioned by a predicate")));
+            }
+            out.remove_maydiff(r);
+        }
+        InfRule::ReduceMaydiffLessdef { r, via } => {
+            let rv = Expr::Value(TValue::Reg(r.clone()));
+            if !out.src.has_lessdef(&rv, via) {
+                return Err(err(rule, format!("missing source premise {r} >= {via}")));
+            }
+            if !out.tgt.has_lessdef(via, &rv) {
+                return Err(err(rule, format!("missing target premise {via} >= {r}")));
+            }
+            if via.mentions(r) {
+                return Err(err(rule, "mediating expression mentions the register itself"));
+            }
+            if !out.expr_injected(via) {
+                return Err(err(rule, format!("mediating expression {via} mentions maydiff registers")));
+            }
+            out.remove_maydiff(r);
+        }
+        InfRule::IcmpToEq { side, flag, ty, a, b } => {
+            let pred = if *flag { IcmpPred::Eq } else { IcmpPred::Ne };
+            let cmp = Expr::Icmp { pred, ty: *ty, a: a.clone(), b: b.clone() };
+            let flag_e = Expr::Value(TValue::Const(crellvm_ir::Const::bool(*flag)));
+            let u = out.side_mut(*side);
+            if !u.has_lessdef(&flag_e, &cmp) {
+                return Err(err(rule, format!("missing premise {flag} >= {cmp}")));
+            }
+            u.insert_lessdef(Expr::Value(a.clone()), Expr::Value(b.clone()));
+            u.insert_lessdef(Expr::Value(b.clone()), Expr::Value(a.clone()));
+        }
+        InfRule::Arith(ar) => {
+            return crate::rules_arith::apply_arith(ar, q).map_err(|reason| InfError {
+                rule: format!("{ar:?}"),
+                reason,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crellvm_ir::{BinOp, Const, ConstExpr, RegId};
+
+    fn r(i: usize) -> RegId {
+        RegId::from_index(i)
+    }
+
+    fn v(i: usize) -> Expr {
+        Expr::value(TValue::phy(r(i)))
+    }
+
+    #[test]
+    fn transitivity_needs_both_premises() {
+        let mut q = Assertion::new();
+        q.src.insert_lessdef(v(0), v(1));
+        let rule = InfRule::Transitivity { side: Side::Src, e1: v(0), e2: v(1), e3: v(2) };
+        assert!(apply_inf(&rule, &q, &CheckerConfig::sound()).is_err());
+        q.src.insert_lessdef(v(1), v(2));
+        let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
+        assert!(q2.src.has_lessdef(&v(0), &v(2)));
+    }
+
+    #[test]
+    fn transitivity_through_reflexivity_is_free() {
+        let mut q = Assertion::new();
+        q.src.insert_lessdef(v(0), v(1));
+        // e2 == e3 via reflexivity.
+        let rule = InfRule::Transitivity { side: Side::Src, e1: v(0), e2: v(1), e3: v(1) };
+        assert!(apply_inf(&rule, &q, &CheckerConfig::sound()).is_ok());
+    }
+
+    #[test]
+    fn substitution_rewrites_operands() {
+        let mut q = Assertion::new();
+        q.src.insert_lessdef(v(0), v(9));
+        let e = Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(0)), TValue::int(Type::I32, 1));
+        let rule = InfRule::Substitute { side: Side::Src, from: TValue::phy(r(0)), to: TValue::phy(r(9)), e: e.clone() };
+        let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
+        let rewritten = Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(9)), TValue::int(Type::I32, 1));
+        assert!(q2.src.has_lessdef(&e, &rewritten));
+    }
+
+    #[test]
+    fn intro_ghost_requires_injection_and_clears_old_facts() {
+        let mut q = Assertion::new();
+        q.add_maydiff(TReg::Phy(r(0)));
+        let rule = InfRule::IntroGhost { g: "p".into(), e: v(0) };
+        // r0 is in maydiff: rejected.
+        assert!(apply_inf(&rule, &q, &CheckerConfig::sound()).is_err());
+
+        let mut q = Assertion::new();
+        // Stale fact about the ghost must be cleared.
+        q.src.insert_lessdef(Expr::value(TValue::ghost("p")), v(5));
+        q.add_maydiff(TReg::ghost("p"));
+        let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
+        assert!(!q2.src.has_lessdef(&Expr::value(TValue::ghost("p")), &v(5)));
+        assert!(!q2.in_maydiff(&TReg::ghost("p")));
+        assert!(q2.src.has_lessdef(&v(0), &Expr::value(TValue::ghost("p"))));
+        assert!(q2.tgt.has_lessdef(&Expr::value(TValue::ghost("p")), &v(0)));
+    }
+
+    #[test]
+    fn reduce_maydiff_lessdef_via_ghost() {
+        let mut q = Assertion::new();
+        q.add_maydiff(TReg::Phy(r(0)));
+        q.src.insert_lessdef(v(0), Expr::value(TValue::ghost("g")));
+        q.tgt.insert_lessdef(Expr::value(TValue::ghost("g")), v(0));
+        let rule = InfRule::ReduceMaydiffLessdef { r: TReg::Phy(r(0)), via: Expr::value(TValue::ghost("g")) };
+        let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
+        assert!(!q2.in_maydiff(&TReg::Phy(r(0))));
+    }
+
+    #[test]
+    fn reduce_maydiff_lessdef_rejects_maydiff_mediator() {
+        let mut q = Assertion::new();
+        q.add_maydiff(TReg::Phy(r(0)));
+        q.add_maydiff(TReg::ghost("g"));
+        q.src.insert_lessdef(v(0), Expr::value(TValue::ghost("g")));
+        q.tgt.insert_lessdef(Expr::value(TValue::ghost("g")), v(0));
+        let rule = InfRule::ReduceMaydiffLessdef { r: TReg::Phy(r(0)), via: Expr::value(TValue::ghost("g")) };
+        assert!(apply_inf(&rule, &q, &CheckerConfig::sound()).is_err());
+    }
+
+    #[test]
+    fn reduce_maydiff_non_physical() {
+        let mut q = Assertion::new();
+        q.add_maydiff(TReg::ghost("t"));
+        let rule = InfRule::ReduceMaydiffNonPhysical { r: TReg::ghost("t") };
+        let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
+        assert!(!q2.in_maydiff(&TReg::ghost("t")));
+
+        // Rejected while a predicate still mentions it.
+        let mut q = Assertion::new();
+        q.add_maydiff(TReg::ghost("t"));
+        q.src.insert_lessdef(v(0), Expr::value(TValue::ghost("t")));
+        assert!(apply_inf(&rule, &q, &CheckerConfig::sound()).is_err());
+
+        // Physical registers cannot be dropped this way.
+        let rule_phy = InfRule::ReduceMaydiffNonPhysical { r: TReg::Phy(r(0)) };
+        assert!(apply_inf(&rule_phy, &Assertion::new(), &CheckerConfig::sound()).is_err());
+    }
+
+    #[test]
+    fn icmp_to_eq() {
+        let mut q = Assertion::new();
+        let cmp = Expr::Icmp { pred: IcmpPred::Eq, ty: Type::I32, a: TValue::phy(r(1)), b: TValue::int(Type::I32, 10) };
+        q.tgt.insert_lessdef(Expr::Value(TValue::Const(Const::bool(true))), cmp);
+        let rule = InfRule::IcmpToEq { side: Side::Tgt, flag: true, ty: Type::I32, a: TValue::phy(r(1)), b: TValue::int(Type::I32, 10) };
+        let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
+        assert!(q2.tgt.has_lessdef(&v(1), &Expr::value(TValue::int(Type::I32, 10))));
+        assert!(q2.tgt.has_lessdef(&Expr::value(TValue::int(Type::I32, 10)), &v(1)));
+    }
+
+    #[test]
+    fn unsound_constexpr_rule_is_gated() {
+        let g = Const::Global("G".into());
+        let gi: Const = ConstExpr::PtrToInt(g, Type::I32).into();
+        let diff: Const = ConstExpr::Bin(BinOp::Sub, Type::I32, gi.clone(), gi).into();
+        let div: Const = ConstExpr::Bin(BinOp::SDiv, Type::I32, Const::int(Type::I32, 1), diff).into();
+        let rule = InfRule::IntroLessdefUndef {
+            side: Side::Src,
+            ty: Type::I32,
+            e: Expr::Value(TValue::Const(div)),
+        };
+        // Sound config rejects the trapping constant…
+        assert!(apply_inf(&rule, &Assertion::new(), &CheckerConfig::sound()).is_err());
+        // …the PR33673 config accepts it.
+        assert!(apply_inf(&rule, &Assertion::new(), &CheckerConfig::with_unsound_constexpr_rule()).is_ok());
+        // Non-trapping constants are fine either way.
+        let ok_rule = InfRule::IntroLessdefUndef {
+            side: Side::Src,
+            ty: Type::I32,
+            e: Expr::value(TValue::int(Type::I32, 42)),
+        };
+        assert!(apply_inf(&ok_rule, &Assertion::new(), &CheckerConfig::sound()).is_ok());
+    }
+}

@@ -1,0 +1,454 @@
+//! Semantic evaluation of assertions on concrete *extended states*
+//! (paper §G).
+//!
+//! The original development proves in Coq that every inference rule and
+//! post-assertion computation preserves the semantic interpretation of
+//! assertions. We cannot port the Coq proof; instead this module makes the
+//! semantics *executable* so that property tests can hunt for
+//! counterexamples — exactly the method by which the paper's unsound
+//! constexpr rule would have been caught.
+//!
+//! An extended state maps physical, ghost, and old registers to values.
+//! Expression evaluation propagates `undef` (an operation with an `undef`
+//! operand yields `undef`), traps yield ⊥ (`None`), and memory is not
+//! modelled (`load` expressions evaluate to ⊥; rule tests are restricted
+//! to load-free instances, which covers the entire arithmetic library).
+
+use crate::assertion::{Assertion, Pred};
+use crate::expr::{Expr, TReg, TValue};
+use crellvm_ir::{BinOp, CastOp, Const, ConstExpr, IcmpPred, RegId, Type};
+use std::collections::HashMap;
+
+/// A semantic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemVal {
+    /// A concrete integer.
+    Int {
+        /// Type.
+        ty: Type,
+        /// Bit pattern.
+        bits: u64,
+    },
+    /// An abstract pointer (block, offset) — enough for `gep` reasoning.
+    Ptr {
+        /// Abstract block id.
+        block: u32,
+        /// Slot offset.
+        offset: i64,
+    },
+    /// The undefined value.
+    Undef,
+}
+
+impl SemVal {
+    /// Integer constructor (truncating).
+    pub fn int(ty: Type, v: i64) -> SemVal {
+        SemVal::Int { ty, bits: ty.truncate(v as u64) }
+    }
+}
+
+/// One side's extended register file.
+#[derive(Debug, Clone, Default)]
+pub struct ExtState {
+    /// Physical registers.
+    pub phy: HashMap<RegId, SemVal>,
+    /// Ghost registers.
+    pub ghost: HashMap<String, SemVal>,
+    /// Old registers.
+    pub old: HashMap<RegId, SemVal>,
+}
+
+impl ExtState {
+    /// Empty state (all registers `undef`).
+    pub fn new() -> ExtState {
+        ExtState::default()
+    }
+
+    /// Look up a tagged register (absent ⇒ `undef`).
+    pub fn get(&self, r: &TReg) -> SemVal {
+        match r {
+            TReg::Phy(p) => self.phy.get(p).copied().unwrap_or(SemVal::Undef),
+            TReg::Ghost(g) => self.ghost.get(g).copied().unwrap_or(SemVal::Undef),
+            TReg::Old(p) => self.old.get(p).copied().unwrap_or(SemVal::Undef),
+        }
+    }
+
+    /// Bind a tagged register.
+    pub fn set(&mut self, r: TReg, v: SemVal) {
+        match r {
+            TReg::Phy(p) => {
+                self.phy.insert(p, v);
+            }
+            TReg::Ghost(g) => {
+                self.ghost.insert(g, v);
+            }
+            TReg::Old(p) => {
+                self.old.insert(p, v);
+            }
+        }
+    }
+}
+
+fn eval_const(c: &Const) -> Option<SemVal> {
+    match c {
+        Const::Int { ty, bits } => Some(SemVal::Int { ty: *ty, bits: *bits }),
+        Const::Undef(_) => Some(SemVal::Undef),
+        Const::Null => Some(SemVal::Ptr { block: u32::MAX, offset: 0 }),
+        // Globals get a deterministic abstract block from their name.
+        Const::Global(name) => {
+            let h = name.bytes().fold(7u32, |a, b| a.wrapping_mul(31).wrapping_add(b as u32));
+            Some(SemVal::Ptr { block: h | 1, offset: 0 })
+        }
+        Const::Expr(e) => match &**e {
+            ConstExpr::PtrToInt(inner, to) => match eval_const(inner)? {
+                SemVal::Ptr { block, offset } => {
+                    let addr = (block as u64).wrapping_mul(1 << 24).wrapping_add((offset as u64) * 8);
+                    Some(SemVal::Int { ty: *to, bits: to.truncate(addr) })
+                }
+                SemVal::Undef => Some(SemVal::Undef),
+                SemVal::Int { .. } => None,
+            },
+            ConstExpr::Bin(op, ty, a, b) => {
+                let a = eval_const(a)?;
+                let b = eval_const(b)?;
+                eval_bin(*op, *ty, a, b)
+            }
+        },
+    }
+}
+
+/// Evaluate a tagged value.
+pub fn eval_value(v: &TValue, s: &ExtState) -> Option<SemVal> {
+    match v {
+        TValue::Reg(r) => Some(s.get(r)),
+        TValue::Const(c) => eval_const(c),
+    }
+}
+
+fn eval_bin(op: BinOp, ty: Type, a: SemVal, b: SemVal) -> Option<SemVal> {
+    let (a, b) = match (a, b) {
+        (SemVal::Undef, _) | (_, SemVal::Undef) => return Some(SemVal::Undef),
+        (SemVal::Int { ty: t1, bits: a }, SemVal::Int { ty: t2, bits: b }) if t1 == ty && t2 == ty => (a, b),
+        _ => return None,
+    };
+    let bits = ty.bits();
+    let (ua, ub) = (ty.truncate(a), ty.truncate(b));
+    let (sa, sb) = (ty.sext(a), ty.sext(b));
+    let out = match op {
+        BinOp::Add => ua.wrapping_add(ub),
+        BinOp::Sub => ua.wrapping_sub(ub),
+        BinOp::Mul => ua.wrapping_mul(ub),
+        BinOp::UDiv => {
+            if ub == 0 {
+                return None;
+            }
+            ua / ub
+        }
+        BinOp::SDiv => {
+            if sb == 0 || (sa == ty.sext(1u64 << (bits - 1)) && sb == -1) {
+                return None;
+            }
+            (sa / sb) as u64
+        }
+        BinOp::URem => {
+            if ub == 0 {
+                return None;
+            }
+            ua % ub
+        }
+        BinOp::SRem => {
+            if sb == 0 || (sa == ty.sext(1u64 << (bits - 1)) && sb == -1) {
+                return None;
+            }
+            (sa % sb) as u64
+        }
+        BinOp::Shl => {
+            if ub >= bits as u64 {
+                return Some(SemVal::Undef);
+            }
+            ua << ub
+        }
+        BinOp::LShr => {
+            if ub >= bits as u64 {
+                return Some(SemVal::Undef);
+            }
+            ua >> ub
+        }
+        BinOp::AShr => {
+            if ub >= bits as u64 {
+                return Some(SemVal::Undef);
+            }
+            (sa >> ub) as u64
+        }
+        BinOp::And => ua & ub,
+        BinOp::Or => ua | ub,
+        BinOp::Xor => ua ^ ub,
+    };
+    Some(SemVal::Int { ty, bits: ty.truncate(out) })
+}
+
+/// Evaluate an expression; `None` = undefined/trapping/not modelled.
+pub fn eval_expr(e: &Expr, s: &ExtState) -> Option<SemVal> {
+    match e {
+        Expr::Value(v) => eval_value(v, s),
+        Expr::Bin { op, ty, a, b } => {
+            let a = eval_value(a, s)?;
+            let b = eval_value(b, s)?;
+            eval_bin(*op, *ty, a, b)
+        }
+        Expr::Icmp { pred, ty, a, b } => {
+            let a = eval_value(a, s)?;
+            let b = eval_value(b, s)?;
+            match (a, b) {
+                (SemVal::Undef, _) | (_, SemVal::Undef) => Some(SemVal::Undef),
+                (SemVal::Int { ty: t1, bits: a }, SemVal::Int { ty: t2, bits: b })
+                    if t1 == *ty && t2 == *ty =>
+                {
+                    let (ua, ub) = (ty.truncate(a), ty.truncate(b));
+                    let (sa, sb) = (ty.sext(a), ty.sext(b));
+                    let r = match pred {
+                        IcmpPred::Eq => ua == ub,
+                        IcmpPred::Ne => ua != ub,
+                        IcmpPred::Ugt => ua > ub,
+                        IcmpPred::Uge => ua >= ub,
+                        IcmpPred::Ult => ua < ub,
+                        IcmpPred::Ule => ua <= ub,
+                        IcmpPred::Sgt => sa > sb,
+                        IcmpPred::Sge => sa >= sb,
+                        IcmpPred::Slt => sa < sb,
+                        IcmpPred::Sle => sa <= sb,
+                    };
+                    Some(SemVal::int(Type::I1, r as i64))
+                }
+                _ => None,
+            }
+        }
+        Expr::Select { cond, t, f, .. } => {
+            let c = eval_value(cond, s)?;
+            match c {
+                SemVal::Undef => Some(SemVal::Undef),
+                SemVal::Int { ty: Type::I1, bits } => {
+                    if bits != 0 {
+                        eval_value(t, s)
+                    } else {
+                        eval_value(f, s)
+                    }
+                }
+                _ => None,
+            }
+        }
+        Expr::Cast { op, from, a, to } => {
+            let v = eval_value(a, s)?;
+            match (op, v) {
+                (_, SemVal::Undef) => Some(SemVal::Undef),
+                (CastOp::Bitcast, v) => Some(v),
+                (CastOp::Trunc, SemVal::Int { bits, .. }) => {
+                    Some(SemVal::Int { ty: *to, bits: to.truncate(bits) })
+                }
+                (CastOp::Zext, SemVal::Int { bits, .. }) => {
+                    Some(SemVal::Int { ty: *to, bits: from.truncate(bits) })
+                }
+                (CastOp::Sext, SemVal::Int { bits, .. }) => {
+                    Some(SemVal::Int { ty: *to, bits: to.truncate(from.sext(bits) as u64) })
+                }
+                (CastOp::PtrToInt, SemVal::Ptr { block, offset }) => {
+                    let addr = (block as u64).wrapping_mul(1 << 24).wrapping_add((offset as u64) * 8);
+                    Some(SemVal::Int { ty: *to, bits: to.truncate(addr) })
+                }
+                (CastOp::IntToPtr, SemVal::Int { bits, .. }) => {
+                    let block = (bits >> 24) as u32;
+                    let offset = ((bits & 0xFF_FFFF) / 8) as i64;
+                    Some(SemVal::Ptr { block, offset })
+                }
+                _ => None,
+            }
+        }
+        Expr::Gep { inbounds, ptr, offset } => {
+            let p = eval_value(ptr, s)?;
+            let o = eval_value(offset, s)?;
+            match (p, o) {
+                (SemVal::Undef, _) | (_, SemVal::Undef) => Some(SemVal::Undef),
+                (SemVal::Ptr { block, offset: base }, SemVal::Int { bits, .. }) => {
+                    let off = Type::I64.sext(bits);
+                    let new = base.wrapping_add(off);
+                    if *inbounds && !(0..=8).contains(&new) {
+                        // Abstract bound of 8 slots: inbounds gep past it is
+                        // poison, modelled as undef here (footnote 4 of the
+                        // paper: the distinction does not matter for us).
+                        Some(SemVal::Undef)
+                    } else {
+                        Some(SemVal::Ptr { block, offset: new })
+                    }
+                }
+                _ => None,
+            }
+        }
+        // Memory is not modelled at this level.
+        Expr::Load { .. } => None,
+    }
+}
+
+/// `v1 ⊒ v2` on semantic values.
+pub fn lessdef_vals(v1: SemVal, v2: SemVal) -> bool {
+    v1 == SemVal::Undef || v1 == v2
+}
+
+/// Evaluate a predicate; `None` means the predicate is not expressible at
+/// this level (memory predicates, load expressions) and should be treated
+/// as vacuously true / skipped by tests.
+pub fn eval_pred(p: &Pred, s: &ExtState) -> Option<bool> {
+    match p {
+        Pred::Lessdef(a, b) => {
+            let (va, vb) = (eval_expr(a, s), eval_expr(b, s));
+            match (va, vb) {
+                // "whenever both are well-defined" (paper §C): a trapping
+                // or unmodelled side makes the predicate vacuous.
+                (None, _) | (_, None) => None,
+                (Some(x), Some(y)) => Some(lessdef_vals(x, y)),
+            }
+        }
+        Pred::Uniq(_) | Pred::Priv(_) | Pred::Noalias(_, _) => None,
+    }
+}
+
+/// Does a pair of extended states satisfy an assertion? (`None` if any
+/// component is not expressible.)
+pub fn eval_assertion(a: &Assertion, src: &ExtState, tgt: &ExtState) -> Option<bool> {
+    for p in a.src.iter() {
+        match eval_pred(p, src) {
+            Some(false) => return Some(false),
+            Some(true) => {}
+            None => return None,
+        }
+    }
+    for p in a.tgt.iter() {
+        match eval_pred(p, tgt) {
+            Some(false) => return Some(false),
+            Some(true) => {}
+            None => return None,
+        }
+    }
+    // Maydiff: everything not in the set must be injected (equal, or
+    // source-undef).
+    let mut regs: Vec<TReg> = Vec::new();
+    for u in [&a.src, &a.tgt] {
+        for p in u.iter() {
+            if let Pred::Lessdef(x, y) = p {
+                regs.extend(x.regs());
+                regs.extend(y.regs());
+            }
+        }
+    }
+    for r in src.phy.keys() {
+        regs.push(TReg::Phy(*r));
+    }
+    for r in tgt.phy.keys() {
+        regs.push(TReg::Phy(*r));
+    }
+    for g in src.ghost.keys() {
+        regs.push(TReg::Ghost(g.clone()));
+    }
+    for g in tgt.ghost.keys() {
+        regs.push(TReg::Ghost(g.clone()));
+    }
+    regs.sort();
+    regs.dedup();
+    for r in regs {
+        if !a.maydiff.contains(&r) {
+            let (vs, vt) = (src.get(&r), tgt.get(&r));
+            if !lessdef_vals(vs, vt) {
+                return Some(false);
+            }
+        }
+    }
+    Some(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: usize) -> RegId {
+        RegId::from_index(i)
+    }
+
+    #[test]
+    fn undef_propagates_through_arithmetic() {
+        let s = ExtState::new(); // everything undef
+        let e = Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(0)), TValue::int(Type::I32, 1));
+        assert_eq!(eval_expr(&e, &s), Some(SemVal::Undef));
+    }
+
+    #[test]
+    fn traps_are_bottom() {
+        let s = ExtState::new();
+        let e = Expr::bin(BinOp::SDiv, Type::I32, TValue::int(Type::I32, 1), TValue::int(Type::I32, 0));
+        assert_eq!(eval_expr(&e, &s), None);
+        // A lessdef with a trapping side is vacuous.
+        let p = Pred::Lessdef(Expr::value(TValue::phy(r(0))), e);
+        assert_eq!(eval_pred(&p, &s), None);
+    }
+
+    #[test]
+    fn lessdef_semantics() {
+        let mut s = ExtState::new();
+        s.set(TReg::Phy(r(0)), SemVal::int(Type::I32, 5));
+        let five = Expr::value(TValue::int(Type::I32, 5));
+        let six = Expr::value(TValue::int(Type::I32, 6));
+        let x = Expr::value(TValue::phy(r(0)));
+        assert_eq!(eval_pred(&Pred::Lessdef(x.clone(), five), &s), Some(true));
+        assert_eq!(eval_pred(&Pred::Lessdef(x.clone(), six.clone()), &s), Some(false));
+        // Undef on the left is below everything.
+        let u = Expr::value(TValue::phy(r(9)));
+        assert_eq!(eval_pred(&Pred::Lessdef(u, six), &s), Some(true));
+    }
+
+    #[test]
+    fn maydiff_semantics_across_sides() {
+        let mut a = Assertion::new();
+        let mut src = ExtState::new();
+        let mut tgt = ExtState::new();
+        src.set(TReg::Phy(r(0)), SemVal::int(Type::I32, 1));
+        tgt.set(TReg::Phy(r(0)), SemVal::int(Type::I32, 2));
+        // r0 differs and is not in maydiff: assertion fails.
+        assert_eq!(eval_assertion(&a, &src, &tgt), Some(false));
+        a.add_maydiff(TReg::Phy(r(0)));
+        assert_eq!(eval_assertion(&a, &src, &tgt), Some(true));
+    }
+
+    #[test]
+    fn ghost_registers_mediate_relational_facts() {
+        // e_src ⊒ ĝ_src ∧ ĝ_tgt ⊒ e'_tgt ∧ ĝ ∉ MD encodes e_src = e'_tgt.
+        let mut a = Assertion::new();
+        a.src.insert_lessdef(Expr::value(TValue::phy(r(0))), Expr::value(TValue::ghost("g")));
+        a.tgt.insert_lessdef(Expr::value(TValue::ghost("g")), Expr::value(TValue::phy(r(1))));
+        a.add_maydiff(TReg::Phy(r(0)));
+        a.add_maydiff(TReg::Phy(r(1)));
+
+        let mut src = ExtState::new();
+        let mut tgt = ExtState::new();
+        src.set(TReg::Phy(r(0)), SemVal::int(Type::I32, 7));
+        tgt.set(TReg::Phy(r(1)), SemVal::int(Type::I32, 7));
+        // There EXISTS a ghost valuation making it true:
+        src.set(TReg::Ghost("g".into()), SemVal::int(Type::I32, 7));
+        tgt.set(TReg::Ghost("g".into()), SemVal::int(Type::I32, 7));
+        assert_eq!(eval_assertion(&a, &src, &tgt), Some(true));
+        // With differing mediated values no ghost valuation works: if the
+        // ghost matches src it cannot match tgt.
+        tgt.set(TReg::Phy(r(1)), SemVal::int(Type::I32, 8));
+        assert_eq!(eval_assertion(&a, &src, &tgt), Some(false));
+    }
+
+    #[test]
+    fn gep_inbounds_more_undefined_than_plain() {
+        let mut s = ExtState::new();
+        s.set(TReg::Phy(r(0)), SemVal::Ptr { block: 3, offset: 0 });
+        let gi = Expr::Gep { inbounds: true, ptr: TValue::phy(r(0)), offset: TValue::int(Type::I64, 100) };
+        let gp = Expr::Gep { inbounds: false, ptr: TValue::phy(r(0)), offset: TValue::int(Type::I64, 100) };
+        assert_eq!(eval_expr(&gi, &s), Some(SemVal::Undef));
+        assert_eq!(eval_expr(&gp, &s), Some(SemVal::Ptr { block: 3, offset: 100 }));
+        // So inbounds ⊒ plain holds, but NOT the converse.
+        assert!(lessdef_vals(eval_expr(&gi, &s).unwrap(), eval_expr(&gp, &s).unwrap()));
+        assert!(!lessdef_vals(eval_expr(&gp, &s).unwrap(), eval_expr(&gi, &s).unwrap()));
+    }
+}

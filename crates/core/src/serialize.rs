@@ -1,0 +1,158 @@
+//! JSON (de)serialization of proof units.
+//!
+//! The original Crellvm pipeline writes `src.ll`, `tgt'.ll`, and the proof
+//! to disk as JSON and reads them back in the checker process; the paper's
+//! experimental tables report this I/O time as a separate column. This
+//! module reproduces that pipeline (and is what the `fig8_times` /
+//! `proof_io` benchmarks measure).
+
+use crate::assertion::Assertion;
+use crate::auto::AutoKind;
+use crate::infrule::InfRule;
+use crate::proof::{ProofUnit, RowShape, RulePos, SlotId};
+use crellvm_ir::Function;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Wire format: JSON objects cannot use struct keys, so the maps become
+/// association lists.
+#[derive(Debug, Serialize, Deserialize)]
+struct ProofUnitWire {
+    pass: String,
+    src: Function,
+    tgt: Function,
+    alignment: Vec<Vec<RowShape>>,
+    assertions: Vec<(SlotId, Assertion)>,
+    infrules: Vec<(RulePos, Vec<InfRule>)>,
+    autos: BTreeSet<AutoKind>,
+    not_supported: Option<String>,
+}
+
+impl From<&ProofUnit> for ProofUnitWire {
+    fn from(u: &ProofUnit) -> ProofUnitWire {
+        ProofUnitWire {
+            pass: u.pass.clone(),
+            src: u.src.clone(),
+            tgt: u.tgt.clone(),
+            alignment: u.alignment.clone(),
+            assertions: u.assertions.iter().map(|(k, v)| (*k, v.clone())).collect(),
+            infrules: u.infrules.iter().map(|(k, v)| (*k, v.clone())).collect(),
+            autos: u.autos.clone(),
+            not_supported: u.not_supported.clone(),
+        }
+    }
+}
+
+impl From<ProofUnitWire> for ProofUnit {
+    fn from(w: ProofUnitWire) -> ProofUnit {
+        ProofUnit {
+            pass: w.pass,
+            src: w.src,
+            tgt: w.tgt,
+            alignment: w.alignment,
+            assertions: w.assertions.into_iter().collect(),
+            infrules: w.infrules.into_iter().collect(),
+            autos: w.autos,
+            not_supported: w.not_supported,
+        }
+    }
+}
+
+/// Serialize a proof unit to JSON.
+///
+/// # Errors
+///
+/// Propagates `serde_json` failures (effectively unreachable for these
+/// types).
+pub fn proof_to_json(unit: &ProofUnit) -> serde_json::Result<String> {
+    serde_json::to_string(&ProofUnitWire::from(unit))
+}
+
+/// Deserialize a proof unit from JSON.
+///
+/// # Errors
+///
+/// Fails on malformed input.
+pub fn proof_from_json(s: &str) -> serde_json::Result<ProofUnit> {
+    serde_json::from_str::<ProofUnitWire>(s).map(ProofUnit::from)
+}
+
+/// Serialize a proof unit to the compact binary format — the paper's §7
+/// remedy for the I/O bottleneck (see [`crate::serialize_bin`]).
+///
+/// # Errors
+///
+/// Effectively unreachable for these types (kept for API symmetry).
+pub fn proof_to_bytes(unit: &ProofUnit) -> Result<Vec<u8>, crate::serialize_bin::Error> {
+    crate::serialize_bin::to_bytes(&ProofUnitWire::from(unit))
+}
+
+/// Deserialize a proof unit from the compact binary format.
+///
+/// # Errors
+///
+/// Fails on truncated or corrupted input.
+pub fn proof_from_bytes(bytes: &[u8]) -> Result<ProofUnit, crate::serialize_bin::Error> {
+    crate::serialize_bin::from_bytes::<ProofUnitWire>(bytes).map(ProofUnit::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::Pred;
+    use crate::expr::{Expr, Side, TValue};
+    use crate::proof::{Loc, ProofBuilder};
+    use crellvm_ir::{parse_module, RegId, Type};
+
+    fn sample_unit() -> ProofUnit {
+        let m = parse_module(
+            r#"
+            declare @print(i32)
+            define @f(i32 %n) {
+            entry:
+              %x = add i32 %n, 1
+              call void @print(i32 %x)
+              ret void
+            }
+            "#,
+        )
+        .unwrap();
+        let mut b = ProofBuilder::new("demo", &m.functions[0]);
+        b.global_pred(Side::Src, Pred::Uniq(RegId::from_index(9)));
+        b.range_pred(
+            Side::Tgt,
+            Pred::Lessdef(Expr::value(TValue::ghost("g")), Expr::value(TValue::int(Type::I32, 1))),
+            Loc::AfterRow(0, 0),
+            Loc::End(0),
+        );
+        b.infrule_after_row(
+            0,
+            1,
+            crate::infrule::InfRule::IntroEq { side: Side::Src, e: Expr::value(TValue::int(Type::I32, 7)) },
+        );
+        b.auto(AutoKind::Transitivity);
+        b.finish()
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let unit = sample_unit();
+        let json = proof_to_json(&unit).unwrap();
+        let back = proof_from_json(&json).unwrap();
+        assert_eq!(unit.pass, back.pass);
+        assert_eq!(unit.src, back.src);
+        assert_eq!(unit.tgt, back.tgt);
+        assert_eq!(unit.alignment, back.alignment);
+        assert_eq!(unit.assertions, back.assertions);
+        assert_eq!(unit.infrules, back.infrules);
+        assert_eq!(unit.autos, back.autos);
+        // And the deserialized proof still validates identically.
+        assert_eq!(crate::checker::validate(&unit).is_ok(), crate::checker::validate(&back).is_ok());
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(proof_from_json("{").is_err());
+        assert!(proof_from_json("{\"pass\": 3}").is_err());
+    }
+}

@@ -1,0 +1,768 @@
+//! Compact binary (de)serialization — the remedy the paper's §7 proposes
+//! for the I/O bottleneck ("the actual time will be much smaller if we …
+//! use binary instead of JSON format for proofs").
+//!
+//! The format is a non-self-describing tag-free encoding of the serde
+//! data model (the same idea as `bincode`, implemented from scratch):
+//! unsigned integers are LEB128 varints, signed integers are
+//! zigzag-encoded varints, enum variants are encoded by index, and
+//! lengths prefix sequences, maps, and strings. Because the format is
+//! tag-free it must be decoded by exactly the type that produced it —
+//! which is the case in the validation pipeline, where both endpoints are
+//! the checker's own wire type.
+//!
+//! The `io/proof_binary_roundtrip` micro-benchmark measures the resulting
+//! speedup over JSON; `serialize::proof_to_bytes` / `proof_from_bytes`
+//! are the proof-level entry points.
+
+use serde::de::{self, DeserializeSeed, IntoDeserializer, Visitor};
+use serde::{ser, Deserialize, Serialize};
+use std::fmt;
+
+/// A (de)serialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "binary codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+fn err(msg: impl Into<String>) -> Error {
+    Error(msg.into())
+}
+
+/// Serialize any serde value to the compact binary format.
+///
+/// # Errors
+///
+/// Fails only on values the data model cannot express (e.g. sequences of
+/// unknown length), which the proof wire types never produce.
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    let mut s = BinSerializer { out: Vec::new() };
+    value.serialize(&mut s)?;
+    Ok(s.out)
+}
+
+/// Deserialize a value previously produced by [`to_bytes`] for the same
+/// type.
+///
+/// # Errors
+///
+/// Fails on truncated or corrupted input.
+pub fn from_bytes<'de, T: Deserialize<'de>>(bytes: &'de [u8]) -> Result<T, Error> {
+    let mut d = BinDeserializer { input: bytes };
+    let v = T::deserialize(&mut d)?;
+    if d.input.is_empty() {
+        Ok(v)
+    } else {
+        Err(err(format!("{} trailing bytes", d.input.len())))
+    }
+}
+
+// ---------------------------------------------------------------- writer
+
+struct BinSerializer {
+    out: Vec<u8>,
+}
+
+impl BinSerializer {
+    fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.out.push(byte);
+                return;
+            }
+            self.out.push(byte | 0x80);
+        }
+    }
+
+    fn zigzag(&mut self, v: i64) {
+        self.varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+}
+
+impl ser::Serializer for &mut BinSerializer {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), Error> {
+        self.zigzag(v as i64);
+        Ok(())
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), Error> {
+        self.zigzag(v as i64);
+        Ok(())
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), Error> {
+        self.zigzag(v as i64);
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.zigzag(v);
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), Error> {
+        self.out.push(v);
+        Ok(())
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), Error> {
+        self.varint(v as u64);
+        Ok(())
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), Error> {
+        self.varint(v as u64);
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.varint(v);
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), Error> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), Error> {
+        self.varint(v as u64);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        self.varint(v.len() as u64);
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
+        self.varint(v.len() as u64);
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), Error> {
+        self.varint(variant_index as u64);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.varint(variant_index as u64);
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, Error> {
+        let len = len.ok_or_else(|| err("sequences must have a known length"))?;
+        self.varint(len as u64);
+        Ok(self)
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self, Error> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, Error> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, Error> {
+        self.varint(variant_index as u64);
+        Ok(self)
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, Error> {
+        let len = len.ok_or_else(|| err("maps must have a known length"))?;
+        self.varint(len as u64);
+        Ok(self)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, Error> {
+        Ok(self)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, Error> {
+        self.varint(variant_index as u64);
+        Ok(self)
+    }
+}
+
+impl ser::SerializeSeq for &mut BinSerializer {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for &mut BinSerializer {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for &mut BinSerializer {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for &mut BinSerializer {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for &mut BinSerializer {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Error> {
+        key.serialize(&mut **self)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for &mut BinSerializer {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut BinSerializer {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- reader
+
+struct BinDeserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> BinDeserializer<'de> {
+    fn byte(&mut self) -> Result<u8, Error> {
+        let (&b, rest) = self.input.split_first().ok_or_else(|| err("unexpected end of input"))?;
+        self.input = rest;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'de [u8], Error> {
+        if self.input.len() < n {
+            return Err(err("unexpected end of input"));
+        }
+        let (head, rest) = self.input.split_at(n);
+        self.input = rest;
+        Ok(head)
+    }
+
+    fn varint(&mut self) -> Result<u64, Error> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.byte()?;
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(err("varint too long"))
+    }
+
+    fn zigzag(&mut self) -> Result<i64, Error> {
+        let v = self.varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    fn len(&mut self) -> Result<usize, Error> {
+        let n = self.varint()?;
+        // A length can never exceed the remaining input (every element is
+        // at least one byte) — reject early instead of letting a corrupted
+        // length trigger a huge allocation.
+        if n > self.input.len() as u64 {
+            return Err(err(format!("length {n} exceeds remaining input")));
+        }
+        Ok(n as usize)
+    }
+}
+
+macro_rules! de_unsigned {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            let v = self.varint()?;
+            visitor.$visit(<$ty>::try_from(v).map_err(|_| err("integer out of range"))?)
+        }
+    };
+}
+
+macro_rules! de_signed {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            let v = self.zigzag()?;
+            visitor.$visit(<$ty>::try_from(v).map_err(|_| err("integer out of range"))?)
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
+    type Error = Error;
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Error> {
+        Err(err("format is not self-describing"))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.byte()? {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(err(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    de_signed!(deserialize_i8, visit_i8, i8);
+    de_signed!(deserialize_i16, visit_i16, i16);
+    de_signed!(deserialize_i32, visit_i32, i32);
+
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let v = self.zigzag()?;
+        visitor.visit_i64(v)
+    }
+
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let b = self.byte()?;
+        visitor.visit_u8(b)
+    }
+
+    de_unsigned!(deserialize_u16, visit_u16, u16);
+    de_unsigned!(deserialize_u32, visit_u32, u32);
+
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let v = self.varint()?;
+        visitor.visit_u64(v)
+    }
+
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let bytes = self.take(4)?;
+        visitor.visit_f32(f32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let bytes = self.take(8)?;
+        visitor.visit_f64(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let v = self.varint()?;
+        let c = u32::try_from(v).ok().and_then(char::from_u32).ok_or_else(|| err("invalid char"))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        visitor.visit_borrowed_str(std::str::from_utf8(bytes).map_err(|_| err("invalid utf-8"))?)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let n = self.len()?;
+        visitor.visit_borrowed_bytes(self.take(n)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.byte()? {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(err(format!("invalid option byte {b}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let n = self.len()?;
+        visitor.visit_seq(Counted { de: self, remaining: n })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let n = self.len()?;
+        visitor.visit_map(Counted { de: self, remaining: n })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Error> {
+        Err(err("identifiers are not encoded"))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Error> {
+        Err(err("cannot skip values in a non-self-describing format"))
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+    remaining: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for Counted<'_, 'de> {
+    type Error = Error;
+
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Error> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
+    type Error = Error;
+
+    fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>, Error> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, Error> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+}
+
+impl<'de> de::EnumAccess<'de> for EnumAccess<'_, 'de> {
+    type Error = Error;
+    type Variant = Self;
+
+    fn variant_seed<V: DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, Self), Error> {
+        let idx = u32::try_from(self.de.varint()?).map_err(|_| err("variant index out of range"))?;
+        let val = seed.deserialize(idx.into_deserializer())?;
+        Ok((val, self))
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for EnumAccess<'_, 'de> {
+    type Error = Error;
+
+    fn unit_variant(self) -> Result<(), Error> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, Error> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, Error> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Sample {
+        Unit,
+        Newtype(u32),
+        Tuple(i64, String),
+        Struct { flag: bool, items: Vec<u8> },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Nested {
+        name: String,
+        variants: Vec<Sample>,
+        table: BTreeMap<String, Option<i32>>,
+        pair: (u64, char),
+    }
+
+    fn sample() -> Nested {
+        Nested {
+            name: "proof".into(),
+            variants: vec![
+                Sample::Unit,
+                Sample::Newtype(7),
+                Sample::Tuple(-40, "x".into()),
+                Sample::Struct { flag: true, items: vec![1, 2, 3] },
+            ],
+            table: [("a".to_string(), Some(-1)), ("b".to_string(), None)].into_iter().collect(),
+            pair: (u64::MAX, 'λ'),
+        }
+    }
+
+    #[test]
+    fn roundtrip_covers_the_data_model() {
+        let v = sample();
+        let bytes = to_bytes(&v).unwrap();
+        assert_eq!(from_bytes::<Nested>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn varint_boundaries_roundtrip() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let bytes = to_bytes(&v).unwrap();
+            assert_eq!(from_bytes::<u64>(&bytes).unwrap(), v, "u64 {v}");
+        }
+        for v in [0i64, -1, 1, -64, 63, -65, 64, i64::MIN, i64::MAX] {
+            let bytes = to_bytes(&v).unwrap();
+            assert_eq!(from_bytes::<i64>(&bytes).unwrap(), v, "i64 {v}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = to_bytes(&sample()).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<Nested>(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = to_bytes(&42u64).unwrap();
+        bytes.push(0);
+        assert!(from_bytes::<u64>(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_is_rejected_without_allocation() {
+        // A varint length far larger than the input must fail fast.
+        let bytes = [0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(from_bytes::<String>(&bytes).is_err());
+        assert!(from_bytes::<Vec<u8>>(&bytes).is_err());
+    }
+}

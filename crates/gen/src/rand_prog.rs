@@ -1,0 +1,750 @@
+//! The seeded random program generator.
+//!
+//! Programs are built with structured control flow (sequences,
+//! if/else-with-phi-merge, constant-bounded loops), so they are valid SSA
+//! by construction. The statement mix deliberately includes fodder for
+//! every instrumented pass:
+//!
+//! * promotable and escaping `alloca`s with loads and stores (mem2reg),
+//! * duplicate pure expressions and branch-equality patterns (gvn / PRE),
+//! * loop-invariant computations (licm),
+//! * `add x 0`, `mul x 2ᵏ`, constant-foldable and associativity chains
+//!   (instcombine),
+//! * occasional `unsupported` stand-ins at a configurable rate with the
+//!   paper's Fig 6 feature distribution (vector 90%, aggregate 5.3%,
+//!   debug 1.5%, atomic 0.3%) — or all-`lifetime` in CSmith mode.
+
+use crellvm_ir::{
+    BinOp, BlockId, ExternDecl, Function, FunctionBuilder, IcmpPred, Inst, Module, RegId, Type, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which unsupported-feature distribution to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FeatureMix {
+    /// The paper's Fig 6 benchmark distribution.
+    #[default]
+    Benchmarks,
+    /// The CSmith experiment: only lifetime intrinsics (mem2reg-only #NS).
+    Csmith,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// RNG seed; identical configs generate identical modules.
+    pub seed: u64,
+    /// Number of worker functions (besides `main`).
+    pub functions: usize,
+    /// Maximum structured-control-flow nesting depth.
+    pub max_depth: usize,
+    /// Structure items per nesting level.
+    pub chunks: usize,
+    /// Probability that a worker function contains an unsupported op.
+    pub unsupported_rate: f64,
+    /// Unsupported-feature distribution.
+    pub feature_mix: FeatureMix,
+    /// Generate memory operations (allocas/loads/stores/geps).
+    pub memory: bool,
+    /// Generate bounded loops.
+    pub loops: bool,
+    /// Probability (per function) of emitting one "bug bait" pattern —
+    /// code shapes that trigger the historical LLVM bugs when their
+    /// switches are on (PR24179 / PR28562 / D38619), and are ordinary
+    /// correct code otherwise.
+    pub bug_bait_rate: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            seed: 0,
+            functions: 3,
+            max_depth: 2,
+            chunks: 3,
+            unsupported_rate: 0.0,
+            feature_mix: FeatureMix::Benchmarks,
+            memory: true,
+            loops: true,
+            bug_bait_rate: 0.10,
+        }
+    }
+}
+
+struct Gen<'a> {
+    b: FunctionBuilder,
+    cur: BlockId,
+    rng: &'a mut StdRng,
+    cfg: &'a GenConfig,
+    /// Available i32 values (dominating the current point).
+    env32: Vec<Value>,
+    /// Available i1 values.
+    env1: Vec<Value>,
+    /// Promotable-looking slots: (pointer register, slot count).
+    ptrs: Vec<(RegId, u64)>,
+    counter: usize,
+    has_print: bool,
+    /// Loop-carried phi slots to fill once the function is finished.
+    pending_phis: Vec<(BlockId, RegId, BlockId, Value)>,
+}
+
+impl Gen<'_> {
+    fn name(&mut self, base: &str) -> String {
+        self.counter += 1;
+        format!("{base}{}", self.counter)
+    }
+
+    fn pick32(&mut self) -> Value {
+        if self.env32.is_empty() || self.rng.gen_bool(0.2) {
+            Value::int(Type::I32, self.rng.gen_range(-8i64..64))
+        } else {
+            let i = self.rng.gen_range(0..self.env32.len());
+            self.env32[i].clone()
+        }
+    }
+
+    fn pick1(&mut self) -> Value {
+        if self.env1.is_empty() || self.rng.gen_bool(0.2) {
+            Value::int(Type::I1, self.rng.gen_range(0..2))
+        } else {
+            let i = self.rng.gen_range(0..self.env1.len());
+            self.env1[i].clone()
+        }
+    }
+
+    /// Emit one random statement into the current block.
+    fn stmt(&mut self) {
+        let choice = self.rng.gen_range(0..100);
+        match choice {
+            // Plain arithmetic.
+            0..=29 => {
+                let ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::Xor];
+                let op = ops[self.rng.gen_range(0..ops.len())];
+                let (a, b) = (self.pick32(), self.pick32());
+                let n = self.name("v");
+                let r = self.b.bin(&n, op, Type::I32, a, b);
+                self.env32.push(Value::Reg(r));
+            }
+            // Instcombine fodder: identities and reassociation chains.
+            30..=39 => {
+                let a = self.pick32();
+                match self.rng.gen_range(0..8) {
+                    0 => {
+                        let n = self.name("z");
+                        let r = self.b.bin(&n, BinOp::Add, Type::I32, a, 0i64);
+                        self.env32.push(Value::Reg(r));
+                    }
+                    1 => {
+                        let n = self.name("m");
+                        let k = [2i64, 4, 8, 16][self.rng.gen_range(0..4)];
+                        let r = self.b.bin(&n, BinOp::Mul, Type::I32, a, k);
+                        self.env32.push(Value::Reg(r));
+                    }
+                    2 => {
+                        let n1 = self.name("c");
+                        let c1 = self.rng.gen_range(1i64..5);
+                        let c2 = self.rng.gen_range(1i64..5);
+                        let x = self.b.bin(&n1, BinOp::Add, Type::I32, a, c1);
+                        let n2 = self.name("c");
+                        let y = self.b.bin(&n2, BinOp::Add, Type::I32, x, c2);
+                        self.env32.push(Value::Reg(y));
+                    }
+                    3 => {
+                        let n = self.name("x");
+                        let r = self.b.bin(&n, BinOp::Xor, Type::I32, a.clone(), a);
+                        self.env32.push(Value::Reg(r));
+                    }
+                    4 => {
+                        // not-chain: ¬a + C (add-const-not fodder).
+                        let n = self.name("nt");
+                        let t = self.b.bin(&n, BinOp::Xor, Type::I32, a, -1i64);
+                        let n = self.name("na");
+                        let c = self.rng.gen_range(-6i64..6);
+                        let r = self.b.bin(&n, BinOp::Add, Type::I32, t, c);
+                        self.env32.push(Value::Reg(r));
+                    }
+                    5 => {
+                        // absorption fodder: a & (a | b) or a | (a & b).
+                        let bv = self.pick32();
+                        let which = self.rng.gen_bool(0.5);
+                        let (i_op, o_op) =
+                            if which { (BinOp::Or, BinOp::And) } else { (BinOp::And, BinOp::Or) };
+                        let n = self.name("ab");
+                        let t = self.b.bin(&n, i_op, Type::I32, a.clone(), bv);
+                        let n = self.name("ab");
+                        let r = self.b.bin(&n, o_op, Type::I32, a, t);
+                        self.env32.push(Value::Reg(r));
+                    }
+                    6 => {
+                        // select-icmp fodder: select(a == b, a, b).
+                        let bv = self.pick32();
+                        let n = self.name("sc");
+                        let p = if self.rng.gen_bool(0.5) { IcmpPred::Eq } else { IcmpPred::Ne };
+                        let c = self.b.icmp(&n, p, Type::I32, a.clone(), bv.clone());
+                        let n = self.name("ss");
+                        let r = self.b.select(&n, Type::I32, c, a, bv);
+                        self.env32.push(Value::Reg(r));
+                    }
+                    _ => {
+                        // trunc/zext roundtrip (zext-trunc-and fodder) —
+                        // via i64 so the mask is visible.
+                        let n = self.name("zw");
+                        let w = self.b.cast(&n, crellvm_ir::CastOp::Zext, Type::I32, a, Type::I64);
+                        let n = self.name("zt");
+                        let t = self.b.cast(&n, crellvm_ir::CastOp::Trunc, Type::I64, w, Type::I8);
+                        let n = self.name("zz");
+                        let z = self.b.cast(&n, crellvm_ir::CastOp::Zext, Type::I8, t, Type::I64);
+                        let n = self.name("zb");
+                        let r = self.b.cast(&n, crellvm_ir::CastOp::Trunc, Type::I64, z, Type::I32);
+                        self.env32.push(Value::Reg(r));
+                    }
+                }
+            }
+            // GVN fodder: an expression computed twice.
+            40..=49 => {
+                let (a, b) = (self.pick32(), self.pick32());
+                let op = if self.rng.gen_bool(0.5) { BinOp::Add } else { BinOp::Mul };
+                let n1 = self.name("d");
+                let r1 = self.b.bin(&n1, op, Type::I32, a.clone(), b.clone());
+                let n2 = self.name("d");
+                let r2 = if self.rng.gen_bool(0.3) && op.is_commutative() {
+                    self.b.bin(&n2, op, Type::I32, b, a)
+                } else {
+                    self.b.bin(&n2, op, Type::I32, a, b)
+                };
+                self.env32.push(Value::Reg(r1));
+                self.env32.push(Value::Reg(r2));
+            }
+            // Comparisons and selects.
+            50..=59 => {
+                let preds = IcmpPred::all();
+                let p = preds[self.rng.gen_range(0..preds.len())];
+                let (a, b) = (self.pick32(), self.pick32());
+                let n = self.name("c");
+                let c = self.b.icmp(&n, p, Type::I32, a, b);
+                self.env1.push(Value::Reg(c));
+                if self.rng.gen_bool(0.5) {
+                    let (t, e) = (self.pick32(), self.pick32());
+                    let n = self.name("s");
+                    let s = self.b.select(&n, Type::I32, c, t, e);
+                    self.env32.push(Value::Reg(s));
+                }
+            }
+            // Casts (zext up, trunc back).
+            60..=64 => {
+                let a = self.pick32();
+                let n = self.name("w");
+                let w = self.b.cast(&n, crellvm_ir::CastOp::Zext, Type::I32, a, Type::I64);
+                if self.rng.gen_bool(0.7) {
+                    let n = self.name("t");
+                    let t = self.b.cast(&n, crellvm_ir::CastOp::Trunc, Type::I64, w, Type::I32);
+                    self.env32.push(Value::Reg(t));
+                }
+            }
+            // Safe division (constant non-zero divisor).
+            65..=69 => {
+                let a = self.pick32();
+                let d = [2i64, 3, 4, 5, 7][self.rng.gen_range(0..5)];
+                let n = self.name("q");
+                let r = self.b.bin(&n, BinOp::SDiv, Type::I32, a, d);
+                self.env32.push(Value::Reg(r));
+            }
+            // Memory traffic.
+            70..=84 if self.cfg.memory && !self.ptrs.is_empty() => {
+                let (p, size) = self.ptrs[self.rng.gen_range(0..self.ptrs.len())];
+                match self.rng.gen_range(0..3) {
+                    0 => {
+                        let v = self.pick32();
+                        self.b.store(Type::I32, v, p);
+                    }
+                    1 => {
+                        let n = self.name("l");
+                        let r = self.b.load(&n, Type::I32, p);
+                        self.env32.push(Value::Reg(r));
+                    }
+                    _ => {
+                        // In-bounds gep access on a multi-slot allocation.
+                        if size > 1 {
+                            let off = self.rng.gen_range(0..size) as i64;
+                            let n = self.name("g");
+                            let inb = self.rng.gen_bool(0.5);
+                            let g = self.b.gep(&n, inb, p, off);
+                            if self.rng.gen_bool(0.5) {
+                                let v = self.pick32();
+                                self.b.store(Type::I32, v, g);
+                            } else {
+                                let n = self.name("l");
+                                let r = self.b.load(&n, Type::I32, g);
+                                self.env32.push(Value::Reg(r));
+                            }
+                        }
+                    }
+                }
+            }
+            // Observable output.
+            85..=92 => {
+                let v = self.pick32();
+                self.b.call_void("print", vec![(Type::I32, v)]);
+                self.has_print = true;
+            }
+            // Environment input.
+            93..=96 => {
+                let n = self.name("in");
+                let r = self.b.call(&n, Type::I32, "get", vec![]);
+                self.env32.push(Value::Reg(r));
+            }
+            _ => {
+                // Shifts by small constants.
+                let a = self.pick32();
+                let k = self.rng.gen_range(0i64..5);
+                let op = [BinOp::Shl, BinOp::LShr, BinOp::AShr][self.rng.gen_range(0..3)];
+                let n = self.name("h");
+                let r = self.b.bin(&n, op, Type::I32, a, k);
+                self.env32.push(Value::Reg(r));
+            }
+        }
+    }
+
+    /// PR28562 bait: an inbounds/plain gep pair over the same base and
+    /// offset, both observed.
+    fn bait_gep_pair(&mut self) {
+        if self.ptrs.is_empty() {
+            return;
+        }
+        let (p, size) = self.ptrs[self.rng.gen_range(0..self.ptrs.len())];
+        let off = self.rng.gen_range(0..size.max(1) + 4) as i64;
+        let n1 = self.name("q");
+        let q1 = self.b.gep(&n1, true, p, off);
+        let n2 = self.name("q");
+        let q2 = self.b.gep(&n2, false, p, off);
+        self.b.call_void("sink", vec![(Type::Ptr, Value::Reg(q1))]);
+        self.b.call_void("sink", vec![(Type::Ptr, Value::Reg(q2))]);
+    }
+
+    /// PR24179 bait: a single-block alloca in a loop whose load precedes
+    /// its store (the previous iteration's store reaches the load).
+    fn bait_load_before_store_loop(&mut self) {
+        let n = self.name("bug_slot");
+        let slot = self.b.alloca(&n, Type::I32, 1);
+        let trip = self.rng.gen_range(2i64..5);
+        let pre = self.cur;
+        let (hn, xn) = (self.name("bloop"), self.name("bafter"));
+        let head = self.b.block(&hn);
+        let exit = self.b.block(&xn);
+        self.b.br(head);
+        self.b.switch_to(head);
+        self.cur = head;
+        let iname = self.name("bi");
+        let i = self.b.phi(&iname, Type::I32, vec![(pre, Value::int(Type::I32, 0))]);
+        let n = self.name("br_");
+        let r = self.b.load(&n, Type::I32, slot);
+        self.b.call_void("print", vec![(Type::I32, Value::Reg(r))]);
+        let v = self.pick32();
+        self.b.store(Type::I32, v, slot);
+        let n = self.name("bi2");
+        let i2 = self.b.bin(&n, BinOp::Add, Type::I32, i, 1i64);
+        let n = self.name("bc");
+        let c = self.b.icmp(&n, IcmpPred::Slt, Type::I32, i2, trip);
+        let latch = self.cur;
+        self.b.cond_br(c, head, exit);
+        self.pending_phis.push((head, i, latch, Value::Reg(i2)));
+        self.b.switch_to(exit);
+        self.cur = exit;
+        self.has_print = true;
+    }
+
+    /// D38619 bait: a partially redundant expression whose merge block has
+    /// a false-polarity eq-branch predecessor (the buggy PRE reads the
+    /// branch constant off the wrong edge).
+    fn bait_wrong_polarity_pre(&mut self) {
+        let a = self.pick32();
+        let cond = self.pick1();
+        let names: Vec<String> =
+            ["bleft", "bother", "bright", "bjoin"].iter().map(|n| self.name(n)).collect();
+        let left = self.b.block(&names[0]);
+        let other = self.b.block(&names[1]);
+        let right = self.b.block(&names[2]);
+        let join = self.b.block(&names[3]);
+        self.b.cond_br(cond, left, right);
+
+        self.b.switch_to(left);
+        let n = self.name("bw");
+        let w = self.b.bin(&n, BinOp::Mul, Type::I32, a.clone(), 3i64);
+        let n = self.name("bcmp");
+        let cmp = self.b.icmp(&n, IcmpPred::Eq, Type::I32, w, 12i64);
+        // join is the FALSE successor: the equality does NOT hold there.
+        self.b.cond_br(cmp, other, join);
+
+        self.b.switch_to(other);
+        self.b.call_void("print", vec![(Type::I32, Value::Reg(w))]);
+        self.b.br(join);
+
+        self.b.switch_to(right);
+        let n = self.name("bl");
+        let l = self.b.bin(&n, BinOp::Mul, Type::I32, a.clone(), 3i64);
+        self.b.call_void("print", vec![(Type::I32, Value::Reg(l))]);
+        self.b.br(join);
+
+        self.b.switch_to(join);
+        self.cur = join;
+        let n = self.name("bx");
+        let x = self.b.bin(&n, BinOp::Mul, Type::I32, a, 3i64);
+        self.b.call_void("print", vec![(Type::I32, Value::Reg(x))]);
+        self.has_print = true;
+    }
+
+    fn emit_bug_bait(&mut self) {
+        // Weighted toward the gvn patterns: the paper's #F distribution is
+        // 453 gvn vs 10 mem2reg (Fig 6).
+        match self.rng.gen_range(0..20) {
+            0..=10 => self.bait_gep_pair(),
+            11..=17 => self.bait_wrong_polarity_pre(),
+            _ => self.bait_load_before_store_loop(),
+        }
+    }
+
+    fn chunk(&mut self) {
+        for _ in 0..self.rng.gen_range(2..=4) {
+            self.stmt();
+        }
+    }
+
+    /// Emit one structured item (chunk / diamond / bounded loop).
+    fn structure(&mut self, depth: usize) {
+        if depth == 0 {
+            self.chunk();
+            return;
+        }
+        match self.rng.gen_range(0..100) {
+            // If/else with a phi merge.
+            0..=34 => {
+                let cond = self.pick1();
+                let (tn, en, jn) = (self.name("then"), self.name("else"), self.name("join"));
+                let then_b = self.b.block(&tn);
+                let else_b = self.b.block(&en);
+                let join_b = self.b.block(&jn);
+                self.b.cond_br(cond, then_b, else_b);
+
+                let saved32 = self.env32.len();
+                let saved1 = self.env1.len();
+
+                self.b.switch_to(then_b);
+                self.cur = then_b;
+                self.structure(depth - 1);
+                let tv = self.pick32();
+                let then_end = self.cur;
+                self.b.br(join_b);
+                self.env32.truncate(saved32);
+                self.env1.truncate(saved1);
+
+                self.b.switch_to(else_b);
+                self.cur = else_b;
+                self.structure(depth - 1);
+                let ev = self.pick32();
+                let else_end = self.cur;
+                self.b.br(join_b);
+                self.env32.truncate(saved32);
+                self.env1.truncate(saved1);
+
+                self.b.switch_to(join_b);
+                self.cur = join_b;
+                let n = self.name("phi");
+                let p = self.b.phi(&n, Type::I32, vec![(then_end, tv), (else_end, ev)]);
+                self.env32.push(Value::Reg(p));
+            }
+            // Bounded loop with an accumulator (licm + gvn fodder inside).
+            35..=59 if self.cfg.loops => {
+                let trip = self.rng.gen_range(2i64..6);
+                let pre = self.cur;
+                let (hn, xn) = (self.name("loop"), self.name("after"));
+                let head = self.b.block(&hn);
+                let exit = self.b.block(&xn);
+                self.b.br(head);
+
+                self.b.switch_to(head);
+                self.cur = head;
+                let iname = self.name("i");
+                let init = self.pick32();
+                let i = self.b.phi(&iname, Type::I32, vec![(pre, Value::int(Type::I32, 0))]);
+                let aname = self.name("acc");
+                let acc = self.b.phi(&aname, Type::I32, vec![(pre, init)]);
+                let saved32 = self.env32.len();
+                let saved1 = self.env1.len();
+                self.env32.push(Value::Reg(i));
+                self.env32.push(Value::Reg(acc));
+                self.chunk();
+                let step = self.pick32();
+                let n = self.name("acc2");
+                let acc2 = self.b.bin(&n, BinOp::Add, Type::I32, acc, step);
+                let n = self.name("i2");
+                let i2 = self.b.bin(&n, BinOp::Add, Type::I32, i, 1i64);
+                let n = self.name("lc");
+                let c = self.b.icmp(&n, IcmpPred::Slt, Type::I32, i2, trip);
+                let latch = self.cur;
+                self.b.cond_br(c, head, exit);
+                // Close the loop-carried phis.
+                let f = self.b.function();
+                let _ = f;
+                self.close_phi(head, i, latch, Value::Reg(i2));
+                self.close_phi(head, acc, latch, Value::Reg(acc2));
+                self.env32.truncate(saved32);
+                self.env1.truncate(saved1);
+
+                self.b.switch_to(exit);
+                self.cur = exit;
+                self.env32.push(Value::Reg(acc2));
+            }
+            // A switch with two cases and a default, merged by a phi.
+            60..=72 => {
+                let scrut = self.pick32();
+                let names: Vec<String> =
+                    ["case_a", "case_b", "dflt", "smerge"].iter().map(|n| self.name(n)).collect();
+                let ca = self.b.block(&names[0]);
+                let cb = self.b.block(&names[1]);
+                let df = self.b.block(&names[2]);
+                let merge = self.b.block(&names[3]);
+                let (k1, k2) = (self.rng.gen_range(0i64..8), self.rng.gen_range(8i64..16));
+                self.b.switch(Type::I32, scrut, df, vec![(k1 as u64, ca), (k2 as u64, cb)]);
+
+                let saved32 = self.env32.len();
+                let saved1 = self.env1.len();
+                let mut incomings = Vec::new();
+                for blk in [ca, cb, df] {
+                    self.b.switch_to(blk);
+                    self.cur = blk;
+                    self.chunk();
+                    let v = self.pick32();
+                    incomings.push((self.cur, v));
+                    self.b.br(merge);
+                    self.env32.truncate(saved32);
+                    self.env1.truncate(saved1);
+                }
+                self.b.switch_to(merge);
+                self.cur = merge;
+                let n = self.name("sphi");
+                let p = self.b.phi(&n, Type::I32, incomings);
+                self.env32.push(Value::Reg(p));
+            }
+            _ => {
+                self.chunk();
+                if depth > 1 && self.rng.gen_bool(0.4) {
+                    self.structure(depth - 1);
+                }
+            }
+        }
+    }
+
+    fn close_phi(&mut self, block: BlockId, reg: RegId, from: BlockId, v: Value) {
+        // The builder does not expose phi patching; do it through the
+        // finished function at the end — record for later.
+        self.pending_phis.push((block, reg, from, v));
+    }
+}
+
+/// Sample an unsupported-feature name.
+fn sample_feature(rng: &mut StdRng, mix: FeatureMix) -> String {
+    match mix {
+        FeatureMix::Csmith => "lifetime.start".to_string(),
+        FeatureMix::Benchmarks => {
+            let roll: f64 = rng.gen();
+            if roll < 0.90 {
+                "vector.add".to_string()
+            } else if roll < 0.953 {
+                "aggregate.extractvalue".to_string()
+            } else if roll < 0.968 {
+                "debug.declare".to_string()
+            } else if roll < 0.971 {
+                "atomic.rmw".to_string()
+            } else {
+                "misc.indirectbr".to_string()
+            }
+        }
+    }
+}
+
+fn generate_function(name: &str, rng: &mut StdRng, cfg: &GenConfig) -> Function {
+    let mut b = FunctionBuilder::new(name, Some(Type::I32));
+    let nparams = rng.gen_range(1..=3);
+    let mut params = Vec::new();
+    for k in 0..nparams {
+        params.push(b.param(Type::I32, &format!("a{k}")));
+    }
+    let entry = b.start_block("entry");
+
+    let mut g = Gen {
+        b,
+        cur: entry,
+        rng,
+        cfg,
+        env32: params.into_iter().map(Value::Reg).collect(),
+        env1: Vec::new(),
+        ptrs: Vec::new(),
+        counter: 0,
+        has_print: false,
+        pending_phis: Vec::new(),
+    };
+
+    // Stack slots (some promotable, one possibly escaping).
+    if cfg.memory {
+        for k in 0..g.rng.gen_range(0..=2u32) {
+            let size = g.rng.gen_range(1..=3u64);
+            let p = g.b.alloca(&format!("slot{k}"), Type::I32, size);
+            // Initialize slot 0 to avoid trivially-undef programs.
+            let v = g.pick32();
+            g.b.store(Type::I32, v, p);
+            g.ptrs.push((p, size));
+        }
+        if !g.ptrs.is_empty() && g.rng.gen_bool(0.2) {
+            // Escape one slot: mem2reg must skip it.
+            let (p, _) = g.ptrs[0];
+            g.b.call_void("sink", vec![(Type::Ptr, Value::Reg(p))]);
+        }
+    }
+
+    // Occasional unsupported feature (the #NS knob).
+    if g.rng.gen_bool(cfg.unsupported_rate) {
+        let feature = sample_feature(g.rng, cfg.feature_mix);
+        let n = g.name("u");
+        let r = g.b.inst(&n, Inst::Unsupported { feature });
+        let _ = r;
+    }
+
+    for _ in 0..cfg.chunks {
+        let d = cfg.max_depth;
+        g.structure(d);
+    }
+    if g.rng.gen_bool(cfg.bug_bait_rate) {
+        g.emit_bug_bait();
+    }
+    if !g.has_print {
+        let v = g.pick32();
+        g.b.call_void("print", vec![(Type::I32, v)]);
+    }
+    let ret = g.pick32();
+    g.b.ret(Type::I32, ret);
+
+    let pending = std::mem::take(&mut g.pending_phis);
+    let mut f = g.b.finish();
+    for (block, reg, from, v) in pending {
+        if let Some((_, phi)) = f.block_mut(block).phis.iter_mut().find(|(r, _)| *r == reg) {
+            phi.set_incoming(from, v);
+        }
+    }
+    f
+}
+
+/// Generate a whole module: `functions` workers plus a `main` that calls
+/// each of them with constant arguments and prints the results.
+pub fn generate_module(cfg: &GenConfig) -> Module {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut m = Module::new();
+    m.declares.push(ExternDecl { name: "print".into(), ret: None, params: vec![Type::I32] });
+    m.declares.push(ExternDecl { name: "get".into(), ret: Some(Type::I32), params: vec![] });
+    m.declares.push(ExternDecl { name: "sink".into(), ret: None, params: vec![Type::Ptr] });
+
+    let mut worker_sigs = Vec::new();
+    for k in 0..cfg.functions {
+        let name = format!("f{k}");
+        let f = generate_function(&name, &mut rng, cfg);
+        worker_sigs.push((name, f.params.len()));
+        m.functions.push(f);
+    }
+
+    // main: call every worker, print its result.
+    let mut b = FunctionBuilder::new("main", None);
+    b.start_block("entry");
+    for (k, (name, nargs)) in worker_sigs.iter().enumerate() {
+        let args: Vec<(Type, Value)> =
+            (0..*nargs).map(|j| (Type::I32, Value::int(Type::I32, (k * 7 + j * 3 + 1) as i64))).collect();
+        let r = b.call(&format!("r{k}"), Type::I32, name, args);
+        b.call_void("print", vec![(Type::I32, Value::Reg(r))]);
+    }
+    b.ret_void();
+    m.functions.push(b.finish());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crellvm_ir::verify_module;
+
+    #[test]
+    fn generated_modules_verify() {
+        for seed in 0..30 {
+            let cfg = GenConfig { seed, functions: 3, ..GenConfig::default() };
+            let m = generate_module(&cfg);
+            verify_module(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{m}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig { seed: 7, ..GenConfig::default() };
+        let a = generate_module(&cfg);
+        let b = generate_module(&cfg);
+        assert_eq!(crellvm_ir::printer::print_module(&a), crellvm_ir::printer::print_module(&b));
+        let c = generate_module(&GenConfig { seed: 8, ..GenConfig::default() });
+        assert_ne!(crellvm_ir::printer::print_module(&a), crellvm_ir::printer::print_module(&c));
+    }
+
+    #[test]
+    fn unsupported_rate_controls_ns_functions() {
+        let cfg = GenConfig { seed: 3, functions: 40, unsupported_rate: 1.0, ..GenConfig::default() };
+        let m = generate_module(&cfg);
+        let with_unsupported = m
+            .functions
+            .iter()
+            .filter(|f| {
+                f.blocks.iter().any(|b| {
+                    b.stmts.iter().any(|s| matches!(s.inst, Inst::Unsupported { .. }))
+                })
+            })
+            .count();
+        assert_eq!(with_unsupported, 40);
+
+        let cfg0 = GenConfig { seed: 3, functions: 40, unsupported_rate: 0.0, ..GenConfig::default() };
+        let m0 = generate_module(&cfg0);
+        let none = m0
+            .functions
+            .iter()
+            .filter(|f| {
+                f.blocks.iter().any(|b| {
+                    b.stmts.iter().any(|s| matches!(s.inst, Inst::Unsupported { .. }))
+                })
+            })
+            .count();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn csmith_mix_is_all_lifetime() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            assert!(sample_feature(&mut rng, FeatureMix::Csmith).starts_with("lifetime"));
+        }
+        // Benchmark mix is mostly vector ops.
+        let mut vec_count = 0;
+        for _ in 0..200 {
+            if sample_feature(&mut rng, FeatureMix::Benchmarks).starts_with("vector") {
+                vec_count += 1;
+            }
+        }
+        assert!(vec_count > 150, "vector ops should dominate: {vec_count}");
+    }
+
+    #[test]
+    fn generated_mains_terminate() {
+        use crellvm_interp::{run_main, End, RunConfig};
+        for seed in 0..10 {
+            let m = generate_module(&GenConfig { seed, ..GenConfig::default() });
+            let r = run_main(&m, &RunConfig::default());
+            assert!(
+                !matches!(r.end, End::OutOfFuel),
+                "seed {seed} did not terminate ({:?})",
+                r.end
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Observable events.
+
+use crate::value::Val;
+use std::fmt;
+
+/// An observable event: a call to an external function.
+///
+/// Arguments are recorded *before* `undef`/poison resolution, so the
+/// refinement checker can detect a target that passes an indeterminate
+/// value where the source passed a concrete one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Callee name.
+    pub callee: String,
+    /// Evaluated (but unresolved) arguments.
+    pub args: Vec<Val>,
+    /// The value the environment returned (deterministic per seed and call
+    /// index), if the callee returns one.
+    pub ret: Option<Val>,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self.args.iter().map(Val::to_string).collect();
+        write!(f, "call @{}({})", self.callee, args.join(", "))?;
+        if let Some(r) = &self.ret {
+            write!(f, " -> {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crellvm_ir::Type;
+
+    #[test]
+    fn display() {
+        let e = Event {
+            callee: "print".into(),
+            args: vec![Val::int(Type::I32, 42), Val::Undef(Type::I8)],
+            ret: Some(Val::int(Type::I32, 1)),
+        };
+        assert_eq!(e.to_string(), "call @print(42:i32, undef:i8) -> 1:i32");
+    }
+}

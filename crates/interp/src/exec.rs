@@ -1,0 +1,1028 @@
+//! The fueled small-step interpreter.
+
+use crate::event::Event;
+use crate::mem::{MemBlockId, MemError, Memory};
+use crate::value::Val;
+use crellvm_ir::{
+    BinOp, BlockId, CastOp, Const, ConstExpr, Function, IcmpPred, Inst, Module, RegId, Term, Type, Value,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+pub use crate::mem::NULL_BLOCK;
+
+/// The null-pointer value.
+fn null_ptr() -> Val {
+    Val::Ptr { block: NULL_BLOCK, offset: 0 }
+}
+
+/// How `undef` is resolved when an operation must observe a concrete value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum UndefPolicy {
+    /// Resolve every `undef` to zero.
+    #[default]
+    Zero,
+    /// Resolve `undef` to a deterministic pseudo-random value derived from
+    /// the given seed and a per-resolution counter.
+    Seeded(u64),
+}
+
+
+/// Why execution hit undefined behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UbReason {
+    /// Integer division or remainder by zero (or `MIN / -1`).
+    DivisionByZero,
+    /// A memory access failed.
+    Memory(MemError),
+    /// A branch observed poison.
+    BranchOnPoison,
+    /// A load/store address was `undef` or poison.
+    IndeterminateAddress,
+    /// `unreachable` executed.
+    Unreachable,
+    /// A trapping constant expression was forced.
+    TrappingConstant,
+    /// A call named a function that does not exist.
+    MissingFunction(String),
+    /// A phi had no incoming entry for the taken edge.
+    MalformedPhi,
+}
+
+impl fmt::Display for UbReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UbReason::DivisionByZero => f.write_str("division by zero"),
+            UbReason::Memory(e) => write!(f, "memory error: {e}"),
+            UbReason::BranchOnPoison => f.write_str("branch on poison"),
+            UbReason::IndeterminateAddress => f.write_str("indeterminate address"),
+            UbReason::Unreachable => f.write_str("reached unreachable"),
+            UbReason::TrappingConstant => f.write_str("trapping constant expression"),
+            UbReason::MissingFunction(n) => write!(f, "missing function @{n}"),
+            UbReason::MalformedPhi => f.write_str("phi without incoming entry for edge"),
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum End {
+    /// Normal return from the entry function.
+    Ret(Option<Val>),
+    /// Undefined behaviour.
+    Ub(UbReason),
+    /// Fuel (or call depth) exhausted — inconclusive.
+    OutOfFuel,
+}
+
+/// The outcome of a run: the emitted events and how it ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Observable trace.
+    pub events: Vec<Event>,
+    /// Final status.
+    pub end: End,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+/// Configuration of a run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Maximum number of executed instructions.
+    pub fuel: u64,
+    /// Seed for external-call return values.
+    pub env_seed: u64,
+    /// `undef` resolution policy.
+    pub undef: UndefPolicy,
+    /// Maximum internal call depth.
+    pub max_depth: u32,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig { fuel: 200_000, env_seed: 0xC0FFEE, undef: UndefPolicy::Zero, max_depth: 64 }
+    }
+}
+
+#[derive(Debug)]
+enum Stop {
+    Ub(UbReason),
+    OutOfFuel,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+struct Machine<'m> {
+    module: &'m Module,
+    mem: Memory,
+    globals: HashMap<String, MemBlockId>,
+    events: Vec<Event>,
+    fuel: u64,
+    steps: u64,
+    env_seed: u64,
+    undef: UndefPolicy,
+    undef_counter: u64,
+    max_depth: u32,
+}
+
+impl<'m> Machine<'m> {
+    fn new(module: &'m Module, config: &RunConfig) -> Machine<'m> {
+        let mut mem = Memory::new();
+        let mut globals = HashMap::new();
+        for g in &module.globals {
+            let b = mem.alloc(g.ty, g.size);
+            if let Some(init) = &g.init {
+                let v = match init {
+                    Const::Int { ty, bits } => Val::Int { ty: *ty, bits: *bits, tainted: false },
+                    Const::Undef(ty) => Val::Undef(*ty),
+                    Const::Null => null_ptr(),
+                    other => Val::Lazy(other.clone()),
+                };
+                let _ = mem.store(b, 0, v);
+            }
+            globals.insert(g.name.clone(), b);
+        }
+        Machine {
+            module,
+            mem,
+            globals,
+            events: Vec::new(),
+            fuel: config.fuel,
+            steps: 0,
+            env_seed: config.env_seed,
+            undef: config.undef,
+            undef_counter: 0,
+            max_depth: config.max_depth,
+        }
+    }
+
+    fn resolve_undef(&mut self, ty: Type) -> Val {
+        self.undef_counter += 1;
+        match self.undef {
+            UndefPolicy::Zero => {
+                if ty == Type::Ptr {
+                    null_ptr()
+                } else {
+                    Val::tainted_int(ty, 0)
+                }
+            }
+            UndefPolicy::Seeded(s) => {
+                if ty == Type::Ptr {
+                    null_ptr()
+                } else {
+                    Val::Int { ty, bits: ty.truncate(splitmix64(s ^ self.undef_counter)), tainted: true }
+                }
+            }
+        }
+    }
+
+    /// Evaluate a constant *by force*: trapping subexpressions trap.
+    fn force_const(&mut self, c: &Const) -> Result<Val, Stop> {
+        match c {
+            Const::Int { ty, bits } => Ok(Val::Int { ty: *ty, bits: *bits, tainted: false }),
+            Const::Undef(ty) => Ok(Val::Undef(*ty)),
+            Const::Null => Ok(null_ptr()),
+            Const::Global(name) => match self.globals.get(name) {
+                Some(b) => Ok(Val::Ptr { block: *b, offset: 0 }),
+                None => Err(Stop::Ub(UbReason::MissingFunction(name.clone()))),
+            },
+            Const::Expr(e) => match &**e {
+                ConstExpr::PtrToInt(inner, to) => {
+                    let v = self.force_const(inner)?;
+                    match v {
+                        Val::Ptr { block, offset } => {
+                            let addr = if block == NULL_BLOCK {
+                                (offset as u64).wrapping_mul(crate::mem::SLOT_SIZE)
+                            } else {
+                                Memory::address_of(block, offset)
+                            };
+                            Ok(Val::Int { ty: *to, bits: to.truncate(addr), tainted: false })
+                        }
+                        Val::Undef(_) => Ok(Val::Undef(*to)),
+                        _ => Err(Stop::Ub(UbReason::TrappingConstant)),
+                    }
+                }
+                ConstExpr::Bin(op, ty, a, b) => {
+                    let av = self.force_const(a)?;
+                    let bv = self.force_const(b)?;
+                    self.bin_op(*op, *ty, av, bv).map_err(|_| Stop::Ub(UbReason::TrappingConstant))
+                }
+            },
+        }
+    }
+
+    /// Fetch an operand without forcing constant expressions.
+    fn operand(&mut self, frame: &HashMap<RegId, Val>, v: &Value) -> Result<Val, Stop> {
+        match v {
+            Value::Reg(r) => Ok(frame.get(r).cloned().unwrap_or(Val::Undef(Type::I64))),
+            Value::Const(c) => match c {
+                Const::Expr(_) => Ok(Val::Lazy(c.clone())),
+                other => self.force_const(other),
+            },
+        }
+    }
+
+    /// Force a value for consumption by an operation: lazy constants are
+    /// evaluated (possibly trapping); `undef` is resolved per policy;
+    /// poison propagates as `None`.
+    fn force(&mut self, v: Val) -> Result<Option<Val>, Stop> {
+        match v {
+            Val::Lazy(c) => self.force_const(&c).map(Some),
+            Val::Undef(ty) => Ok(Some(self.resolve_undef(ty))),
+            Val::Poison(_) => Ok(None),
+            other => Ok(Some(other)),
+        }
+    }
+
+    /// Force a value all the way to a concrete integer; poison propagates
+    /// as `None`.
+    fn force_int(&mut self, v: Val) -> Result<Option<u64>, Stop> {
+        match self.force(v)? {
+            None => Ok(None),
+            Some(Val::Int { bits, .. }) => Ok(Some(bits)),
+            Some(Val::Undef(ty)) => {
+                // force_const may surface a fresh undef (e.g. ptrtoint undef).
+                match self.resolve_undef(ty) {
+                    Val::Int { bits, .. } => Ok(Some(bits)),
+                    _ => Ok(Some(0)),
+                }
+            }
+            Some(other) => {
+                // An integer-typed operation observed a pointer (possible
+                // only through lazy global arithmetic); use its address.
+                match other {
+                    Val::Ptr { block, offset } => Ok(Some(Memory::address_of(block, offset))),
+                    _ => Ok(Some(0)),
+                }
+            }
+        }
+    }
+
+    fn bin_op(&mut self, op: BinOp, ty: Type, a: Val, b: Val) -> Result<Val, Stop> {
+        let tainted = a.is_undef_derived() || b.is_undef_derived();
+        let (Some(a), Some(b)) = (self.force_int(a)?, self.force_int(b)?) else {
+            return Ok(Val::Poison(ty));
+        };
+        let bits = ty.bits();
+        let out: Option<u64> = match op {
+            BinOp::Add => Some(a.wrapping_add(b)),
+            BinOp::Sub => Some(a.wrapping_sub(b)),
+            BinOp::Mul => Some(a.wrapping_mul(b)),
+            BinOp::UDiv => {
+                let (a, b) = (ty.truncate(a), ty.truncate(b));
+                if b == 0 {
+                    return Err(Stop::Ub(UbReason::DivisionByZero));
+                }
+                Some(a / b)
+            }
+            BinOp::SDiv => {
+                let (sa, sb) = (ty.sext(a), ty.sext(b));
+                if sb == 0 || (sa == ty.sext(1u64 << (bits - 1)) && sb == -1) {
+                    return Err(Stop::Ub(UbReason::DivisionByZero));
+                }
+                Some((sa / sb) as u64)
+            }
+            BinOp::URem => {
+                let (a, b) = (ty.truncate(a), ty.truncate(b));
+                if b == 0 {
+                    return Err(Stop::Ub(UbReason::DivisionByZero));
+                }
+                Some(a % b)
+            }
+            BinOp::SRem => {
+                let (sa, sb) = (ty.sext(a), ty.sext(b));
+                if sb == 0 || (sa == ty.sext(1u64 << (bits - 1)) && sb == -1) {
+                    return Err(Stop::Ub(UbReason::DivisionByZero));
+                }
+                Some((sa % sb) as u64)
+            }
+            BinOp::Shl => {
+                let amt = ty.truncate(b);
+                if amt >= bits as u64 {
+                    None
+                } else {
+                    Some(a << amt)
+                }
+            }
+            BinOp::LShr => {
+                let amt = ty.truncate(b);
+                if amt >= bits as u64 {
+                    None
+                } else {
+                    Some(ty.truncate(a) >> amt)
+                }
+            }
+            BinOp::AShr => {
+                let amt = ty.truncate(b);
+                if amt >= bits as u64 {
+                    None
+                } else {
+                    Some((ty.sext(a) >> amt) as u64)
+                }
+            }
+            BinOp::And => Some(a & b),
+            BinOp::Or => Some(a | b),
+            BinOp::Xor => Some(a ^ b),
+        };
+        Ok(match out {
+            Some(v) => Val::Int { ty, bits: ty.truncate(v), tainted },
+            None => Val::Undef(ty), // over-shift
+        })
+    }
+
+    fn icmp_op(&mut self, pred: IcmpPred, ty: Type, a: Val, b: Val) -> Result<Val, Stop> {
+        let tainted = a.is_undef_derived() || b.is_undef_derived();
+        let (Some(a), Some(b)) = (self.force_int(a)?, self.force_int(b)?) else {
+            return Ok(Val::Poison(Type::I1));
+        };
+        let (ua, ub) = (ty.truncate(a), ty.truncate(b));
+        let (sa, sb) = (ty.sext(a), ty.sext(b));
+        let r = match pred {
+            IcmpPred::Eq => ua == ub,
+            IcmpPred::Ne => ua != ub,
+            IcmpPred::Ugt => ua > ub,
+            IcmpPred::Uge => ua >= ub,
+            IcmpPred::Ult => ua < ub,
+            IcmpPred::Ule => ua <= ub,
+            IcmpPred::Sgt => sa > sb,
+            IcmpPred::Sge => sa >= sb,
+            IcmpPred::Slt => sa < sb,
+            IcmpPred::Sle => sa <= sb,
+        };
+        Ok(Val::Int { ty: Type::I1, bits: r as u64, tainted })
+    }
+
+    fn force_ptr(&mut self, v: Val) -> Result<(MemBlockId, i64), Stop> {
+        match self.force(v)? {
+            None => Err(Stop::Ub(UbReason::IndeterminateAddress)),
+            Some(Val::Ptr { block, offset }) => Ok((block, offset)),
+            Some(Val::Undef(_)) => Err(Stop::Ub(UbReason::IndeterminateAddress)),
+            Some(_) => Err(Stop::Ub(UbReason::IndeterminateAddress)),
+        }
+    }
+
+    fn env_return(&mut self, ty: Type) -> Val {
+        let idx = self.events.len() as u64;
+        if ty == Type::Ptr {
+            null_ptr()
+        } else {
+            Val::Int { ty, bits: ty.truncate(splitmix64(self.env_seed ^ idx.wrapping_mul(0x51ED))), tainted: false }
+        }
+    }
+
+    fn burn(&mut self) -> Result<(), Stop> {
+        if self.fuel == 0 {
+            return Err(Stop::OutOfFuel);
+        }
+        self.fuel -= 1;
+        self.steps += 1;
+        Ok(())
+    }
+
+    fn exec_function(&mut self, f: &Function, args: Vec<Val>, depth: u32) -> Result<Option<Val>, Stop> {
+        if depth > self.max_depth {
+            return Err(Stop::OutOfFuel);
+        }
+        let mut frame: HashMap<RegId, Val> = HashMap::new();
+        for ((_, p), a) in f.params.iter().zip(args) {
+            frame.insert(*p, a);
+        }
+        let mut allocas: Vec<MemBlockId> = Vec::new();
+        let mut prev: Option<BlockId> = None;
+        let mut cur = f.entry();
+
+        let ret = 'outer: loop {
+            let block = f.block(cur);
+            // Phi-nodes: simultaneous assignment based on the incoming edge.
+            if !block.phis.is_empty() {
+                let from = prev.ok_or(Stop::Ub(UbReason::MalformedPhi))?;
+                let mut new_vals = Vec::with_capacity(block.phis.len());
+                for (r, phi) in &block.phis {
+                    let v = phi.value_from(from).ok_or(Stop::Ub(UbReason::MalformedPhi))?.clone();
+                    let val = self.operand(&frame, &v)?;
+                    new_vals.push((*r, val));
+                }
+                for (r, v) in new_vals {
+                    frame.insert(r, v);
+                }
+            }
+
+            for stmt in &block.stmts {
+                self.burn()?;
+                let result: Option<Val> = match &stmt.inst {
+                    Inst::Bin { op, ty, lhs, rhs } => {
+                        let a = self.operand(&frame, lhs)?;
+                        let b = self.operand(&frame, rhs)?;
+                        Some(self.bin_op(*op, *ty, a, b)?)
+                    }
+                    Inst::Icmp { pred, ty, lhs, rhs } => {
+                        let a = self.operand(&frame, lhs)?;
+                        let b = self.operand(&frame, rhs)?;
+                        Some(self.icmp_op(*pred, *ty, a, b)?)
+                    }
+                    Inst::Select { ty, cond, on_true, on_false } => {
+                        let c = self.operand(&frame, cond)?;
+                        match self.force(c)? {
+                            None => Some(Val::Poison(*ty)),
+                            Some(v) => {
+                                let taken = v.as_bool().unwrap_or(false);
+                                let pick = if taken { on_true } else { on_false };
+                                Some(self.operand(&frame, pick)?)
+                            }
+                        }
+                    }
+                    Inst::Cast { op, from, val, to } => {
+                        let v = self.operand(&frame, val)?;
+                        Some(self.cast_op(*op, *from, v, *to)?)
+                    }
+                    Inst::Alloca { ty, count } => {
+                        let b = self.mem.alloc(*ty, *count);
+                        allocas.push(b);
+                        Some(Val::Ptr { block: b, offset: 0 })
+                    }
+                    Inst::Load { ty, ptr } => {
+                        let p = self.operand(&frame, ptr)?;
+                        let (b, off) = self.force_ptr(p)?;
+                        match self.mem.load(b, off) {
+                            Ok(v) => Some(if v.ty() != *ty && !matches!(v, Val::Undef(_) | Val::Lazy(_)) {
+                                // Type-punned load: reinterpret as undef.
+                                Val::Undef(*ty)
+                            } else {
+                                v
+                            }),
+                            Err(e) => break 'outer Err(Stop::Ub(UbReason::Memory(e))),
+                        }
+                    }
+                    Inst::Store { val, ptr, .. } => {
+                        let v = self.operand(&frame, val)?;
+                        let p = self.operand(&frame, ptr)?;
+                        let (b, off) = self.force_ptr(p)?;
+                        if let Err(e) = self.mem.store(b, off, v) {
+                            break 'outer Err(Stop::Ub(UbReason::Memory(e)));
+                        }
+                        None
+                    }
+                    Inst::Gep { inbounds, ptr, offset } => {
+                        let p = self.operand(&frame, ptr)?;
+                        let o = self.operand(&frame, offset)?;
+                        let off = match self.force_int(o)? {
+                            Some(v) => Type::I64.sext(v),
+                            None => {
+                                frame_insert(&mut frame, stmt.result, Val::Poison(Type::Ptr));
+                                continue;
+                            }
+                        };
+                        match self.force(p)? {
+                            None => Some(Val::Poison(Type::Ptr)),
+                            Some(Val::Ptr { block, offset: base }) => {
+                                let new_off = base.wrapping_add(off);
+                                if *inbounds {
+                                    let size =
+                                        self.mem.size_of(block).unwrap_or(0) as i64;
+                                    if block == NULL_BLOCK || new_off < 0 || new_off > size {
+                                        Some(Val::Poison(Type::Ptr))
+                                    } else {
+                                        Some(Val::Ptr { block, offset: new_off })
+                                    }
+                                } else {
+                                    Some(Val::Ptr { block, offset: new_off })
+                                }
+                            }
+                            Some(_) => Some(Val::Poison(Type::Ptr)),
+                        }
+                    }
+                    Inst::Call { ret, callee, args } => {
+                        let mut arg_vals = Vec::with_capacity(args.len());
+                        for (_, a) in args {
+                            let v = self.operand(&frame, a)?;
+                            // Argument evaluation consumes lazy constants
+                            // (this is where PR33673's division fires).
+                            let v = match v {
+                                Val::Lazy(c) => self.force_const(&c)?,
+                                other => other,
+                            };
+                            arg_vals.push(v);
+                        }
+                        if let Some(callee_fn) = self.module.function(callee) {
+                            let callee_fn = callee_fn.clone();
+                            self.exec_function(&callee_fn, arg_vals, depth + 1)?
+                        } else if self.module.declare(callee).is_some() {
+                            let ret_val = ret.map(|t| self.env_return(t));
+                            self.events.push(Event {
+                                callee: callee.clone(),
+                                args: arg_vals,
+                                ret: ret_val.clone(),
+                            });
+                            ret_val
+                        } else {
+                            break 'outer Err(Stop::Ub(UbReason::MissingFunction(callee.clone())));
+                        }
+                    }
+                    Inst::Unsupported { feature } => {
+                        // Modelled as an opaque external operation.
+                        let ret_val = self.env_return(Type::I64);
+                        self.events.push(Event {
+                            callee: format!("unsupported.{feature}"),
+                            args: Vec::new(),
+                            ret: Some(ret_val.clone()),
+                        });
+                        Some(ret_val)
+                    }
+                };
+                frame_insert(&mut frame, stmt.result, result.unwrap_or(Val::Undef(Type::I64)));
+                if stmt.result.is_none() {
+                    // store/void call: nothing to record.
+                }
+            }
+
+            self.burn()?;
+            match &block.term {
+                Term::Ret(None) => break Ok(None),
+                Term::Ret(Some((_, v))) => {
+                    let v = self.operand(&frame, v)?;
+                    break Ok(Some(v));
+                }
+                Term::Br(t) => {
+                    prev = Some(cur);
+                    cur = *t;
+                }
+                Term::CondBr { cond, if_true, if_false } => {
+                    let c = self.operand(&frame, cond)?;
+                    match self.force(c)? {
+                        None => break Err(Stop::Ub(UbReason::BranchOnPoison)),
+                        Some(v) => {
+                            let taken = v.as_bool().unwrap_or(false);
+                            prev = Some(cur);
+                            cur = if taken { *if_true } else { *if_false };
+                        }
+                    }
+                }
+                Term::Switch { ty, val, default, cases } => {
+                    let v = self.operand(&frame, val)?;
+                    match self.force(v)? {
+                        None => break Err(Stop::Ub(UbReason::BranchOnPoison)),
+                        Some(v) => {
+                            let bits = v.as_int().map(|b| ty.truncate(b)).unwrap_or(0);
+                            let target =
+                                cases.iter().find(|(c, _)| *c == bits).map(|(_, b)| *b).unwrap_or(*default);
+                            prev = Some(cur);
+                            cur = target;
+                        }
+                    }
+                }
+                Term::Unreachable => break Err(Stop::Ub(UbReason::Unreachable)),
+            }
+        };
+
+        for b in allocas {
+            self.mem.free(b);
+        }
+        ret
+    }
+}
+
+fn frame_insert(frame: &mut HashMap<RegId, Val>, r: Option<RegId>, v: Val) {
+    if let Some(r) = r {
+        frame.insert(r, v);
+    }
+}
+
+impl Machine<'_> {
+    fn cast_op(&mut self, op: CastOp, from: Type, v: Val, to: Type) -> Result<Val, Stop> {
+        let tainted = v.is_undef_derived();
+        match op {
+            CastOp::Bitcast => Ok(v),
+            CastOp::Trunc => match self.force_int(v)? {
+                None => Ok(Val::Poison(to)),
+                Some(bits) => Ok(Val::Int { ty: to, bits: to.truncate(bits), tainted }),
+            },
+            CastOp::Zext => match self.force_int(v)? {
+                None => Ok(Val::Poison(to)),
+                Some(bits) => Ok(Val::Int { ty: to, bits: from.truncate(bits), tainted }),
+            },
+            CastOp::Sext => match self.force_int(v)? {
+                None => Ok(Val::Poison(to)),
+                Some(bits) => Ok(Val::Int { ty: to, bits: to.truncate(from.sext(bits) as u64), tainted }),
+            },
+            CastOp::PtrToInt => match self.force(v)? {
+                None => Ok(Val::Poison(to)),
+                Some(Val::Ptr { block, offset }) => {
+                    let addr = if block == NULL_BLOCK {
+                        (offset as u64).wrapping_mul(crate::mem::SLOT_SIZE)
+                    } else {
+                        Memory::address_of(block, offset)
+                    };
+                    Ok(Val::Int { ty: to, bits: to.truncate(addr), tainted })
+                }
+                Some(_) => Ok(Val::Undef(to)),
+            },
+            CastOp::IntToPtr => match self.force_int(v)? {
+                None => Ok(Val::Poison(Type::Ptr)),
+                Some(bits) => {
+                    if bits == 0 {
+                        Ok(null_ptr())
+                    } else {
+                        match self.mem.pointer_of(bits) {
+                            Some((b, off)) => Ok(Val::Ptr { block: b, offset: off }),
+                            None => Ok(Val::Poison(Type::Ptr)),
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Run a named function with the given arguments.
+///
+/// Never panics on malformed input: errors surface as [`End::Ub`].
+pub fn run_function(module: &Module, name: &str, args: Vec<Val>, config: &RunConfig) -> RunResult {
+    let mut machine = Machine::new(module, config);
+    let Some(f) = module.function(name) else {
+        return RunResult {
+            events: Vec::new(),
+            end: End::Ub(UbReason::MissingFunction(name.to_string())),
+            steps: 0,
+        };
+    };
+    let f = f.clone();
+    let r = machine.exec_function(&f, args, 0);
+    let end = match r {
+        Ok(v) => End::Ret(v),
+        Err(Stop::Ub(u)) => End::Ub(u),
+        Err(Stop::OutOfFuel) => End::OutOfFuel,
+    };
+    RunResult { events: machine.events, end, steps: machine.steps }
+}
+
+/// Run `@main` with no arguments.
+pub fn run_main(module: &Module, config: &RunConfig) -> RunResult {
+    run_function(module, "main", Vec::new(), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crellvm_ir::parse_module;
+
+    fn run(src: &str) -> RunResult {
+        let m = parse_module(src).expect("parse");
+        crellvm_ir::verify_module(&m).expect("verify");
+        run_main(&m, &RunConfig::default())
+    }
+
+    #[test]
+    fn arithmetic_and_events() {
+        let r = run(
+            r#"
+            declare @print(i32)
+            define @main() {
+            entry:
+              %x = add i32 40, 2
+              %y = mul i32 %x, 2
+              call void @print(i32 %y)
+              ret void
+            }
+            "#,
+        );
+        assert_eq!(r.end, End::Ret(None));
+        assert_eq!(r.events.len(), 1);
+        assert_eq!(r.events[0].args, vec![Val::int(Type::I32, 84)]);
+    }
+
+    #[test]
+    fn division_by_zero_is_ub() {
+        let r = run(
+            r#"
+            define @main() -> i32 {
+            entry:
+              %x = sdiv i32 1, 0
+              ret i32 %x
+            }
+            "#,
+        );
+        assert_eq!(r.end, End::Ub(UbReason::DivisionByZero));
+    }
+
+    #[test]
+    fn signed_overflow_division_is_ub() {
+        let r = run(
+            r#"
+            define @main() -> i32 {
+            entry:
+              %min = shl i32 1, 31
+              %x = sdiv i32 %min, -1
+              ret i32 %x
+            }
+            "#,
+        );
+        assert_eq!(r.end, End::Ub(UbReason::DivisionByZero));
+    }
+
+    #[test]
+    fn memory_roundtrip_and_oob() {
+        let r = run(
+            r#"
+            declare @print(i32)
+            define @main() {
+            entry:
+              %p = alloca i32, 2
+              store i32 7, ptr %p
+              %q = gep ptr %p, i64 1
+              store i32 8, ptr %q
+              %a = load i32, ptr %p
+              %b = load i32, ptr %q
+              %s = add i32 %a, %b
+              call void @print(i32 %s)
+              ret void
+            }
+            "#,
+        );
+        assert_eq!(r.events[0].args, vec![Val::int(Type::I32, 15)]);
+
+        let r = run(
+            r#"
+            define @main() {
+            entry:
+              %p = alloca i32, 2
+              %q = gep ptr %p, i64 5
+              store i32 8, ptr %q
+              ret void
+            }
+            "#,
+        );
+        assert!(matches!(r.end, End::Ub(UbReason::Memory(_))));
+    }
+
+    #[test]
+    fn inbounds_gep_oob_is_poison_and_observable() {
+        // Out-of-bounds inbounds-gep poisons the pointer; passing it to an
+        // external call records the poison in the event.
+        let r = run(
+            r#"
+            declare @sink(ptr)
+            define @main() {
+            entry:
+              %p = alloca i32, 2
+              %q = gep inbounds ptr %p, i64 10
+              call void @sink(ptr %q)
+              ret void
+            }
+            "#,
+        );
+        assert_eq!(r.end, End::Ret(None));
+        assert!(matches!(r.events[0].args[0], Val::Poison(_)));
+
+        // Non-inbounds gep with the same offset stays a concrete pointer.
+        let r = run(
+            r#"
+            declare @sink(ptr)
+            define @main() {
+            entry:
+              %p = alloca i32, 2
+              %q = gep ptr %p, i64 10
+              call void @sink(ptr %q)
+              ret void
+            }
+            "#,
+        );
+        assert!(matches!(r.events[0].args[0], Val::Ptr { .. }));
+    }
+
+    #[test]
+    fn lazy_trapping_constexpr_traps_only_when_consumed() {
+        // Storing / loading the constexpr is fine; using it as a call
+        // argument traps (PR33673 semantics).
+        let stored = run(
+            r#"
+            global @G : i32[1]
+            define @main() {
+            entry:
+              %p = alloca i32
+              store i32 sdiv(i32 1, sub(i32 ptrtoint(@G to i32), ptrtoint(@G to i32))), ptr %p
+              ret void
+            }
+            "#,
+        );
+        assert_eq!(stored.end, End::Ret(None));
+
+        let consumed = run(
+            r#"
+            global @G : i32[1]
+            declare @print(i32)
+            define @main() {
+            entry:
+              call void @print(i32 sdiv(i32 1, sub(i32 ptrtoint(@G to i32), ptrtoint(@G to i32))))
+              ret void
+            }
+            "#,
+        );
+        assert_eq!(consumed.end, End::Ub(UbReason::TrappingConstant));
+    }
+
+    #[test]
+    fn uninitialized_load_is_undef_resolved_by_policy() {
+        let r = run(
+            r#"
+            declare @print(i32)
+            define @main() {
+            entry:
+              %p = alloca i32
+              %a = load i32, ptr %p
+              %b = add i32 %a, 1
+              call void @print(i32 %b)
+              ret void
+            }
+            "#,
+        );
+        // Policy Zero: undef + 1 == 1, marked as undef-derived.
+        assert_eq!(r.events[0].args, vec![Val::tainted_int(Type::I32, 1)]);
+        assert!(r.events[0].args[0].is_undef_derived());
+    }
+
+    #[test]
+    fn loops_and_phis() {
+        let r = run(
+            r#"
+            declare @print(i32)
+            define @main() {
+            entry:
+              br label loop
+            loop:
+              %i = phi i32 [ 0, entry ], [ %i2, loop ]
+              call void @print(i32 %i)
+              %i2 = add i32 %i, 1
+              %c = icmp slt i32 %i2, 3
+              br i1 %c, label loop, label exit
+            exit:
+              ret void
+            }
+            "#,
+        );
+        let args: Vec<_> = r.events.iter().map(|e| e.args[0].clone()).collect();
+        assert_eq!(args, vec![Val::int(Type::I32, 0), Val::int(Type::I32, 1), Val::int(Type::I32, 2)]);
+    }
+
+    #[test]
+    fn simultaneous_phi_assignment() {
+        // Classic swap: w gets the OLD value of z (paper §4).
+        let r = run(
+            r#"
+            declare @print(i32)
+            define @main() {
+            entry:
+              br label b2
+            b2:
+              %z = phi i32 [ 1, entry ], [ %z2, b2 ]
+              %w = phi i32 [ 42, entry ], [ %z, b2 ]
+              call void @print(i32 %w)
+              %z2 = add i32 %z, 10
+              %c = icmp slt i32 %z2, 25
+              br i1 %c, label b2, label exit
+            exit:
+              ret void
+            }
+            "#,
+        );
+        let args: Vec<_> = r.events.iter().map(|e| e.args[0].clone()).collect();
+        // Iter 1: w=42 (init). Iter 2: w=old z=1. Iter 3: w=old z=11.
+        assert_eq!(args, vec![Val::int(Type::I32, 42), Val::int(Type::I32, 1), Val::int(Type::I32, 11)]);
+    }
+
+    #[test]
+    fn internal_calls_and_extern_returns_deterministic() {
+        let src = r#"
+            declare @get() -> i32
+            declare @print(i32)
+            define @double(i32 %x) -> i32 {
+            entry:
+              %y = add i32 %x, %x
+              ret i32 %y
+            }
+            define @main() {
+            entry:
+              %g = call i32 @get()
+              %d = call i32 @double(i32 %g)
+              call void @print(i32 %d)
+              ret void
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        let r1 = run_main(&m, &RunConfig::default());
+        let r2 = run_main(&m, &RunConfig::default());
+        assert_eq!(r1, r2);
+        assert_eq!(r1.events.len(), 2);
+        let g = r1.events[0].ret.clone().unwrap().as_int().unwrap();
+        let printed = r1.events[1].args[0].as_int().unwrap();
+        assert_eq!(Type::I32.truncate(g.wrapping_mul(2)), printed);
+    }
+
+    #[test]
+    fn alloca_freed_after_return() {
+        let r = run(
+            r#"
+            define @leak() -> ptr {
+            entry:
+              %p = alloca i32
+              ret ptr %p
+            }
+            define @main() {
+            entry:
+              %p = call ptr @leak()
+              store i32 1, ptr %p
+              ret void
+            }
+            "#,
+        );
+        assert!(matches!(r.end, End::Ub(UbReason::Memory(_))));
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let r = run(
+            r#"
+            define @main() {
+            entry:
+              br label loop
+            loop:
+              br label loop
+            }
+            "#,
+        );
+        assert_eq!(r.end, End::OutOfFuel);
+    }
+
+    #[test]
+    fn unreachable_is_ub() {
+        let r = run("define @main() {\nentry:\n  unreachable\n}\n");
+        assert_eq!(r.end, End::Ub(UbReason::Unreachable));
+    }
+
+    #[test]
+    fn switch_dispatch() {
+        let r = run(
+            r#"
+            declare @print(i32)
+            define @main() {
+            entry:
+              switch i32 2, label d [ 1: a, 2: b ]
+            a:
+              call void @print(i32 10)
+              ret void
+            b:
+              call void @print(i32 20)
+              ret void
+            d:
+              call void @print(i32 30)
+              ret void
+            }
+            "#,
+        );
+        assert_eq!(r.events[0].args, vec![Val::int(Type::I32, 20)]);
+    }
+
+    #[test]
+    fn globals_initialized() {
+        let r = run(
+            r#"
+            global @G : i32[1] = 11
+            declare @print(i32)
+            define @main() {
+            entry:
+              %a = load i32, ptr @G
+              call void @print(i32 %a)
+              ret void
+            }
+            "#,
+        );
+        assert_eq!(r.events[0].args, vec![Val::int(Type::I32, 11)]);
+    }
+
+    #[test]
+    fn ptr_int_casts_roundtrip() {
+        let r = run(
+            r#"
+            declare @print(i32)
+            define @main() {
+            entry:
+              %p = alloca i32, 4
+              %q = gep ptr %p, i64 2
+              store i32 9, ptr %q
+              %i = ptrtoint ptr %q to i64
+              %q2 = inttoptr i64 %i to ptr
+              %a = load i32, ptr %q2
+              call void @print(i32 %a)
+              ret void
+            }
+            "#,
+        );
+        assert_eq!(r.events[0].args, vec![Val::int(Type::I32, 9)]);
+    }
+}

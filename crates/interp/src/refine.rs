@@ -1,0 +1,310 @@
+//! Behaviour-refinement checking between two runs.
+//!
+//! The paper's top-level soundness statement is
+//! `Beh(src) ⊇ Beh(tgt)` (§5). For concrete differential runs this crate
+//! checks the corresponding *trace* condition:
+//!
+//! * every event the target emits must match the source's event, where a
+//!   source `undef`/poison argument licenses any target value, but a
+//!   target `undef`/poison where the source was concrete is a violation;
+//! * pointer arguments are compared up to a memory-injection-style
+//!   bijection built on the fly (allocation numbering may differ after a
+//!   pass removes allocas);
+//! * once the source hits undefined behaviour, the target may do anything
+//!   *after* the matching prefix;
+//! * a run that ends in [`End::OutOfFuel`] is inconclusive and never fails
+//!   refinement by itself.
+
+use crate::exec::{End, RunResult, NULL_BLOCK};
+use crate::mem::MemBlockId;
+use crate::value::Val;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A refinement violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefineError {
+    /// The `i`-th events call different functions.
+    CalleeMismatch {
+        /// Event index.
+        index: usize,
+        /// Source callee.
+        src: String,
+        /// Target callee.
+        tgt: String,
+    },
+    /// The `i`-th events disagree on an argument.
+    ArgMismatch {
+        /// Event index.
+        index: usize,
+        /// Argument index.
+        arg: usize,
+        /// Source value.
+        src: Val,
+        /// Target value.
+        tgt: Val,
+    },
+    /// The target emitted fewer/more events than a source that terminated
+    /// normally.
+    EventCountMismatch {
+        /// Source event count.
+        src: usize,
+        /// Target event count.
+        tgt: usize,
+    },
+    /// Final statuses are incompatible.
+    EndMismatch {
+        /// Source end.
+        src: End,
+        /// Target end.
+        tgt: End,
+    },
+    /// Return values of the entry function are incompatible.
+    RetMismatch {
+        /// Source value.
+        src: Option<Val>,
+        /// Target value.
+        tgt: Option<Val>,
+    },
+}
+
+impl fmt::Display for RefineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefineError::CalleeMismatch { index, src, tgt } => {
+                write!(f, "event {index}: source calls @{src} but target calls @{tgt}")
+            }
+            RefineError::ArgMismatch { index, arg, src, tgt } => {
+                write!(f, "event {index}, argument {arg}: source passes {src} but target passes {tgt}")
+            }
+            RefineError::EventCountMismatch { src, tgt } => {
+                write!(f, "source emitted {src} events but target emitted {tgt}")
+            }
+            RefineError::EndMismatch { src, tgt } => {
+                write!(f, "incompatible endings: source {src:?}, target {tgt:?}")
+            }
+            RefineError::RetMismatch { src, tgt } => {
+                write!(f, "return values differ: source {src:?}, target {tgt:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefineError {}
+
+#[derive(Default)]
+struct PtrMap {
+    fwd: HashMap<MemBlockId, MemBlockId>,
+    bwd: HashMap<MemBlockId, MemBlockId>,
+}
+
+impl PtrMap {
+    fn relate(&mut self, s: MemBlockId, t: MemBlockId) -> bool {
+        if s == NULL_BLOCK || t == NULL_BLOCK {
+            return s == t;
+        }
+        match (self.fwd.get(&s), self.bwd.get(&t)) {
+            (None, None) => {
+                self.fwd.insert(s, t);
+                self.bwd.insert(t, s);
+                true
+            }
+            (Some(&t2), Some(&s2)) => t2 == t && s2 == s,
+            _ => false,
+        }
+    }
+}
+
+fn val_refines(src: &Val, tgt: &Val, map: &mut PtrMap) -> bool {
+    match (src, tgt) {
+        // Source indeterminate (or derived from undef): any target
+        // behaviour is allowed — the source admits every resolution.
+        (s, _) if s.is_undef_derived() => true,
+        // Target indeterminate where source was concrete: violation.
+        (_, t) if t.is_undef_derived() => false,
+        (Val::Int { ty: ta, bits: a, .. }, Val::Int { ty: tb, bits: b, .. }) => ta == tb && a == b,
+        (Val::Ptr { block: bs, offset: os }, Val::Ptr { block: bt, offset: ot }) => {
+            os == ot && map.relate(*bs, *bt)
+        }
+        (Val::Lazy(a), Val::Lazy(b)) => a == b,
+        _ => false,
+    }
+}
+
+/// Check that `tgt` refines `src`.
+///
+/// # Errors
+///
+/// Returns the first [`RefineError`] discovered; `Ok(())` means the target
+/// trace is among the behaviours the source admits (or the comparison was
+/// inconclusive due to fuel exhaustion).
+pub fn check_refinement(src: &RunResult, tgt: &RunResult) -> Result<(), RefineError> {
+    let mut map = PtrMap::default();
+    let common = src.events.len().min(tgt.events.len());
+    for i in 0..common {
+        let (es, et) = (&src.events[i], &tgt.events[i]);
+        if es.callee != et.callee {
+            return Err(RefineError::CalleeMismatch { index: i, src: es.callee.clone(), tgt: et.callee.clone() });
+        }
+        if es.args.len() != et.args.len() {
+            return Err(RefineError::ArgMismatch {
+                index: i,
+                arg: es.args.len().min(et.args.len()),
+                src: Val::Undef(crellvm_ir::Type::Void),
+                tgt: Val::Undef(crellvm_ir::Type::Void),
+            });
+        }
+        for (j, (a, b)) in es.args.iter().zip(&et.args).enumerate() {
+            if !val_refines(a, b, &mut map) {
+                return Err(RefineError::ArgMismatch { index: i, arg: j, src: a.clone(), tgt: b.clone() });
+            }
+        }
+    }
+
+    match (&src.end, &tgt.end) {
+        // Inconclusive runs never fail beyond prefix checking.
+        (End::OutOfFuel, _) | (_, End::OutOfFuel) => Ok(()),
+        // Source UB: target needed to match only the source prefix, which
+        // we already checked; but the target must have *produced* that
+        // prefix in full.
+        (End::Ub(_), _) => {
+            if tgt.events.len() >= src.events.len() {
+                Ok(())
+            } else {
+                Err(RefineError::EventCountMismatch { src: src.events.len(), tgt: tgt.events.len() })
+            }
+        }
+        (End::Ret(vs), End::Ret(vt)) => {
+            if src.events.len() != tgt.events.len() {
+                return Err(RefineError::EventCountMismatch { src: src.events.len(), tgt: tgt.events.len() });
+            }
+            match (vs, vt) {
+                (None, None) => Ok(()),
+                (Some(a), Some(b)) => {
+                    if val_refines(a, b, &mut map) {
+                        Ok(())
+                    } else {
+                        Err(RefineError::RetMismatch { src: vs.clone(), tgt: vt.clone() })
+                    }
+                }
+                _ => Err(RefineError::RetMismatch { src: vs.clone(), tgt: vt.clone() }),
+            }
+        }
+        (End::Ret(_), End::Ub(_)) => {
+            Err(RefineError::EndMismatch { src: src.end.clone(), tgt: tgt.end.clone() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::exec::UbReason;
+    use crellvm_ir::Type;
+
+    fn run_of(events: Vec<Event>, end: End) -> RunResult {
+        RunResult { events, end, steps: 0 }
+    }
+
+    fn ev(callee: &str, args: Vec<Val>) -> Event {
+        Event { callee: callee.into(), args, ret: None }
+    }
+
+    #[test]
+    fn identical_traces_refine() {
+        let r = run_of(vec![ev("p", vec![Val::int(Type::I32, 1)])], End::Ret(None));
+        assert_eq!(check_refinement(&r, &r), Ok(()));
+    }
+
+    #[test]
+    fn src_undef_licenses_anything() {
+        let s = run_of(vec![ev("p", vec![Val::Undef(Type::I32)])], End::Ret(None));
+        let t = run_of(vec![ev("p", vec![Val::int(Type::I32, 99)])], End::Ret(None));
+        assert_eq!(check_refinement(&s, &t), Ok(()));
+    }
+
+    #[test]
+    fn tgt_undef_where_src_concrete_fails() {
+        let s = run_of(vec![ev("p", vec![Val::int(Type::I32, 42)])], End::Ret(None));
+        let t = run_of(vec![ev("p", vec![Val::Undef(Type::I32)])], End::Ret(None));
+        assert!(matches!(check_refinement(&s, &t), Err(RefineError::ArgMismatch { .. })));
+    }
+
+    #[test]
+    fn tgt_poison_where_src_concrete_fails() {
+        let b = MemBlockId::from_raw(3);
+        let s = run_of(vec![ev("p", vec![Val::Ptr { block: b, offset: 12 }])], End::Ret(None));
+        let t = run_of(vec![ev("p", vec![Val::Poison(Type::Ptr)])], End::Ret(None));
+        assert!(check_refinement(&s, &t).is_err());
+    }
+
+    #[test]
+    fn pointer_bijection_is_enforced() {
+        let (a, b, c) = (MemBlockId::from_raw(1), MemBlockId::from_raw(2), MemBlockId::from_raw(9));
+        // src passes blocks (a, a); tgt passes (c, c): consistent renaming.
+        let s = run_of(
+            vec![ev("p", vec![Val::Ptr { block: a, offset: 0 }, Val::Ptr { block: a, offset: 1 }])],
+            End::Ret(None),
+        );
+        let t = run_of(
+            vec![ev("p", vec![Val::Ptr { block: c, offset: 0 }, Val::Ptr { block: c, offset: 1 }])],
+            End::Ret(None),
+        );
+        assert_eq!(check_refinement(&s, &t), Ok(()));
+
+        // src passes (a, b); tgt passes (c, c): NOT injective.
+        let s = run_of(
+            vec![ev("p", vec![Val::Ptr { block: a, offset: 0 }, Val::Ptr { block: b, offset: 0 }])],
+            End::Ret(None),
+        );
+        assert!(check_refinement(&s, &t).is_err());
+    }
+
+    #[test]
+    fn src_ub_allows_target_divergence_after_prefix() {
+        let s = run_of(vec![ev("p", vec![Val::bool(true)])], End::Ub(UbReason::DivisionByZero));
+        let t = run_of(
+            vec![ev("p", vec![Val::bool(true)]), ev("q", vec![])],
+            End::Ret(None),
+        );
+        assert_eq!(check_refinement(&s, &t), Ok(()));
+
+        // ... but the prefix itself must match.
+        let t_bad = run_of(vec![ev("q", vec![])], End::Ret(None));
+        assert!(check_refinement(&s, &t_bad).is_err());
+    }
+
+    #[test]
+    fn tgt_ub_where_src_returns_fails() {
+        let s = run_of(vec![], End::Ret(None));
+        let t = run_of(vec![], End::Ub(UbReason::DivisionByZero));
+        assert!(matches!(check_refinement(&s, &t), Err(RefineError::EndMismatch { .. })));
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_inconclusive() {
+        let s = run_of(vec![ev("p", vec![])], End::OutOfFuel);
+        let t = run_of(vec![ev("p", vec![]), ev("p", vec![])], End::Ret(None));
+        assert_eq!(check_refinement(&s, &t), Ok(()));
+    }
+
+    #[test]
+    fn event_count_mismatch_on_normal_return() {
+        let s = run_of(vec![ev("p", vec![])], End::Ret(None));
+        let t = run_of(vec![], End::Ret(None));
+        assert!(matches!(check_refinement(&s, &t), Err(RefineError::EventCountMismatch { .. })));
+    }
+
+    #[test]
+    fn return_value_compared() {
+        let s = run_of(vec![], End::Ret(Some(Val::int(Type::I32, 1))));
+        let t = run_of(vec![], End::Ret(Some(Val::int(Type::I32, 2))));
+        assert!(matches!(check_refinement(&s, &t), Err(RefineError::RetMismatch { .. })));
+        let t_ok = run_of(vec![], End::Ret(Some(Val::int(Type::I32, 1))));
+        assert_eq!(check_refinement(&s, &t_ok), Ok(()));
+        // undef return in source admits anything.
+        let s_undef = run_of(vec![], End::Ret(Some(Val::Undef(Type::I32))));
+        assert_eq!(check_refinement(&s_undef, &t), Ok(()));
+    }
+}

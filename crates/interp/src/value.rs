@@ -1,0 +1,126 @@
+//! Runtime values.
+
+use crate::mem::MemBlockId;
+use crellvm_ir::{Const, Type};
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Val {
+    /// Bit-accurate integer of a given width.
+    Int {
+        /// Integer type.
+        ty: Type,
+        /// Bit pattern (only the low `ty.bits()` bits are significant).
+        bits: u64,
+        /// Was this value derived (via the [`crate::UndefPolicy`]) from an
+        /// `undef`/poison input? Tainted values are treated like `undef` by
+        /// the refinement checker: a tainted source value licenses any
+        /// target value, because the source admits every resolution.
+        tainted: bool,
+    },
+    /// Pointer into a memory block.
+    Ptr {
+        /// The memory block.
+        block: MemBlockId,
+        /// Slot offset within the block (may be out of bounds).
+        offset: i64,
+    },
+    /// The completely undefined value.
+    Undef(Type),
+    /// Poison (deferred undefined behaviour); produced by out-of-bounds
+    /// `gep inbounds`.
+    Poison(Type),
+    /// An unevaluated (possibly trapping) constant expression, kept
+    /// symbolic through stores and loads.
+    Lazy(Const),
+}
+
+impl Val {
+    /// Integer value constructor (truncates to width).
+    pub fn int(ty: Type, v: i64) -> Val {
+        Val::Int { ty, bits: ty.truncate(v as u64), tainted: false }
+    }
+
+    /// Integer constructor for undef-derived values.
+    pub fn tainted_int(ty: Type, bits: u64) -> Val {
+        Val::Int { ty, bits: ty.truncate(bits), tainted: true }
+    }
+
+    /// Is this value `undef`, poison, or an integer derived from them?
+    pub fn is_undef_derived(&self) -> bool {
+        matches!(self, Val::Undef(_) | Val::Poison(_) | Val::Int { tainted: true, .. })
+    }
+
+    /// Boolean (`i1`) constructor.
+    pub fn bool(b: bool) -> Val {
+        Val::int(Type::I1, b as i64)
+    }
+
+    /// The static type of the value, if it has one (pointers and lazy
+    /// constants report [`Type::Ptr`] / their constant type).
+    pub fn ty(&self) -> Type {
+        match self {
+            Val::Int { ty, .. } => *ty,
+            Val::Ptr { .. } => Type::Ptr,
+            Val::Undef(ty) | Val::Poison(ty) => *ty,
+            Val::Lazy(c) => c.ty(),
+        }
+    }
+
+    /// Is the value `undef` or poison (i.e. nondeterministic when
+    /// observed)?
+    pub fn is_indeterminate(&self) -> bool {
+        matches!(self, Val::Undef(_) | Val::Poison(_))
+    }
+
+    /// Extract the integer bits, if this is a concrete integer.
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            Val::Int { bits, .. } => Some(*bits),
+            _ => None,
+        }
+    }
+
+    /// Extract a concrete boolean, if this is a concrete `i1`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Val::Int { ty: Type::I1, bits, .. } => Some(*bits != 0),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Int { ty, bits, tainted } => {
+                write!(f, "{}:{ty}{}", ty.sext(*bits), if *tainted { "?" } else { "" })
+            }
+            Val::Ptr { block, offset } => write!(f, "&{block}[{offset}]"),
+            Val::Undef(ty) => write!(f, "undef:{ty}"),
+            Val::Poison(ty) => write!(f, "poison:{ty}"),
+            Val::Lazy(c) => write!(f, "lazy({c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_truncate() {
+        assert_eq!(Val::int(Type::I8, 257), Val::Int { ty: Type::I8, bits: 1, tainted: false });
+        assert_eq!(Val::bool(true).as_bool(), Some(true));
+        assert_eq!(Val::int(Type::I32, -1).as_int(), Some(0xffff_ffff));
+    }
+
+    #[test]
+    fn indeterminates() {
+        assert!(Val::Undef(Type::I32).is_indeterminate());
+        assert!(Val::Poison(Type::Ptr).is_indeterminate());
+        assert!(!Val::int(Type::I1, 0).is_indeterminate());
+        assert!(!Val::Lazy(Const::int(Type::I32, 3)).is_indeterminate());
+    }
+}

@@ -1,0 +1,269 @@
+//! Ergonomic programmatic construction of functions.
+
+use crate::constant::Const;
+use crate::function::{Block, BlockId, Function, Phi, RegId, Stmt};
+use crate::inst::{BinOp, CastOp, IcmpPred, Inst, Term};
+use crate::types::Type;
+use crate::value::Value;
+
+/// Builds a [`Function`] block by block.
+///
+/// # Example
+///
+/// ```
+/// use crellvm_ir::{FunctionBuilder, Type, BinOp};
+///
+/// let mut b = FunctionBuilder::new("inc", Some(Type::I32));
+/// let n = b.param(Type::I32, "n");
+/// let entry = b.block("entry");
+/// b.switch_to(entry);
+/// let x = b.bin("x", BinOp::Add, Type::I32, n, 1i64);
+/// b.ret(Type::I32, x);
+/// let f = b.finish();
+/// assert_eq!(f.stmt_count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: Option<BlockId>,
+}
+
+/// Anything convertible to an operand in builder calls: a register, a
+/// constant, or a plain `i64` (which becomes an integer constant whose type
+/// is taken from the instruction).
+pub trait IntoOperand {
+    /// Convert to a [`Value`], given the expected type.
+    fn into_operand(self, ty: Type) -> Value;
+}
+
+impl IntoOperand for Value {
+    fn into_operand(self, _ty: Type) -> Value {
+        self
+    }
+}
+
+impl IntoOperand for RegId {
+    fn into_operand(self, _ty: Type) -> Value {
+        Value::Reg(self)
+    }
+}
+
+impl IntoOperand for Const {
+    fn into_operand(self, _ty: Type) -> Value {
+        Value::Const(self)
+    }
+}
+
+impl IntoOperand for i64 {
+    fn into_operand(self, ty: Type) -> Value {
+        Value::int(ty, self)
+    }
+}
+
+impl IntoOperand for &Value {
+    fn into_operand(self, _ty: Type) -> Value {
+        self.clone()
+    }
+}
+
+impl FunctionBuilder {
+    /// Start building a function.
+    pub fn new(name: impl Into<String>, ret: Option<Type>) -> FunctionBuilder {
+        FunctionBuilder { func: Function::new(name, ret), current: None }
+    }
+
+    /// Add a parameter.
+    pub fn param(&mut self, ty: Type, name: &str) -> RegId {
+        self.func.add_param(ty, name)
+    }
+
+    /// Create an empty block (does not switch to it).
+    pub fn block(&mut self, name: &str) -> BlockId {
+        self.func.add_block(Block::new(name))
+    }
+
+    /// Make `b` the insertion point.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.current = Some(b);
+    }
+
+    /// Create a block and immediately switch to it.
+    pub fn start_block(&mut self, name: &str) -> BlockId {
+        let b = self.block(name);
+        self.switch_to(b);
+        b
+    }
+
+    fn cur(&mut self) -> &mut Block {
+        let id = self.current.expect("FunctionBuilder: no current block");
+        self.func.block_mut(id)
+    }
+
+    /// Append a raw statement to the current block.
+    pub fn push(&mut self, result: Option<RegId>, inst: Inst) {
+        self.cur().stmts.push(Stmt { result, inst });
+    }
+
+    /// Append an instruction producing a fresh register named `name`.
+    pub fn inst(&mut self, name: &str, inst: Inst) -> RegId {
+        let r = self.func.fresh_reg(name);
+        self.push(Some(r), inst);
+        r
+    }
+
+    /// Append a phi-node to the current block.
+    pub fn phi(&mut self, name: &str, ty: Type, incoming: Vec<(BlockId, Value)>) -> RegId {
+        let r = self.func.fresh_reg(name);
+        let id = self.current.expect("FunctionBuilder: no current block");
+        self.func
+            .block_mut(id)
+            .phis
+            .push((r, Phi { ty, incoming: incoming.into_iter().map(|(b, v)| (b, Some(v))).collect() }));
+        r
+    }
+
+    /// Binary operation.
+    pub fn bin(&mut self, name: &str, op: BinOp, ty: Type, lhs: impl IntoOperand, rhs: impl IntoOperand) -> RegId {
+        let (lhs, rhs) = (lhs.into_operand(ty), rhs.into_operand(ty));
+        self.inst(name, Inst::Bin { op, ty, lhs, rhs })
+    }
+
+    /// Integer comparison.
+    pub fn icmp(&mut self, name: &str, pred: IcmpPred, ty: Type, lhs: impl IntoOperand, rhs: impl IntoOperand) -> RegId {
+        let (lhs, rhs) = (lhs.into_operand(ty), rhs.into_operand(ty));
+        self.inst(name, Inst::Icmp { pred, ty, lhs, rhs })
+    }
+
+    /// Select.
+    pub fn select(&mut self, name: &str, ty: Type, cond: impl IntoOperand, t: impl IntoOperand, f: impl IntoOperand) -> RegId {
+        let cond = cond.into_operand(Type::I1);
+        let (t, f) = (t.into_operand(ty), f.into_operand(ty));
+        self.inst(name, Inst::Select { ty, cond, on_true: t, on_false: f })
+    }
+
+    /// Cast.
+    pub fn cast(&mut self, name: &str, op: CastOp, from: Type, val: impl IntoOperand, to: Type) -> RegId {
+        let val = val.into_operand(from);
+        self.inst(name, Inst::Cast { op, from, val, to })
+    }
+
+    /// Stack allocation of `count` slots of `ty`.
+    pub fn alloca(&mut self, name: &str, ty: Type, count: u64) -> RegId {
+        self.inst(name, Inst::Alloca { ty, count })
+    }
+
+    /// Load.
+    pub fn load(&mut self, name: &str, ty: Type, ptr: impl IntoOperand) -> RegId {
+        let ptr = ptr.into_operand(Type::Ptr);
+        self.inst(name, Inst::Load { ty, ptr })
+    }
+
+    /// Store (no result).
+    pub fn store(&mut self, ty: Type, val: impl IntoOperand, ptr: impl IntoOperand) {
+        let val = val.into_operand(ty);
+        let ptr = ptr.into_operand(Type::Ptr);
+        self.push(None, Inst::Store { ty, val, ptr });
+    }
+
+    /// Pointer offset computation.
+    pub fn gep(&mut self, name: &str, inbounds: bool, ptr: impl IntoOperand, offset: impl IntoOperand) -> RegId {
+        let ptr = ptr.into_operand(Type::Ptr);
+        let offset = offset.into_operand(Type::I64);
+        self.inst(name, Inst::Gep { inbounds, ptr, offset })
+    }
+
+    /// Call with a result.
+    pub fn call(&mut self, name: &str, ret: Type, callee: &str, args: Vec<(Type, Value)>) -> RegId {
+        self.inst(name, Inst::Call { ret: Some(ret), callee: callee.to_string(), args })
+    }
+
+    /// Void call.
+    pub fn call_void(&mut self, callee: &str, args: Vec<(Type, Value)>) {
+        self.push(None, Inst::Call { ret: None, callee: callee.to_string(), args });
+    }
+
+    /// Unconditional branch terminator.
+    pub fn br(&mut self, target: BlockId) {
+        self.cur().term = Term::Br(target);
+    }
+
+    /// Conditional branch terminator.
+    pub fn cond_br(&mut self, cond: impl IntoOperand, if_true: BlockId, if_false: BlockId) {
+        let cond = cond.into_operand(Type::I1);
+        self.cur().term = Term::CondBr { cond, if_true, if_false };
+    }
+
+    /// Switch terminator.
+    pub fn switch(&mut self, ty: Type, val: impl IntoOperand, default: BlockId, cases: Vec<(u64, BlockId)>) {
+        let val = val.into_operand(ty);
+        self.cur().term = Term::Switch { ty, val, default, cases };
+    }
+
+    /// Return a value.
+    pub fn ret(&mut self, ty: Type, v: impl IntoOperand) {
+        let v = v.into_operand(ty);
+        self.cur().term = Term::Ret(Some((ty, v)));
+    }
+
+    /// Return void.
+    pub fn ret_void(&mut self) {
+        self.cur().term = Term::Ret(None);
+    }
+
+    /// Unreachable terminator.
+    pub fn unreachable(&mut self) {
+        self.cur().term = Term::Unreachable;
+    }
+
+    /// Finish and return the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    /// Peek at the function under construction.
+    pub fn function(&self) -> &Function {
+        &self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_function;
+
+    #[test]
+    fn builds_a_loop() {
+        // i := 0; while (i < n) { print(i); i := i + 1 }
+        let mut b = FunctionBuilder::new("count", None);
+        let n = b.param(Type::I32, "n");
+        let entry = b.block("entry");
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+
+        b.switch_to(entry);
+        b.br(header);
+
+        b.switch_to(header);
+        let i = b.phi("i", Type::I32, vec![(entry, Value::int(Type::I32, 0))]);
+        let c = b.icmp("c", IcmpPred::Slt, Type::I32, i, n);
+        b.cond_br(c, body, exit);
+
+        b.switch_to(body);
+        b.call_void("print", vec![(Type::I32, Value::Reg(i))]);
+        let i2 = b.bin("i2", BinOp::Add, Type::I32, i, 1i64);
+        b.br(header);
+
+        b.switch_to(exit);
+        b.ret_void();
+
+        let mut f = b.finish();
+        // Close the loop-carried phi.
+        f.block_mut(header).phis[0].1.set_incoming(body, Value::Reg(i2));
+
+        let mut m = crate::module::Module::new();
+        m.declares.push(crate::module::ExternDecl { name: "print".into(), ret: None, params: vec![Type::I32] });
+        m.functions.push(f);
+        verify_function(&m, m.function("count").unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,170 @@
+//! Control-flow-graph queries: successors, predecessors, orderings.
+
+use crate::function::{BlockId, Function};
+use std::collections::HashSet;
+
+/// Precomputed CFG structure of a function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<Option<usize>>,
+}
+
+impl Cfg {
+    /// Build the CFG of `f`.
+    pub fn new(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for bid in f.block_ids() {
+            for s in f.block(bid).term.successors() {
+                // Deduplicate parallel edges for pred/succ sets.
+                if !succs[bid.index()].contains(&s) {
+                    succs[bid.index()].push(s);
+                }
+                if !preds[s.index()].contains(&bid) {
+                    preds[s.index()].push(bid);
+                }
+            }
+        }
+
+        // Depth-first post-order from the entry, reversed.
+        let mut post = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        if n > 0 {
+            let mut stack = vec![(f.entry(), 0usize)];
+            state[f.entry().index()] = 1;
+            while let Some(&mut (b, ref mut child)) = stack.last_mut() {
+                if *child < succs[b.index()].len() {
+                    let next = succs[b.index()][*child];
+                    *child += 1;
+                    if state[next.index()] == 0 {
+                        state[next.index()] = 1;
+                        stack.push((next, 0));
+                    }
+                } else {
+                    state[b.index()] = 2;
+                    post.push(b);
+                    stack.pop();
+                }
+            }
+        }
+        post.reverse();
+        let mut rpo_index = vec![None; n];
+        for (i, b) in post.iter().enumerate() {
+            rpo_index[b.index()] = Some(i);
+        }
+        Cfg { succs, preds, rpo: post, rpo_index }
+    }
+
+    /// Successor blocks of `b` (deduplicated).
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessor blocks of `b` (deduplicated).
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks in reverse post-order from the entry (unreachable blocks are
+    /// absent).
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the reverse post-order, or `None` if unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        self.rpo_index[b.index()]
+    }
+
+    /// Is `b` reachable from the entry?
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index(b).is_some()
+    }
+
+    /// The set of blocks from which `to` is reachable **without passing
+    /// through `barrier`** (used by the paper's §E assertion-scope
+    /// computation). `to` itself is included unless `to == barrier`.
+    pub fn reaches_avoiding(&self, to: BlockId, barrier: BlockId) -> HashSet<BlockId> {
+        let mut seen = HashSet::new();
+        if to == barrier {
+            return seen;
+        }
+        let mut work = vec![to];
+        seen.insert(to);
+        while let Some(b) = work.pop() {
+            for &p in self.preds(b) {
+                if p != barrier && seen.insert(p) {
+                    work.push(p);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+    use crate::inst::IcmpPred;
+
+    /// A diamond: entry -> (left | right) -> exit, plus an unreachable block.
+    fn diamond() -> (Function, [BlockId; 5]) {
+        let mut b = FunctionBuilder::new("d", None);
+        let c = b.param(Type::I1, "c");
+        let entry = b.block("entry");
+        let left = b.block("left");
+        let right = b.block("right");
+        let exit = b.block("exit");
+        let dead = b.block("dead");
+        b.switch_to(entry);
+        b.cond_br(c, left, right);
+        b.switch_to(left);
+        b.br(exit);
+        b.switch_to(right);
+        b.br(exit);
+        b.switch_to(exit);
+        b.ret_void();
+        b.switch_to(dead);
+        b.ret_void();
+        let _ = IcmpPred::Eq;
+        (b.finish(), [entry, left, right, exit, dead])
+    }
+
+    #[test]
+    fn succs_preds() {
+        let (f, [entry, left, right, exit, dead]) = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(entry), &[left, right]);
+        assert_eq!(cfg.preds(exit), &[left, right]);
+        assert!(cfg.preds(entry).is_empty());
+        assert!(cfg.succs(dead).is_empty());
+    }
+
+    #[test]
+    fn rpo_and_reachability() {
+        let (f, [entry, left, right, exit, dead]) = diamond();
+        let cfg = Cfg::new(&f);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], entry);
+        assert!(cfg.rpo_index(exit) > cfg.rpo_index(left));
+        assert!(cfg.rpo_index(exit) > cfg.rpo_index(right));
+        assert!(cfg.is_reachable(exit));
+        assert!(!cfg.is_reachable(dead));
+    }
+
+    #[test]
+    fn reaches_avoiding_barrier() {
+        let (f, [entry, left, right, exit, _dead]) = diamond();
+        let cfg = Cfg::new(&f);
+        let r = cfg.reaches_avoiding(exit, left);
+        assert!(r.contains(&exit) && r.contains(&right) && r.contains(&entry));
+        assert!(!r.contains(&left));
+        assert!(cfg.reaches_avoiding(exit, exit).is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! Dominator tree (Cooper–Harvey–Kennedy) and dominance frontiers (Cytron).
+//!
+//! These are the analyses behind mem2reg's phi-placement ("dominance
+//! frontier" algorithm of Cytron et al., cited as \[18\] in the paper) and
+//! the §E program-point computation.
+
+use crate::cfg::Cfg;
+use crate::function::{BlockId, Function};
+use std::collections::HashSet;
+
+/// Immediate-dominator tree of a function's reachable blocks.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+    /// Pre/post numbering of the dominator tree for O(1) dominance queries.
+    pre: Vec<usize>,
+    post: Vec<usize>,
+    reachable: Vec<bool>,
+}
+
+impl DomTree {
+    /// Compute the dominator tree.
+    pub fn new(f: &Function, cfg: &Cfg) -> DomTree {
+        let n = f.blocks.len();
+        let entry = f.entry();
+        let rpo = cfg.reverse_postorder();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return DomTree { idom, entry, pre: vec![0; n], post: vec![0; n], reachable: vec![false; n] };
+        }
+        idom[entry.index()] = Some(entry);
+
+        let rpo_num = |b: BlockId| cfg.rpo_index(b);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_num(a) > rpo_num(b) {
+                    a = idom[a.index()].expect("intersect: missing idom");
+                }
+                while rpo_num(b) > rpo_num(a) {
+                    b = idom[b.index()].expect("intersect: missing idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Dominator-tree DFS numbering for fast `dominates` queries.
+        let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for b in f.block_ids() {
+            if b != entry {
+                if let Some(d) = idom[b.index()] {
+                    children[d.index()].push(b);
+                }
+            }
+        }
+        let mut pre = vec![0usize; n];
+        let mut post = vec![0usize; n];
+        let mut reachable = vec![false; n];
+        let mut clock = 0usize;
+        let mut stack = vec![(entry, false)];
+        while let Some((b, expanded)) = stack.pop() {
+            if expanded {
+                post[b.index()] = clock;
+                clock += 1;
+            } else {
+                reachable[b.index()] = true;
+                pre[b.index()] = clock;
+                clock += 1;
+                stack.push((b, true));
+                for &c in &children[b.index()] {
+                    stack.push((c, false));
+                }
+            }
+        }
+
+        DomTree { idom, entry, pre, post, reachable }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry or unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// Does `a` dominate `b`? (Reflexive; false for unreachable blocks.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.reachable[a.index()]
+            && self.reachable[b.index()]
+            && self.pre[a.index()] <= self.pre[b.index()]
+            && self.post[b.index()] <= self.post[a.index()]
+    }
+
+    /// Does `a` strictly dominate `b`?
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Is the block reachable from the entry?
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable[b.index()]
+    }
+}
+
+/// Dominance frontiers: `df(b)` is the set of blocks where `b`'s dominance
+/// "stops" — the classical phi-insertion sites.
+#[derive(Debug, Clone)]
+pub struct DominanceFrontier {
+    df: Vec<Vec<BlockId>>,
+}
+
+impl DominanceFrontier {
+    /// Compute dominance frontiers from a CFG and its dominator tree.
+    pub fn new(f: &Function, cfg: &Cfg, dom: &DomTree) -> DominanceFrontier {
+        let n = f.blocks.len();
+        let mut df: Vec<HashSet<BlockId>> = vec![HashSet::new(); n];
+        for b in f.block_ids() {
+            if !dom.is_reachable(b) || cfg.preds(b).len() < 2 {
+                continue;
+            }
+            let idom_b = dom.idom(b).expect("join point must have an idom");
+            for &p in cfg.preds(b) {
+                if !dom.is_reachable(p) {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != idom_b {
+                    df[runner.index()].insert(b);
+                    runner = match dom.idom(runner) {
+                        Some(r) => r,
+                        None => break,
+                    };
+                }
+            }
+        }
+        let mut out: Vec<Vec<BlockId>> = df
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<BlockId> = s.into_iter().collect();
+                v.sort();
+                v
+            })
+            .collect();
+        for v in &mut out {
+            v.dedup();
+        }
+        DominanceFrontier { df: out }
+    }
+
+    /// The dominance frontier of `b`, sorted by block index.
+    pub fn frontier(&self, b: BlockId) -> &[BlockId] {
+        &self.df[b.index()]
+    }
+
+    /// Iterated dominance frontier of a set of blocks (the phi-insertion
+    /// sites for a variable stored in each block of `seeds`).
+    pub fn iterated(&self, seeds: impl IntoIterator<Item = BlockId>) -> Vec<BlockId> {
+        let mut result: HashSet<BlockId> = HashSet::new();
+        let mut work: Vec<BlockId> = seeds.into_iter().collect();
+        let mut seen: HashSet<BlockId> = work.iter().copied().collect();
+        while let Some(b) = work.pop() {
+            for &d in self.frontier(b) {
+                if result.insert(d) && seen.insert(d) {
+                    work.push(d);
+                }
+            }
+        }
+        let mut v: Vec<BlockId> = result.into_iter().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+
+    /// The classical example: entry -> a -> (b|c) -> d -> a? No — use a
+    /// diamond with a loop back edge:
+    ///
+    /// ```text
+    ///        entry
+    ///          |
+    ///        header <---+
+    ///        /    \     |
+    ///      left  right  |
+    ///        \    /     |
+    ///         join -----+
+    ///          |
+    ///         exit
+    /// ```
+    fn loop_diamond() -> (Function, [BlockId; 6]) {
+        let mut b = FunctionBuilder::new("f", None);
+        let c = b.param(Type::I1, "c");
+        let entry = b.block("entry");
+        let header = b.block("header");
+        let left = b.block("left");
+        let right = b.block("right");
+        let join = b.block("join");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        b.cond_br(c, left, right);
+        b.switch_to(left);
+        b.br(join);
+        b.switch_to(right);
+        b.br(join);
+        b.switch_to(join);
+        b.cond_br(c, header, exit);
+        b.switch_to(exit);
+        b.ret_void();
+        (b.finish(), [entry, header, left, right, join, exit])
+    }
+
+    #[test]
+    fn idoms() {
+        let (f, [entry, header, left, right, join, exit]) = loop_diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        assert_eq!(dom.idom(entry), None);
+        assert_eq!(dom.idom(header), Some(entry));
+        assert_eq!(dom.idom(left), Some(header));
+        assert_eq!(dom.idom(right), Some(header));
+        assert_eq!(dom.idom(join), Some(header));
+        assert_eq!(dom.idom(exit), Some(join));
+    }
+
+    #[test]
+    fn dominance_queries() {
+        let (f, [entry, header, left, _right, join, exit]) = loop_diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        assert!(dom.dominates(entry, exit));
+        assert!(dom.dominates(header, join));
+        assert!(!dom.dominates(left, join));
+        assert!(dom.dominates(join, join));
+        assert!(dom.strictly_dominates(header, exit));
+        assert!(!dom.strictly_dominates(join, header));
+    }
+
+    #[test]
+    fn frontiers() {
+        let (f, [_entry, header, left, right, join, _exit]) = loop_diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let df = DominanceFrontier::new(&f, &cfg, &dom);
+        assert_eq!(df.frontier(left), &[join]);
+        assert_eq!(df.frontier(right), &[join]);
+        // The loop body's frontier contains the loop header itself.
+        assert_eq!(df.frontier(join), &[header]);
+        assert_eq!(df.frontier(header), &[header]);
+    }
+
+    #[test]
+    fn iterated_frontier_reaches_header() {
+        let (f, [_entry, header, left, _right, join, _exit]) = loop_diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let df = DominanceFrontier::new(&f, &cfg, &dom);
+        // A store in `left` needs phis at join (merge) and header (loop).
+        assert_eq!(df.iterated([left]), vec![header, join]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Modules: globals, external declarations, and function definitions.
+
+use crate::constant::Const;
+use crate::function::Function;
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+
+/// A module-level global variable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Global {
+    /// Name (without the `@`).
+    pub name: String,
+    /// Element type of the global's storage.
+    pub ty: Type,
+    /// Number of slots.
+    pub size: u64,
+    /// Optional initializer for slot 0.
+    pub init: Option<Const>,
+}
+
+/// A declaration of an external function (the source of observable events).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExternDecl {
+    /// Name (without the `@`).
+    pub name: String,
+    /// Return type (`None` = void).
+    pub ret: Option<Type>,
+    /// Parameter types.
+    pub params: Vec<Type>,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Module {
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// External declarations.
+    pub declares: Vec<ExternDecl>,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Find a function definition by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Find a function definition by name, mutably.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Find a global by name.
+    pub fn global(&self, name: &str) -> Option<&Global> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Find an external declaration by name.
+    pub fn declare(&self, name: &str) -> Option<&ExternDecl> {
+        self.declares.iter().find(|d| d.name == name)
+    }
+
+    /// Is `name` a defined (internal) function?
+    pub fn is_defined(&self, name: &str) -> bool {
+        self.function(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups() {
+        let mut m = Module::new();
+        m.globals.push(Global { name: "G".into(), ty: Type::I32, size: 1, init: Some(Const::int(Type::I32, 7)) });
+        m.declares.push(ExternDecl { name: "print".into(), ret: None, params: vec![Type::I32] });
+        m.functions.push(Function::new("main", None));
+        assert!(m.global("G").is_some());
+        assert!(m.declare("print").is_some());
+        assert!(m.is_defined("main"));
+        assert!(!m.is_defined("print"));
+        assert!(m.function_mut("main").is_some());
+    }
+}

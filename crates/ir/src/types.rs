@@ -1,0 +1,159 @@
+//! First-class types of the IR.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A first-class IR type.
+///
+/// The IR supports the integer widths used throughout the Crellvm paper's
+/// examples, an opaque pointer type (pointers are untyped, as in modern
+/// LLVM), and `void` for functions without a return value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// 1-bit integer (booleans, `icmp` results).
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// Opaque pointer.
+    Ptr,
+    /// No value; only valid as a function return "type".
+    Void,
+}
+
+impl Type {
+    /// Bit width of an integer type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not an integer type.
+    pub fn bits(self) -> u32 {
+        match self {
+            Type::I1 => 1,
+            Type::I8 => 8,
+            Type::I16 => 16,
+            Type::I32 => 32,
+            Type::I64 => 64,
+            Type::Ptr | Type::Void => panic!("Type::bits on non-integer type {self}"),
+        }
+    }
+
+    /// Bit mask selecting the valid bits of this integer width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not an integer type.
+    pub fn mask(self) -> u64 {
+        let b = self.bits();
+        if b == 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Truncate `bits` to this integer width.
+    pub fn truncate(self, bits: u64) -> u64 {
+        bits & self.mask()
+    }
+
+    /// Sign-extend the `bits` of this width to a full `i64`.
+    pub fn sext(self, bits: u64) -> i64 {
+        let w = self.bits();
+        if w == 64 {
+            bits as i64
+        } else {
+            let shift = 64 - w;
+            ((bits << shift) as i64) >> shift
+        }
+    }
+
+    /// Is this one of the integer types?
+    pub fn is_int(self) -> bool {
+        matches!(self, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64)
+    }
+
+    /// Is this a first-class value type (integer or pointer)?
+    pub fn is_value(self) -> bool {
+        self != Type::Void
+    }
+
+    /// All integer types, narrowest first.
+    pub fn int_types() -> [Type; 5] {
+        [Type::I1, Type::I8, Type::I16, Type::I32, Type::I64]
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::I1 => "i1",
+            Type::I8 => "i8",
+            Type::I16 => "i16",
+            Type::I32 => "i32",
+            Type::I64 => "i64",
+            Type::Ptr => "ptr",
+            Type::Void => "void",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for Type {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "i1" => Ok(Type::I1),
+            "i8" => Ok(Type::I8),
+            "i16" => Ok(Type::I16),
+            "i32" => Ok(Type::I32),
+            "i64" => Ok(Type::I64),
+            "ptr" => Ok(Type::Ptr),
+            "void" => Ok(Type::Void),
+            _ => Err(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_and_masks() {
+        assert_eq!(Type::I1.bits(), 1);
+        assert_eq!(Type::I8.mask(), 0xff);
+        assert_eq!(Type::I64.mask(), u64::MAX);
+        assert_eq!(Type::I32.truncate(0x1_0000_0001), 1);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(Type::I8.sext(0xff), -1);
+        assert_eq!(Type::I8.sext(0x7f), 127);
+        assert_eq!(Type::I1.sext(1), -1);
+        assert_eq!(Type::I64.sext(u64::MAX), -1);
+        assert_eq!(Type::I16.sext(0x8000), i16::MIN as i64);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for t in [Type::I1, Type::I8, Type::I16, Type::I32, Type::I64, Type::Ptr, Type::Void] {
+            let s = t.to_string();
+            assert_eq!(s.parse::<Type>(), Ok(t));
+        }
+        assert!("i128".parse::<Type>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-integer")]
+    fn bits_panics_on_ptr() {
+        let _ = Type::Ptr.bits();
+    }
+}

@@ -1,0 +1,97 @@
+//! Instruction operands.
+
+use crate::constant::Const;
+use crate::function::RegId;
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An operand of an instruction: either a virtual register or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A virtual register (SSA name), scoped to its function.
+    Reg(RegId),
+    /// A constant.
+    Const(Const),
+}
+
+impl Value {
+    /// Integer-constant shorthand.
+    pub fn int(ty: Type, v: i64) -> Value {
+        Value::Const(Const::int(ty, v))
+    }
+
+    /// `undef` shorthand.
+    pub fn undef(ty: Type) -> Value {
+        Value::Const(Const::Undef(ty))
+    }
+
+    /// The register, if this operand is one.
+    pub fn as_reg(&self) -> Option<RegId> {
+        match self {
+            Value::Reg(r) => Some(*r),
+            Value::Const(_) => None,
+        }
+    }
+
+    /// Does this operand mention register `r`?
+    pub fn uses(&self, r: RegId) -> bool {
+        self.as_reg() == Some(r)
+    }
+
+    /// Replace uses of register `from` with `to`, returning whether a
+    /// replacement happened.
+    pub fn replace(&mut self, from: RegId, to: &Value) -> bool {
+        if self.uses(from) {
+            *self = to.clone();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl From<RegId> for Value {
+    fn from(r: RegId) -> Value {
+        Value::Reg(r)
+    }
+}
+
+impl From<Const> for Value {
+    fn from(c: Const) -> Value {
+        Value::Const(c)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Reg(r) => write!(f, "%r{}", r.index()),
+            Value::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replace_hits_only_matching_register() {
+        let r0 = RegId::from_index(0);
+        let r1 = RegId::from_index(1);
+        let mut v = Value::Reg(r0);
+        assert!(!v.replace(r1, &Value::int(Type::I32, 3)));
+        assert!(v.replace(r0, &Value::int(Type::I32, 3)));
+        assert_eq!(v, Value::int(Type::I32, 3));
+        // Constants are never replaced.
+        assert!(!v.replace(r0, &Value::Reg(r1)));
+    }
+
+    #[test]
+    fn conversions() {
+        let r = RegId::from_index(7);
+        assert_eq!(Value::from(r).as_reg(), Some(r));
+        assert_eq!(Value::from(Const::Null).as_reg(), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! Pass configuration and outcomes.
+
+use crellvm_core::ProofUnit;
+use crellvm_ir::Module;
+
+/// The historical LLVM miscompilation bugs reproduced by this crate.
+///
+/// Each switch re-introduces one of the bugs the Crellvm paper discovered
+/// (or, for D38619, detected); see `DESIGN.md` §5 for the mapping to LLVM
+/// releases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BugSet {
+    /// PR24179 — mem2reg's single-block fast path replaces a load that
+    /// precedes every store in its block with `undef`, ignoring stores
+    /// reaching it from a previous loop iteration.
+    pub pr24179: bool,
+    /// PR33673 — mem2reg's single-store path propagates the stored value
+    /// to loads *not dominated by the store* whenever the value is a
+    /// constant — unsound for trapping constant expressions.
+    pub pr33673: bool,
+    /// PR28562 / PR29057 — gvn's expression hashing ignores the
+    /// `inbounds` flag, replacing a plain `gep` with an `inbounds` leader
+    /// and introducing poison (the same cause surfaces in both the
+    /// full-redundancy and partial-redundancy code paths).
+    pub pr28562: bool,
+    /// D38619 — gvn's scalar PRE insertion picks a leader that is not
+    /// available on the incoming edge.
+    pub d38619: bool,
+}
+
+impl BugSet {
+    /// No bugs: the fully fixed compiler.
+    pub fn none() -> BugSet {
+        BugSet::default()
+    }
+
+    /// The bug population of LLVM 3.7.1 in the paper's experiment
+    /// (PR33673 is latent: present in the code but never triggered by the
+    /// benchmarks, exactly as in the paper).
+    pub fn llvm_3_7_1() -> BugSet {
+        BugSet { pr24179: true, pr33673: true, pr28562: true, d38619: true }
+    }
+
+    /// LLVM 5.0.1 before the D38619 fix.
+    pub fn llvm_5_0_1_prepatch() -> BugSet {
+        BugSet { d38619: true, ..BugSet::default() }
+    }
+
+    /// LLVM 5.0.1 after the D38619 fix.
+    pub fn llvm_5_0_1_postpatch() -> BugSet {
+        BugSet::default()
+    }
+}
+
+/// Configuration shared by all passes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassConfig {
+    /// Which historical bugs to re-introduce.
+    pub bugs: BugSet,
+}
+
+impl PassConfig {
+    /// The default (fixed) configuration.
+    pub fn new() -> PassConfig {
+        PassConfig::default()
+    }
+
+    /// A configuration with a given bug population.
+    pub fn with_bugs(bugs: BugSet) -> PassConfig {
+        PassConfig { bugs }
+    }
+}
+
+/// The result of applying one pass to a module.
+#[derive(Debug, Clone)]
+pub struct PassOutcome {
+    /// The transformed module.
+    pub module: Module,
+    /// One proof unit per function (the paper's validation unit, #V).
+    pub proofs: Vec<ProofUnit>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bug_populations_match_design() {
+        assert_eq!(BugSet::none(), BugSet::default());
+        let old = BugSet::llvm_3_7_1();
+        assert!(old.pr24179 && old.pr28562 && old.d38619 && old.pr33673);
+        let pre = BugSet::llvm_5_0_1_prepatch();
+        assert!(!pre.pr24179 && !pre.pr28562 && pre.d38619);
+        assert_eq!(BugSet::llvm_5_0_1_postpatch(), BugSet::none());
+    }
+}

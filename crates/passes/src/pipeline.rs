@@ -1,0 +1,305 @@
+//! The `-O2`-style pipeline driver: runs the instrumented passes in
+//! LLVM-like order, validating every translation step.
+//!
+//! Each *step* (one pass applied to one function) is the paper's
+//! validation unit (#V); its outcome is validated (`V`), failed (`#F`), or
+//! not supported (`#NS`), and the four time columns of Fig 6/8 are
+//! measured: `Orig` (the bare pass), `PCal` (pass + proof generation),
+//! `I/O` (JSON round-trip of the proof), and `PCheck` (the checker).
+
+use crate::config::{PassConfig, PassOutcome};
+use crellvm_core::{
+    proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_json, validate_with_config,
+    CheckerConfig, ProofUnit, Verdict,
+};
+use crellvm_ir::Module;
+use std::time::{Duration, Instant};
+
+/// On-the-wire encoding of proofs between the compiler and the checker.
+///
+/// The paper ships JSON and measures it as the dominant cost column; §7
+/// proposes binary proofs as the remedy. Both are available here so the
+/// `ablation_proof_format` bench can quantify the difference end-to-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProofFormat {
+    /// JSON text, as in the paper's pipeline.
+    #[default]
+    Json,
+    /// The compact binary codec of `crellvm_core::serialize_bin`.
+    Binary,
+}
+
+impl ProofFormat {
+    /// Serialize + deserialize one proof, returning the wire size.
+    fn roundtrip(self, unit: &ProofUnit) -> (ProofUnit, usize) {
+        match self {
+            ProofFormat::Json => {
+                let json = proof_to_json(unit).expect("serialize proof");
+                let n = json.len();
+                (proof_from_json(&json).expect("deserialize proof"), n)
+            }
+            ProofFormat::Binary => {
+                let bytes = proof_to_bytes(unit).expect("serialize proof");
+                let n = bytes.len();
+                (proof_from_bytes(&bytes).expect("deserialize proof"), n)
+            }
+        }
+    }
+}
+
+/// The outcome of validating one translation step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Validated.
+    Valid,
+    /// Validation failed (a compiler or proof-generation bug!); the reason
+    /// is attached.
+    Failed(String),
+    /// Not supported by the validator.
+    NotSupported(String),
+}
+
+/// One validated translation step.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// Pass name.
+    pub pass: String,
+    /// Function name.
+    pub func: String,
+    /// Validation outcome.
+    pub outcome: StepOutcome,
+    /// Serialized proof size in bytes (the paper's I/O payload).
+    pub proof_bytes: usize,
+}
+
+/// Aggregate report of a pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Per-step records.
+    pub steps: Vec<StepRecord>,
+    /// Time running the plain passes (the paper's `Orig`).
+    pub time_orig: Duration,
+    /// Time running the proof-generating passes (`PCal`).
+    pub time_pcal: Duration,
+    /// Time serializing + deserializing proofs (`I/O`).
+    pub time_io: Duration,
+    /// Time checking proofs (`PCheck`).
+    pub time_pcheck: Duration,
+}
+
+impl PipelineReport {
+    /// Number of validation steps (#V).
+    pub fn validations(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of failed validations (#F).
+    pub fn failures(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s.outcome, StepOutcome::Failed(_))).count()
+    }
+
+    /// Number of not-supported translations (#NS).
+    pub fn not_supported(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s.outcome, StepOutcome::NotSupported(_))).count()
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: PipelineReport) {
+        self.steps.extend(other.steps);
+        self.time_orig += other.time_orig;
+        self.time_pcal += other.time_pcal;
+        self.time_io += other.time_io;
+        self.time_pcheck += other.time_pcheck;
+    }
+}
+
+/// The pass list of the experiment (the paper validates these four).
+pub const PASS_ORDER: [&str; 4] = ["mem2reg", "instcombine", "gvn", "licm"];
+
+fn run_pass(name: &str, m: &Module, config: &PassConfig) -> PassOutcome {
+    match name {
+        "mem2reg" => crate::mem2reg(m, config),
+        "instcombine" => crate::instcombine(m, config),
+        "gvn" => crate::gvn(m, config),
+        "licm" => crate::licm(m, config),
+        other => panic!("unknown pass {other}"),
+    }
+}
+
+/// Run one pass over a module with full validation instrumentation,
+/// merging results into `report`; returns the transformed module.
+pub fn run_validated_pass(
+    name: &str,
+    m: &Module,
+    config: &PassConfig,
+    checker: &CheckerConfig,
+    report: &mut PipelineReport,
+) -> Module {
+    run_validated_pass_with(name, m, config, checker, ProofFormat::Json, report)
+}
+
+/// [`run_validated_pass`] with an explicit proof wire format.
+pub fn run_validated_pass_with(
+    name: &str,
+    m: &Module,
+    config: &PassConfig,
+    checker: &CheckerConfig,
+    format: ProofFormat,
+    report: &mut PipelineReport,
+) -> Module {
+    // Orig: the pass alone (proof generation cannot actually be disabled
+    // in our implementation — we time a second run and subtract nothing,
+    // matching the paper's separate-binaries methodology approximately by
+    // timing the identical work twice; the PCal run below includes the
+    // proof-construction bookkeeping).
+    let t0 = Instant::now();
+    let _ = run_pass(name, m, config);
+    report.time_orig += t0.elapsed();
+
+    let t1 = Instant::now();
+    let out = run_pass(name, m, config);
+    report.time_pcal += t1.elapsed();
+
+    for unit in &out.proofs {
+        let t2 = Instant::now();
+        let (unit2, wire_len) = format.roundtrip(unit);
+        report.time_io += t2.elapsed();
+
+        let t3 = Instant::now();
+        let outcome = match validate_with_config(&unit2, checker) {
+            Ok(Verdict::Valid) => StepOutcome::Valid,
+            Ok(Verdict::NotSupported(r)) => StepOutcome::NotSupported(r),
+            Err(e) => StepOutcome::Failed(e.to_string()),
+        };
+        report.time_pcheck += t3.elapsed();
+
+        report.steps.push(StepRecord {
+            pass: name.to_string(),
+            func: unit.src.name.clone(),
+            outcome,
+            proof_bytes: wire_len,
+        });
+    }
+    out.module
+}
+
+/// Run the full `-O2`-like pipeline over a module, validating every step.
+pub fn run_pipeline(m: &Module, config: &PassConfig) -> (Module, PipelineReport) {
+    let mut report = PipelineReport::default();
+    let checker = CheckerConfig::sound();
+    let mut cur = m.clone();
+    for pass in PASS_ORDER {
+        cur = run_validated_pass(pass, &cur, config, &checker, &mut report);
+    }
+    (cur, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BugSet;
+    use crellvm_interp::{check_refinement, run_main, RunConfig};
+    use crellvm_ir::{parse_module, verify_module};
+
+    const PROGRAM: &str = r#"
+        declare @print(i32)
+        define @main(i32 %n) {
+        entry:
+          %p = alloca i32
+          store i32 0, ptr %p
+          br label loop
+        loop:
+          %i = phi i32 [ 0, entry ], [ %i2, loop ]
+          %acc = load i32, ptr %p
+          %inv = mul i32 %n, 4
+          %t = add i32 %inv, 0
+          %acc2 = add i32 %acc, %t
+          store i32 %acc2, ptr %p
+          %i2 = add i32 %i, 1
+          %c = icmp slt i32 %i2, 5
+          br i1 %c, label loop, label exit
+        exit:
+          %r = load i32, ptr %p
+          call void @print(i32 %r)
+          ret void
+        }
+    "#;
+
+    #[test]
+    fn pipeline_validates_and_preserves_behaviour() {
+        let m = parse_module(PROGRAM).unwrap();
+        verify_module(&m).unwrap();
+        let (out, report) = run_pipeline(&m, &PassConfig::default());
+        verify_module(&out).unwrap();
+        assert_eq!(report.failures(), 0, "steps: {:#?}", report.steps);
+        assert!(report.validations() >= 4);
+        // Differential run: same observable behaviour.
+        let cfg = RunConfig::default();
+        let src_run = run_main(&m, &cfg);
+        let tgt_run = run_main(&out, &cfg);
+        check_refinement(&src_run, &tgt_run).expect("behaviour preserved");
+        // And the program got meaningfully smaller.
+        assert!(out.function("main").unwrap().stmt_count() < m.function("main").unwrap().stmt_count());
+    }
+
+    #[test]
+    fn buggy_pipeline_reports_failures() {
+        let m = parse_module(
+            r#"
+            declare @bar(ptr, ptr)
+            define @main(ptr %p) {
+            entry:
+              %q1 = gep inbounds ptr %p, i64 10
+              %q2 = gep ptr %p, i64 10
+              call void @bar(ptr %q1, ptr %q2)
+              ret void
+            }
+            "#,
+        )
+        .unwrap();
+        let config = PassConfig::with_bugs(BugSet { pr28562: true, ..BugSet::default() });
+        let (_, report) = run_pipeline(&m, &config);
+        assert!(report.failures() > 0);
+        let failing: Vec<_> = report
+            .steps
+            .iter()
+            .filter(|s| matches!(s.outcome, StepOutcome::Failed(_)))
+            .collect();
+        assert!(failing.iter().all(|s| s.pass == "gvn"));
+    }
+
+    #[test]
+    fn report_counts_and_merge() {
+        let m = parse_module(PROGRAM).unwrap();
+        let (_, mut r1) = run_pipeline(&m, &PassConfig::default());
+        let (_, r2) = run_pipeline(&m, &PassConfig::default());
+        let n = r1.validations();
+        r1.merge(r2);
+        assert_eq!(r1.validations(), 2 * n);
+        assert_eq!(r1.not_supported(), 0);
+        assert!(r1.time_pcheck > Duration::ZERO);
+        assert!(r1.steps.iter().all(|s| s.proof_bytes > 0));
+    }
+
+    #[test]
+    fn binary_proof_format_agrees_with_json() {
+        let m = parse_module(PROGRAM).unwrap();
+        let config = PassConfig::default();
+        let checker = CheckerConfig::sound();
+        let mut jrep = PipelineReport::default();
+        let mut brep = PipelineReport::default();
+        let mut jm = m.clone();
+        let mut bm = m;
+        for pass in PASS_ORDER {
+            jm = run_validated_pass_with(pass, &jm, &config, &checker, ProofFormat::Json, &mut jrep);
+            bm = run_validated_pass_with(pass, &bm, &config, &checker, ProofFormat::Binary, &mut brep);
+        }
+        verify_module(&jm).unwrap();
+        assert_eq!(crellvm_ir::printer::print_module(&jm), crellvm_ir::printer::print_module(&bm));
+        assert_eq!(jrep.steps.len(), brep.steps.len());
+        for (a, b) in jrep.steps.iter().zip(&brep.steps) {
+            assert_eq!(a.outcome, b.outcome, "@{} ({})", a.func, a.pass);
+            assert!(b.proof_bytes < a.proof_bytes, "binary not smaller at @{}", a.func);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Shared pass utilities.
+
+use crellvm_ir::{BlockId, Cfg, Function, RegId, Value};
+
+/// Where a register is used inside a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UseSite {
+    /// Operand of statement `1` in block `0`.
+    Stmt(usize, usize),
+    /// Operand of the terminator of a block.
+    Term(usize),
+    /// Incoming value of phi `1` in block `0`, along the edge from block
+    /// `2` (the value is "used" at the end of that predecessor).
+    PhiEdge(usize, usize, usize),
+}
+
+/// All use sites of `r` in `f` (each site listed once per operand
+/// occurrence).
+pub fn uses_of(f: &Function, r: RegId) -> Vec<UseSite> {
+    let mut out = Vec::new();
+    for (b, block) in f.blocks.iter().enumerate() {
+        for (pi, (_, phi)) in block.phis.iter().enumerate() {
+            for (pred, v) in &phi.incoming {
+                if let Some(Value::Reg(x)) = v {
+                    if *x == r {
+                        out.push(UseSite::PhiEdge(b, pi, pred.index()));
+                    }
+                }
+            }
+        }
+        for (i, s) in block.stmts.iter().enumerate() {
+            let mut used = false;
+            s.inst.for_each_value(|v| used |= v.uses(r));
+            if used {
+                out.push(UseSite::Stmt(b, i));
+            }
+        }
+        let mut used = false;
+        block.term.for_each_value(|v| used |= v.uses(r));
+        if used {
+            out.push(UseSite::Term(b));
+        }
+    }
+    out
+}
+
+/// If the function contains an `unsupported` stand-in instruction, return
+/// its feature name (the paper's #NS trigger).
+pub fn unsupported_feature(f: &Function) -> Option<String> {
+    for b in &f.blocks {
+        for s in &b.stmts {
+            if let crellvm_ir::Inst::Unsupported { feature } = &s.inst {
+                return Some(feature.clone());
+            }
+        }
+    }
+    None
+}
+
+/// Pass-sensitive not-supported classification (paper §7): features like
+/// vector/aggregate/atomic/debug operations are unsupported by the
+/// validator for every pass, while `lifetime` intrinsics only block
+/// mem2reg (the CSmith experiment's 27.7% mem2reg #NS).
+pub fn ns_reason(f: &Function, pass: &str) -> Option<String> {
+    let feature = unsupported_feature(f)?;
+    let mem2reg_only = feature.starts_with("lifetime");
+    if mem2reg_only && pass != "mem2reg" {
+        return None;
+    }
+    Some(format!("instruction not supported by the validator: {feature}"))
+}
+
+/// Is `to` reachable from `from` (following CFG edges, `from` itself
+/// counted only via a non-empty path)?
+pub fn reaches(cfg: &Cfg, from: BlockId, to: BlockId) -> bool {
+    let mut seen = vec![false; 1024];
+    let _ = &mut seen;
+    let mut stack: Vec<BlockId> = cfg.succs(from).to_vec();
+    let mut visited = std::collections::HashSet::new();
+    while let Some(b) = stack.pop() {
+        if b == to {
+            return true;
+        }
+        if visited.insert(b) {
+            stack.extend(cfg.succs(b));
+        }
+    }
+    false
+}
+
+/// Is the block on a CFG cycle (can it reach itself)?
+pub fn on_cycle(cfg: &Cfg, b: BlockId) -> bool {
+    reaches(cfg, b, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crellvm_ir::parse_module;
+
+    #[test]
+    fn use_sites_cover_stmts_terms_and_phis() {
+        let m = parse_module(
+            r#"
+            define @f(i32 %n, i1 %c) -> i32 {
+            entry:
+              %x = add i32 %n, 1
+              br i1 %c, label a, label b
+            a:
+              br label b
+            b:
+              %p = phi i32 [ %x, entry ], [ %n, a ]
+              ret i32 %x
+            }
+            "#,
+        )
+        .unwrap();
+        let f = &m.functions[0];
+        let x = f.blocks[0].stmts[0].result.unwrap();
+        let sites = uses_of(f, x);
+        assert!(sites.contains(&UseSite::PhiEdge(2, 0, 0)));
+        assert!(sites.contains(&UseSite::Term(2)));
+        let n = f.params[0].1;
+        let sites = uses_of(f, n);
+        assert!(sites.contains(&UseSite::Stmt(0, 0)));
+        assert!(sites.contains(&UseSite::PhiEdge(2, 0, 1)));
+    }
+
+    #[test]
+    fn reachability_and_cycles() {
+        let m = parse_module(
+            r#"
+            define @f(i1 %c) {
+            entry:
+              br label loop
+            loop:
+              br i1 %c, label loop, label exit
+            exit:
+              ret void
+            }
+            "#,
+        )
+        .unwrap();
+        let f = &m.functions[0];
+        let cfg = Cfg::new(f);
+        let entry = f.block_by_name("entry").unwrap();
+        let lp = f.block_by_name("loop").unwrap();
+        let exit = f.block_by_name("exit").unwrap();
+        assert!(reaches(&cfg, entry, exit));
+        assert!(!reaches(&cfg, exit, entry));
+        assert!(on_cycle(&cfg, lp));
+        assert!(!on_cycle(&cfg, entry));
+        assert!(!on_cycle(&cfg, exit));
+    }
+
+    #[test]
+    fn unsupported_detection() {
+        let m = parse_module(
+            "define @f() {\nentry:\n  %u = unsupported \"vector.add\"\n  ret void\n}\n",
+        )
+        .unwrap();
+        assert_eq!(unsupported_feature(&m.functions[0]), Some("vector.add".into()));
+    }
+}

@@ -1,0 +1,57 @@
+//! # crellvm
+//!
+//! A verified-credible-compilation framework for an LLVM-like SSA IR —
+//! a from-scratch Rust reproduction of *"Crellvm: Verified Credible
+//! Compilation for LLVM"* (PLDI 2018).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`ir`] — the SSA intermediate representation (parser, printer, CFG,
+//!   dominators, verifier).
+//! * [`interp`] — the reference interpreter (semantics, memory model,
+//!   behaviour refinement).
+//! * [`erhl`] — the Extensible Relational Hoare Logic: assertions,
+//!   inference rules, the post-assertion calculus, and the proof checker.
+//! * [`passes`] — proof-generating optimizations: mem2reg, gvn (+PRE),
+//!   licm, instcombine, with injectable historical LLVM bugs.
+//! * [`diff`] — alpha-equivalence checking (the `llvm-diff` analogue).
+//! * [`gen`] — random program generation and the synthetic benchmark
+//!   corpus.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use crellvm::ir::parse_module;
+//! use crellvm::passes::{mem2reg, PassConfig};
+//! use crellvm::erhl::validate;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = parse_module(
+//!     r#"
+//!     declare @print(i32)
+//!     define @main() {
+//!     entry:
+//!       %p = alloca i32
+//!       store i32 42, ptr %p
+//!       %a = load i32, ptr %p
+//!       call void @print(i32 %a)
+//!       ret
+//!     }
+//!     "#
+//!     .replace("ret\n", "ret void\n")
+//!     .as_str(),
+//! )?;
+//! let outcome = mem2reg(&src, &PassConfig::default());
+//! for unit in &outcome.proofs {
+//!     validate(unit)?;
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub use crellvm_core as erhl;
+pub use crellvm_diff as diff;
+pub use crellvm_gen as gen;
+pub use crellvm_interp as interp;
+pub use crellvm_ir as ir;
+pub use crellvm_passes as passes;

@@ -1,0 +1,237 @@
+//! The `crellvm` command-line tool: the framework's workflows from the
+//! shell.
+//!
+//! ```text
+//! crellvm opt <file.cll> [--pass NAME]... [--bugs 3.7.1|5.0.1-pre|none]
+//!     Optimize with proof generation and validate every translation.
+//! crellvm run <file.cll> [--seed N]
+//!     Interpret @main and print the observable trace.
+//! crellvm diff <a.cll> <b.cll>
+//!     Alpha-equivalence check (the llvm-diff analogue).
+//! crellvm gen --seed N [--functions K] [--out FILE]
+//!     Generate a random program.
+//! crellvm check <proof-file>...
+//!     Validate saved proofs (the separate checker process of Fig 1).
+//! ```
+//!
+//! `opt --proof-dir DIR [--binary]` writes each translation's proof to
+//! `DIR/<pass>.<function>.{json,cpb}`; `check` validates such files
+//! independently of the compiler — the trust story of the paper, where
+//! the checker never has to share a process with the optimizer.
+
+use crellvm::diff::diff_modules;
+use crellvm::erhl::{proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_json, validate, Verdict};
+use crellvm::gen::{generate_module, GenConfig};
+use crellvm::interp::{run_main, RunConfig, UndefPolicy};
+use crellvm::ir::{parse_module, printer::print_module, verify_module, Module};
+use crellvm::passes::{gvn, instcombine, licm, mem2reg, BugSet, PassConfig, PassOutcome};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check <proof-file>..."
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Module, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let m = parse_module(&text).map_err(|e| format!("{path}: {e}"))?;
+    verify_module(&m).map_err(|e| format!("{path}: {e}"))?;
+    Ok(m)
+}
+
+fn run_pass(name: &str, m: &Module, config: &PassConfig) -> Option<PassOutcome> {
+    Some(match name {
+        "mem2reg" => mem2reg(m, config),
+        "gvn" => gvn(m, config),
+        "licm" => licm(m, config),
+        "instcombine" => instcombine(m, config),
+        _ => return None,
+    })
+}
+
+fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
+    let file = args.first().ok_or("opt: missing input file")?;
+    let mut passes: Vec<String> = Vec::new();
+    let mut bugs = BugSet::none();
+    let mut emit = false;
+    let mut proof_dir: Option<String> = None;
+    let mut binary = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--pass" => passes.push(it.next().ok_or("--pass needs a name")?.clone()),
+            "--bugs" => {
+                bugs = match it.next().ok_or("--bugs needs a population")?.as_str() {
+                    "3.7.1" => BugSet::llvm_3_7_1(),
+                    "5.0.1-pre" => BugSet::llvm_5_0_1_prepatch(),
+                    "none" => BugSet::none(),
+                    other => return Err(format!("unknown bug population {other}")),
+                }
+            }
+            "--emit" => emit = true,
+            "--proof-dir" => proof_dir = Some(it.next().ok_or("--proof-dir needs a path")?.clone()),
+            "--binary" => binary = true,
+            other => return Err(format!("opt: unknown flag {other}")),
+        }
+    }
+    if let Some(dir) = &proof_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    }
+    if passes.is_empty() {
+        passes = ["mem2reg", "instcombine", "gvn", "licm"].map(String::from).to_vec();
+    }
+    let config = PassConfig::with_bugs(bugs);
+    let mut cur = load(file)?;
+    let mut failures = 0usize;
+    for pass in &passes {
+        let out = run_pass(pass, &cur, &config).ok_or_else(|| format!("unknown pass {pass}"))?;
+        for unit in &out.proofs {
+            if let Some(dir) = &proof_dir {
+                let (path, bytes) = if binary {
+                    (
+                        format!("{dir}/{pass}.{}.cpb", unit.src.name),
+                        proof_to_bytes(unit).map_err(|e| e.to_string())?,
+                    )
+                } else {
+                    (
+                        format!("{dir}/{pass}.{}.json", unit.src.name),
+                        proof_to_json(unit).map_err(|e| e.to_string())?.into_bytes(),
+                    )
+                };
+                std::fs::write(&path, bytes).map_err(|e| format!("{path}: {e}"))?;
+            }
+            match validate(unit) {
+                Ok(Verdict::Valid) => println!("{pass:<12} @{:<20} valid", unit.src.name),
+                Ok(Verdict::NotSupported(r)) => {
+                    println!("{pass:<12} @{:<20} not-supported ({r})", unit.src.name)
+                }
+                Err(e) => {
+                    failures += 1;
+                    println!("{pass:<12} @{:<20} FAILED at {}", unit.src.name, e.at);
+                    println!("{:>34}reason: {}", "", e.reason);
+                }
+            }
+        }
+        cur = out.module;
+    }
+    if emit {
+        print!("{}", print_module(&cur));
+    }
+    Ok(if failures == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let file = args.first().ok_or("run: missing input file")?;
+    let mut cfg = RunConfig::default();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let s: u64 = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+                cfg.env_seed = s;
+                cfg.undef = UndefPolicy::Seeded(s);
+            }
+            other => return Err(format!("run: unknown flag {other}")),
+        }
+    }
+    let m = load(file)?;
+    let r = run_main(&m, &cfg);
+    for e in &r.events {
+        println!("{e}");
+    }
+    println!("-- end: {:?} ({} steps)", r.end, r.steps);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let (a, b) = match args {
+        [a, b] => (load(a)?, load(b)?),
+        _ => return Err("diff: need exactly two files".into()),
+    };
+    match diff_modules(&a, &b) {
+        Ok(()) => {
+            println!("modules are alpha-equivalent");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            println!("{e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = GenConfig::default();
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => cfg.seed = it.next().ok_or("--seed needs a value")?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--functions" => {
+                cfg.functions =
+                    it.next().ok_or("--functions needs a value")?.parse().map_err(|e| format!("bad count: {e}"))?
+            }
+            "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+            other => return Err(format!("gen: unknown flag {other}")),
+        }
+    }
+    let m = generate_module(&cfg);
+    let text = print_module(&m);
+    match out {
+        Some(path) => std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{text}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    if args.is_empty() {
+        return Err("check: need at least one proof file".into());
+    }
+    let mut failures = 0usize;
+    for path in args {
+        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        let unit = if path.ends_with(".cpb") {
+            proof_from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?
+        } else {
+            let text = String::from_utf8(bytes).map_err(|e| format!("{path}: {e}"))?;
+            proof_from_json(&text).map_err(|e| format!("{path}: {e}"))?
+        };
+        match validate(&unit) {
+            Ok(Verdict::Valid) => println!("{path}: valid ({} @{})", unit.pass, unit.src.name),
+            Ok(Verdict::NotSupported(r)) => println!("{path}: not-supported ({r})"),
+            Err(e) => {
+                failures += 1;
+                println!("{path}: FAILED at {}", e.at);
+                println!("    reason: {}", e.reason);
+            }
+        }
+    }
+    Ok(if failures == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else { return usage() };
+    let result = match cmd.as_str() {
+        "opt" => cmd_opt(rest),
+        "run" => cmd_run(rest),
+        "diff" => cmd_diff(rest),
+        "gen" => cmd_gen(rest),
+        "check" => cmd_check(rest),
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! End-to-end tests of the `crellvm` command-line tool.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_crellvm")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("binary runs")
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("crellvm_cli_{name}"))
+}
+
+#[test]
+fn gen_run_opt_diff_roundtrip() {
+    let prog = tmpfile("a.cll");
+    let out = run(&["gen", "--seed", "11", "--functions", "2", "--out", prog.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // run: prints a trace and a normal end.
+    let out = run(&["run", prog.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("-- end: Ret"), "{stdout}");
+
+    // opt: every translation validates; --emit produces parseable IR.
+    let out = run(&["opt", prog.to_str().unwrap(), "--emit"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("valid"));
+    assert!(!stdout.contains("FAILED"));
+    let ir_start = stdout.find("define").or_else(|| stdout.find("declare")).unwrap();
+    let optimized = tmpfile("a_opt.cll");
+    std::fs::write(&optimized, &stdout[ir_start..]).unwrap();
+
+    // diff: a module equals itself; differs from another seed.
+    let out = run(&["diff", prog.to_str().unwrap(), prog.to_str().unwrap()]);
+    assert!(out.status.success());
+    let other = tmpfile("b.cll");
+    let out = run(&["gen", "--seed", "12", "--functions", "2", "--out", other.to_str().unwrap()]);
+    assert!(out.status.success());
+    let out = run(&["diff", prog.to_str().unwrap(), other.to_str().unwrap()]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn opt_with_bugs_reports_failures_and_exits_nonzero() {
+    let prog = tmpfile("buggy.cll");
+    std::fs::write(
+        &prog,
+        r#"
+        declare @bar(ptr, ptr)
+        define @main(ptr %p) {
+        entry:
+          %q1 = gep inbounds ptr %p, i64 10
+          %q2 = gep ptr %p, i64 10
+          call void @bar(ptr %q1, ptr %q2)
+          ret void
+        }
+        "#,
+    )
+    .unwrap();
+    let out = run(&["opt", prog.to_str().unwrap(), "--pass", "gvn", "--bugs", "3.7.1"]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAILED"), "{stdout}");
+    assert!(stdout.contains("reason:"), "{stdout}");
+
+    // The fixed compiler on the same program validates and exits zero.
+    let out = run(&["opt", prog.to_str().unwrap(), "--pass", "gvn", "--bugs", "none"]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn proof_dump_and_independent_check() {
+    let dir = std::env::temp_dir().join("crellvm_cli_proofs");
+    let _ = std::fs::remove_dir_all(&dir);
+    let prog = tmpfile("chk.cll");
+    let out = run(&["gen", "--seed", "21", "--functions", "2", "--out", prog.to_str().unwrap()]);
+    assert!(out.status.success());
+
+    // Dump proofs in both formats while optimizing.
+    for (flag, ext) in [(None, "json"), (Some("--binary"), "cpb")] {
+        let sub = dir.join(ext);
+        let mut args =
+            vec!["opt", prog.to_str().unwrap(), "--pass", "mem2reg", "--proof-dir", sub.to_str().unwrap()];
+        if let Some(f) = flag {
+            args.push(f);
+        }
+        assert!(run(&args).status.success());
+        let proofs: Vec<_> = std::fs::read_dir(&sub)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == ext))
+            .collect();
+        assert!(!proofs.is_empty(), "no .{ext} proofs written");
+
+        // The separate checker process validates each file.
+        let args: Vec<&str> =
+            std::iter::once("check").chain(proofs.iter().map(|p| p.to_str().unwrap())).collect();
+        let out = run(&args);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+        assert!(String::from_utf8_lossy(&out.stdout).contains("valid"));
+    }
+
+    // Binary proofs are smaller than their JSON counterparts.
+    let jlen: u64 = std::fs::read_dir(dir.join("json"))
+        .unwrap()
+        .map(|e| e.unwrap().metadata().unwrap().len())
+        .sum();
+    let blen: u64 = std::fs::read_dir(dir.join("cpb"))
+        .unwrap()
+        .map(|e| e.unwrap().metadata().unwrap().len())
+        .sum();
+    assert!(blen < jlen, "binary {blen} not smaller than json {jlen}");
+
+    // A corrupted proof file is a clean error, not a crash.
+    let bad = dir.join("bad.cpb");
+    std::fs::write(&bad, [0xff, 0xff, 0xff]).unwrap();
+    let out = run(&["check", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn bad_usage_is_reported() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["opt"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["opt", "/nonexistent.cll"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    let prog = tmpfile("broken.cll");
+    std::fs::write(&prog, "define @f() {\nentry:\n  %x = bogus i32 1\n}\n").unwrap();
+    let out = run(&["run", prog.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 3"), "{stderr}");
+}

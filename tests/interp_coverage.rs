@@ -1,0 +1,179 @@
+//! Additional interpreter semantics coverage: undef policies, switch on
+//! indeterminate values, recursion limits, type-punned loads, and the
+//! determinism guarantees the differential framework relies on.
+
+use crellvm::interp::{check_refinement, run_function, run_main, End, RunConfig, UndefPolicy, Val};
+use crellvm::ir::{parse_module, Type};
+
+fn run_with(src: &str, cfg: &RunConfig) -> crellvm::interp::RunResult {
+    let m = parse_module(src).expect("parse");
+    crellvm::ir::verify_module(&m).expect("verify");
+    run_main(&m, cfg)
+}
+
+#[test]
+fn seeded_undef_policy_is_deterministic_but_seed_sensitive() {
+    let src = r#"
+        declare @print(i32)
+        define @main() {
+        entry:
+          %p = alloca i32
+          %u = load i32, ptr %p
+          %v = add i32 %u, 1
+          call void @print(i32 %v)
+          ret void
+        }
+    "#;
+    let a1 = run_with(src, &RunConfig { undef: UndefPolicy::Seeded(1), ..RunConfig::default() });
+    let a2 = run_with(src, &RunConfig { undef: UndefPolicy::Seeded(1), ..RunConfig::default() });
+    assert_eq!(a1, a2, "same seed, same run");
+    let b = run_with(src, &RunConfig { undef: UndefPolicy::Seeded(2), ..RunConfig::default() });
+    assert_ne!(a1.events, b.events, "different seeds resolve undef differently");
+    // Both resolutions are tainted, so either refines the other.
+    check_refinement(&a1, &b).unwrap();
+    check_refinement(&b, &a1).unwrap();
+}
+
+#[test]
+fn switch_on_poison_is_ub() {
+    let r = run_with(
+        r#"
+        define @main() {
+        entry:
+          %p = alloca i32, 2
+          %q = gep inbounds ptr %p, i64 9
+          %i = ptrtoint ptr %q to i32
+          switch i32 %i, label a [ 1: a ]
+        a:
+          ret void
+        }
+        "#,
+        &RunConfig::default(),
+    );
+    assert!(matches!(r.end, End::Ub(_)), "{:?}", r.end);
+}
+
+#[test]
+fn recursion_is_bounded_by_depth() {
+    let r = run_with(
+        r#"
+        define @rec(i32 %n) -> i32 {
+        entry:
+          %m = add i32 %n, 1
+          %r = call i32 @rec(i32 %m)
+          ret i32 %r
+        }
+        define @main() {
+        entry:
+          %x = call i32 @rec(i32 0)
+          ret void
+        }
+        "#,
+        &RunConfig { fuel: 1_000_000, ..RunConfig::default() },
+    );
+    assert_eq!(r.end, End::OutOfFuel, "deep recursion is inconclusive, not a crash");
+}
+
+#[test]
+fn type_punned_load_yields_undef() {
+    let r = run_with(
+        r#"
+        declare @print(i32)
+        define @main() {
+        entry:
+          %p = alloca i64
+          store i64 7, ptr %p
+          %v = load i32, ptr %p
+          call void @print(i32 %v)
+          ret void
+        }
+        "#,
+        &RunConfig::default(),
+    );
+    assert_eq!(r.end, End::Ret(None));
+    assert!(r.events[0].args[0].is_undef_derived() || matches!(r.events[0].args[0], Val::Undef(_)));
+}
+
+#[test]
+fn run_function_with_arguments() {
+    let m = parse_module(
+        r#"
+        define @sq(i32 %x) -> i32 {
+        entry:
+          %y = mul i32 %x, %x
+          ret i32 %y
+        }
+        "#,
+    )
+    .unwrap();
+    let r = run_function(&m, "sq", vec![Val::int(Type::I32, 9)], &RunConfig::default());
+    assert_eq!(r.end, End::Ret(Some(Val::int(Type::I32, 81))));
+    // Missing function is UB, not a panic.
+    let r = run_function(&m, "nope", vec![], &RunConfig::default());
+    assert!(matches!(r.end, End::Ub(_)));
+}
+
+#[test]
+fn store_to_global_persists_across_calls() {
+    let r = run_with(
+        r#"
+        global @G : i32[1] = 1
+        declare @print(i32)
+        define @bump() {
+        entry:
+          %v = load i32, ptr @G
+          %w = add i32 %v, 10
+          store i32 %w, ptr @G
+          ret void
+        }
+        define @main() {
+        entry:
+          call void @bump()
+          call void @bump()
+          %v = load i32, ptr @G
+          call void @print(i32 %v)
+          ret void
+        }
+        "#,
+        &RunConfig::default(),
+    );
+    assert_eq!(r.events[0].args, vec![Val::int(Type::I32, 21)]);
+}
+
+#[test]
+fn null_pointer_dereference_is_ub() {
+    let r = run_with(
+        "define @main() {\nentry:\n  store i32 1, ptr null\n  ret void\n}\n",
+        &RunConfig::default(),
+    );
+    assert!(matches!(r.end, End::Ub(_)));
+}
+
+#[test]
+fn events_count_against_fuel_consistently() {
+    // The same program under different fuel: the lower-fuel run's trace is
+    // a prefix of the higher-fuel run's.
+    let src = r#"
+        declare @print(i32)
+        define @main() {
+        entry:
+          br label loop
+        loop:
+          %i = phi i32 [ 0, entry ], [ %i2, loop ]
+          call void @print(i32 %i)
+          %i2 = add i32 %i, 1
+          %c = icmp slt i32 %i2, 50
+          br i1 %c, label loop, label exit
+        exit:
+          ret void
+        }
+    "#;
+    let small = run_with(src, &RunConfig { fuel: 40, ..RunConfig::default() });
+    let big = run_with(src, &RunConfig { fuel: 100_000, ..RunConfig::default() });
+    assert_eq!(small.end, End::OutOfFuel);
+    assert_eq!(big.end, End::Ret(None));
+    assert!(big.events.len() > small.events.len());
+    assert_eq!(&big.events[..small.events.len()], &small.events[..]);
+    // An out-of-fuel source makes the comparison inconclusive (Ok).
+    check_refinement(&small, &big).unwrap();
+}

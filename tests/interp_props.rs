@@ -1,0 +1,87 @@
+//! Property tests for the reference interpreter — the guarantees the
+//! differential-testing framework silently relies on: determinism, fuel
+//! monotonicity, refinement reflexivity, and event-trace prefix stability
+//! under fuel cuts.
+
+use crellvm::gen::{generate_module, FeatureMix, GenConfig};
+use crellvm::interp::{check_refinement, run_main, End, RunConfig, UndefPolicy};
+use proptest::prelude::*;
+
+fn gen(seed: u64) -> crellvm::ir::Module {
+    generate_module(&GenConfig {
+        seed,
+        functions: 2,
+        max_depth: 3,
+        feature_mix: if seed.is_multiple_of(2) { FeatureMix::Benchmarks } else { FeatureMix::Csmith },
+        memory: true,
+        loops: true,
+        ..GenConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The interpreter is a pure function of (module, config): two runs
+    /// agree event-for-event. Without this, "the target's trace differs
+    /// from the source's" would be meaningless.
+    #[test]
+    fn runs_are_deterministic(seed in 0u64..5000, env in 0u64..8, undef in 0u64..4) {
+        let m = gen(seed);
+        let cfg = RunConfig {
+            env_seed: env,
+            undef: if undef == 0 { UndefPolicy::Zero } else { UndefPolicy::Seeded(undef) },
+            ..RunConfig::default()
+        };
+        prop_assert_eq!(run_main(&m, &cfg), run_main(&m, &cfg));
+    }
+
+    /// Every run refines itself (reflexivity of the refinement checker).
+    #[test]
+    fn refinement_is_reflexive(seed in 0u64..5000) {
+        let a = run_main(&gen(seed), &RunConfig::default());
+        prop_assert!(check_refinement(&a, &a).is_ok(), "run does not refine itself");
+    }
+
+    /// Fuel is monotone: a run that finished within `f` steps is
+    /// reproduced exactly by any larger fuel budget.
+    #[test]
+    fn fuel_is_monotone(seed in 0u64..5000, extra in 1u64..10_000) {
+        let m = gen(seed);
+        let base = run_main(&m, &RunConfig::default());
+        if base.end == End::OutOfFuel {
+            return Ok(());
+        }
+        let more = run_main(&m, &RunConfig { fuel: RunConfig::default().fuel + extra, ..RunConfig::default() });
+        prop_assert_eq!(base, more);
+    }
+
+    /// Cutting fuel mid-run yields a *prefix* of the full trace: the
+    /// interpreter never reorders or retracts an emitted event.
+    #[test]
+    fn short_runs_emit_trace_prefixes(seed in 0u64..5000, frac in 0.0f64..1.0) {
+        let m = gen(seed);
+        let full = run_main(&m, &RunConfig::default());
+        let cut = ((full.steps as f64) * frac) as u64;
+        let partial = run_main(&m, &RunConfig { fuel: cut.max(1), ..RunConfig::default() });
+        prop_assert!(
+            partial.events.len() <= full.events.len()
+                && full.events[..partial.events.len()] == partial.events[..],
+            "partial trace is not a prefix: {:?} vs {:?}",
+            partial.events,
+            full.events
+        );
+    }
+
+    /// The refinement checker is total: it never panics, whatever pair of
+    /// runs it is handed — runs of unrelated programs, different undef
+    /// policies, or truncated (out-of-fuel) runs.
+    #[test]
+    fn refinement_checker_is_total(s1 in 0u64..2000, s2 in 0u64..2000, fuel in 1u64..500, us in 0u64..4) {
+        let policy = if us == 0 { UndefPolicy::Zero } else { UndefPolicy::Seeded(us) };
+        let a = run_main(&gen(s1), &RunConfig { undef: policy, ..RunConfig::default() });
+        let b = run_main(&gen(s2), &RunConfig { fuel, ..RunConfig::default() });
+        let _ = check_refinement(&a, &b); // any Result is fine; panics are not
+        let _ = check_refinement(&b, &a);
+    }
+}
