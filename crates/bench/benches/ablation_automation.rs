@@ -18,7 +18,11 @@ fn main() {
     let mut without = [0usize, 0];
     let mut per_pass: std::collections::BTreeMap<String, (usize, usize)> = Default::default();
     for seed in 0..40u64 {
-        let m = generate_module(&GenConfig { seed, functions: 3, ..GenConfig::default() });
+        let m = generate_module(&GenConfig {
+            seed,
+            functions: 3,
+            ..GenConfig::default()
+        });
         for out in [
             mem2reg(&m, &PassConfig::default()),
             gvn(&m, &PassConfig::default()),
@@ -41,7 +45,10 @@ fn main() {
         }
     }
     println!("Ablation — validation with and without automation functions");
-    println!("{:<14} {:>14} {:>18}", "pass", "valid (full)", "valid (no autos)");
+    println!(
+        "{:<14} {:>14} {:>18}",
+        "pass", "valid (full)", "valid (no autos)"
+    );
     for (pass, (full, stripped)) in &per_pass {
         println!("{:<14} {:>14} {:>18}", pass, full, stripped);
     }
@@ -55,5 +62,8 @@ fn main() {
     println!("(the gap is the proof mass the automation derives: transitivity");
     println!(" chains, maydiff reductions, and operand substitutions)");
     assert_eq!(with_autos[1], 0, "fully-equipped proofs must all validate");
-    assert!(without[0] < with_autos[0], "stripping automation must cost validations");
+    assert!(
+        without[0] < with_autos[0],
+        "stripping automation must cost validations"
+    );
 }

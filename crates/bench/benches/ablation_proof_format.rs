@@ -17,7 +17,11 @@ fn run(format: ProofFormat, seeds: u64) -> PipelineReport {
     let checker = CheckerConfig::sound();
     let mut report = PipelineReport::default();
     for seed in 0..seeds {
-        let mut m = generate_module(&GenConfig { seed, functions: 3, ..GenConfig::default() });
+        let mut m = generate_module(&GenConfig {
+            seed,
+            functions: 3,
+            ..GenConfig::default()
+        });
         for pass in PASS_ORDER {
             m = run_validated_pass_with(pass, &m, &config, &checker, format, &mut report);
         }
@@ -26,8 +30,10 @@ fn run(format: ProofFormat, seeds: u64) -> PipelineReport {
 }
 
 fn main() {
-    let seeds: u64 =
-        std::env::var("CRELLVM_CSMITH_N").ok().and_then(|v| v.parse().ok()).unwrap_or(40);
+    let seeds: u64 = std::env::var("CRELLVM_CSMITH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
     let json = run(ProofFormat::Json, seeds);
     let bin = run(ProofFormat::Binary, seeds);
 
@@ -35,15 +41,36 @@ fn main() {
     // same proof.
     assert_eq!(json.steps.len(), bin.steps.len(), "step counts differ");
     for (a, b) in json.steps.iter().zip(&bin.steps) {
-        assert_eq!(a.outcome, b.outcome, "verdict differs at @{} ({})", a.func, a.pass);
+        assert_eq!(
+            a.outcome, b.outcome,
+            "verdict differs at @{} ({})",
+            a.func, a.pass
+        );
     }
 
     let jbytes: usize = json.steps.iter().map(|s| s.proof_bytes).sum();
     let bbytes: usize = bin.steps.iter().map(|s| s.proof_bytes).sum();
-    println!("Ablation — proof wire format ({} modules, {} validations)\n", seeds, json.steps.len());
-    println!("{:<10}{:>14}{:>16}", "format", "I/O time (ms)", "wire bytes");
-    println!("{:<10}{:>14.2}{:>16}", "json", json.time_io.as_secs_f64() * 1e3, jbytes);
-    println!("{:<10}{:>14.2}{:>16}", "binary", bin.time_io.as_secs_f64() * 1e3, bbytes);
+    println!(
+        "Ablation — proof wire format ({} modules, {} validations)\n",
+        seeds,
+        json.steps.len()
+    );
+    println!(
+        "{:<10}{:>14}{:>16}",
+        "format", "I/O time (ms)", "wire bytes"
+    );
+    println!(
+        "{:<10}{:>14.2}{:>16}",
+        "json",
+        json.time_io.as_secs_f64() * 1e3,
+        jbytes
+    );
+    println!(
+        "{:<10}{:>14.2}{:>16}",
+        "binary",
+        bin.time_io.as_secs_f64() * 1e3,
+        bbytes
+    );
     println!(
         "\nbinary is {:.1}x smaller and {:.1}x faster on the I/O column (verdicts identical)",
         jbytes as f64 / bbytes as f64,

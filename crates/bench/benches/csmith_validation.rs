@@ -7,12 +7,18 @@ use crellvm_bench::tables;
 use crellvm_passes::{BugSet, PassConfig};
 
 fn main() {
-    let n: usize = std::env::var("CRELLVM_CSMITH_N").ok().and_then(|s| s.parse().ok()).unwrap_or(200);
+    let n: usize = std::env::var("CRELLVM_CSMITH_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
     let config = PassConfig::with_bugs(BugSet::llvm_3_7_1());
     let rows = run_csmith_experiment(n, 0xC5317, &config);
     print!(
         "{}",
-        tables::csmith(&format!("§7 CSmith experiment — {n} random programs, LLVM 3.7.1 bugs"), &rows)
+        tables::csmith(
+            &format!("§7 CSmith experiment — {n} random programs, LLVM 3.7.1 bugs"),
+            &rows
+        )
     );
     println!("\n(paper shape: mem2reg ~27.7% NS from lifetime intrinsics, gvn 0 NS;");
     println!(" at most a handful of gvn #F from PR28562 when the pattern triggers.)");

@@ -16,10 +16,19 @@ fn main() {
         )
     );
     println!();
-    print!("{}", tables::per_benchmark_results("Fig 13 — per-benchmark results", &r));
+    print!(
+        "{}",
+        tables::per_benchmark_results("Fig 13 — per-benchmark results", &r)
+    );
     println!();
-    print!("{}", tables::per_benchmark_times("Fig 14 — per-benchmark times", &r));
-    let total_f: usize = ["mem2reg", "gvn", "licm", "instcombine"].iter().map(|p| r.total(p).failures).sum();
+    print!(
+        "{}",
+        tables::per_benchmark_times("Fig 14 — per-benchmark times", &r)
+    );
+    let total_f: usize = ["mem2reg", "gvn", "licm", "instcombine"]
+        .iter()
+        .map(|p| r.total(p).failures)
+        .sum();
     println!("\ntotal #F = {total_f} (paper: 0 after the patch)");
     assert_eq!(total_f, 0, "the fixed compiler must produce no failures");
 }

@@ -12,7 +12,9 @@ fn main() {
     print!(
         "{}",
         tables::summary(
-            &format!("Fig 6 — experimental results, LLVM 3.7.1 bug population (scale {scale} fn/KLoC)"),
+            &format!(
+                "Fig 6 — experimental results, LLVM 3.7.1 bug population (scale {scale} fn/KLoC)"
+            ),
             &r
         )
     );

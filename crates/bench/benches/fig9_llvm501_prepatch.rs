@@ -17,8 +17,14 @@ fn main() {
         )
     );
     println!();
-    print!("{}", tables::per_benchmark_results("Fig 10 — per-benchmark results", &r));
+    print!(
+        "{}",
+        tables::per_benchmark_results("Fig 10 — per-benchmark results", &r)
+    );
     println!();
-    print!("{}", tables::per_benchmark_times("Fig 11 — per-benchmark times", &r));
+    print!(
+        "{}",
+        tables::per_benchmark_times("Fig 11 — per-benchmark times", &r)
+    );
     println!("\n(paper shape: mem2reg #F drops to 0, gvn retains 134 PRE failures.)");
 }

@@ -138,7 +138,11 @@ pub fn run_corpus_experiment(scale: f64, seed: u64, config: &PassConfig) -> Corp
 }
 
 /// The §7 CSmith experiment: `n` random programs, validated per pass.
-pub fn run_csmith_experiment(n: usize, seed: u64, config: &PassConfig) -> BTreeMap<&'static str, PassRow> {
+pub fn run_csmith_experiment(
+    n: usize,
+    seed: u64,
+    config: &PassConfig,
+) -> BTreeMap<&'static str, PassRow> {
     let mut rows: BTreeMap<&'static str, PassRow> = BTreeMap::new();
     for k in 0..n {
         let cfg = GenConfig {
@@ -167,7 +171,10 @@ pub fn run_csmith_experiment(n: usize, seed: u64, config: &PassConfig) -> BTreeM
 /// The default experiment scale: functions generated per KLoC of the
 /// original benchmark (override with `CRELLVM_SCALE`).
 pub fn default_scale() -> f64 {
-    std::env::var("CRELLVM_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.05)
+    std::env::var("CRELLVM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05)
 }
 
 #[cfg(test)]
@@ -207,7 +214,10 @@ mod tests {
         let rows = run_csmith_experiment(30, 11, &PassConfig::default());
         let m2r = &rows["mem2reg"];
         let rate = m2r.not_supported as f64 / m2r.validations as f64;
-        assert!(rate > 0.1 && rate < 0.45, "mem2reg NS rate {rate} out of shape");
+        assert!(
+            rate > 0.1 && rate < 0.45,
+            "mem2reg NS rate {rate} out of shape"
+        );
         // gvn is unaffected by lifetime intrinsics (paper: 0 NS for gvn).
         assert_eq!(rows["gvn"].not_supported, 0);
     }

@@ -82,7 +82,9 @@ fn classify(source: &str) -> (usize, usize) {
 /// Panics if the pass sources cannot be found relative to the workspace
 /// (the benches run from the workspace root).
 pub fn measure_sloc() -> Vec<SlocRow> {
-    let base: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "passes", "src"].iter().collect();
+    let base: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "passes", "src"]
+        .iter()
+        .collect();
     let mut rows = Vec::new();
     for pass in ["mem2reg", "gvn", "licm", "instcombine"] {
         let path = base.join(format!("{pass}.rs"));
@@ -117,7 +119,12 @@ mod tests {
             // The paper's ratios range from 0.375 (mem2reg) to 1.93
             // (instcombine); ours should be in the same order of
             // magnitude.
-            assert!(r.ratio() > 0.05 && r.ratio() < 5.0, "{}: ratio {}", r.pass, r.ratio());
+            assert!(
+                r.ratio() > 0.05 && r.ratio() < 5.0,
+                "{}: ratio {}",
+                r.pass,
+                r.ratio()
+            );
         }
     }
 

@@ -16,7 +16,10 @@ fn millis(d: Duration) -> String {
 /// Fig 5: SLOC of proof-generation code.
 pub fn fig5(rows: &[SlocRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig 5 — SLOC of proof-generation code (measured from this repo)");
+    let _ = writeln!(
+        out,
+        "Fig 5 — SLOC of proof-generation code (measured from this repo)"
+    );
     let _ = write!(out, "{:<22}", "");
     for r in rows {
         let _ = write!(out, "{:>14}", r.pass);
@@ -80,7 +83,11 @@ pub fn per_benchmark_results(title: &str, result: &CorpusResult) -> String {
         let _ = write!(out, "{:<20} {:>8.2}", bench.name, bench.loc_k);
         for pass in PASSES {
             let r = br.rows.get(pass).cloned().unwrap_or_default();
-            let _ = write!(out, " | {:>6} {:>4} {:>5}", r.validations, r.failures, r.not_supported);
+            let _ = write!(
+                out,
+                " | {:>6} {:>4} {:>5}",
+                r.validations, r.failures, r.not_supported
+            );
         }
         let _ = writeln!(out);
     }
@@ -90,7 +97,11 @@ pub fn per_benchmark_results(title: &str, result: &CorpusResult) -> String {
     }
     let _ = write!(out, "{:<20} {:>8}", "Total", "");
     for r in &totals {
-        let _ = write!(out, " | {:>6} {:>4} {:>5}", r.validations, r.failures, r.not_supported);
+        let _ = write!(
+            out,
+            " | {:>6} {:>4} {:>5}",
+            r.validations, r.failures, r.not_supported
+        );
     }
     let _ = writeln!(out);
     out
@@ -107,7 +118,11 @@ pub fn per_benchmark_times(title: &str, result: &CorpusResult) -> String {
     let _ = writeln!(out);
     let _ = write!(out, "{:<20}", "(milliseconds)");
     for _ in PASSES {
-        let _ = write!(out, " | {:>7}{:>8}{:>8}{:>8}", "Orig", "PCal", "I/O", "PChk");
+        let _ = write!(
+            out,
+            " | {:>7}{:>8}{:>8}{:>8}",
+            "Orig", "PCal", "I/O", "PChk"
+        );
     }
     let _ = writeln!(out);
     for (bench, br) in &result.benchmarks {
@@ -133,7 +148,11 @@ pub fn per_benchmark_times(title: &str, result: &CorpusResult) -> String {
 pub fn csmith(title: &str, rows: &std::collections::BTreeMap<&'static str, PassRow>) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let _ = writeln!(out, "{:<13} {:>8} {:>6} {:>8} {:>10}", "", "#V", "#F", "#NS", "NS-rate");
+    let _ = writeln!(
+        out,
+        "{:<13} {:>8} {:>6} {:>8} {:>10}",
+        "", "#V", "#F", "#NS", "NS-rate"
+    );
     for (pass, r) in rows {
         let rate = if r.validations > 0 {
             100.0 * r.not_supported as f64 / r.validations as f64

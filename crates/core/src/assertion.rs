@@ -112,12 +112,18 @@ impl Unary {
 
     /// Everything `e` such that `lhs ⊒ e` is present.
     pub fn lessdef_rhs_of(&self, lhs: &Expr) -> Vec<&Expr> {
-        self.lessdefs().filter(|(a, _)| *a == lhs).map(|(_, b)| b).collect()
+        self.lessdefs()
+            .filter(|(a, _)| *a == lhs)
+            .map(|(_, b)| b)
+            .collect()
     }
 
     /// Everything `e` such that `e ⊒ rhs` is present.
     pub fn lessdef_lhs_of(&self, rhs: &Expr) -> Vec<&Expr> {
-        self.lessdefs().filter(|(_, b)| *b == rhs).map(|(a, _)| a).collect()
+        self.lessdefs()
+            .filter(|(_, b)| *b == rhs)
+            .map(|(a, _)| a)
+            .collect()
     }
 
     /// Is `Uniq(r)` present?
@@ -192,7 +198,9 @@ impl Unary {
 
 impl FromIterator<Pred> for Unary {
     fn from_iter<I: IntoIterator<Item = Pred>>(iter: I) -> Unary {
-        Unary { preds: iter.into_iter().collect() }
+        Unary {
+            preds: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -298,7 +306,10 @@ impl Assertion {
         if e.same_shape(e2) {
             let (ops1, ops2) = (e.operands(), e2.operands());
             if ops1.len() == ops2.len()
-                && ops1.iter().zip(&ops2).all(|(a, b)| self.values_equivalent(a, b))
+                && ops1
+                    .iter()
+                    .zip(&ops2)
+                    .all(|(a, b)| self.values_equivalent(a, b))
             {
                 return true;
             }
@@ -343,7 +354,9 @@ impl Assertion {
             return Some(format!("target predicate not derivable: {p}"));
         }
         if let Some(r) = self.maydiff.iter().find(|r| !other.maydiff.contains(*r)) {
-            return Some(format!("register {r} may differ but the goal requires it equal"));
+            return Some(format!(
+                "register {r} may differ but the goal requires it equal"
+            ));
         }
         None
     }
@@ -352,7 +365,13 @@ impl Assertion {
 impl fmt::Display for Assertion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let md: Vec<String> = self.maydiff.iter().map(TReg::to_string).collect();
-        write!(f, "src {} | tgt {} | MD({})", self.src, self.tgt, md.join(", "))
+        write!(
+            f,
+            "src {} | tgt {} | MD({})",
+            self.src,
+            self.tgt,
+            md.join(", ")
+        )
     }
 }
 
@@ -380,8 +399,14 @@ mod tests {
     #[test]
     fn kill_reg_removes_mentions() {
         let mut u = Unary::new();
-        u.insert(ld(Expr::value(TValue::phy(r(0))), Expr::value(TValue::int(Type::I32, 1))));
-        u.insert(ld(Expr::value(TValue::phy(r(1))), Expr::value(TValue::phy(r(0)))));
+        u.insert(ld(
+            Expr::value(TValue::phy(r(0))),
+            Expr::value(TValue::int(Type::I32, 1)),
+        ));
+        u.insert(ld(
+            Expr::value(TValue::phy(r(1))),
+            Expr::value(TValue::phy(r(0))),
+        ));
         u.insert(Pred::Uniq(r(0)));
         u.insert(Pred::Uniq(r(2)));
         assert_eq!(u.kill_reg(&TReg::Phy(r(0))), 3);
@@ -428,7 +453,10 @@ mod tests {
         // x ⊒ 42 in src licenses x_src ∼ 42_tgt.
         let mut a = Assertion::new();
         a.add_maydiff(TReg::Phy(r(0)));
-        a.src.insert_lessdef(Expr::value(TValue::phy(r(0))), Expr::value(TValue::int(Type::I32, 42)));
+        a.src.insert_lessdef(
+            Expr::value(TValue::phy(r(0))),
+            Expr::value(TValue::int(Type::I32, 42)),
+        );
         assert!(a.values_equivalent(&TValue::phy(r(0)), &TValue::int(Type::I32, 42)));
         assert!(!a.values_equivalent(&TValue::phy(r(0)), &TValue::int(Type::I32, 41)));
     }
@@ -439,8 +467,14 @@ mod tests {
         let mut a = Assertion::new();
         a.add_maydiff(TReg::Phy(r(0))); // b
         a.add_maydiff(TReg::Phy(r(1))); // p1
-        a.src.insert_lessdef(Expr::value(TValue::phy(r(0))), Expr::value(TValue::ghost("b")));
-        a.tgt.insert_lessdef(Expr::value(TValue::ghost("b")), Expr::value(TValue::phy(r(1))));
+        a.src.insert_lessdef(
+            Expr::value(TValue::phy(r(0))),
+            Expr::value(TValue::ghost("b")),
+        );
+        a.tgt.insert_lessdef(
+            Expr::value(TValue::ghost("b")),
+            Expr::value(TValue::phy(r(1))),
+        );
         assert!(a.values_equivalent(&TValue::phy(r(0)), &TValue::phy(r(1))));
         // If the ghost itself may differ, the hop is invalid.
         a.add_maydiff(TReg::ghost("b"));
@@ -451,8 +485,14 @@ mod tests {
     fn expr_equivalence_shapewise() {
         let mut a = Assertion::new();
         a.add_maydiff(TReg::Phy(r(1)));
-        a.src.insert_lessdef(Expr::value(TValue::phy(r(1))), Expr::value(TValue::ghost("v")));
-        a.tgt.insert_lessdef(Expr::value(TValue::ghost("v")), Expr::value(TValue::phy(r(1))));
+        a.src.insert_lessdef(
+            Expr::value(TValue::phy(r(1))),
+            Expr::value(TValue::ghost("v")),
+        );
+        a.tgt.insert_lessdef(
+            Expr::value(TValue::ghost("v")),
+            Expr::value(TValue::phy(r(1))),
+        );
         let e1 = Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(0)), TValue::phy(r(1)));
         let e2 = Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(0)), TValue::phy(r(1)));
         assert!(a.exprs_equivalent(&e1, &e2));
@@ -463,12 +503,21 @@ mod tests {
     #[test]
     fn inclusion_and_diagnostics() {
         let mut q = Assertion::new();
-        q.src.insert_lessdef(Expr::value(TValue::phy(r(0))), Expr::value(TValue::int(Type::I32, 1)));
+        q.src.insert_lessdef(
+            Expr::value(TValue::phy(r(0))),
+            Expr::value(TValue::int(Type::I32, 1)),
+        );
         let mut goal = Assertion::new();
         assert!(q.implies(&goal));
-        goal.src.insert_lessdef(Expr::value(TValue::phy(r(9))), Expr::value(TValue::int(Type::I32, 2)));
+        goal.src.insert_lessdef(
+            Expr::value(TValue::phy(r(9))),
+            Expr::value(TValue::int(Type::I32, 2)),
+        );
         assert!(!q.implies(&goal));
-        assert!(q.why_not_implies(&goal).unwrap().contains("source predicate"));
+        assert!(q
+            .why_not_implies(&goal)
+            .unwrap()
+            .contains("source predicate"));
 
         // Maydiff direction: smaller maydiff implies larger.
         let mut q2 = Assertion::new();

@@ -50,7 +50,13 @@ pub fn run_auto(kind: AutoKind, q: &Assertion, goal: &Assertion) -> Vec<InfRule>
 
 /// Bounded BFS over one side's lessdef graph from `from` towards `to`;
 /// returns the chain of intermediate expressions if found.
-fn lessdef_path(q: &Assertion, side: Side, from: &Expr, to: &Expr, max_depth: usize) -> Option<Vec<Expr>> {
+fn lessdef_path(
+    q: &Assertion,
+    side: Side,
+    from: &Expr,
+    to: &Expr,
+    max_depth: usize,
+) -> Option<Vec<Expr>> {
     if from == to {
         return Some(vec![from.clone()]);
     }
@@ -145,7 +151,10 @@ fn auto_reduce_maydiff(q: &Assertion, goal: &Assertion) -> Vec<InfRule> {
                 if let Some(chain) = lessdef_path_rev(q, Side::Tgt, via, &rv, 4) {
                     rules.extend(chain_rules(Side::Tgt, &chain));
                 }
-                rules.push(InfRule::ReduceMaydiffLessdef { r: r.clone(), via: via.clone() });
+                rules.push(InfRule::ReduceMaydiffLessdef {
+                    r: r.clone(),
+                    via: via.clone(),
+                });
                 found = true;
             }
         }
@@ -261,7 +270,10 @@ fn try_operand_substitution(q: &Assertion, r: &TReg, rules: &mut Vec<InfRule>) -
             let mut full_tgt: Vec<Expr> = tgt_chain;
             full_tgt.push(rv.clone());
             rules.extend(chain_rules(Side::Tgt, &full_tgt));
-            rules.push(InfRule::ReduceMaydiffLessdef { r: r.clone(), via: mid });
+            rules.push(InfRule::ReduceMaydiffLessdef {
+                r: r.clone(),
+                via: mid,
+            });
             return true;
         }
     }
@@ -333,14 +345,22 @@ fn reachable_lhs(q: &Assertion, side: Side, to: &Expr, max_depth: usize) -> Hash
 
 /// Like [`lessdef_path`] but the result chain ends at a register `to`
 /// (searching backwards from `to`).
-fn lessdef_path_rev(q: &Assertion, side: Side, from: &Expr, to: &Expr, max_depth: usize) -> Option<Vec<Expr>> {
+fn lessdef_path_rev(
+    q: &Assertion,
+    side: Side,
+    from: &Expr,
+    to: &Expr,
+    max_depth: usize,
+) -> Option<Vec<Expr>> {
     lessdef_path(q, side, from, to, max_depth)
 }
 
 /// Is every register of `e` injected, ignoring `except` (which is about to
 /// be removed from the maydiff set)?
 fn injected_except(q: &Assertion, e: &Expr, except: &TReg) -> bool {
-    e.regs().iter().all(|r| r == except || !q.maydiff.contains(r))
+    e.regs()
+        .iter()
+        .all(|r| r == except || !q.maydiff.contains(r))
 }
 
 #[cfg(test)]
@@ -360,7 +380,8 @@ mod tests {
     fn apply_all(q: &Assertion, rules: &[InfRule]) -> Assertion {
         let mut cur = q.clone();
         for rule in rules {
-            cur = apply_inf(rule, &cur, &CheckerConfig::sound()).expect("auto-proposed rule applies");
+            cur =
+                apply_inf(rule, &cur, &CheckerConfig::sound()).expect("auto-proposed rule applies");
         }
         cur
     }
@@ -424,7 +445,11 @@ mod tests {
         q.add_maydiff(TReg::Phy(RegId::from_index(0)));
         let mut goal = Assertion::new();
         goal.src.insert_lessdef(ev(r(7)), ev(r(8)));
-        for kind in [AutoKind::Transitivity, AutoKind::ReduceMaydiff, AutoKind::GvnPre] {
+        for kind in [
+            AutoKind::Transitivity,
+            AutoKind::ReduceMaydiff,
+            AutoKind::GvnPre,
+        ] {
             let rules = run_auto(kind, &q, &goal);
             let _ = apply_all(&q, &rules); // must not panic
         }

@@ -23,6 +23,7 @@ use crate::infrule::{apply_inf, CheckerConfig};
 use crate::postcond::{calc_post_cmd, calc_post_phi};
 use crate::proof::{ProofUnit, RulePos, SlotId};
 use crellvm_ir::{RegId, Term, Value};
+use crellvm_telemetry::{Event, Telemetry};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -51,7 +52,11 @@ pub struct ValidationError {
 
 impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "validation of @{} ({}) failed at {}: {}", self.func, self.pass, self.at, self.reason)
+        write!(
+            f,
+            "validation of @{} ({}) failed at {}: {}",
+            self.func, self.pass, self.at, self.reason
+        )
     }
 }
 
@@ -60,6 +65,7 @@ impl std::error::Error for ValidationError {}
 struct Ctx<'a> {
     unit: &'a ProofUnit,
     config: &'a CheckerConfig,
+    tel: &'a Telemetry,
 }
 
 impl Ctx<'_> {
@@ -96,18 +102,28 @@ impl Ctx<'_> {
                 return Err(self.err("CheckCFG", format!("block {b} names differ")));
             }
             if sb.term.successors() != tb.term.successors() {
-                return Err(self.err("CheckCFG", format!("block {} branches to different targets", sb.name)));
+                return Err(self.err(
+                    "CheckCFG",
+                    format!("block {} branches to different targets", sb.name),
+                ));
             }
             // Alignment row counts must match the statement counts.
             let rows = &self.unit.alignment[b];
-            let src_rows =
-                rows.iter().filter(|r| !matches!(r, crate::proof::RowShape::TgtOnly)).count();
-            let tgt_rows =
-                rows.iter().filter(|r| !matches!(r, crate::proof::RowShape::SrcOnly)).count();
+            let src_rows = rows
+                .iter()
+                .filter(|r| !matches!(r, crate::proof::RowShape::TgtOnly))
+                .count();
+            let tgt_rows = rows
+                .iter()
+                .filter(|r| !matches!(r, crate::proof::RowShape::SrcOnly))
+                .count();
             if src_rows != sb.stmts.len() || tgt_rows != tb.stmts.len() {
                 return Err(self.err(
                     "CheckCFG",
-                    format!("alignment of block {} is inconsistent with the code", sb.name),
+                    format!(
+                        "alignment of block {} is inconsistent with the code",
+                        sb.name
+                    ),
                 ));
             }
             // Assertion map totality.
@@ -142,7 +158,10 @@ impl Ctx<'_> {
                         }
                     }
                     Pred::Priv(_) => {
-                        return Err(self.err(at, format!("{side_name} claims privacy of a logical register")))
+                        return Err(self.err(
+                            at,
+                            format!("{side_name} claims privacy of a logical register"),
+                        ))
                     }
                     Pred::Lessdef(a, b) => {
                         if a != b {
@@ -153,7 +172,9 @@ impl Ctx<'_> {
                         }
                     }
                     Pred::Noalias(..) => {
-                        return Err(self.err(at, format!("{side_name} assumes aliasing facts at entry")))
+                        return Err(
+                            self.err(at, format!("{side_name} assumes aliasing facts at entry"))
+                        )
                     }
                 }
             }
@@ -193,7 +214,11 @@ impl Ctx<'_> {
         at: &str,
     ) -> Result<(), ValidationError> {
         for rule in rules {
-            q = apply_inf(rule, &q, self.config).map_err(|e| self.err(at, e.to_string()))?;
+            self.count_rule(rule);
+            q = apply_inf(rule, &q, self.config).map_err(|e| {
+                self.tel.count("checker.rule_failures", 1);
+                self.err(at, e.to_string())
+            })?;
         }
         Self::cleanup_logical_maydiff(&mut q, goal);
         if q.implies(goal) {
@@ -202,6 +227,7 @@ impl Ctx<'_> {
         for kind in &self.unit.autos {
             for rule in run_auto(*kind, &q, goal) {
                 if let Ok(next) = apply_inf(&rule, &q, self.config) {
+                    self.count_rule(&rule);
                     q = next;
                 }
             }
@@ -209,15 +235,24 @@ impl Ctx<'_> {
                 return Ok(());
             }
         }
-        let why = q.why_not_implies(goal).unwrap_or_else(|| "inclusion check failed".into());
+        let why = q
+            .why_not_implies(goal)
+            .unwrap_or_else(|| "inclusion check failed".into());
         Err(self.err(at, why))
+    }
+
+    /// Record one inference-rule application (explicit or automation-
+    /// generated) under `checker.rule.<name>` — the paper's Fig 7 axis.
+    fn count_rule(&self, rule: &crate::infrule::InfRule) {
+        self.tel.count(&format!("checker.rule.{}", rule.name()), 1);
     }
 
     /// Equivalence of terminators under the block's final assertion.
     fn check_term(&self, b: usize, a: &Assertion) -> Result<(), ValidationError> {
         let at = format!("terminator of block {}", self.block_name(b));
         let (st, tt) = (&self.unit.src.blocks[b].term, &self.unit.tgt.blocks[b].term);
-        let equiv = |x: &Value, y: &Value| a.values_equivalent(&TValue::of_value(x), &TValue::of_value(y));
+        let equiv =
+            |x: &Value, y: &Value| a.values_equivalent(&TValue::of_value(x), &TValue::of_value(y));
         let traps = |v: &Value| matches!(v, Value::Const(c) if c.may_trap());
         match (st, tt) {
             (Term::Ret(None), Term::Ret(None)) => Ok(()),
@@ -226,7 +261,9 @@ impl Ctx<'_> {
                     return Err(self.err(at, "return types differ"));
                 }
                 if !equiv(v1, v2) {
-                    return Err(self.err(at, format!("returned values may differ: {v1:?} vs {v2:?}")));
+                    return Err(
+                        self.err(at, format!("returned values may differ: {v1:?} vs {v2:?}"))
+                    );
                 }
                 Ok(())
             }
@@ -241,8 +278,18 @@ impl Ctx<'_> {
                 Ok(())
             }
             (
-                Term::Switch { ty: t1, val: v1, cases: c1, .. },
-                Term::Switch { ty: t2, val: v2, cases: c2, .. },
+                Term::Switch {
+                    ty: t1,
+                    val: v1,
+                    cases: c1,
+                    ..
+                },
+                Term::Switch {
+                    ty: t2,
+                    val: v2,
+                    cases: c2,
+                    ..
+                },
             ) => {
                 if t1 != t2 || c1 != c2 {
                     return Err(self.err(at, "switch shapes differ"));
@@ -267,13 +314,19 @@ impl Ctx<'_> {
             let nrows = self.unit.row_count(b);
             for row in 0..nrows {
                 let a = self.unit.assertion(SlotId::new(b, row)).clone();
+                self.tel.count("checker.rows", 1);
+                let preds = a.src.iter().count() + a.tgt.iter().count() + a.maydiff.len();
+                self.tel.observe("checker.assertion_preds", preds as u64);
                 let (ms, mt) = self.unit.row(b, row);
                 let at = format!("block {}, row {row}", self.block_name(b));
                 check_equiv_beh(&a, ms.stmt(), mt.stmt(), self.config)
                     .map_err(|e| self.err(&at, e.to_string()))?;
                 let post = calc_post_cmd(&a, ms.stmt(), mt.stmt());
                 let goal = self.unit.assertion(SlotId::new(b, row + 1));
-                let rules = self.unit.rules_at(RulePos::AfterRow { block: b as u32, row: row as u32 });
+                let rules = self.unit.rules_at(RulePos::AfterRow {
+                    block: b as u32,
+                    row: row as u32,
+                });
                 self.discharge(post, goal, rules, &at)?;
             }
             let end = self.unit.assertion(SlotId::new(b, nrows)).clone();
@@ -304,7 +357,10 @@ impl Ctx<'_> {
                     post.tgt.insert_lessdef(e1, e2);
                 }
                 let goal = self.unit.assertion(SlotId::new(sb, 0));
-                let rules = self.unit.rules_at(RulePos::Edge { from: b as u32, to: sb as u32 });
+                let rules = self.unit.rules_at(RulePos::Edge {
+                    from: b as u32,
+                    to: sb as u32,
+                });
                 self.discharge(post, goal, rules, &at)?;
             }
         }
@@ -318,11 +374,57 @@ impl Ctx<'_> {
 ///
 /// Returns a [`ValidationError`] pinpointing the failing program point and
 /// the logical reason.
-pub fn validate_with_config(unit: &ProofUnit, config: &CheckerConfig) -> Result<Verdict, ValidationError> {
+pub fn validate_with_config(
+    unit: &ProofUnit,
+    config: &CheckerConfig,
+) -> Result<Verdict, ValidationError> {
+    validate_with_telemetry(unit, config, &Telemetry::disabled())
+}
+
+/// [`validate_with_config`] with telemetry: per-rule application counters,
+/// assertion-size histograms, and one `validation.step` trace event per
+/// proof unit (plus a `validation.failure` event carrying the failing
+/// pass/function/position/reason — the proof-audit log).
+///
+/// # Errors
+///
+/// See [`validate_with_config`].
+pub fn validate_with_telemetry(
+    unit: &ProofUnit,
+    config: &CheckerConfig,
+    tel: &Telemetry,
+) -> Result<Verdict, ValidationError> {
+    tel.count("checker.validations", 1);
+    let step = |verdict: &str| {
+        Event::new("validation.step")
+            .str("pass", unit.pass.clone())
+            .str("func", unit.src.name.clone())
+            .str("verdict", verdict)
+    };
     if let Some(reason) = &unit.not_supported {
+        tel.count("checker.not_supported", 1);
+        tel.emit(step("not_supported").str("reason", reason.clone()));
         return Ok(Verdict::NotSupported(reason.clone()));
     }
-    Ctx { unit, config }.run().map(|()| Verdict::Valid)
+    match (Ctx { unit, config, tel }).run() {
+        Ok(()) => {
+            tel.count("checker.valid", 1);
+            tel.emit(step("valid"));
+            Ok(Verdict::Valid)
+        }
+        Err(e) => {
+            tel.count("checker.failures", 1);
+            tel.emit(step("failed").str("at", e.at.clone()));
+            tel.emit(
+                Event::new("validation.failure")
+                    .str("pass", e.pass.clone())
+                    .str("func", e.func.clone())
+                    .str("at", e.at.clone())
+                    .str("reason", e.reason.clone()),
+            );
+            Err(e)
+        }
+    }
 }
 
 /// Validate a proof unit with the sound default configuration.
@@ -418,33 +520,46 @@ mod tests {
 
         let mut pb = ProofBuilder::new("instcombine.assoc-add", &f);
         // Replace y := add x 2 with y := add a 3.
-        pb.replace_tgt(0, 1, Inst::Bin {
-            op: BinOp::Add,
-            ty: Type::I32,
-            lhs: Value::Reg(a),
-            rhs: Value::int(Type::I32, 3),
-        });
+        pb.replace_tgt(
+            0,
+            1,
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Type::I32,
+                lhs: Value::Reg(a),
+                rhs: Value::int(Type::I32, 3),
+            },
+        );
         // Assn(x ⊒ add a 1, l1, l2): between the def of x and its use.
         pb.range_pred(
             Side::Src,
             Pred::Lessdef(
                 Expr::Value(TValue::phy(xr)),
-                Expr::bin(BinOp::Add, Type::I32, TValue::phy(a), TValue::int(Type::I32, 1)),
+                Expr::bin(
+                    BinOp::Add,
+                    Type::I32,
+                    TValue::phy(a),
+                    TValue::int(Type::I32, 1),
+                ),
             ),
             crate::proof::Loc::AfterRow(0, 0),
             crate::proof::Loc::AfterRow(0, 0),
         );
         // Inf(assoc_add(x, y, a, 1, 2), l2)
-        pb.infrule_after_src(0, 1, crate::infrule::InfRule::Arith(ArithRule::AddAssoc {
-            side: Side::Src,
-            op: BinOp::Add,
-            ty: Type::I32,
-            x: TValue::phy(xr),
-            y: TValue::phy(yr),
-            a: TValue::phy(a),
-            c1: Const::int(Type::I32, 1),
-            c2: Const::int(Type::I32, 2),
-        }));
+        pb.infrule_after_src(
+            0,
+            1,
+            crate::infrule::InfRule::Arith(ArithRule::AddAssoc {
+                side: Side::Src,
+                op: BinOp::Add,
+                ty: Type::I32,
+                x: TValue::phy(xr),
+                y: TValue::phy(yr),
+                a: TValue::phy(a),
+                c1: Const::int(Type::I32, 1),
+                c2: Const::int(Type::I32, 2),
+            }),
+        );
         // Auto(reduce_maydiff)
         pb.auto(crate::auto::AutoKind::ReduceMaydiff);
         let unit = pb.finish();
@@ -470,12 +585,16 @@ mod tests {
         );
         let a = f.params[0].1;
         let mut pb = ProofBuilder::new("instcombine.assoc-add", &f);
-        pb.replace_tgt(0, 1, Inst::Bin {
-            op: BinOp::Add,
-            ty: Type::I32,
-            lhs: Value::Reg(a),
-            rhs: Value::int(Type::I32, 3),
-        });
+        pb.replace_tgt(
+            0,
+            1,
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Type::I32,
+                lhs: Value::Reg(a),
+                rhs: Value::int(Type::I32, 3),
+            },
+        );
         pb.auto(crate::auto::AutoKind::ReduceMaydiff);
         let unit = pb.finish();
         let err = validate(&unit).unwrap_err();
@@ -503,22 +622,30 @@ mod tests {
         let yr = f.blocks[0].stmts[1].result.unwrap();
         let mut pb = ProofBuilder::new("instcombine.assoc-add", &f);
         // BUG: folds 1+2 to 4.
-        pb.replace_tgt(0, 1, Inst::Bin {
-            op: BinOp::Add,
-            ty: Type::I32,
-            lhs: Value::Reg(a),
-            rhs: Value::int(Type::I32, 4),
-        });
-        pb.infrule_after_src(0, 1, crate::infrule::InfRule::Arith(ArithRule::AddAssoc {
-            side: Side::Src,
-            op: BinOp::Add,
-            ty: Type::I32,
-            x: TValue::phy(xr),
-            y: TValue::phy(yr),
-            a: TValue::phy(a),
-            c1: Const::int(Type::I32, 1),
-            c2: Const::int(Type::I32, 2),
-        }));
+        pb.replace_tgt(
+            0,
+            1,
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Type::I32,
+                lhs: Value::Reg(a),
+                rhs: Value::int(Type::I32, 4),
+            },
+        );
+        pb.infrule_after_src(
+            0,
+            1,
+            crate::infrule::InfRule::Arith(ArithRule::AddAssoc {
+                side: Side::Src,
+                op: BinOp::Add,
+                ty: Type::I32,
+                x: TValue::phy(xr),
+                y: TValue::phy(yr),
+                a: TValue::phy(a),
+                c1: Const::int(Type::I32, 1),
+                c2: Const::int(Type::I32, 2),
+            }),
+        );
         pb.auto(crate::auto::AutoKind::ReduceMaydiff);
         let unit = pb.finish();
         assert!(validate(&unit).is_err());
@@ -548,7 +675,10 @@ mod tests {
         let mut pb = ProofBuilder::new("gvn", &f);
         pb.mark_not_supported("vector operations");
         let unit = pb.finish();
-        assert_eq!(validate(&unit), Ok(Verdict::NotSupported("vector operations".into())));
+        assert_eq!(
+            validate(&unit),
+            Ok(Verdict::NotSupported("vector operations".into()))
+        );
     }
 
     #[test]
@@ -567,14 +697,22 @@ mod tests {
         );
         let b = f.params[1].1;
         let mut pb = ProofBuilder::new("bogus", &f);
-        pb.replace_tgt(0, 0, Inst::Call {
-            ret: None,
-            callee: "print".into(),
-            args: vec![(Type::I32, Value::Reg(b))],
-        });
+        pb.replace_tgt(
+            0,
+            0,
+            Inst::Call {
+                ret: None,
+                callee: "print".into(),
+                args: vec![(Type::I32, Value::Reg(b))],
+            },
+        );
         let unit = pb.finish();
         let err = validate(&unit).unwrap_err();
-        assert!(err.reason.contains("argument may differ"), "got: {}", err.reason);
+        assert!(
+            err.reason.contains("argument may differ"),
+            "got: {}",
+            err.reason
+        );
     }
 
     #[test]
@@ -597,7 +735,14 @@ mod tests {
         let mut pb = ProofBuilder::new("gvn-like", &f);
         let t = f.block_by_name("t").unwrap();
         let e = f.block_by_name("e").unwrap();
-        pb.set_tgt_term(0, Term::CondBr { cond: Value::Reg(d), if_true: t, if_false: e });
+        pb.set_tgt_term(
+            0,
+            Term::CondBr {
+                cond: Value::Reg(d),
+                if_true: t,
+                if_false: e,
+            },
+        );
         // Valid once the proof records the defining expressions up to the
         // terminator: %c ∼ %d through the common icmp expression.
         let c = f.blocks[0].stmts[0].result.unwrap();
@@ -642,7 +787,14 @@ mod tests {
         let mut pb = ProofBuilder::new("gvn-like", &f2);
         let t = f2.block_by_name("t").unwrap();
         let e = f2.block_by_name("e").unwrap();
-        pb.set_tgt_term(0, Term::CondBr { cond: Value::Reg(d2), if_true: t, if_false: e });
+        pb.set_tgt_term(
+            0,
+            Term::CondBr {
+                cond: Value::Reg(d2),
+                if_true: t,
+                if_false: e,
+            },
+        );
         let unit = pb.finish();
         let err = validate(&unit).unwrap_err();
         assert!(err.at.contains("terminator"));
@@ -668,6 +820,6 @@ mod tests {
         let _ = Expr::undef(Type::I1);
     }
 
-    use crellvm_ir::Value;
     use crellvm_ir::Term;
+    use crellvm_ir::Value;
 }

@@ -42,7 +42,9 @@ impl fmt::Display for EquivError {
 impl std::error::Error for EquivError {}
 
 fn fail(reason: impl Into<String>) -> Result<(), EquivError> {
-    Err(EquivError { reason: reason.into() })
+    Err(EquivError {
+        reason: reason.into(),
+    })
 }
 
 fn tv(v: &Value) -> TValue {
@@ -71,7 +73,12 @@ fn consumed_operands(inst: &Inst) -> Vec<&Value> {
 }
 
 /// Check a divisor: equivalent to a source divisor, or a non-zero literal.
-fn divisor_ok(p: &Assertion, src: Option<&Inst>, tgt_divisor: &Value, tgt_ty: crellvm_ir::Type) -> bool {
+fn divisor_ok(
+    p: &Assertion,
+    src: Option<&Inst>,
+    tgt_divisor: &Value,
+    tgt_ty: crellvm_ir::Type,
+) -> bool {
     // Literal non-zero is always fine.
     if let Value::Const(Const::Int { bits, .. }) = tgt_divisor {
         if tgt_ty.truncate(*bits) != 0 {
@@ -117,7 +124,18 @@ pub fn check_equiv_beh(
 
     match (src_inst, tgt_inst) {
         // --- calls -------------------------------------------------------
-        (Some(Inst::Call { callee: cs, args: ars, ret: rs }), Some(Inst::Call { callee: ct, args: art, ret: rt })) => {
+        (
+            Some(Inst::Call {
+                callee: cs,
+                args: ars,
+                ret: rs,
+            }),
+            Some(Inst::Call {
+                callee: ct,
+                args: art,
+                ret: rt,
+            }),
+        ) => {
             if cs != ct {
                 return fail(format!("source calls @{cs} but target calls @{ct}"));
             }
@@ -169,7 +187,18 @@ pub fn check_equiv_beh(
         }
 
         // --- stores --------------------------------------------------------
-        (Some(Inst::Store { ty: t1, val: v1, ptr: p1 }), Some(Inst::Store { ty: t2, val: v2, ptr: p2 })) => {
+        (
+            Some(Inst::Store {
+                ty: t1,
+                val: v1,
+                ptr: p1,
+            }),
+            Some(Inst::Store {
+                ty: t2,
+                val: v2,
+                ptr: p2,
+            }),
+        ) => {
             if t1 != t2 {
                 return fail("store types differ");
             }
@@ -249,7 +278,14 @@ mod tests {
     }
 
     fn call_print(arg: Value) -> Stmt {
-        st(None, Inst::Call { ret: None, callee: "print".into(), args: vec![(Type::I32, arg)] })
+        st(
+            None,
+            Inst::Call {
+                ret: None,
+                callee: "print".into(),
+                args: vec![(Type::I32, arg)],
+            },
+        )
     }
 
     fn cfg() -> CheckerConfig {
@@ -281,7 +317,14 @@ mod tests {
     #[test]
     fn dropped_store_needs_privacy() {
         let mut p = Assertion::new();
-        let s = st(None, Inst::Store { ty: Type::I32, val: Value::int(Type::I32, 1), ptr: Value::Reg(r(0)) });
+        let s = st(
+            None,
+            Inst::Store {
+                ty: Type::I32,
+                val: Value::int(Type::I32, 1),
+                ptr: Value::Reg(r(0)),
+            },
+        );
         assert!(check_equiv_beh(&p, Some(&s), None, &cfg()).is_err());
         p.src.insert(crate::assertion::Pred::Uniq(r(0)));
         assert!(check_equiv_beh(&p, Some(&s), None, &cfg()).is_ok());
@@ -290,11 +333,23 @@ mod tests {
     #[test]
     fn target_side_memory_ops_cannot_appear_from_nowhere() {
         let p = Assertion::new();
-        let ld = st(Some(r(1)), Inst::Load { ty: Type::I32, ptr: Value::Reg(r(0)) });
+        let ld = st(
+            Some(r(1)),
+            Inst::Load {
+                ty: Type::I32,
+                ptr: Value::Reg(r(0)),
+            },
+        );
         assert!(check_equiv_beh(&p, None, Some(&ld), &cfg()).is_err());
         // Source load dropped: fine.
         assert!(check_equiv_beh(&p, Some(&ld), None, &cfg()).is_ok());
-        let al = st(Some(r(1)), Inst::Alloca { ty: Type::I32, count: 1 });
+        let al = st(
+            Some(r(1)),
+            Inst::Alloca {
+                ty: Type::I32,
+                count: 1,
+            },
+        );
         assert!(check_equiv_beh(&p, None, Some(&al), &cfg()).is_err());
         assert!(check_equiv_beh(&p, Some(&al), None, &cfg()).is_ok());
     }
@@ -304,7 +359,12 @@ mod tests {
         let p = Assertion::new();
         let div_by_reg = st(
             Some(r(2)),
-            Inst::Bin { op: BinOp::SDiv, ty: Type::I32, lhs: Value::Reg(r(0)), rhs: Value::Reg(r(1)) },
+            Inst::Bin {
+                op: BinOp::SDiv,
+                ty: Type::I32,
+                lhs: Value::Reg(r(0)),
+                rhs: Value::Reg(r(1)),
+            },
         );
         // Introduced out of thin air: rejected.
         assert!(check_equiv_beh(&p, None, Some(&div_by_reg), &cfg()).is_err());
@@ -313,13 +373,23 @@ mod tests {
         // Literal non-zero divisor: accepted even target-only.
         let div_lit = st(
             Some(r(2)),
-            Inst::Bin { op: BinOp::SDiv, ty: Type::I32, lhs: Value::Reg(r(0)), rhs: Value::int(Type::I32, 4) },
+            Inst::Bin {
+                op: BinOp::SDiv,
+                ty: Type::I32,
+                lhs: Value::Reg(r(0)),
+                rhs: Value::int(Type::I32, 4),
+            },
         );
         assert!(check_equiv_beh(&p, None, Some(&div_lit), &cfg()).is_ok());
         // Literal zero: rejected.
         let div_zero = st(
             Some(r(2)),
-            Inst::Bin { op: BinOp::SDiv, ty: Type::I32, lhs: Value::Reg(r(0)), rhs: Value::int(Type::I32, 0) },
+            Inst::Bin {
+                op: BinOp::SDiv,
+                ty: Type::I32,
+                lhs: Value::Reg(r(0)),
+                rhs: Value::int(Type::I32, 0),
+            },
         );
         assert!(check_equiv_beh(&p, None, Some(&div_zero), &cfg()).is_err());
     }
@@ -329,7 +399,8 @@ mod tests {
         let g = Const::Global("G".into());
         let gi: Const = ConstExpr::PtrToInt(g, Type::I32).into();
         let diff: Const = ConstExpr::Bin(BinOp::Sub, Type::I32, gi.clone(), gi).into();
-        let div: Const = ConstExpr::Bin(BinOp::SDiv, Type::I32, Const::int(Type::I32, 1), diff).into();
+        let div: Const =
+            ConstExpr::Bin(BinOp::SDiv, Type::I32, Const::int(Type::I32, 1), diff).into();
 
         let p = Assertion::new();
         // Target passes the trapping constant to a call; source passes a register.
@@ -351,15 +422,30 @@ mod tests {
         // Identical instructions are fine even when trapping (both trap).
         assert!(check_equiv_beh(&p, Some(&t), Some(&t), &cfg()).is_ok());
         // Storing the trapping constant does not consume it.
-        let store_trap =
-            st(None, Inst::Store { ty: Type::I32, val: Value::Const(div), ptr: Value::Reg(r(1)) });
-        let store_reg =
-            st(None, Inst::Store { ty: Type::I32, val: Value::Reg(r(0)), ptr: Value::Reg(r(1)) });
+        let store_trap = st(
+            None,
+            Inst::Store {
+                ty: Type::I32,
+                val: Value::Const(div),
+                ptr: Value::Reg(r(1)),
+            },
+        );
+        let store_reg = st(
+            None,
+            Inst::Store {
+                ty: Type::I32,
+                val: Value::Reg(r(0)),
+                ptr: Value::Reg(r(1)),
+            },
+        );
         let mut p3 = Assertion::new();
         p3.src.insert_lessdef(
             Expr::Value(TValue::phy(r(0))),
             Expr::Value(TValue::Const(match &store_trap.inst {
-                Inst::Store { val: Value::Const(c), .. } => c.clone(),
+                Inst::Store {
+                    val: Value::Const(c),
+                    ..
+                } => c.clone(),
                 _ => unreachable!(),
             })),
         );
@@ -371,7 +457,12 @@ mod tests {
         let p = Assertion::new();
         let add = st(
             Some(r(1)),
-            Inst::Bin { op: BinOp::Add, ty: Type::I32, lhs: Value::Reg(r(0)), rhs: Value::int(Type::I32, 1) },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Type::I32,
+                lhs: Value::Reg(r(0)),
+                rhs: Value::int(Type::I32, 1),
+            },
         );
         assert!(check_equiv_beh(&p, Some(&add), None, &cfg()).is_ok());
         assert!(check_equiv_beh(&p, None, Some(&add), &cfg()).is_ok());

@@ -258,12 +258,20 @@ impl Expr {
 
     /// Binary-op shorthand.
     pub fn bin(op: BinOp, ty: Type, a: impl Into<TValue>, b: impl Into<TValue>) -> Expr {
-        Expr::Bin { op, ty, a: a.into(), b: b.into() }
+        Expr::Bin {
+            op,
+            ty,
+            a: a.into(),
+            b: b.into(),
+        }
     }
 
     /// Load shorthand (`*p` in the paper's notation).
     pub fn load(ty: Type, ptr: impl Into<TValue>) -> Expr {
-        Expr::Load { ty, ptr: ptr.into() }
+        Expr::Load {
+            ty,
+            ptr: ptr.into(),
+        }
     }
 
     /// Lift an instruction's RHS into an expression, tagging register
@@ -271,28 +279,52 @@ impl Expr {
     /// (`store`, `call`, `alloca`, `unsupported`).
     pub fn of_inst(inst: &Inst) -> Option<Expr> {
         match inst {
-            Inst::Bin { op, ty, lhs, rhs } => {
-                Some(Expr::Bin { op: *op, ty: *ty, a: TValue::of_value(lhs), b: TValue::of_value(rhs) })
-            }
-            Inst::Icmp { pred, ty, lhs, rhs } => {
-                Some(Expr::Icmp { pred: *pred, ty: *ty, a: TValue::of_value(lhs), b: TValue::of_value(rhs) })
-            }
-            Inst::Select { ty, cond, on_true, on_false } => Some(Expr::Select {
+            Inst::Bin { op, ty, lhs, rhs } => Some(Expr::Bin {
+                op: *op,
+                ty: *ty,
+                a: TValue::of_value(lhs),
+                b: TValue::of_value(rhs),
+            }),
+            Inst::Icmp { pred, ty, lhs, rhs } => Some(Expr::Icmp {
+                pred: *pred,
+                ty: *ty,
+                a: TValue::of_value(lhs),
+                b: TValue::of_value(rhs),
+            }),
+            Inst::Select {
+                ty,
+                cond,
+                on_true,
+                on_false,
+            } => Some(Expr::Select {
                 ty: *ty,
                 cond: TValue::of_value(cond),
                 t: TValue::of_value(on_true),
                 f: TValue::of_value(on_false),
             }),
-            Inst::Cast { op, from, val, to } => {
-                Some(Expr::Cast { op: *op, from: *from, a: TValue::of_value(val), to: *to })
-            }
-            Inst::Gep { inbounds, ptr, offset } => Some(Expr::Gep {
+            Inst::Cast { op, from, val, to } => Some(Expr::Cast {
+                op: *op,
+                from: *from,
+                a: TValue::of_value(val),
+                to: *to,
+            }),
+            Inst::Gep {
+                inbounds,
+                ptr,
+                offset,
+            } => Some(Expr::Gep {
                 inbounds: *inbounds,
                 ptr: TValue::of_value(ptr),
                 offset: TValue::of_value(offset),
             }),
-            Inst::Load { ty, ptr } => Some(Expr::Load { ty: *ty, ptr: TValue::of_value(ptr) }),
-            Inst::Alloca { .. } | Inst::Store { .. } | Inst::Call { .. } | Inst::Unsupported { .. } => None,
+            Inst::Load { ty, ptr } => Some(Expr::Load {
+                ty: *ty,
+                ptr: TValue::of_value(ptr),
+            }),
+            Inst::Alloca { .. }
+            | Inst::Store { .. }
+            | Inst::Call { .. }
+            | Inst::Unsupported { .. } => None,
         }
     }
 
@@ -359,14 +391,48 @@ impl Expr {
         let s = |v: &TValue| if v == from { to.clone() } else { v.clone() };
         match self {
             Expr::Value(v) => Expr::Value(s(v)),
-            Expr::Bin { op, ty, a, b } => Expr::Bin { op: *op, ty: *ty, a: s(a), b: s(b) },
-            Expr::Icmp { pred, ty, a, b } => Expr::Icmp { pred: *pred, ty: *ty, a: s(a), b: s(b) },
-            Expr::Select { ty, cond, t, f } => Expr::Select { ty: *ty, cond: s(cond), t: s(t), f: s(f) },
-            Expr::Cast { op, from: fr, a, to } => Expr::Cast { op: *op, from: *fr, a: s(a), to: *to },
-            Expr::Gep { inbounds, ptr, offset } => {
-                Expr::Gep { inbounds: *inbounds, ptr: s(ptr), offset: s(offset) }
-            }
-            Expr::Load { ty, ptr } => Expr::Load { ty: *ty, ptr: s(ptr) },
+            Expr::Bin { op, ty, a, b } => Expr::Bin {
+                op: *op,
+                ty: *ty,
+                a: s(a),
+                b: s(b),
+            },
+            Expr::Icmp { pred, ty, a, b } => Expr::Icmp {
+                pred: *pred,
+                ty: *ty,
+                a: s(a),
+                b: s(b),
+            },
+            Expr::Select { ty, cond, t, f } => Expr::Select {
+                ty: *ty,
+                cond: s(cond),
+                t: s(t),
+                f: s(f),
+            },
+            Expr::Cast {
+                op,
+                from: fr,
+                a,
+                to,
+            } => Expr::Cast {
+                op: *op,
+                from: *fr,
+                a: s(a),
+                to: *to,
+            },
+            Expr::Gep {
+                inbounds,
+                ptr,
+                offset,
+            } => Expr::Gep {
+                inbounds: *inbounds,
+                ptr: s(ptr),
+                offset: s(offset),
+            },
+            Expr::Load { ty, ptr } => Expr::Load {
+                ty: *ty,
+                ptr: s(ptr),
+            },
         }
     }
 
@@ -375,14 +441,43 @@ impl Expr {
         let s = |v: &TValue| v.phy_to_old();
         match self {
             Expr::Value(v) => Expr::Value(s(v)),
-            Expr::Bin { op, ty, a, b } => Expr::Bin { op: *op, ty: *ty, a: s(a), b: s(b) },
-            Expr::Icmp { pred, ty, a, b } => Expr::Icmp { pred: *pred, ty: *ty, a: s(a), b: s(b) },
-            Expr::Select { ty, cond, t, f } => Expr::Select { ty: *ty, cond: s(cond), t: s(t), f: s(f) },
-            Expr::Cast { op, from, a, to } => Expr::Cast { op: *op, from: *from, a: s(a), to: *to },
-            Expr::Gep { inbounds, ptr, offset } => {
-                Expr::Gep { inbounds: *inbounds, ptr: s(ptr), offset: s(offset) }
-            }
-            Expr::Load { ty, ptr } => Expr::Load { ty: *ty, ptr: s(ptr) },
+            Expr::Bin { op, ty, a, b } => Expr::Bin {
+                op: *op,
+                ty: *ty,
+                a: s(a),
+                b: s(b),
+            },
+            Expr::Icmp { pred, ty, a, b } => Expr::Icmp {
+                pred: *pred,
+                ty: *ty,
+                a: s(a),
+                b: s(b),
+            },
+            Expr::Select { ty, cond, t, f } => Expr::Select {
+                ty: *ty,
+                cond: s(cond),
+                t: s(t),
+                f: s(f),
+            },
+            Expr::Cast { op, from, a, to } => Expr::Cast {
+                op: *op,
+                from: *from,
+                a: s(a),
+                to: *to,
+            },
+            Expr::Gep {
+                inbounds,
+                ptr,
+                offset,
+            } => Expr::Gep {
+                inbounds: *inbounds,
+                ptr: s(ptr),
+                offset: s(offset),
+            },
+            Expr::Load { ty, ptr } => Expr::Load {
+                ty: *ty,
+                ptr: s(ptr),
+            },
         }
     }
 
@@ -392,14 +487,31 @@ impl Expr {
     pub fn same_shape(&self, other: &Expr) -> bool {
         match (self, other) {
             (Expr::Value(_), Expr::Value(_)) => true,
-            (Expr::Bin { op: o1, ty: t1, .. }, Expr::Bin { op: o2, ty: t2, .. }) => o1 == o2 && t1 == t2,
-            (Expr::Icmp { pred: p1, ty: t1, .. }, Expr::Icmp { pred: p2, ty: t2, .. }) => {
-                p1 == p2 && t1 == t2
+            (Expr::Bin { op: o1, ty: t1, .. }, Expr::Bin { op: o2, ty: t2, .. }) => {
+                o1 == o2 && t1 == t2
             }
+            (
+                Expr::Icmp {
+                    pred: p1, ty: t1, ..
+                },
+                Expr::Icmp {
+                    pred: p2, ty: t2, ..
+                },
+            ) => p1 == p2 && t1 == t2,
             (Expr::Select { ty: t1, .. }, Expr::Select { ty: t2, .. }) => t1 == t2,
             (
-                Expr::Cast { op: o1, from: f1, to: to1, .. },
-                Expr::Cast { op: o2, from: f2, to: to2, .. },
+                Expr::Cast {
+                    op: o1,
+                    from: f1,
+                    to: to1,
+                    ..
+                },
+                Expr::Cast {
+                    op: o2,
+                    from: f2,
+                    to: to2,
+                    ..
+                },
             ) => o1 == o2 && f1 == f2 && to1 == to2,
             (Expr::Gep { inbounds: i1, .. }, Expr::Gep { inbounds: i2, .. }) => i1 == i2,
             (Expr::Load { ty: t1, .. }, Expr::Load { ty: t2, .. }) => t1 == t2,
@@ -442,8 +554,16 @@ impl fmt::Display for Expr {
             Expr::Icmp { pred, ty, a, b } => write!(f, "icmp {pred} {ty} {a}, {b}"),
             Expr::Select { ty, cond, t, f: fv } => write!(f, "select {cond}, {ty} {t}, {fv}"),
             Expr::Cast { op, from, a, to } => write!(f, "{op} {from} {a} to {to}"),
-            Expr::Gep { inbounds, ptr, offset } => {
-                write!(f, "gep{} {ptr}, {offset}", if *inbounds { " inbounds" } else { "" })
+            Expr::Gep {
+                inbounds,
+                ptr,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "gep{} {ptr}, {offset}",
+                    if *inbounds { " inbounds" } else { "" }
+                )
             }
             Expr::Load { ty, ptr } => write!(f, "load {ty} *{ptr}"),
         }
@@ -467,8 +587,20 @@ mod tests {
             rhs: Value::int(Type::I32, 1),
         };
         let e = Expr::of_inst(&add).unwrap();
-        assert_eq!(e, Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(0)), TValue::int(Type::I32, 1)));
-        assert!(Expr::of_inst(&Inst::Alloca { ty: Type::I32, count: 1 }).is_none());
+        assert_eq!(
+            e,
+            Expr::bin(
+                BinOp::Add,
+                Type::I32,
+                TValue::phy(r(0)),
+                TValue::int(Type::I32, 1)
+            )
+        );
+        assert!(Expr::of_inst(&Inst::Alloca {
+            ty: Type::I32,
+            count: 1
+        })
+        .is_none());
         assert!(Expr::of_inst(&Inst::Store {
             ty: Type::I32,
             val: Value::int(Type::I32, 0),
@@ -476,13 +608,25 @@ mod tests {
         })
         .is_none());
         // Load IS an expression.
-        assert!(Expr::of_inst(&Inst::Load { ty: Type::I32, ptr: Value::Reg(r(1)) }).is_some());
+        assert!(Expr::of_inst(&Inst::Load {
+            ty: Type::I32,
+            ptr: Value::Reg(r(1))
+        })
+        .is_some());
     }
 
     #[test]
     fn gep_inbounds_is_a_distinct_shape() {
-        let g1 = Expr::Gep { inbounds: true, ptr: TValue::phy(r(0)), offset: TValue::int(Type::I64, 10) };
-        let g2 = Expr::Gep { inbounds: false, ptr: TValue::phy(r(0)), offset: TValue::int(Type::I64, 10) };
+        let g1 = Expr::Gep {
+            inbounds: true,
+            ptr: TValue::phy(r(0)),
+            offset: TValue::int(Type::I64, 10),
+        };
+        let g2 = Expr::Gep {
+            inbounds: false,
+            ptr: TValue::phy(r(0)),
+            offset: TValue::int(Type::I64, 10),
+        };
         assert_ne!(g1, g2);
         assert!(!g1.same_shape(&g2));
     }
@@ -491,7 +635,15 @@ mod tests {
     fn substitution() {
         let e = Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(0)), TValue::phy(r(0)));
         let e2 = e.subst(&TValue::phy(r(0)), &TValue::int(Type::I32, 5));
-        assert_eq!(e2, Expr::bin(BinOp::Add, Type::I32, TValue::int(Type::I32, 5), TValue::int(Type::I32, 5)));
+        assert_eq!(
+            e2,
+            Expr::bin(
+                BinOp::Add,
+                Type::I32,
+                TValue::int(Type::I32, 5),
+                TValue::int(Type::I32, 5)
+            )
+        );
         assert!(e.mentions(&TReg::Phy(r(0))));
         assert!(!e2.mentions(&TReg::Phy(r(0))));
     }
@@ -500,7 +652,10 @@ mod tests {
     fn old_tagging() {
         let e = Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(0)), TValue::ghost("g"));
         let o = e.phy_to_old();
-        assert_eq!(o, Expr::bin(BinOp::Add, Type::I32, TValue::old(r(0)), TValue::ghost("g")));
+        assert_eq!(
+            o,
+            Expr::bin(BinOp::Add, Type::I32, TValue::old(r(0)), TValue::ghost("g"))
+        );
         assert_eq!(o.regs(), vec![TReg::Old(r(0)), TReg::ghost("g")]);
     }
 
@@ -510,8 +665,14 @@ mod tests {
         let g = Const::Global("G".into());
         let gi: Const = ConstExpr::PtrToInt(g, Type::I32).into();
         let diff: Const = ConstExpr::Bin(BinOp::Sub, Type::I32, gi.clone(), gi).into();
-        let div: Const = ConstExpr::Bin(BinOp::SDiv, Type::I32, Const::int(Type::I32, 1), diff).into();
-        let e = Expr::bin(BinOp::Add, Type::I32, TValue::Const(div), TValue::int(Type::I32, 0));
+        let div: Const =
+            ConstExpr::Bin(BinOp::SDiv, Type::I32, Const::int(Type::I32, 1), diff).into();
+        let e = Expr::bin(
+            BinOp::Add,
+            Type::I32,
+            TValue::Const(div),
+            TValue::int(Type::I32, 0),
+        );
         assert!(e.mentions_trapping_const());
     }
 
@@ -519,6 +680,9 @@ mod tests {
     fn display_forms() {
         let e = Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(1)), TValue::ghost("p"));
         assert_eq!(e.to_string(), "add i32 %r1, ^p");
-        assert_eq!(Expr::load(Type::I32, TValue::old(r(2))).to_string(), "load i32 *~%r2");
+        assert_eq!(
+            Expr::load(Type::I32, TValue::old(r(2))).to_string(),
+            "load i32 *~%r2"
+        );
     }
 }

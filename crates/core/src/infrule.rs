@@ -38,7 +38,9 @@ impl CheckerConfig {
     /// The configuration reproducing the unsound constexpr rule the paper
     /// discovered during Coq verification.
     pub fn with_unsound_constexpr_rule() -> CheckerConfig {
-        CheckerConfig { trust_trapping_constexprs: true }
+        CheckerConfig {
+            trust_trapping_constexprs: true,
+        }
     }
 }
 
@@ -142,6 +144,25 @@ pub enum InfRule {
     Arith(ArithRule),
 }
 
+impl InfRule {
+    /// Stable snake_case rule name, used as the telemetry counter suffix
+    /// (`checker.rule.<name>` — the per-rule axis of the paper's Fig 7).
+    pub fn name(&self) -> &'static str {
+        match self {
+            InfRule::Transitivity { .. } => "transitivity",
+            InfRule::Substitute { .. } => "substitute",
+            InfRule::SubstituteRev { .. } => "substitute_rev",
+            InfRule::IntroGhost { .. } => "intro_ghost",
+            InfRule::IntroEq { .. } => "intro_eq",
+            InfRule::IntroLessdefUndef { .. } => "intro_lessdef_undef",
+            InfRule::ReduceMaydiffNonPhysical { .. } => "reduce_maydiff_non_physical",
+            InfRule::ReduceMaydiffLessdef { .. } => "reduce_maydiff_lessdef",
+            InfRule::IcmpToEq { .. } => "icmp_to_eq",
+            InfRule::Arith(ar) => ar.name(),
+        }
+    }
+}
+
 /// Why a rule application failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InfError {
@@ -160,7 +181,10 @@ impl fmt::Display for InfError {
 impl std::error::Error for InfError {}
 
 fn err(rule: &InfRule, reason: impl Into<String>) -> InfError {
-    InfError { rule: format!("{rule:?}"), reason: reason.into() }
+    InfError {
+        rule: format!("{rule:?}"),
+        reason: reason.into(),
+    }
 }
 
 /// Apply an inference rule to an assertion (paper's `ApplyInf`).
@@ -170,7 +194,11 @@ fn err(rule: &InfRule, reason: impl Into<String>) -> InfError {
 /// Fails with [`InfError`] when a premise is missing or a side-condition is
 /// violated. Every rule only *adds* facts (or shrinks the maydiff set), so
 /// the checker can apply rule lists in sequence.
-pub fn apply_inf(rule: &InfRule, q: &Assertion, config: &CheckerConfig) -> Result<Assertion, InfError> {
+pub fn apply_inf(
+    rule: &InfRule,
+    q: &Assertion,
+    config: &CheckerConfig,
+) -> Result<Assertion, InfError> {
     let mut out = q.clone();
     match rule {
         InfRule::Transitivity { side, e1, e2, e3 } => {
@@ -207,7 +235,10 @@ pub fn apply_inf(rule: &InfRule, q: &Assertion, config: &CheckerConfig) -> Resul
                 return Err(err(rule, "ghost occurs in its own definition"));
             }
             if !out.expr_injected(e) {
-                return Err(err(rule, format!("expression {e} mentions maydiff registers")));
+                return Err(err(
+                    rule,
+                    format!("expression {e} mentions maydiff registers"),
+                ));
             }
             if e.is_load() {
                 return Err(err(rule, "loads cannot be mediated by intro_ghost"));
@@ -216,8 +247,10 @@ pub fn apply_inf(rule: &InfRule, q: &Assertion, config: &CheckerConfig) -> Resul
             out.src.kill_reg(&ghost);
             out.tgt.kill_reg(&ghost);
             out.remove_maydiff(&ghost);
-            out.src.insert_lessdef(e.clone(), Expr::Value(TValue::Reg(ghost.clone())));
-            out.tgt.insert_lessdef(Expr::Value(TValue::Reg(ghost)), e.clone());
+            out.src
+                .insert_lessdef(e.clone(), Expr::Value(TValue::Reg(ghost.clone())));
+            out.tgt
+                .insert_lessdef(Expr::Value(TValue::Reg(ghost)), e.clone());
         }
         InfRule::IntroEq { side, e } => {
             out.side_mut(*side).insert_lessdef(e.clone(), e.clone());
@@ -236,15 +269,20 @@ pub fn apply_inf(rule: &InfRule, q: &Assertion, config: &CheckerConfig) -> Resul
                     "constant expression may raise undefined behaviour (e.g. division by zero)",
                 ));
             }
-            out.side_mut(*side).insert_lessdef(Expr::undef(*ty), e.clone());
+            out.side_mut(*side)
+                .insert_lessdef(Expr::undef(*ty), e.clone());
         }
         InfRule::ReduceMaydiffNonPhysical { r } => {
             if r.is_phy() {
                 return Err(err(rule, "register is physical"));
             }
-            let used = out.src.iter().any(|p| p.mentions(r)) || out.tgt.iter().any(|p| p.mentions(r));
+            let used =
+                out.src.iter().any(|p| p.mentions(r)) || out.tgt.iter().any(|p| p.mentions(r));
             if used {
-                return Err(err(rule, format!("register {r} is still mentioned by a predicate")));
+                return Err(err(
+                    rule,
+                    format!("register {r} is still mentioned by a predicate"),
+                ));
             }
             out.remove_maydiff(r);
         }
@@ -257,16 +295,33 @@ pub fn apply_inf(rule: &InfRule, q: &Assertion, config: &CheckerConfig) -> Resul
                 return Err(err(rule, format!("missing target premise {via} >= {r}")));
             }
             if via.mentions(r) {
-                return Err(err(rule, "mediating expression mentions the register itself"));
+                return Err(err(
+                    rule,
+                    "mediating expression mentions the register itself",
+                ));
             }
             if !out.expr_injected(via) {
-                return Err(err(rule, format!("mediating expression {via} mentions maydiff registers")));
+                return Err(err(
+                    rule,
+                    format!("mediating expression {via} mentions maydiff registers"),
+                ));
             }
             out.remove_maydiff(r);
         }
-        InfRule::IcmpToEq { side, flag, ty, a, b } => {
+        InfRule::IcmpToEq {
+            side,
+            flag,
+            ty,
+            a,
+            b,
+        } => {
             let pred = if *flag { IcmpPred::Eq } else { IcmpPred::Ne };
-            let cmp = Expr::Icmp { pred, ty: *ty, a: a.clone(), b: b.clone() };
+            let cmp = Expr::Icmp {
+                pred,
+                ty: *ty,
+                a: a.clone(),
+                b: b.clone(),
+            };
             let flag_e = Expr::Value(TValue::Const(crellvm_ir::Const::bool(*flag)));
             let u = out.side_mut(*side);
             if !u.has_lessdef(&flag_e, &cmp) {
@@ -302,7 +357,12 @@ mod tests {
     fn transitivity_needs_both_premises() {
         let mut q = Assertion::new();
         q.src.insert_lessdef(v(0), v(1));
-        let rule = InfRule::Transitivity { side: Side::Src, e1: v(0), e2: v(1), e3: v(2) };
+        let rule = InfRule::Transitivity {
+            side: Side::Src,
+            e1: v(0),
+            e2: v(1),
+            e3: v(2),
+        };
         assert!(apply_inf(&rule, &q, &CheckerConfig::sound()).is_err());
         q.src.insert_lessdef(v(1), v(2));
         let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
@@ -314,7 +374,12 @@ mod tests {
         let mut q = Assertion::new();
         q.src.insert_lessdef(v(0), v(1));
         // e2 == e3 via reflexivity.
-        let rule = InfRule::Transitivity { side: Side::Src, e1: v(0), e2: v(1), e3: v(1) };
+        let rule = InfRule::Transitivity {
+            side: Side::Src,
+            e1: v(0),
+            e2: v(1),
+            e3: v(1),
+        };
         assert!(apply_inf(&rule, &q, &CheckerConfig::sound()).is_ok());
     }
 
@@ -322,10 +387,25 @@ mod tests {
     fn substitution_rewrites_operands() {
         let mut q = Assertion::new();
         q.src.insert_lessdef(v(0), v(9));
-        let e = Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(0)), TValue::int(Type::I32, 1));
-        let rule = InfRule::Substitute { side: Side::Src, from: TValue::phy(r(0)), to: TValue::phy(r(9)), e: e.clone() };
+        let e = Expr::bin(
+            BinOp::Add,
+            Type::I32,
+            TValue::phy(r(0)),
+            TValue::int(Type::I32, 1),
+        );
+        let rule = InfRule::Substitute {
+            side: Side::Src,
+            from: TValue::phy(r(0)),
+            to: TValue::phy(r(9)),
+            e: e.clone(),
+        };
         let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
-        let rewritten = Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(9)), TValue::int(Type::I32, 1));
+        let rewritten = Expr::bin(
+            BinOp::Add,
+            Type::I32,
+            TValue::phy(r(9)),
+            TValue::int(Type::I32, 1),
+        );
         assert!(q2.src.has_lessdef(&e, &rewritten));
     }
 
@@ -333,7 +413,10 @@ mod tests {
     fn intro_ghost_requires_injection_and_clears_old_facts() {
         let mut q = Assertion::new();
         q.add_maydiff(TReg::Phy(r(0)));
-        let rule = InfRule::IntroGhost { g: "p".into(), e: v(0) };
+        let rule = InfRule::IntroGhost {
+            g: "p".into(),
+            e: v(0),
+        };
         // r0 is in maydiff: rejected.
         assert!(apply_inf(&rule, &q, &CheckerConfig::sound()).is_err());
 
@@ -354,7 +437,10 @@ mod tests {
         q.add_maydiff(TReg::Phy(r(0)));
         q.src.insert_lessdef(v(0), Expr::value(TValue::ghost("g")));
         q.tgt.insert_lessdef(Expr::value(TValue::ghost("g")), v(0));
-        let rule = InfRule::ReduceMaydiffLessdef { r: TReg::Phy(r(0)), via: Expr::value(TValue::ghost("g")) };
+        let rule = InfRule::ReduceMaydiffLessdef {
+            r: TReg::Phy(r(0)),
+            via: Expr::value(TValue::ghost("g")),
+        };
         let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
         assert!(!q2.in_maydiff(&TReg::Phy(r(0))));
     }
@@ -366,7 +452,10 @@ mod tests {
         q.add_maydiff(TReg::ghost("g"));
         q.src.insert_lessdef(v(0), Expr::value(TValue::ghost("g")));
         q.tgt.insert_lessdef(Expr::value(TValue::ghost("g")), v(0));
-        let rule = InfRule::ReduceMaydiffLessdef { r: TReg::Phy(r(0)), via: Expr::value(TValue::ghost("g")) };
+        let rule = InfRule::ReduceMaydiffLessdef {
+            r: TReg::Phy(r(0)),
+            via: Expr::value(TValue::ghost("g")),
+        };
         assert!(apply_inf(&rule, &q, &CheckerConfig::sound()).is_err());
     }
 
@@ -374,7 +463,9 @@ mod tests {
     fn reduce_maydiff_non_physical() {
         let mut q = Assertion::new();
         q.add_maydiff(TReg::ghost("t"));
-        let rule = InfRule::ReduceMaydiffNonPhysical { r: TReg::ghost("t") };
+        let rule = InfRule::ReduceMaydiffNonPhysical {
+            r: TReg::ghost("t"),
+        };
         let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
         assert!(!q2.in_maydiff(&TReg::ghost("t")));
 
@@ -392,12 +483,28 @@ mod tests {
     #[test]
     fn icmp_to_eq() {
         let mut q = Assertion::new();
-        let cmp = Expr::Icmp { pred: IcmpPred::Eq, ty: Type::I32, a: TValue::phy(r(1)), b: TValue::int(Type::I32, 10) };
-        q.tgt.insert_lessdef(Expr::Value(TValue::Const(Const::bool(true))), cmp);
-        let rule = InfRule::IcmpToEq { side: Side::Tgt, flag: true, ty: Type::I32, a: TValue::phy(r(1)), b: TValue::int(Type::I32, 10) };
+        let cmp = Expr::Icmp {
+            pred: IcmpPred::Eq,
+            ty: Type::I32,
+            a: TValue::phy(r(1)),
+            b: TValue::int(Type::I32, 10),
+        };
+        q.tgt
+            .insert_lessdef(Expr::Value(TValue::Const(Const::bool(true))), cmp);
+        let rule = InfRule::IcmpToEq {
+            side: Side::Tgt,
+            flag: true,
+            ty: Type::I32,
+            a: TValue::phy(r(1)),
+            b: TValue::int(Type::I32, 10),
+        };
         let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
-        assert!(q2.tgt.has_lessdef(&v(1), &Expr::value(TValue::int(Type::I32, 10))));
-        assert!(q2.tgt.has_lessdef(&Expr::value(TValue::int(Type::I32, 10)), &v(1)));
+        assert!(q2
+            .tgt
+            .has_lessdef(&v(1), &Expr::value(TValue::int(Type::I32, 10))));
+        assert!(q2
+            .tgt
+            .has_lessdef(&Expr::value(TValue::int(Type::I32, 10)), &v(1)));
     }
 
     #[test]
@@ -405,7 +512,8 @@ mod tests {
         let g = Const::Global("G".into());
         let gi: Const = ConstExpr::PtrToInt(g, Type::I32).into();
         let diff: Const = ConstExpr::Bin(BinOp::Sub, Type::I32, gi.clone(), gi).into();
-        let div: Const = ConstExpr::Bin(BinOp::SDiv, Type::I32, Const::int(Type::I32, 1), diff).into();
+        let div: Const =
+            ConstExpr::Bin(BinOp::SDiv, Type::I32, Const::int(Type::I32, 1), diff).into();
         let rule = InfRule::IntroLessdefUndef {
             side: Side::Src,
             ty: Type::I32,
@@ -414,7 +522,12 @@ mod tests {
         // Sound config rejects the trapping constant…
         assert!(apply_inf(&rule, &Assertion::new(), &CheckerConfig::sound()).is_err());
         // …the PR33673 config accepts it.
-        assert!(apply_inf(&rule, &Assertion::new(), &CheckerConfig::with_unsound_constexpr_rule()).is_ok());
+        assert!(apply_inf(
+            &rule,
+            &Assertion::new(),
+            &CheckerConfig::with_unsound_constexpr_rule()
+        )
+        .is_ok());
         // Non-trapping constants are fine either way.
         let ok_rule = InfRule::IntroLessdefUndef {
             side: Side::Src,

@@ -56,7 +56,9 @@ pub mod serialize_bin;
 
 pub use assertion::{Assertion, Pred, Unary};
 pub use auto::AutoKind;
-pub use checker::{validate, validate_with_config, ValidationError, Verdict};
+pub use checker::{
+    validate, validate_with_config, validate_with_telemetry, ValidationError, Verdict,
+};
 pub use equivbeh::check_equiv_beh;
 pub use expr::{Expr, Side, TReg, TValue};
 pub use infrule::{apply_inf, CheckerConfig, InfError, InfRule};

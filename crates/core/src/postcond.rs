@@ -82,7 +82,12 @@ fn leaked_regs(inst: &Inst) -> Vec<RegId> {
             push(lhs);
             push(rhs);
         }
-        Inst::Select { cond, on_true, on_false, .. } => {
+        Inst::Select {
+            cond,
+            on_true,
+            on_false,
+            ..
+        } => {
             push(cond);
             push(on_true);
             push(on_false);
@@ -111,13 +116,19 @@ fn add_lessdefs(u: &mut Unary, inst: &Inst, result: Option<RegId>) {
     }
     match inst {
         Inst::Store { ty, val, ptr } => {
-            let lhs = Expr::Load { ty: *ty, ptr: TValue::of_value(ptr) };
+            let lhs = Expr::Load {
+                ty: *ty,
+                ptr: TValue::of_value(ptr),
+            };
             u.insert_lessdef(lhs, Expr::Value(TValue::of_value(val)));
         }
         Inst::Alloca { ty, .. } => {
             if let Some(r) = result {
                 // The fresh slot contains undef (§3.3).
-                let content = Expr::Load { ty: *ty, ptr: TValue::phy(r) };
+                let content = Expr::Load {
+                    ty: *ty,
+                    ptr: TValue::phy(r),
+                };
                 u.insert_lessdef(content, Expr::undef(*ty));
             }
         }
@@ -136,8 +147,7 @@ fn reduce_maydiff(a: &mut Assertion) {
                 if *lhs != rv || e.mentions(r) {
                     continue;
                 }
-                let injected =
-                    e.regs().iter().all(|q| q == r || !a.maydiff.contains(q));
+                let injected = e.regs().iter().all(|q| q == r || !a.maydiff.contains(q));
                 if injected && a.tgt.has_lessdef(e, &rv) {
                     removed = Some(r.clone());
                     break 'outer;
@@ -194,7 +204,8 @@ pub fn calc_post_cmd(p: &Assertion, src: Option<&Stmt>, tgt: Option<&Stmt>) -> A
             // (unsupported) operations.
             let opaque_pair = matches!(
                 (&s.inst, &t.inst),
-                (Inst::Call { .. }, Inst::Call { .. }) | (Inst::Unsupported { .. }, Inst::Unsupported { .. })
+                (Inst::Call { .. }, Inst::Call { .. })
+                    | (Inst::Unsupported { .. }, Inst::Unsupported { .. })
             );
             if opaque_pair && s.inst == t.inst && s.result == t.result {
                 if let Some(r) = s.result {
@@ -282,7 +293,9 @@ pub fn calc_post_phi(
     let assigns = |phis: &[(RegId, Phi)]| -> Vec<(RegId, Option<(Type, TValue)>)> {
         phis.iter()
             .map(|(r, phi)| {
-                let v = phi.value_from(from).map(|v| (phi.ty, TValue::of_value(v).phy_to_old()));
+                let v = phi
+                    .value_from(from)
+                    .map(|v| (phi.ty, TValue::of_value(v).phy_to_old()));
                 (*r, v)
             })
             .collect()
@@ -300,9 +313,13 @@ pub fn calc_post_phi(
 
     // Maydiff: a register is updated equivalently iff both sides assign it
     // the same old-tagged value whose registers are injected.
-    let find = |assigns: &[(RegId, Option<(Type, TValue)>)], r: RegId| -> Option<Option<(Type, TValue)>> {
-        assigns.iter().find(|(x, _)| *x == r).map(|(_, v)| v.clone())
-    };
+    let find =
+        |assigns: &[(RegId, Option<(Type, TValue)>)], r: RegId| -> Option<Option<(Type, TValue)>> {
+            assigns
+                .iter()
+                .find(|(x, _)| *x == r)
+                .map(|(_, v)| v.clone())
+        };
     let mut defined: Vec<RegId> = src_assigns.iter().map(|(r, _)| *r).collect();
     for (r, _) in &tgt_assigns {
         if !defined.contains(r) {
@@ -432,7 +449,12 @@ mod tests {
     fn add_inst(res: usize, a: usize, c: i64) -> Stmt {
         stmt(
             Some(r(res)),
-            Inst::Bin { op: BinOp::Add, ty: Type::I32, lhs: Value::Reg(r(a)), rhs: Value::int(Type::I32, c) },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Type::I32,
+                lhs: Value::Reg(r(a)),
+                rhs: Value::int(Type::I32, c),
+            },
         )
     }
 
@@ -442,7 +464,12 @@ mod tests {
         let s = add_inst(1, 0, 1);
         let q = calc_post_cmd(&p, Some(&s), Some(&s));
         assert!(!q.in_maydiff(&TReg::Phy(r(1))));
-        let e = Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(0)), TValue::int(Type::I32, 1));
+        let e = Expr::bin(
+            BinOp::Add,
+            Type::I32,
+            TValue::phy(r(0)),
+            TValue::int(Type::I32, 1),
+        );
         assert!(q.src.has_lessdef(&Expr::value(TValue::phy(r(1))), &e));
         assert!(q.src.has_lessdef(&e, &Expr::value(TValue::phy(r(1)))));
         assert!(q.tgt.has_lessdef(&Expr::value(TValue::phy(r(1))), &e));
@@ -477,9 +504,10 @@ mod tests {
         );
         let s = add_inst(1, 0, 1);
         let q = calc_post_cmd(&p, Some(&s), Some(&s));
-        assert!(!q
-            .src
-            .has_lessdef(&Expr::value(TValue::phy(r(1))), &Expr::value(TValue::int(Type::I32, 5))));
+        assert!(!q.src.has_lessdef(
+            &Expr::value(TValue::phy(r(1))),
+            &Expr::value(TValue::int(Type::I32, 5))
+        ));
     }
 
     #[test]
@@ -488,24 +516,45 @@ mod tests {
         p.src.insert(Pred::Uniq(r(0)));
         let lp = Expr::load(Type::I32, TValue::phy(r(0)));
         let lq = Expr::load(Type::I32, TValue::phy(r(1)));
-        p.src.insert_lessdef(lp.clone(), Expr::value(TValue::int(Type::I32, 42)));
-        p.src.insert_lessdef(lq.clone(), Expr::value(TValue::int(Type::I32, 7)));
+        p.src
+            .insert_lessdef(lp.clone(), Expr::value(TValue::int(Type::I32, 42)));
+        p.src
+            .insert_lessdef(lq.clone(), Expr::value(TValue::int(Type::I32, 7)));
         // Store through an unrelated pointer r2.
-        let st = stmt(None, Inst::Store { ty: Type::I32, val: Value::int(Type::I32, 0), ptr: Value::Reg(r(2)) });
+        let st = stmt(
+            None,
+            Inst::Store {
+                ty: Type::I32,
+                val: Value::int(Type::I32, 0),
+                ptr: Value::Reg(r(2)),
+            },
+        );
         let q = calc_post_cmd(&p, Some(&st), None);
         // *r0 survives (Uniq ⇒ disjoint from r2); *r1 is clobbered.
-        assert!(q.src.has_lessdef(&lp, &Expr::value(TValue::int(Type::I32, 42))));
-        assert!(!q.src.has_lessdef(&lq, &Expr::value(TValue::int(Type::I32, 7))));
+        assert!(q
+            .src
+            .has_lessdef(&lp, &Expr::value(TValue::int(Type::I32, 42))));
+        assert!(!q
+            .src
+            .has_lessdef(&lq, &Expr::value(TValue::int(Type::I32, 7))));
     }
 
     #[test]
     fn store_records_stored_value() {
         let p = Assertion::new();
-        let st = stmt(None, Inst::Store { ty: Type::I32, val: Value::Reg(r(1)), ptr: Value::Reg(r(0)) });
+        let st = stmt(
+            None,
+            Inst::Store {
+                ty: Type::I32,
+                val: Value::Reg(r(1)),
+                ptr: Value::Reg(r(0)),
+            },
+        );
         let q = calc_post_cmd(&p, Some(&st), None);
-        assert!(q
-            .src
-            .has_lessdef(&Expr::load(Type::I32, TValue::phy(r(0))), &Expr::value(TValue::phy(r(1)))));
+        assert!(q.src.has_lessdef(
+            &Expr::load(Type::I32, TValue::phy(r(0))),
+            &Expr::value(TValue::phy(r(1)))
+        ));
     }
 
     #[test]
@@ -514,12 +563,25 @@ mod tests {
         p.src.insert(Pred::Priv(TReg::Phy(r(0))));
         let lp = Expr::load(Type::I32, TValue::phy(r(0)));
         let lq = Expr::load(Type::I32, TValue::phy(r(1)));
-        p.src.insert_lessdef(lp.clone(), Expr::value(TValue::int(Type::I32, 1)));
-        p.src.insert_lessdef(lq.clone(), Expr::value(TValue::int(Type::I32, 2)));
-        let call = stmt(None, Inst::Call { ret: None, callee: "f".into(), args: vec![] });
+        p.src
+            .insert_lessdef(lp.clone(), Expr::value(TValue::int(Type::I32, 1)));
+        p.src
+            .insert_lessdef(lq.clone(), Expr::value(TValue::int(Type::I32, 2)));
+        let call = stmt(
+            None,
+            Inst::Call {
+                ret: None,
+                callee: "f".into(),
+                args: vec![],
+            },
+        );
         let q = calc_post_cmd(&p, Some(&call), Some(&call));
-        assert!(q.src.has_lessdef(&lp, &Expr::value(TValue::int(Type::I32, 1))));
-        assert!(!q.src.has_lessdef(&lq, &Expr::value(TValue::int(Type::I32, 2))));
+        assert!(q
+            .src
+            .has_lessdef(&lp, &Expr::value(TValue::int(Type::I32, 1))));
+        assert!(!q
+            .src
+            .has_lessdef(&lq, &Expr::value(TValue::int(Type::I32, 2))));
     }
 
     #[test]
@@ -527,18 +589,35 @@ mod tests {
         let mut p = Assertion::new();
         p.src.insert(Pred::Uniq(r(0)));
         // Loading through r0 does NOT leak it…
-        let ld = stmt(Some(r(5)), Inst::Load { ty: Type::I32, ptr: Value::Reg(r(0)) });
+        let ld = stmt(
+            Some(r(5)),
+            Inst::Load {
+                ty: Type::I32,
+                ptr: Value::Reg(r(0)),
+            },
+        );
         let q = calc_post_cmd(&p, Some(&ld), None);
         assert!(q.src.has_uniq(r(0)));
         // …but passing it to a call does.
         let call = stmt(
             None,
-            Inst::Call { ret: None, callee: "f".into(), args: vec![(Type::Ptr, Value::Reg(r(0)))] },
+            Inst::Call {
+                ret: None,
+                callee: "f".into(),
+                args: vec![(Type::Ptr, Value::Reg(r(0)))],
+            },
         );
         let q = calc_post_cmd(&p, Some(&call), None);
         assert!(!q.src.has_uniq(r(0)));
         // …and so does storing the pointer itself somewhere.
-        let st = stmt(None, Inst::Store { ty: Type::Ptr, val: Value::Reg(r(0)), ptr: Value::Reg(r(1)) });
+        let st = stmt(
+            None,
+            Inst::Store {
+                ty: Type::Ptr,
+                val: Value::Reg(r(0)),
+                ptr: Value::Reg(r(1)),
+            },
+        );
         let q = calc_post_cmd(&p, Some(&st), None);
         assert!(!q.src.has_uniq(r(0)));
     }
@@ -546,21 +625,34 @@ mod tests {
     #[test]
     fn promoted_alloca_becomes_uniq_and_priv() {
         let p = Assertion::new();
-        let al = stmt(Some(r(0)), Inst::Alloca { ty: Type::I32, count: 1 });
+        let al = stmt(
+            Some(r(0)),
+            Inst::Alloca {
+                ty: Type::I32,
+                count: 1,
+            },
+        );
         let q = calc_post_cmd(&p, Some(&al), None);
         assert!(q.src.has_uniq(r(0)));
         assert!(q.src.has_priv(&TReg::Phy(r(0))));
         assert!(q.in_maydiff(&TReg::Phy(r(0))));
         // Content is undef.
-        assert!(q
-            .src
-            .has_lessdef(&Expr::load(Type::I32, TValue::phy(r(0))), &Expr::undef(Type::I32)));
+        assert!(q.src.has_lessdef(
+            &Expr::load(Type::I32, TValue::phy(r(0))),
+            &Expr::undef(Type::I32)
+        ));
     }
 
     #[test]
     fn matched_allocas_stay_equal() {
         let p = Assertion::new();
-        let al = stmt(Some(r(0)), Inst::Alloca { ty: Type::I32, count: 1 });
+        let al = stmt(
+            Some(r(0)),
+            Inst::Alloca {
+                ty: Type::I32,
+                count: 1,
+            },
+        );
         let q = calc_post_cmd(&p, Some(&al), Some(&al));
         assert!(!q.in_maydiff(&TReg::Phy(r(0))));
         assert!(q.src.has_uniq(r(0)));
@@ -574,24 +666,49 @@ mod tests {
         // stay out of maydiff.
         let from = BlockId::from_index(1);
         let phis = vec![
-            (r(0), Phi { ty: Type::I32, incoming: vec![(from, Some(Value::Reg(r(1))))] }),
-            (r(2), Phi { ty: Type::I32, incoming: vec![(from, Some(Value::Reg(r(0))))] }),
+            (
+                r(0),
+                Phi {
+                    ty: Type::I32,
+                    incoming: vec![(from, Some(Value::Reg(r(1))))],
+                },
+            ),
+            (
+                r(2),
+                Phi {
+                    ty: Type::I32,
+                    incoming: vec![(from, Some(Value::Reg(r(0))))],
+                },
+            ),
         ];
         let p = Assertion::new();
         let q = calc_post_phi(&p, &phis, &phis, from);
         assert!(!q.in_maydiff(&TReg::Phy(r(0))));
         assert!(!q.in_maydiff(&TReg::Phy(r(2))));
         // w (= r2) is pinned to the OLD z, not the new one.
-        assert!(q.src.has_lessdef(&Expr::value(TValue::phy(r(2))), &Expr::value(TValue::old(r(0)))));
+        assert!(q.src.has_lessdef(
+            &Expr::value(TValue::phy(r(2))),
+            &Expr::value(TValue::old(r(0)))
+        ));
     }
 
     #[test]
     fn phi_post_differing_sides_enter_maydiff() {
         let from = BlockId::from_index(0);
-        let src_phis =
-            vec![(r(0), Phi { ty: Type::I32, incoming: vec![(from, Some(Value::Reg(r(1))))] })];
-        let tgt_phis =
-            vec![(r(0), Phi { ty: Type::I32, incoming: vec![(from, Some(Value::int(Type::I32, 3)))] })];
+        let src_phis = vec![(
+            r(0),
+            Phi {
+                ty: Type::I32,
+                incoming: vec![(from, Some(Value::Reg(r(1))))],
+            },
+        )];
+        let tgt_phis = vec![(
+            r(0),
+            Phi {
+                ty: Type::I32,
+                incoming: vec![(from, Some(Value::int(Type::I32, 3)))],
+            },
+        )];
         let q = calc_post_phi(&Assertion::new(), &src_phis, &tgt_phis, from);
         assert!(q.in_maydiff(&TReg::Phy(r(0))));
     }
@@ -602,17 +719,32 @@ mod tests {
         let mut p = Assertion::new();
         p.src.insert_lessdef(
             Expr::value(TValue::phy(r(1))),
-            Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(0)), TValue::int(Type::I32, 1)),
+            Expr::bin(
+                BinOp::Add,
+                Type::I32,
+                TValue::phy(r(0)),
+                TValue::int(Type::I32, 1),
+            ),
         );
         let q = calc_post_phi(&p, &[], &[], from);
         assert!(q.src.has_lessdef(
             &Expr::value(TValue::old(r(1))),
-            &Expr::bin(BinOp::Add, Type::I32, TValue::old(r(0)), TValue::int(Type::I32, 1))
+            &Expr::bin(
+                BinOp::Add,
+                Type::I32,
+                TValue::old(r(0)),
+                TValue::int(Type::I32, 1)
+            )
         ));
         // The original (current-register) fact is retained too.
         assert!(q.src.has_lessdef(
             &Expr::value(TValue::phy(r(1))),
-            &Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(0)), TValue::int(Type::I32, 1))
+            &Expr::bin(
+                BinOp::Add,
+                Type::I32,
+                TValue::phy(r(0)),
+                TValue::int(Type::I32, 1)
+            )
         ));
     }
 
@@ -620,11 +752,17 @@ mod tests {
     fn phi_post_clears_stale_old_facts_and_extends_maydiff() {
         let from = BlockId::from_index(0);
         let mut p = Assertion::new();
-        p.src.insert_lessdef(Expr::value(TValue::old(r(9))), Expr::value(TValue::int(Type::I32, 5)));
+        p.src.insert_lessdef(
+            Expr::value(TValue::old(r(9))),
+            Expr::value(TValue::int(Type::I32, 5)),
+        );
         p.add_maydiff(TReg::Phy(r(3)));
         p.add_maydiff(TReg::Old(r(4)));
         let q = calc_post_phi(&p, &[], &[], from);
-        assert!(!q.src.has_lessdef(&Expr::value(TValue::old(r(9))), &Expr::value(TValue::int(Type::I32, 5))));
+        assert!(!q.src.has_lessdef(
+            &Expr::value(TValue::old(r(9))),
+            &Expr::value(TValue::int(Type::I32, 5))
+        ));
         assert!(q.in_maydiff(&TReg::Phy(r(3))));
         assert!(q.in_maydiff(&TReg::Old(r(3))));
         assert!(!q.in_maydiff(&TReg::Old(r(4))));
@@ -633,11 +771,18 @@ mod tests {
     #[test]
     fn undef_content_of_alloca() {
         let p = Assertion::new();
-        let al = stmt(Some(r(0)), Inst::Alloca { ty: Type::I64, count: 2 });
+        let al = stmt(
+            Some(r(0)),
+            Inst::Alloca {
+                ty: Type::I64,
+                count: 2,
+            },
+        );
         let q = calc_post_cmd(&p, Some(&al), Some(&al));
         let _ = Const::Undef(Type::I64);
-        assert!(q
-            .tgt
-            .has_lessdef(&Expr::load(Type::I64, TValue::phy(r(0))), &Expr::undef(Type::I64)));
+        assert!(q.tgt.has_lessdef(
+            &Expr::load(Type::I64, TValue::phy(r(0))),
+            &Expr::undef(Type::I64)
+        ));
     }
 }

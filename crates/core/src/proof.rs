@@ -74,7 +74,10 @@ pub struct SlotId {
 impl SlotId {
     /// Construct from raw parts.
     pub fn new(block: usize, slot: usize) -> SlotId {
-        SlotId { block: block as u32, slot: slot as u32 }
+        SlotId {
+            block: block as u32,
+            slot: slot as u32,
+        }
     }
 }
 
@@ -168,7 +171,9 @@ impl ProofUnit {
     /// Panics if the slot is absent (assertion maps are total by
     /// construction).
     pub fn assertion(&self, s: SlotId) -> &Assertion {
-        self.assertions.get(&s).expect("assertion map must be total")
+        self.assertions
+            .get(&s)
+            .expect("assertion map must be total")
     }
 
     /// Rules attached at a position (empty slice if none).
@@ -215,12 +220,17 @@ pub struct ProofBuilder {
     infrules: BTreeMap<RulePos, Vec<InfRule>>,
     autos: BTreeSet<AutoKind>,
     not_supported: Option<String>,
+    recording: bool,
 }
 
 impl ProofBuilder {
     /// Start a proof for a pass translating `src`.
     pub fn new(pass: impl Into<String>, src: &Function) -> ProofBuilder {
-        let rows = src.blocks.iter().map(|b| vec![RowShape::Both; b.stmts.len()]).collect();
+        let rows = src
+            .blocks
+            .iter()
+            .map(|b| vec![RowShape::Both; b.stmts.len()])
+            .collect();
         ProofBuilder {
             pass: pass.into(),
             src: src.clone(),
@@ -233,7 +243,20 @@ impl ProofBuilder {
             infrules: BTreeMap::new(),
             autos: BTreeSet::new(),
             not_supported: None,
+            recording: true,
         }
+    }
+
+    /// Switch proof recording off (or back on).
+    ///
+    /// With recording off the target-editing methods still apply (the pass
+    /// transforms code as usual), but assertions, inference rules, and
+    /// automation hints are dropped and [`finish`](Self::finish) skips
+    /// assertion materialization entirely, returning a unit marked
+    /// not-supported. This is what makes the paper's `Orig` time column
+    /// honest: a pass run with recording off does no proof work at all.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
     }
 
     /// The source function.
@@ -328,7 +351,9 @@ impl ProofBuilder {
     ///
     /// Panics if the row was already deleted.
     pub fn delete_tgt(&mut self, b: usize, src_idx: usize) {
-        let t = self.tgt_index_of(b, src_idx).expect("delete_tgt: row already deleted");
+        let t = self
+            .tgt_index_of(b, src_idx)
+            .expect("delete_tgt: row already deleted");
         self.tgt.blocks[b].stmts.remove(t);
         let row = self.row_of_src(b, src_idx);
         self.rows[b][row] = RowShape::SrcOnly;
@@ -337,7 +362,9 @@ impl ProofBuilder {
     /// `ReplaceAt`: replace the target instruction aligned with source
     /// statement `src_idx` (result register unchanged).
     pub fn replace_tgt(&mut self, b: usize, src_idx: usize, inst: Inst) {
-        let t = self.tgt_index_of(b, src_idx).expect("replace_tgt: row deleted");
+        let t = self
+            .tgt_index_of(b, src_idx)
+            .expect("replace_tgt: row deleted");
         self.tgt.blocks[b].stmts[t].inst = inst;
     }
 
@@ -367,6 +394,9 @@ impl ProofBuilder {
     /// Add a predicate to one side at **every** slot (the paper's
     /// `Assn(…, global)`).
     pub fn global_pred(&mut self, side: Side, pred: Pred) {
+        if !self.recording {
+            return;
+        }
         match side {
             Side::Src => self.global_src.push(pred),
             Side::Tgt => self.global_tgt.push(pred),
@@ -375,13 +405,24 @@ impl ProofBuilder {
 
     /// Add a register to the maydiff set at every slot.
     pub fn global_maydiff(&mut self, r: impl Into<TReg>) {
+        if !self.recording {
+            return;
+        }
         self.global_maydiff.insert(r.into());
     }
 
     /// `Assn(pred, l1, l2)`: add `pred` at every program point on a path
     /// from `l1` to `l2` that does not revisit `l1` (paper §E).
     pub fn range_pred(&mut self, side: Side, pred: Pred, from: Loc, to: Loc) {
-        self.ranges.push(RangeReq { side, pred, from, to });
+        if !self.recording {
+            return;
+        }
+        self.ranges.push(RangeReq {
+            side,
+            pred,
+            from,
+            to,
+        });
     }
 
     /// `Inf(rule, after row)`: attach a rule after the row aligned with
@@ -393,22 +434,37 @@ impl ProofBuilder {
 
     /// Attach a rule after an explicit row index.
     pub fn infrule_after_row(&mut self, b: usize, row: usize, rule: InfRule) {
+        if !self.recording {
+            return;
+        }
         self.infrules
-            .entry(RulePos::AfterRow { block: b as u32, row: row as u32 })
+            .entry(RulePos::AfterRow {
+                block: b as u32,
+                row: row as u32,
+            })
             .or_default()
             .push(rule);
     }
 
     /// Attach a rule on the edge `from → to`.
     pub fn infrule_edge(&mut self, from: usize, to: usize, rule: InfRule) {
+        if !self.recording {
+            return;
+        }
         self.infrules
-            .entry(RulePos::Edge { from: from as u32, to: to as u32 })
+            .entry(RulePos::Edge {
+                from: from as u32,
+                to: to as u32,
+            })
             .or_default()
             .push(rule);
     }
 
     /// `Auto(kind)`: enable an automation function.
     pub fn auto(&mut self, kind: AutoKind) {
+        if !self.recording {
+            return;
+        }
         self.autos.insert(kind);
     }
 
@@ -434,7 +490,13 @@ impl ProofBuilder {
 
     /// §E: the set of slots strictly between `from` and `to` (inclusive of
     /// both slot endpoints) along paths that do not revisit `from`.
-    fn points_between(&self, cfg: &Cfg, dom: &DomTree, from: (usize, usize), to: (usize, usize)) -> Vec<SlotId> {
+    fn points_between(
+        &self,
+        cfg: &Cfg,
+        dom: &DomTree,
+        from: (usize, usize),
+        to: (usize, usize),
+    ) -> Vec<SlotId> {
         let (b1, s1) = from;
         let (b2, s2) = to;
         let nrows = |b: usize| self.rows[b].len();
@@ -491,6 +553,24 @@ impl ProofBuilder {
 
     /// Finish: resolve ranges and produce the [`ProofUnit`].
     pub fn finish(self) -> ProofUnit {
+        if !self.recording {
+            // No proof was recorded: skip assertion materialization (the
+            // expensive part of proof calculation) and return a unit that
+            // validates as not-supported rather than spuriously failing.
+            return ProofUnit {
+                pass: self.pass,
+                src: self.src,
+                tgt: self.tgt,
+                alignment: self.rows,
+                assertions: BTreeMap::new(),
+                infrules: BTreeMap::new(),
+                autos: BTreeSet::new(),
+                not_supported: Some(
+                    self.not_supported
+                        .unwrap_or_else(|| "proof generation disabled".into()),
+                ),
+            };
+        }
         let cfg = Cfg::new(&self.src);
         let dom = DomTree::new(&self.src, &cfg);
         let end_slot: Vec<usize> = self.rows.iter().map(Vec::len).collect();
@@ -568,14 +648,21 @@ mod tests {
         let mut b = ProofBuilder::new("test", &f);
         // Delete %x (stmt 0 of entry), replace %y's computation.
         b.delete_tgt(0, 0);
-        b.replace_tgt(0, 1, Inst::Bin {
-            op: BinOp::Add,
-            ty: Type::I32,
-            lhs: Value::int(Type::I32, 0),
-            rhs: Value::int(Type::I32, 3),
-        });
+        b.replace_tgt(
+            0,
+            1,
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Type::I32,
+                lhs: Value::int(Type::I32, 0),
+                rhs: Value::int(Type::I32, 3),
+            },
+        );
         let unit = b.finish();
-        assert_eq!(unit.alignment[0], vec![RowShape::SrcOnly, RowShape::Both, RowShape::Both]);
+        assert_eq!(
+            unit.alignment[0],
+            vec![RowShape::SrcOnly, RowShape::Both, RowShape::Both]
+        );
         let (s, t) = unit.row(0, 0);
         assert!(s.stmt().is_some());
         assert_eq!(t, MaybeInst::Lnop);
@@ -620,7 +707,12 @@ mod tests {
             Expr::value(TValue::int(Type::I32, 1)),
         );
         // From after stmt 0 to before stmt 2 in entry.
-        b.range_pred(Side::Src, pred.clone(), Loc::AfterRow(0, 0), Loc::AfterRow(0, 1));
+        b.range_pred(
+            Side::Src,
+            pred.clone(),
+            Loc::AfterRow(0, 0),
+            Loc::AfterRow(0, 1),
+        );
         let unit = b.finish();
         assert!(!unit.assertion(SlotId::new(0, 0)).src.holds(&pred));
         assert!(unit.assertion(SlotId::new(0, 1)).src.holds(&pred));
@@ -684,7 +776,12 @@ mod tests {
         let pred = Pred::Uniq(RegId::from_index(9));
         // From after %i2 (stmt 1 of loop) wrapping around to before the
         // call (stmt 0): covers end of loop and slots 0..=1.
-        b.range_pred(Side::Src, pred.clone(), Loc::AfterRow(1, 1), Loc::AfterRow(1, 0));
+        b.range_pred(
+            Side::Src,
+            pred.clone(),
+            Loc::AfterRow(1, 1),
+            Loc::AfterRow(1, 0),
+        );
         let unit = b.finish();
         assert!(unit.assertion(SlotId::new(1, 2)).src.holds(&pred));
         assert!(unit.assertion(SlotId::new(1, 3)).src.holds(&pred)); // loop end

@@ -325,12 +325,44 @@ pub enum CompositeRule {
     },
 }
 
+impl CompositeRule {
+    /// Stable snake_case rule name, used as the telemetry counter suffix
+    /// (`checker.rule.<name>`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompositeRule::SubConstAdd { .. } => "sub_const_add",
+            CompositeRule::AddConstNot { .. } => "add_const_not",
+            CompositeRule::SubConstNot { .. } => "sub_const_not",
+            CompositeRule::SubOrXor { .. } => "sub_or_xor",
+            CompositeRule::AddXorAnd { .. } => "add_xor_and",
+            CompositeRule::AddOrAnd { .. } => "add_or_and",
+            CompositeRule::AndOrAbsorb { .. } => "and_or_absorb",
+            CompositeRule::OrAndAbsorb { .. } => "or_and_absorb",
+            CompositeRule::MulNeg { .. } => "mul_neg",
+            CompositeRule::ShlShl { .. } => "shl_shl",
+            CompositeRule::IcmpEqSub { .. } => "icmp_eq_sub",
+            CompositeRule::IcmpEqAddAdd { .. } => "icmp_eq_add_add",
+            CompositeRule::IcmpEqXorXor { .. } => "icmp_eq_xor_xor",
+            CompositeRule::SelectIcmpEq { .. } => "select_icmp_eq",
+            CompositeRule::OrXor { .. } => "or_xor",
+            CompositeRule::SubSub { .. } => "sub_sub",
+            CompositeRule::OrAndXor { .. } => "or_and_xor",
+            CompositeRule::ZextTruncAnd { .. } => "zext_trunc_and",
+        }
+    }
+}
+
 fn vexpr(v: &TValue) -> Expr {
     Expr::Value(v.clone())
 }
 
 fn bin(op: BinOp, ty: Type, a: &TValue, b: &TValue) -> Expr {
-    Expr::Bin { op, ty, a: a.clone(), b: b.clone() }
+    Expr::Bin {
+        op,
+        ty,
+        a: a.clone(),
+        b: b.clone(),
+    }
 }
 
 fn cint(ty: Type, c: &Const) -> TValue {
@@ -346,12 +378,22 @@ fn has_def(u: &Unary, lhs: &TValue, rhs: &Expr) -> bool {
     }
     if let Expr::Bin { op, ty, a, b } = rhs {
         if op.is_commutative() {
-            let sw = Expr::Bin { op: *op, ty: *ty, a: b.clone(), b: a.clone() };
+            let sw = Expr::Bin {
+                op: *op,
+                ty: *ty,
+                a: b.clone(),
+                b: a.clone(),
+            };
             return u.has_lessdef(&vexpr(lhs), &sw);
         }
     }
     if let Expr::Icmp { pred, ty, a, b } = rhs {
-        let sw = Expr::Icmp { pred: pred.swapped(), ty: *ty, a: b.clone(), b: a.clone() };
+        let sw = Expr::Icmp {
+            pred: pred.swapped(),
+            ty: *ty,
+            a: b.clone(),
+            b: a.clone(),
+        };
         return u.has_lessdef(&vexpr(lhs), &sw);
     }
     false
@@ -367,7 +409,15 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
     let mut out = q.clone();
     let miss = |l: &TValue, r: &Expr| format!("missing premise {l} >= {r}");
     match rule {
-        CompositeRule::SubConstAdd { side, ty, t, y, a, c1, c2 } => {
+        CompositeRule::SubConstAdd {
+            side,
+            ty,
+            t,
+            y,
+            a,
+            c1,
+            c2,
+        } => {
             let inner = bin(BinOp::Add, *ty, a, &cint(*ty, c1));
             let outer = bin(BinOp::Sub, *ty, t, &cint(*ty, c2));
             let u = out.side_mut(*side);
@@ -377,10 +427,18 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             if !has_def(u, y, &outer) {
                 return Err(miss(y, &outer));
             }
-            let c3 = crate::rules_arith::fold_bin(BinOp::Sub, *ty, c1, c2).ok_or("constants do not fold")?;
+            let c3 = crate::rules_arith::fold_bin(BinOp::Sub, *ty, c1, c2)
+                .ok_or("constants do not fold")?;
             u.insert_lessdef(vexpr(y), bin(BinOp::Add, *ty, a, &TValue::Const(c3)));
         }
-        CompositeRule::AddConstNot { side, ty, t, y, a, c } => {
+        CompositeRule::AddConstNot {
+            side,
+            ty,
+            t,
+            y,
+            a,
+            c,
+        } => {
             let not = bin(BinOp::Xor, *ty, a, &TValue::Const(Const::int(*ty, -1)));
             let outer = bin(BinOp::Add, *ty, t, &cint(*ty, c));
             let u = out.side_mut(*side);
@@ -394,7 +452,14 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
                 .ok_or("constant does not fold")?;
             u.insert_lessdef(vexpr(y), bin(BinOp::Sub, *ty, &TValue::Const(cm1), a));
         }
-        CompositeRule::SubConstNot { side, ty, t, y, a, c } => {
+        CompositeRule::SubConstNot {
+            side,
+            ty,
+            t,
+            y,
+            a,
+            c,
+        } => {
             let not = bin(BinOp::Xor, *ty, a, &TValue::Const(Const::int(*ty, -1)));
             let outer = bin(BinOp::Sub, *ty, &cint(*ty, c), t);
             let u = out.side_mut(*side);
@@ -408,7 +473,15 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
                 .ok_or("constant does not fold")?;
             u.insert_lessdef(vexpr(y), bin(BinOp::Add, *ty, a, &TValue::Const(cp1)));
         }
-        CompositeRule::SubOrXor { side, ty, t1, t2, y, a, b } => {
+        CompositeRule::SubOrXor {
+            side,
+            ty,
+            t1,
+            t2,
+            y,
+            a,
+            b,
+        } => {
             let or = bin(BinOp::Or, *ty, a, b);
             let xor = bin(BinOp::Xor, *ty, a, b);
             let outer = bin(BinOp::Sub, *ty, t1, t2);
@@ -424,7 +497,15 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             }
             u.insert_lessdef(vexpr(y), bin(BinOp::And, *ty, a, b));
         }
-        CompositeRule::AddXorAnd { side, ty, t1, t2, y, a, b } => {
+        CompositeRule::AddXorAnd {
+            side,
+            ty,
+            t1,
+            t2,
+            y,
+            a,
+            b,
+        } => {
             let xor = bin(BinOp::Xor, *ty, a, b);
             let and = bin(BinOp::And, *ty, a, b);
             let outer1 = bin(BinOp::Add, *ty, t1, t2);
@@ -440,7 +521,15 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             }
             u.insert_lessdef(vexpr(y), bin(BinOp::Or, *ty, a, b));
         }
-        CompositeRule::AddOrAnd { side, ty, t1, t2, y, a, b } => {
+        CompositeRule::AddOrAnd {
+            side,
+            ty,
+            t1,
+            t2,
+            y,
+            a,
+            b,
+        } => {
             let or = bin(BinOp::Or, *ty, a, b);
             let and = bin(BinOp::And, *ty, a, b);
             let outer = bin(BinOp::Add, *ty, t1, t2);
@@ -456,7 +545,14 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             }
             u.insert_lessdef(vexpr(y), bin(BinOp::Add, *ty, a, b));
         }
-        CompositeRule::AndOrAbsorb { side, ty, t, y, a, b } => {
+        CompositeRule::AndOrAbsorb {
+            side,
+            ty,
+            t,
+            y,
+            a,
+            b,
+        } => {
             let or = bin(BinOp::Or, *ty, a, b);
             let outer = bin(BinOp::And, *ty, a, t);
             let u = out.side_mut(*side);
@@ -468,7 +564,14 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             }
             u.insert_lessdef(vexpr(y), vexpr(a));
         }
-        CompositeRule::OrAndAbsorb { side, ty, t, y, a, b } => {
+        CompositeRule::OrAndAbsorb {
+            side,
+            ty,
+            t,
+            y,
+            a,
+            b,
+        } => {
             let and = bin(BinOp::And, *ty, a, b);
             let outer = bin(BinOp::Or, *ty, a, t);
             let u = out.side_mut(*side);
@@ -480,7 +583,15 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             }
             u.insert_lessdef(vexpr(y), vexpr(a));
         }
-        CompositeRule::MulNeg { side, ty, t1, t2, y, a, b } => {
+        CompositeRule::MulNeg {
+            side,
+            ty,
+            t1,
+            t2,
+            y,
+            a,
+            b,
+        } => {
             let zero = TValue::int(*ty, 0);
             let n1 = bin(BinOp::Sub, *ty, &zero, a);
             let n2 = bin(BinOp::Sub, *ty, &zero, b);
@@ -497,7 +608,15 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             }
             u.insert_lessdef(vexpr(y), bin(BinOp::Mul, *ty, a, b));
         }
-        CompositeRule::ShlShl { side, ty, t, y, a, c1, c2 } => {
+        CompositeRule::ShlShl {
+            side,
+            ty,
+            t,
+            y,
+            a,
+            c1,
+            c2,
+        } => {
             let (Const::Int { bits: b1, .. }, Const::Int { bits: b2, .. }) = (c1, c2) else {
                 return Err("shift amounts must be integer literals".into());
             };
@@ -516,14 +635,31 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             }
             u.insert_lessdef(
                 vexpr(y),
-                bin(BinOp::Shl, *ty, a, &TValue::Const(Const::Int { ty: *ty, bits: sum })),
+                bin(
+                    BinOp::Shl,
+                    *ty,
+                    a,
+                    &TValue::Const(Const::Int { ty: *ty, bits: sum }),
+                ),
             );
         }
-        CompositeRule::IcmpEqSub { side, ty, t, y, a, b, ne } => {
+        CompositeRule::IcmpEqSub {
+            side,
+            ty,
+            t,
+            y,
+            a,
+            b,
+            ne,
+        } => {
             let pred = if *ne { IcmpPred::Ne } else { IcmpPred::Eq };
             let diff = bin(BinOp::Sub, *ty, a, b);
-            let outer =
-                Expr::Icmp { pred, ty: *ty, a: t.clone(), b: TValue::int(*ty, 0) };
+            let outer = Expr::Icmp {
+                pred,
+                ty: *ty,
+                a: t.clone(),
+                b: TValue::int(*ty, 0),
+            };
             let u = out.side_mut(*side);
             if !has_def(u, t, &diff) {
                 return Err(miss(t, &diff));
@@ -531,13 +667,36 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             if !has_def(u, y, &outer) {
                 return Err(miss(y, &outer));
             }
-            u.insert_lessdef(vexpr(y), Expr::Icmp { pred, ty: *ty, a: a.clone(), b: b.clone() });
+            u.insert_lessdef(
+                vexpr(y),
+                Expr::Icmp {
+                    pred,
+                    ty: *ty,
+                    a: a.clone(),
+                    b: b.clone(),
+                },
+            );
         }
-        CompositeRule::IcmpEqAddAdd { side, ty, t1, t2, y, a, b, c, ne } => {
+        CompositeRule::IcmpEqAddAdd {
+            side,
+            ty,
+            t1,
+            t2,
+            y,
+            a,
+            b,
+            c,
+            ne,
+        } => {
             let pred = if *ne { IcmpPred::Ne } else { IcmpPred::Eq };
             let s1 = bin(BinOp::Add, *ty, a, c);
             let s2 = bin(BinOp::Add, *ty, b, c);
-            let outer = Expr::Icmp { pred, ty: *ty, a: t1.clone(), b: t2.clone() };
+            let outer = Expr::Icmp {
+                pred,
+                ty: *ty,
+                a: t1.clone(),
+                b: t2.clone(),
+            };
             let u = out.side_mut(*side);
             if !has_def(u, t1, &s1) {
                 return Err(miss(t1, &s1));
@@ -548,13 +707,36 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             if !has_def(u, y, &outer) {
                 return Err(miss(y, &outer));
             }
-            u.insert_lessdef(vexpr(y), Expr::Icmp { pred, ty: *ty, a: a.clone(), b: b.clone() });
+            u.insert_lessdef(
+                vexpr(y),
+                Expr::Icmp {
+                    pred,
+                    ty: *ty,
+                    a: a.clone(),
+                    b: b.clone(),
+                },
+            );
         }
-        CompositeRule::IcmpEqXorXor { side, ty, t1, t2, y, a, b, c, ne } => {
+        CompositeRule::IcmpEqXorXor {
+            side,
+            ty,
+            t1,
+            t2,
+            y,
+            a,
+            b,
+            c,
+            ne,
+        } => {
             let pred = if *ne { IcmpPred::Ne } else { IcmpPred::Eq };
             let s1 = bin(BinOp::Xor, *ty, a, c);
             let s2 = bin(BinOp::Xor, *ty, b, c);
-            let outer = Expr::Icmp { pred, ty: *ty, a: t1.clone(), b: t2.clone() };
+            let outer = Expr::Icmp {
+                pred,
+                ty: *ty,
+                a: t1.clone(),
+                b: t2.clone(),
+            };
             let u = out.side_mut(*side);
             if !has_def(u, t1, &s1) {
                 return Err(miss(t1, &s1));
@@ -565,12 +747,38 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             if !has_def(u, y, &outer) {
                 return Err(miss(y, &outer));
             }
-            u.insert_lessdef(vexpr(y), Expr::Icmp { pred, ty: *ty, a: a.clone(), b: b.clone() });
+            u.insert_lessdef(
+                vexpr(y),
+                Expr::Icmp {
+                    pred,
+                    ty: *ty,
+                    a: a.clone(),
+                    b: b.clone(),
+                },
+            );
         }
-        CompositeRule::SelectIcmpEq { side, ty, c, y, a, b, ne } => {
+        CompositeRule::SelectIcmpEq {
+            side,
+            ty,
+            c,
+            y,
+            a,
+            b,
+            ne,
+        } => {
             let pred = if *ne { IcmpPred::Ne } else { IcmpPred::Eq };
-            let cmp = Expr::Icmp { pred, ty: *ty, a: a.clone(), b: b.clone() };
-            let sel = Expr::Select { ty: *ty, cond: c.clone(), t: a.clone(), f: b.clone() };
+            let cmp = Expr::Icmp {
+                pred,
+                ty: *ty,
+                a: a.clone(),
+                b: b.clone(),
+            };
+            let sel = Expr::Select {
+                ty: *ty,
+                cond: c.clone(),
+                t: a.clone(),
+                f: b.clone(),
+            };
             let u = out.side_mut(*side);
             if !has_def(u, c, &cmp) {
                 return Err(miss(c, &cmp));
@@ -582,7 +790,14 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             let kept = if *ne { a } else { b };
             u.insert_lessdef(vexpr(y), vexpr(kept));
         }
-        CompositeRule::OrXor { side, ty, t, y, a, b } => {
+        CompositeRule::OrXor {
+            side,
+            ty,
+            t,
+            y,
+            a,
+            b,
+        } => {
             let xor = bin(BinOp::Xor, *ty, a, b);
             let outer1 = bin(BinOp::Or, *ty, t, b);
             let outer2 = bin(BinOp::Or, *ty, b, t);
@@ -595,7 +810,14 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             }
             u.insert_lessdef(vexpr(y), bin(BinOp::Or, *ty, a, b));
         }
-        CompositeRule::SubSub { side, ty, t, y, a, b } => {
+        CompositeRule::SubSub {
+            side,
+            ty,
+            t,
+            y,
+            a,
+            b,
+        } => {
             let inner = bin(BinOp::Sub, *ty, a, b);
             let outer = bin(BinOp::Sub, *ty, a, t);
             let u = out.side_mut(*side);
@@ -607,7 +829,15 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             }
             u.insert_lessdef(vexpr(y), vexpr(b));
         }
-        CompositeRule::OrAndXor { side, ty, t1, t2, y, a, b } => {
+        CompositeRule::OrAndXor {
+            side,
+            ty,
+            t1,
+            t2,
+            y,
+            a,
+            b,
+        } => {
             let and = bin(BinOp::And, *ty, a, b);
             let xor = bin(BinOp::Xor, *ty, a, b);
             let outer = bin(BinOp::Or, *ty, t1, t2);
@@ -623,12 +853,29 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             }
             u.insert_lessdef(vexpr(y), bin(BinOp::Or, *ty, a, b));
         }
-        CompositeRule::ZextTruncAnd { side, big, small, t, y, a } => {
+        CompositeRule::ZextTruncAnd {
+            side,
+            big,
+            small,
+            t,
+            y,
+            a,
+        } => {
             if !big.is_int() || !small.is_int() || small.bits() >= big.bits() {
                 return Err("invalid zext-trunc-and types".into());
             }
-            let tr = Expr::Cast { op: CastOp::Trunc, from: *big, a: a.clone(), to: *small };
-            let zx = Expr::Cast { op: CastOp::Zext, from: *small, a: t.clone(), to: *big };
+            let tr = Expr::Cast {
+                op: CastOp::Trunc,
+                from: *big,
+                a: a.clone(),
+                to: *small,
+            };
+            let zx = Expr::Cast {
+                op: CastOp::Zext,
+                from: *small,
+                a: t.clone(),
+                to: *big,
+            };
             let u = out.side_mut(*side);
             if !u.has_lessdef(&vexpr(t), &tr) {
                 return Err(miss(t, &tr));
@@ -636,7 +883,10 @@ pub fn apply_composite(rule: &CompositeRule, q: &Assertion) -> Result<Assertion,
             if !u.has_lessdef(&vexpr(y), &zx) {
                 return Err(miss(y, &zx));
             }
-            let mask = Const::Int { ty: *big, bits: small.mask() };
+            let mask = Const::Int {
+                ty: *big,
+                bits: small.mask(),
+            };
             u.insert_lessdef(vexpr(y), bin(BinOp::And, *big, a, &TValue::Const(mask)));
         }
     }
@@ -659,9 +909,12 @@ mod tests {
     #[test]
     fn sub_or_xor() {
         let mut q = Assertion::new();
-        q.src.insert_lessdef(vexpr(&r(2)), bin(BinOp::Or, Type::I32, &r(0), &r(1)));
-        q.src.insert_lessdef(vexpr(&r(3)), bin(BinOp::Xor, Type::I32, &r(0), &r(1)));
-        q.src.insert_lessdef(vexpr(&r(4)), bin(BinOp::Sub, Type::I32, &r(2), &r(3)));
+        q.src
+            .insert_lessdef(vexpr(&r(2)), bin(BinOp::Or, Type::I32, &r(0), &r(1)));
+        q.src
+            .insert_lessdef(vexpr(&r(3)), bin(BinOp::Xor, Type::I32, &r(0), &r(1)));
+        q.src
+            .insert_lessdef(vexpr(&r(4)), bin(BinOp::Sub, Type::I32, &r(2), &r(3)));
         let rule = CompositeRule::SubOrXor {
             side: Side::Src,
             ty: Type::I32,
@@ -672,16 +925,21 @@ mod tests {
             b: r(1),
         };
         let q2 = apply_src(&q, &rule).unwrap();
-        assert!(q2.src.has_lessdef(&vexpr(&r(4)), &bin(BinOp::And, Type::I32, &r(0), &r(1))));
+        assert!(q2
+            .src
+            .has_lessdef(&vexpr(&r(4)), &bin(BinOp::And, Type::I32, &r(0), &r(1))));
     }
 
     #[test]
     fn commuted_premises_accepted() {
         // t1 defined as or(b, a): still matches.
         let mut q = Assertion::new();
-        q.src.insert_lessdef(vexpr(&r(2)), bin(BinOp::Or, Type::I32, &r(1), &r(0)));
-        q.src.insert_lessdef(vexpr(&r(3)), bin(BinOp::And, Type::I32, &r(0), &r(1)));
-        q.src.insert_lessdef(vexpr(&r(4)), bin(BinOp::Add, Type::I32, &r(2), &r(3)));
+        q.src
+            .insert_lessdef(vexpr(&r(2)), bin(BinOp::Or, Type::I32, &r(1), &r(0)));
+        q.src
+            .insert_lessdef(vexpr(&r(3)), bin(BinOp::And, Type::I32, &r(0), &r(1)));
+        q.src
+            .insert_lessdef(vexpr(&r(4)), bin(BinOp::Add, Type::I32, &r(2), &r(3)));
         let rule = CompositeRule::AddOrAnd {
             side: Side::Src,
             ty: Type::I32,
@@ -692,7 +950,9 @@ mod tests {
             b: r(1),
         };
         let q2 = apply_src(&q, &rule).unwrap();
-        assert!(q2.src.has_lessdef(&vexpr(&r(4)), &bin(BinOp::Add, Type::I32, &r(0), &r(1))));
+        assert!(q2
+            .src
+            .has_lessdef(&vexpr(&r(4)), &bin(BinOp::Add, Type::I32, &r(0), &r(1))));
     }
 
     #[test]
@@ -737,11 +997,21 @@ mod tests {
         let mut q = Assertion::new();
         q.src.insert_lessdef(
             vexpr(&r(2)),
-            Expr::Icmp { pred: IcmpPred::Eq, ty: Type::I32, a: r(0), b: r(1) },
+            Expr::Icmp {
+                pred: IcmpPred::Eq,
+                ty: Type::I32,
+                a: r(0),
+                b: r(1),
+            },
         );
         q.src.insert_lessdef(
             vexpr(&r(3)),
-            Expr::Select { ty: Type::I32, cond: r(2), t: r(0), f: r(1) },
+            Expr::Select {
+                ty: Type::I32,
+                cond: r(2),
+                t: r(0),
+                f: r(1),
+            },
         );
         let rule = CompositeRule::SelectIcmpEq {
             side: Side::Src,
@@ -762,11 +1032,21 @@ mod tests {
         let mut q = Assertion::new();
         q.src.insert_lessdef(
             vexpr(&r(1)),
-            Expr::Cast { op: CastOp::Trunc, from: Type::I32, a: r(0), to: Type::I8 },
+            Expr::Cast {
+                op: CastOp::Trunc,
+                from: Type::I32,
+                a: r(0),
+                to: Type::I8,
+            },
         );
         q.src.insert_lessdef(
             vexpr(&r(2)),
-            Expr::Cast { op: CastOp::Zext, from: Type::I8, a: r(1), to: Type::I32 },
+            Expr::Cast {
+                op: CastOp::Zext,
+                from: Type::I8,
+                a: r(1),
+                to: Type::I32,
+            },
         );
         let rule = CompositeRule::ZextTruncAnd {
             side: Side::Src,

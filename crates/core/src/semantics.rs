@@ -43,7 +43,10 @@ pub enum SemVal {
 impl SemVal {
     /// Integer constructor (truncating).
     pub fn int(ty: Type, v: i64) -> SemVal {
-        SemVal::Int { ty, bits: ty.truncate(v as u64) }
+        SemVal::Int {
+            ty,
+            bits: ty.truncate(v as u64),
+        }
     }
 }
 
@@ -91,19 +94,35 @@ impl ExtState {
 
 fn eval_const(c: &Const) -> Option<SemVal> {
     match c {
-        Const::Int { ty, bits } => Some(SemVal::Int { ty: *ty, bits: *bits }),
+        Const::Int { ty, bits } => Some(SemVal::Int {
+            ty: *ty,
+            bits: *bits,
+        }),
         Const::Undef(_) => Some(SemVal::Undef),
-        Const::Null => Some(SemVal::Ptr { block: u32::MAX, offset: 0 }),
+        Const::Null => Some(SemVal::Ptr {
+            block: u32::MAX,
+            offset: 0,
+        }),
         // Globals get a deterministic abstract block from their name.
         Const::Global(name) => {
-            let h = name.bytes().fold(7u32, |a, b| a.wrapping_mul(31).wrapping_add(b as u32));
-            Some(SemVal::Ptr { block: h | 1, offset: 0 })
+            let h = name
+                .bytes()
+                .fold(7u32, |a, b| a.wrapping_mul(31).wrapping_add(b as u32));
+            Some(SemVal::Ptr {
+                block: h | 1,
+                offset: 0,
+            })
         }
         Const::Expr(e) => match &**e {
             ConstExpr::PtrToInt(inner, to) => match eval_const(inner)? {
                 SemVal::Ptr { block, offset } => {
-                    let addr = (block as u64).wrapping_mul(1 << 24).wrapping_add((offset as u64) * 8);
-                    Some(SemVal::Int { ty: *to, bits: to.truncate(addr) })
+                    let addr = (block as u64)
+                        .wrapping_mul(1 << 24)
+                        .wrapping_add((offset as u64) * 8);
+                    Some(SemVal::Int {
+                        ty: *to,
+                        bits: to.truncate(addr),
+                    })
                 }
                 SemVal::Undef => Some(SemVal::Undef),
                 SemVal::Int { .. } => None,
@@ -128,7 +147,11 @@ pub fn eval_value(v: &TValue, s: &ExtState) -> Option<SemVal> {
 fn eval_bin(op: BinOp, ty: Type, a: SemVal, b: SemVal) -> Option<SemVal> {
     let (a, b) = match (a, b) {
         (SemVal::Undef, _) | (_, SemVal::Undef) => return Some(SemVal::Undef),
-        (SemVal::Int { ty: t1, bits: a }, SemVal::Int { ty: t2, bits: b }) if t1 == ty && t2 == ty => (a, b),
+        (SemVal::Int { ty: t1, bits: a }, SemVal::Int { ty: t2, bits: b })
+            if t1 == ty && t2 == ty =>
+        {
+            (a, b)
+        }
         _ => return None,
     };
     let bits = ty.bits();
@@ -184,7 +207,10 @@ fn eval_bin(op: BinOp, ty: Type, a: SemVal, b: SemVal) -> Option<SemVal> {
         BinOp::Or => ua | ub,
         BinOp::Xor => ua ^ ub,
     };
-    Some(SemVal::Int { ty, bits: ty.truncate(out) })
+    Some(SemVal::Int {
+        ty,
+        bits: ty.truncate(out),
+    })
 }
 
 /// Evaluate an expression; `None` = undefined/trapping/not modelled.
@@ -242,18 +268,26 @@ pub fn eval_expr(e: &Expr, s: &ExtState) -> Option<SemVal> {
             match (op, v) {
                 (_, SemVal::Undef) => Some(SemVal::Undef),
                 (CastOp::Bitcast, v) => Some(v),
-                (CastOp::Trunc, SemVal::Int { bits, .. }) => {
-                    Some(SemVal::Int { ty: *to, bits: to.truncate(bits) })
-                }
-                (CastOp::Zext, SemVal::Int { bits, .. }) => {
-                    Some(SemVal::Int { ty: *to, bits: from.truncate(bits) })
-                }
-                (CastOp::Sext, SemVal::Int { bits, .. }) => {
-                    Some(SemVal::Int { ty: *to, bits: to.truncate(from.sext(bits) as u64) })
-                }
+                (CastOp::Trunc, SemVal::Int { bits, .. }) => Some(SemVal::Int {
+                    ty: *to,
+                    bits: to.truncate(bits),
+                }),
+                (CastOp::Zext, SemVal::Int { bits, .. }) => Some(SemVal::Int {
+                    ty: *to,
+                    bits: from.truncate(bits),
+                }),
+                (CastOp::Sext, SemVal::Int { bits, .. }) => Some(SemVal::Int {
+                    ty: *to,
+                    bits: to.truncate(from.sext(bits) as u64),
+                }),
                 (CastOp::PtrToInt, SemVal::Ptr { block, offset }) => {
-                    let addr = (block as u64).wrapping_mul(1 << 24).wrapping_add((offset as u64) * 8);
-                    Some(SemVal::Int { ty: *to, bits: to.truncate(addr) })
+                    let addr = (block as u64)
+                        .wrapping_mul(1 << 24)
+                        .wrapping_add((offset as u64) * 8);
+                    Some(SemVal::Int {
+                        ty: *to,
+                        bits: to.truncate(addr),
+                    })
                 }
                 (CastOp::IntToPtr, SemVal::Int { bits, .. }) => {
                     let block = (bits >> 24) as u32;
@@ -263,12 +297,22 @@ pub fn eval_expr(e: &Expr, s: &ExtState) -> Option<SemVal> {
                 _ => None,
             }
         }
-        Expr::Gep { inbounds, ptr, offset } => {
+        Expr::Gep {
+            inbounds,
+            ptr,
+            offset,
+        } => {
             let p = eval_value(ptr, s)?;
             let o = eval_value(offset, s)?;
             match (p, o) {
                 (SemVal::Undef, _) | (_, SemVal::Undef) => Some(SemVal::Undef),
-                (SemVal::Ptr { block, offset: base }, SemVal::Int { bits, .. }) => {
+                (
+                    SemVal::Ptr {
+                        block,
+                        offset: base,
+                    },
+                    SemVal::Int { bits, .. },
+                ) => {
                     let off = Type::I64.sext(bits);
                     let new = base.wrapping_add(off);
                     if *inbounds && !(0..=8).contains(&new) {
@@ -375,14 +419,24 @@ mod tests {
     #[test]
     fn undef_propagates_through_arithmetic() {
         let s = ExtState::new(); // everything undef
-        let e = Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(0)), TValue::int(Type::I32, 1));
+        let e = Expr::bin(
+            BinOp::Add,
+            Type::I32,
+            TValue::phy(r(0)),
+            TValue::int(Type::I32, 1),
+        );
         assert_eq!(eval_expr(&e, &s), Some(SemVal::Undef));
     }
 
     #[test]
     fn traps_are_bottom() {
         let s = ExtState::new();
-        let e = Expr::bin(BinOp::SDiv, Type::I32, TValue::int(Type::I32, 1), TValue::int(Type::I32, 0));
+        let e = Expr::bin(
+            BinOp::SDiv,
+            Type::I32,
+            TValue::int(Type::I32, 1),
+            TValue::int(Type::I32, 0),
+        );
         assert_eq!(eval_expr(&e, &s), None);
         // A lessdef with a trapping side is vacuous.
         let p = Pred::Lessdef(Expr::value(TValue::phy(r(0))), e);
@@ -397,7 +451,10 @@ mod tests {
         let six = Expr::value(TValue::int(Type::I32, 6));
         let x = Expr::value(TValue::phy(r(0)));
         assert_eq!(eval_pred(&Pred::Lessdef(x.clone(), five), &s), Some(true));
-        assert_eq!(eval_pred(&Pred::Lessdef(x.clone(), six.clone()), &s), Some(false));
+        assert_eq!(
+            eval_pred(&Pred::Lessdef(x.clone(), six.clone()), &s),
+            Some(false)
+        );
         // Undef on the left is below everything.
         let u = Expr::value(TValue::phy(r(9)));
         assert_eq!(eval_pred(&Pred::Lessdef(u, six), &s), Some(true));
@@ -420,8 +477,14 @@ mod tests {
     fn ghost_registers_mediate_relational_facts() {
         // e_src ⊒ ĝ_src ∧ ĝ_tgt ⊒ e'_tgt ∧ ĝ ∉ MD encodes e_src = e'_tgt.
         let mut a = Assertion::new();
-        a.src.insert_lessdef(Expr::value(TValue::phy(r(0))), Expr::value(TValue::ghost("g")));
-        a.tgt.insert_lessdef(Expr::value(TValue::ghost("g")), Expr::value(TValue::phy(r(1))));
+        a.src.insert_lessdef(
+            Expr::value(TValue::phy(r(0))),
+            Expr::value(TValue::ghost("g")),
+        );
+        a.tgt.insert_lessdef(
+            Expr::value(TValue::ghost("g")),
+            Expr::value(TValue::phy(r(1))),
+        );
         a.add_maydiff(TReg::Phy(r(0)));
         a.add_maydiff(TReg::Phy(r(1)));
 
@@ -442,13 +505,39 @@ mod tests {
     #[test]
     fn gep_inbounds_more_undefined_than_plain() {
         let mut s = ExtState::new();
-        s.set(TReg::Phy(r(0)), SemVal::Ptr { block: 3, offset: 0 });
-        let gi = Expr::Gep { inbounds: true, ptr: TValue::phy(r(0)), offset: TValue::int(Type::I64, 100) };
-        let gp = Expr::Gep { inbounds: false, ptr: TValue::phy(r(0)), offset: TValue::int(Type::I64, 100) };
+        s.set(
+            TReg::Phy(r(0)),
+            SemVal::Ptr {
+                block: 3,
+                offset: 0,
+            },
+        );
+        let gi = Expr::Gep {
+            inbounds: true,
+            ptr: TValue::phy(r(0)),
+            offset: TValue::int(Type::I64, 100),
+        };
+        let gp = Expr::Gep {
+            inbounds: false,
+            ptr: TValue::phy(r(0)),
+            offset: TValue::int(Type::I64, 100),
+        };
         assert_eq!(eval_expr(&gi, &s), Some(SemVal::Undef));
-        assert_eq!(eval_expr(&gp, &s), Some(SemVal::Ptr { block: 3, offset: 100 }));
+        assert_eq!(
+            eval_expr(&gp, &s),
+            Some(SemVal::Ptr {
+                block: 3,
+                offset: 100
+            })
+        );
         // So inbounds ⊒ plain holds, but NOT the converse.
-        assert!(lessdef_vals(eval_expr(&gi, &s).unwrap(), eval_expr(&gp, &s).unwrap()));
-        assert!(!lessdef_vals(eval_expr(&gp, &s).unwrap(), eval_expr(&gi, &s).unwrap()));
+        assert!(lessdef_vals(
+            eval_expr(&gi, &s).unwrap(),
+            eval_expr(&gp, &s).unwrap()
+        ));
+        assert!(!lessdef_vals(
+            eval_expr(&gp, &s).unwrap(),
+            eval_expr(&gi, &s).unwrap()
+        ));
     }
 }

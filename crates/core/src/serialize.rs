@@ -121,14 +121,20 @@ mod tests {
         b.global_pred(Side::Src, Pred::Uniq(RegId::from_index(9)));
         b.range_pred(
             Side::Tgt,
-            Pred::Lessdef(Expr::value(TValue::ghost("g")), Expr::value(TValue::int(Type::I32, 1))),
+            Pred::Lessdef(
+                Expr::value(TValue::ghost("g")),
+                Expr::value(TValue::int(Type::I32, 1)),
+            ),
             Loc::AfterRow(0, 0),
             Loc::End(0),
         );
         b.infrule_after_row(
             0,
             1,
-            crate::infrule::InfRule::IntroEq { side: Side::Src, e: Expr::value(TValue::int(Type::I32, 7)) },
+            crate::infrule::InfRule::IntroEq {
+                side: Side::Src,
+                e: Expr::value(TValue::int(Type::I32, 7)),
+            },
         );
         b.auto(AutoKind::Transitivity);
         b.finish()
@@ -147,7 +153,10 @@ mod tests {
         assert_eq!(unit.infrules, back.infrules);
         assert_eq!(unit.autos, back.autos);
         // And the deserialized proof still validates identically.
-        assert_eq!(crate::checker::validate(&unit).is_ok(), crate::checker::validate(&back).is_ok());
+        assert_eq!(
+            crate::checker::validate(&unit).is_ok(),
+            crate::checker::validate(&back).is_ok()
+        );
     }
 
     #[test]

@@ -391,7 +391,10 @@ struct BinDeserializer<'de> {
 
 impl<'de> BinDeserializer<'de> {
     fn byte(&mut self) -> Result<u8, Error> {
-        let (&b, rest) = self.input.split_first().ok_or_else(|| err("unexpected end of input"))?;
+        let (&b, rest) = self
+            .input
+            .split_first()
+            .ok_or_else(|| err("unexpected end of input"))?;
         self.input = rest;
         Ok(b)
     }
@@ -505,7 +508,10 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
 
     fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
         let v = self.varint()?;
-        let c = u32::try_from(v).ok().and_then(char::from_u32).ok_or_else(|| err("invalid char"))?;
+        let c = u32::try_from(v)
+            .ok()
+            .and_then(char::from_u32)
+            .ok_or_else(|| err("invalid char"))?;
         visitor.visit_char(c)
     }
 
@@ -558,11 +564,17 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
         let n = self.len()?;
-        visitor.visit_seq(Counted { de: self, remaining: n })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: n,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, Error> {
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -576,7 +588,10 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
         let n = self.len()?;
-        visitor.visit_map(Counted { de: self, remaining: n })
+        visitor.visit_map(Counted {
+            de: self,
+            remaining: n,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -633,7 +648,10 @@ impl<'de> de::SeqAccess<'de> for Counted<'_, 'de> {
 impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
     type Error = Error;
 
-    fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>, Error> {
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Error> {
         if self.remaining == 0 {
             return Ok(None);
         }
@@ -659,7 +677,8 @@ impl<'de> de::EnumAccess<'de> for EnumAccess<'_, 'de> {
     type Variant = Self;
 
     fn variant_seed<V: DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, Self), Error> {
-        let idx = u32::try_from(self.de.varint()?).map_err(|_| err("variant index out of range"))?;
+        let idx =
+            u32::try_from(self.de.varint()?).map_err(|_| err("variant index out of range"))?;
         let val = seed.deserialize(idx.into_deserializer())?;
         Ok((val, self))
     }
@@ -717,9 +736,14 @@ mod tests {
                 Sample::Unit,
                 Sample::Newtype(7),
                 Sample::Tuple(-40, "x".into()),
-                Sample::Struct { flag: true, items: vec![1, 2, 3] },
+                Sample::Struct {
+                    flag: true,
+                    items: vec![1, 2, 3],
+                },
             ],
-            table: [("a".to_string(), Some(-1)), ("b".to_string(), None)].into_iter().collect(),
+            table: [("a".to_string(), Some(-1)), ("b".to_string(), None)]
+                .into_iter()
+                .collect(),
             pair: (u64::MAX, 'λ'),
         }
     }

@@ -48,7 +48,10 @@ impl fmt::Display for DiffError {
 impl std::error::Error for DiffError {}
 
 fn err(at: impl Into<String>, detail: impl Into<String>) -> DiffError {
-    DiffError { at: at.into(), detail: detail.into() }
+    DiffError {
+        at: at.into(),
+        detail: detail.into(),
+    }
 }
 
 /// The register bijection built during the walk.
@@ -87,14 +90,40 @@ impl RegMap {
 fn diff_inst(m: &mut RegMap, a: &Inst, b: &Inst, at: &str) -> Result<(), DiffError> {
     use Inst::*;
     match (a, b) {
-        (Bin { op: o1, ty: t1, lhs: l1, rhs: r1 }, Bin { op: o2, ty: t2, lhs: l2, rhs: r2 }) => {
+        (
+            Bin {
+                op: o1,
+                ty: t1,
+                lhs: l1,
+                rhs: r1,
+            },
+            Bin {
+                op: o2,
+                ty: t2,
+                lhs: l2,
+                rhs: r2,
+            },
+        ) => {
             if o1 != o2 || t1 != t2 {
                 return Err(err(at, "binary operator or type differs"));
             }
             m.check(l1, l2, at)?;
             m.check(r1, r2, at)
         }
-        (Icmp { pred: p1, ty: t1, lhs: l1, rhs: r1 }, Icmp { pred: p2, ty: t2, lhs: l2, rhs: r2 }) => {
+        (
+            Icmp {
+                pred: p1,
+                ty: t1,
+                lhs: l1,
+                rhs: r1,
+            },
+            Icmp {
+                pred: p2,
+                ty: t2,
+                lhs: l2,
+                rhs: r2,
+            },
+        ) => {
             if p1 != p2 || t1 != t2 {
                 return Err(err(at, "icmp predicate or type differs"));
             }
@@ -102,8 +131,18 @@ fn diff_inst(m: &mut RegMap, a: &Inst, b: &Inst, at: &str) -> Result<(), DiffErr
             m.check(r1, r2, at)
         }
         (
-            Select { ty: t1, cond: c1, on_true: x1, on_false: y1 },
-            Select { ty: t2, cond: c2, on_true: x2, on_false: y2 },
+            Select {
+                ty: t1,
+                cond: c1,
+                on_true: x1,
+                on_false: y1,
+            },
+            Select {
+                ty: t2,
+                cond: c2,
+                on_true: x2,
+                on_false: y2,
+            },
         ) => {
             if t1 != t2 {
                 return Err(err(at, "select type differs"));
@@ -112,7 +151,20 @@ fn diff_inst(m: &mut RegMap, a: &Inst, b: &Inst, at: &str) -> Result<(), DiffErr
             m.check(x1, x2, at)?;
             m.check(y1, y2, at)
         }
-        (Cast { op: o1, from: f1, val: v1, to: to1 }, Cast { op: o2, from: f2, val: v2, to: to2 }) => {
+        (
+            Cast {
+                op: o1,
+                from: f1,
+                val: v1,
+                to: to1,
+            },
+            Cast {
+                op: o2,
+                from: f2,
+                val: v2,
+                to: to2,
+            },
+        ) => {
             if o1 != o2 || f1 != f2 || to1 != to2 {
                 return Err(err(at, "cast differs"));
             }
@@ -130,21 +182,54 @@ fn diff_inst(m: &mut RegMap, a: &Inst, b: &Inst, at: &str) -> Result<(), DiffErr
             }
             m.check(p1, p2, at)
         }
-        (Store { ty: t1, val: v1, ptr: p1 }, Store { ty: t2, val: v2, ptr: p2 }) => {
+        (
+            Store {
+                ty: t1,
+                val: v1,
+                ptr: p1,
+            },
+            Store {
+                ty: t2,
+                val: v2,
+                ptr: p2,
+            },
+        ) => {
             if t1 != t2 {
                 return Err(err(at, "store type differs"));
             }
             m.check(v1, v2, at)?;
             m.check(p1, p2, at)
         }
-        (Gep { inbounds: i1, ptr: p1, offset: o1 }, Gep { inbounds: i2, ptr: p2, offset: o2 }) => {
+        (
+            Gep {
+                inbounds: i1,
+                ptr: p1,
+                offset: o1,
+            },
+            Gep {
+                inbounds: i2,
+                ptr: p2,
+                offset: o2,
+            },
+        ) => {
             if i1 != i2 {
                 return Err(err(at, "gep inbounds flag differs"));
             }
             m.check(p1, p2, at)?;
             m.check(o1, o2, at)
         }
-        (Call { ret: r1, callee: c1, args: a1 }, Call { ret: r2, callee: c2, args: a2 }) => {
+        (
+            Call {
+                ret: r1,
+                callee: c1,
+                args: a1,
+            },
+            Call {
+                ret: r2,
+                callee: c2,
+                args: a2,
+            },
+        ) => {
             if r1 != r2 || c1 != c2 || a1.len() != a2.len() {
                 return Err(err(at, "call signature differs"));
             }
@@ -184,8 +269,16 @@ fn diff_term(m: &mut RegMap, a: &Term, b: &Term, at: &str) -> Result<(), DiffErr
             }
         }
         (
-            Term::CondBr { cond: c1, if_true: t1, if_false: f1 },
-            Term::CondBr { cond: c2, if_true: t2, if_false: f2 },
+            Term::CondBr {
+                cond: c1,
+                if_true: t1,
+                if_false: f1,
+            },
+            Term::CondBr {
+                cond: c2,
+                if_true: t2,
+                if_false: f2,
+            },
         ) => {
             if t1 != t2 || f1 != f2 {
                 return Err(err(at, "branch targets differ"));
@@ -193,8 +286,18 @@ fn diff_term(m: &mut RegMap, a: &Term, b: &Term, at: &str) -> Result<(), DiffErr
             m.check(c1, c2, at)
         }
         (
-            Term::Switch { ty: t1, val: v1, default: d1, cases: c1 },
-            Term::Switch { ty: t2, val: v2, default: d2, cases: c2 },
+            Term::Switch {
+                ty: t1,
+                val: v1,
+                default: d1,
+                cases: c1,
+            },
+            Term::Switch {
+                ty: t2,
+                val: v2,
+                default: d2,
+                cases: c2,
+            },
         ) => {
             if t1 != t2 || d1 != d2 || c1 != c2 {
                 return Err(err(at, "switch structure differs"));
@@ -214,7 +317,10 @@ fn diff_term(m: &mut RegMap, a: &Term, b: &Term, at: &str) -> Result<(), DiffErr
 pub fn diff_functions(a: &Function, b: &Function) -> Result<(), DiffError> {
     let name = &a.name;
     if a.name != b.name {
-        return Err(err("function", format!("names differ: {} vs {}", a.name, b.name)));
+        return Err(err(
+            "function",
+            format!("names differ: {} vs {}", a.name, b.name),
+        ));
     }
     if a.ret != b.ret || a.params.len() != b.params.len() {
         return Err(err(format!("@{name}"), "signatures differ"));
@@ -251,7 +357,14 @@ pub fn diff_functions(a: &Function, b: &Function) -> Result<(), DiffError> {
             }
         }
         if ba.stmts.len() != bb.stmts.len() {
-            return Err(err(&at, format!("statement counts differ: {} vs {}", ba.stmts.len(), bb.stmts.len())));
+            return Err(err(
+                &at,
+                format!(
+                    "statement counts differ: {} vs {}",
+                    ba.stmts.len(),
+                    bb.stmts.len()
+                ),
+            ));
         }
         for (j, (s1, s2)) in ba.stmts.iter().zip(&bb.stmts).enumerate() {
             let at = format!("{at}, statement {j}");
@@ -284,9 +397,12 @@ pub fn diff_modules(a: &Module, b: &Module) -> Result<(), DiffError> {
         return Err(err("module", "function counts differ"));
     }
     for fa in &a.functions {
-        let fb = b
-            .function(&fa.name)
-            .ok_or_else(|| err("module", format!("function @{} missing on one side", fa.name)))?;
+        let fb = b.function(&fa.name).ok_or_else(|| {
+            err(
+                "module",
+                format!("function @{} missing on one side", fa.name),
+            )
+        })?;
         diff_functions(fa, fb)?;
     }
     Ok(())
@@ -362,7 +478,10 @@ mod tests {
         assert!(diff_modules(&a, &b).is_err());
         // Different gep flag elsewhere: build tiny modules.
         let g1 = parse_module("define @g(ptr %p) -> ptr {\nentry:\n  %q = gep inbounds ptr %p, i64 1\n  ret ptr %q\n}\n").unwrap();
-        let g2 = parse_module("define @g(ptr %p) -> ptr {\nentry:\n  %q = gep ptr %p, i64 1\n  ret ptr %q\n}\n").unwrap();
+        let g2 = parse_module(
+            "define @g(ptr %p) -> ptr {\nentry:\n  %q = gep ptr %p, i64 1\n  ret ptr %q\n}\n",
+        )
+        .unwrap();
         let e = diff_modules(&g1, &g2).unwrap_err();
         assert!(e.detail.contains("inbounds"));
     }

@@ -25,24 +25,96 @@ pub struct Benchmark {
 
 /// The 18 benchmarks of Fig 7.
 pub const BENCHMARKS: [Benchmark; 18] = [
-    Benchmark { name: "400.perlbench", loc_k: 168.16, unsupported_rate: 0.001 },
-    Benchmark { name: "401.bzip2", loc_k: 8.29, unsupported_rate: 0.0 },
-    Benchmark { name: "403.gcc", loc_k: 517.52, unsupported_rate: 0.001 },
-    Benchmark { name: "429.mcf", loc_k: 2.69, unsupported_rate: 0.0 },
-    Benchmark { name: "433.milc", loc_k: 15.04, unsupported_rate: 0.009 },
-    Benchmark { name: "445.gobmk", loc_k: 196.24, unsupported_rate: 0.0004 },
-    Benchmark { name: "456.hmmer", loc_k: 35.99, unsupported_rate: 0.0 },
-    Benchmark { name: "458.sjeng", loc_k: 13.85, unsupported_rate: 0.0 },
-    Benchmark { name: "462.libquantum", loc_k: 4.36, unsupported_rate: 0.64 },
-    Benchmark { name: "464.h264ref", loc_k: 51.58, unsupported_rate: 0.0 },
-    Benchmark { name: "470.lbm", loc_k: 1.16, unsupported_rate: 0.0 },
-    Benchmark { name: "482.sphinx3", loc_k: 25.09, unsupported_rate: 0.0 },
-    Benchmark { name: "sendmail-8.15.2", loc_k: 138.68, unsupported_rate: 0.43 },
-    Benchmark { name: "emacs-25.1", loc_k: 463.54, unsupported_rate: 0.001 },
-    Benchmark { name: "python-3.4.1", loc_k: 486.38, unsupported_rate: 0.01 },
-    Benchmark { name: "gimp-2.8.18", loc_k: 1004.20, unsupported_rate: 0.027 },
-    Benchmark { name: "ghostscript-9.14.0", loc_k: 797.65, unsupported_rate: 0.70 },
-    Benchmark { name: "LLVM nightly test", loc_k: 1358.76, unsupported_rate: 0.016 },
+    Benchmark {
+        name: "400.perlbench",
+        loc_k: 168.16,
+        unsupported_rate: 0.001,
+    },
+    Benchmark {
+        name: "401.bzip2",
+        loc_k: 8.29,
+        unsupported_rate: 0.0,
+    },
+    Benchmark {
+        name: "403.gcc",
+        loc_k: 517.52,
+        unsupported_rate: 0.001,
+    },
+    Benchmark {
+        name: "429.mcf",
+        loc_k: 2.69,
+        unsupported_rate: 0.0,
+    },
+    Benchmark {
+        name: "433.milc",
+        loc_k: 15.04,
+        unsupported_rate: 0.009,
+    },
+    Benchmark {
+        name: "445.gobmk",
+        loc_k: 196.24,
+        unsupported_rate: 0.0004,
+    },
+    Benchmark {
+        name: "456.hmmer",
+        loc_k: 35.99,
+        unsupported_rate: 0.0,
+    },
+    Benchmark {
+        name: "458.sjeng",
+        loc_k: 13.85,
+        unsupported_rate: 0.0,
+    },
+    Benchmark {
+        name: "462.libquantum",
+        loc_k: 4.36,
+        unsupported_rate: 0.64,
+    },
+    Benchmark {
+        name: "464.h264ref",
+        loc_k: 51.58,
+        unsupported_rate: 0.0,
+    },
+    Benchmark {
+        name: "470.lbm",
+        loc_k: 1.16,
+        unsupported_rate: 0.0,
+    },
+    Benchmark {
+        name: "482.sphinx3",
+        loc_k: 25.09,
+        unsupported_rate: 0.0,
+    },
+    Benchmark {
+        name: "sendmail-8.15.2",
+        loc_k: 138.68,
+        unsupported_rate: 0.43,
+    },
+    Benchmark {
+        name: "emacs-25.1",
+        loc_k: 463.54,
+        unsupported_rate: 0.001,
+    },
+    Benchmark {
+        name: "python-3.4.1",
+        loc_k: 486.38,
+        unsupported_rate: 0.01,
+    },
+    Benchmark {
+        name: "gimp-2.8.18",
+        loc_k: 1004.20,
+        unsupported_rate: 0.027,
+    },
+    Benchmark {
+        name: "ghostscript-9.14.0",
+        loc_k: 797.65,
+        unsupported_rate: 0.70,
+    },
+    Benchmark {
+        name: "LLVM nightly test",
+        loc_k: 1358.76,
+        unsupported_rate: 0.016,
+    },
 ];
 
 impl Benchmark {
@@ -60,8 +132,9 @@ impl Benchmark {
         let total = self.function_count(functions_per_kloc);
         let per_module = 4usize;
         let n_modules = total.div_ceil(per_module);
-        let name_seed: u64 =
-            self.name.bytes().fold(0xcbf29ce484222325, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3));
+        let name_seed: u64 = self.name.bytes().fold(0xcbf29ce484222325, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
         (0..n_modules)
             .map(|i| {
                 let cfg = GenConfig {
@@ -79,7 +152,10 @@ impl Benchmark {
 
 /// The full corpus at a given scale: `(benchmark, its modules)` pairs.
 pub fn corpus(functions_per_kloc: f64, base_seed: u64) -> Vec<(Benchmark, Vec<Module>)> {
-    BENCHMARKS.iter().map(|b| (*b, b.modules(functions_per_kloc, base_seed))).collect()
+    BENCHMARKS
+        .iter()
+        .map(|b| (*b, b.modules(functions_per_kloc, base_seed)))
+        .collect()
 }
 
 #[cfg(test)]

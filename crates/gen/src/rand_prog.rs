@@ -15,7 +15,8 @@
 //!   debug 1.5%, atomic 0.3%) — or all-`lifetime` in CSmith mode.
 
 use crellvm_ir::{
-    BinOp, BlockId, ExternDecl, Function, FunctionBuilder, IcmpPred, Inst, Module, RegId, Type, Value,
+    BinOp, BlockId, ExternDecl, Function, FunctionBuilder, IcmpPred, Inst, Module, RegId, Type,
+    Value,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -119,7 +120,14 @@ impl Gen<'_> {
         match choice {
             // Plain arithmetic.
             0..=29 => {
-                let ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::Xor];
+                let ops = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                ];
                 let op = ops[self.rng.gen_range(0..ops.len())];
                 let (a, b) = (self.pick32(), self.pick32());
                 let n = self.name("v");
@@ -137,7 +145,7 @@ impl Gen<'_> {
                     }
                     1 => {
                         let n = self.name("m");
-                        let k = [2i64, 4, 8, 16][self.rng.gen_range(0..4)];
+                        let k = [2i64, 4, 8, 16][self.rng.gen_range(0..4usize)];
                         let r = self.b.bin(&n, BinOp::Mul, Type::I32, a, k);
                         self.env32.push(Value::Reg(r));
                     }
@@ -168,8 +176,11 @@ impl Gen<'_> {
                         // absorption fodder: a & (a | b) or a | (a & b).
                         let bv = self.pick32();
                         let which = self.rng.gen_bool(0.5);
-                        let (i_op, o_op) =
-                            if which { (BinOp::Or, BinOp::And) } else { (BinOp::And, BinOp::Or) };
+                        let (i_op, o_op) = if which {
+                            (BinOp::Or, BinOp::And)
+                        } else {
+                            (BinOp::And, BinOp::Or)
+                        };
                         let n = self.name("ab");
                         let t = self.b.bin(&n, i_op, Type::I32, a.clone(), bv);
                         let n = self.name("ab");
@@ -180,7 +191,11 @@ impl Gen<'_> {
                         // select-icmp fodder: select(a == b, a, b).
                         let bv = self.pick32();
                         let n = self.name("sc");
-                        let p = if self.rng.gen_bool(0.5) { IcmpPred::Eq } else { IcmpPred::Ne };
+                        let p = if self.rng.gen_bool(0.5) {
+                            IcmpPred::Eq
+                        } else {
+                            IcmpPred::Ne
+                        };
                         let c = self.b.icmp(&n, p, Type::I32, a.clone(), bv.clone());
                         let n = self.name("ss");
                         let r = self.b.select(&n, Type::I32, c, a, bv);
@@ -190,13 +205,21 @@ impl Gen<'_> {
                         // trunc/zext roundtrip (zext-trunc-and fodder) —
                         // via i64 so the mask is visible.
                         let n = self.name("zw");
-                        let w = self.b.cast(&n, crellvm_ir::CastOp::Zext, Type::I32, a, Type::I64);
+                        let w = self
+                            .b
+                            .cast(&n, crellvm_ir::CastOp::Zext, Type::I32, a, Type::I64);
                         let n = self.name("zt");
-                        let t = self.b.cast(&n, crellvm_ir::CastOp::Trunc, Type::I64, w, Type::I8);
+                        let t = self
+                            .b
+                            .cast(&n, crellvm_ir::CastOp::Trunc, Type::I64, w, Type::I8);
                         let n = self.name("zz");
-                        let z = self.b.cast(&n, crellvm_ir::CastOp::Zext, Type::I8, t, Type::I64);
+                        let z = self
+                            .b
+                            .cast(&n, crellvm_ir::CastOp::Zext, Type::I8, t, Type::I64);
                         let n = self.name("zb");
-                        let r = self.b.cast(&n, crellvm_ir::CastOp::Trunc, Type::I64, z, Type::I32);
+                        let r = self
+                            .b
+                            .cast(&n, crellvm_ir::CastOp::Trunc, Type::I64, z, Type::I32);
                         self.env32.push(Value::Reg(r));
                     }
                 }
@@ -204,7 +227,11 @@ impl Gen<'_> {
             // GVN fodder: an expression computed twice.
             40..=49 => {
                 let (a, b) = (self.pick32(), self.pick32());
-                let op = if self.rng.gen_bool(0.5) { BinOp::Add } else { BinOp::Mul };
+                let op = if self.rng.gen_bool(0.5) {
+                    BinOp::Add
+                } else {
+                    BinOp::Mul
+                };
                 let n1 = self.name("d");
                 let r1 = self.b.bin(&n1, op, Type::I32, a.clone(), b.clone());
                 let n2 = self.name("d");
@@ -235,17 +262,21 @@ impl Gen<'_> {
             60..=64 => {
                 let a = self.pick32();
                 let n = self.name("w");
-                let w = self.b.cast(&n, crellvm_ir::CastOp::Zext, Type::I32, a, Type::I64);
+                let w = self
+                    .b
+                    .cast(&n, crellvm_ir::CastOp::Zext, Type::I32, a, Type::I64);
                 if self.rng.gen_bool(0.7) {
                     let n = self.name("t");
-                    let t = self.b.cast(&n, crellvm_ir::CastOp::Trunc, Type::I64, w, Type::I32);
+                    let t = self
+                        .b
+                        .cast(&n, crellvm_ir::CastOp::Trunc, Type::I64, w, Type::I32);
                     self.env32.push(Value::Reg(t));
                 }
             }
             // Safe division (constant non-zero divisor).
             65..=69 => {
                 let a = self.pick32();
-                let d = [2i64, 3, 4, 5, 7][self.rng.gen_range(0..5)];
+                let d = [2i64, 3, 4, 5, 7][self.rng.gen_range(0..5usize)];
                 let n = self.name("q");
                 let r = self.b.bin(&n, BinOp::SDiv, Type::I32, a, d);
                 self.env32.push(Value::Reg(r));
@@ -298,7 +329,7 @@ impl Gen<'_> {
                 // Shifts by small constants.
                 let a = self.pick32();
                 let k = self.rng.gen_range(0i64..5);
-                let op = [BinOp::Shl, BinOp::LShr, BinOp::AShr][self.rng.gen_range(0..3)];
+                let op = [BinOp::Shl, BinOp::LShr, BinOp::AShr][self.rng.gen_range(0..3usize)];
                 let n = self.name("h");
                 let r = self.b.bin(&n, op, Type::I32, a, k);
                 self.env32.push(Value::Reg(r));
@@ -336,7 +367,9 @@ impl Gen<'_> {
         self.b.switch_to(head);
         self.cur = head;
         let iname = self.name("bi");
-        let i = self.b.phi(&iname, Type::I32, vec![(pre, Value::int(Type::I32, 0))]);
+        let i = self
+            .b
+            .phi(&iname, Type::I32, vec![(pre, Value::int(Type::I32, 0))]);
         let n = self.name("br_");
         let r = self.b.load(&n, Type::I32, slot);
         self.b.call_void("print", vec![(Type::I32, Value::Reg(r))]);
@@ -360,8 +393,10 @@ impl Gen<'_> {
     fn bait_wrong_polarity_pre(&mut self) {
         let a = self.pick32();
         let cond = self.pick1();
-        let names: Vec<String> =
-            ["bleft", "bother", "bright", "bjoin"].iter().map(|n| self.name(n)).collect();
+        let names: Vec<String> = ["bleft", "bother", "bright", "bjoin"]
+            .iter()
+            .map(|n| self.name(n))
+            .collect();
         let left = self.b.block(&names[0]);
         let other = self.b.block(&names[1]);
         let right = self.b.block(&names[2]);
@@ -450,7 +485,9 @@ impl Gen<'_> {
                 self.b.switch_to(join_b);
                 self.cur = join_b;
                 let n = self.name("phi");
-                let p = self.b.phi(&n, Type::I32, vec![(then_end, tv), (else_end, ev)]);
+                let p = self
+                    .b
+                    .phi(&n, Type::I32, vec![(then_end, tv), (else_end, ev)]);
                 self.env32.push(Value::Reg(p));
             }
             // Bounded loop with an accumulator (licm + gvn fodder inside).
@@ -466,7 +503,9 @@ impl Gen<'_> {
                 self.cur = head;
                 let iname = self.name("i");
                 let init = self.pick32();
-                let i = self.b.phi(&iname, Type::I32, vec![(pre, Value::int(Type::I32, 0))]);
+                let i = self
+                    .b
+                    .phi(&iname, Type::I32, vec![(pre, Value::int(Type::I32, 0))]);
                 let aname = self.name("acc");
                 let acc = self.b.phi(&aname, Type::I32, vec![(pre, init)]);
                 let saved32 = self.env32.len();
@@ -498,14 +537,17 @@ impl Gen<'_> {
             // A switch with two cases and a default, merged by a phi.
             60..=72 => {
                 let scrut = self.pick32();
-                let names: Vec<String> =
-                    ["case_a", "case_b", "dflt", "smerge"].iter().map(|n| self.name(n)).collect();
+                let names: Vec<String> = ["case_a", "case_b", "dflt", "smerge"]
+                    .iter()
+                    .map(|n| self.name(n))
+                    .collect();
                 let ca = self.b.block(&names[0]);
                 let cb = self.b.block(&names[1]);
                 let df = self.b.block(&names[2]);
                 let merge = self.b.block(&names[3]);
                 let (k1, k2) = (self.rng.gen_range(0i64..8), self.rng.gen_range(8i64..16));
-                self.b.switch(Type::I32, scrut, df, vec![(k1 as u64, ca), (k2 as u64, cb)]);
+                self.b
+                    .switch(Type::I32, scrut, df, vec![(k1 as u64, ca), (k2 as u64, cb)]);
 
                 let saved32 = self.env32.len();
                 let saved1 = self.env1.len();
@@ -639,9 +681,21 @@ fn generate_function(name: &str, rng: &mut StdRng, cfg: &GenConfig) -> Function 
 pub fn generate_module(cfg: &GenConfig) -> Module {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut m = Module::new();
-    m.declares.push(ExternDecl { name: "print".into(), ret: None, params: vec![Type::I32] });
-    m.declares.push(ExternDecl { name: "get".into(), ret: Some(Type::I32), params: vec![] });
-    m.declares.push(ExternDecl { name: "sink".into(), ret: None, params: vec![Type::Ptr] });
+    m.declares.push(ExternDecl {
+        name: "print".into(),
+        ret: None,
+        params: vec![Type::I32],
+    });
+    m.declares.push(ExternDecl {
+        name: "get".into(),
+        ret: Some(Type::I32),
+        params: vec![],
+    });
+    m.declares.push(ExternDecl {
+        name: "sink".into(),
+        ret: None,
+        params: vec![Type::Ptr],
+    });
 
     let mut worker_sigs = Vec::new();
     for k in 0..cfg.functions {
@@ -655,8 +709,9 @@ pub fn generate_module(cfg: &GenConfig) -> Module {
     let mut b = FunctionBuilder::new("main", None);
     b.start_block("entry");
     for (k, (name, nargs)) in worker_sigs.iter().enumerate() {
-        let args: Vec<(Type, Value)> =
-            (0..*nargs).map(|j| (Type::I32, Value::int(Type::I32, (k * 7 + j * 3 + 1) as i64))).collect();
+        let args: Vec<(Type, Value)> = (0..*nargs)
+            .map(|j| (Type::I32, Value::int(Type::I32, (k * 7 + j * 3 + 1) as i64)))
+            .collect();
         let r = b.call(&format!("r{k}"), Type::I32, name, args);
         b.call_void("print", vec![(Type::I32, Value::Reg(r))]);
     }
@@ -673,7 +728,11 @@ mod tests {
     #[test]
     fn generated_modules_verify() {
         for seed in 0..30 {
-            let cfg = GenConfig { seed, functions: 3, ..GenConfig::default() };
+            let cfg = GenConfig {
+                seed,
+                functions: 3,
+                ..GenConfig::default()
+            };
             let m = generate_module(&cfg);
             verify_module(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{m}"));
         }
@@ -681,37 +740,63 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = GenConfig { seed: 7, ..GenConfig::default() };
+        let cfg = GenConfig {
+            seed: 7,
+            ..GenConfig::default()
+        };
         let a = generate_module(&cfg);
         let b = generate_module(&cfg);
-        assert_eq!(crellvm_ir::printer::print_module(&a), crellvm_ir::printer::print_module(&b));
-        let c = generate_module(&GenConfig { seed: 8, ..GenConfig::default() });
-        assert_ne!(crellvm_ir::printer::print_module(&a), crellvm_ir::printer::print_module(&c));
+        assert_eq!(
+            crellvm_ir::printer::print_module(&a),
+            crellvm_ir::printer::print_module(&b)
+        );
+        let c = generate_module(&GenConfig {
+            seed: 8,
+            ..GenConfig::default()
+        });
+        assert_ne!(
+            crellvm_ir::printer::print_module(&a),
+            crellvm_ir::printer::print_module(&c)
+        );
     }
 
     #[test]
     fn unsupported_rate_controls_ns_functions() {
-        let cfg = GenConfig { seed: 3, functions: 40, unsupported_rate: 1.0, ..GenConfig::default() };
+        let cfg = GenConfig {
+            seed: 3,
+            functions: 40,
+            unsupported_rate: 1.0,
+            ..GenConfig::default()
+        };
         let m = generate_module(&cfg);
         let with_unsupported = m
             .functions
             .iter()
             .filter(|f| {
                 f.blocks.iter().any(|b| {
-                    b.stmts.iter().any(|s| matches!(s.inst, Inst::Unsupported { .. }))
+                    b.stmts
+                        .iter()
+                        .any(|s| matches!(s.inst, Inst::Unsupported { .. }))
                 })
             })
             .count();
         assert_eq!(with_unsupported, 40);
 
-        let cfg0 = GenConfig { seed: 3, functions: 40, unsupported_rate: 0.0, ..GenConfig::default() };
+        let cfg0 = GenConfig {
+            seed: 3,
+            functions: 40,
+            unsupported_rate: 0.0,
+            ..GenConfig::default()
+        };
         let m0 = generate_module(&cfg0);
         let none = m0
             .functions
             .iter()
             .filter(|f| {
                 f.blocks.iter().any(|b| {
-                    b.stmts.iter().any(|s| matches!(s.inst, Inst::Unsupported { .. }))
+                    b.stmts
+                        .iter()
+                        .any(|s| matches!(s.inst, Inst::Unsupported { .. }))
                 })
             })
             .count();
@@ -738,7 +823,10 @@ mod tests {
     fn generated_mains_terminate() {
         use crellvm_interp::{run_main, End, RunConfig};
         for seed in 0..10 {
-            let m = generate_module(&GenConfig { seed, ..GenConfig::default() });
+            let m = generate_module(&GenConfig {
+                seed,
+                ..GenConfig::default()
+            });
             let r = run_main(&m, &RunConfig::default());
             assert!(
                 !matches!(r.end, End::OutOfFuel),

@@ -4,7 +4,8 @@ use crate::event::Event;
 use crate::mem::{MemBlockId, MemError, Memory};
 use crate::value::Val;
 use crellvm_ir::{
-    BinOp, BlockId, CastOp, Const, ConstExpr, Function, IcmpPred, Inst, Module, RegId, Term, Type, Value,
+    BinOp, BlockId, CastOp, Const, ConstExpr, Function, IcmpPred, Inst, Module, RegId, Term, Type,
+    Value,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -13,12 +14,14 @@ pub use crate::mem::NULL_BLOCK;
 
 /// The null-pointer value.
 fn null_ptr() -> Val {
-    Val::Ptr { block: NULL_BLOCK, offset: 0 }
+    Val::Ptr {
+        block: NULL_BLOCK,
+        offset: 0,
+    }
 }
 
 /// How `undef` is resolved when an operation must observe a concrete value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum UndefPolicy {
     /// Resolve every `undef` to zero.
     #[default]
@@ -27,7 +30,6 @@ pub enum UndefPolicy {
     /// the given seed and a per-resolution counter.
     Seeded(u64),
 }
-
 
 /// Why execution hit undefined behaviour.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,7 +104,12 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> RunConfig {
-        RunConfig { fuel: 200_000, env_seed: 0xC0FFEE, undef: UndefPolicy::Zero, max_depth: 64 }
+        RunConfig {
+            fuel: 200_000,
+            env_seed: 0xC0FFEE,
+            undef: UndefPolicy::Zero,
+            max_depth: 64,
+        }
     }
 }
 
@@ -140,7 +147,11 @@ impl<'m> Machine<'m> {
             let b = mem.alloc(g.ty, g.size);
             if let Some(init) = &g.init {
                 let v = match init {
-                    Const::Int { ty, bits } => Val::Int { ty: *ty, bits: *bits, tainted: false },
+                    Const::Int { ty, bits } => Val::Int {
+                        ty: *ty,
+                        bits: *bits,
+                        tainted: false,
+                    },
                     Const::Undef(ty) => Val::Undef(*ty),
                     Const::Null => null_ptr(),
                     other => Val::Lazy(other.clone()),
@@ -177,7 +188,11 @@ impl<'m> Machine<'m> {
                 if ty == Type::Ptr {
                     null_ptr()
                 } else {
-                    Val::Int { ty, bits: ty.truncate(splitmix64(s ^ self.undef_counter)), tainted: true }
+                    Val::Int {
+                        ty,
+                        bits: ty.truncate(splitmix64(s ^ self.undef_counter)),
+                        tainted: true,
+                    }
                 }
             }
         }
@@ -186,11 +201,18 @@ impl<'m> Machine<'m> {
     /// Evaluate a constant *by force*: trapping subexpressions trap.
     fn force_const(&mut self, c: &Const) -> Result<Val, Stop> {
         match c {
-            Const::Int { ty, bits } => Ok(Val::Int { ty: *ty, bits: *bits, tainted: false }),
+            Const::Int { ty, bits } => Ok(Val::Int {
+                ty: *ty,
+                bits: *bits,
+                tainted: false,
+            }),
             Const::Undef(ty) => Ok(Val::Undef(*ty)),
             Const::Null => Ok(null_ptr()),
             Const::Global(name) => match self.globals.get(name) {
-                Some(b) => Ok(Val::Ptr { block: *b, offset: 0 }),
+                Some(b) => Ok(Val::Ptr {
+                    block: *b,
+                    offset: 0,
+                }),
                 None => Err(Stop::Ub(UbReason::MissingFunction(name.clone()))),
             },
             Const::Expr(e) => match &**e {
@@ -203,7 +225,11 @@ impl<'m> Machine<'m> {
                             } else {
                                 Memory::address_of(block, offset)
                             };
-                            Ok(Val::Int { ty: *to, bits: to.truncate(addr), tainted: false })
+                            Ok(Val::Int {
+                                ty: *to,
+                                bits: to.truncate(addr),
+                                tainted: false,
+                            })
                         }
                         Val::Undef(_) => Ok(Val::Undef(*to)),
                         _ => Err(Stop::Ub(UbReason::TrappingConstant)),
@@ -212,7 +238,8 @@ impl<'m> Machine<'m> {
                 ConstExpr::Bin(op, ty, a, b) => {
                     let av = self.force_const(a)?;
                     let bv = self.force_const(b)?;
-                    self.bin_op(*op, *ty, av, bv).map_err(|_| Stop::Ub(UbReason::TrappingConstant))
+                    self.bin_op(*op, *ty, av, bv)
+                        .map_err(|_| Stop::Ub(UbReason::TrappingConstant))
                 }
             },
         }
@@ -332,7 +359,11 @@ impl<'m> Machine<'m> {
             BinOp::Xor => Some(a ^ b),
         };
         Ok(match out {
-            Some(v) => Val::Int { ty, bits: ty.truncate(v), tainted },
+            Some(v) => Val::Int {
+                ty,
+                bits: ty.truncate(v),
+                tainted,
+            },
             None => Val::Undef(ty), // over-shift
         })
     }
@@ -356,7 +387,11 @@ impl<'m> Machine<'m> {
             IcmpPred::Slt => sa < sb,
             IcmpPred::Sle => sa <= sb,
         };
-        Ok(Val::Int { ty: Type::I1, bits: r as u64, tainted })
+        Ok(Val::Int {
+            ty: Type::I1,
+            bits: r as u64,
+            tainted,
+        })
     }
 
     fn force_ptr(&mut self, v: Val) -> Result<(MemBlockId, i64), Stop> {
@@ -373,7 +408,11 @@ impl<'m> Machine<'m> {
         if ty == Type::Ptr {
             null_ptr()
         } else {
-            Val::Int { ty, bits: ty.truncate(splitmix64(self.env_seed ^ idx.wrapping_mul(0x51ED))), tainted: false }
+            Val::Int {
+                ty,
+                bits: ty.truncate(splitmix64(self.env_seed ^ idx.wrapping_mul(0x51ED))),
+                tainted: false,
+            }
         }
     }
 
@@ -386,7 +425,12 @@ impl<'m> Machine<'m> {
         Ok(())
     }
 
-    fn exec_function(&mut self, f: &Function, args: Vec<Val>, depth: u32) -> Result<Option<Val>, Stop> {
+    fn exec_function(
+        &mut self,
+        f: &Function,
+        args: Vec<Val>,
+        depth: u32,
+    ) -> Result<Option<Val>, Stop> {
         if depth > self.max_depth {
             return Err(Stop::OutOfFuel);
         }
@@ -405,7 +449,10 @@ impl<'m> Machine<'m> {
                 let from = prev.ok_or(Stop::Ub(UbReason::MalformedPhi))?;
                 let mut new_vals = Vec::with_capacity(block.phis.len());
                 for (r, phi) in &block.phis {
-                    let v = phi.value_from(from).ok_or(Stop::Ub(UbReason::MalformedPhi))?.clone();
+                    let v = phi
+                        .value_from(from)
+                        .ok_or(Stop::Ub(UbReason::MalformedPhi))?
+                        .clone();
                     let val = self.operand(&frame, &v)?;
                     new_vals.push((*r, val));
                 }
@@ -427,7 +474,12 @@ impl<'m> Machine<'m> {
                         let b = self.operand(&frame, rhs)?;
                         Some(self.icmp_op(*pred, *ty, a, b)?)
                     }
-                    Inst::Select { ty, cond, on_true, on_false } => {
+                    Inst::Select {
+                        ty,
+                        cond,
+                        on_true,
+                        on_false,
+                    } => {
                         let c = self.operand(&frame, cond)?;
                         match self.force(c)? {
                             None => Some(Val::Poison(*ty)),
@@ -445,18 +497,23 @@ impl<'m> Machine<'m> {
                     Inst::Alloca { ty, count } => {
                         let b = self.mem.alloc(*ty, *count);
                         allocas.push(b);
-                        Some(Val::Ptr { block: b, offset: 0 })
+                        Some(Val::Ptr {
+                            block: b,
+                            offset: 0,
+                        })
                     }
                     Inst::Load { ty, ptr } => {
                         let p = self.operand(&frame, ptr)?;
                         let (b, off) = self.force_ptr(p)?;
                         match self.mem.load(b, off) {
-                            Ok(v) => Some(if v.ty() != *ty && !matches!(v, Val::Undef(_) | Val::Lazy(_)) {
-                                // Type-punned load: reinterpret as undef.
-                                Val::Undef(*ty)
-                            } else {
-                                v
-                            }),
+                            Ok(v) => Some(
+                                if v.ty() != *ty && !matches!(v, Val::Undef(_) | Val::Lazy(_)) {
+                                    // Type-punned load: reinterpret as undef.
+                                    Val::Undef(*ty)
+                                } else {
+                                    v
+                                },
+                            ),
                             Err(e) => break 'outer Err(Stop::Ub(UbReason::Memory(e))),
                         }
                     }
@@ -469,7 +526,11 @@ impl<'m> Machine<'m> {
                         }
                         None
                     }
-                    Inst::Gep { inbounds, ptr, offset } => {
+                    Inst::Gep {
+                        inbounds,
+                        ptr,
+                        offset,
+                    } => {
                         let p = self.operand(&frame, ptr)?;
                         let o = self.operand(&frame, offset)?;
                         let off = match self.force_int(o)? {
@@ -481,18 +542,26 @@ impl<'m> Machine<'m> {
                         };
                         match self.force(p)? {
                             None => Some(Val::Poison(Type::Ptr)),
-                            Some(Val::Ptr { block, offset: base }) => {
+                            Some(Val::Ptr {
+                                block,
+                                offset: base,
+                            }) => {
                                 let new_off = base.wrapping_add(off);
                                 if *inbounds {
-                                    let size =
-                                        self.mem.size_of(block).unwrap_or(0) as i64;
+                                    let size = self.mem.size_of(block).unwrap_or(0) as i64;
                                     if block == NULL_BLOCK || new_off < 0 || new_off > size {
                                         Some(Val::Poison(Type::Ptr))
                                     } else {
-                                        Some(Val::Ptr { block, offset: new_off })
+                                        Some(Val::Ptr {
+                                            block,
+                                            offset: new_off,
+                                        })
                                     }
                                 } else {
-                                    Some(Val::Ptr { block, offset: new_off })
+                                    Some(Val::Ptr {
+                                        block,
+                                        offset: new_off,
+                                    })
                                 }
                             }
                             Some(_) => Some(Val::Poison(Type::Ptr)),
@@ -536,7 +605,11 @@ impl<'m> Machine<'m> {
                         Some(ret_val)
                     }
                 };
-                frame_insert(&mut frame, stmt.result, result.unwrap_or(Val::Undef(Type::I64)));
+                frame_insert(
+                    &mut frame,
+                    stmt.result,
+                    result.unwrap_or(Val::Undef(Type::I64)),
+                );
                 if stmt.result.is_none() {
                     // store/void call: nothing to record.
                 }
@@ -553,7 +626,11 @@ impl<'m> Machine<'m> {
                     prev = Some(cur);
                     cur = *t;
                 }
-                Term::CondBr { cond, if_true, if_false } => {
+                Term::CondBr {
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
                     let c = self.operand(&frame, cond)?;
                     match self.force(c)? {
                         None => break Err(Stop::Ub(UbReason::BranchOnPoison)),
@@ -564,14 +641,22 @@ impl<'m> Machine<'m> {
                         }
                     }
                 }
-                Term::Switch { ty, val, default, cases } => {
+                Term::Switch {
+                    ty,
+                    val,
+                    default,
+                    cases,
+                } => {
                     let v = self.operand(&frame, val)?;
                     match self.force(v)? {
                         None => break Err(Stop::Ub(UbReason::BranchOnPoison)),
                         Some(v) => {
                             let bits = v.as_int().map(|b| ty.truncate(b)).unwrap_or(0);
-                            let target =
-                                cases.iter().find(|(c, _)| *c == bits).map(|(_, b)| *b).unwrap_or(*default);
+                            let target = cases
+                                .iter()
+                                .find(|(c, _)| *c == bits)
+                                .map(|(_, b)| *b)
+                                .unwrap_or(*default);
                             prev = Some(cur);
                             cur = target;
                         }
@@ -601,15 +686,27 @@ impl Machine<'_> {
             CastOp::Bitcast => Ok(v),
             CastOp::Trunc => match self.force_int(v)? {
                 None => Ok(Val::Poison(to)),
-                Some(bits) => Ok(Val::Int { ty: to, bits: to.truncate(bits), tainted }),
+                Some(bits) => Ok(Val::Int {
+                    ty: to,
+                    bits: to.truncate(bits),
+                    tainted,
+                }),
             },
             CastOp::Zext => match self.force_int(v)? {
                 None => Ok(Val::Poison(to)),
-                Some(bits) => Ok(Val::Int { ty: to, bits: from.truncate(bits), tainted }),
+                Some(bits) => Ok(Val::Int {
+                    ty: to,
+                    bits: from.truncate(bits),
+                    tainted,
+                }),
             },
             CastOp::Sext => match self.force_int(v)? {
                 None => Ok(Val::Poison(to)),
-                Some(bits) => Ok(Val::Int { ty: to, bits: to.truncate(from.sext(bits) as u64), tainted }),
+                Some(bits) => Ok(Val::Int {
+                    ty: to,
+                    bits: to.truncate(from.sext(bits) as u64),
+                    tainted,
+                }),
             },
             CastOp::PtrToInt => match self.force(v)? {
                 None => Ok(Val::Poison(to)),
@@ -619,7 +716,11 @@ impl Machine<'_> {
                     } else {
                         Memory::address_of(block, offset)
                     };
-                    Ok(Val::Int { ty: to, bits: to.truncate(addr), tainted })
+                    Ok(Val::Int {
+                        ty: to,
+                        bits: to.truncate(addr),
+                        tainted,
+                    })
                 }
                 Some(_) => Ok(Val::Undef(to)),
             },
@@ -630,7 +731,10 @@ impl Machine<'_> {
                         Ok(null_ptr())
                     } else {
                         match self.mem.pointer_of(bits) {
-                            Some((b, off)) => Ok(Val::Ptr { block: b, offset: off }),
+                            Some((b, off)) => Ok(Val::Ptr {
+                                block: b,
+                                offset: off,
+                            }),
                             None => Ok(Val::Poison(Type::Ptr)),
                         }
                     }
@@ -659,7 +763,11 @@ pub fn run_function(module: &Module, name: &str, args: Vec<Val>, config: &RunCon
         Err(Stop::Ub(u)) => End::Ub(u),
         Err(Stop::OutOfFuel) => End::OutOfFuel,
     };
-    RunResult { events: machine.events, end, steps: machine.steps }
+    RunResult {
+        events: machine.events,
+        end,
+        steps: machine.steps,
+    }
 }
 
 /// Run `@main` with no arguments.
@@ -680,8 +788,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_events() {
-        let r = run(
-            r#"
+        let r = run(r#"
             declare @print(i32)
             define @main() {
             entry:
@@ -690,8 +797,7 @@ mod tests {
               call void @print(i32 %y)
               ret void
             }
-            "#,
-        );
+            "#);
         assert_eq!(r.end, End::Ret(None));
         assert_eq!(r.events.len(), 1);
         assert_eq!(r.events[0].args, vec![Val::int(Type::I32, 84)]);
@@ -699,37 +805,32 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_ub() {
-        let r = run(
-            r#"
+        let r = run(r#"
             define @main() -> i32 {
             entry:
               %x = sdiv i32 1, 0
               ret i32 %x
             }
-            "#,
-        );
+            "#);
         assert_eq!(r.end, End::Ub(UbReason::DivisionByZero));
     }
 
     #[test]
     fn signed_overflow_division_is_ub() {
-        let r = run(
-            r#"
+        let r = run(r#"
             define @main() -> i32 {
             entry:
               %min = shl i32 1, 31
               %x = sdiv i32 %min, -1
               ret i32 %x
             }
-            "#,
-        );
+            "#);
         assert_eq!(r.end, End::Ub(UbReason::DivisionByZero));
     }
 
     #[test]
     fn memory_roundtrip_and_oob() {
-        let r = run(
-            r#"
+        let r = run(r#"
             declare @print(i32)
             define @main() {
             entry:
@@ -743,12 +844,10 @@ mod tests {
               call void @print(i32 %s)
               ret void
             }
-            "#,
-        );
+            "#);
         assert_eq!(r.events[0].args, vec![Val::int(Type::I32, 15)]);
 
-        let r = run(
-            r#"
+        let r = run(r#"
             define @main() {
             entry:
               %p = alloca i32, 2
@@ -756,8 +855,7 @@ mod tests {
               store i32 8, ptr %q
               ret void
             }
-            "#,
-        );
+            "#);
         assert!(matches!(r.end, End::Ub(UbReason::Memory(_))));
     }
 
@@ -765,8 +863,7 @@ mod tests {
     fn inbounds_gep_oob_is_poison_and_observable() {
         // Out-of-bounds inbounds-gep poisons the pointer; passing it to an
         // external call records the poison in the event.
-        let r = run(
-            r#"
+        let r = run(r#"
             declare @sink(ptr)
             define @main() {
             entry:
@@ -775,14 +872,12 @@ mod tests {
               call void @sink(ptr %q)
               ret void
             }
-            "#,
-        );
+            "#);
         assert_eq!(r.end, End::Ret(None));
         assert!(matches!(r.events[0].args[0], Val::Poison(_)));
 
         // Non-inbounds gep with the same offset stays a concrete pointer.
-        let r = run(
-            r#"
+        let r = run(r#"
             declare @sink(ptr)
             define @main() {
             entry:
@@ -791,8 +886,7 @@ mod tests {
               call void @sink(ptr %q)
               ret void
             }
-            "#,
-        );
+            "#);
         assert!(matches!(r.events[0].args[0], Val::Ptr { .. }));
     }
 
@@ -800,8 +894,7 @@ mod tests {
     fn lazy_trapping_constexpr_traps_only_when_consumed() {
         // Storing / loading the constexpr is fine; using it as a call
         // argument traps (PR33673 semantics).
-        let stored = run(
-            r#"
+        let stored = run(r#"
             global @G : i32[1]
             define @main() {
             entry:
@@ -809,12 +902,10 @@ mod tests {
               store i32 sdiv(i32 1, sub(i32 ptrtoint(@G to i32), ptrtoint(@G to i32))), ptr %p
               ret void
             }
-            "#,
-        );
+            "#);
         assert_eq!(stored.end, End::Ret(None));
 
-        let consumed = run(
-            r#"
+        let consumed = run(r#"
             global @G : i32[1]
             declare @print(i32)
             define @main() {
@@ -822,15 +913,13 @@ mod tests {
               call void @print(i32 sdiv(i32 1, sub(i32 ptrtoint(@G to i32), ptrtoint(@G to i32))))
               ret void
             }
-            "#,
-        );
+            "#);
         assert_eq!(consumed.end, End::Ub(UbReason::TrappingConstant));
     }
 
     #[test]
     fn uninitialized_load_is_undef_resolved_by_policy() {
-        let r = run(
-            r#"
+        let r = run(r#"
             declare @print(i32)
             define @main() {
             entry:
@@ -840,8 +929,7 @@ mod tests {
               call void @print(i32 %b)
               ret void
             }
-            "#,
-        );
+            "#);
         // Policy Zero: undef + 1 == 1, marked as undef-derived.
         assert_eq!(r.events[0].args, vec![Val::tainted_int(Type::I32, 1)]);
         assert!(r.events[0].args[0].is_undef_derived());
@@ -849,8 +937,7 @@ mod tests {
 
     #[test]
     fn loops_and_phis() {
-        let r = run(
-            r#"
+        let r = run(r#"
             declare @print(i32)
             define @main() {
             entry:
@@ -864,17 +951,22 @@ mod tests {
             exit:
               ret void
             }
-            "#,
-        );
+            "#);
         let args: Vec<_> = r.events.iter().map(|e| e.args[0].clone()).collect();
-        assert_eq!(args, vec![Val::int(Type::I32, 0), Val::int(Type::I32, 1), Val::int(Type::I32, 2)]);
+        assert_eq!(
+            args,
+            vec![
+                Val::int(Type::I32, 0),
+                Val::int(Type::I32, 1),
+                Val::int(Type::I32, 2)
+            ]
+        );
     }
 
     #[test]
     fn simultaneous_phi_assignment() {
         // Classic swap: w gets the OLD value of z (paper §4).
-        let r = run(
-            r#"
+        let r = run(r#"
             declare @print(i32)
             define @main() {
             entry:
@@ -889,11 +981,17 @@ mod tests {
             exit:
               ret void
             }
-            "#,
-        );
+            "#);
         let args: Vec<_> = r.events.iter().map(|e| e.args[0].clone()).collect();
         // Iter 1: w=42 (init). Iter 2: w=old z=1. Iter 3: w=old z=11.
-        assert_eq!(args, vec![Val::int(Type::I32, 42), Val::int(Type::I32, 1), Val::int(Type::I32, 11)]);
+        assert_eq!(
+            args,
+            vec![
+                Val::int(Type::I32, 42),
+                Val::int(Type::I32, 1),
+                Val::int(Type::I32, 11)
+            ]
+        );
     }
 
     #[test]
@@ -926,8 +1024,7 @@ mod tests {
 
     #[test]
     fn alloca_freed_after_return() {
-        let r = run(
-            r#"
+        let r = run(r#"
             define @leak() -> ptr {
             entry:
               %p = alloca i32
@@ -939,23 +1036,20 @@ mod tests {
               store i32 1, ptr %p
               ret void
             }
-            "#,
-        );
+            "#);
         assert!(matches!(r.end, End::Ub(UbReason::Memory(_))));
     }
 
     #[test]
     fn fuel_exhaustion() {
-        let r = run(
-            r#"
+        let r = run(r#"
             define @main() {
             entry:
               br label loop
             loop:
               br label loop
             }
-            "#,
-        );
+            "#);
         assert_eq!(r.end, End::OutOfFuel);
     }
 
@@ -967,8 +1061,7 @@ mod tests {
 
     #[test]
     fn switch_dispatch() {
-        let r = run(
-            r#"
+        let r = run(r#"
             declare @print(i32)
             define @main() {
             entry:
@@ -983,15 +1076,13 @@ mod tests {
               call void @print(i32 30)
               ret void
             }
-            "#,
-        );
+            "#);
         assert_eq!(r.events[0].args, vec![Val::int(Type::I32, 20)]);
     }
 
     #[test]
     fn globals_initialized() {
-        let r = run(
-            r#"
+        let r = run(r#"
             global @G : i32[1] = 11
             declare @print(i32)
             define @main() {
@@ -1000,15 +1091,13 @@ mod tests {
               call void @print(i32 %a)
               ret void
             }
-            "#,
-        );
+            "#);
         assert_eq!(r.events[0].args, vec![Val::int(Type::I32, 11)]);
     }
 
     #[test]
     fn ptr_int_casts_roundtrip() {
-        let r = run(
-            r#"
+        let r = run(r#"
             declare @print(i32)
             define @main() {
             entry:
@@ -1021,8 +1110,7 @@ mod tests {
               call void @print(i32 %a)
               ret void
             }
-            "#,
-        );
+            "#);
         assert_eq!(r.events[0].args, vec![Val::int(Type::I32, 9)]);
     }
 }

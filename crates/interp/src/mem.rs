@@ -85,7 +85,10 @@ impl Memory {
     /// `ty`.
     pub fn alloc(&mut self, ty: Type, size: u64) -> MemBlockId {
         let id = MemBlockId(self.blocks.len() as u32);
-        self.blocks.push(MemBlock { slots: vec![Val::Undef(ty); size as usize], alive: true });
+        self.blocks.push(MemBlock {
+            slots: vec![Val::Undef(ty); size as usize],
+            alive: true,
+        });
         id
     }
 
@@ -103,7 +106,10 @@ impl Memory {
 
     /// Is the block currently alive?
     pub fn is_alive(&self, b: MemBlockId) -> bool {
-        self.blocks.get(b.index()).map(|blk| blk.alive).unwrap_or(false)
+        self.blocks
+            .get(b.index())
+            .map(|blk| blk.alive)
+            .unwrap_or(false)
     }
 
     fn slot(&self, b: MemBlockId, off: i64) -> Result<&Val, MemError> {
@@ -132,7 +138,10 @@ impl Memory {
     ///
     /// Fails on out-of-bounds, dead, or non-existent blocks.
     pub fn store(&mut self, b: MemBlockId, off: i64, v: Val) -> Result<(), MemError> {
-        let blk = self.blocks.get_mut(b.index()).ok_or(MemError::NoSuchBlock)?;
+        let blk = self
+            .blocks
+            .get_mut(b.index())
+            .ok_or(MemError::NoSuchBlock)?;
         if !blk.alive {
             return Err(MemError::DeadBlock);
         }

@@ -72,10 +72,21 @@ impl fmt::Display for RefineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RefineError::CalleeMismatch { index, src, tgt } => {
-                write!(f, "event {index}: source calls @{src} but target calls @{tgt}")
+                write!(
+                    f,
+                    "event {index}: source calls @{src} but target calls @{tgt}"
+                )
             }
-            RefineError::ArgMismatch { index, arg, src, tgt } => {
-                write!(f, "event {index}, argument {arg}: source passes {src} but target passes {tgt}")
+            RefineError::ArgMismatch {
+                index,
+                arg,
+                src,
+                tgt,
+            } => {
+                write!(
+                    f,
+                    "event {index}, argument {arg}: source passes {src} but target passes {tgt}"
+                )
             }
             RefineError::EventCountMismatch { src, tgt } => {
                 write!(f, "source emitted {src} events but target emitted {tgt}")
@@ -122,10 +133,24 @@ fn val_refines(src: &Val, tgt: &Val, map: &mut PtrMap) -> bool {
         (s, _) if s.is_undef_derived() => true,
         // Target indeterminate where source was concrete: violation.
         (_, t) if t.is_undef_derived() => false,
-        (Val::Int { ty: ta, bits: a, .. }, Val::Int { ty: tb, bits: b, .. }) => ta == tb && a == b,
-        (Val::Ptr { block: bs, offset: os }, Val::Ptr { block: bt, offset: ot }) => {
-            os == ot && map.relate(*bs, *bt)
-        }
+        (
+            Val::Int {
+                ty: ta, bits: a, ..
+            },
+            Val::Int {
+                ty: tb, bits: b, ..
+            },
+        ) => ta == tb && a == b,
+        (
+            Val::Ptr {
+                block: bs,
+                offset: os,
+            },
+            Val::Ptr {
+                block: bt,
+                offset: ot,
+            },
+        ) => os == ot && map.relate(*bs, *bt),
         (Val::Lazy(a), Val::Lazy(b)) => a == b,
         _ => false,
     }
@@ -144,7 +169,11 @@ pub fn check_refinement(src: &RunResult, tgt: &RunResult) -> Result<(), RefineEr
     for i in 0..common {
         let (es, et) = (&src.events[i], &tgt.events[i]);
         if es.callee != et.callee {
-            return Err(RefineError::CalleeMismatch { index: i, src: es.callee.clone(), tgt: et.callee.clone() });
+            return Err(RefineError::CalleeMismatch {
+                index: i,
+                src: es.callee.clone(),
+                tgt: et.callee.clone(),
+            });
         }
         if es.args.len() != et.args.len() {
             return Err(RefineError::ArgMismatch {
@@ -156,7 +185,12 @@ pub fn check_refinement(src: &RunResult, tgt: &RunResult) -> Result<(), RefineEr
         }
         for (j, (a, b)) in es.args.iter().zip(&et.args).enumerate() {
             if !val_refines(a, b, &mut map) {
-                return Err(RefineError::ArgMismatch { index: i, arg: j, src: a.clone(), tgt: b.clone() });
+                return Err(RefineError::ArgMismatch {
+                    index: i,
+                    arg: j,
+                    src: a.clone(),
+                    tgt: b.clone(),
+                });
             }
         }
     }
@@ -171,12 +205,18 @@ pub fn check_refinement(src: &RunResult, tgt: &RunResult) -> Result<(), RefineEr
             if tgt.events.len() >= src.events.len() {
                 Ok(())
             } else {
-                Err(RefineError::EventCountMismatch { src: src.events.len(), tgt: tgt.events.len() })
+                Err(RefineError::EventCountMismatch {
+                    src: src.events.len(),
+                    tgt: tgt.events.len(),
+                })
             }
         }
         (End::Ret(vs), End::Ret(vt)) => {
             if src.events.len() != tgt.events.len() {
-                return Err(RefineError::EventCountMismatch { src: src.events.len(), tgt: tgt.events.len() });
+                return Err(RefineError::EventCountMismatch {
+                    src: src.events.len(),
+                    tgt: tgt.events.len(),
+                });
             }
             match (vs, vt) {
                 (None, None) => Ok(()),
@@ -184,15 +224,22 @@ pub fn check_refinement(src: &RunResult, tgt: &RunResult) -> Result<(), RefineEr
                     if val_refines(a, b, &mut map) {
                         Ok(())
                     } else {
-                        Err(RefineError::RetMismatch { src: vs.clone(), tgt: vt.clone() })
+                        Err(RefineError::RetMismatch {
+                            src: vs.clone(),
+                            tgt: vt.clone(),
+                        })
                     }
                 }
-                _ => Err(RefineError::RetMismatch { src: vs.clone(), tgt: vt.clone() }),
+                _ => Err(RefineError::RetMismatch {
+                    src: vs.clone(),
+                    tgt: vt.clone(),
+                }),
             }
         }
-        (End::Ret(_), End::Ub(_)) => {
-            Err(RefineError::EndMismatch { src: src.end.clone(), tgt: tgt.end.clone() })
-        }
+        (End::Ret(_), End::Ub(_)) => Err(RefineError::EndMismatch {
+            src: src.end.clone(),
+            tgt: tgt.end.clone(),
+        }),
     }
 }
 
@@ -204,11 +251,19 @@ mod tests {
     use crellvm_ir::Type;
 
     fn run_of(events: Vec<Event>, end: End) -> RunResult {
-        RunResult { events, end, steps: 0 }
+        RunResult {
+            events,
+            end,
+            steps: 0,
+        }
     }
 
     fn ev(callee: &str, args: Vec<Val>) -> Event {
-        Event { callee: callee.into(), args, ret: None }
+        Event {
+            callee: callee.into(),
+            args,
+            ret: None,
+        }
     }
 
     #[test]
@@ -228,34 +283,86 @@ mod tests {
     fn tgt_undef_where_src_concrete_fails() {
         let s = run_of(vec![ev("p", vec![Val::int(Type::I32, 42)])], End::Ret(None));
         let t = run_of(vec![ev("p", vec![Val::Undef(Type::I32)])], End::Ret(None));
-        assert!(matches!(check_refinement(&s, &t), Err(RefineError::ArgMismatch { .. })));
+        assert!(matches!(
+            check_refinement(&s, &t),
+            Err(RefineError::ArgMismatch { .. })
+        ));
     }
 
     #[test]
     fn tgt_poison_where_src_concrete_fails() {
         let b = MemBlockId::from_raw(3);
-        let s = run_of(vec![ev("p", vec![Val::Ptr { block: b, offset: 12 }])], End::Ret(None));
+        let s = run_of(
+            vec![ev(
+                "p",
+                vec![Val::Ptr {
+                    block: b,
+                    offset: 12,
+                }],
+            )],
+            End::Ret(None),
+        );
         let t = run_of(vec![ev("p", vec![Val::Poison(Type::Ptr)])], End::Ret(None));
         assert!(check_refinement(&s, &t).is_err());
     }
 
     #[test]
     fn pointer_bijection_is_enforced() {
-        let (a, b, c) = (MemBlockId::from_raw(1), MemBlockId::from_raw(2), MemBlockId::from_raw(9));
+        let (a, b, c) = (
+            MemBlockId::from_raw(1),
+            MemBlockId::from_raw(2),
+            MemBlockId::from_raw(9),
+        );
         // src passes blocks (a, a); tgt passes (c, c): consistent renaming.
         let s = run_of(
-            vec![ev("p", vec![Val::Ptr { block: a, offset: 0 }, Val::Ptr { block: a, offset: 1 }])],
+            vec![ev(
+                "p",
+                vec![
+                    Val::Ptr {
+                        block: a,
+                        offset: 0,
+                    },
+                    Val::Ptr {
+                        block: a,
+                        offset: 1,
+                    },
+                ],
+            )],
             End::Ret(None),
         );
         let t = run_of(
-            vec![ev("p", vec![Val::Ptr { block: c, offset: 0 }, Val::Ptr { block: c, offset: 1 }])],
+            vec![ev(
+                "p",
+                vec![
+                    Val::Ptr {
+                        block: c,
+                        offset: 0,
+                    },
+                    Val::Ptr {
+                        block: c,
+                        offset: 1,
+                    },
+                ],
+            )],
             End::Ret(None),
         );
         assert_eq!(check_refinement(&s, &t), Ok(()));
 
         // src passes (a, b); tgt passes (c, c): NOT injective.
         let s = run_of(
-            vec![ev("p", vec![Val::Ptr { block: a, offset: 0 }, Val::Ptr { block: b, offset: 0 }])],
+            vec![ev(
+                "p",
+                vec![
+                    Val::Ptr {
+                        block: a,
+                        offset: 0,
+                    },
+                    Val::Ptr {
+                        block: b,
+                        offset: 0,
+                    },
+                ],
+            )],
             End::Ret(None),
         );
         assert!(check_refinement(&s, &t).is_err());
@@ -263,7 +370,10 @@ mod tests {
 
     #[test]
     fn src_ub_allows_target_divergence_after_prefix() {
-        let s = run_of(vec![ev("p", vec![Val::bool(true)])], End::Ub(UbReason::DivisionByZero));
+        let s = run_of(
+            vec![ev("p", vec![Val::bool(true)])],
+            End::Ub(UbReason::DivisionByZero),
+        );
         let t = run_of(
             vec![ev("p", vec![Val::bool(true)]), ev("q", vec![])],
             End::Ret(None),
@@ -279,7 +389,10 @@ mod tests {
     fn tgt_ub_where_src_returns_fails() {
         let s = run_of(vec![], End::Ret(None));
         let t = run_of(vec![], End::Ub(UbReason::DivisionByZero));
-        assert!(matches!(check_refinement(&s, &t), Err(RefineError::EndMismatch { .. })));
+        assert!(matches!(
+            check_refinement(&s, &t),
+            Err(RefineError::EndMismatch { .. })
+        ));
     }
 
     #[test]
@@ -293,14 +406,20 @@ mod tests {
     fn event_count_mismatch_on_normal_return() {
         let s = run_of(vec![ev("p", vec![])], End::Ret(None));
         let t = run_of(vec![], End::Ret(None));
-        assert!(matches!(check_refinement(&s, &t), Err(RefineError::EventCountMismatch { .. })));
+        assert!(matches!(
+            check_refinement(&s, &t),
+            Err(RefineError::EventCountMismatch { .. })
+        ));
     }
 
     #[test]
     fn return_value_compared() {
         let s = run_of(vec![], End::Ret(Some(Val::int(Type::I32, 1))));
         let t = run_of(vec![], End::Ret(Some(Val::int(Type::I32, 2))));
-        assert!(matches!(check_refinement(&s, &t), Err(RefineError::RetMismatch { .. })));
+        assert!(matches!(
+            check_refinement(&s, &t),
+            Err(RefineError::RetMismatch { .. })
+        ));
         let t_ok = run_of(vec![], End::Ret(Some(Val::int(Type::I32, 1))));
         assert_eq!(check_refinement(&s, &t_ok), Ok(()));
         // undef return in source admits anything.

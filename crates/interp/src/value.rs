@@ -39,17 +39,28 @@ pub enum Val {
 impl Val {
     /// Integer value constructor (truncates to width).
     pub fn int(ty: Type, v: i64) -> Val {
-        Val::Int { ty, bits: ty.truncate(v as u64), tainted: false }
+        Val::Int {
+            ty,
+            bits: ty.truncate(v as u64),
+            tainted: false,
+        }
     }
 
     /// Integer constructor for undef-derived values.
     pub fn tainted_int(ty: Type, bits: u64) -> Val {
-        Val::Int { ty, bits: ty.truncate(bits), tainted: true }
+        Val::Int {
+            ty,
+            bits: ty.truncate(bits),
+            tainted: true,
+        }
     }
 
     /// Is this value `undef`, poison, or an integer derived from them?
     pub fn is_undef_derived(&self) -> bool {
-        matches!(self, Val::Undef(_) | Val::Poison(_) | Val::Int { tainted: true, .. })
+        matches!(
+            self,
+            Val::Undef(_) | Val::Poison(_) | Val::Int { tainted: true, .. }
+        )
     }
 
     /// Boolean (`i1`) constructor.
@@ -85,7 +96,9 @@ impl Val {
     /// Extract a concrete boolean, if this is a concrete `i1`.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
-            Val::Int { ty: Type::I1, bits, .. } => Some(*bits != 0),
+            Val::Int {
+                ty: Type::I1, bits, ..
+            } => Some(*bits != 0),
             _ => None,
         }
     }
@@ -95,7 +108,12 @@ impl fmt::Display for Val {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Val::Int { ty, bits, tainted } => {
-                write!(f, "{}:{ty}{}", ty.sext(*bits), if *tainted { "?" } else { "" })
+                write!(
+                    f,
+                    "{}:{ty}{}",
+                    ty.sext(*bits),
+                    if *tainted { "?" } else { "" }
+                )
             }
             Val::Ptr { block, offset } => write!(f, "&{block}[{offset}]"),
             Val::Undef(ty) => write!(f, "undef:{ty}"),
@@ -111,7 +129,14 @@ mod tests {
 
     #[test]
     fn constructors_truncate() {
-        assert_eq!(Val::int(Type::I8, 257), Val::Int { ty: Type::I8, bits: 1, tainted: false });
+        assert_eq!(
+            Val::int(Type::I8, 257),
+            Val::Int {
+                ty: Type::I8,
+                bits: 1,
+                tainted: false
+            }
+        );
         assert_eq!(Val::bool(true).as_bool(), Some(true));
         assert_eq!(Val::int(Type::I32, -1).as_int(), Some(0xffff_ffff));
     }

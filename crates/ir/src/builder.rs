@@ -69,7 +69,10 @@ impl IntoOperand for &Value {
 impl FunctionBuilder {
     /// Start building a function.
     pub fn new(name: impl Into<String>, ret: Option<Type>) -> FunctionBuilder {
-        FunctionBuilder { func: Function::new(name, ret), current: None }
+        FunctionBuilder {
+            func: Function::new(name, ret),
+            current: None,
+        }
     }
 
     /// Add a parameter.
@@ -115,34 +118,73 @@ impl FunctionBuilder {
     pub fn phi(&mut self, name: &str, ty: Type, incoming: Vec<(BlockId, Value)>) -> RegId {
         let r = self.func.fresh_reg(name);
         let id = self.current.expect("FunctionBuilder: no current block");
-        self.func
-            .block_mut(id)
-            .phis
-            .push((r, Phi { ty, incoming: incoming.into_iter().map(|(b, v)| (b, Some(v))).collect() }));
+        self.func.block_mut(id).phis.push((
+            r,
+            Phi {
+                ty,
+                incoming: incoming.into_iter().map(|(b, v)| (b, Some(v))).collect(),
+            },
+        ));
         r
     }
 
     /// Binary operation.
-    pub fn bin(&mut self, name: &str, op: BinOp, ty: Type, lhs: impl IntoOperand, rhs: impl IntoOperand) -> RegId {
+    pub fn bin(
+        &mut self,
+        name: &str,
+        op: BinOp,
+        ty: Type,
+        lhs: impl IntoOperand,
+        rhs: impl IntoOperand,
+    ) -> RegId {
         let (lhs, rhs) = (lhs.into_operand(ty), rhs.into_operand(ty));
         self.inst(name, Inst::Bin { op, ty, lhs, rhs })
     }
 
     /// Integer comparison.
-    pub fn icmp(&mut self, name: &str, pred: IcmpPred, ty: Type, lhs: impl IntoOperand, rhs: impl IntoOperand) -> RegId {
+    pub fn icmp(
+        &mut self,
+        name: &str,
+        pred: IcmpPred,
+        ty: Type,
+        lhs: impl IntoOperand,
+        rhs: impl IntoOperand,
+    ) -> RegId {
         let (lhs, rhs) = (lhs.into_operand(ty), rhs.into_operand(ty));
         self.inst(name, Inst::Icmp { pred, ty, lhs, rhs })
     }
 
     /// Select.
-    pub fn select(&mut self, name: &str, ty: Type, cond: impl IntoOperand, t: impl IntoOperand, f: impl IntoOperand) -> RegId {
+    pub fn select(
+        &mut self,
+        name: &str,
+        ty: Type,
+        cond: impl IntoOperand,
+        t: impl IntoOperand,
+        f: impl IntoOperand,
+    ) -> RegId {
         let cond = cond.into_operand(Type::I1);
         let (t, f) = (t.into_operand(ty), f.into_operand(ty));
-        self.inst(name, Inst::Select { ty, cond, on_true: t, on_false: f })
+        self.inst(
+            name,
+            Inst::Select {
+                ty,
+                cond,
+                on_true: t,
+                on_false: f,
+            },
+        )
     }
 
     /// Cast.
-    pub fn cast(&mut self, name: &str, op: CastOp, from: Type, val: impl IntoOperand, to: Type) -> RegId {
+    pub fn cast(
+        &mut self,
+        name: &str,
+        op: CastOp,
+        from: Type,
+        val: impl IntoOperand,
+        to: Type,
+    ) -> RegId {
         let val = val.into_operand(from);
         self.inst(name, Inst::Cast { op, from, val, to })
     }
@@ -166,20 +208,47 @@ impl FunctionBuilder {
     }
 
     /// Pointer offset computation.
-    pub fn gep(&mut self, name: &str, inbounds: bool, ptr: impl IntoOperand, offset: impl IntoOperand) -> RegId {
+    pub fn gep(
+        &mut self,
+        name: &str,
+        inbounds: bool,
+        ptr: impl IntoOperand,
+        offset: impl IntoOperand,
+    ) -> RegId {
         let ptr = ptr.into_operand(Type::Ptr);
         let offset = offset.into_operand(Type::I64);
-        self.inst(name, Inst::Gep { inbounds, ptr, offset })
+        self.inst(
+            name,
+            Inst::Gep {
+                inbounds,
+                ptr,
+                offset,
+            },
+        )
     }
 
     /// Call with a result.
     pub fn call(&mut self, name: &str, ret: Type, callee: &str, args: Vec<(Type, Value)>) -> RegId {
-        self.inst(name, Inst::Call { ret: Some(ret), callee: callee.to_string(), args })
+        self.inst(
+            name,
+            Inst::Call {
+                ret: Some(ret),
+                callee: callee.to_string(),
+                args,
+            },
+        )
     }
 
     /// Void call.
     pub fn call_void(&mut self, callee: &str, args: Vec<(Type, Value)>) {
-        self.push(None, Inst::Call { ret: None, callee: callee.to_string(), args });
+        self.push(
+            None,
+            Inst::Call {
+                ret: None,
+                callee: callee.to_string(),
+                args,
+            },
+        );
     }
 
     /// Unconditional branch terminator.
@@ -190,13 +259,28 @@ impl FunctionBuilder {
     /// Conditional branch terminator.
     pub fn cond_br(&mut self, cond: impl IntoOperand, if_true: BlockId, if_false: BlockId) {
         let cond = cond.into_operand(Type::I1);
-        self.cur().term = Term::CondBr { cond, if_true, if_false };
+        self.cur().term = Term::CondBr {
+            cond,
+            if_true,
+            if_false,
+        };
     }
 
     /// Switch terminator.
-    pub fn switch(&mut self, ty: Type, val: impl IntoOperand, default: BlockId, cases: Vec<(u64, BlockId)>) {
+    pub fn switch(
+        &mut self,
+        ty: Type,
+        val: impl IntoOperand,
+        default: BlockId,
+        cases: Vec<(u64, BlockId)>,
+    ) {
         let val = val.into_operand(ty);
-        self.cur().term = Term::Switch { ty, val, default, cases };
+        self.cur().term = Term::Switch {
+            ty,
+            val,
+            default,
+            cases,
+        };
     }
 
     /// Return a value.
@@ -259,10 +343,16 @@ mod tests {
 
         let mut f = b.finish();
         // Close the loop-carried phi.
-        f.block_mut(header).phis[0].1.set_incoming(body, Value::Reg(i2));
+        f.block_mut(header).phis[0]
+            .1
+            .set_incoming(body, Value::Reg(i2));
 
         let mut m = crate::module::Module::new();
-        m.declares.push(crate::module::ExternDecl { name: "print".into(), ret: None, params: vec![Type::I32] });
+        m.declares.push(crate::module::ExternDecl {
+            name: "print".into(),
+            ret: None,
+            params: vec![Type::I32],
+        });
         m.functions.push(f);
         verify_function(&m, m.function("count").unwrap()).unwrap();
     }

@@ -56,7 +56,12 @@ impl Cfg {
         for (i, b) in post.iter().enumerate() {
             rpo_index[b.index()] = Some(i);
         }
-        Cfg { succs, preds, rpo: post, rpo_index }
+        Cfg {
+            succs,
+            preds,
+            rpo: post,
+            rpo_index,
+        }
     }
 
     /// Successor blocks of `b` (deduplicated).
@@ -110,8 +115,8 @@ impl Cfg {
 mod tests {
     use super::*;
     use crate::builder::FunctionBuilder;
-    use crate::types::Type;
     use crate::inst::IcmpPred;
+    use crate::types::Type;
 
     /// A diamond: entry -> (left | right) -> exit, plus an unreachable block.
     fn diamond() -> (Function, [BlockId; 5]) {

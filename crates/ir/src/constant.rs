@@ -46,7 +46,10 @@ pub enum ConstExpr {
 impl Const {
     /// Integer constant helper.
     pub fn int(ty: Type, v: i64) -> Const {
-        Const::Int { ty, bits: ty.truncate(v as u64) }
+        Const::Int {
+            ty,
+            bits: ty.truncate(v as u64),
+        }
     }
 
     /// Boolean constant (`i1`).
@@ -166,8 +169,20 @@ mod tests {
 
     #[test]
     fn truncation_in_ctor() {
-        assert_eq!(Const::int(Type::I8, 257), Const::Int { ty: Type::I8, bits: 1 });
-        assert_eq!(Const::int(Type::I8, -1), Const::Int { ty: Type::I8, bits: 0xff });
+        assert_eq!(
+            Const::int(Type::I8, 257),
+            Const::Int {
+                ty: Type::I8,
+                bits: 1
+            }
+        );
+        assert_eq!(
+            Const::int(Type::I8, -1),
+            Const::Int {
+                ty: Type::I8,
+                bits: 0xff
+            }
+        );
     }
 
     #[test]
@@ -175,13 +190,22 @@ mod tests {
         assert_eq!(trapping_div().ty(), Type::I32);
         assert_eq!(Const::Null.ty(), Type::Ptr);
         assert_eq!(Const::Global("x".into()).ty(), Type::Ptr);
-        assert_eq!(Const::bool(true), Const::Int { ty: Type::I1, bits: 1 });
+        assert_eq!(
+            Const::bool(true),
+            Const::Int {
+                ty: Type::I1,
+                bits: 1
+            }
+        );
     }
 
     #[test]
     fn display() {
         assert_eq!(Const::int(Type::I8, -1).to_string(), "-1");
         assert_eq!(Const::Undef(Type::I32).to_string(), "undef");
-        assert_eq!(trapping_div().to_string(), "sdiv(i32 1, sub(i32 ptrtoint(@G to i32), ptrtoint(@G to i32)))");
+        assert_eq!(
+            trapping_div().to_string(),
+            "sdiv(i32 1, sub(i32 ptrtoint(@G to i32), ptrtoint(@G to i32)))"
+        );
     }
 }

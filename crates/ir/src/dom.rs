@@ -27,7 +27,13 @@ impl DomTree {
         let rpo = cfg.reverse_postorder();
         let mut idom: Vec<Option<BlockId>> = vec![None; n];
         if n == 0 {
-            return DomTree { idom, entry, pre: vec![0; n], post: vec![0; n], reachable: vec![false; n] };
+            return DomTree {
+                idom,
+                entry,
+                pre: vec![0; n],
+                post: vec![0; n],
+                reachable: vec![false; n],
+            };
         }
         idom[entry.index()] = Some(entry);
 
@@ -97,7 +103,13 @@ impl DomTree {
             }
         }
 
-        DomTree { idom, entry, pre, post, reachable }
+        DomTree {
+            idom,
+            entry,
+            pre,
+            post,
+            reachable,
+        }
     }
 
     /// The immediate dominator of `b` (`None` for the entry or unreachable

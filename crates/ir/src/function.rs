@@ -70,7 +70,10 @@ pub struct Phi {
 impl Phi {
     /// The incoming value for edge `from`, if present and filled.
     pub fn value_from(&self, from: BlockId) -> Option<&Value> {
-        self.incoming.iter().find(|(b, _)| *b == from).and_then(|(_, v)| v.as_ref())
+        self.incoming
+            .iter()
+            .find(|(b, _)| *b == from)
+            .and_then(|(_, v)| v.as_ref())
     }
 
     /// Set the incoming value for edge `from` (adding the entry if absent).
@@ -116,7 +119,12 @@ impl Block {
     /// A block with the given name, no phis/statements, and an
     /// `unreachable` terminator (to be replaced by the builder).
     pub fn new(name: impl Into<String>) -> Block {
-        Block { name: name.into(), phis: Vec::new(), stmts: Vec::new(), term: Term::Unreachable }
+        Block {
+            name: name.into(),
+            phis: Vec::new(),
+            stmts: Vec::new(),
+            term: Term::Unreachable,
+        }
     }
 }
 
@@ -148,7 +156,13 @@ pub struct Function {
 impl Function {
     /// An empty function shell (no blocks yet).
     pub fn new(name: impl Into<String>, ret: Option<Type>) -> Function {
-        Function { name: name.into(), params: Vec::new(), ret, blocks: Vec::new(), reg_names: Vec::new() }
+        Function {
+            name: name.into(),
+            params: Vec::new(),
+            ret,
+            blocks: Vec::new(),
+            reg_names: Vec::new(),
+        }
     }
 
     /// The entry block id.
@@ -213,7 +227,10 @@ impl Function {
 
     /// Find a block by label.
     pub fn block_by_name(&self, name: &str) -> Option<BlockId> {
-        self.blocks.iter().position(|b| b.name == name).map(BlockId::from_index)
+        self.blocks
+            .iter()
+            .position(|b| b.name == name)
+            .map(BlockId::from_index)
     }
 
     /// Find the unique definition site of a register (thanks to SSA).
@@ -322,7 +339,12 @@ mod tests {
         let mut b = Block::new("entry");
         b.stmts.push(Stmt {
             result: Some(x),
-            inst: Inst::Bin { op: BinOp::Add, ty: Type::I32, lhs: Value::Reg(p), rhs: Value::int(Type::I32, 1) },
+            inst: Inst::Bin {
+                op: BinOp::Add,
+                ty: Type::I32,
+                lhs: Value::Reg(p),
+                rhs: Value::int(Type::I32, 1),
+            },
         });
         b.term = Term::Ret(Some((Type::I32, Value::Reg(x))));
         f.add_block(b);
@@ -359,7 +381,10 @@ mod tests {
     fn phi_incoming_manipulation() {
         let b0 = BlockId::from_index(0);
         let b1 = BlockId::from_index(1);
-        let mut phi = Phi { ty: Type::I32, incoming: vec![(b0, None), (b1, None)] };
+        let mut phi = Phi {
+            ty: Type::I32,
+            incoming: vec![(b0, None), (b1, None)],
+        };
         assert!(!phi.is_complete());
         phi.set_incoming(b0, Value::int(Type::I32, 42));
         assert_eq!(phi.value_from(b0), Some(&Value::int(Type::I32, 42)));

@@ -40,7 +40,10 @@ pub enum BinOp {
 impl BinOp {
     /// Is the operator commutative?
     pub fn is_commutative(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        )
     }
 
     /// Can executing the operator raise undefined behaviour?
@@ -51,7 +54,9 @@ impl BinOp {
     /// All binary operators.
     pub fn all() -> [BinOp; 13] {
         use BinOp::*;
-        [Add, Sub, Mul, UDiv, SDiv, URem, SRem, Shl, LShr, AShr, And, Or, Xor]
+        [
+            Add, Sub, Mul, UDiv, SDiv, URem, SRem, Shl, LShr, AShr, And, Or, Xor,
+        ]
     }
 
     /// Mnemonic, as printed in the textual IR.
@@ -84,7 +89,10 @@ impl std::str::FromStr for BinOp {
     type Err = ();
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        BinOp::all().into_iter().find(|op| op.mnemonic() == s).ok_or(())
+        BinOp::all()
+            .into_iter()
+            .find(|op| op.mnemonic() == s)
+            .ok_or(())
     }
 }
 
@@ -181,7 +189,10 @@ impl std::str::FromStr for IcmpPred {
     type Err = ();
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        IcmpPred::all().into_iter().find(|p| p.mnemonic() == s).ok_or(())
+        IcmpPred::all()
+            .into_iter()
+            .find(|p| p.mnemonic() == s)
+            .ok_or(())
     }
 }
 
@@ -232,7 +243,10 @@ impl std::str::FromStr for CastOp {
     type Err = ();
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        CastOp::all().into_iter().find(|op| op.mnemonic() == s).ok_or(())
+        CastOp::all()
+            .into_iter()
+            .find(|op| op.mnemonic() == s)
+            .ok_or(())
     }
 }
 
@@ -360,7 +374,12 @@ impl Inst {
                 f(lhs);
                 f(rhs);
             }
-            Inst::Select { cond, on_true, on_false, .. } => {
+            Inst::Select {
+                cond,
+                on_true,
+                on_false,
+                ..
+            } => {
                 f(cond);
                 f(on_true);
                 f(on_false);
@@ -391,7 +410,12 @@ impl Inst {
                 f(lhs);
                 f(rhs);
             }
-            Inst::Select { cond, on_true, on_false, .. } => {
+            Inst::Select {
+                cond,
+                on_true,
+                on_false,
+                ..
+            } => {
                 f(cond);
                 f(on_true);
                 f(on_false);
@@ -458,7 +482,10 @@ impl Inst {
 
     /// Does this instruction write memory or emit events?
     pub fn is_side_effecting(&self) -> bool {
-        matches!(self, Inst::Store { .. } | Inst::Call { .. } | Inst::Unsupported { .. })
+        matches!(
+            self,
+            Inst::Store { .. } | Inst::Call { .. } | Inst::Unsupported { .. }
+        )
     }
 }
 
@@ -499,7 +526,9 @@ impl Term {
         match self {
             Term::Ret(_) | Term::Unreachable => Vec::new(),
             Term::Br(b) => vec![*b],
-            Term::CondBr { if_true, if_false, .. } => vec![*if_true, *if_false],
+            Term::CondBr {
+                if_true, if_false, ..
+            } => vec![*if_true, *if_false],
             Term::Switch { default, cases, .. } => {
                 let mut out = vec![*default];
                 out.extend(cases.iter().map(|(_, b)| *b));
@@ -545,7 +574,9 @@ impl Term {
         match self {
             Term::Ret(_) | Term::Unreachable => {}
             Term::Br(b) => *b = f(*b),
-            Term::CondBr { if_true, if_false, .. } => {
+            Term::CondBr {
+                if_true, if_false, ..
+            } => {
                 *if_true = f(*if_true);
                 *if_false = f(*if_false);
             }
@@ -597,7 +628,12 @@ mod tests {
     #[test]
     fn operand_iteration_and_replacement() {
         let r = RegId::from_index(0);
-        let mut i = Inst::Bin { op: BinOp::Add, ty: Type::I32, lhs: Value::Reg(r), rhs: Value::Reg(r) };
+        let mut i = Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::I32,
+            lhs: Value::Reg(r),
+            rhs: Value::Reg(r),
+        };
         assert_eq!(i.used_regs(), vec![r, r]);
         assert_eq!(i.replace_uses(r, &Value::int(Type::I32, 5)), 2);
         assert_eq!(i.used_regs(), Vec::<RegId>::new());
@@ -616,11 +652,22 @@ mod tests {
             Some(Type::I1)
         );
         assert_eq!(
-            Inst::Store { ty: Type::I32, val: Value::int(Type::I32, 0), ptr: Value::Const(Const::Null) }
-                .result_ty(),
+            Inst::Store {
+                ty: Type::I32,
+                val: Value::int(Type::I32, 0),
+                ptr: Value::Const(Const::Null)
+            }
+            .result_ty(),
             None
         );
-        assert_eq!(Inst::Alloca { ty: Type::I32, count: 1 }.result_ty(), Some(Type::Ptr));
+        assert_eq!(
+            Inst::Alloca {
+                ty: Type::I32,
+                count: 1
+            }
+            .result_ty(),
+            Some(Type::Ptr)
+        );
     }
 
     #[test]
@@ -633,7 +680,11 @@ mod tests {
         };
         assert_eq!(
             t.successors(),
-            vec![BlockId::from_index(0), BlockId::from_index(2), BlockId::from_index(1)]
+            vec![
+                BlockId::from_index(0),
+                BlockId::from_index(2),
+                BlockId::from_index(1)
+            ]
         );
     }
 

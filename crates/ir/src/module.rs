@@ -79,8 +79,17 @@ mod tests {
     #[test]
     fn lookups() {
         let mut m = Module::new();
-        m.globals.push(Global { name: "G".into(), ty: Type::I32, size: 1, init: Some(Const::int(Type::I32, 7)) });
-        m.declares.push(ExternDecl { name: "print".into(), ret: None, params: vec![Type::I32] });
+        m.globals.push(Global {
+            name: "G".into(),
+            ty: Type::I32,
+            size: 1,
+            init: Some(Const::int(Type::I32, 7)),
+        });
+        m.declares.push(ExternDecl {
+            name: "print".into(),
+            ret: None,
+            params: vec![Type::I32],
+        });
         m.functions.push(Function::new("main", None));
         assert!(m.global("G").is_some());
         assert!(m.declare("print").is_some());

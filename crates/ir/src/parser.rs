@@ -49,7 +49,10 @@ fn lex_line(line: &str, lineno: usize) -> Result<Vec<Tok>, ParseError> {
     let mut toks = Vec::new();
     let bytes: Vec<char> = line.chars().collect();
     let mut i = 0;
-    let err = |msg: String| ParseError { line: lineno, message: msg };
+    let err = |msg: String| ParseError {
+        line: lineno,
+        message: msg,
+    };
     while i < bytes.len() {
         let c = bytes[i];
         match c {
@@ -106,14 +109,20 @@ fn lex_line(line: &str, lineno: usize) -> Result<Vec<Tok>, ParseError> {
             '%' | '@' => {
                 let start = i + 1;
                 let mut j = start;
-                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_' || bytes[j] == '.') {
+                while j < bytes.len()
+                    && (bytes[j].is_alphanumeric() || bytes[j] == '_' || bytes[j] == '.')
+                {
                     j += 1;
                 }
                 if j == start {
                     return Err(err(format!("expected name after '{c}'")));
                 }
                 let name: String = bytes[start..j].iter().collect();
-                toks.push(if c == '%' { Tok::Reg(name) } else { Tok::Global(name) });
+                toks.push(if c == '%' {
+                    Tok::Reg(name)
+                } else {
+                    Tok::Global(name)
+                });
                 i = j;
             }
             '-' => {
@@ -126,7 +135,9 @@ fn lex_line(line: &str, lineno: usize) -> Result<Vec<Tok>, ParseError> {
                         j += 1;
                     }
                     let s: String = bytes[i..j].iter().collect();
-                    toks.push(Tok::Int(s.parse().map_err(|_| err(format!("bad integer {s}")))?));
+                    toks.push(Tok::Int(
+                        s.parse().map_err(|_| err(format!("bad integer {s}")))?,
+                    ));
                     i = j;
                 } else {
                     return Err(err("stray '-'".into()));
@@ -147,7 +158,9 @@ fn lex_line(line: &str, lineno: usize) -> Result<Vec<Tok>, ParseError> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut j = i;
-                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_' || bytes[j] == '.') {
+                while j < bytes.len()
+                    && (bytes[j].is_alphanumeric() || bytes[j] == '_' || bytes[j] == '.')
+                {
                     j += 1;
                 }
                 toks.push(Tok::Ident(bytes[i..j].iter().collect()));
@@ -168,7 +181,10 @@ struct Cursor {
 
 impl Cursor {
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, message: msg.into() }
+        ParseError {
+            line: self.line,
+            message: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -241,7 +257,10 @@ impl FnCtx {
     }
 
     fn block(&self, cur: &Cursor, name: &str) -> Result<BlockId, ParseError> {
-        self.blocks.get(name).copied().ok_or_else(|| cur.err(format!("unknown block label {name}")))
+        self.blocks
+            .get(name)
+            .copied()
+            .ok_or_else(|| cur.err(format!("unknown block label {name}")))
     }
 }
 
@@ -280,7 +299,12 @@ fn parse_const(cur: &mut Cursor, ty: Type) -> Result<Const, ParseError> {
     }
 }
 
-fn parse_value(cur: &mut Cursor, f: &mut Function, ctx: &mut FnCtx, ty: Type) -> Result<Value, ParseError> {
+fn parse_value(
+    cur: &mut Cursor,
+    f: &mut Function,
+    ctx: &mut FnCtx,
+    ty: Type,
+) -> Result<Value, ParseError> {
     if let Some(Tok::Reg(name)) = cur.peek().cloned() {
         cur.next();
         Ok(Value::Reg(ctx.reg(f, &name)))
@@ -290,13 +314,22 @@ fn parse_value(cur: &mut Cursor, f: &mut Function, ctx: &mut FnCtx, ty: Type) ->
 }
 
 /// Parse `ty value` (a typed operand).
-fn parse_typed_value(cur: &mut Cursor, f: &mut Function, ctx: &mut FnCtx) -> Result<(Type, Value), ParseError> {
+fn parse_typed_value(
+    cur: &mut Cursor,
+    f: &mut Function,
+    ctx: &mut FnCtx,
+) -> Result<(Type, Value), ParseError> {
     let ty = cur.ty()?;
     let v = parse_value(cur, f, ctx, ty)?;
     Ok((ty, v))
 }
 
-fn parse_rhs(cur: &mut Cursor, f: &mut Function, ctx: &mut FnCtx, head: &str) -> Result<Inst, ParseError> {
+fn parse_rhs(
+    cur: &mut Cursor,
+    f: &mut Function,
+    ctx: &mut FnCtx,
+    head: &str,
+) -> Result<Inst, ParseError> {
     if let Ok(op) = head.parse::<BinOp>() {
         let ty = cur.ty()?;
         let lhs = parse_value(cur, f, ctx, ty)?;
@@ -318,7 +351,8 @@ fn parse_rhs(cur: &mut Cursor, f: &mut Function, ctx: &mut FnCtx, head: &str) ->
         "icmp" => {
             let pred: IcmpPred = {
                 let s = cur.ident()?;
-                s.parse().map_err(|_| cur.err(format!("unknown icmp predicate {s}")))?
+                s.parse()
+                    .map_err(|_| cur.err(format!("unknown icmp predicate {s}")))?
             };
             let ty = cur.ty()?;
             let lhs = parse_value(cur, f, ctx, ty)?;
@@ -335,11 +369,20 @@ fn parse_rhs(cur: &mut Cursor, f: &mut Function, ctx: &mut FnCtx, head: &str) ->
             cur.expect(Tok::Comma)?;
             let _ty2 = cur.ty()?;
             let on_false = parse_value(cur, f, ctx, ty)?;
-            Ok(Inst::Select { ty, cond, on_true, on_false })
+            Ok(Inst::Select {
+                ty,
+                cond,
+                on_true,
+                on_false,
+            })
         }
         "alloca" => {
             let ty = cur.ty()?;
-            let count = if cur.eat(&Tok::Comma) { cur.int()? as u64 } else { 1 };
+            let count = if cur.eat(&Tok::Comma) {
+                cur.int()? as u64
+            } else {
+                1
+            };
             Ok(Inst::Alloca { ty, count })
         }
         "load" => {
@@ -370,14 +413,22 @@ fn parse_rhs(cur: &mut Cursor, f: &mut Function, ctx: &mut FnCtx, head: &str) ->
             cur.expect(Tok::Comma)?;
             let _off_ty = cur.ty()?;
             let offset = parse_value(cur, f, ctx, Type::I64)?;
-            Ok(Inst::Gep { inbounds, ptr, offset })
+            Ok(Inst::Gep {
+                inbounds,
+                ptr,
+                offset,
+            })
         }
         "call" => {
             let ret_s = cur.ident()?;
             let ret = if ret_s == "void" {
                 None
             } else {
-                Some(ret_s.parse::<Type>().map_err(|_| cur.err(format!("bad return type {ret_s}")))?)
+                Some(
+                    ret_s
+                        .parse::<Type>()
+                        .map_err(|_| cur.err(format!("bad return type {ret_s}")))?,
+                )
             };
             let callee = match cur.next() {
                 Some(Tok::Global(g)) => g,
@@ -404,14 +455,21 @@ fn parse_rhs(cur: &mut Cursor, f: &mut Function, ctx: &mut FnCtx, head: &str) ->
     }
 }
 
-fn parse_term(cur: &mut Cursor, f: &mut Function, ctx: &mut FnCtx, head: &str) -> Result<Term, ParseError> {
+fn parse_term(
+    cur: &mut Cursor,
+    f: &mut Function,
+    ctx: &mut FnCtx,
+    head: &str,
+) -> Result<Term, ParseError> {
     match head {
         "ret" => {
             let s = cur.ident()?;
             if s == "void" {
                 Ok(Term::Ret(None))
             } else {
-                let ty: Type = s.parse().map_err(|_| cur.err(format!("bad return type {s}")))?;
+                let ty: Type = s
+                    .parse()
+                    .map_err(|_| cur.err(format!("bad return type {s}")))?;
                 let v = parse_value(cur, f, ctx, ty)?;
                 Ok(Term::Ret(Some((ty, v))))
             }
@@ -470,7 +528,12 @@ fn parse_term(cur: &mut Cursor, f: &mut Function, ctx: &mut FnCtx, head: &str) -
                     cur.expect(Tok::Comma)?;
                 }
             }
-            Ok(Term::Switch { ty, val, default, cases })
+            Ok(Term::Switch {
+                ty,
+                val,
+                default,
+                cases,
+            })
         }
         "unreachable" => Ok(Term::Unreachable),
         other => Err(cur.err(format!("unknown terminator '{other}'"))),
@@ -520,7 +583,11 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
     let mut i = 0;
     while i < lines.len() {
         let (lineno, toks) = &lines[i];
-        let mut cur = Cursor { toks: toks.clone(), pos: 0, line: *lineno };
+        let mut cur = Cursor {
+            toks: toks.clone(),
+            pos: 0,
+            line: *lineno,
+        };
         let head = cur.ident()?;
         match head.as_str() {
             "global" => {
@@ -537,8 +604,17 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                 } else {
                     1
                 };
-                let init = if cur.eat(&Tok::Eq) { Some(parse_const(&mut cur, ty)?) } else { None };
-                module.globals.push(Global { name, ty, size, init });
+                let init = if cur.eat(&Tok::Eq) {
+                    Some(parse_const(&mut cur, ty)?)
+                } else {
+                    None
+                };
+                module.globals.push(Global {
+                    name,
+                    ty,
+                    size,
+                    init,
+                });
                 i += 1;
             }
             "declare" => {
@@ -557,7 +633,11 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                         cur.expect(Tok::Comma)?;
                     }
                 }
-                let ret = if cur.eat(&Tok::Arrow) { Some(cur.ty()?) } else { None };
+                let ret = if cur.eat(&Tok::Arrow) {
+                    Some(cur.ty()?)
+                } else {
+                    None
+                };
                 module.declares.push(ExternDecl { name, ret, params });
                 i += 1;
             }
@@ -582,11 +662,18 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                         cur.expect(Tok::Comma)?;
                     }
                 }
-                let ret = if cur.eat(&Tok::Arrow) { Some(cur.ty()?) } else { None };
+                let ret = if cur.eat(&Tok::Arrow) {
+                    Some(cur.ty()?)
+                } else {
+                    None
+                };
                 cur.expect(Tok::LBrace)?;
 
                 let mut func = Function::new(name, ret);
-                let mut ctx = FnCtx { regs: HashMap::new(), blocks: HashMap::new() };
+                let mut ctx = FnCtx {
+                    regs: HashMap::new(),
+                    blocks: HashMap::new(),
+                };
                 for (ty, pname) in params {
                     let r = func.add_param(ty, &pname);
                     ctx.regs.insert(pname, r);
@@ -606,12 +693,18 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                     j += 1;
                 }
                 if !closed {
-                    return Err(ParseError { line: *lineno, message: "unclosed function body".into() });
+                    return Err(ParseError {
+                        line: *lineno,
+                        message: "unclosed function body".into(),
+                    });
                 }
                 for (ln, toks) in &body {
                     if let [Tok::Ident(label), Tok::Colon] = toks.as_slice() {
                         if ctx.blocks.contains_key(label) {
-                            return Err(ParseError { line: *ln, message: format!("duplicate label {label}") });
+                            return Err(ParseError {
+                                line: *ln,
+                                message: format!("duplicate label {label}"),
+                            });
                         }
                         let b = func.add_block(Block::new(label.clone()));
                         ctx.blocks.insert(label.clone(), b);
@@ -624,9 +717,15 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                         current = Some(ctx.blocks[label]);
                         continue;
                     }
-                    let bid = current
-                        .ok_or_else(|| ParseError { line: ln, message: "instruction before first label".into() })?;
-                    let mut cur = Cursor { toks, pos: 0, line: ln };
+                    let bid = current.ok_or_else(|| ParseError {
+                        line: ln,
+                        message: "instruction before first label".into(),
+                    })?;
+                    let mut cur = Cursor {
+                        toks,
+                        pos: 0,
+                        line: ln,
+                    };
                     // Result-producing statement or phi?
                     if let Some(Tok::Reg(res_name)) = cur.peek().cloned() {
                         cur.next();
@@ -638,7 +737,10 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                             func.block_mut(bid).phis.push((res, phi));
                         } else {
                             let inst = parse_rhs(&mut cur, &mut func, &mut ctx, &head)?;
-                            func.block_mut(bid).stmts.push(Stmt { result: Some(res), inst });
+                            func.block_mut(bid).stmts.push(Stmt {
+                                result: Some(res),
+                                inst,
+                            });
                         }
                     } else {
                         let head = cur.ident()?;
@@ -658,7 +760,10 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                 i = j + 1;
             }
             other => {
-                return Err(ParseError { line: *lineno, message: format!("unknown top-level item '{other}'") })
+                return Err(ParseError {
+                    line: *lineno,
+                    message: format!("unknown top-level item '{other}'"),
+                })
             }
         }
     }
@@ -738,7 +843,10 @@ mod tests {
         let f = m.function("f").unwrap();
         let inst = &f.block(f.entry()).stmts[0].inst;
         match inst {
-            Inst::Bin { lhs: Value::Const(c), .. } => assert!(c.may_trap()),
+            Inst::Bin {
+                lhs: Value::Const(c),
+                ..
+            } => assert!(c.may_trap()),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -55,12 +55,25 @@ fn fmt_inst(result: Option<RegId>, inst: &Inst, names: &NameMap) -> String {
     };
     let rhs = match inst {
         Inst::Bin { op, ty, lhs, rhs } => {
-            format!("{op} {ty} {}, {}", fmt_value(lhs, names), fmt_value(rhs, names))
+            format!(
+                "{op} {ty} {}, {}",
+                fmt_value(lhs, names),
+                fmt_value(rhs, names)
+            )
         }
         Inst::Icmp { pred, ty, lhs, rhs } => {
-            format!("icmp {pred} {ty} {}, {}", fmt_value(lhs, names), fmt_value(rhs, names))
+            format!(
+                "icmp {pred} {ty} {}, {}",
+                fmt_value(lhs, names),
+                fmt_value(rhs, names)
+            )
         }
-        Inst::Select { ty, cond, on_true, on_false } => format!(
+        Inst::Select {
+            ty,
+            cond,
+            on_true,
+            on_false,
+        } => format!(
             "select i1 {}, {ty} {}, {ty} {}",
             fmt_value(cond, names),
             fmt_value(on_true, names),
@@ -72,17 +85,27 @@ fn fmt_inst(result: Option<RegId>, inst: &Inst, names: &NameMap) -> String {
         Inst::Alloca { ty, count } => format!("alloca {ty}, {count}"),
         Inst::Load { ty, ptr } => format!("load {ty}, ptr {}", fmt_value(ptr, names)),
         Inst::Store { ty, val, ptr } => {
-            format!("store {ty} {}, ptr {}", fmt_value(val, names), fmt_value(ptr, names))
+            format!(
+                "store {ty} {}, ptr {}",
+                fmt_value(val, names),
+                fmt_value(ptr, names)
+            )
         }
-        Inst::Gep { inbounds, ptr, offset } => format!(
+        Inst::Gep {
+            inbounds,
+            ptr,
+            offset,
+        } => format!(
             "gep{} ptr {}, i64 {}",
             if *inbounds { " inbounds" } else { "" },
             fmt_value(ptr, names),
             fmt_value(offset, names)
         ),
         Inst::Call { ret, callee, args } => {
-            let args: Vec<String> =
-                args.iter().map(|(t, v)| format!("{t} {}", fmt_value(v, names))).collect();
+            let args: Vec<String> = args
+                .iter()
+                .map(|(t, v)| format!("{t} {}", fmt_value(v, names)))
+                .collect();
             let ret = match ret {
                 Some(t) => t.to_string(),
                 None => "void".to_string(),
@@ -100,13 +123,34 @@ fn fmt_term(t: &Term, f: &Function, names: &NameMap) -> String {
         Term::Ret(None) => "ret void".to_string(),
         Term::Ret(Some((ty, v))) => format!("ret {ty} {}", fmt_value(v, names)),
         Term::Br(b) => format!("br label {}", label(b)),
-        Term::CondBr { cond, if_true, if_false } => {
-            format!("br i1 {}, label {}, label {}", fmt_value(cond, names), label(if_true), label(if_false))
+        Term::CondBr {
+            cond,
+            if_true,
+            if_false,
+        } => {
+            format!(
+                "br i1 {}, label {}, label {}",
+                fmt_value(cond, names),
+                label(if_true),
+                label(if_false)
+            )
         }
-        Term::Switch { ty, val, default, cases } => {
-            let cases: Vec<String> =
-                cases.iter().map(|(c, b)| format!("{}: {}", *c as i64, label(b))).collect();
-            format!("switch {ty} {}, label {} [ {} ]", fmt_value(val, names), label(default), cases.join(", "))
+        Term::Switch {
+            ty,
+            val,
+            default,
+            cases,
+        } => {
+            let cases: Vec<String> = cases
+                .iter()
+                .map(|(c, b)| format!("{}: {}", *c as i64, label(b)))
+                .collect();
+            format!(
+                "switch {ty} {}, label {} [ {} ]",
+                fmt_value(val, names),
+                label(default),
+                cases.join(", ")
+            )
         }
         Term::Unreachable => "unreachable".to_string(),
     }
@@ -123,7 +167,13 @@ fn fmt_block(f: &Function, b: &Block, names: &NameMap, out: &mut String) {
                 None => format!("[ _, {} ]", f.block(*src).name),
             })
             .collect();
-        let _ = writeln!(out, "  %{} = phi {} {}", names.name(*r), phi.ty, inc.join(", "));
+        let _ = writeln!(
+            out,
+            "  %{} = phi {} {}",
+            names.name(*r),
+            phi.ty,
+            inc.join(", ")
+        );
     }
     for s in &b.stmts {
         let _ = writeln!(out, "  {}", fmt_inst(s.result, &s.inst, names));
@@ -135,8 +185,11 @@ fn fmt_block(f: &Function, b: &Block, names: &NameMap, out: &mut String) {
 pub fn print_function(f: &Function) -> String {
     let names = NameMap::new(f);
     let mut out = String::new();
-    let params: Vec<String> =
-        f.params.iter().map(|(t, r)| format!("{t} %{}", names.name(*r))).collect();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|(t, r)| format!("{t} %{}", names.name(*r)))
+        .collect();
     let ret = match f.ret {
         Some(t) => format!(" -> {t}"),
         None => String::new(),

@@ -75,7 +75,10 @@ impl Type {
 
     /// Is this one of the integer types?
     pub fn is_int(self) -> bool {
-        matches!(self, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64)
+        matches!(
+            self,
+            Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64
+        )
     }
 
     /// Is this a first-class value type (integer or pointer)?
@@ -144,7 +147,15 @@ mod tests {
 
     #[test]
     fn display_round_trips() {
-        for t in [Type::I1, Type::I8, Type::I16, Type::I32, Type::I64, Type::Ptr, Type::Void] {
+        for t in [
+            Type::I1,
+            Type::I8,
+            Type::I16,
+            Type::I32,
+            Type::I64,
+            Type::Ptr,
+            Type::Void,
+        ] {
             let s = t.to_string();
             assert_eq!(s.parse::<Type>(), Ok(t));
         }

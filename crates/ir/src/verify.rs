@@ -99,17 +99,33 @@ impl fmt::Display for VerifyError {
             VerifyError::UndefinedRegister { func, reg } => {
                 write!(f, "register %{reg} used but never defined in @{func}")
             }
-            VerifyError::UseNotDominated { func, reg, in_block } => {
+            VerifyError::UseNotDominated {
+                func,
+                reg,
+                in_block,
+            } => {
                 write!(f, "use of %{reg} in block {in_block} of @{func} is not dominated by its definition")
             }
             VerifyError::PhiIncomingMismatch { func, block } => {
-                write!(f, "phi incoming edges of block {block} in @{func} do not match its predecessors")
+                write!(
+                    f,
+                    "phi incoming edges of block {block} in @{func} do not match its predecessors"
+                )
             }
             VerifyError::IncompletePhi { func, block } => {
-                write!(f, "phi with an unfilled incoming slot in block {block} of @{func}")
+                write!(
+                    f,
+                    "phi with an unfilled incoming slot in block {block} of @{func}"
+                )
             }
-            VerifyError::TypeMismatch { func, detail } => write!(f, "type error in @{func}: {detail}"),
-            VerifyError::BadCall { func, callee, detail } => {
+            VerifyError::TypeMismatch { func, detail } => {
+                write!(f, "type error in @{func}: {detail}")
+            }
+            VerifyError::BadCall {
+                func,
+                callee,
+                detail,
+            } => {
                 write!(f, "bad call to @{callee} in @{func}: {detail}")
             }
             VerifyError::UnknownGlobal { func, global } => {
@@ -131,7 +147,10 @@ struct Verifier<'a> {
 
 impl<'a> Verifier<'a> {
     fn type_err(&self, detail: impl Into<String>) -> VerifyError {
-        VerifyError::TypeMismatch { func: self.func.name.clone(), detail: detail.into() }
+        VerifyError::TypeMismatch {
+            func: self.func.name.clone(),
+            detail: detail.into(),
+        }
     }
 
     fn check_defs_unique(&mut self) -> Result<(), VerifyError> {
@@ -188,13 +207,12 @@ impl<'a> Verifier<'a> {
 
     fn check_const(&self, c: &Const) -> Result<(), VerifyError> {
         match c {
-            Const::Global(g)
-                if self.module.global(g).is_none() => {
-                    return Err(VerifyError::UnknownGlobal {
-                        func: self.func.name.clone(),
-                        global: g.clone(),
-                    });
-                }
+            Const::Global(g) if self.module.global(g).is_none() => {
+                return Err(VerifyError::UnknownGlobal {
+                    func: self.func.name.clone(),
+                    global: g.clone(),
+                });
+            }
             Const::Expr(e) => match &**e {
                 crate::constant::ConstExpr::PtrToInt(inner, _) => self.check_const(inner)?,
                 crate::constant::ConstExpr::Bin(_, _, a, b) => {
@@ -210,10 +228,13 @@ impl<'a> Verifier<'a> {
     fn check_operand(&self, v: &Value, expected: Type) -> Result<(), VerifyError> {
         match v {
             Value::Reg(r) => {
-                let ty = self.func.reg_ty(*r).ok_or_else(|| VerifyError::UndefinedRegister {
-                    func: self.func.name.clone(),
-                    reg: self.func.reg_name(*r).to_string(),
-                })?;
+                let ty = self
+                    .func
+                    .reg_ty(*r)
+                    .ok_or_else(|| VerifyError::UndefinedRegister {
+                        func: self.func.name.clone(),
+                        reg: self.func.reg_name(*r).to_string(),
+                    })?;
                 if ty != expected {
                     return Err(self.type_err(format!(
                         "register %{} has type {ty}, expected {expected}",
@@ -224,7 +245,10 @@ impl<'a> Verifier<'a> {
             Value::Const(c) => {
                 self.check_const(c)?;
                 if c.ty() != expected {
-                    return Err(self.type_err(format!("constant {c} has type {}, expected {expected}", c.ty())));
+                    return Err(self.type_err(format!(
+                        "constant {c} has type {}, expected {expected}",
+                        c.ty()
+                    )));
                 }
             }
         }
@@ -247,7 +271,12 @@ impl<'a> Verifier<'a> {
                 self.check_operand(lhs, *ty)?;
                 self.check_operand(rhs, *ty)
             }
-            Inst::Select { ty, cond, on_true, on_false } => {
+            Inst::Select {
+                ty,
+                cond,
+                on_true,
+                on_false,
+            } => {
                 self.check_operand(cond, Type::I1)?;
                 self.check_operand(on_true, *ty)?;
                 self.check_operand(on_false, *ty)
@@ -256,7 +285,9 @@ impl<'a> Verifier<'a> {
                 self.check_operand(val, *from)?;
                 let ok = match op {
                     CastOp::Trunc => from.is_int() && to.is_int() && from.bits() > to.bits(),
-                    CastOp::Zext | CastOp::Sext => from.is_int() && to.is_int() && from.bits() < to.bits(),
+                    CastOp::Zext | CastOp::Sext => {
+                        from.is_int() && to.is_int() && from.bits() < to.bits()
+                    }
                     CastOp::PtrToInt => *from == Type::Ptr && to.is_int(),
                     CastOp::IntToPtr => from.is_int() && *to == Type::Ptr,
                     CastOp::Bitcast => from == to && from.is_value(),
@@ -307,7 +338,9 @@ impl<'a> Verifier<'a> {
                     return Err(VerifyError::BadCall {
                         func: self.func.name.clone(),
                         callee: callee.clone(),
-                        detail: format!("return type mismatch: call says {ret:?}, signature says {sig_ret:?}"),
+                        detail: format!(
+                            "return type mismatch: call says {ret:?}, signature says {sig_ret:?}"
+                        ),
                     });
                 }
                 let arg_tys: Vec<Type> = args.iter().map(|(t, _)| *t).collect();
@@ -315,7 +348,9 @@ impl<'a> Verifier<'a> {
                     return Err(VerifyError::BadCall {
                         func: self.func.name.clone(),
                         callee: callee.clone(),
-                        detail: format!("argument types {arg_tys:?} do not match parameters {sig_params:?}"),
+                        detail: format!(
+                            "argument types {arg_tys:?} do not match parameters {sig_params:?}"
+                        ),
                     });
                 }
                 Ok(())
@@ -351,7 +386,10 @@ impl<'a> Verifier<'a> {
                     });
                 }
                 if !phi.is_complete() {
-                    return Err(VerifyError::IncompletePhi { func: func_name.clone(), block: b.name.clone() });
+                    return Err(VerifyError::IncompletePhi {
+                        func: func_name.clone(),
+                        block: b.name.clone(),
+                    });
                 }
                 for (p, v) in &phi.incoming {
                     if let Some(v) = v {
@@ -453,7 +491,14 @@ impl<'a> Verifier<'a> {
 pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyError> {
     let cfg = Cfg::new(func);
     let dom = DomTree::new(func, &cfg);
-    Verifier { module, func, cfg, dom, def_block: HashMap::new() }.run()
+    Verifier {
+        module,
+        func,
+        cfg,
+        dom,
+        def_block: HashMap::new(),
+    }
+    .run()
 }
 
 /// Verify every function of a module.

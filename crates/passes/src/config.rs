@@ -38,12 +38,20 @@ impl BugSet {
     /// (PR33673 is latent: present in the code but never triggered by the
     /// benchmarks, exactly as in the paper).
     pub fn llvm_3_7_1() -> BugSet {
-        BugSet { pr24179: true, pr33673: true, pr28562: true, d38619: true }
+        BugSet {
+            pr24179: true,
+            pr33673: true,
+            pr28562: true,
+            d38619: true,
+        }
     }
 
     /// LLVM 5.0.1 before the D38619 fix.
     pub fn llvm_5_0_1_prepatch() -> BugSet {
-        BugSet { d38619: true, ..BugSet::default() }
+        BugSet {
+            d38619: true,
+            ..BugSet::default()
+        }
     }
 
     /// LLVM 5.0.1 after the D38619 fix.
@@ -53,10 +61,26 @@ impl BugSet {
 }
 
 /// Configuration shared by all passes.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct PassConfig {
     /// Which historical bugs to re-introduce.
     pub bugs: BugSet,
+    /// Whether passes record proofs (**on** by default).
+    ///
+    /// With this off the passes transform code identically but skip all
+    /// proof bookkeeping (assertions, rules, assertion materialization) —
+    /// the honest way to measure the paper's `Orig` column, instead of
+    /// timing the proof-generating pass twice.
+    pub gen_proofs: bool,
+}
+
+impl Default for PassConfig {
+    fn default() -> PassConfig {
+        PassConfig {
+            bugs: BugSet::default(),
+            gen_proofs: true,
+        }
+    }
 }
 
 impl PassConfig {
@@ -67,7 +91,16 @@ impl PassConfig {
 
     /// A configuration with a given bug population.
     pub fn with_bugs(bugs: BugSet) -> PassConfig {
-        PassConfig { bugs }
+        PassConfig {
+            bugs,
+            ..PassConfig::default()
+        }
+    }
+
+    /// This configuration with proof generation disabled.
+    pub fn without_proofs(mut self) -> PassConfig {
+        self.gen_proofs = false;
+        self
     }
 }
 

@@ -33,14 +33,26 @@ use std::collections::HashMap;
 
 /// Run GVN-PRE over every function of a module.
 pub fn gvn(module: &Module, config: &PassConfig) -> PassOutcome {
+    gvn_traced(module, config, &crellvm_telemetry::Telemetry::disabled())
+}
+
+/// [`gvn`] recording domain counters (`pass.gvn.*`) into `tel`.
+pub fn gvn_traced(
+    module: &Module,
+    config: &PassConfig,
+    tel: &crellvm_telemetry::Telemetry,
+) -> PassOutcome {
     let mut out = module.clone();
     let mut proofs = Vec::new();
     for f in &module.functions {
-        let unit = gvn_function(f, config);
+        let unit = gvn_function_traced(f, config, tel);
         *out.function_mut(&f.name).expect("function exists") = unit.tgt.clone();
         proofs.push(unit);
     }
-    PassOutcome { module: out, proofs }
+    PassOutcome {
+        module: out,
+        proofs,
+    }
 }
 
 /// A value number.
@@ -99,6 +111,10 @@ struct Gvn<'a> {
     /// Registers that have served as replacement leaders: deleting them
     /// later (e.g. by PRE) would orphan earlier proofs.
     used_leaders: std::collections::HashSet<RegId>,
+    /// Telemetry: full-redundancy replacements performed.
+    stat_replaced: u64,
+    /// Telemetry: PRE phi insertions performed.
+    stat_pre: u64,
 }
 
 impl Gvn<'_> {
@@ -119,7 +135,10 @@ impl Gvn<'_> {
 
     fn vn_of_value(&mut self, v: &Value) -> Vn {
         match v {
-            Value::Reg(r) => *self.vt.get(r).expect("operand numbered before use (RPO + dominance)"),
+            Value::Reg(r) => *self
+                .vt
+                .get(r)
+                .expect("operand numbered before use (RPO + dominance)"),
             Value::Const(c) => self.vn_of_const(c),
         }
     }
@@ -142,7 +161,12 @@ impl Gvn<'_> {
                 }
                 Some(VnKey::Icmp(p, *ty, a, b))
             }
-            Inst::Select { ty, cond, on_true, on_false } => Some(VnKey::Select(
+            Inst::Select {
+                ty,
+                cond,
+                on_true,
+                on_false,
+            } => Some(VnKey::Select(
                 *ty,
                 self.vn_of_value(cond),
                 self.vn_of_value(on_true),
@@ -151,10 +175,22 @@ impl Gvn<'_> {
             Inst::Cast { op, from, val, to } => {
                 Some(VnKey::Cast(*op, *from, *to, self.vn_of_value(val)))
             }
-            Inst::Gep { inbounds, ptr, offset } => {
+            Inst::Gep {
+                inbounds,
+                ptr,
+                offset,
+            } => {
                 // PR28562: the buggy hash erases the inbounds flag.
-                let flag = if self.config.bugs.pr28562 { None } else { Some(*inbounds) };
-                Some(VnKey::Gep(flag, self.vn_of_value(ptr), self.vn_of_value(offset)))
+                let flag = if self.config.bugs.pr28562 {
+                    None
+                } else {
+                    Some(*inbounds)
+                };
+                Some(VnKey::Gep(
+                    flag,
+                    self.vn_of_value(ptr),
+                    self.vn_of_value(offset),
+                ))
             }
             // Loads, calls, allocas, stores, unsupported: opaque.
             _ => None,
@@ -165,13 +201,17 @@ impl Gvn<'_> {
         if db == ub {
             di < ui
         } else {
-            self.dom.strictly_dominates(BlockId::from_index(db), BlockId::from_index(ub))
+            self.dom
+                .strictly_dominates(BlockId::from_index(db), BlockId::from_index(ub))
         }
     }
 
     /// Does def `(db, _)` dominate the END of block `b`?
     fn def_dominates_block_end(&self, (db, _): (usize, usize), b: usize) -> bool {
-        db == b || self.dom.strictly_dominates(BlockId::from_index(db), BlockId::from_index(b))
+        db == b
+            || self
+                .dom
+                .strictly_dominates(BlockId::from_index(db), BlockId::from_index(b))
     }
 
     fn loc_before_src(&self, b: usize, i: usize) -> Loc {
@@ -202,16 +242,29 @@ impl Gvn<'_> {
     /// source row `(b, i)`: operand substitutions through earlier
     /// replacements plus an optional commutativity step. Returns false if
     /// no rewrite path exists (nothing emitted).
-    fn emit_expr_bridge(&mut self, b: usize, i: usize, anchor: &TValue, from: &Expr, to: &Expr) -> bool {
-        let Some(mid_chain) = self.bridge_chain(from, to) else { return false };
+    fn emit_expr_bridge(
+        &mut self,
+        b: usize,
+        i: usize,
+        anchor: &TValue,
+        from: &Expr,
+        to: &Expr,
+    ) -> bool {
+        let Some(mid_chain) = self.bridge_chain(from, to) else {
+            return false;
+        };
         // Re-assert every substitution's justification fact from its
         // replacement site to this row (the facts were only asserted to
         // the *original* use sites).
         let to_loc = self.loc_before_src(b, i);
         let mut fact_ranges: Vec<(Expr, Expr, usize, usize)> = Vec::new();
         for (rule, _) in &mid_chain {
-            if let InfRule::Substitute { from: a, to: bb, .. }
-            | InfRule::SubstituteRev { from: a, to: bb, .. } = rule
+            if let InfRule::Substitute {
+                from: a, to: bb, ..
+            }
+            | InfRule::SubstituteRev {
+                from: a, to: bb, ..
+            } = rule
             {
                 for (reg, other) in [(a, bb), (bb, a)] {
                     if let Some(crellvm_core::TReg::Phy(r)) = reg.as_reg() {
@@ -231,7 +284,8 @@ impl Gvn<'_> {
         }
         for (ea, eb, rb, ri_) in fact_ranges {
             let from_loc = Loc::AfterRow(rb, self.pb.row_of_src(rb, ri_));
-            self.pb.range_pred(Side::Src, Pred::Lessdef(ea, eb), from_loc, to_loc);
+            self.pb
+                .range_pred(Side::Src, Pred::Lessdef(ea, eb), from_loc, to_loc);
         }
         let mut rules: Vec<InfRule> = Vec::new();
         let mut chain = vec![Expr::Value(anchor.clone()), from.clone()];
@@ -282,7 +336,13 @@ impl Gvn<'_> {
             }
             let Some(mut steps) = found else { continue };
             if commute {
-                steps.push((InfRule::IntroEq { side: Side::Src, e: goal.clone() }, goal.clone()));
+                steps.push((
+                    InfRule::IntroEq {
+                        side: Side::Src,
+                        e: goal.clone(),
+                    },
+                    goal.clone(),
+                ));
                 steps.push((
                     InfRule::Arith(ArithRule::Identity {
                         side: Side::Src,
@@ -335,8 +395,12 @@ impl Gvn<'_> {
             if !cur.operands().contains(a) {
                 continue; // already rewritten by a previous step
             }
-            let rule =
-                InfRule::Substitute { side: Side::Src, from: a.clone(), to: b.clone(), e: cur.clone() };
+            let rule = InfRule::Substitute {
+                side: Side::Src,
+                from: a.clone(),
+                to: b.clone(),
+                e: cur.clone(),
+            };
             cur = cur.subst(a, b);
             steps.push((rule, cur.clone()));
         }
@@ -363,8 +427,12 @@ impl Gvn<'_> {
             if !cur.operands().contains(b) {
                 continue;
             }
-            let rule =
-                InfRule::SubstituteRev { side: Side::Src, from: a.clone(), to: b.clone(), e: cur.clone() };
+            let rule = InfRule::SubstituteRev {
+                side: Side::Src,
+                from: a.clone(),
+                to: b.clone(),
+                e: cur.clone(),
+            };
             let next = cur.subst(b, a);
             // rule establishes next ⊒ cur.
             rev_steps.push((rule, cur.clone()));
@@ -386,12 +454,18 @@ impl Gvn<'_> {
 /// The commuted form of a commutative binary / swapped icmp expression.
 fn commuted(e: &Expr) -> Option<Expr> {
     match e {
-        Expr::Bin { op, ty, a, b } if op.is_commutative() => {
-            Some(Expr::Bin { op: *op, ty: *ty, a: b.clone(), b: a.clone() })
-        }
-        Expr::Icmp { pred, ty, a, b } => {
-            Some(Expr::Icmp { pred: pred.swapped(), ty: *ty, a: b.clone(), b: a.clone() })
-        }
+        Expr::Bin { op, ty, a, b } if op.is_commutative() => Some(Expr::Bin {
+            op: *op,
+            ty: *ty,
+            a: b.clone(),
+            b: a.clone(),
+        }),
+        Expr::Icmp { pred, ty, a, b } => Some(Expr::Icmp {
+            pred: pred.swapped(),
+            ty: *ty,
+            a: b.clone(),
+            b: a.clone(),
+        }),
         _ => None,
     }
 }
@@ -425,13 +499,20 @@ pub fn analyze(f: &Function) -> GvnAnalysis {
         defs: HashMap::new(),
         replaced: HashMap::new(),
         used_leaders: std::collections::HashSet::new(),
+        stat_replaced: 0,
+        stat_pre: 0,
     };
     let params: Vec<RegId> = g.src.params.iter().map(|(_, p)| *p).collect();
     for p in params {
         let v = g.fresh_vn();
         g.vt.insert(p, v);
     }
-    let order: Vec<usize> = g.cfg.reverse_postorder().iter().map(|b| b.index()).collect();
+    let order: Vec<usize> = g
+        .cfg
+        .reverse_postorder()
+        .iter()
+        .map(|b| b.index())
+        .collect();
     for &b in &order {
         let phis: Vec<RegId> = g.src.blocks[b].phis.iter().map(|(r, _)| *r).collect();
         for r in phis {
@@ -478,7 +559,17 @@ pub fn analyze(f: &Function) -> GvnAnalysis {
 
 /// Run GVN-PRE on one function, producing the proof unit.
 pub fn gvn_function(f: &Function, config: &PassConfig) -> ProofUnit {
+    gvn_function_traced(f, config, &crellvm_telemetry::Telemetry::disabled())
+}
+
+/// [`gvn_function`] recording domain counters into `tel`.
+pub fn gvn_function_traced(
+    f: &Function,
+    config: &PassConfig,
+    tel: &crellvm_telemetry::Telemetry,
+) -> ProofUnit {
     let mut pb = ProofBuilder::new("gvn", f);
+    pb.set_recording(config.gen_proofs);
     if let Some(reason) = crate::util::ns_reason(f, "gvn") {
         pb.mark_not_supported(reason);
         return pb.finish();
@@ -502,6 +593,8 @@ pub fn gvn_function(f: &Function, config: &PassConfig) -> ProofUnit {
         defs: HashMap::new(),
         replaced: HashMap::new(),
         used_leaders: std::collections::HashSet::new(),
+        stat_replaced: 0,
+        stat_pre: 0,
     };
 
     // Number parameters.
@@ -512,7 +605,12 @@ pub fn gvn_function(f: &Function, config: &PassConfig) -> ProofUnit {
     }
 
     // Main pass: number everything in RPO; replace full redundancies.
-    let order: Vec<usize> = g.cfg.reverse_postorder().iter().map(|b| b.index()).collect();
+    let order: Vec<usize> = g
+        .cfg
+        .reverse_postorder()
+        .iter()
+        .map(|b| b.index())
+        .collect();
     for &b in &order {
         let phis: Vec<RegId> = g.src.blocks[b].phis.iter().map(|(r, _)| *r).collect();
         for r in phis {
@@ -528,7 +626,15 @@ pub fn gvn_function(f: &Function, config: &PassConfig) -> ProofUnit {
                 continue;
             };
             let expr = Expr::of_inst(&stmt.inst).expect("keyed instructions are pure");
-            g.defs.insert(x, DefInfo { block: b, stmt: i, expr, inst: stmt.inst.clone() });
+            g.defs.insert(
+                x,
+                DefInfo {
+                    block: b,
+                    stmt: i,
+                    expr,
+                    inst: stmt.inst.clone(),
+                },
+            );
             let vn = match g.et.get(&key) {
                 Some(&v) => v,
                 None => {
@@ -543,10 +649,14 @@ pub fn gvn_function(f: &Function, config: &PassConfig) -> ProofUnit {
             let leader = g
                 .leaders
                 .get(&vn)
-                .and_then(|ls| ls.iter().find(|(_, lb, li)| g.def_dominates((*lb, *li), (b, i))))
+                .and_then(|ls| {
+                    ls.iter()
+                        .find(|(_, lb, li)| g.def_dominates((*lb, *li), (b, i)))
+                })
                 .copied();
             if let Some((l, lb, li)) = leader {
                 if replace_full_redundancy(&mut g, (b, i, x), (lb, li, l)) {
+                    g.stat_replaced += 1;
                     continue;
                 }
             }
@@ -556,6 +666,8 @@ pub fn gvn_function(f: &Function, config: &PassConfig) -> ProofUnit {
 
     pre_phase(&mut g, &order);
 
+    tel.count("pass.gvn.replacements", g.stat_replaced);
+    tel.count("pass.gvn.pre_insertions", g.stat_pre);
     g.pb.finish()
 }
 
@@ -576,7 +688,13 @@ fn replace_full_redundancy(
     // replacing a possibly-poison value with a defined one refines.
     let inbounds_drop = matches!(
         (&ex, &el),
-        (Expr::Gep { inbounds: true, .. }, Expr::Gep { inbounds: false, .. })
+        (
+            Expr::Gep { inbounds: true, .. },
+            Expr::Gep {
+                inbounds: false,
+                ..
+            }
+        )
     ) && {
         // Same base and offset.
         let (o1, o2) = (ex.operands(), el.operands());
@@ -590,8 +708,18 @@ fn replace_full_redundancy(
     let lv = Expr::Value(TValue::phy(l));
     let from_leader = Loc::AfterRow(lb, g.pb.row_of_src(lb, li));
     let to_x_def = g.loc_before_src(b, i);
-    g.pb.range_pred(Side::Src, Pred::Lessdef(el.clone(), lv.clone()), from_leader, to_x_def);
-    g.pb.range_pred(Side::Src, Pred::Lessdef(lv.clone(), el.clone()), from_leader, to_x_def);
+    g.pb.range_pred(
+        Side::Src,
+        Pred::Lessdef(el.clone(), lv.clone()),
+        from_leader,
+        to_x_def,
+    );
+    g.pb.range_pred(
+        Side::Src,
+        Pred::Lessdef(lv.clone(), el.clone()),
+        from_leader,
+        to_x_def,
+    );
 
     // Bridge rules at x's definition row.
     let xv = Expr::Value(TValue::phy(x));
@@ -620,9 +748,19 @@ fn replace_full_redundancy(
     let uses = uses_of(g.pb.tgt(), x);
     for site in &uses {
         let to = g.loc_of_use(*site);
-        g.pb.range_pred(Side::Src, Pred::Lessdef(xv.clone(), lv.clone()), after_def, to);
+        g.pb.range_pred(
+            Side::Src,
+            Pred::Lessdef(xv.clone(), lv.clone()),
+            after_def,
+            to,
+        );
         if bridgeable {
-            g.pb.range_pred(Side::Src, Pred::Lessdef(lv.clone(), xv.clone()), after_def, to);
+            g.pb.range_pred(
+                Side::Src,
+                Pred::Lessdef(lv.clone(), xv.clone()),
+                after_def,
+                to,
+            );
         }
     }
     g.pb.replace_tgt_uses(x, &Value::Reg(l));
@@ -630,7 +768,13 @@ fn replace_full_redundancy(
     g.pb.global_maydiff(crellvm_core::TReg::Phy(x));
     g.replaced.insert(
         x,
-        ReplacementInfo { value: Value::Reg(l), block: b, stmt: i, bidir: bridgeable, src_fact: true },
+        ReplacementInfo {
+            value: Value::Reg(l),
+            block: b,
+            stmt: i,
+            bidir: bridgeable,
+            src_fact: true,
+        },
     );
     g.used_leaders.insert(l);
     true
@@ -670,8 +814,12 @@ enum EdgeAvail {
 
 fn pre_phase(g: &mut Gvn<'_>, order: &[usize]) {
     for &b in order {
-        let preds: Vec<usize> =
-            g.cfg.preds(BlockId::from_index(b)).iter().map(|p| p.index()).collect();
+        let preds: Vec<usize> = g
+            .cfg
+            .preds(BlockId::from_index(b))
+            .iter()
+            .map(|p| p.index())
+            .collect();
         if preds.len() < 2 {
             continue;
         }
@@ -681,7 +829,9 @@ fn pre_phase(g: &mut Gvn<'_>, order: &[usize]) {
             if g.replaced.contains_key(&x) || g.used_leaders.contains(&x) {
                 continue;
             }
-            let Some(info) = g.defs.get(&x).cloned() else { continue };
+            let Some(info) = g.defs.get(&x).cloned() else {
+                continue;
+            };
             if info.block != b || info.stmt != i {
                 continue;
             }
@@ -701,7 +851,9 @@ fn pre_phase(g: &mut Gvn<'_>, order: &[usize]) {
                 if g.replaced.contains_key(r) {
                     continue 'stmt;
                 }
-                let Some(site) = def_site_of(&g.src, *r) else { continue 'stmt };
+                let Some(site) = def_site_of(&g.src, *r) else {
+                    continue 'stmt;
+                };
                 for &p in &preds {
                     if !g.def_dominates_block_end_site(site, p) {
                         continue 'stmt;
@@ -769,7 +921,10 @@ impl Gvn<'_> {
                     // The candidate is its own leader: only usable on a
                     // back edge (the ghost relation persists around the
                     // loop body).
-                    if self.dom.dominates(BlockId::from_index(b), BlockId::from_index(pred)) {
+                    if self
+                        .dom
+                        .dominates(BlockId::from_index(b), BlockId::from_index(pred))
+                    {
                         return Some(EdgeAvail::Carry);
                     }
                     continue;
@@ -793,7 +948,13 @@ impl Gvn<'_> {
         self.edge_branch_const_rec(vn, pred, b, 4)
     }
 
-    fn edge_branch_const_rec(&self, vn: Vn, pred: usize, b: usize, depth: usize) -> Option<EdgeAvail> {
+    fn edge_branch_const_rec(
+        &self,
+        vn: Vn,
+        pred: usize,
+        b: usize,
+        depth: usize,
+    ) -> Option<EdgeAvail> {
         if depth == 0 {
             return None;
         }
@@ -811,11 +972,18 @@ impl Gvn<'_> {
     }
 
     fn edge_branch_const_direct(&self, vn: Vn, pred: usize, b: usize) -> Option<EdgeAvail> {
-        if let Term::CondBr { cond: Value::Reg(c), if_true, if_false } = &self.src.blocks[pred].term
+        if let Term::CondBr {
+            cond: Value::Reg(c),
+            if_true,
+            if_false,
+        } = &self.src.blocks[pred].term
         {
             if if_true != if_false {
                 if let Some(info) = self.defs.get(c) {
-                    if let Inst::Icmp { pred: ip, lhs, rhs, .. } = &info.inst {
+                    if let Inst::Icmp {
+                        pred: ip, lhs, rhs, ..
+                    } = &info.inst
+                    {
                         let (reg, konst) = match (lhs, rhs) {
                             (Value::Reg(r), Value::Const(k)) => (*r, k.clone()),
                             (Value::Const(k), Value::Reg(r)) => (*r, k.clone()),
@@ -838,8 +1006,11 @@ impl Gvn<'_> {
                         // edge. D38619 (as modelled): the edge polarity is
                         // ignored, so the constant leaks onto the wrong
                         // edge.
-                        let edge_ok =
-                            if self.config.bugs.d38619 { true } else { on_true_edge == flag };
+                        let edge_ok = if self.config.bugs.d38619 {
+                            true
+                        } else {
+                            on_true_edge == flag
+                        };
                         if edge_ok
                             && self.def_dominates_block_end((info.block, info.stmt), pred)
                             && def_site_of(&self.src, reg)
@@ -870,7 +1041,10 @@ fn apply_pre(
     preds: &[usize],
     avail: &[EdgeAvail],
 ) {
-    let ty = info.inst.result_ty().expect("pure instructions have results");
+    let ty = info
+        .inst
+        .result_ty()
+        .expect("pure instructions have results");
     let ghost = format!("pre{}", x.index());
     let ghost_e = Expr::value(TValue::ghost(ghost.clone()));
     let ex = info.expr.clone();
@@ -885,25 +1059,54 @@ fn apply_pre(
                 let linfo = g.defs[l].clone();
                 let lv = Expr::Value(TValue::phy(*l));
                 let from = Loc::AfterRow(linfo.block, g.pb.row_of_src(linfo.block, linfo.stmt));
-                g.pb.range_pred(Side::Src, Pred::Lessdef(lv.clone(), linfo.expr.clone()), from, Loc::End(p));
+                g.pb.range_pred(
+                    Side::Src,
+                    Pred::Lessdef(lv.clone(), linfo.expr.clone()),
+                    from,
+                    Loc::End(p),
+                );
                 // Assert E_x ⊒ l along the path (bridged at the leader row
                 // when the defining expressions differ by substitutions).
                 let direct = ex == linfo.expr;
-                if !direct && !g.emit_expr_bridge(linfo.block, linfo.stmt, &TValue::phy(*l), &linfo.expr, &ex)
+                if !direct
+                    && !g.emit_expr_bridge(
+                        linfo.block,
+                        linfo.stmt,
+                        &TValue::phy(*l),
+                        &linfo.expr,
+                        &ex,
+                    )
                 {
                     // Cannot justify through this leader; insert instead.
                     let val = insert_computation(g, p, info, x);
                     incoming.push((BlockId::from_index(p), val));
-                    g.pb.infrule_edge(p, b, InfRule::IntroGhost { g: ghost.clone(), e: ex.clone() });
+                    g.pb.infrule_edge(
+                        p,
+                        b,
+                        InfRule::IntroGhost {
+                            g: ghost.clone(),
+                            e: ex.clone(),
+                        },
+                    );
                     continue;
                 }
                 if direct {
-                    g.pb.range_pred(Side::Src, Pred::Lessdef(ex.clone(), lv.clone()), from, Loc::End(p));
+                    g.pb.range_pred(
+                        Side::Src,
+                        Pred::Lessdef(ex.clone(), lv.clone()),
+                        from,
+                        Loc::End(p),
+                    );
                 } else {
                     // The bridge derived l ⊒ E_x; invert by asserting the
                     // pair of ranges E_x ⊒ l via the opposite bridge.
                     g.emit_expr_bridge(linfo.block, linfo.stmt, &TValue::phy(*l), &ex, &linfo.expr);
-                    g.pb.range_pred(Side::Src, Pred::Lessdef(ex.clone(), lv.clone()), from, Loc::End(p));
+                    g.pb.range_pred(
+                        Side::Src,
+                        Pred::Lessdef(ex.clone(), lv.clone()),
+                        from,
+                        Loc::End(p),
+                    );
                     // Derivation at the leader row: E_x ⊒ (subst…) E_l ⊒ l.
                     let mut chain = vec![ex.clone()];
                     if let Some(steps) = g.bridge_chain(&ex, &linfo.expr) {
@@ -928,12 +1131,23 @@ fn apply_pre(
                 }
                 incoming.push((BlockId::from_index(p), Value::Reg(*l)));
                 g.used_leaders.insert(*l);
-                g.pb.infrule_edge(p, b, InfRule::IntroGhost {
-                    g: ghost.clone(),
-                    e: Expr::Value(TValue::phy(*l)),
-                });
+                g.pb.infrule_edge(
+                    p,
+                    b,
+                    InfRule::IntroGhost {
+                        g: ghost.clone(),
+                        e: Expr::Value(TValue::phy(*l)),
+                    },
+                );
             }
-            EdgeAvail::BranchConst { konst, witness, cond, flag, test_from, test_to } => {
+            EdgeAvail::BranchConst {
+                konst,
+                witness,
+                cond,
+                flag,
+                test_from,
+                test_to,
+            } => {
                 let winfo = g.defs[witness].clone();
                 let cinfo = g.defs[cond].clone();
                 let wv = Expr::Value(TValue::phy(*witness));
@@ -942,20 +1156,53 @@ fn apply_pre(
                 let direct = ex == winfo.expr;
                 let mut ok = true;
                 if !direct {
-                    ok = g.emit_expr_bridge(winfo.block, winfo.stmt, &TValue::phy(*witness), &ex, &winfo.expr);
+                    ok = g.emit_expr_bridge(
+                        winfo.block,
+                        winfo.stmt,
+                        &TValue::phy(*witness),
+                        &ex,
+                        &winfo.expr,
+                    );
                 }
                 if !ok {
                     let val = insert_computation(g, p, info, x);
                     incoming.push((BlockId::from_index(p), val));
-                    g.pb.infrule_edge(p, b, InfRule::IntroGhost { g: ghost.clone(), e: ex.clone() });
+                    g.pb.infrule_edge(
+                        p,
+                        b,
+                        InfRule::IntroGhost {
+                            g: ghost.clone(),
+                            e: ex.clone(),
+                        },
+                    );
                     continue;
                 }
                 if direct {
-                    g.pb.range_pred(Side::Src, Pred::Lessdef(winfo.expr.clone(), wv.clone()), wfrom, Loc::End(p));
-                    g.pb.range_pred(Side::Src, Pred::Lessdef(ex.clone(), wv.clone()), wfrom, Loc::End(p));
+                    g.pb.range_pred(
+                        Side::Src,
+                        Pred::Lessdef(winfo.expr.clone(), wv.clone()),
+                        wfrom,
+                        Loc::End(p),
+                    );
+                    g.pb.range_pred(
+                        Side::Src,
+                        Pred::Lessdef(ex.clone(), wv.clone()),
+                        wfrom,
+                        Loc::End(p),
+                    );
                 } else {
-                    g.pb.range_pred(Side::Src, Pred::Lessdef(winfo.expr.clone(), wv.clone()), wfrom, Loc::End(p));
-                    g.pb.range_pred(Side::Src, Pred::Lessdef(ex.clone(), wv.clone()), wfrom, Loc::End(p));
+                    g.pb.range_pred(
+                        Side::Src,
+                        Pred::Lessdef(winfo.expr.clone(), wv.clone()),
+                        wfrom,
+                        Loc::End(p),
+                    );
+                    g.pb.range_pred(
+                        Side::Src,
+                        Pred::Lessdef(ex.clone(), wv.clone()),
+                        wfrom,
+                        Loc::End(p),
+                    );
                     let mut chain = vec![ex.clone()];
                     if let Some(steps) = g.bridge_chain(&ex, &winfo.expr) {
                         for (rule, e) in steps {
@@ -981,7 +1228,12 @@ fn apply_pre(
                 // edge.
                 let cv = Expr::Value(TValue::phy(*cond));
                 let cfrom = Loc::AfterRow(cinfo.block, g.pb.row_of_src(cinfo.block, cinfo.stmt));
-                g.pb.range_pred(Side::Src, Pred::Lessdef(cv.clone(), cinfo.expr.clone()), cfrom, Loc::End(*test_from));
+                g.pb.range_pred(
+                    Side::Src,
+                    Pred::Lessdef(cv.clone(), cinfo.expr.clone()),
+                    cfrom,
+                    Loc::End(*test_from),
+                );
 
                 // Rules at the testing edge (§C.3): true ⊒ c̄ ⊒
                 // icmp(… old …) → icmp_to_eq → witness ≐ C.
@@ -992,19 +1244,27 @@ fn apply_pre(
                 let flag_e = Expr::Value(TValue::Const(Const::bool(*flag)));
                 let old_cond = Expr::Value(TValue::old(*cond));
                 let old_cmp = cinfo.expr.phy_to_old();
-                g.pb.infrule_edge(*test_from, *test_to, InfRule::Transitivity {
-                    side: Side::Src,
-                    e1: flag_e,
-                    e2: old_cond,
-                    e3: old_cmp,
-                });
-                g.pb.infrule_edge(*test_from, *test_to, InfRule::IcmpToEq {
-                    side: Side::Src,
-                    flag: *flag,
-                    ty: wty,
-                    a: wa.phy_to_old(),
-                    b: wb.phy_to_old(),
-                });
+                g.pb.infrule_edge(
+                    *test_from,
+                    *test_to,
+                    InfRule::Transitivity {
+                        side: Side::Src,
+                        e1: flag_e,
+                        e2: old_cond,
+                        e3: old_cmp,
+                    },
+                );
+                g.pb.infrule_edge(
+                    *test_from,
+                    *test_to,
+                    InfRule::IcmpToEq {
+                        side: Side::Src,
+                        flag: *flag,
+                        ty: wty,
+                        a: wa.phy_to_old(),
+                        b: wb.phy_to_old(),
+                    },
+                );
                 // In the propagated case (Fig 15's empty block) the
                 // equality established at the testing edge must be carried
                 // down to the end of the predecessor.
@@ -1018,16 +1278,27 @@ fn apply_pre(
                     );
                 }
                 // The ghost is introduced on the final edge.
-                g.pb.infrule_edge(p, b, InfRule::IntroGhost {
-                    g: ghost.clone(),
-                    e: ke,
-                });
+                g.pb.infrule_edge(
+                    p,
+                    b,
+                    InfRule::IntroGhost {
+                        g: ghost.clone(),
+                        e: ke,
+                    },
+                );
                 incoming.push((BlockId::from_index(p), Value::Const(konst.clone())));
             }
             EdgeAvail::Insert => {
                 let val = insert_computation(g, p, info, x);
                 incoming.push((BlockId::from_index(p), val));
-                g.pb.infrule_edge(p, b, InfRule::IntroGhost { g: ghost.clone(), e: ex.clone() });
+                g.pb.infrule_edge(
+                    p,
+                    b,
+                    InfRule::IntroGhost {
+                        g: ghost.clone(),
+                        e: ex.clone(),
+                    },
+                );
             }
             EdgeAvail::Carry => {
                 // The loop-carried case: the phi keeps its own value; the
@@ -1052,26 +1323,55 @@ fn apply_pre(
         }
     }
 
-    g.pb.add_tgt_phi(b, z, Phi { ty, incoming: incoming.into_iter().map(|(p, v)| (p, Some(v))).collect() });
+    g.pb.add_tgt_phi(
+        b,
+        z,
+        Phi {
+            ty,
+            incoming: incoming.into_iter().map(|(p, v)| (p, Some(v))).collect(),
+        },
+    );
 
     // Assertions inside b.
     let xv = Expr::Value(TValue::phy(x));
     let zv = Expr::Value(TValue::phy(z));
     let def_loc = g.loc_before_src(b, i);
-    g.pb.range_pred(Side::Src, Pred::Lessdef(ex.clone(), ghost_e.clone()), Loc::Start(b), def_loc);
+    g.pb.range_pred(
+        Side::Src,
+        Pred::Lessdef(ex.clone(), ghost_e.clone()),
+        Loc::Start(b),
+        def_loc,
+    );
     let after_def = Loc::AfterRow(b, g.pb.row_of_src(b, i));
     let uses = uses_of(g.pb.tgt(), x);
     for site in &uses {
         let to = g.loc_of_use(*site);
-        g.pb.range_pred(Side::Src, Pred::Lessdef(xv.clone(), ghost_e.clone()), after_def, to);
-        g.pb.range_pred(Side::Tgt, Pred::Lessdef(ghost_e.clone(), zv.clone()), Loc::Start(b), to);
+        g.pb.range_pred(
+            Side::Src,
+            Pred::Lessdef(xv.clone(), ghost_e.clone()),
+            after_def,
+            to,
+        );
+        g.pb.range_pred(
+            Side::Tgt,
+            Pred::Lessdef(ghost_e.clone(), zv.clone()),
+            Loc::Start(b),
+            to,
+        );
     }
     g.pb.replace_tgt_uses(x, &Value::Reg(z));
     g.pb.delete_tgt(b, i);
     g.pb.global_maydiff(crellvm_core::TReg::Phy(x));
+    g.stat_pre += 1;
     g.replaced.insert(
         x,
-        ReplacementInfo { value: Value::Reg(z), block: b, stmt: i, bidir: false, src_fact: false },
+        ReplacementInfo {
+            value: Value::Reg(z),
+            block: b,
+            stmt: i,
+            bidir: false,
+            src_fact: false,
+        },
     );
 }
 
@@ -1080,13 +1380,29 @@ fn apply_pre(
 fn insert_computation(g: &mut Gvn<'_>, pred: usize, info: &DefInfo, x: RegId) -> Value {
     let xi = g.pb.fresh_reg(&format!("{}.ins", g.src.reg_name(x)));
     g.pb.global_maydiff(crellvm_core::TReg::Phy(xi));
-    let row = g.pb.append_tgt(pred, Stmt { result: Some(xi), inst: info.inst.clone() });
+    let row = g.pb.append_tgt(
+        pred,
+        Stmt {
+            result: Some(xi),
+            inst: info.inst.clone(),
+        },
+    );
     // The inserted definition's equations must be visible at the block end
     // (the appended row is the last one, so the range is a single slot).
     let xie = Expr::Value(TValue::phy(xi));
     let from = Loc::AfterRow(pred, row);
-    g.pb.range_pred(Side::Tgt, Pred::Lessdef(info.expr.clone(), xie.clone()), from, Loc::End(pred));
-    g.pb.range_pred(Side::Tgt, Pred::Lessdef(xie, info.expr.clone()), from, Loc::End(pred));
+    g.pb.range_pred(
+        Side::Tgt,
+        Pred::Lessdef(info.expr.clone(), xie.clone()),
+        from,
+        Loc::End(pred),
+    );
+    g.pb.range_pred(
+        Side::Tgt,
+        Pred::Lessdef(xie, info.expr.clone()),
+        from,
+        Loc::End(pred),
+    );
     Value::Reg(xi)
 }
 
@@ -1251,7 +1567,10 @@ mod tests {
     #[test]
     fn pr28562_bug_caught_by_validation() {
         // The paper's §1.2 example: q2 (plain) replaced by q1 (inbounds).
-        let config = PassConfig::with_bugs(BugSet { pr28562: true, ..BugSet::default() });
+        let config = PassConfig::with_bugs(BugSet {
+            pr28562: true,
+            ..BugSet::default()
+        });
         let m = parse_module(GEP_PAIR).unwrap();
         let out = gvn(&m, &config);
         verify_module(&out.module).unwrap();
@@ -1274,7 +1593,10 @@ mod tests {
               ret void
             }
         "#;
-        let config = PassConfig::with_bugs(BugSet { pr28562: true, ..BugSet::default() });
+        let config = PassConfig::with_bugs(BugSet {
+            pr28562: true,
+            ..BugSet::default()
+        });
         let m = parse_module(src).unwrap();
         let out = gvn(&m, &config);
         verify_module(&out.module).unwrap();
@@ -1408,9 +1730,14 @@ mod tests {
         assert_all_valid(&out);
 
         // Buggy run: flip the polarity by using the FALSE edge to exit.
-        let flipped =
-            src.replace("br i1 %cmp, label exit, label other", "br i1 %cmp, label other, label exit");
-        let config = PassConfig::with_bugs(BugSet { d38619: true, ..BugSet::default() });
+        let flipped = src.replace(
+            "br i1 %cmp, label exit, label other",
+            "br i1 %cmp, label other, label exit",
+        );
+        let config = PassConfig::with_bugs(BugSet {
+            d38619: true,
+            ..BugSet::default()
+        });
         let m = parse_module(&flipped).unwrap();
         let out = gvn(&m, &config);
         verify_module(&out.module).unwrap();
@@ -1426,7 +1753,10 @@ mod tests {
         )
         .unwrap();
         let out = gvn(&m, &PassConfig::default());
-        assert!(matches!(validate(&out.proofs[0]), Ok(Verdict::NotSupported(_))));
+        assert!(matches!(
+            validate(&out.proofs[0]),
+            Ok(Verdict::NotSupported(_))
+        ));
     }
 
     #[test]
@@ -1476,7 +1806,11 @@ mod tests {
         );
         let f = out.module.function("main").unwrap();
         let havenot = f.block_by_name("havenot").unwrap();
-        assert_eq!(f.block(havenot).stmts.len(), 0, "no speculative division: {f}");
+        assert_eq!(
+            f.block(havenot).stmts.len(),
+            0,
+            "no speculative division: {f}"
+        );
         assert_all_valid(&out);
     }
 }
@@ -1514,11 +1848,17 @@ mod analyze_tests {
         let f = m.function("main").unwrap();
         let a = analyze(f);
         let name = |r: RegId| f.reg_name(r).to_string();
-        let classes: Vec<Vec<String>> =
-            a.classes.iter().map(|c| c.iter().map(|r| name(*r)).collect()).collect();
+        let classes: Vec<Vec<String>> = a
+            .classes
+            .iter()
+            .map(|c| c.iter().map(|r| name(*r)).collect())
+            .collect();
         assert_eq!(classes.len(), 2, "{classes:?}");
         assert!(classes.iter().any(|c| c == &["x1", "x2"]), "{classes:?}");
-        assert!(classes.iter().any(|c| c == &["y1", "y2", "y3"]), "{classes:?}");
+        assert!(
+            classes.iter().any(|c| c == &["y1", "y2", "y3"]),
+            "{classes:?}"
+        );
     }
 
     #[test]

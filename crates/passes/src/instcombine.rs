@@ -15,7 +15,8 @@
 use crate::config::{PassConfig, PassOutcome};
 use crate::util::{uses_of, UseSite};
 use crellvm_core::{
-    ArithRule, AutoKind, CompositeRule, Expr, InfRule, Loc, Pred, ProofBuilder, ProofUnit, Side, TValue,
+    ArithRule, AutoKind, CompositeRule, Expr, InfRule, Loc, Pred, ProofBuilder, ProofUnit, Side,
+    TValue,
 };
 use crellvm_ir::{
     BinOp, CastOp, Const, DefSite, Function, IcmpPred, Inst, Module, RegId, Stmt, Type, Value,
@@ -24,14 +25,26 @@ use std::collections::HashMap;
 
 /// Run one instcombine sweep over every function of a module.
 pub fn instcombine(module: &Module, config: &PassConfig) -> PassOutcome {
+    instcombine_traced(module, config, &crellvm_telemetry::Telemetry::disabled())
+}
+
+/// [`instcombine`] recording domain counters (`pass.instcombine.*`) into `tel`.
+pub fn instcombine_traced(
+    module: &Module,
+    config: &PassConfig,
+    tel: &crellvm_telemetry::Telemetry,
+) -> PassOutcome {
     let mut out = module.clone();
     let mut proofs = Vec::new();
     for f in &module.functions {
-        let unit = instcombine_function(f, config);
+        let unit = instcombine_function_traced(f, config, tel);
         *out.function_mut(&f.name).expect("function exists") = unit.tgt.clone();
         proofs.push(unit);
     }
-    PassOutcome { module: out, proofs }
+    PassOutcome {
+        module: out,
+        proofs,
+    }
 }
 
 /// What a matcher wants done with the matched statement.
@@ -128,9 +141,21 @@ fn try_match(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                 }
             }
             // --- unit / absorbing identities -----------------------------
-            let zero = |v: &Value| cint(v).map(|(t, c)| *c == Const::int(t, 0)).unwrap_or(false);
-            let one = |v: &Value| cint(v).map(|(t, c)| *c == Const::int(t, 1)).unwrap_or(false);
-            let mone = |v: &Value| cint(v).map(|(t, c)| *c == Const::int(t, -1)).unwrap_or(false);
+            let zero = |v: &Value| {
+                cint(v)
+                    .map(|(t, c)| *c == Const::int(t, 0))
+                    .unwrap_or(false)
+            };
+            let one = |v: &Value| {
+                cint(v)
+                    .map(|(t, c)| *c == Const::int(t, 1))
+                    .unwrap_or(false)
+            };
+            let mone = |v: &Value| {
+                cint(v)
+                    .map(|(t, c)| *c == Const::int(t, -1))
+                    .unwrap_or(false)
+            };
             let simple = |name: &'static str, v: Value| {
                 let to = Expr::Value(TValue::of_value(&v));
                 identity_match(name, x, &e, to, Action::ReplaceWith(v))
@@ -172,19 +197,40 @@ fn try_match(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
             }
             // --- strength reduction ---------------------------------------
             if *op == BinOp::SDiv && mone(rhs) {
-                let new = Inst::Bin { op: BinOp::Sub, ty, lhs: Value::int(ty, 0), rhs: lhs.clone() };
+                let new = Inst::Bin {
+                    op: BinOp::Sub,
+                    ty,
+                    lhs: Value::int(ty, 0),
+                    rhs: lhs.clone(),
+                };
                 let to = Expr::of_inst(&new).expect("pure");
-                return Some(identity_match("sdiv-mone", x, &e, to, Action::ReplaceInst(new)));
+                return Some(identity_match(
+                    "sdiv-mone",
+                    x,
+                    &e,
+                    to,
+                    Action::ReplaceInst(new),
+                ));
             }
             if *op == BinOp::UDiv {
                 if let Some((_, Const::Int { bits, .. })) = cint(rhs) {
                     let c = ty.truncate(*bits);
                     if c.is_power_of_two() && c > 1 {
                         let k = c.trailing_zeros() as i64;
-                        let new =
-                            Inst::Bin { op: BinOp::LShr, ty, lhs: lhs.clone(), rhs: Value::int(ty, k) };
+                        let new = Inst::Bin {
+                            op: BinOp::LShr,
+                            ty,
+                            lhs: lhs.clone(),
+                            rhs: Value::int(ty, k),
+                        };
                         let to = Expr::of_inst(&new).expect("pure");
-                        return Some(identity_match("udiv-shift", x, &e, to, Action::ReplaceInst(new)));
+                        return Some(identity_match(
+                            "udiv-shift",
+                            x,
+                            &e,
+                            to,
+                            Action::ReplaceInst(new),
+                        ));
                     }
                 }
             }
@@ -196,15 +242,37 @@ fn try_match(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                     let c = ty.truncate(*bits);
                     if c.is_power_of_two() && c > 1 {
                         let k = c.trailing_zeros() as i64;
-                        let new = Inst::Bin { op: BinOp::Shl, ty, lhs: lhs.clone(), rhs: Value::int(ty, k) };
+                        let new = Inst::Bin {
+                            op: BinOp::Shl,
+                            ty,
+                            lhs: lhs.clone(),
+                            rhs: Value::int(ty, k),
+                        };
                         let to = Expr::of_inst(&new).expect("pure");
-                        return Some(identity_match("mul-shl", x, &e, to, Action::ReplaceInst(new)));
+                        return Some(identity_match(
+                            "mul-shl",
+                            x,
+                            &e,
+                            to,
+                            Action::ReplaceInst(new),
+                        ));
                     }
                 }
                 if mone(rhs) {
-                    let new = Inst::Bin { op: BinOp::Sub, ty, lhs: Value::int(ty, 0), rhs: lhs.clone() };
+                    let new = Inst::Bin {
+                        op: BinOp::Sub,
+                        ty,
+                        lhs: Value::int(ty, 0),
+                        rhs: lhs.clone(),
+                    };
                     let to = Expr::of_inst(&new).expect("pure");
-                    return Some(identity_match("mul-mone", x, &e, to, Action::ReplaceInst(new)));
+                    return Some(identity_match(
+                        "mul-mone",
+                        x,
+                        &e,
+                        to,
+                        Action::ReplaceInst(new),
+                    ));
                 }
             }
             // add-signbit: a + SIGNBIT → a ^ SIGNBIT.
@@ -218,28 +286,64 @@ fn try_match(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                             rhs: rhs.clone(),
                         };
                         let to = Expr::of_inst(&new).expect("pure");
-                        return Some(identity_match("add-signbit", x, &e, to, Action::ReplaceInst(new)));
+                        return Some(identity_match(
+                            "add-signbit",
+                            x,
+                            &e,
+                            to,
+                            Action::ReplaceInst(new),
+                        ));
                     }
                 }
             }
             // sub-mone: -1 - a → ¬a.
             if *op == BinOp::Sub && mone(lhs) {
-                let new =
-                    Inst::Bin { op: BinOp::Xor, ty, lhs: rhs.clone(), rhs: Value::int(ty, -1) };
+                let new = Inst::Bin {
+                    op: BinOp::Xor,
+                    ty,
+                    lhs: rhs.clone(),
+                    rhs: Value::int(ty, -1),
+                };
                 let to = Expr::of_inst(&new).expect("pure");
-                return Some(identity_match("sub-mone", x, &e, to, Action::ReplaceInst(new)));
+                return Some(identity_match(
+                    "sub-mone",
+                    x,
+                    &e,
+                    to,
+                    Action::ReplaceInst(new),
+                ));
             }
             if *op == BinOp::Add && lhs == rhs && ty.bits() > 1 {
-                let new = Inst::Bin { op: BinOp::Shl, ty, lhs: lhs.clone(), rhs: Value::int(ty, 1) };
+                let new = Inst::Bin {
+                    op: BinOp::Shl,
+                    ty,
+                    lhs: lhs.clone(),
+                    rhs: Value::int(ty, 1),
+                };
                 let to = Expr::of_inst(&new).expect("pure");
-                return Some(identity_match("add-shift", x, &e, to, Action::ReplaceInst(new)));
+                return Some(identity_match(
+                    "add-shift",
+                    x,
+                    &e,
+                    to,
+                    Action::ReplaceInst(new),
+                ));
             }
 
             // --- composite patterns (FindDef on an operand) ----------------
             // bop-associativity / assoc-add: (a ⊙ C1) ⊙ C2 → a ⊙ (C1 ⊙ C2).
-            if matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor) {
+            if matches!(
+                op,
+                BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+            ) {
                 if let (Some((_, c2)), Some(def)) = (cint(rhs), ctx.def_of(lhs)) {
-                    if let Inst::Bin { op: op1, ty: ty1, lhs: a, rhs: c1v } = def.2 {
+                    if let Inst::Bin {
+                        op: op1,
+                        ty: ty1,
+                        lhs: a,
+                        rhs: c1v,
+                    } = def.2
+                    {
                         if op1 == op && *ty1 == ty {
                             if let Some((_, c1)) = cint(c1v) {
                                 if let Some(c3) =
@@ -276,7 +380,13 @@ fn try_match(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
             // sub-add: (a + b) - b → a.
             if *op == BinOp::Sub {
                 if let Some(def) = ctx.def_of(lhs) {
-                    if let Inst::Bin { op: BinOp::Add, ty: ty1, lhs: a, rhs: b2 } = def.2 {
+                    if let Inst::Bin {
+                        op: BinOp::Add,
+                        ty: ty1,
+                        lhs: a,
+                        rhs: b2,
+                    } = def.2
+                    {
                         if *ty1 == ty && (b2 == rhs || a == rhs) {
                             let kept = if b2 == rhs { a.clone() } else { b2.clone() };
                             let rule = InfRule::Arith(ArithRule::SubAddFold {
@@ -303,7 +413,13 @@ fn try_match(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
             if *op == BinOp::Add {
                 for (diff, other) in [(lhs, rhs), (rhs, lhs)] {
                     if let Some(def) = ctx.def_of(diff) {
-                        if let Inst::Bin { op: BinOp::Sub, ty: ty1, lhs: a, rhs: b2 } = def.2 {
+                        if let Inst::Bin {
+                            op: BinOp::Sub,
+                            ty: ty1,
+                            lhs: a,
+                            rhs: b2,
+                        } = def.2
+                        {
                             if *ty1 == ty && b2 == other {
                                 let rule = InfRule::Arith(ArithRule::AddSubFold {
                                     side: Side::Src,
@@ -328,7 +444,13 @@ fn try_match(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
             if *op == BinOp::Xor {
                 for (inner, other) in [(lhs, rhs), (rhs, lhs)] {
                     if let Some(def) = ctx.def_of(inner) {
-                        if let Inst::Bin { op: BinOp::Xor, ty: ty1, lhs: a, rhs: b2 } = def.2 {
+                        if let Inst::Bin {
+                            op: BinOp::Xor,
+                            ty: ty1,
+                            lhs: a,
+                            rhs: b2,
+                        } = def.2
+                        {
                             if *ty1 == ty && (b2 == other || a == other) {
                                 let kept = if b2 == other { a.clone() } else { b2.clone() };
                                 let rule = InfRule::Arith(ArithRule::XorXorFold {
@@ -356,7 +478,13 @@ fn try_match(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
             if let (Some((_, ca)), Some((_, cb))) = (cint(lhs), cint(rhs)) {
                 if let Some(c) = crellvm_core::rules_arith::fold_icmp(*pred, *ty, ca, cb) {
                     let to = Expr::Value(TValue::Const(c.clone()));
-                    return Some(identity_match("const-fold", x, &e, to, Action::ReplaceWith(Value::Const(c))));
+                    return Some(identity_match(
+                        "const-fold",
+                        x,
+                        &e,
+                        to,
+                        Action::ReplaceWith(Value::Const(c)),
+                    ));
                 }
             }
             if lhs == rhs {
@@ -376,11 +504,24 @@ fn try_match(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
             }
             None
         }
-        Inst::Select { ty, cond, on_true, on_false } => {
+        Inst::Select {
+            ty,
+            cond,
+            on_true,
+            on_false,
+        } => {
             let _ = ty;
             if let Value::Const(Const::Int { ty: Type::I1, bits }) = cond {
-                let v = if *bits != 0 { on_true.clone() } else { on_false.clone() };
-                let name = if *bits != 0 { "select-true" } else { "select-false" };
+                let v = if *bits != 0 {
+                    on_true.clone()
+                } else {
+                    on_false.clone()
+                };
+                let name = if *bits != 0 {
+                    "select-true"
+                } else {
+                    "select-false"
+                };
                 return Some(identity_match(
                     name,
                     x,
@@ -424,7 +565,13 @@ fn try_match(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
             // Cast-cast composition: zext-zext, sext-sext, trunc-trunc,
             // zext-trunc (the paper's §D cast family).
             if let Some(def) = ctx.def_of(val) {
-                if let Inst::Cast { op: op1, from: ty0, val: a, to: ty1 } = def.2 {
+                if let Inst::Cast {
+                    op: op1,
+                    from: ty0,
+                    val: a,
+                    to: ty1,
+                } = def.2
+                {
                     if ty1 == from {
                         if let Some(composed) = crellvm_core::rules_arith::compose_casts(
                             *op1,
@@ -457,12 +604,14 @@ fn try_match(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                                     Action::ReplaceWith(Value::Const(c.clone()))
                                 }
                                 Expr::Value(TValue::Reg(_)) => Action::ReplaceWith(a.clone()),
-                                Expr::Cast { op, from, to, .. } => Action::ReplaceInst(Inst::Cast {
-                                    op: *op,
-                                    from: *from,
-                                    val: a.clone(),
-                                    to: *to,
-                                }),
+                                Expr::Cast { op, from, to, .. } => {
+                                    Action::ReplaceInst(Inst::Cast {
+                                        op: *op,
+                                        from: *from,
+                                        val: a.clone(),
+                                        to: *to,
+                                    })
+                                }
                                 _ => return None,
                             };
                             return Some(Match {
@@ -477,8 +626,16 @@ fn try_match(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
             }
             None
         }
-        Inst::Gep { inbounds, ptr, offset } => {
-            if let Value::Const(Const::Int { ty: Type::I64, bits: 0 }) = offset {
+        Inst::Gep {
+            inbounds,
+            ptr,
+            offset,
+        } => {
+            if let Value::Const(Const::Int {
+                ty: Type::I64,
+                bits: 0,
+            }) = offset
+            {
                 return Some(identity_match(
                     "gep-zero",
                     x,
@@ -493,8 +650,11 @@ fn try_match(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                 _ => None,
             } {
                 if let Some(def) = ctx.def_of(ptr) {
-                    if let Inst::Gep { inbounds: ib1, ptr: base, offset: Value::Const(c1 @ Const::Int { .. }) } =
-                        def.2
+                    if let Inst::Gep {
+                        inbounds: ib1,
+                        ptr: base,
+                        offset: Value::Const(c1 @ Const::Int { .. }),
+                    } = def.2
                     {
                         if let Some(c3) =
                             crellvm_core::rules_arith::fold_bin(BinOp::Add, Type::I64, c1, c2)
@@ -549,10 +709,21 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                 // sub-const-add: (a + C1) - C2 → a + (C1 - C2).
                 BinOp::Sub => {
                     if let (Some((_, c2)), Some(def)) = (cint(rhs), ctx.def_of(lhs)) {
-                        if let Inst::Bin { op: BinOp::Add, ty: t1, lhs: a, rhs: c1v } = def.2 {
+                        if let Inst::Bin {
+                            op: BinOp::Add,
+                            ty: t1,
+                            lhs: a,
+                            rhs: c1v,
+                        } = def.2
+                        {
                             if *t1 == ty {
                                 if let Some((_, c1)) = cint(c1v) {
-                                    let c3 = crellvm_core::rules_arith::fold_bin(BinOp::Sub, ty, c1, c2)?;
+                                    let c3 = crellvm_core::rules_arith::fold_bin(
+                                        BinOp::Sub,
+                                        ty,
+                                        c1,
+                                        c2,
+                                    )?;
                                     let rule = CompositeRule::SubConstAdd {
                                         side: Side::Src,
                                         ty,
@@ -579,9 +750,24 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                     }
                     // sub-const-not: C - ¬a → a + (C+1).
                     if let (Some((_, c)), Some(def)) = (cint(lhs), ctx.def_of(rhs)) {
-                        if let Inst::Bin { op: BinOp::Xor, ty: t1, lhs: a, rhs: m } = def.2 {
-                            if *t1 == ty && cint(m).map(|(t, k)| *k == Const::int(t, -1)).unwrap_or(false) {
-                                let cp1 = crellvm_core::rules_arith::fold_bin(BinOp::Add, ty, c, &Const::int(ty, 1))?;
+                        if let Inst::Bin {
+                            op: BinOp::Xor,
+                            ty: t1,
+                            lhs: a,
+                            rhs: m,
+                        } = def.2
+                        {
+                            if *t1 == ty
+                                && cint(m)
+                                    .map(|(t, k)| *k == Const::int(t, -1))
+                                    .unwrap_or(false)
+                            {
+                                let cp1 = crellvm_core::rules_arith::fold_bin(
+                                    BinOp::Add,
+                                    ty,
+                                    c,
+                                    &Const::int(ty, 1),
+                                )?;
                                 let rule = CompositeRule::SubConstNot {
                                     side: Side::Src,
                                     ty,
@@ -606,7 +792,13 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                     }
                     // sub-sub: a - (a - b) → b.
                     if let Some(def) = ctx.def_of(rhs) {
-                        if let Inst::Bin { op: BinOp::Sub, ty: t1, lhs: a, rhs: b } = def.2 {
+                        if let Inst::Bin {
+                            op: BinOp::Sub,
+                            ty: t1,
+                            lhs: a,
+                            rhs: b,
+                        } = def.2
+                        {
                             if *t1 == ty && a == lhs {
                                 let rule = CompositeRule::SubSub {
                                     side: Side::Src,
@@ -628,11 +820,24 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                     // sub-or-xor: (a|b) - (a^b) → a & b.
                     if let (Some(d1), Some(d2)) = (ctx.def_of(lhs), ctx.def_of(rhs)) {
                         if let (
-                            Inst::Bin { op: BinOp::Or, ty: ta, lhs: a1, rhs: b1 },
-                            Inst::Bin { op: BinOp::Xor, ty: tb, lhs: a2, rhs: b2 },
+                            Inst::Bin {
+                                op: BinOp::Or,
+                                ty: ta,
+                                lhs: a1,
+                                rhs: b1,
+                            },
+                            Inst::Bin {
+                                op: BinOp::Xor,
+                                ty: tb,
+                                lhs: a2,
+                                rhs: b2,
+                            },
                         ) = (d1.2, d2.2)
                         {
-                            if *ta == ty && *tb == ty && ((a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)) {
+                            if *ta == ty
+                                && *tb == ty
+                                && ((a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2))
+                            {
                                 let rule = CompositeRule::SubOrXor {
                                     side: Side::Src,
                                     ty,
@@ -662,9 +867,17 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                 BinOp::Add => {
                     for (t, other) in [(lhs, rhs), (rhs, lhs)] {
                         if let (Some(def), Some((_, c))) = (ctx.def_of(t), cint(other)) {
-                            if let Inst::Bin { op: BinOp::Xor, ty: t1, lhs: a, rhs: m } = def.2 {
+                            if let Inst::Bin {
+                                op: BinOp::Xor,
+                                ty: t1,
+                                lhs: a,
+                                rhs: m,
+                            } = def.2
+                            {
                                 if *t1 == ty
-                                    && cint(m).map(|(tt, k)| *k == Const::int(tt, -1)).unwrap_or(false)
+                                    && cint(m)
+                                        .map(|(tt, k)| *k == Const::int(tt, -1))
+                                        .unwrap_or(false)
                                 {
                                     let cm1 = crellvm_core::rules_arith::fold_bin(
                                         BinOp::Sub,
@@ -699,12 +912,21 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                         for (da, db, sw) in [(d1, d2, false), (d2, d1, true)] {
                             let (first, second) = if sw { (rhs, lhs) } else { (lhs, rhs) };
                             if let (
-                                Inst::Bin { op: op1, ty: ta, lhs: a1, rhs: b1 },
-                                Inst::Bin { op: BinOp::And, ty: tb, lhs: a2, rhs: b2 },
+                                Inst::Bin {
+                                    op: op1,
+                                    ty: ta,
+                                    lhs: a1,
+                                    rhs: b1,
+                                },
+                                Inst::Bin {
+                                    op: BinOp::And,
+                                    ty: tb,
+                                    lhs: a2,
+                                    rhs: b2,
+                                },
                             ) = (da.2, db.2)
                             {
-                                let same_ops =
-                                    (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2);
+                                let same_ops = (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2);
                                 if *ta == ty && *tb == ty && same_ops {
                                     if *op1 == BinOp::Xor {
                                         let rule = CompositeRule::AddXorAnd {
@@ -757,13 +979,21 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                     None
                 }
                 // or-xor: (a ^ b) | b → a | b; or-and-xor: (a&b)|(a^b) → a|b.
-                BinOp::Or if {
-                    // quick probe: either operand defined by xor/and.
-                    ctx.def_of(lhs).is_some() || ctx.def_of(rhs).is_some()
-                } => {
+                BinOp::Or
+                    if {
+                        // quick probe: either operand defined by xor/and.
+                        ctx.def_of(lhs).is_some() || ctx.def_of(rhs).is_some()
+                    } =>
+                {
                     for (t, other) in [(lhs, rhs), (rhs, lhs)] {
                         if let Some(def) = ctx.def_of(t) {
-                            if let Inst::Bin { op: BinOp::Xor, ty: t1, lhs: a, rhs: b } = def.2 {
+                            if let Inst::Bin {
+                                op: BinOp::Xor,
+                                ty: t1,
+                                lhs: a,
+                                rhs: b,
+                            } = def.2
+                            {
                                 if *t1 == ty && (b == other || a == other) {
                                     let kept = if b == other { a } else { b };
                                     let rule = CompositeRule::OrXor {
@@ -791,8 +1021,18 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                     }
                     if let (Some(d1), Some(d2)) = (ctx.def_of(lhs), ctx.def_of(rhs)) {
                         if let (
-                            Inst::Bin { op: BinOp::And, ty: ta, lhs: a1, rhs: b1 },
-                            Inst::Bin { op: BinOp::Xor, ty: tb, lhs: a2, rhs: b2 },
+                            Inst::Bin {
+                                op: BinOp::And,
+                                ty: ta,
+                                lhs: a1,
+                                rhs: b1,
+                            },
+                            Inst::Bin {
+                                op: BinOp::Xor,
+                                ty: tb,
+                                lhs: a2,
+                                rhs: b2,
+                            },
                         ) = (d1.2, d2.2)
                         {
                             if *ta == ty
@@ -826,7 +1066,13 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                     let inner_op = BinOp::And;
                     for (t, a) in [(rhs, lhs), (lhs, rhs)] {
                         if let Some(def) = ctx.def_of(t) {
-                            if let Inst::Bin { op: iop, ty: t1, lhs: ia, rhs: ib } = def.2 {
+                            if let Inst::Bin {
+                                op: iop,
+                                ty: t1,
+                                lhs: ia,
+                                rhs: ib,
+                            } = def.2
+                            {
                                 if *iop == inner_op && *t1 == ty && (ia == a || ib == a) {
                                     let b = if ia == a { ib } else { ia };
                                     let rule = CompositeRule::OrAndAbsorb {
@@ -851,10 +1097,20 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                 }
                 // and-or / or-and absorption.
                 BinOp::And | BinOp::Or => {
-                    let inner_op = if *op == BinOp::And { BinOp::Or } else { BinOp::And };
+                    let inner_op = if *op == BinOp::And {
+                        BinOp::Or
+                    } else {
+                        BinOp::And
+                    };
                     for (t, a) in [(rhs, lhs), (lhs, rhs)] {
                         if let Some(def) = ctx.def_of(t) {
-                            if let Inst::Bin { op: iop, ty: t1, lhs: ia, rhs: ib } = def.2 {
+                            if let Inst::Bin {
+                                op: iop,
+                                ty: t1,
+                                lhs: ia,
+                                rhs: ib,
+                            } = def.2
+                            {
                                 if *iop == inner_op && *t1 == ty && (ia == a || ib == a) {
                                     let b = if ia == a { ib } else { ia };
                                     let (name, rule) = if *op == BinOp::And {
@@ -898,12 +1154,24 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                 BinOp::Mul => {
                     if let (Some(d1), Some(d2)) = (ctx.def_of(lhs), ctx.def_of(rhs)) {
                         if let (
-                            Inst::Bin { op: BinOp::Sub, ty: ta, lhs: z1, rhs: a },
-                            Inst::Bin { op: BinOp::Sub, ty: tb, lhs: z2, rhs: b },
+                            Inst::Bin {
+                                op: BinOp::Sub,
+                                ty: ta,
+                                lhs: z1,
+                                rhs: a,
+                            },
+                            Inst::Bin {
+                                op: BinOp::Sub,
+                                ty: tb,
+                                lhs: z2,
+                                rhs: b,
+                            },
                         ) = (d1.2, d2.2)
                         {
                             let zero = |v: &Value| {
-                                cint(v).map(|(t, c)| *c == Const::int(t, 0)).unwrap_or(false)
+                                cint(v)
+                                    .map(|(t, c)| *c == Const::int(t, 0))
+                                    .unwrap_or(false)
                             };
                             if *ta == ty && *tb == ty && zero(z1) && zero(z2) {
                                 let rule = CompositeRule::MulNeg {
@@ -934,10 +1202,17 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                 // shl-shl: (a << C1) << C2 → a << (C1+C2).
                 BinOp::Shl => {
                     if let (Some((_, c2)), Some(def)) = (cint(rhs), ctx.def_of(lhs)) {
-                        if let Inst::Bin { op: BinOp::Shl, ty: t1, lhs: a, rhs: c1v } = def.2 {
+                        if let Inst::Bin {
+                            op: BinOp::Shl,
+                            ty: t1,
+                            lhs: a,
+                            rhs: c1v,
+                        } = def.2
+                        {
                             if *t1 == ty {
                                 if let Some((_, c1)) = cint(c1v) {
-                                    let (Const::Int { bits: b1, .. }, Const::Int { bits: b2, .. }) = (c1, c2)
+                                    let (Const::Int { bits: b1, .. }, Const::Int { bits: b2, .. }) =
+                                        (c1, c2)
                                     else {
                                         return None;
                                     };
@@ -982,9 +1257,18 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
             };
             let ty = *ty;
             // icmp-eq-sub: (a - b) ==/!= 0 → a ==/!= b.
-            if cint(rhs).map(|(t, c)| *c == Const::int(t, 0)).unwrap_or(false) {
+            if cint(rhs)
+                .map(|(t, c)| *c == Const::int(t, 0))
+                .unwrap_or(false)
+            {
                 if let Some(def) = ctx.def_of(lhs) {
-                    if let Inst::Bin { op: BinOp::Sub, ty: t1, lhs: a, rhs: b } = def.2 {
+                    if let Inst::Bin {
+                        op: BinOp::Sub,
+                        ty: t1,
+                        lhs: a,
+                        rhs: b,
+                    } = def.2
+                    {
                         if *t1 == ty {
                             let rule = CompositeRule::IcmpEqSub {
                                 side: Side::Src,
@@ -1014,14 +1298,28 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
             // icmp-eq-add-add / icmp-eq-xor-xor: cancel a common operand.
             if let (Some(d1), Some(d2)) = (ctx.def_of(lhs), ctx.def_of(rhs)) {
                 if let (
-                    Inst::Bin { op: o1, ty: ta, lhs: a1, rhs: c1 },
-                    Inst::Bin { op: o2, ty: tb, lhs: a2, rhs: c2 },
+                    Inst::Bin {
+                        op: o1,
+                        ty: ta,
+                        lhs: a1,
+                        rhs: c1,
+                    },
+                    Inst::Bin {
+                        op: o2,
+                        ty: tb,
+                        lhs: a2,
+                        rhs: c2,
+                    },
                 ) = (d1.2, d2.2)
                 {
                     if o1 == o2 && *ta == ty && *tb == ty && c1 == c2 {
                         let rule = match o1 {
                             BinOp::Add => Some((
-                                if ne { "icmp-ne-add-add" } else { "icmp-eq-add-add" },
+                                if ne {
+                                    "icmp-ne-add-add"
+                                } else {
+                                    "icmp-eq-add-add"
+                                },
                                 CompositeRule::IcmpEqAddAdd {
                                     side: Side::Src,
                                     ty,
@@ -1035,7 +1333,11 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                                 },
                             )),
                             BinOp::Xor => Some((
-                                if ne { "icmp-ne-xor-xor" } else { "icmp-eq-xor-xor" },
+                                if ne {
+                                    "icmp-ne-xor-xor"
+                                } else {
+                                    "icmp-eq-xor-xor"
+                                },
                                 CompositeRule::IcmpEqXorXor {
                                     side: Side::Src,
                                     ty,
@@ -1068,9 +1370,20 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
             }
             None
         }
-        Inst::Select { ty, cond, on_true, on_false } => {
+        Inst::Select {
+            ty,
+            cond,
+            on_true,
+            on_false,
+        } => {
             let def = ctx.def_of(cond)?;
-            if let Inst::Icmp { pred, ty: cty, lhs: a, rhs: b } = def.2 {
+            if let Inst::Icmp {
+                pred,
+                ty: cty,
+                lhs: a,
+                rhs: b,
+            } = def.2
+            {
                 let ne = match pred {
                     IcmpPred::Eq => false,
                     IcmpPred::Ne => true,
@@ -1086,18 +1399,42 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                         b: tv(b),
                         ne,
                     };
-                    let kept = if ne { on_true.clone() } else { on_false.clone() };
-                    let name = if ne { "select-icmp-ne" } else { "select-icmp-eq" };
-                    return Some(comp(name, Action::ReplaceWith(kept), rule, vec![def_premise(cond, def)]));
+                    let kept = if ne {
+                        on_true.clone()
+                    } else {
+                        on_false.clone()
+                    };
+                    let name = if ne {
+                        "select-icmp-ne"
+                    } else {
+                        "select-icmp-eq"
+                    };
+                    return Some(comp(
+                        name,
+                        Action::ReplaceWith(kept),
+                        rule,
+                        vec![def_premise(cond, def)],
+                    ));
                 }
             }
             None
         }
-        Inst::Cast { op: CastOp::Zext, from, val, to } => {
+        Inst::Cast {
+            op: CastOp::Zext,
+            from,
+            val,
+            to,
+        } => {
             // zext-trunc-and: zext(trunc a to S) to B → a & mask, when the
             // original type equals B.
             let def = ctx.def_of(val)?;
-            if let Inst::Cast { op: CastOp::Trunc, from: big, val: a, to: small } = def.2 {
+            if let Inst::Cast {
+                op: CastOp::Trunc,
+                from: big,
+                val: a,
+                to: small,
+            } = def.2
+            {
                 if small == from && big == to {
                     let rule = CompositeRule::ZextTruncAnd {
                         side: Side::Src,
@@ -1107,7 +1444,10 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
                         y: TValue::phy(x),
                         a: tv(a),
                     };
-                    let mask = Const::Int { ty: *big, bits: small.mask() };
+                    let mask = Const::Int {
+                        ty: *big,
+                        bits: small.mask(),
+                    };
                     return Some(comp(
                         "zext-trunc-and",
                         Action::ReplaceInst(Inst::Bin {
@@ -1128,8 +1468,18 @@ fn try_match_composite(ctx: &Ctx<'_>, stmt: &Stmt) -> Option<Match> {
 }
 
 /// One instcombine sweep over a function, producing the proof unit.
-pub fn instcombine_function(f: &Function, _config: &PassConfig) -> ProofUnit {
+pub fn instcombine_function(f: &Function, config: &PassConfig) -> ProofUnit {
+    instcombine_function_traced(f, config, &crellvm_telemetry::Telemetry::disabled())
+}
+
+/// [`instcombine_function`] recording per-micro-rule hit counters into `tel`.
+pub fn instcombine_function_traced(
+    f: &Function,
+    config: &PassConfig,
+    tel: &crellvm_telemetry::Telemetry,
+) -> ProofUnit {
     let mut pb = ProofBuilder::new("instcombine", f);
+    pb.set_recording(config.gen_proofs);
     if let Some(reason) = crate::util::ns_reason(f, "instcombine") {
         pb.mark_not_supported(reason);
         return pb.finish();
@@ -1155,6 +1505,9 @@ pub fn instcombine_function(f: &Function, _config: &PassConfig) -> ProofUnit {
                 continue;
             };
             let x = stmt.result.expect("matched statements have results");
+            // Per-micro-rule hit counts: the x-axis of the paper's Fig 7.
+            tel.count("pass.instcombine.rewrites", 1);
+            tel.count(&format!("pass.instcombine.rule.{}", m.name), 1);
 
             // Premise ranges from operand definitions to this row.
             let to_loc = {
@@ -1207,7 +1560,6 @@ pub fn instcombine_function(f: &Function, _config: &PassConfig) -> ProofUnit {
                     // Operands may have been deleted by earlier rewrites.
                     inst.for_each_value_mut(|v| *v = resolve(v, &replaced));
                     pb.replace_tgt(b, i, inst);
-                    let _ = m.name;
                 }
                 Action::ReplaceWith(v) => {
                     let v = resolve(&v, &replaced);
@@ -1266,6 +1618,7 @@ pub fn instcombine_function(f: &Function, _config: &PassConfig) -> ProofUnit {
             Some((b, i, r)) => {
                 pb.delete_tgt(b, i);
                 pb.global_maydiff(crellvm_core::TReg::Phy(r));
+                tel.count("pass.instcombine.rule.dead-code-elim", 1);
             }
             None => break,
         }
@@ -1317,14 +1670,21 @@ mod tests {
         let y = &f.blocks[0].stmts[0].inst;
         assert_eq!(
             *y,
-            Inst::Bin { op: BinOp::Add, ty: Type::I32, lhs: Value::Reg(f.params[0].1), rhs: Value::int(Type::I32, 3) }
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Type::I32,
+                lhs: Value::Reg(f.params[0].1),
+                rhs: Value::int(Type::I32, 3)
+            }
         );
         assert_all_valid(&out);
     }
 
     #[test]
     fn add_zero_removes_instruction() {
-        let out = run(&main_fn("  %x = add i32 %a, 0\n  call void @print(i32 %x)\n"));
+        let out = run(&main_fn(
+            "  %x = add i32 %a, 0\n  call void @print(i32 %x)\n",
+        ));
         let f = out.module.function("main").unwrap();
         assert_eq!(f.blocks[0].stmts.len(), 1, "{f}");
         assert_all_valid(&out);
@@ -1347,7 +1707,9 @@ mod tests {
 
     #[test]
     fn constant_folding() {
-        let out = run(&main_fn("  %x = add i32 20, 22\n  call void @print(i32 %x)\n"));
+        let out = run(&main_fn(
+            "  %x = add i32 20, 22\n  call void @print(i32 %x)\n",
+        ));
         let f = out.module.function("main").unwrap();
         match &f.blocks[0].stmts[0].inst {
             Inst::Call { args, .. } => assert_eq!(args[0].1, Value::int(Type::I32, 42)),
@@ -1358,9 +1720,14 @@ mod tests {
 
     #[test]
     fn mul_shl_strength_reduction() {
-        let out = run(&main_fn("  %x = mul i32 %a, 8\n  call void @print(i32 %x)\n"));
+        let out = run(&main_fn(
+            "  %x = mul i32 %a, 8\n  call void @print(i32 %x)\n",
+        ));
         let f = out.module.function("main").unwrap();
-        assert!(matches!(f.blocks[0].stmts[0].inst, Inst::Bin { op: BinOp::Shl, .. }), "{f}");
+        assert!(
+            matches!(f.blocks[0].stmts[0].inst, Inst::Bin { op: BinOp::Shl, .. }),
+            "{f}"
+        );
         assert_all_valid(&out);
     }
 
@@ -1395,8 +1762,7 @@ mod tests {
 
     #[test]
     fn cast_compositions() {
-        let out = run(
-            r#"
+        let out = run(r#"
             declare @print64(i64)
             define @main(i8 %v) {
             entry:
@@ -1405,12 +1771,19 @@ mod tests {
               call void @print64(i64 %x)
               ret void
             }
-            "#,
-        );
+            "#);
         let f = out.module.function("main").unwrap();
         // x := zext i8 %v to i64 directly; the intermediate w is dead.
         assert!(
-            matches!(&f.blocks[0].stmts[0].inst, Inst::Cast { op: CastOp::Zext, from: Type::I8, to: Type::I64, .. }),
+            matches!(
+                &f.blocks[0].stmts[0].inst,
+                Inst::Cast {
+                    op: CastOp::Zext,
+                    from: Type::I8,
+                    to: Type::I64,
+                    ..
+                }
+            ),
             "{f}"
         );
         assert_all_valid(&out);
@@ -1418,8 +1791,7 @@ mod tests {
 
     #[test]
     fn zext_trunc_roundtrip_removed() {
-        let out = run(
-            r#"
+        let out = run(r#"
             declare @print(i32)
             define @main(i32 %v) {
             entry:
@@ -1428,8 +1800,7 @@ mod tests {
               call void @print(i32 %x)
               ret void
             }
-            "#,
-        );
+            "#);
         let f = out.module.function("main").unwrap();
         // x deleted, w dead-code-eliminated, print uses %v.
         assert_eq!(f.blocks[0].stmts.len(), 1, "{f}");
@@ -1442,8 +1813,7 @@ mod tests {
 
     #[test]
     fn gep_folds() {
-        let out = run(
-            r#"
+        let out = run(r#"
             declare @sink(ptr)
             define @main(ptr %p) {
             entry:
@@ -1454,12 +1824,18 @@ mod tests {
               call void @sink(ptr %z)
               ret void
             }
-            "#,
-        );
+            "#);
         let f = out.module.function("main").unwrap();
         // r := gep inbounds p, 5 (q became dead); z deleted (uses p).
         assert!(
-            matches!(&f.blocks[0].stmts[0].inst, Inst::Gep { inbounds: true, offset: Value::Const(Const::Int { bits: 5, .. }), .. }),
+            matches!(
+                &f.blocks[0].stmts[0].inst,
+                Inst::Gep {
+                    inbounds: true,
+                    offset: Value::Const(Const::Int { bits: 5, .. }),
+                    ..
+                }
+            ),
             "{f}"
         );
         assert_all_valid(&out);
@@ -1487,8 +1863,7 @@ mod tests {
 
     #[test]
     fn replaced_register_feeding_phi() {
-        let out = run(
-            r#"
+        let out = run(r#"
             declare @print(i32)
             define @main(i32 %a, i1 %c) {
             entry:
@@ -1503,8 +1878,7 @@ mod tests {
               call void @print(i32 %p)
               ret void
             }
-            "#,
-        );
+            "#);
         let f = out.module.function("main").unwrap();
         let j = f.block_by_name("j").unwrap();
         let (_, phi) = &f.block(j).phis[0];
@@ -1520,7 +1894,10 @@ mod tests {
         )
         .unwrap();
         let out = instcombine(&m, &PassConfig::default());
-        assert!(matches!(validate(&out.proofs[0]), Ok(Verdict::NotSupported(_))));
+        assert!(matches!(
+            validate(&out.proofs[0]),
+            Ok(Verdict::NotSupported(_))
+        ));
     }
 }
 
@@ -1548,16 +1925,22 @@ mod composite_tests {
     }
 
     fn body(stmts: &str) -> String {
-        format!("declare @print(i32)\ndefine @main(i32 %a, i32 %b) {{\nentry:\n{stmts}  ret void\n}}\n")
+        format!(
+            "declare @print(i32)\ndefine @main(i32 %a, i32 %b) {{\nentry:\n{stmts}  ret void\n}}\n"
+        )
     }
 
     fn first_inst(out: &PassOutcome) -> Inst {
-        out.module.function("main").unwrap().blocks[0].stmts[0].inst.clone()
+        out.module.function("main").unwrap().blocks[0].stmts[0]
+            .inst
+            .clone()
     }
 
     #[test]
     fn sub_const_add() {
-        let out = run(&body("  %t = add i32 %a, 10\n  %y = sub i32 %t, 3\n  call void @print(i32 %y)\n"));
+        let out = run(&body(
+            "  %t = add i32 %a, 10\n  %y = sub i32 %t, 3\n  call void @print(i32 %y)\n",
+        ));
         assert_eq!(
             first_inst(&out),
             Inst::Bin {
@@ -1571,7 +1954,9 @@ mod composite_tests {
 
     #[test]
     fn add_const_not_and_sub_const_not() {
-        let out = run(&body("  %t = xor i32 %a, -1\n  %y = add i32 %t, 5\n  call void @print(i32 %y)\n"));
+        let out = run(&body(
+            "  %t = xor i32 %a, -1\n  %y = add i32 %t, 5\n  call void @print(i32 %y)\n",
+        ));
         // ¬a + 5 = (5-1) - a = 4 - a.
         assert_eq!(
             first_inst(&out),
@@ -1582,7 +1967,9 @@ mod composite_tests {
                 rhs: Value::Reg(out.module.function("main").unwrap().params[0].1),
             }
         );
-        let out = run(&body("  %t = xor i32 %a, -1\n  %y = sub i32 9, %t\n  call void @print(i32 %y)\n"));
+        let out = run(&body(
+            "  %t = xor i32 %a, -1\n  %y = sub i32 9, %t\n  call void @print(i32 %y)\n",
+        ));
         // 9 - ¬a = a + 10.
         assert_eq!(
             first_inst(&out),
@@ -1614,13 +2001,20 @@ mod composite_tests {
         let f = out.module.function("main").unwrap();
         assert_eq!(
             first_inst(&out),
-            Inst::Bin { op: BinOp::Add, ty: Type::I32, lhs: Value::Reg(f.params[0].1), rhs: Value::Reg(f.params[1].1) }
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Type::I32,
+                lhs: Value::Reg(f.params[0].1),
+                rhs: Value::Reg(f.params[1].1)
+            }
         );
     }
 
     #[test]
     fn absorption_laws() {
-        let out = run(&body("  %o = or i32 %a, %b\n  %y = and i32 %a, %o\n  call void @print(i32 %y)\n"));
+        let out = run(&body(
+            "  %o = or i32 %a, %b\n  %y = and i32 %a, %o\n  call void @print(i32 %y)\n",
+        ));
         // Folds to a; the or becomes dead.
         let f = out.module.function("main").unwrap();
         assert_eq!(f.blocks[0].stmts.len(), 1, "{f}");
@@ -1628,7 +2022,9 @@ mod composite_tests {
             Inst::Call { args, .. } => assert_eq!(args[0].1, Value::Reg(f.params[0].1)),
             other => panic!("unexpected {other:?}"),
         }
-        let out = run(&body("  %o = and i32 %b, %a\n  %y = or i32 %a, %o\n  call void @print(i32 %y)\n"));
+        let out = run(&body(
+            "  %o = and i32 %b, %a\n  %y = or i32 %a, %o\n  call void @print(i32 %y)\n",
+        ));
         let f = out.module.function("main").unwrap();
         assert_eq!(f.blocks[0].stmts.len(), 1, "{f}");
     }
@@ -1641,29 +2037,63 @@ mod composite_tests {
         let f = out.module.function("main").unwrap();
         assert_eq!(
             first_inst(&out),
-            Inst::Bin { op: BinOp::Mul, ty: Type::I32, lhs: Value::Reg(f.params[0].1), rhs: Value::Reg(f.params[1].1) }
+            Inst::Bin {
+                op: BinOp::Mul,
+                ty: Type::I32,
+                lhs: Value::Reg(f.params[0].1),
+                rhs: Value::Reg(f.params[1].1)
+            }
         );
-        let out = run(&body("  %t = shl i32 %a, 3\n  %y = shl i32 %t, 4\n  call void @print(i32 %y)\n"));
+        let out = run(&body(
+            "  %t = shl i32 %a, 3\n  %y = shl i32 %t, 4\n  call void @print(i32 %y)\n",
+        ));
         assert!(matches!(
             first_inst(&out),
-            Inst::Bin { op: BinOp::Shl, rhs: Value::Const(Const::Int { bits: 7, .. }), .. }
+            Inst::Bin {
+                op: BinOp::Shl,
+                rhs: Value::Const(Const::Int { bits: 7, .. }),
+                ..
+            }
         ));
         // Overflowing combined shift is NOT folded.
-        let out = run(&body("  %t = shl i32 %a, 20\n  %y = shl i32 %t, 15\n  call void @print(i32 %y)\n"));
-        assert_eq!(out.module.function("main").unwrap().blocks[0].stmts.len(), 3);
+        let out = run(&body(
+            "  %t = shl i32 %a, 20\n  %y = shl i32 %t, 15\n  call void @print(i32 %y)\n",
+        ));
+        assert_eq!(
+            out.module.function("main").unwrap().blocks[0].stmts.len(),
+            3
+        );
     }
 
     #[test]
     fn icmp_cancellation_family() {
         let out = run(&body("  %t = sub i32 %a, %b\n  %y = icmp eq i32 %t, 0\n  %z = select i1 %y, i32 1, i32 2\n  call void @print(i32 %z)\n"));
         let f = out.module.function("main").unwrap();
-        assert!(matches!(&f.blocks[0].stmts[0].inst, Inst::Icmp { pred: IcmpPred::Eq, .. }), "{f}");
+        assert!(
+            matches!(
+                &f.blocks[0].stmts[0].inst,
+                Inst::Icmp {
+                    pred: IcmpPred::Eq,
+                    ..
+                }
+            ),
+            "{f}"
+        );
 
         let out = run(&body(
             "  %t1 = add i32 %a, 7\n  %t2 = add i32 %b, 7\n  %y = icmp ne i32 %t1, %t2\n  %z = select i1 %y, i32 1, i32 2\n  call void @print(i32 %z)\n",
         ));
         let f = out.module.function("main").unwrap();
-        assert!(matches!(&f.blocks[0].stmts[0].inst, Inst::Icmp { pred: IcmpPred::Ne, .. }), "{f}");
+        assert!(
+            matches!(
+                &f.blocks[0].stmts[0].inst,
+                Inst::Icmp {
+                    pred: IcmpPred::Ne,
+                    ..
+                }
+            ),
+            "{f}"
+        );
 
         let out = run(&body(
             "  %t1 = xor i32 %a, %b\n  %t2 = xor i32 %b, %b\n  %y = icmp eq i32 %t1, %t2\n  %z = select i1 %y, i32 1, i32 2\n  call void @print(i32 %z)\n",
@@ -1716,12 +2146,27 @@ mod composite_tests {
 
     #[test]
     fn division_identities() {
-        let out = run(&body("  %y = sdiv i32 %a, -1\n  call void @print(i32 %y)\n"));
-        assert!(matches!(first_inst(&out), Inst::Bin { op: BinOp::Sub, lhs: Value::Const(_), .. }));
-        let out = run(&body("  %y = udiv i32 %a, 16\n  call void @print(i32 %y)\n"));
+        let out = run(&body(
+            "  %y = sdiv i32 %a, -1\n  call void @print(i32 %y)\n",
+        ));
         assert!(matches!(
             first_inst(&out),
-            Inst::Bin { op: BinOp::LShr, rhs: Value::Const(Const::Int { bits: 4, .. }), .. }
+            Inst::Bin {
+                op: BinOp::Sub,
+                lhs: Value::Const(_),
+                ..
+            }
+        ));
+        let out = run(&body(
+            "  %y = udiv i32 %a, 16\n  call void @print(i32 %y)\n",
+        ));
+        assert!(matches!(
+            first_inst(&out),
+            Inst::Bin {
+                op: BinOp::LShr,
+                rhs: Value::Const(Const::Int { bits: 4, .. }),
+                ..
+            }
         ));
         let out = run(&body("  %y = srem i32 %a, 1\n  call void @print(i32 %y)\n"));
         let f = out.module.function("main").unwrap();
@@ -1771,13 +2216,21 @@ mod composite_tests2 {
         let f = run("  %t = xor i32 %a, %b\n  %y = or i32 %t, %b\n  call void @print(i32 %y)\n");
         assert_eq!(
             f.blocks[0].stmts[0].inst,
-            Inst::Bin { op: BinOp::Or, ty: Type::I32, lhs: Value::Reg(f.params[0].1), rhs: Value::Reg(f.params[1].1) },
+            Inst::Bin {
+                op: BinOp::Or,
+                ty: Type::I32,
+                lhs: Value::Reg(f.params[0].1),
+                rhs: Value::Reg(f.params[1].1)
+            },
             "{f}"
         );
         let f = run(
             "  %n = and i32 %a, %b\n  %t = xor i32 %a, %b\n  %y = or i32 %n, %t\n  call void @print(i32 %y)\n",
         );
-        assert!(matches!(f.blocks[0].stmts[0].inst, Inst::Bin { op: BinOp::Or, .. }), "{f}");
+        assert!(
+            matches!(f.blocks[0].stmts[0].inst, Inst::Bin { op: BinOp::Or, .. }),
+            "{f}"
+        );
     }
 
     #[test]
@@ -1794,11 +2247,19 @@ mod composite_tests2 {
     #[test]
     fn add_signbit_and_sub_mone() {
         let f = run("  %y = add i32 %a, -2147483648\n  call void @print(i32 %y)\n");
-        assert!(matches!(f.blocks[0].stmts[0].inst, Inst::Bin { op: BinOp::Xor, .. }), "{f}");
+        assert!(
+            matches!(f.blocks[0].stmts[0].inst, Inst::Bin { op: BinOp::Xor, .. }),
+            "{f}"
+        );
         let f = run("  %y = sub i32 -1, %a\n  call void @print(i32 %y)\n");
         assert_eq!(
             f.blocks[0].stmts[0].inst,
-            Inst::Bin { op: BinOp::Xor, ty: Type::I32, lhs: Value::Reg(f.params[0].1), rhs: Value::int(Type::I32, -1) },
+            Inst::Bin {
+                op: BinOp::Xor,
+                ty: Type::I32,
+                lhs: Value::Reg(f.params[0].1),
+                rhs: Value::int(Type::I32, -1)
+            },
             "{f}"
         );
     }

@@ -63,8 +63,8 @@ pub mod pipeline;
 pub(crate) mod util;
 
 pub use config::{BugSet, PassConfig, PassOutcome};
-pub use gvn::gvn;
-pub use instcombine::instcombine;
-pub use licm::licm;
-pub use mem2reg::mem2reg;
-pub use pipeline::{run_pipeline, PipelineReport, ProofFormat, StepRecord};
+pub use gvn::{gvn, gvn_traced};
+pub use instcombine::{instcombine, instcombine_traced};
+pub use licm::{licm, licm_traced};
+pub use mem2reg::{mem2reg, mem2reg_traced};
+pub use pipeline::{run_pipeline, run_pipeline_traced, PipelineReport, ProofFormat, StepRecord};

@@ -21,14 +21,26 @@ use std::collections::HashSet;
 
 /// Run LICM over every function of a module.
 pub fn licm(module: &Module, config: &PassConfig) -> PassOutcome {
+    licm_traced(module, config, &crellvm_telemetry::Telemetry::disabled())
+}
+
+/// [`licm`] recording domain counters (`pass.licm.*`) into `tel`.
+pub fn licm_traced(
+    module: &Module,
+    config: &PassConfig,
+    tel: &crellvm_telemetry::Telemetry,
+) -> PassOutcome {
     let mut out = module.clone();
     let mut proofs = Vec::new();
     for f in &module.functions {
-        let unit = licm_function(f, config);
+        let unit = licm_function_traced(f, config, tel);
         *out.function_mut(&f.name).expect("function exists") = unit.tgt.clone();
         proofs.push(unit);
     }
-    PassOutcome { module: out, proofs }
+    PassOutcome {
+        module: out,
+        proofs,
+    }
 }
 
 /// A natural loop: header, unique preheader, and body blocks.
@@ -71,15 +83,29 @@ pub fn natural_loops(f: &Function, cfg: &Cfg, dom: &DomTree) -> Vec<NaturalLoop>
             if outside.len() != 1 {
                 continue; // no unique preheader
             }
-            loops.push(NaturalLoop { header, preheader: outside[0], blocks });
+            loops.push(NaturalLoop {
+                header,
+                preheader: outside[0],
+                blocks,
+            });
         }
     }
     loops
 }
 
 /// Run LICM on one function, producing the proof unit.
-pub fn licm_function(f: &Function, _config: &PassConfig) -> ProofUnit {
+pub fn licm_function(f: &Function, config: &PassConfig) -> ProofUnit {
+    licm_function_traced(f, config, &crellvm_telemetry::Telemetry::disabled())
+}
+
+/// [`licm_function`] recording domain counters into `tel`.
+pub fn licm_function_traced(
+    f: &Function,
+    config: &PassConfig,
+    tel: &crellvm_telemetry::Telemetry,
+) -> ProofUnit {
     let mut pb = ProofBuilder::new("licm", f);
+    pb.set_recording(config.gen_proofs);
     if let Some(reason) = crate::util::ns_reason(f, "licm") {
         pb.mark_not_supported(reason);
         return pb.finish();
@@ -134,7 +160,11 @@ pub fn licm_function(f: &Function, _config: &PassConfig) -> ProofUnit {
                 if !latches.iter().all(|latch| dom.dominates(b, *latch)) {
                     continue;
                 }
-                let invariant = stmt.inst.used_regs().iter().all(|r| !defined_in_loop(*r, &hoisted));
+                let invariant = stmt
+                    .inst
+                    .used_regs()
+                    .iter()
+                    .all(|r| !defined_in_loop(*r, &hoisted));
                 if !invariant {
                     continue;
                 }
@@ -145,6 +175,7 @@ pub fn licm_function(f: &Function, _config: &PassConfig) -> ProofUnit {
                 let row = pb.append_tgt(ph, stmt.clone());
                 pb.delete_tgt(b.index(), i);
                 pb.global_maydiff(crellvm_core::TReg::Phy(x));
+                tel.count("pass.licm.hoisted", 1);
 
                 // Proof: a ghost ĝx mediates "the (loop-invariant) value of
                 // e". Operands that were themselves hoisted are rewritten
@@ -156,8 +187,7 @@ pub fn licm_function(f: &Function, _config: &PassConfig) -> ProofUnit {
                 for r in stmt.inst.used_regs() {
                     if hoisted.contains(&r) && !hoisted_ops.contains(&r) {
                         hoisted_ops.push(r);
-                        e_ghosted = e_ghosted
-                            .subst(&TValue::phy(r), &TValue::ghost(ghost(r)));
+                        e_ghosted = e_ghosted.subst(&TValue::phy(r), &TValue::ghost(ghost(r)));
                     }
                 }
                 hoisted.insert(x);
@@ -165,18 +195,26 @@ pub fn licm_function(f: &Function, _config: &PassConfig) -> ProofUnit {
                 let xv = Expr::Value(TValue::phy(x));
 
                 // Target side (preheader row): ĝx ⊒ e_ghosted ⊒ e ⊒ x.
-                pb.infrule_after_row(ph, row, crellvm_core::InfRule::IntroGhost {
-                    g: ghost(x),
-                    e: e_ghosted.clone(),
-                });
+                pb.infrule_after_row(
+                    ph,
+                    row,
+                    crellvm_core::InfRule::IntroGhost {
+                        g: ghost(x),
+                        e: e_ghosted.clone(),
+                    },
+                );
                 let mut cur = e_ghosted.clone();
                 for r in &hoisted_ops {
-                    pb.infrule_after_row(ph, row, crellvm_core::InfRule::Substitute {
-                        side: Side::Tgt,
-                        from: TValue::ghost(ghost(*r)),
-                        to: TValue::phy(*r),
-                        e: cur.clone(),
-                    });
+                    pb.infrule_after_row(
+                        ph,
+                        row,
+                        crellvm_core::InfRule::Substitute {
+                            side: Side::Tgt,
+                            from: TValue::ghost(ghost(*r)),
+                            to: TValue::phy(*r),
+                            e: cur.clone(),
+                        },
+                    );
                     cur = cur.subst(&TValue::ghost(ghost(*r)), &TValue::phy(*r));
                 }
 
@@ -184,12 +222,16 @@ pub fn licm_function(f: &Function, _config: &PassConfig) -> ProofUnit {
                 let src_row_loc = Loc::AfterRow(b.index(), pb.row_of_src(b.index(), i));
                 let mut cur = e.clone();
                 for r in &hoisted_ops {
-                    pb.infrule_after_src(b.index(), i, crellvm_core::InfRule::Substitute {
-                        side: Side::Src,
-                        from: TValue::phy(*r),
-                        to: TValue::ghost(ghost(*r)),
-                        e: cur.clone(),
-                    });
+                    pb.infrule_after_src(
+                        b.index(),
+                        i,
+                        crellvm_core::InfRule::Substitute {
+                            side: Side::Src,
+                            from: TValue::phy(*r),
+                            to: TValue::ghost(ghost(*r)),
+                            e: cur.clone(),
+                        },
+                    );
                     cur = cur.subst(&TValue::phy(*r), &TValue::ghost(ghost(*r)));
                 }
                 // The src-side half of the ghost introduction must persist
@@ -216,8 +258,18 @@ pub fn licm_function(f: &Function, _config: &PassConfig) -> ProofUnit {
                         UseSite::Term(ub) => Loc::End(ub),
                         UseSite::PhiEdge(_, _, pred) => Loc::End(pred),
                     };
-                    pb.range_pred(Side::Src, Pred::Lessdef(xv.clone(), gx.clone()), src_row_loc, to);
-                    pb.range_pred(Side::Tgt, Pred::Lessdef(gx.clone(), xv.clone()), from_tgt, to);
+                    pb.range_pred(
+                        Side::Src,
+                        Pred::Lessdef(xv.clone(), gx.clone()),
+                        src_row_loc,
+                        to,
+                    );
+                    pb.range_pred(
+                        Side::Tgt,
+                        Pred::Lessdef(gx.clone(), xv.clone()),
+                        from_tgt,
+                        to,
+                    );
                 }
             }
         }
@@ -283,8 +335,7 @@ mod tests {
 
     #[test]
     fn loop_variant_values_stay() {
-        let out = run(
-            r#"
+        let out = run(r#"
             declare @print(i32)
             define @main(i32 %n) {
             entry:
@@ -299,8 +350,7 @@ mod tests {
             exit:
               ret void
             }
-            "#,
-        );
+            "#);
         let f = out.module.function("main").unwrap();
         let entry = f.block_by_name("entry").unwrap();
         assert_eq!(f.block(entry).stmts.len(), 0, "nothing to hoist: {f}");
@@ -309,8 +359,7 @@ mod tests {
 
     #[test]
     fn divisions_and_loads_not_hoisted() {
-        let out = run(
-            r#"
+        let out = run(r#"
             declare @print(i32)
             define @main(i32 %n, i32 %a, i32 %b, ptr %p) {
             entry:
@@ -327,11 +376,14 @@ mod tests {
             exit:
               ret void
             }
-            "#,
-        );
+            "#);
         let f = out.module.function("main").unwrap();
         let entry = f.block_by_name("entry").unwrap();
-        assert_eq!(f.block(entry).stmts.len(), 0, "trap/memory ops stay put: {f}");
+        assert_eq!(
+            f.block(entry).stmts.len(),
+            0,
+            "trap/memory ops stay put: {f}"
+        );
         assert_all_valid(&out);
     }
 
@@ -341,8 +393,7 @@ mod tests {
         // it does not execute every iteration, so it must not be hoisted
         // (it could trap… here it is pure, but LLVM still requires the
         // dominance condition; we mirror that).
-        let out = run(
-            r#"
+        let out = run(r#"
             declare @print(i32)
             define @main(i32 %n, i32 %a, i1 %g) {
             entry:
@@ -361,8 +412,7 @@ mod tests {
             exit:
               ret void
             }
-            "#,
-        );
+            "#);
         let f = out.module.function("main").unwrap();
         let entry = f.block_by_name("entry").unwrap();
         assert_eq!(f.block(entry).stmts.len(), 0, "{f}");
@@ -371,8 +421,7 @@ mod tests {
 
     #[test]
     fn chained_invariants_hoist_together() {
-        let out = run(
-            r#"
+        let out = run(r#"
             declare @print(i32)
             define @main(i32 %n, i32 %a, i32 %b) {
             entry:
@@ -389,25 +438,26 @@ mod tests {
             exit:
               ret void
             }
-            "#,
-        );
+            "#);
         let f = out.module.function("main").unwrap();
         let entry = f.block_by_name("entry").unwrap();
-        assert_eq!(f.block(entry).stmts.len(), 2, "both invariants hoisted: {f}");
+        assert_eq!(
+            f.block(entry).stmts.len(),
+            2,
+            "both invariants hoisted: {f}"
+        );
         assert_all_valid(&out);
     }
 
     #[test]
     fn no_loop_is_identity() {
-        let out = run(
-            r#"
+        let out = run(r#"
             define @main(i32 %a) -> i32 {
             entry:
               %x = add i32 %a, 1
               ret i32 %x
             }
-            "#,
-        );
+            "#);
         assert_all_valid(&out);
         assert_eq!(out.module.function("main").unwrap().stmt_count(), 1);
     }

@@ -16,22 +16,34 @@
 
 use crate::config::{PassConfig, PassOutcome};
 use crate::util::{on_cycle, reaches, uses_of, UseSite};
-use crellvm_core::{
-    AutoKind, Expr, InfRule, Loc, Pred, ProofBuilder, ProofUnit, Side, TValue,
+use crellvm_core::{AutoKind, Expr, InfRule, Loc, Pred, ProofBuilder, ProofUnit, Side, TValue};
+use crellvm_ir::{
+    BlockId, Cfg, DomTree, DominanceFrontier, Function, Inst, Module, Phi, RegId, Type, Value,
 };
-use crellvm_ir::{BlockId, Cfg, DomTree, DominanceFrontier, Function, Inst, Module, Phi, RegId, Type, Value};
 use std::collections::{HashMap, HashSet};
 
 /// Run register promotion over every function of a module.
 pub fn mem2reg(module: &Module, config: &PassConfig) -> PassOutcome {
+    mem2reg_traced(module, config, &crellvm_telemetry::Telemetry::disabled())
+}
+
+/// [`mem2reg`] recording domain counters (`pass.mem2reg.*`) into `tel`.
+pub fn mem2reg_traced(
+    module: &Module,
+    config: &PassConfig,
+    tel: &crellvm_telemetry::Telemetry,
+) -> PassOutcome {
     let mut out = module.clone();
     let mut proofs = Vec::new();
     for f in &module.functions {
-        let unit = promote_function(f, config);
+        let unit = promote_function_traced(f, config, tel);
         *out.function_mut(&f.name).expect("function exists") = unit.tgt.clone();
         proofs.push(unit);
     }
-    PassOutcome { module: out, proofs }
+    PassOutcome {
+        module: out,
+        proofs,
+    }
 }
 
 /// A promotable stack slot found in the source function.
@@ -127,7 +139,10 @@ impl Promoter<'_> {
     fn anchor_of(&self, w: &Value) -> (Expr, Value) {
         if let Some(r) = w.as_reg() {
             if let Some(rep) = self.replaced.get(&r) {
-                return (Expr::value(TValue::ghost(rep.ghost.clone())), rep.value.clone());
+                return (
+                    Expr::value(TValue::ghost(rep.ghost.clone())),
+                    rep.value.clone(),
+                );
             }
         }
         (value_expr(w), w.clone())
@@ -163,8 +178,14 @@ impl Promoter<'_> {
         for rule in extra_rules {
             self.pb.infrule_after_src(b, i, rule);
         }
-        self.pb
-            .infrule_after_src(b, i, InfRule::IntroGhost { g: xhat(x), e: Expr::value(TValue::ghost(phat(p))) });
+        self.pb.infrule_after_src(
+            b,
+            i,
+            InfRule::IntroGhost {
+                g: xhat(x),
+                e: Expr::value(TValue::ghost(phat(p))),
+            },
+        );
 
         // Replace all uses of x in the target, asserting the chain from the
         // load to every use point.
@@ -174,7 +195,10 @@ impl Promoter<'_> {
             let to = self.loc_before_tgt_use(*site);
             self.pb.range_pred(
                 Side::Src,
-                Pred::Lessdef(Expr::value(TValue::phy(x)), Expr::value(TValue::ghost(xhat(x)))),
+                Pred::Lessdef(
+                    Expr::value(TValue::phy(x)),
+                    Expr::value(TValue::ghost(xhat(x))),
+                ),
                 after_load,
                 to,
             );
@@ -188,13 +212,31 @@ impl Promoter<'_> {
         self.pb.replace_tgt_uses(x, &repl);
         self.pb.delete_tgt(b, i);
         self.pb.global_maydiff(crellvm_core::TReg::Phy(x));
-        self.replaced.insert(x, Replacement { ghost: xhat(x), value: repl });
+        self.replaced.insert(
+            x,
+            Replacement {
+                ghost: xhat(x),
+                value: repl,
+            },
+        );
     }
 
     /// Remove one store, introducing the content ghost.
-    fn rewrite_store(&mut self, info: &AllocaInfo, (b, i): (usize, usize), w: &Value) -> (Value, Loc) {
+    fn rewrite_store(
+        &mut self,
+        info: &AllocaInfo,
+        (b, i): (usize, usize),
+        w: &Value,
+    ) -> (Value, Loc) {
         let (anchor, tgt_val) = self.anchor_of(w);
-        self.pb.infrule_after_src(b, i, InfRule::IntroGhost { g: phat(info.reg), e: anchor });
+        self.pb.infrule_after_src(
+            b,
+            i,
+            InfRule::IntroGhost {
+                g: phat(info.reg),
+                e: anchor,
+            },
+        );
         let loc = self.loc_after_src(b, i);
         self.pb.delete_tgt(b, i);
         (tgt_val, loc)
@@ -228,7 +270,9 @@ fn find_promotable(f: &Function, cfg: &Cfg) -> Vec<AllocaInfo> {
             continue;
         }
         for (i, s) in block.stmts.iter().enumerate() {
-            let (Some(p), Inst::Alloca { ty, count }) = (s.result, &s.inst) else { continue };
+            let (Some(p), Inst::Alloca { ty, count }) = (s.result, &s.inst) else {
+                continue;
+            };
             if *count != 1 {
                 continue;
             }
@@ -279,7 +323,14 @@ fn find_promotable(f: &Function, cfg: &Cfg) -> Vec<AllocaInfo> {
                 }
             }
             if promotable {
-                out.push(AllocaInfo { block: b, stmt: i, reg: p, ty: *ty, loads, stores });
+                out.push(AllocaInfo {
+                    block: b,
+                    stmt: i,
+                    reg: p,
+                    ty: *ty,
+                    loads,
+                    stores,
+                });
             }
         }
     }
@@ -307,7 +358,14 @@ fn store_reaches_load(cfg: &Cfg, (sb, si): (usize, usize), (lb, li): (usize, usi
 }
 
 /// Classify an alloca into a promotion mode (LLVM's dispatch).
-fn classify(info: &AllocaInfo, cfg: &Cfg, dom: &DomTree, df: &DominanceFrontier, config: &PassConfig, f: &mut ProofBuilder) -> Mode {
+fn classify(
+    info: &AllocaInfo,
+    cfg: &Cfg,
+    dom: &DomTree,
+    df: &DominanceFrontier,
+    config: &PassConfig,
+    f: &mut ProofBuilder,
+) -> Mode {
     // Single store: safe when every non-dominated load is unreachable from
     // the store (otherwise fall back to the general algorithm).
     if info.stores.len() == 1 {
@@ -333,7 +391,12 @@ fn classify(info: &AllocaInfo, cfg: &Cfg, dom: &DomTree, df: &DominanceFrontier,
         .collect();
     if blocks.len() == 1 && !info.stores.is_empty() {
         let b = *blocks.iter().next().expect("non-empty");
-        let first_store = info.stores.iter().map(|(_, i, _)| *i).min().expect("has stores");
+        let first_store = info
+            .stores
+            .iter()
+            .map(|(_, i, _)| *i)
+            .min()
+            .expect("has stores");
         let load_before_store = info.loads.iter().any(|(_, i, _)| *i < first_store);
         let looping = on_cycle(cfg, BlockId::from_index(b));
         if !(load_before_store && looping) || config.bugs.pr24179 {
@@ -363,7 +426,17 @@ fn classify(info: &AllocaInfo, cfg: &Cfg, dom: &DomTree, df: &DominanceFrontier,
 
 /// Promote every promotable alloca of `f`, producing the proof unit.
 pub fn promote_function(f: &Function, config: &PassConfig) -> ProofUnit {
+    promote_function_traced(f, config, &crellvm_telemetry::Telemetry::disabled())
+}
+
+/// [`promote_function`] recording domain counters into `tel`.
+pub fn promote_function_traced(
+    f: &Function,
+    config: &PassConfig,
+    tel: &crellvm_telemetry::Telemetry,
+) -> ProofUnit {
     let mut pb = ProofBuilder::new("mem2reg", f);
+    pb.set_recording(config.gen_proofs);
     if let Some(reason) = crate::util::ns_reason(f, "mem2reg") {
         pb.mark_not_supported(reason);
         return pb.finish();
@@ -376,6 +449,7 @@ pub fn promote_function(f: &Function, config: &PassConfig) -> ProofUnit {
     if allocas.is_empty() {
         return pb.finish();
     }
+    tel.count("pass.mem2reg.allocas_promoted", allocas.len() as u64);
     pb.auto(AutoKind::Transitivity);
     pb.auto(AutoKind::ReduceMaydiff);
 
@@ -390,21 +464,38 @@ pub fn promote_function(f: &Function, config: &PassConfig) -> ProofUnit {
         pb.infrule_after_src(
             info.block,
             info.stmt,
-            InfRule::IntroGhost { g: phat(info.reg), e: Expr::undef(info.ty) },
+            InfRule::IntroGhost {
+                g: phat(info.reg),
+                e: Expr::undef(info.ty),
+            },
         );
         modes.push(mode);
     }
     // Insert the (initially empty) target phis.
     for (info, mode) in allocas.iter().zip(&modes) {
         if let Mode::General { phis } = mode {
+            tel.count("pass.mem2reg.phis_inserted", phis.len() as u64);
             for (&b, &z) in phis {
                 let preds: Vec<BlockId> = cfg.preds(BlockId::from_index(b)).to_vec();
-                pb.add_tgt_phi(b, z, Phi { ty: info.ty, incoming: preds.into_iter().map(|p| (p, None)).collect() });
+                pb.add_tgt_phi(
+                    b,
+                    z,
+                    Phi {
+                        ty: info.ty,
+                        incoming: preds.into_iter().map(|p| (p, None)).collect(),
+                    },
+                );
             }
         }
     }
 
-    let mut p = Promoter { pb, src: f.clone(), dom, config, replaced: HashMap::new() };
+    let mut p = Promoter {
+        pb,
+        src: f.clone(),
+        dom,
+        config,
+        replaced: HashMap::new(),
+    };
     rename_pass(&mut p, &allocas, &modes);
 
     // Delete the allocas themselves and fill any remaining empty phi slot
@@ -446,7 +537,10 @@ fn rename_pass(p: &mut Promoter<'_>, allocas: &[AllocaInfo], modes: &[Mode]) {
     // Initial values: undef established at the alloca site.
     let init: Vec<Cur> = allocas
         .iter()
-        .map(|info| Cur { val: Value::undef(info.ty), loc: p.loc_after_src(info.block, info.stmt) })
+        .map(|info| Cur {
+            val: Value::undef(info.ty),
+            loc: p.loc_after_src(info.block, info.stmt),
+        })
         .collect();
 
     // Quick lookup: (block, stmt) → (alloca index, access).
@@ -471,7 +565,9 @@ fn rename_pass(p: &mut Promoter<'_>, allocas: &[AllocaInfo], modes: &[Mode]) {
 
     while let Some((b, mut cur)) = stack.pop() {
         for (i, stmt) in src.blocks[b].stmts.iter().enumerate() {
-            let Some(&(a, access)) = accesses.get(&(b, i)) else { continue };
+            let Some(&(a, access)) = accesses.get(&(b, i)) else {
+                continue;
+            };
             let info = &allocas[a];
             match (access, &modes[a]) {
                 (Access::Store, _) => {
@@ -539,7 +635,10 @@ fn rename_pass(p: &mut Promoter<'_>, allocas: &[AllocaInfo], modes: &[Mode]) {
                             }
                         }
                         p.assert_to_block_end(info, &c.val, c.loc, b);
-                        succ_cur[a] = Cur { val: Value::Reg(z), loc: Loc::Start(sb) };
+                        succ_cur[a] = Cur {
+                            val: Value::Reg(z),
+                            loc: Loc::Start(sb),
+                        };
                     }
                 }
             }
@@ -567,7 +666,12 @@ mod tests {
 
     fn assert_all_valid(out: &PassOutcome) {
         for unit in &out.proofs {
-            assert_eq!(validate(unit), Ok(Verdict::Valid), "unit for @{}", unit.src.name);
+            assert_eq!(
+                validate(unit),
+                Ok(Verdict::Valid),
+                "unit for @{}",
+                unit.src.name
+            );
         }
     }
 
@@ -707,7 +811,10 @@ mod tests {
             &PassConfig::default(),
         );
         let f = out.module.function("main").unwrap();
-        assert!(f.blocks[0].stmts.iter().any(|s| matches!(s.inst, Inst::Alloca { .. })));
+        assert!(f.blocks[0]
+            .stmts
+            .iter()
+            .any(|s| matches!(s.inst, Inst::Alloca { .. })));
         assert_all_valid(&out); // identity translation
     }
 
@@ -743,7 +850,10 @@ mod tests {
         )
         .unwrap();
         let out = mem2reg(&m, &PassConfig::default());
-        assert!(matches!(validate(&out.proofs[0]), Ok(Verdict::NotSupported(_))));
+        assert!(matches!(
+            validate(&out.proofs[0]),
+            Ok(Verdict::NotSupported(_))
+        ));
     }
 
     /// PR24179: the single-block fast path in a loop. The fixed compiler
@@ -784,7 +894,10 @@ mod tests {
 
     #[test]
     fn pr24179_bug_caught_by_validation() {
-        let config = PassConfig::with_bugs(BugSet { pr24179: true, ..BugSet::default() });
+        let config = PassConfig::with_bugs(BugSet {
+            pr24179: true,
+            ..BugSet::default()
+        });
         let m = parse_module(&pr24179_src()).unwrap();
         let out = mem2reg(&m, &config);
         verify_module(&out.module).expect("even the buggy output is well-formed IR");
@@ -836,7 +949,10 @@ mod tests {
 
     #[test]
     fn pr33673_bug_caught_by_validation() {
-        let config = PassConfig::with_bugs(BugSet { pr33673: true, ..BugSet::default() });
+        let config = PassConfig::with_bugs(BugSet {
+            pr33673: true,
+            ..BugSet::default()
+        });
         let m = parse_module(PR33673).unwrap();
         let out = mem2reg(&m, &config);
         verify_module(&out.module).unwrap();
@@ -854,8 +970,14 @@ mod tests {
         // The same buggy code path, but the stored constant cannot trap:
         // replacing an undef load with 7 is a legal refinement, and the
         // checker accepts it (this is why the bug hid for 7 years).
-        let src = PR33673.replace("sdiv(i32 1, sub(i32 ptrtoint(@G to i32), ptrtoint(@G to i32)))", "7");
-        let config = PassConfig::with_bugs(BugSet { pr33673: true, ..BugSet::default() });
+        let src = PR33673.replace(
+            "sdiv(i32 1, sub(i32 ptrtoint(@G to i32), ptrtoint(@G to i32)))",
+            "7",
+        );
+        let config = PassConfig::with_bugs(BugSet {
+            pr33673: true,
+            ..BugSet::default()
+        });
         let out = run(&src, &config);
         let f = out.module.function("main").unwrap();
         let uses = f.block_by_name("uses").unwrap();

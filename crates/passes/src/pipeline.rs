@@ -9,10 +9,11 @@
 
 use crate::config::{PassConfig, PassOutcome};
 use crellvm_core::{
-    proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_json, validate_with_config,
+    proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_json, validate_with_telemetry,
     CheckerConfig, ProofUnit, Verdict,
 };
 use crellvm_ir::Module;
+use crellvm_telemetry::Telemetry;
 use std::time::{Duration, Instant};
 
 /// On-the-wire encoding of proofs between the compiler and the checker.
@@ -31,7 +32,7 @@ pub enum ProofFormat {
 
 impl ProofFormat {
     /// Serialize + deserialize one proof, returning the wire size.
-    fn roundtrip(self, unit: &ProofUnit) -> (ProofUnit, usize) {
+    pub fn roundtrip(self, unit: &ProofUnit) -> (ProofUnit, usize) {
         match self {
             ProofFormat::Json => {
                 let json = proof_to_json(unit).expect("serialize proof");
@@ -95,12 +96,18 @@ impl PipelineReport {
 
     /// Number of failed validations (#F).
     pub fn failures(&self) -> usize {
-        self.steps.iter().filter(|s| matches!(s.outcome, StepOutcome::Failed(_))).count()
+        self.steps
+            .iter()
+            .filter(|s| matches!(s.outcome, StepOutcome::Failed(_)))
+            .count()
     }
 
     /// Number of not-supported translations (#NS).
     pub fn not_supported(&self) -> usize {
-        self.steps.iter().filter(|s| matches!(s.outcome, StepOutcome::NotSupported(_))).count()
+        self.steps
+            .iter()
+            .filter(|s| matches!(s.outcome, StepOutcome::NotSupported(_)))
+            .count()
     }
 
     /// Merge another report into this one.
@@ -116,12 +123,12 @@ impl PipelineReport {
 /// The pass list of the experiment (the paper validates these four).
 pub const PASS_ORDER: [&str; 4] = ["mem2reg", "instcombine", "gvn", "licm"];
 
-fn run_pass(name: &str, m: &Module, config: &PassConfig) -> PassOutcome {
+fn run_pass(name: &str, m: &Module, config: &PassConfig, tel: &Telemetry) -> PassOutcome {
     match name {
-        "mem2reg" => crate::mem2reg(m, config),
-        "instcombine" => crate::instcombine(m, config),
-        "gvn" => crate::gvn(m, config),
-        "licm" => crate::licm(m, config),
+        "mem2reg" => crate::mem2reg_traced(m, config, tel),
+        "instcombine" => crate::instcombine_traced(m, config, tel),
+        "gvn" => crate::gvn_traced(m, config, tel),
+        "licm" => crate::licm_traced(m, config, tel),
         other => panic!("unknown pass {other}"),
     }
 }
@@ -147,31 +154,72 @@ pub fn run_validated_pass_with(
     format: ProofFormat,
     report: &mut PipelineReport,
 ) -> Module {
-    // Orig: the pass alone (proof generation cannot actually be disabled
-    // in our implementation — we time a second run and subtract nothing,
-    // matching the paper's separate-binaries methodology approximately by
-    // timing the identical work twice; the PCal run below includes the
-    // proof-construction bookkeeping).
+    run_validated_pass_traced(
+        name,
+        m,
+        config,
+        checker,
+        format,
+        &Telemetry::disabled(),
+        report,
+    )
+}
+
+/// [`run_validated_pass_with`] recording metrics (`pipeline.*`, `time.*`,
+/// and the per-pass domain counters) and trace events into `tel`.
+pub fn run_validated_pass_traced(
+    name: &str,
+    m: &Module,
+    config: &PassConfig,
+    checker: &CheckerConfig,
+    format: ProofFormat,
+    tel: &Telemetry,
+    report: &mut PipelineReport,
+) -> Module {
+    // Orig: the bare pass, with proof generation genuinely disabled
+    // (`gen_proofs = false` skips all proof bookkeeping while performing
+    // the identical transformation). Telemetry is disabled for this run
+    // so domain counters are not double-counted.
     let t0 = Instant::now();
-    let _ = run_pass(name, m, config);
-    report.time_orig += t0.elapsed();
+    let _ = run_pass(name, m, &config.without_proofs(), &Telemetry::disabled());
+    let orig = t0.elapsed();
+    report.time_orig += orig;
+    tel.registry().record_duration("time.orig", orig);
 
     let t1 = Instant::now();
-    let out = run_pass(name, m, config);
-    report.time_pcal += t1.elapsed();
+    let out = run_pass(name, m, config, tel);
+    let pcal = t1.elapsed();
+    report.time_pcal += pcal;
+    tel.registry().record_duration("time.pcal", pcal);
 
     for unit in &out.proofs {
+        tel.count("pipeline.steps", 1);
+
         let t2 = Instant::now();
         let (unit2, wire_len) = format.roundtrip(unit);
-        report.time_io += t2.elapsed();
+        let io = t2.elapsed();
+        report.time_io += io;
+        tel.registry().record_duration("time.io", io);
+        tel.observe("pipeline.proof_bytes", wire_len as u64);
 
         let t3 = Instant::now();
-        let outcome = match validate_with_config(&unit2, checker) {
-            Ok(Verdict::Valid) => StepOutcome::Valid,
-            Ok(Verdict::NotSupported(r)) => StepOutcome::NotSupported(r),
-            Err(e) => StepOutcome::Failed(e.to_string()),
+        let outcome = match validate_with_telemetry(&unit2, checker, tel) {
+            Ok(Verdict::Valid) => {
+                tel.count("pipeline.validated", 1);
+                StepOutcome::Valid
+            }
+            Ok(Verdict::NotSupported(r)) => {
+                tel.count("pipeline.not_supported", 1);
+                StepOutcome::NotSupported(r)
+            }
+            Err(e) => {
+                tel.count("pipeline.failed", 1);
+                StepOutcome::Failed(e.to_string())
+            }
         };
-        report.time_pcheck += t3.elapsed();
+        let pcheck = t3.elapsed();
+        report.time_pcheck += pcheck;
+        tel.registry().record_duration("time.pcheck", pcheck);
 
         report.steps.push(StepRecord {
             pass: name.to_string(),
@@ -185,11 +233,28 @@ pub fn run_validated_pass_with(
 
 /// Run the full `-O2`-like pipeline over a module, validating every step.
 pub fn run_pipeline(m: &Module, config: &PassConfig) -> (Module, PipelineReport) {
+    run_pipeline_traced(m, config, &Telemetry::disabled())
+}
+
+/// [`run_pipeline`] with metrics and trace events recorded into `tel`.
+pub fn run_pipeline_traced(
+    m: &Module,
+    config: &PassConfig,
+    tel: &Telemetry,
+) -> (Module, PipelineReport) {
     let mut report = PipelineReport::default();
     let checker = CheckerConfig::sound();
     let mut cur = m.clone();
     for pass in PASS_ORDER {
-        cur = run_validated_pass(pass, &cur, config, &checker, &mut report);
+        cur = run_validated_pass_traced(
+            pass,
+            &cur,
+            config,
+            &checker,
+            ProofFormat::Json,
+            tel,
+            &mut report,
+        );
     }
     (cur, report)
 }
@@ -239,7 +304,9 @@ mod tests {
         let tgt_run = run_main(&out, &cfg);
         check_refinement(&src_run, &tgt_run).expect("behaviour preserved");
         // And the program got meaningfully smaller.
-        assert!(out.function("main").unwrap().stmt_count() < m.function("main").unwrap().stmt_count());
+        assert!(
+            out.function("main").unwrap().stmt_count() < m.function("main").unwrap().stmt_count()
+        );
     }
 
     #[test]
@@ -257,7 +324,10 @@ mod tests {
             "#,
         )
         .unwrap();
-        let config = PassConfig::with_bugs(BugSet { pr28562: true, ..BugSet::default() });
+        let config = PassConfig::with_bugs(BugSet {
+            pr28562: true,
+            ..BugSet::default()
+        });
         let (_, report) = run_pipeline(&m, &config);
         assert!(report.failures() > 0);
         let failing: Vec<_> = report
@@ -291,15 +361,30 @@ mod tests {
         let mut jm = m.clone();
         let mut bm = m;
         for pass in PASS_ORDER {
-            jm = run_validated_pass_with(pass, &jm, &config, &checker, ProofFormat::Json, &mut jrep);
-            bm = run_validated_pass_with(pass, &bm, &config, &checker, ProofFormat::Binary, &mut brep);
+            jm =
+                run_validated_pass_with(pass, &jm, &config, &checker, ProofFormat::Json, &mut jrep);
+            bm = run_validated_pass_with(
+                pass,
+                &bm,
+                &config,
+                &checker,
+                ProofFormat::Binary,
+                &mut brep,
+            );
         }
         verify_module(&jm).unwrap();
-        assert_eq!(crellvm_ir::printer::print_module(&jm), crellvm_ir::printer::print_module(&bm));
+        assert_eq!(
+            crellvm_ir::printer::print_module(&jm),
+            crellvm_ir::printer::print_module(&bm)
+        );
         assert_eq!(jrep.steps.len(), brep.steps.len());
         for (a, b) in jrep.steps.iter().zip(&brep.steps) {
             assert_eq!(a.outcome, b.outcome, "@{} ({})", a.func, a.pass);
-            assert!(b.proof_bytes < a.proof_bytes, "binary not smaller at @{}", a.func);
+            assert!(
+                b.proof_bytes < a.proof_bytes,
+                "binary not smaller at @{}",
+                a.func
+            );
         }
     }
 }

@@ -67,7 +67,9 @@ pub fn ns_reason(f: &Function, pass: &str) -> Option<String> {
     if mem2reg_only && pass != "mem2reg" {
         return None;
     }
-    Some(format!("instruction not supported by the validator: {feature}"))
+    Some(format!(
+        "instruction not supported by the validator: {feature}"
+    ))
 }
 
 /// Is `to` reachable from `from` (following CFG edges, `from` itself
@@ -159,6 +161,9 @@ mod tests {
             "define @f() {\nentry:\n  %u = unsupported \"vector.add\"\n  ret void\n}\n",
         )
         .unwrap();
-        assert_eq!(unsupported_feature(&m.functions[0]), Some("vector.add".into()));
+        assert_eq!(
+            unsupported_feature(&m.functions[0]),
+            Some("vector.add".into())
+        );
     }
 }

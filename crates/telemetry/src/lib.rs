@@ -1,0 +1,136 @@
+//! Telemetry for the validated-compilation pipeline: a thread-safe metrics
+//! registry and a structured JSON-lines trace sink, with no external crate
+//! dependencies.
+//!
+//! The paper's credibility claim (Fig 6/8: #V/#F/#NS and the
+//! Orig/PCal/I-O/PCheck time columns) is only as strong as the evidence
+//! trail behind it. This crate is that trail's substrate:
+//!
+//! - [`Registry`] — atomic counters, log-bucketed histograms, and span
+//!   timers. `Arc`-shareable and contention-safe, so a future parallel or
+//!   sharded pipeline can record into one registry from many threads.
+//! - [`Trace`] — an append-only JSON-lines event sink: one [`Event`] per
+//!   validation step (the proof-audit log), plus pass-level and failure
+//!   events.
+//! - [`Telemetry`] — the handle threaded through checker, passes, and
+//!   pipeline. A disabled handle ([`Telemetry::disabled`]) skips trace
+//!   emission but still records metrics.
+//! - [`json`] — the minimal JSON value model used by snapshots and events
+//!   (kept internal so this crate stays dependency-free).
+//!
+//! Metric name conventions used across the workspace:
+//!
+//! | prefix              | meaning                                           |
+//! |---------------------|---------------------------------------------------|
+//! | `checker.rule.*`    | inference-rule applications (Fig 7's rule axis)   |
+//! | `checker.*`         | checker totals: rows, failures, assertion sizes   |
+//! | `pass.<name>.*`     | per-pass domain counters (allocas promoted, ...)  |
+//! | `pipeline.*`        | step verdict totals: validated/failed/unsupported |
+//! | `time.*`            | span timers: orig/pcal/io/pcheck (Fig 8 columns)  |
+
+pub mod json;
+mod registry;
+mod trace;
+
+pub use registry::{HistogramSnapshot, Registry, Snapshot, Span, TimerSnapshot};
+pub use trace::{Event, Trace};
+
+use std::sync::Arc;
+
+/// The handle threaded through the stack: a shared [`Registry`] plus an
+/// optional [`Trace`] sink.
+///
+/// Cloning is cheap (two `Arc`s) and every clone records into the same
+/// registry and trace, so the handle can be handed to worker threads as-is.
+#[derive(Clone)]
+pub struct Telemetry {
+    registry: Arc<Registry>,
+    trace: Option<Arc<Trace>>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Telemetry {
+    /// Metrics-only telemetry: counters/histograms/timers record, trace
+    /// events are dropped.
+    pub fn disabled() -> Self {
+        Telemetry {
+            registry: Arc::new(Registry::new()),
+            trace: None,
+        }
+    }
+
+    /// Telemetry recording into the given registry, without a trace sink.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        Telemetry {
+            registry,
+            trace: None,
+        }
+    }
+
+    /// Attach a trace sink.
+    pub fn with_trace(mut self, trace: Arc<Trace>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The shared registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Increment counter `name` by `n`.
+    pub fn count(&self, name: &str, n: u64) {
+        self.registry.add(name, n);
+    }
+
+    /// Record `value` into histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.registry.observe(name, value);
+    }
+
+    /// Start a span timer; the elapsed time is recorded into timer `name`
+    /// when the returned guard drops.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        self.registry.span(name)
+    }
+
+    /// Emit a trace event (no-op when no sink is attached).
+    pub fn emit(&self, event: Event) {
+        if let Some(trace) = &self.trace {
+            trace.emit(&event);
+        }
+    }
+
+    /// Whether a trace sink is attached (lets callers skip building
+    /// expensive events).
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Telemetry>();
+        assert_send_sync::<Registry>();
+        assert_send_sync::<Trace>();
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let t = Telemetry::disabled();
+        let t2 = t.clone();
+        t.count("a", 2);
+        t2.count("a", 3);
+        assert_eq!(t.registry().counter_value("a"), 5);
+    }
+}

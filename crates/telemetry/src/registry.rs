@@ -1,0 +1,439 @@
+//! The metrics registry: atomic counters, log-bucketed histograms, and span
+//! timers behind one `Arc`-shareable, contention-safe structure.
+//!
+//! Hot-path recording takes a read lock to find the metric's atomic cell and
+//! then operates lock-free; only first-time registration of a name takes the
+//! write lock. This keeps concurrent recording cheap for the future
+//! parallel/sharded pipeline.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::json::Value;
+
+/// Number of log₂ histogram buckets: bucket `i` holds values whose bit
+/// length is `i` (bucket 0 is exactly zero).
+const BUCKETS: usize = 65;
+
+struct HistogramCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        HistogramCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl HistogramCell {
+    fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[derive(Default)]
+struct TimerCell {
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+}
+
+/// Thread-safe metrics registry.
+///
+/// All recording methods take `&self`; share the registry with
+/// `Arc<Registry>` (or through [`crate::Telemetry`], which clones one).
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<HistogramCell>>>,
+    timers: RwLock<BTreeMap<String, Arc<TimerCell>>>,
+}
+
+fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(cell) = map.read().expect("registry lock poisoned").get(name) {
+        return Arc::clone(cell);
+    }
+    let mut write = map.write().expect("registry lock poisoned");
+    Arc::clone(write.entry(name.to_string()).or_default())
+}
+
+impl Registry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // -- counters ----------------------------------------------------------
+
+    /// Add `n` to counter `name` (creating it at zero on first use).
+    pub fn add(&self, name: &str, n: u64) {
+        intern(&self.counters, name).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment counter `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of counter `name` (zero when never recorded).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    // -- histograms --------------------------------------------------------
+
+    /// Record `value` into the log-bucketed histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        intern(&self.histograms, name).record(value);
+    }
+
+    // -- timers ------------------------------------------------------------
+
+    /// Record an already-measured duration into timer `name`.
+    pub fn record_duration(&self, name: &str, elapsed: Duration) {
+        let cell = intern(&self.timers, name);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.total_nanos.fetch_add(
+            elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Start a span over timer `name`; elapsed time is recorded when the
+    /// guard drops.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        Span {
+            registry: self,
+            name: name.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Time `f` under timer `name` and return its result.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record_duration(name, start.elapsed());
+        out
+    }
+
+    /// Total accumulated duration of timer `name` (zero when never
+    /// recorded).
+    pub fn timer_total(&self, name: &str) -> Duration {
+        self.timers
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .map(|t| Duration::from_nanos(t.total_nanos.load(Ordering::Relaxed)))
+            .unwrap_or(Duration::ZERO)
+    }
+
+    // -- snapshots ---------------------------------------------------------
+
+    /// Consistent-enough point-in-time copy of every metric. ("Enough":
+    /// individual atomics are read without a global pause, which is the
+    /// standard tradeoff for always-on metrics.)
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(k, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| (i as u32, b.load(Ordering::Relaxed)))
+                    .filter(|(_, n)| *n > 0)
+                    .collect();
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: h.count.load(Ordering::Relaxed),
+                        sum: h.sum.load(Ordering::Relaxed),
+                        buckets,
+                    },
+                )
+            })
+            .collect();
+        let timers = self
+            .timers
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(k, t)| {
+                (
+                    k.clone(),
+                    TimerSnapshot {
+                        count: t.count.load(Ordering::Relaxed),
+                        total_nanos: t.total_nanos.load(Ordering::Relaxed),
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+            timers,
+        }
+    }
+}
+
+/// Span guard; see [`Registry::span`].
+pub struct Span<'a> {
+    registry: &'a Registry,
+    name: String,
+    start: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.registry
+            .record_duration(&self.name, self.start.elapsed());
+    }
+}
+
+/// Point-in-time copy of a histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Non-empty `(bucket_index, count)` pairs; bucket `i` covers values of
+    /// bit length `i`.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded values (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of a timer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerSnapshot {
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Total time across spans, in nanoseconds.
+    pub total_nanos: u64,
+}
+
+/// Point-in-time copy of the whole registry; serializes to the metrics-file
+/// JSON consumed by `crellvm report`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Timers by name.
+    pub timers: BTreeMap<String, TimerSnapshot>,
+}
+
+impl Snapshot {
+    /// Serialize to the metrics-file JSON document.
+    pub fn to_json(&self) -> String {
+        let counters = Value::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::UInt(*v)))
+                .collect(),
+        );
+        let histograms = Value::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = Value::Arr(
+                        h.buckets
+                            .iter()
+                            .map(|(i, n)| Value::Arr(vec![Value::UInt(*i as u64), Value::UInt(*n)]))
+                            .collect(),
+                    );
+                    let mut obj = BTreeMap::new();
+                    obj.insert("count".to_string(), Value::UInt(h.count));
+                    obj.insert("sum".to_string(), Value::UInt(h.sum));
+                    obj.insert("buckets".to_string(), buckets);
+                    (k.clone(), Value::Obj(obj))
+                })
+                .collect(),
+        );
+        let timers = Value::Obj(
+            self.timers
+                .iter()
+                .map(|(k, t)| {
+                    let mut obj = BTreeMap::new();
+                    obj.insert("count".to_string(), Value::UInt(t.count));
+                    obj.insert("total_nanos".to_string(), Value::UInt(t.total_nanos));
+                    (k.clone(), Value::Obj(obj))
+                })
+                .collect(),
+        );
+        let mut root = BTreeMap::new();
+        root.insert("counters".to_string(), counters);
+        root.insert("histograms".to_string(), histograms);
+        root.insert("timers".to_string(), timers);
+        Value::Obj(root).to_json()
+    }
+
+    /// Parse a metrics-file JSON document.
+    pub fn from_json(input: &str) -> Result<Snapshot, String> {
+        let root = crate::json::parse(input).map_err(|e| e.to_string())?;
+        let mut snap = Snapshot::default();
+        if let Some(counters) = root.get("counters").and_then(Value::as_obj) {
+            for (k, v) in counters {
+                let v = v
+                    .as_u64()
+                    .ok_or_else(|| format!("counter `{k}` is not a u64"))?;
+                snap.counters.insert(k.clone(), v);
+            }
+        }
+        if let Some(histograms) = root.get("histograms").and_then(Value::as_obj) {
+            for (k, h) in histograms {
+                let count = h.get("count").and_then(Value::as_u64).unwrap_or(0);
+                let sum = h.get("sum").and_then(Value::as_u64).unwrap_or(0);
+                let mut buckets = Vec::new();
+                if let Some(pairs) = h.get("buckets").and_then(Value::as_arr) {
+                    for pair in pairs {
+                        let pair = pair
+                            .as_arr()
+                            .ok_or_else(|| format!("histogram `{k}` bucket is not a pair"))?;
+                        if let [i, n] = pair {
+                            buckets.push((i.as_u64().unwrap_or(0) as u32, n.as_u64().unwrap_or(0)));
+                        }
+                    }
+                }
+                snap.histograms.insert(
+                    k.clone(),
+                    HistogramSnapshot {
+                        count,
+                        sum,
+                        buckets,
+                    },
+                );
+            }
+        }
+        if let Some(timers) = root.get("timers").and_then(Value::as_obj) {
+            for (k, t) in timers {
+                snap.timers.insert(
+                    k.clone(),
+                    TimerSnapshot {
+                        count: t.get("count").and_then(Value::as_u64).unwrap_or(0),
+                        total_nanos: t.get("total_nanos").and_then(Value::as_u64).unwrap_or(0),
+                    },
+                );
+            }
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let registry = Arc::new(Registry::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let registry = Arc::clone(&registry);
+                thread::spawn(move || {
+                    for i in 0..per_thread {
+                        registry.incr("shared.counter");
+                        registry.observe("shared.histogram", i % 97);
+                        if i % 1000 == 0 {
+                            // Exercise the registration path concurrently too.
+                            registry.add(&format!("thread.{t}.marker"), 1);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            registry.counter_value("shared.counter"),
+            threads * per_thread
+        );
+        let snap = registry.snapshot();
+        let hist = &snap.histograms["shared.histogram"];
+        assert_eq!(hist.count, threads * per_thread);
+        let bucket_total: u64 = hist.buckets.iter().map(|(_, n)| n).sum();
+        assert_eq!(bucket_total, hist.count);
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips() {
+        let registry = Registry::new();
+        registry.add("a.b", 7);
+        registry.observe("sizes", 0);
+        registry.observe("sizes", 3);
+        registry.observe("sizes", 1024);
+        registry.record_duration("time.pcheck", Duration::from_micros(1500));
+        let snap = registry.snapshot();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let registry = Registry::new();
+        {
+            let _span = registry.span("time.block");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(registry.timer_total("time.block") >= Duration::from_millis(1));
+        assert_eq!(registry.snapshot().timers["time.block"].count, 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let registry = Registry::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024] {
+            registry.observe("h", v);
+        }
+        let snap = registry.snapshot();
+        let buckets: BTreeMap<u32, u64> = snap.histograms["h"].buckets.iter().copied().collect();
+        assert_eq!(buckets[&0], 1); // 0
+        assert_eq!(buckets[&1], 1); // 1
+        assert_eq!(buckets[&2], 2); // 2, 3
+        assert_eq!(buckets[&3], 2); // 4, 7
+        assert_eq!(buckets[&4], 1); // 8
+        assert_eq!(buckets[&10], 1); // 512..1023
+        assert_eq!(buckets[&11], 1); // 1024..2047
+    }
+}

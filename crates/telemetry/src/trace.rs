@@ -1,0 +1,177 @@
+//! The structured trace sink: an append-only JSON-lines proof-audit log.
+//!
+//! Each [`Event`] is one line of JSON with a `kind` plus arbitrary string /
+//! integer fields. The checker emits one event per validation step, so the
+//! question "why was this translation accepted?" has a machine-readable
+//! answer.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::json::{parse, Value};
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event kind, e.g. `validation.step`, `validation.failure`,
+    /// `pass.applied`.
+    pub kind: String,
+    /// Named payload fields.
+    pub fields: BTreeMap<String, Value>,
+}
+
+impl Event {
+    /// New event of the given kind.
+    pub fn new(kind: impl Into<String>) -> Self {
+        Event {
+            kind: kind.into(),
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// Attach a string field.
+    pub fn str(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.fields.insert(key.into(), Value::Str(value.into()));
+        self
+    }
+
+    /// Attach an unsigned integer field.
+    pub fn u64(mut self, key: impl Into<String>, value: u64) -> Self {
+        // Store small values as Int so parsed events compare equal to
+        // freshly built ones (the parser only yields UInt above i64::MAX).
+        let value = match i64::try_from(value) {
+            Ok(v) => Value::Int(v),
+            Err(_) => Value::UInt(value),
+        };
+        self.fields.insert(key.into(), value);
+        self
+    }
+
+    /// Field accessor (string).
+    pub fn field_str(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).and_then(Value::as_str)
+    }
+
+    /// Field accessor (u64).
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        self.fields.get(key).and_then(Value::as_u64)
+    }
+
+    /// Serialize to one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut obj = BTreeMap::new();
+        obj.insert("kind".to_string(), Value::Str(self.kind.clone()));
+        for (k, v) in &self.fields {
+            obj.insert(k.clone(), v.clone());
+        }
+        Value::Obj(obj).to_json()
+    }
+
+    /// Parse one JSON line back into an event.
+    pub fn from_json_line(line: &str) -> Result<Event, String> {
+        let root = parse(line).map_err(|e| e.to_string())?;
+        let obj = root.as_obj().ok_or("trace line is not an object")?;
+        let kind = obj
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("trace line has no `kind`")?
+            .to_string();
+        let fields = obj
+            .iter()
+            .filter(|(k, _)| k.as_str() != "kind")
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        Ok(Event { kind, fields })
+    }
+}
+
+/// Append-only JSON-lines sink over any writer.
+pub struct Trace {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl Trace {
+    /// Sink writing to `out` (a file, a `Vec<u8>`, ...).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        Trace {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// In-memory sink, for tests.
+    pub fn in_memory() -> (std::sync::Arc<Self>, SharedBuffer) {
+        let buffer = SharedBuffer::default();
+        let sink = Trace::new(Box::new(buffer.clone()));
+        (std::sync::Arc::new(sink), buffer)
+    }
+
+    /// Write one event as one line. IO errors are deliberately swallowed:
+    /// telemetry must never fail the pipeline it observes.
+    pub fn emit(&self, event: &Event) {
+        let line = event.to_json_line();
+        let mut out = self.out.lock().expect("trace lock poisoned");
+        let _ = writeln!(out, "{line}");
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.out.lock().expect("trace lock poisoned").flush();
+    }
+}
+
+/// Clonable in-memory byte buffer usable as a trace writer.
+#[derive(Clone, Default)]
+pub struct SharedBuffer(std::sync::Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuffer {
+    /// Current contents as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("buffer lock poisoned")).into_owned()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .expect("buffer lock poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip_through_json_lines() {
+        let event = Event::new("validation.failure")
+            .str("pass", "gvn")
+            .str("func", "main")
+            .str("reason", "lessdef does not hold: %x \u{2291} %y")
+            .u64("row", 7);
+        let line = event.to_json_line();
+        assert_eq!(Event::from_json_line(&line).unwrap(), event);
+    }
+
+    #[test]
+    fn sink_writes_one_line_per_event() {
+        let (trace, buffer) = Trace::in_memory();
+        trace.emit(&Event::new("a").u64("n", 1));
+        trace.emit(&Event::new("b").str("s", "x\ny"));
+        trace.flush();
+        let contents = buffer.contents();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(Event::from_json_line(lines[0]).unwrap().kind, "a");
+        assert_eq!(
+            Event::from_json_line(lines[1]).unwrap().field_str("s"),
+            Some("x\ny")
+        );
+    }
+}

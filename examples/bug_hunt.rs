@@ -52,9 +52,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         "#,
     )?;
-    let buggy = PassConfig::with_bugs(BugSet { pr24179: true, ..BugSet::default() });
-    report("mem2reg with PR24179 (loads before stores in a loop → undef)", &mem2reg(&loopy, &buggy).proofs);
-    report("mem2reg fixed on the same program", &mem2reg(&loopy, &PassConfig::default()).proofs);
+    let buggy = PassConfig::with_bugs(BugSet {
+        pr24179: true,
+        ..BugSet::default()
+    });
+    report(
+        "mem2reg with PR24179 (loads before stores in a loop → undef)",
+        &mem2reg(&loopy, &buggy).proofs,
+    );
+    report(
+        "mem2reg fixed on the same program",
+        &mem2reg(&loopy, &PassConfig::default()).proofs,
+    );
 
     // PR28562/PR29057: gvn conflates gep inbounds with plain gep (§1.2,
     // second example: bar(q1, q2) becomes bar(q1, q1)).
@@ -70,9 +79,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         "#,
     )?;
-    let buggy = PassConfig::with_bugs(BugSet { pr28562: true, ..BugSet::default() });
-    report("gvn with PR28562 (inbounds flag erased from the hash)", &gvn(&geps, &buggy).proofs);
-    report("gvn fixed on the same program", &gvn(&geps, &PassConfig::default()).proofs);
+    let buggy = PassConfig::with_bugs(BugSet {
+        pr28562: true,
+        ..BugSet::default()
+    });
+    report(
+        "gvn with PR28562 (inbounds flag erased from the hash)",
+        &gvn(&geps, &buggy).proofs,
+    );
+    report(
+        "gvn fixed on the same program",
+        &gvn(&geps, &PassConfig::default()).proofs,
+    );
 
     // PR33673: a trapping constant expression propagated to a load the
     // store does not dominate (§1.1's example).
@@ -94,8 +112,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         "#,
     )?;
-    let buggy = PassConfig::with_bugs(BugSet { pr33673: true, ..BugSet::default() });
-    report("mem2reg with PR33673 (constexprs assumed trap-free)", &mem2reg(&constexpr, &buggy).proofs);
+    let buggy = PassConfig::with_bugs(BugSet {
+        pr33673: true,
+        ..BugSet::default()
+    });
+    report(
+        "mem2reg with PR33673 (constexprs assumed trap-free)",
+        &mem2reg(&constexpr, &buggy).proofs,
+    );
 
     // D38619: PRE's branch-constant used with the wrong polarity.
     let pre = parse_module(
@@ -122,9 +146,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         "#,
     )?;
-    let buggy = PassConfig::with_bugs(BugSet { d38619: true, ..BugSet::default() });
-    report("gvn-PRE with D38619 (branch constant on the wrong edge)", &gvn(&pre, &buggy).proofs);
-    report("gvn-PRE fixed on the same program", &gvn(&pre, &PassConfig::default()).proofs);
+    let buggy = PassConfig::with_bugs(BugSet {
+        d38619: true,
+        ..BugSet::default()
+    });
+    report(
+        "gvn-PRE with D38619 (branch constant on the wrong edge)",
+        &gvn(&pre, &buggy).proofs,
+    );
+    report(
+        "gvn-PRE fixed on the same program",
+        &gvn(&pre, &PassConfig::default()).proofs,
+    );
 
     Ok(())
 }

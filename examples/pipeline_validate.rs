@@ -12,21 +12,39 @@ use crellvm::passes::pipeline::{run_pipeline, StepOutcome};
 use crellvm::passes::PassConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let seed: u64 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(42);
-    let cfg = GenConfig { seed, functions: 4, unsupported_rate: 0.15, ..GenConfig::default() };
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(42);
+    let cfg = GenConfig {
+        seed,
+        functions: 4,
+        unsupported_rate: 0.15,
+        ..GenConfig::default()
+    };
     let module = generate_module(&cfg);
-    println!("generated module (seed {seed}): {} functions", module.functions.len());
+    println!(
+        "generated module (seed {seed}): {} functions",
+        module.functions.len()
+    );
 
     let (optimized, report) = run_pipeline(&module, &PassConfig::default());
 
-    println!("\n{:<14} {:<10} {:<14} {:>10}", "pass", "function", "outcome", "proof (B)");
+    println!(
+        "\n{:<14} {:<10} {:<14} {:>10}",
+        "pass", "function", "outcome", "proof (B)"
+    );
     for step in &report.steps {
         let outcome = match &step.outcome {
             StepOutcome::Valid => "valid".to_string(),
             StepOutcome::Failed(_) => "FAILED".to_string(),
             StepOutcome::NotSupported(_) => "not-supported".to_string(),
         };
-        println!("{:<14} {:<10} {:<14} {:>10}", step.pass, step.func, outcome, step.proof_bytes);
+        println!(
+            "{:<14} {:<10} {:<14} {:>10}",
+            step.pass, step.func, outcome, step.proof_bytes
+        );
     }
     println!(
         "\n#V = {}   #F = {}   #NS = {}",
@@ -47,6 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = run_main(&module, &rc);
     let b = run_main(&optimized, &rc);
     check_refinement(&a, &b)?;
-    println!("differential run: {} observable events, behaviour preserved", b.events.len());
+    println!(
+        "differential run: {} observable events, behaviour preserved",
+        b.events.len()
+    );
     Ok(())
 }

@@ -62,6 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = run_main(&src, &rc);
     let b = run_main(&out.module, &rc);
     check_refinement(&a, &b)?;
-    println!("differential run: {} events, behaviour preserved", b.events.len());
+    println!(
+        "differential run: {} events, behaviour preserved",
+        b.events.len()
+    );
     Ok(())
 }

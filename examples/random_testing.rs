@@ -23,7 +23,9 @@ struct Tally {
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n: u64 = args.next().map_or(50, |a| a.parse().expect("program count"));
+    let n: u64 = args
+        .next()
+        .map_or(50, |a| a.parse().expect("program count"));
     let bugs = match args.next().as_deref() {
         None | Some("3.7.1") => BugSet::llvm_3_7_1(),
         Some("5.0.1-pre") => BugSet::llvm_5_0_1_prepatch(),
@@ -32,7 +34,8 @@ fn main() {
     };
     let config = PassConfig::with_bugs(bugs);
 
-    let mut per_pass: BTreeMap<&str, Tally> = PASS_ORDER.iter().map(|p| (*p, Tally::default())).collect();
+    let mut per_pass: BTreeMap<&str, Tally> =
+        PASS_ORDER.iter().map(|p| (*p, Tally::default())).collect();
     for seed in 0..n {
         let m = generate_module(&GenConfig {
             seed,
@@ -59,7 +62,12 @@ fn main() {
     println!("{n} random programs, all four passes:\n");
     println!("{:<14}{:>8}{:>8}{:>8}", "pass", "#V", "#F", "#NS");
     for (pass, t) in &per_pass {
-        println!("{pass:<14}{:>8}{:>8}{:>8}", t.valid + t.failed, t.failed, t.not_supported);
+        println!(
+            "{pass:<14}{:>8}{:>8}{:>8}",
+            t.valid + t.failed,
+            t.failed,
+            t.not_supported
+        );
     }
     let mut any = false;
     for (pass, t) in &per_pass {

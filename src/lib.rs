@@ -17,6 +17,8 @@
 //! * [`diff`] — alpha-equivalence checking (the `llvm-diff` analogue).
 //! * [`gen`] — random program generation and the synthetic benchmark
 //!   corpus.
+//! * [`telemetry`] — metrics registry, span timers, and the structured
+//!   JSON-lines proof-audit trace (zero external dependencies).
 //!
 //! # Quickstart
 //!
@@ -55,3 +57,4 @@ pub use crellvm_gen as gen;
 pub use crellvm_interp as interp;
 pub use crellvm_ir as ir;
 pub use crellvm_passes as passes;
+pub use crellvm_telemetry as telemetry;

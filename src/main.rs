@@ -10,28 +10,58 @@
 //!     Alpha-equivalence check (the llvm-diff analogue).
 //! crellvm gen --seed N [--functions K] [--out FILE]
 //!     Generate a random program.
-//! crellvm check <proof-file>...
+//! crellvm check [--trace FILE] <proof-file>...
 //!     Validate saved proofs (the separate checker process of Fig 1).
+//! crellvm report <metrics.json>
+//!     Render a metrics snapshot as Fig 6/8-style tables.
 //! ```
 //!
 //! `opt --proof-dir DIR [--binary]` writes each translation's proof to
 //! `DIR/<pass>.<function>.{json,cpb}`; `check` validates such files
 //! independently of the compiler — the trust story of the paper, where
 //! the checker never has to share a process with the optimizer.
+//!
+//! `opt --metrics FILE` snapshots the telemetry registry (counters,
+//! histograms, span timers) to a JSON file after the run; `--trace FILE`
+//! streams the proof-audit log — one JSON-lines event per validation
+//! step — as it happens. `report <metrics.json>` renders a snapshot as
+//! the paper's Fig 6/8-style tables.
 
 use crellvm::diff::diff_modules;
-use crellvm::erhl::{proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_json, validate, Verdict};
+use crellvm::erhl::{
+    proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_json, validate_with_telemetry,
+    CheckerConfig, Verdict,
+};
 use crellvm::gen::{generate_module, GenConfig};
 use crellvm::interp::{run_main, RunConfig, UndefPolicy};
 use crellvm::ir::{parse_module, printer::print_module, verify_module, Module};
-use crellvm::passes::{gvn, instcombine, licm, mem2reg, BugSet, PassConfig, PassOutcome};
+use crellvm::passes::{
+    gvn_traced, instcombine_traced, licm_traced, mem2reg_traced, BugSet, PassConfig, PassOutcome,
+    ProofFormat,
+};
+use crellvm::telemetry::{Registry, Snapshot, Telemetry, Trace};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check <proof-file>..."
+        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--metrics FILE] [--trace FILE]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] <proof-file>...\n  crellvm report <metrics.json>"
     );
     ExitCode::from(2)
+}
+
+/// A live registry plus a [`Telemetry`] handle over it, optionally
+/// streaming trace events to `trace_path` (created eagerly so flag typos
+/// fail before any work happens).
+fn make_telemetry(trace_path: Option<&str>) -> Result<(Arc<Registry>, Telemetry), String> {
+    let registry = Arc::new(Registry::new());
+    let mut tel = Telemetry::with_registry(registry.clone());
+    if let Some(path) = trace_path {
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        tel = tel.with_trace(Arc::new(Trace::new(Box::new(file))));
+    }
+    Ok((registry, tel))
 }
 
 fn load(path: &str) -> Result<Module, String> {
@@ -41,12 +71,12 @@ fn load(path: &str) -> Result<Module, String> {
     Ok(m)
 }
 
-fn run_pass(name: &str, m: &Module, config: &PassConfig) -> Option<PassOutcome> {
+fn run_pass(name: &str, m: &Module, config: &PassConfig, tel: &Telemetry) -> Option<PassOutcome> {
     Some(match name {
-        "mem2reg" => mem2reg(m, config),
-        "gvn" => gvn(m, config),
-        "licm" => licm(m, config),
-        "instcombine" => instcombine(m, config),
+        "mem2reg" => mem2reg_traced(m, config, tel),
+        "gvn" => gvn_traced(m, config, tel),
+        "licm" => licm_traced(m, config, tel),
+        "instcombine" => instcombine_traced(m, config, tel),
         _ => return None,
     })
 }
@@ -58,6 +88,8 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
     let mut emit = false;
     let mut proof_dir: Option<String> = None;
     let mut binary = false;
+    let mut metrics: Option<String> = None;
+    let mut trace: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -73,6 +105,8 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
             "--emit" => emit = true,
             "--proof-dir" => proof_dir = Some(it.next().ok_or("--proof-dir needs a path")?.clone()),
             "--binary" => binary = true,
+            "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a path")?.clone()),
+            "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
             other => return Err(format!("opt: unknown flag {other}")),
         }
     }
@@ -80,14 +114,34 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
         std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
     }
     if passes.is_empty() {
-        passes = ["mem2reg", "instcombine", "gvn", "licm"].map(String::from).to_vec();
+        passes = ["mem2reg", "instcombine", "gvn", "licm"]
+            .map(String::from)
+            .to_vec();
     }
     let config = PassConfig::with_bugs(bugs);
+    let (registry, tel) = make_telemetry(trace.as_deref())?;
+    let checker = CheckerConfig::sound();
+    let format = if binary {
+        ProofFormat::Binary
+    } else {
+        ProofFormat::Json
+    };
     let mut cur = load(file)?;
     let mut failures = 0usize;
     for pass in &passes {
-        let out = run_pass(pass, &cur, &config).ok_or_else(|| format!("unknown pass {pass}"))?;
+        // Orig: the bare pass (no proof bookkeeping, no telemetry — see
+        // `run_validated_pass_traced` for the same protocol).
+        let t0 = Instant::now();
+        let _ = run_pass(pass, &cur, &config.without_proofs(), &Telemetry::disabled())
+            .ok_or_else(|| format!("unknown pass {pass}"))?;
+        registry.record_duration("time.orig", t0.elapsed());
+
+        let t1 = Instant::now();
+        let out = run_pass(pass, &cur, &config, &tel).expect("pass name already checked");
+        registry.record_duration("time.pcal", t1.elapsed());
+
         for unit in &out.proofs {
+            tel.count("pipeline.steps", 1);
             if let Some(dir) = &proof_dir {
                 let (path, bytes) = if binary {
                     (
@@ -102,12 +156,27 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
                 };
                 std::fs::write(&path, bytes).map_err(|e| format!("{path}: {e}"))?;
             }
-            match validate(unit) {
-                Ok(Verdict::Valid) => println!("{pass:<12} @{:<20} valid", unit.src.name),
+
+            // I/O: the proof's trip over the compiler/checker wire.
+            let t2 = Instant::now();
+            let (unit2, wire_len) = format.roundtrip(unit);
+            registry.record_duration("time.io", t2.elapsed());
+            tel.observe("pipeline.proof_bytes", wire_len as u64);
+
+            let t3 = Instant::now();
+            let verdict = validate_with_telemetry(&unit2, &checker, &tel);
+            registry.record_duration("time.pcheck", t3.elapsed());
+            match verdict {
+                Ok(Verdict::Valid) => {
+                    tel.count("pipeline.validated", 1);
+                    println!("{pass:<12} @{:<20} valid", unit.src.name)
+                }
                 Ok(Verdict::NotSupported(r)) => {
+                    tel.count("pipeline.not_supported", 1);
                     println!("{pass:<12} @{:<20} not-supported ({r})", unit.src.name)
                 }
                 Err(e) => {
+                    tel.count("pipeline.failed", 1);
                     failures += 1;
                     println!("{pass:<12} @{:<20} FAILED at {}", unit.src.name, e.at);
                     println!("{:>34}reason: {}", "", e.reason);
@@ -119,7 +188,14 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
     if emit {
         print!("{}", print_module(&cur));
     }
-    Ok(if failures == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+    if let Some(path) = &metrics {
+        std::fs::write(path, registry.snapshot().to_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
@@ -172,10 +248,19 @@ fn cmd_gen(args: &[String]) -> Result<ExitCode, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--seed" => cfg.seed = it.next().ok_or("--seed needs a value")?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
             "--functions" => {
-                cfg.functions =
-                    it.next().ok_or("--functions needs a value")?.parse().map_err(|e| format!("bad count: {e}"))?
+                cfg.functions = it
+                    .next()
+                    .ok_or("--functions needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad count: {e}"))?
             }
             "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
             other => return Err(format!("gen: unknown flag {other}")),
@@ -191,11 +276,22 @@ fn cmd_gen(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
-    if args.is_empty() {
+    let mut trace: Option<String> = None;
+    let mut files: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
+            _ => files.push(a),
+        }
+    }
+    if files.is_empty() {
         return Err("check: need at least one proof file".into());
     }
+    let (_registry, tel) = make_telemetry(trace.as_deref())?;
+    let checker = CheckerConfig::sound();
     let mut failures = 0usize;
-    for path in args {
+    for path in files {
         let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
         let unit = if path.ends_with(".cpb") {
             proof_from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?
@@ -203,7 +299,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             let text = String::from_utf8(bytes).map_err(|e| format!("{path}: {e}"))?;
             proof_from_json(&text).map_err(|e| format!("{path}: {e}"))?
         };
-        match validate(&unit) {
+        match validate_with_telemetry(&unit, &checker, &tel) {
             Ok(Verdict::Valid) => println!("{path}: valid ({} @{})", unit.pass, unit.src.name),
             Ok(Verdict::NotSupported(r)) => println!("{path}: not-supported ({r})"),
             Err(e) => {
@@ -213,18 +309,108 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             }
         }
     }
-    Ok(if failures == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Render a metrics snapshot as the paper's Fig 6/8-style tables.
+fn render_report(snap: &Snapshot) -> String {
+    use std::fmt::Write;
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let ms = |name: &str| {
+        snap.timers
+            .get(name)
+            .map_or(0.0, |t| t.total_nanos as f64 / 1_000_000.0)
+    };
+    let mut out = String::new();
+
+    // Fig 6/8: validation outcomes and the four time columns.
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>8} {:>8}",
+        "validation", "#V", "#F", "#NS"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>8} {:>8}",
+        "",
+        counter("pipeline.steps"),
+        counter("pipeline.failed"),
+        counter("pipeline.not_supported"),
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>8} {:>8} {:>8}",
+        "time (ms)", "Orig", "PCal", "I-O", "PCheck"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+        "",
+        ms("time.orig"),
+        ms("time.pcal"),
+        ms("time.io"),
+        ms("time.pcheck"),
+    );
+
+    // Fig 7 axis: inference-rule applications, most-used first.
+    let mut rules: Vec<(&str, u64)> = snap
+        .counters
+        .iter()
+        .filter_map(|(k, v)| k.strip_prefix("checker.rule.").map(|r| (r, *v)))
+        .collect();
+    rules.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    if !rules.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{:<34} {:>12}", "inference rule", "applications");
+        for (rule, n) in rules {
+            let _ = writeln!(out, "  {rule:<32} {n:>12}");
+        }
+    }
+
+    // Per-pass domain counters (allocas promoted, GVN replacements, ...).
+    let pass_counters: Vec<(&String, u64)> = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("pass."))
+        .map(|(k, v)| (k, *v))
+        .collect();
+    if !pass_counters.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{:<34} {:>12}", "pass counter", "value");
+        for (name, n) in pass_counters {
+            let _ = writeln!(out, "  {:<32} {n:>12}", &name["pass.".len()..]);
+        }
+    }
+    out
+}
+
+fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err("report: need exactly one metrics file".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let snap = Snapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", render_report(&snap));
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = args.split_first() else { return usage() };
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
     let result = match cmd.as_str() {
         "opt" => cmd_opt(rest),
         "run" => cmd_run(rest),
         "diff" => cmd_diff(rest),
         "gen" => cmd_gen(rest),
         "check" => cmd_check(rest),
+        "report" => cmd_report(rest),
         _ => return usage(),
     };
     match result {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_automation-f33f82cafbf3f6d6.d: crates/bench/benches/ablation_automation.rs
+
+/root/repo/target/debug/deps/libablation_automation-f33f82cafbf3f6d6.rmeta: crates/bench/benches/ablation_automation.rs
+
+crates/bench/benches/ablation_automation.rs:

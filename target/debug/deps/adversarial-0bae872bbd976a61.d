@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adversarial-0bae872bbd976a61.d: tests/adversarial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadversarial-0bae872bbd976a61.rmeta: tests/adversarial.rs Cargo.toml
+
+tests/adversarial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

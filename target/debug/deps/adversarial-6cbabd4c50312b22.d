@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversarial-6cbabd4c50312b22.d: tests/adversarial.rs
+
+/root/repo/target/debug/deps/adversarial-6cbabd4c50312b22: tests/adversarial.rs
+
+tests/adversarial.rs:

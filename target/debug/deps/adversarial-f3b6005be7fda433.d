@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversarial-f3b6005be7fda433.d: tests/adversarial.rs
+
+/root/repo/target/debug/deps/adversarial-f3b6005be7fda433: tests/adversarial.rs
+
+tests/adversarial.rs:

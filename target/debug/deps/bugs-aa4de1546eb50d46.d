@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bugs-aa4de1546eb50d46.d: tests/bugs.rs
+
+/root/repo/target/debug/deps/bugs-aa4de1546eb50d46: tests/bugs.rs
+
+tests/bugs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bugs-d50fc8ec166095a2.d: tests/bugs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbugs-d50fc8ec166095a2.rmeta: tests/bugs.rs Cargo.toml
+
+tests/bugs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

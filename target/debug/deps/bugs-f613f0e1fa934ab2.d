@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bugs-f613f0e1fa934ab2.d: tests/bugs.rs
+
+/root/repo/target/debug/deps/bugs-f613f0e1fa934ab2: tests/bugs.rs
+
+tests/bugs.rs:

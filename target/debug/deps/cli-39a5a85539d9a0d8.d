@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-39a5a85539d9a0d8.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-39a5a85539d9a0d8.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_crellvm=placeholder:crellvm
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-72f757218c4a5c07.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-72f757218c4a5c07: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_crellvm=/root/repo/target/debug/crellvm

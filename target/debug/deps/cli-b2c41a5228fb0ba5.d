@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-b2c41a5228fb0ba5.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-b2c41a5228fb0ba5: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_crellvm=/root/repo/target/debug/crellvm

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crellvm-0fede7bc3343aaca.d: src/main.rs
+
+/root/repo/target/debug/deps/crellvm-0fede7bc3343aaca: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crellvm-31381c610ab62f29.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcrellvm-31381c610ab62f29.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcrellvm-31381c610ab62f29.rmeta: src/lib.rs
+
+src/lib.rs:

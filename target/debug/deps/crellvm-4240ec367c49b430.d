@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crellvm-4240ec367c49b430.d: src/main.rs
+
+/root/repo/target/debug/deps/crellvm-4240ec367c49b430: src/main.rs
+
+src/main.rs:

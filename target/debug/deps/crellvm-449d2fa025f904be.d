@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crellvm-449d2fa025f904be.d: src/main.rs
+
+/root/repo/target/debug/deps/crellvm-449d2fa025f904be: src/main.rs
+
+src/main.rs:

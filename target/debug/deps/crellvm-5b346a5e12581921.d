@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crellvm-5b346a5e12581921.d: src/main.rs
+
+/root/repo/target/debug/deps/crellvm-5b346a5e12581921: src/main.rs
+
+src/main.rs:

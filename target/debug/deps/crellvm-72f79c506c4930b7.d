@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crellvm-72f79c506c4930b7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcrellvm-72f79c506c4930b7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcrellvm-72f79c506c4930b7.rmeta: src/lib.rs
+
+src/lib.rs:

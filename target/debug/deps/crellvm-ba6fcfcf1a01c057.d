@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crellvm-ba6fcfcf1a01c057.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcrellvm-ba6fcfcf1a01c057.rmeta: src/lib.rs
+
+src/lib.rs:

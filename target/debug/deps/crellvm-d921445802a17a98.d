@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crellvm-d921445802a17a98.d: src/main.rs
+
+/root/repo/target/debug/deps/libcrellvm-d921445802a17a98.rmeta: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crellvm-dd600937212fe2b4.d: src/lib.rs
+
+/root/repo/target/debug/deps/crellvm-dd600937212fe2b4: src/lib.rs
+
+src/lib.rs:

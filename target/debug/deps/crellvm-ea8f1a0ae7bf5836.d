@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crellvm-ea8f1a0ae7bf5836.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrellvm-ea8f1a0ae7bf5836.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crellvm-f3f06a4f8ef142f9.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrellvm-f3f06a4f8ef142f9.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

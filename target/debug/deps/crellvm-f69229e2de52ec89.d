@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crellvm-f69229e2de52ec89.d: src/lib.rs
+
+/root/repo/target/debug/deps/crellvm-f69229e2de52ec89: src/lib.rs
+
+src/lib.rs:

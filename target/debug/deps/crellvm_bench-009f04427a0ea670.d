@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/crellvm_bench-009f04427a0ea670.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/sloc.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libcrellvm_bench-009f04427a0ea670.rlib: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/sloc.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libcrellvm_bench-009f04427a0ea670.rmeta: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/sloc.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/sloc.rs:
+crates/bench/src/tables.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/crellvm_core-e8083e548a3448d9.d: crates/core/src/lib.rs crates/core/src/assertion.rs crates/core/src/auto.rs crates/core/src/checker.rs crates/core/src/equivbeh.rs crates/core/src/expr.rs crates/core/src/infrule.rs crates/core/src/postcond.rs crates/core/src/proof.rs crates/core/src/rules_arith.rs crates/core/src/rules_composite.rs crates/core/src/semantics.rs crates/core/src/serialize.rs crates/core/src/serialize_bin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrellvm_core-e8083e548a3448d9.rmeta: crates/core/src/lib.rs crates/core/src/assertion.rs crates/core/src/auto.rs crates/core/src/checker.rs crates/core/src/equivbeh.rs crates/core/src/expr.rs crates/core/src/infrule.rs crates/core/src/postcond.rs crates/core/src/proof.rs crates/core/src/rules_arith.rs crates/core/src/rules_composite.rs crates/core/src/semantics.rs crates/core/src/serialize.rs crates/core/src/serialize_bin.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/assertion.rs:
+crates/core/src/auto.rs:
+crates/core/src/checker.rs:
+crates/core/src/equivbeh.rs:
+crates/core/src/expr.rs:
+crates/core/src/infrule.rs:
+crates/core/src/postcond.rs:
+crates/core/src/proof.rs:
+crates/core/src/rules_arith.rs:
+crates/core/src/rules_composite.rs:
+crates/core/src/semantics.rs:
+crates/core/src/serialize.rs:
+crates/core/src/serialize_bin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

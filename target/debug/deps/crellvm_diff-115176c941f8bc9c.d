@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crellvm_diff-115176c941f8bc9c.d: crates/diff/src/lib.rs
+
+/root/repo/target/debug/deps/libcrellvm_diff-115176c941f8bc9c.rmeta: crates/diff/src/lib.rs
+
+crates/diff/src/lib.rs:

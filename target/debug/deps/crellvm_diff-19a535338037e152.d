@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crellvm_diff-19a535338037e152.d: crates/diff/src/lib.rs
+
+/root/repo/target/debug/deps/crellvm_diff-19a535338037e152: crates/diff/src/lib.rs
+
+crates/diff/src/lib.rs:

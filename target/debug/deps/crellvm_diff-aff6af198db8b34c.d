@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crellvm_diff-aff6af198db8b34c.d: crates/diff/src/lib.rs
+
+/root/repo/target/debug/deps/libcrellvm_diff-aff6af198db8b34c.rlib: crates/diff/src/lib.rs
+
+/root/repo/target/debug/deps/libcrellvm_diff-aff6af198db8b34c.rmeta: crates/diff/src/lib.rs
+
+crates/diff/src/lib.rs:

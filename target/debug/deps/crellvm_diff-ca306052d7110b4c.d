@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crellvm_diff-ca306052d7110b4c.d: crates/diff/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrellvm_diff-ca306052d7110b4c.rmeta: crates/diff/src/lib.rs Cargo.toml
+
+crates/diff/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

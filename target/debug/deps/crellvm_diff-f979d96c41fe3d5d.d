@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crellvm_diff-f979d96c41fe3d5d.d: crates/diff/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrellvm_diff-f979d96c41fe3d5d.rmeta: crates/diff/src/lib.rs Cargo.toml
+
+crates/diff/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/crellvm_gen-01c2b99485852f95.d: crates/gen/src/lib.rs crates/gen/src/corpus.rs crates/gen/src/rand_prog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrellvm_gen-01c2b99485852f95.rmeta: crates/gen/src/lib.rs crates/gen/src/corpus.rs crates/gen/src/rand_prog.rs Cargo.toml
+
+crates/gen/src/lib.rs:
+crates/gen/src/corpus.rs:
+crates/gen/src/rand_prog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crellvm_gen-1c09e3276b38213f.d: crates/gen/src/lib.rs crates/gen/src/corpus.rs crates/gen/src/rand_prog.rs
+
+/root/repo/target/debug/deps/crellvm_gen-1c09e3276b38213f: crates/gen/src/lib.rs crates/gen/src/corpus.rs crates/gen/src/rand_prog.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/corpus.rs:
+crates/gen/src/rand_prog.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crellvm_gen-4acf006cb199aada.d: crates/gen/src/lib.rs crates/gen/src/corpus.rs crates/gen/src/rand_prog.rs
+
+/root/repo/target/debug/deps/libcrellvm_gen-4acf006cb199aada.rmeta: crates/gen/src/lib.rs crates/gen/src/corpus.rs crates/gen/src/rand_prog.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/corpus.rs:
+crates/gen/src/rand_prog.rs:

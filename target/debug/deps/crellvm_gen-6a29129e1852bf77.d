@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crellvm_gen-6a29129e1852bf77.d: crates/gen/src/lib.rs crates/gen/src/corpus.rs crates/gen/src/rand_prog.rs
+
+/root/repo/target/debug/deps/libcrellvm_gen-6a29129e1852bf77.rlib: crates/gen/src/lib.rs crates/gen/src/corpus.rs crates/gen/src/rand_prog.rs
+
+/root/repo/target/debug/deps/libcrellvm_gen-6a29129e1852bf77.rmeta: crates/gen/src/lib.rs crates/gen/src/corpus.rs crates/gen/src/rand_prog.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/corpus.rs:
+crates/gen/src/rand_prog.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/crellvm_interp-5b80b07e2d4d28b6.d: crates/interp/src/lib.rs crates/interp/src/event.rs crates/interp/src/exec.rs crates/interp/src/mem.rs crates/interp/src/refine.rs crates/interp/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrellvm_interp-5b80b07e2d4d28b6.rmeta: crates/interp/src/lib.rs crates/interp/src/event.rs crates/interp/src/exec.rs crates/interp/src/mem.rs crates/interp/src/refine.rs crates/interp/src/value.rs Cargo.toml
+
+crates/interp/src/lib.rs:
+crates/interp/src/event.rs:
+crates/interp/src/exec.rs:
+crates/interp/src/mem.rs:
+crates/interp/src/refine.rs:
+crates/interp/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

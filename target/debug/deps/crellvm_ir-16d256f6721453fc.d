@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/crellvm_ir-16d256f6721453fc.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/constant.rs crates/ir/src/dom.rs crates/ir/src/function.rs crates/ir/src/inst.rs crates/ir/src/module.rs crates/ir/src/parser.rs crates/ir/src/printer.rs crates/ir/src/types.rs crates/ir/src/value.rs crates/ir/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrellvm_ir-16d256f6721453fc.rmeta: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/constant.rs crates/ir/src/dom.rs crates/ir/src/function.rs crates/ir/src/inst.rs crates/ir/src/module.rs crates/ir/src/parser.rs crates/ir/src/printer.rs crates/ir/src/types.rs crates/ir/src/value.rs crates/ir/src/verify.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/constant.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/function.rs:
+crates/ir/src/inst.rs:
+crates/ir/src/module.rs:
+crates/ir/src/parser.rs:
+crates/ir/src/printer.rs:
+crates/ir/src/types.rs:
+crates/ir/src/value.rs:
+crates/ir/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/crellvm_passes-d15bfa5c0c9d32d1.d: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrellvm_passes-d15bfa5c0c9d32d1.rmeta: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs Cargo.toml
+
+crates/passes/src/lib.rs:
+crates/passes/src/config.rs:
+crates/passes/src/gvn.rs:
+crates/passes/src/instcombine.rs:
+crates/passes/src/licm.rs:
+crates/passes/src/mem2reg.rs:
+crates/passes/src/pipeline.rs:
+crates/passes/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

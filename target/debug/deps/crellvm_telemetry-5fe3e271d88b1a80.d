@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/crellvm_telemetry-5fe3e271d88b1a80.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrellvm_telemetry-5fe3e271d88b1a80.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/crellvm_telemetry-c50f2c2776704da3.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libcrellvm_telemetry-c50f2c2776704da3.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libcrellvm_telemetry-c50f2c2776704da3.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-7302bb36bd05fa9c.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7302bb36bd05fa9c.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

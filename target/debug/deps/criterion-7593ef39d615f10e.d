@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-7593ef39d615f10e.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-7593ef39d615f10e: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csmith_validation-0441b90e5b047d89.d: crates/bench/benches/csmith_validation.rs
+
+/root/repo/target/debug/deps/libcsmith_validation-0441b90e5b047d89.rmeta: crates/bench/benches/csmith_validation.rs
+
+crates/bench/benches/csmith_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csmith_validation-d94b7721a0d53e16.d: crates/bench/benches/csmith_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsmith_validation-d94b7721a0d53e16.rmeta: crates/bench/benches/csmith_validation.rs Cargo.toml
+
+crates/bench/benches/csmith_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

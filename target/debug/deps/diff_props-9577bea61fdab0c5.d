@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diff_props-9577bea61fdab0c5.d: tests/diff_props.rs
+
+/root/repo/target/debug/deps/diff_props-9577bea61fdab0c5: tests/diff_props.rs
+
+tests/diff_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diff_props-a1e89d002fb3d1f7.d: tests/diff_props.rs
+
+/root/repo/target/debug/deps/diff_props-a1e89d002fb3d1f7: tests/diff_props.rs
+
+tests/diff_props.rs:

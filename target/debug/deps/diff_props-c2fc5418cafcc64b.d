@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diff_props-c2fc5418cafcc64b.d: tests/diff_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiff_props-c2fc5418cafcc64b.rmeta: tests/diff_props.rs Cargo.toml
+
+tests/diff_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

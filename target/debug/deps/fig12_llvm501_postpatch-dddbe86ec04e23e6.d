@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_llvm501_postpatch-dddbe86ec04e23e6.d: crates/bench/benches/fig12_llvm501_postpatch.rs
+
+/root/repo/target/debug/deps/libfig12_llvm501_postpatch-dddbe86ec04e23e6.rmeta: crates/bench/benches/fig12_llvm501_postpatch.rs
+
+crates/bench/benches/fig12_llvm501_postpatch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_sloc-954410f5cfd4e50f.d: crates/bench/benches/fig5_sloc.rs
+
+/root/repo/target/debug/deps/libfig5_sloc-954410f5cfd4e50f.rmeta: crates/bench/benches/fig5_sloc.rs
+
+crates/bench/benches/fig5_sloc.rs:

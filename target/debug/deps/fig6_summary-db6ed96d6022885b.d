@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_summary-db6ed96d6022885b.d: crates/bench/benches/fig6_summary.rs
+
+/root/repo/target/debug/deps/libfig6_summary-db6ed96d6022885b.rmeta: crates/bench/benches/fig6_summary.rs
+
+crates/bench/benches/fig6_summary.rs:

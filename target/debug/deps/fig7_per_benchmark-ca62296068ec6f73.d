@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_per_benchmark-ca62296068ec6f73.d: crates/bench/benches/fig7_per_benchmark.rs
+
+/root/repo/target/debug/deps/libfig7_per_benchmark-ca62296068ec6f73.rmeta: crates/bench/benches/fig7_per_benchmark.rs
+
+crates/bench/benches/fig7_per_benchmark.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_times-3890352ac953dfc3.d: crates/bench/benches/fig8_times.rs
+
+/root/repo/target/debug/deps/libfig8_times-3890352ac953dfc3.rmeta: crates/bench/benches/fig8_times.rs
+
+crates/bench/benches/fig8_times.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_llvm501_prepatch-f2fb2cc54b85b160.d: crates/bench/benches/fig9_llvm501_prepatch.rs
+
+/root/repo/target/debug/deps/libfig9_llvm501_prepatch-f2fb2cc54b85b160.rmeta: crates/bench/benches/fig9_llvm501_prepatch.rs
+
+crates/bench/benches/fig9_llvm501_prepatch.rs:

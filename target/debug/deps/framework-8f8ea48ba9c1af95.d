@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framework-8f8ea48ba9c1af95.d: tests/framework.rs
+
+/root/repo/target/debug/deps/framework-8f8ea48ba9c1af95: tests/framework.rs
+
+tests/framework.rs:

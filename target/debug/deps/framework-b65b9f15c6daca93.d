@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framework-b65b9f15c6daca93.d: tests/framework.rs
+
+/root/repo/target/debug/deps/framework-b65b9f15c6daca93: tests/framework.rs
+
+tests/framework.rs:

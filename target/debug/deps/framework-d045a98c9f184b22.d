@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/framework-d045a98c9f184b22.d: tests/framework.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframework-d045a98c9f184b22.rmeta: tests/framework.rs Cargo.toml
+
+tests/framework.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

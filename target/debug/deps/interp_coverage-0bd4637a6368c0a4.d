@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp_coverage-0bd4637a6368c0a4.d: tests/interp_coverage.rs
+
+/root/repo/target/debug/deps/interp_coverage-0bd4637a6368c0a4: tests/interp_coverage.rs
+
+tests/interp_coverage.rs:

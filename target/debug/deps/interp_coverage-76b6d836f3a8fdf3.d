@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interp_coverage-76b6d836f3a8fdf3.d: tests/interp_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterp_coverage-76b6d836f3a8fdf3.rmeta: tests/interp_coverage.rs Cargo.toml
+
+tests/interp_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp_coverage-ef0549482b8865c0.d: tests/interp_coverage.rs
+
+/root/repo/target/debug/deps/interp_coverage-ef0549482b8865c0: tests/interp_coverage.rs
+
+tests/interp_coverage.rs:

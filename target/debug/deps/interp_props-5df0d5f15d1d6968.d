@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp_props-5df0d5f15d1d6968.d: tests/interp_props.rs
+
+/root/repo/target/debug/deps/interp_props-5df0d5f15d1d6968: tests/interp_props.rs
+
+tests/interp_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp_props-7094512c811dbfc9.d: tests/interp_props.rs
+
+/root/repo/target/debug/deps/interp_props-7094512c811dbfc9: tests/interp_props.rs
+
+tests/interp_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interp_props-ba6ca52d13a3ab6b.d: tests/interp_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterp_props-ba6ca52d13a3ab6b.rmeta: tests/interp_props.rs Cargo.toml
+
+tests/interp_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ir_props-503d40d538eafd81.d: tests/ir_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libir_props-503d40d538eafd81.rmeta: tests/ir_props.rs Cargo.toml
+
+tests/ir_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ir_props-5ff97a6883df7ca6.d: tests/ir_props.rs
+
+/root/repo/target/debug/deps/ir_props-5ff97a6883df7ca6: tests/ir_props.rs
+
+tests/ir_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ir_props-62d67e39dbb55acd.d: tests/ir_props.rs
+
+/root/repo/target/debug/deps/ir_props-62d67e39dbb55acd: tests/ir_props.rs
+
+tests/ir_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-3dea81178a3ee29e.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-3dea81178a3ee29e.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

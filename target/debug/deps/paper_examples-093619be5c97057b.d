@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-093619be5c97057b.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-093619be5c97057b: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-75a0a3a54a4c9dc0.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-75a0a3a54a4c9dc0: tests/paper_examples.rs
+
+tests/paper_examples.rs:

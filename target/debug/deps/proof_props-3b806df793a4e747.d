@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proof_props-3b806df793a4e747.d: tests/proof_props.rs
+
+/root/repo/target/debug/deps/proof_props-3b806df793a4e747: tests/proof_props.rs
+
+tests/proof_props.rs:

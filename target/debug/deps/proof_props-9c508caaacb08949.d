@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proof_props-9c508caaacb08949.d: tests/proof_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproof_props-9c508caaacb08949.rmeta: tests/proof_props.rs Cargo.toml
+
+tests/proof_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proof_props-fa48feef76acc475.d: tests/proof_props.rs
+
+/root/repo/target/debug/deps/proof_props-fa48feef76acc475: tests/proof_props.rs
+
+tests/proof_props.rs:

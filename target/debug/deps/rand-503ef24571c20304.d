@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-503ef24571c20304.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-503ef24571c20304.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-7d0e839efc5f2145.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-7d0e839efc5f2145: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

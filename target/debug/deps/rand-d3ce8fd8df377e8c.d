@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-d3ce8fd8df377e8c.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d3ce8fd8df377e8c.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d3ce8fd8df377e8c.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

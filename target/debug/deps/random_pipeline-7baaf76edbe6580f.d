@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/random_pipeline-7baaf76edbe6580f.d: tests/random_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_pipeline-7baaf76edbe6580f.rmeta: tests/random_pipeline.rs Cargo.toml
+
+tests/random_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

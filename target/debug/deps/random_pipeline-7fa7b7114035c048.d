@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_pipeline-7fa7b7114035c048.d: tests/random_pipeline.rs
+
+/root/repo/target/debug/deps/random_pipeline-7fa7b7114035c048: tests/random_pipeline.rs
+
+tests/random_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_pipeline-f119946b28be6319.d: tests/random_pipeline.rs
+
+/root/repo/target/debug/deps/random_pipeline-f119946b28be6319: tests/random_pipeline.rs
+
+tests/random_pipeline.rs:

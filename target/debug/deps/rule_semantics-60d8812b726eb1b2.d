@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rule_semantics-60d8812b726eb1b2.d: tests/rule_semantics.rs
+
+/root/repo/target/debug/deps/rule_semantics-60d8812b726eb1b2: tests/rule_semantics.rs
+
+tests/rule_semantics.rs:

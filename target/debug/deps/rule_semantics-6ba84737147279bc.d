@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rule_semantics-6ba84737147279bc.d: tests/rule_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/librule_semantics-6ba84737147279bc.rmeta: tests/rule_semantics.rs Cargo.toml
+
+tests/rule_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

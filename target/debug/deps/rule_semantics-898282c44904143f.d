@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rule_semantics-898282c44904143f.d: tests/rule_semantics.rs
+
+/root/repo/target/debug/deps/rule_semantics-898282c44904143f: tests/rule_semantics.rs
+
+tests/rule_semantics.rs:

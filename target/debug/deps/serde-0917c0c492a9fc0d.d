@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/serde-0917c0c492a9fc0d.d: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs vendor/serde/src/impls.rs
+
+/root/repo/target/debug/deps/serde-0917c0c492a9fc0d: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs vendor/serde/src/impls.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/de.rs:
+vendor/serde/src/ser.rs:
+vendor/serde/src/impls.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/serde-5f5f3a1cbd1d31e2.d: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs vendor/serde/src/impls.rs
+
+/root/repo/target/debug/deps/libserde-5f5f3a1cbd1d31e2.rlib: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs vendor/serde/src/impls.rs
+
+/root/repo/target/debug/deps/libserde-5f5f3a1cbd1d31e2.rmeta: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs vendor/serde/src/impls.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/de.rs:
+vendor/serde/src/ser.rs:
+vendor/serde/src/impls.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/serde-c0b067cebb44a5fa.d: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs vendor/serde/src/impls.rs
+
+/root/repo/target/debug/deps/libserde-c0b067cebb44a5fa.rmeta: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs vendor/serde/src/impls.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/de.rs:
+vendor/serde/src/ser.rs:
+vendor/serde/src/impls.rs:

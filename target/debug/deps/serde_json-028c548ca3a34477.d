@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-028c548ca3a34477.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-028c548ca3a34477.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

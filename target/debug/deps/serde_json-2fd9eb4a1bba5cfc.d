@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-2fd9eb4a1bba5cfc.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-2fd9eb4a1bba5cfc.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-2fd9eb4a1bba5cfc.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

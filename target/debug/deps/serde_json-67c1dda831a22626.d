@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-67c1dda831a22626.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-67c1dda831a22626: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

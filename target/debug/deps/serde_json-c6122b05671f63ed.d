@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-c6122b05671f63ed.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c6122b05671f63ed.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c6122b05671f63ed.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-1af007f7dcca57cd.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-1af007f7dcca57cd: tests/stress.rs
+
+tests/stress.rs:

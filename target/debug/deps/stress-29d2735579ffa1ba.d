@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-29d2735579ffa1ba.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-29d2735579ffa1ba: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-2df9f5660aaaa58b.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-2df9f5660aaaa58b: tests/telemetry.rs
+
+tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bug_hunt-01b73735283a1ac6.d: examples/bug_hunt.rs
+
+/root/repo/target/debug/examples/bug_hunt-01b73735283a1ac6: examples/bug_hunt.rs
+
+examples/bug_hunt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bug_hunt-3387c7a4914dcd99.d: examples/bug_hunt.rs
+
+/root/repo/target/debug/examples/bug_hunt-3387c7a4914dcd99: examples/bug_hunt.rs
+
+examples/bug_hunt.rs:

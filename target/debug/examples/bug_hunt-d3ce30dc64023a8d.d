@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bug_hunt-d3ce30dc64023a8d.d: examples/bug_hunt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbug_hunt-d3ce30dc64023a8d.rmeta: examples/bug_hunt.rs Cargo.toml
+
+examples/bug_hunt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

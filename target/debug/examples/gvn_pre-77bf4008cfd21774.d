@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gvn_pre-77bf4008cfd21774.d: examples/gvn_pre.rs
+
+/root/repo/target/debug/examples/gvn_pre-77bf4008cfd21774: examples/gvn_pre.rs
+
+examples/gvn_pre.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gvn_pre-b9429dab8f34b7c2.d: examples/gvn_pre.rs
+
+/root/repo/target/debug/examples/gvn_pre-b9429dab8f34b7c2: examples/gvn_pre.rs
+
+examples/gvn_pre.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gvn_pre-fed7d786b8baf6ea.d: examples/gvn_pre.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgvn_pre-fed7d786b8baf6ea.rmeta: examples/gvn_pre.rs Cargo.toml
+
+examples/gvn_pre.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

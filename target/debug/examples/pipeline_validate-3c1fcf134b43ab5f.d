@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_validate-3c1fcf134b43ab5f.d: examples/pipeline_validate.rs
+
+/root/repo/target/debug/examples/pipeline_validate-3c1fcf134b43ab5f: examples/pipeline_validate.rs
+
+examples/pipeline_validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_validate-629fd12265880a86.d: examples/pipeline_validate.rs
+
+/root/repo/target/debug/examples/pipeline_validate-629fd12265880a86: examples/pipeline_validate.rs
+
+examples/pipeline_validate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_validate-bbb95176f1ef3866.d: examples/pipeline_validate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_validate-bbb95176f1ef3866.rmeta: examples/pipeline_validate.rs Cargo.toml
+
+examples/pipeline_validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-65b08e84de3ea13c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-65b08e84de3ea13c: examples/quickstart.rs
+
+examples/quickstart.rs:

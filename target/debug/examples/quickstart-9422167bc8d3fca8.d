@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9422167bc8d3fca8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9422167bc8d3fca8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/random_testing-289e197f8caebe8d.d: examples/random_testing.rs
+
+/root/repo/target/debug/examples/random_testing-289e197f8caebe8d: examples/random_testing.rs
+
+examples/random_testing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/random_testing-495eb4f878adfd02.d: examples/random_testing.rs Cargo.toml
+
+/root/repo/target/debug/examples/librandom_testing-495eb4f878adfd02.rmeta: examples/random_testing.rs Cargo.toml
+
+examples/random_testing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/random_testing-74b8d4dba0dbd42f.d: examples/random_testing.rs
+
+/root/repo/target/debug/examples/random_testing-74b8d4dba0dbd42f: examples/random_testing.rs
+
+examples/random_testing.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crellvm-61100c31792cf2f3.d: src/lib.rs
+
+/root/repo/target/release/deps/libcrellvm-61100c31792cf2f3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcrellvm-61100c31792cf2f3.rmeta: src/lib.rs
+
+src/lib.rs:

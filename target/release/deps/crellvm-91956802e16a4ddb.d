@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crellvm-91956802e16a4ddb.d: src/main.rs
+
+/root/repo/target/release/deps/crellvm-91956802e16a4ddb: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/crellvm_core-916eb1694f4cf67a.d: crates/core/src/lib.rs crates/core/src/assertion.rs crates/core/src/auto.rs crates/core/src/checker.rs crates/core/src/equivbeh.rs crates/core/src/expr.rs crates/core/src/infrule.rs crates/core/src/postcond.rs crates/core/src/proof.rs crates/core/src/rules_arith.rs crates/core/src/rules_composite.rs crates/core/src/semantics.rs crates/core/src/serialize.rs crates/core/src/serialize_bin.rs
+
+/root/repo/target/release/deps/libcrellvm_core-916eb1694f4cf67a.rlib: crates/core/src/lib.rs crates/core/src/assertion.rs crates/core/src/auto.rs crates/core/src/checker.rs crates/core/src/equivbeh.rs crates/core/src/expr.rs crates/core/src/infrule.rs crates/core/src/postcond.rs crates/core/src/proof.rs crates/core/src/rules_arith.rs crates/core/src/rules_composite.rs crates/core/src/semantics.rs crates/core/src/serialize.rs crates/core/src/serialize_bin.rs
+
+/root/repo/target/release/deps/libcrellvm_core-916eb1694f4cf67a.rmeta: crates/core/src/lib.rs crates/core/src/assertion.rs crates/core/src/auto.rs crates/core/src/checker.rs crates/core/src/equivbeh.rs crates/core/src/expr.rs crates/core/src/infrule.rs crates/core/src/postcond.rs crates/core/src/proof.rs crates/core/src/rules_arith.rs crates/core/src/rules_composite.rs crates/core/src/semantics.rs crates/core/src/serialize.rs crates/core/src/serialize_bin.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assertion.rs:
+crates/core/src/auto.rs:
+crates/core/src/checker.rs:
+crates/core/src/equivbeh.rs:
+crates/core/src/expr.rs:
+crates/core/src/infrule.rs:
+crates/core/src/postcond.rs:
+crates/core/src/proof.rs:
+crates/core/src/rules_arith.rs:
+crates/core/src/rules_composite.rs:
+crates/core/src/semantics.rs:
+crates/core/src/serialize.rs:
+crates/core/src/serialize_bin.rs:

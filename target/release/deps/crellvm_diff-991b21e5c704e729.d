@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crellvm_diff-991b21e5c704e729.d: crates/diff/src/lib.rs
+
+/root/repo/target/release/deps/libcrellvm_diff-991b21e5c704e729.rlib: crates/diff/src/lib.rs
+
+/root/repo/target/release/deps/libcrellvm_diff-991b21e5c704e729.rmeta: crates/diff/src/lib.rs
+
+crates/diff/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crellvm_gen-72bd9a55b7b2ccfa.d: crates/gen/src/lib.rs crates/gen/src/corpus.rs crates/gen/src/rand_prog.rs
+
+/root/repo/target/release/deps/libcrellvm_gen-72bd9a55b7b2ccfa.rlib: crates/gen/src/lib.rs crates/gen/src/corpus.rs crates/gen/src/rand_prog.rs
+
+/root/repo/target/release/deps/libcrellvm_gen-72bd9a55b7b2ccfa.rmeta: crates/gen/src/lib.rs crates/gen/src/corpus.rs crates/gen/src/rand_prog.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/corpus.rs:
+crates/gen/src/rand_prog.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/crellvm_interp-36f04fb303c10d89.d: crates/interp/src/lib.rs crates/interp/src/event.rs crates/interp/src/exec.rs crates/interp/src/mem.rs crates/interp/src/refine.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/libcrellvm_interp-36f04fb303c10d89.rlib: crates/interp/src/lib.rs crates/interp/src/event.rs crates/interp/src/exec.rs crates/interp/src/mem.rs crates/interp/src/refine.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/libcrellvm_interp-36f04fb303c10d89.rmeta: crates/interp/src/lib.rs crates/interp/src/event.rs crates/interp/src/exec.rs crates/interp/src/mem.rs crates/interp/src/refine.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/event.rs:
+crates/interp/src/exec.rs:
+crates/interp/src/mem.rs:
+crates/interp/src/refine.rs:
+crates/interp/src/value.rs:

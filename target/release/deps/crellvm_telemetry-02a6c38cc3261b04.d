@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/crellvm_telemetry-02a6c38cc3261b04.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libcrellvm_telemetry-02a6c38cc3261b04.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libcrellvm_telemetry-02a6c38cc3261b04.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-482fa43cc9e28e5b.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-482fa43cc9e28e5b.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-482fa43cc9e28e5b.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/serde-0f47f00d75da2669.d: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs vendor/serde/src/impls.rs
+
+/root/repo/target/release/deps/libserde-0f47f00d75da2669.rlib: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs vendor/serde/src/impls.rs
+
+/root/repo/target/release/deps/libserde-0f47f00d75da2669.rmeta: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/ser.rs vendor/serde/src/impls.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/de.rs:
+vendor/serde/src/ser.rs:
+vendor/serde/src/impls.rs:

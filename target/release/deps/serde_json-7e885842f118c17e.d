@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-7e885842f118c17e.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-7e885842f118c17e.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-7e885842f118c17e.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -14,7 +14,11 @@ use crellvm::passes::{gvn, instcombine, mem2reg, PassConfig};
 fn valid_units() -> Vec<ProofUnit> {
     let mut units = Vec::new();
     for seed in [5u64, 17, 23, 31, 49, 66, 92] {
-        let m = generate_module(&GenConfig { seed, functions: 3, ..GenConfig::default() });
+        let m = generate_module(&GenConfig {
+            seed,
+            functions: 3,
+            ..GenConfig::default()
+        });
         for out in [
             mem2reg(&m, &PassConfig::default()),
             gvn(&m, &PassConfig::default()),
@@ -82,7 +86,10 @@ fn mutated_call_argument_rejected() {
 fn swapped_branch_targets_rejected() {
     assert_all_rejected("cond-br-swap", |unit| {
         for b in &mut unit.tgt.blocks {
-            if let crellvm::ir::Term::CondBr { if_true, if_false, .. } = &mut b.term {
+            if let crellvm::ir::Term::CondBr {
+                if_true, if_false, ..
+            } = &mut b.term
+            {
                 if if_true != if_false {
                     std::mem::swap(if_true, if_false);
                     return true;
@@ -99,7 +106,11 @@ fn added_inbounds_flag_rejected() {
     assert_all_rejected("gep-inbounds", |unit| {
         for b in &mut unit.tgt.blocks {
             for s in &mut b.stmts {
-                if let Inst::Gep { inbounds: inbounds @ false, .. } = &mut s.inst {
+                if let Inst::Gep {
+                    inbounds: inbounds @ false,
+                    ..
+                } = &mut s.inst
+                {
                     *inbounds = true;
                     return true;
                 }
@@ -123,7 +134,11 @@ fn flipped_operator_rejected() {
                 if used.get(&r).copied().unwrap_or(0) == 0 {
                     continue;
                 }
-                if let Inst::Bin { op: op @ crellvm::ir::BinOp::Add, .. } = &mut s.inst {
+                if let Inst::Bin {
+                    op: op @ crellvm::ir::BinOp::Add,
+                    ..
+                } = &mut s.inst
+                {
                     *op = crellvm::ir::BinOp::Sub;
                     return true;
                 }
@@ -200,7 +215,11 @@ fn deleted_store_rejected() {
 #[test]
 fn empty_proof_only_validates_identity() {
     use crellvm::erhl::ProofBuilder;
-    let m = generate_module(&GenConfig { seed: 3, functions: 2, ..GenConfig::default() });
+    let m = generate_module(&GenConfig {
+        seed: 3,
+        functions: 2,
+        ..GenConfig::default()
+    });
     for f in &m.functions {
         let unit = ProofBuilder::new("identity", f).finish();
         assert_eq!(validate(&unit), Ok(Verdict::Valid), "@{}", f.name);

@@ -17,7 +17,11 @@ fn ints(run: &crellvm::interp::RunResult) -> Vec<Option<i64>> {
         .iter()
         .filter(|e| e.callee == "print")
         .map(|e| match &e.args[0] {
-            Val::Int { ty, bits, tainted: false } => Some(ty.sext(*bits)),
+            Val::Int {
+                ty,
+                bits,
+                tainted: false,
+            } => Some(ty.sext(*bits)),
             _ => None, // undef-ish
         })
         .collect()
@@ -113,7 +117,10 @@ fn pr24179_end_to_end() {
 
     // Buggy mem2reg (LLVM 3.7.1): promotes `cur` through the single-block
     // fast path, feeding undef to every `prev = cur`.
-    let config = PassConfig::with_bugs(BugSet { pr24179: true, ..BugSet::default() });
+    let config = PassConfig::with_bugs(BugSet {
+        pr24179: true,
+        ..BugSet::default()
+    });
     let buggy = mem2reg(&m, &config);
     verify_module(&buggy.module).unwrap();
     // (a) Validation catches the bug with a loop-located reason.
@@ -162,10 +169,16 @@ fn pr28562_end_to_end() {
 
     // Buggy gvn: q2 := q1 — the target passes poison where the source
     // passed a concrete (if out-of-bounds) address.
-    let config = PassConfig::with_bugs(BugSet { pr28562: true, ..BugSet::default() });
+    let config = PassConfig::with_bugs(BugSet {
+        pr28562: true,
+        ..BugSet::default()
+    });
     let buggy = gvn(&m, &config);
     verify_module(&buggy.module).unwrap();
-    assert!(buggy.proofs.iter().any(|u| validate(u).is_err()), "validation must fail");
+    assert!(
+        buggy.proofs.iter().any(|u| validate(u).is_err()),
+        "validation must fail"
+    );
     let buggy_run = run_main(&buggy.module, &rc);
     // Source: arg 1 is a concrete pointer; target: poison.
     assert!(matches!(src_run.events[0].args[1], Val::Ptr { .. }));
@@ -204,10 +217,17 @@ fn pr33673_end_to_end() {
     }
 
     // The buggy compiler propagates the trapping constant.
-    let config = PassConfig::with_bugs(BugSet { pr33673: true, ..BugSet::default() });
+    let config = PassConfig::with_bugs(BugSet {
+        pr33673: true,
+        ..BugSet::default()
+    });
     let buggy = mem2reg(&m, &config);
     verify_module(&buggy.module).unwrap();
-    let err = buggy.proofs.iter().find_map(|u| validate(u).err()).expect("must fail validation");
+    let err = buggy
+        .proofs
+        .iter()
+        .find_map(|u| validate(u).err())
+        .expect("must fail validation");
     assert!(
         err.reason.contains("trapping") || err.reason.contains("undefined behaviour"),
         "reason: {}",
@@ -275,7 +295,10 @@ fn d38619_end_to_end() {
         assert_eq!(validate(unit), Ok(Verdict::Valid));
     }
     // Buggy: the false edge left→exit wrongly carries "w == 12".
-    let config = PassConfig::with_bugs(BugSet { d38619: true, ..BugSet::default() });
+    let config = PassConfig::with_bugs(BugSet {
+        d38619: true,
+        ..BugSet::default()
+    });
     let buggy = gvn(&m, &config);
     verify_module(&buggy.module).unwrap();
     assert!(buggy.proofs.iter().any(|u| validate(u).is_err()));
@@ -321,7 +344,10 @@ fn llvm_version_matrix() {
         out.proofs.iter().any(|u| validate(u).is_err())
     };
     assert!(fails_gvn(BugSet::llvm_3_7_1()), "3.7.1 has PR28562");
-    assert!(!fails_gvn(BugSet::llvm_5_0_1_prepatch()), "5.0.1 fixed PR28562");
+    assert!(
+        !fails_gvn(BugSet::llvm_5_0_1_prepatch()),
+        "5.0.1 fixed PR28562"
+    );
     assert!(!fails_gvn(BugSet::llvm_5_0_1_postpatch()));
 
     let trigger_m2r = diffsqr_program();
@@ -330,6 +356,9 @@ fn llvm_version_matrix() {
         out.proofs.iter().any(|u| validate(u).is_err())
     };
     assert!(fails_m2r(BugSet::llvm_3_7_1()), "3.7.1 has PR24179");
-    assert!(!fails_m2r(BugSet::llvm_5_0_1_prepatch()), "5.0.1 fixed PR24179");
+    assert!(
+        !fails_m2r(BugSet::llvm_5_0_1_prepatch()),
+        "5.0.1 fixed PR24179"
+    );
     assert!(!fails_m2r(BugSet::llvm_5_0_1_postpatch()));
 }

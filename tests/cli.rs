@@ -8,7 +8,10 @@ fn bin() -> &'static str {
 }
 
 fn run(args: &[&str]) -> Output {
-    Command::new(bin()).args(args).output().expect("binary runs")
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary runs")
 }
 
 fn tmpfile(name: &str) -> PathBuf {
@@ -18,8 +21,20 @@ fn tmpfile(name: &str) -> PathBuf {
 #[test]
 fn gen_run_opt_diff_roundtrip() {
     let prog = tmpfile("a.cll");
-    let out = run(&["gen", "--seed", "11", "--functions", "2", "--out", prog.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = run(&[
+        "gen",
+        "--seed",
+        "11",
+        "--functions",
+        "2",
+        "--out",
+        prog.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // run: prints a trace and a normal end.
     let out = run(&["run", prog.to_str().unwrap()]);
@@ -29,11 +44,18 @@ fn gen_run_opt_diff_roundtrip() {
 
     // opt: every translation validates; --emit produces parseable IR.
     let out = run(&["opt", prog.to_str().unwrap(), "--emit"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("valid"));
     assert!(!stdout.contains("FAILED"));
-    let ir_start = stdout.find("define").or_else(|| stdout.find("declare")).unwrap();
+    let ir_start = stdout
+        .find("define")
+        .or_else(|| stdout.find("declare"))
+        .unwrap();
     let optimized = tmpfile("a_opt.cll");
     std::fs::write(&optimized, &stdout[ir_start..]).unwrap();
 
@@ -41,7 +63,15 @@ fn gen_run_opt_diff_roundtrip() {
     let out = run(&["diff", prog.to_str().unwrap(), prog.to_str().unwrap()]);
     assert!(out.status.success());
     let other = tmpfile("b.cll");
-    let out = run(&["gen", "--seed", "12", "--functions", "2", "--out", other.to_str().unwrap()]);
+    let out = run(&[
+        "gen",
+        "--seed",
+        "12",
+        "--functions",
+        "2",
+        "--out",
+        other.to_str().unwrap(),
+    ]);
     assert!(out.status.success());
     let out = run(&["diff", prog.to_str().unwrap(), other.to_str().unwrap()]);
     assert!(!out.status.success());
@@ -64,14 +94,28 @@ fn opt_with_bugs_reports_failures_and_exits_nonzero() {
         "#,
     )
     .unwrap();
-    let out = run(&["opt", prog.to_str().unwrap(), "--pass", "gvn", "--bugs", "3.7.1"]);
+    let out = run(&[
+        "opt",
+        prog.to_str().unwrap(),
+        "--pass",
+        "gvn",
+        "--bugs",
+        "3.7.1",
+    ]);
     assert!(!out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("FAILED"), "{stdout}");
     assert!(stdout.contains("reason:"), "{stdout}");
 
     // The fixed compiler on the same program validates and exits zero.
-    let out = run(&["opt", prog.to_str().unwrap(), "--pass", "gvn", "--bugs", "none"]);
+    let out = run(&[
+        "opt",
+        prog.to_str().unwrap(),
+        "--pass",
+        "gvn",
+        "--bugs",
+        "none",
+    ]);
     assert!(out.status.success());
 }
 
@@ -80,14 +124,28 @@ fn proof_dump_and_independent_check() {
     let dir = std::env::temp_dir().join("crellvm_cli_proofs");
     let _ = std::fs::remove_dir_all(&dir);
     let prog = tmpfile("chk.cll");
-    let out = run(&["gen", "--seed", "21", "--functions", "2", "--out", prog.to_str().unwrap()]);
+    let out = run(&[
+        "gen",
+        "--seed",
+        "21",
+        "--functions",
+        "2",
+        "--out",
+        prog.to_str().unwrap(),
+    ]);
     assert!(out.status.success());
 
     // Dump proofs in both formats while optimizing.
     for (flag, ext) in [(None, "json"), (Some("--binary"), "cpb")] {
         let sub = dir.join(ext);
-        let mut args =
-            vec!["opt", prog.to_str().unwrap(), "--pass", "mem2reg", "--proof-dir", sub.to_str().unwrap()];
+        let mut args = vec![
+            "opt",
+            prog.to_str().unwrap(),
+            "--pass",
+            "mem2reg",
+            "--proof-dir",
+            sub.to_str().unwrap(),
+        ];
         if let Some(f) = flag {
             args.push(f);
         }
@@ -100,10 +158,15 @@ fn proof_dump_and_independent_check() {
         assert!(!proofs.is_empty(), "no .{ext} proofs written");
 
         // The separate checker process validates each file.
-        let args: Vec<&str> =
-            std::iter::once("check").chain(proofs.iter().map(|p| p.to_str().unwrap())).collect();
+        let args: Vec<&str> = std::iter::once("check")
+            .chain(proofs.iter().map(|p| p.to_str().unwrap()))
+            .collect();
         let out = run(&args);
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
         assert!(String::from_utf8_lossy(&out.stdout).contains("valid"));
     }
 
@@ -122,6 +185,76 @@ fn proof_dump_and_independent_check() {
     let bad = dir.join("bad.cpb");
     std::fs::write(&bad, [0xff, 0xff, 0xff]).unwrap();
     let out = run(&["check", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn metrics_trace_and_report() {
+    let prog = tmpfile("tel.cll");
+    let out = run(&[
+        "gen",
+        "--seed",
+        "31",
+        "--functions",
+        "2",
+        "--out",
+        prog.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let metrics = tmpfile("tel_metrics.json");
+    let trace = tmpfile("tel_trace.jsonl");
+    let out = run(&[
+        "opt",
+        prog.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // The metrics file is a parseable registry snapshot with live data.
+    let snap_json = std::fs::read_to_string(&metrics).unwrap();
+    let snap = crellvm::telemetry::Snapshot::from_json(&snap_json).expect("metrics file parses");
+    assert!(snap.counters.get("pipeline.steps").copied().unwrap_or(0) > 0);
+    assert!(snap.timers.contains_key("time.pcheck"));
+
+    // The trace is JSON-lines with one validation.step event per step.
+    let steps = std::fs::read_to_string(&trace)
+        .unwrap()
+        .lines()
+        .map(|l| crellvm::telemetry::Event::from_json_line(l).expect("trace line parses"))
+        .filter(|e| e.kind == "validation.step")
+        .count();
+    assert_eq!(steps as u64, snap.counters["pipeline.steps"]);
+
+    // `report` renders the tables with a non-zero #V.
+    let out = run(&["report", metrics.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("#V"), "{stdout}");
+    assert!(stdout.contains("PCheck"), "{stdout}");
+    assert!(stdout.contains("inference rule"), "{stdout}");
+    let v_row = stdout.lines().nth(1).expect("counts row");
+    let v: u64 = v_row
+        .split_whitespace()
+        .next()
+        .expect("#V value")
+        .parse()
+        .expect("#V is a number");
+    assert!(v > 0, "#V must be non-zero: {stdout}");
+
+    // A missing or malformed metrics file is a clean error.
+    let out = run(&["report", "/nonexistent.json"]);
     assert_eq!(out.status.code(), Some(2));
 }
 

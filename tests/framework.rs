@@ -33,7 +33,11 @@ fn fig1_framework_flow() {
     let config = PassConfig::default();
 
     for seed in 0..8u64 {
-        let src = generate_module(&GenConfig { seed, functions: 3, ..GenConfig::default() });
+        let src = generate_module(&GenConfig {
+            seed,
+            functions: 3,
+            ..GenConfig::default()
+        });
 
         // Step 1: the "original" compiler.
         let mut tgt = src.clone();
@@ -55,7 +59,11 @@ fn fig1_framework_flow() {
             tgt_prime = out.module;
         }
         std::fs::write(dir.join(format!("s{seed}_src.cll")), print_module(&src)).unwrap();
-        std::fs::write(dir.join(format!("s{seed}_tgt.cll")), print_module(&tgt_prime)).unwrap();
+        std::fs::write(
+            dir.join(format!("s{seed}_tgt.cll")),
+            print_module(&tgt_prime),
+        )
+        .unwrap();
 
         // Step 3: an independent process (simulated: fresh parse of
         // everything from disk) checks the proofs.
@@ -72,8 +80,9 @@ fn fig1_framework_flow() {
         diff_modules(&tgt, &tgt_prime).expect("tgt and tgt' are alpha-equivalent");
 
         // And the on-disk IR round-trips.
-        let reparsed = parse_module(&std::fs::read_to_string(dir.join(format!("s{seed}_tgt.cll"))).unwrap())
-            .expect("printed target parses");
+        let reparsed =
+            parse_module(&std::fs::read_to_string(dir.join(format!("s{seed}_tgt.cll"))).unwrap())
+                .expect("printed target parses");
         verify_module(&reparsed).unwrap();
         diff_modules(&reparsed, &tgt_prime).expect("round-tripped target is alpha-equivalent");
     }
@@ -85,7 +94,12 @@ fn fig1_framework_flow() {
 #[test]
 fn print_parse_roundtrip_corpus() {
     for seed in 0..25u64 {
-        let m = generate_module(&GenConfig { seed, functions: 3, unsupported_rate: 0.2, ..GenConfig::default() });
+        let m = generate_module(&GenConfig {
+            seed,
+            functions: 3,
+            unsupported_rate: 0.2,
+            ..GenConfig::default()
+        });
         let text = print_module(&m);
         let m2 = parse_module(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
         verify_module(&m2).unwrap();
@@ -101,7 +115,11 @@ fn print_parse_roundtrip_corpus() {
 fn proof_serialization_roundtrip_corpus() {
     let config = PassConfig::default();
     for seed in 0..10u64 {
-        let m = generate_module(&GenConfig { seed, functions: 2, ..GenConfig::default() });
+        let m = generate_module(&GenConfig {
+            seed,
+            functions: 2,
+            ..GenConfig::default()
+        });
         for pass in PASS_ORDER {
             let out = run_pass(pass, &m, &config);
             for unit in &out.proofs {

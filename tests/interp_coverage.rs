@@ -24,11 +24,32 @@ fn seeded_undef_policy_is_deterministic_but_seed_sensitive() {
           ret void
         }
     "#;
-    let a1 = run_with(src, &RunConfig { undef: UndefPolicy::Seeded(1), ..RunConfig::default() });
-    let a2 = run_with(src, &RunConfig { undef: UndefPolicy::Seeded(1), ..RunConfig::default() });
+    let a1 = run_with(
+        src,
+        &RunConfig {
+            undef: UndefPolicy::Seeded(1),
+            ..RunConfig::default()
+        },
+    );
+    let a2 = run_with(
+        src,
+        &RunConfig {
+            undef: UndefPolicy::Seeded(1),
+            ..RunConfig::default()
+        },
+    );
     assert_eq!(a1, a2, "same seed, same run");
-    let b = run_with(src, &RunConfig { undef: UndefPolicy::Seeded(2), ..RunConfig::default() });
-    assert_ne!(a1.events, b.events, "different seeds resolve undef differently");
+    let b = run_with(
+        src,
+        &RunConfig {
+            undef: UndefPolicy::Seeded(2),
+            ..RunConfig::default()
+        },
+    );
+    assert_ne!(
+        a1.events, b.events,
+        "different seeds resolve undef differently"
+    );
     // Both resolutions are tainted, so either refines the other.
     check_refinement(&a1, &b).unwrap();
     check_refinement(&b, &a1).unwrap();
@@ -69,9 +90,16 @@ fn recursion_is_bounded_by_depth() {
           ret void
         }
         "#,
-        &RunConfig { fuel: 1_000_000, ..RunConfig::default() },
+        &RunConfig {
+            fuel: 1_000_000,
+            ..RunConfig::default()
+        },
     );
-    assert_eq!(r.end, End::OutOfFuel, "deep recursion is inconclusive, not a crash");
+    assert_eq!(
+        r.end,
+        End::OutOfFuel,
+        "deep recursion is inconclusive, not a crash"
+    );
 }
 
 #[test]
@@ -106,7 +134,12 @@ fn run_function_with_arguments() {
         "#,
     )
     .unwrap();
-    let r = run_function(&m, "sq", vec![Val::int(Type::I32, 9)], &RunConfig::default());
+    let r = run_function(
+        &m,
+        "sq",
+        vec![Val::int(Type::I32, 9)],
+        &RunConfig::default(),
+    );
     assert_eq!(r.end, End::Ret(Some(Val::int(Type::I32, 81))));
     // Missing function is UB, not a panic.
     let r = run_function(&m, "nope", vec![], &RunConfig::default());
@@ -168,8 +201,20 @@ fn events_count_against_fuel_consistently() {
           ret void
         }
     "#;
-    let small = run_with(src, &RunConfig { fuel: 40, ..RunConfig::default() });
-    let big = run_with(src, &RunConfig { fuel: 100_000, ..RunConfig::default() });
+    let small = run_with(
+        src,
+        &RunConfig {
+            fuel: 40,
+            ..RunConfig::default()
+        },
+    );
+    let big = run_with(
+        src,
+        &RunConfig {
+            fuel: 100_000,
+            ..RunConfig::default()
+        },
+    );
     assert_eq!(small.end, End::OutOfFuel);
     assert_eq!(big.end, End::Ret(None));
     assert!(big.events.len() > small.events.len());

@@ -12,7 +12,11 @@ fn gen(seed: u64) -> crellvm::ir::Module {
         seed,
         functions: 2,
         max_depth: 3,
-        feature_mix: if seed.is_multiple_of(2) { FeatureMix::Benchmarks } else { FeatureMix::Csmith },
+        feature_mix: if seed.is_multiple_of(2) {
+            FeatureMix::Benchmarks
+        } else {
+            FeatureMix::Csmith
+        },
         memory: true,
         loops: true,
         ..GenConfig::default()

@@ -34,14 +34,21 @@ fn fig2_assoc_add() {
     // removed by instcombine's dead-code elimination.
     assert_eq!(
         f.blocks[0].stmts[0].inst,
-        Inst::Bin { op: BinOp::Add, ty: Type::I32, lhs: Value::Reg(f.params[0].1), rhs: Value::int(Type::I32, 3) }
+        Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::I32,
+            lhs: Value::Reg(f.params[0].1),
+            rhs: Value::int(Type::I32, 3)
+        }
     );
     for unit in &out.proofs {
         assert_eq!(validate(unit), Ok(Verdict::Valid));
         // The generated proof uses the paper's rules.
-        let has_assoc = unit.infrules.values().flatten().any(|r| {
-            matches!(r, InfRule::Arith(crellvm::erhl::ArithRule::AddAssoc { .. }))
-        });
+        let has_assoc = unit
+            .infrules
+            .values()
+            .flatten()
+            .any(|r| matches!(r, InfRule::Arith(crellvm::erhl::ArithRule::AddAssoc { .. })));
         assert!(has_assoc, "proof should contain the assoc_add rule");
     }
     let rc = RunConfig::default();
@@ -87,8 +94,11 @@ fn fig3_mem2reg() {
     assert_eq!(phi.value_from(right), Some(&Value::Reg(f.params[1].1)));
     for unit in &out.proofs {
         assert_eq!(validate(unit), Ok(Verdict::Valid));
-        let has_ghost =
-            unit.infrules.values().flatten().any(|r| matches!(r, InfRule::IntroGhost { .. }));
+        let has_ghost = unit
+            .infrules
+            .values()
+            .flatten()
+            .any(|r| matches!(r, InfRule::IntroGhost { .. }));
         assert!(has_ghost, "proof should introduce ghost registers");
         assert!(unit.autos.contains(&AutoKind::Transitivity));
     }
@@ -139,7 +149,11 @@ fn fold_phi_sec4() {
     let t = pb.fresh_reg("t");
     {
         let tgt = pb.tgt_mut();
-        let pos = tgt.blocks[b2].phis.iter().position(|(r, _)| *r == z).unwrap();
+        let pos = tgt.blocks[b2]
+            .phis
+            .iter()
+            .position(|(r, _)| *r == z)
+            .unwrap();
         let mut phi = tgt.blocks[b2].phis.remove(pos).1;
         phi.set_incoming(crellvm::ir::BlockId::from_index(entry), Value::Reg(a));
         phi.set_incoming(crellvm::ir::BlockId::from_index(b2), Value::Reg(z));
@@ -148,7 +162,12 @@ fn fold_phi_sec4() {
             0,
             crellvm::ir::Stmt {
                 result: Some(z),
-                inst: Inst::Bin { op: BinOp::Add, ty: Type::I32, lhs: Value::Reg(t), rhs: Value::int(Type::I32, 1) },
+                inst: Inst::Bin {
+                    op: BinOp::Add,
+                    ty: Type::I32,
+                    lhs: Value::Reg(t),
+                    rhs: Value::int(Type::I32, 1),
+                },
             },
         );
     }
@@ -167,44 +186,115 @@ fn fold_phi_sec4() {
         let tv = TValue::phy(t);
         let t_plus_1 = Expr::bin(BinOp::Add, Type::I32, tv, TValue::int(Type::I32, 1));
         // {x ⊒ add(a,1), add(a,1) ⊒ x} to the end of entry (both sides).
-        let xdef = Expr::bin(BinOp::Add, Type::I32, TValue::phy(a), TValue::int(Type::I32, 1));
+        let xdef = Expr::bin(
+            BinOp::Add,
+            Type::I32,
+            TValue::phy(a),
+            TValue::int(Type::I32, 1),
+        );
         for side in [Side::Src, Side::Tgt] {
-            pb.range_pred(side, Pred::Lessdef(Expr::Value(TValue::phy(x)), xdef.clone()), Loc::AfterRow(entry, 0), Loc::End(entry));
-            pb.range_pred(side, Pred::Lessdef(xdef.clone(), Expr::Value(TValue::phy(x))), Loc::AfterRow(entry, 0), Loc::End(entry));
+            pb.range_pred(
+                side,
+                Pred::Lessdef(Expr::Value(TValue::phy(x)), xdef.clone()),
+                Loc::AfterRow(entry, 0),
+                Loc::End(entry),
+            );
+            pb.range_pred(
+                side,
+                Pred::Lessdef(xdef.clone(), Expr::Value(TValue::phy(x))),
+                Loc::AfterRow(entry, 0),
+                Loc::End(entry),
+            );
         }
         // At the start of B2: z_src ⊒ ẑ and ẑ ⊒ t+1 (tgt); z still differs.
-        pb.range_pred(Side::Src, Pred::Lessdef(zv.clone(), zhat.clone()), Loc::Start(b2), Loc::Start(b2));
-        pb.range_pred(Side::Tgt, Pred::Lessdef(zhat.clone(), t_plus_1.clone()), Loc::Start(b2), Loc::Start(b2));
+        pb.range_pred(
+            Side::Src,
+            Pred::Lessdef(zv.clone(), zhat.clone()),
+            Loc::Start(b2),
+            Loc::Start(b2),
+        );
+        pb.range_pred(
+            Side::Tgt,
+            Pred::Lessdef(zhat.clone(), t_plus_1.clone()),
+            Loc::Start(b2),
+            Loc::Start(b2),
+        );
         // {y ⊒ add(z,1)} to the end of B2 in the source (feeds the back edge).
-        let ydef = Expr::bin(BinOp::Add, Type::I32, TValue::phy(z), TValue::int(Type::I32, 1));
-        pb.range_pred(Side::Src, Pred::Lessdef(Expr::Value(TValue::phy(y)), ydef.clone()), Loc::AfterRow(b2, 2), Loc::End(b2));
+        let ydef = Expr::bin(
+            BinOp::Add,
+            Type::I32,
+            TValue::phy(z),
+            TValue::int(Type::I32, 1),
+        );
+        pb.range_pred(
+            Side::Src,
+            Pred::Lessdef(Expr::Value(TValue::phy(y)), ydef.clone()),
+            Loc::AfterRow(b2, 2),
+            Loc::End(b2),
+        );
 
         // Edge entry → b2: ghost anchored on the old x.
-        pb.infrule_edge(entry, b2, InfRule::IntroGhost { g: "z".into(), e: Expr::Value(TValue::old(x)) });
+        pb.infrule_edge(
+            entry,
+            b2,
+            InfRule::IntroGhost {
+                g: "z".into(),
+                e: Expr::Value(TValue::old(x)),
+            },
+        );
         // ẑ ⊒ x̄ ⊒ add(ā,1) ⊒ add(t,1): substitute ā ↦ t (premise ā ⊒ t from the φ).
-        pb.infrule_edge(entry, b2, InfRule::Substitute {
-            side: Side::Tgt,
-            from: TValue::old(a),
-            to: TValue::phy(t),
-            e: Expr::bin(BinOp::Add, Type::I32, TValue::old(a), TValue::int(Type::I32, 1)),
-        });
+        pb.infrule_edge(
+            entry,
+            b2,
+            InfRule::Substitute {
+                side: Side::Tgt,
+                from: TValue::old(a),
+                to: TValue::phy(t),
+                e: Expr::bin(
+                    BinOp::Add,
+                    Type::I32,
+                    TValue::old(a),
+                    TValue::int(Type::I32, 1),
+                ),
+            },
+        );
 
         // Back edge b2 → b2: the paper's intro_ghost(ẑ, z̄+1).
-        let zbar_plus_1 = Expr::bin(BinOp::Add, Type::I32, TValue::old(z), TValue::int(Type::I32, 1));
-        pb.infrule_edge(b2, b2, InfRule::IntroGhost { g: "z".into(), e: zbar_plus_1.clone() });
-        pb.infrule_edge(b2, b2, InfRule::Substitute {
-            side: Side::Tgt,
-            from: TValue::old(z),
-            to: TValue::phy(t),
-            e: zbar_plus_1,
-        });
+        let zbar_plus_1 = Expr::bin(
+            BinOp::Add,
+            Type::I32,
+            TValue::old(z),
+            TValue::int(Type::I32, 1),
+        );
+        pb.infrule_edge(
+            b2,
+            b2,
+            InfRule::IntroGhost {
+                g: "z".into(),
+                e: zbar_plus_1.clone(),
+            },
+        );
+        pb.infrule_edge(
+            b2,
+            b2,
+            InfRule::Substitute {
+                side: Side::Tgt,
+                from: TValue::old(z),
+                to: TValue::phy(t),
+                e: zbar_plus_1,
+            },
+        );
         pb.finish()
     };
     // Fix up the alignment for the inserted first row of b2.
     unit.alignment[b2].insert(0, crellvm::erhl::RowShape::TgtOnly);
     // Re-slot the assertions of b2 (everything shifts by one row; the map
     // was built before the insert, so rebuild the affected slots).
-    let base = unit.assertions.get(&crellvm::erhl::SlotId::new(b2, 0)).cloned().unwrap();
+    let base = unit
+        .assertions
+        .get(&crellvm::erhl::SlotId::new(b2, 0))
+        .cloned()
+        .unwrap();
     let nrows = unit.alignment[b2].len();
     let mut reslotted = std::collections::BTreeMap::new();
     for (k, v) in std::mem::take(&mut unit.assertions) {
@@ -226,7 +316,12 @@ fn fold_phi_sec4() {
             let (z_, y_) = (z, y);
             a.src.insert_lessdef(
                 Expr::Value(TValue::phy(y_)),
-                Expr::bin(BinOp::Add, Type::I32, TValue::phy(z_), TValue::int(Type::I32, 1)),
+                Expr::bin(
+                    BinOp::Add,
+                    Type::I32,
+                    TValue::phy(z_),
+                    TValue::int(Type::I32, 1),
+                ),
             );
         }
         if s >= 1 {
@@ -243,7 +338,12 @@ fn fold_phi_sec4() {
     // by src-row coordinates before the insert — none were, so nothing to
     // shift), and keep the edge rules as-is.
 
-    assert_eq!(validate(&unit), Ok(Verdict::Valid), "fold-phi proof: {:?}", validate(&unit));
+    assert_eq!(
+        validate(&unit),
+        Ok(Verdict::Valid),
+        "fold-phi proof: {:?}",
+        validate(&unit)
+    );
 
     // Differential check.
     let mut tgt_mod = m.clone();
@@ -298,7 +398,10 @@ fn fig15_gvn_pre() {
         .values()
         .flatten()
         .any(|r| matches!(r, InfRule::IcmpToEq { .. }));
-    assert!(uses_icmp_to_eq, "Fig 15's branching assertion should be exercised");
+    assert!(
+        uses_icmp_to_eq,
+        "Fig 15's branching assertion should be exercised"
+    );
     let rc = RunConfig::default();
     check_refinement(&run_main(&src, &rc), &run_main(&out.module, &rc)).unwrap();
 }

@@ -3,7 +3,9 @@
 //! against corrupted or truncated proofs (a validator consuming
 //! compiler-produced files must never panic on a bad one).
 
-use crellvm::erhl::{proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_json, validate, ProofUnit, Verdict};
+use crellvm::erhl::{
+    proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_json, validate, ProofUnit, Verdict,
+};
 use crellvm::gen::{generate_module, FeatureMix, GenConfig};
 use crellvm::passes::{gvn, instcombine, licm, mem2reg, PassConfig};
 use proptest::prelude::*;
@@ -14,7 +16,11 @@ fn proofs_for_seed(seed: u64) -> Vec<ProofUnit> {
         seed,
         functions: 2,
         max_depth: 3,
-        feature_mix: if seed.is_multiple_of(2) { FeatureMix::Benchmarks } else { FeatureMix::Csmith },
+        feature_mix: if seed.is_multiple_of(2) {
+            FeatureMix::Benchmarks
+        } else {
+            FeatureMix::Csmith
+        },
         ..GenConfig::default()
     };
     let pc = PassConfig::default();

@@ -12,12 +12,19 @@ use crellvm::passes::pipeline::{run_pipeline, StepOutcome};
 use crellvm::passes::PassConfig;
 
 fn exercise(seed: u64, unsupported_rate: f64, mix: FeatureMix) {
-    let cfg = GenConfig { seed, functions: 4, unsupported_rate, feature_mix: mix, ..GenConfig::default() };
+    let cfg = GenConfig {
+        seed,
+        functions: 4,
+        unsupported_rate,
+        feature_mix: mix,
+        ..GenConfig::default()
+    };
     let m = generate_module(&cfg);
     verify_module(&m).unwrap_or_else(|e| panic!("seed {seed}: generated module invalid: {e}"));
 
     let (out, report) = run_pipeline(&m, &PassConfig::default());
-    verify_module(&out).unwrap_or_else(|e| panic!("seed {seed}: optimized module invalid: {e}\n{out}"));
+    verify_module(&out)
+        .unwrap_or_else(|e| panic!("seed {seed}: optimized module invalid: {e}\n{out}"));
 
     for step in &report.steps {
         if let StepOutcome::Failed(reason) = &step.outcome {
@@ -33,7 +40,10 @@ fn exercise(seed: u64, unsupported_rate: f64, mix: FeatureMix) {
 
     // Differential execution under two undef policies.
     for policy in [UndefPolicy::Zero, UndefPolicy::Seeded(seed ^ 0xABCD)] {
-        let rc = RunConfig { undef: policy, ..RunConfig::default() };
+        let rc = RunConfig {
+            undef: policy,
+            ..RunConfig::default()
+        };
         let src_run = run_main(&m, &rc);
         let tgt_run = run_main(&out, &rc);
         check_refinement(&src_run, &tgt_run).unwrap_or_else(|e| {
@@ -84,6 +94,9 @@ fn unsupported_rate_produces_ns_only_in_affected_passes() {
         .map(|s| s.pass.as_str())
         .collect();
     assert!(ns_passes.contains("mem2reg"));
-    assert!(!ns_passes.contains("gvn"), "lifetime intrinsics only block mem2reg");
+    assert!(
+        !ns_passes.contains("gvn"),
+        "lifetime intrinsics only block mem2reg"
+    );
     assert_eq!(report.failures(), 0);
 }

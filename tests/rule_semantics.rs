@@ -312,11 +312,17 @@ fn unsound_constexpr_rule_is_refuted_semantically() {
         "#,
     )
     .unwrap();
-    let config = PassConfig::with_bugs(BugSet { pr33673: true, ..BugSet::default() });
+    let config = PassConfig::with_bugs(BugSet {
+        pr33673: true,
+        ..BugSet::default()
+    });
     let out = mem2reg(&m, &config);
 
     // The sound checker rejects the translation…
-    assert!(out.proofs.iter().any(|u| crellvm::erhl::validate(u).is_err()));
+    assert!(out
+        .proofs
+        .iter()
+        .any(|u| crellvm::erhl::validate(u).is_err()));
     // …the checker with the unsound rule accepts it…
     let trusting = CheckerConfig::with_unsound_constexpr_rule();
     for unit in &out.proofs {
@@ -367,9 +373,11 @@ mod composite_soundness {
 
         let mut q = Assertion::new();
         for (r, e) in defs {
-            q.src.insert_lessdef(Expr::value(TValue::phy(reg(*r))), e.clone());
+            q.src
+                .insert_lessdef(Expr::value(TValue::phy(reg(*r))), e.clone());
         }
-        q.src.insert_lessdef(Expr::value(TValue::phy(reg(y))), y_def);
+        q.src
+            .insert_lessdef(Expr::value(TValue::phy(reg(y))), y_def);
         let q2 = apply_inf(
             &InfRule::Arith(ArithRule::Composite(rule)),
             &q,
@@ -843,7 +851,10 @@ mod postcond_phi_soundness {
     }
 
     fn phi_of(incoming: Value) -> Phi {
-        Phi { ty: Type::I32, incoming: vec![(from_block(), Some(incoming))] }
+        Phi {
+            ty: Type::I32,
+            incoming: vec![(from_block(), Some(incoming))],
+        }
     }
 
     proptest! {

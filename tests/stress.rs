@@ -13,7 +13,11 @@ fn sweep(range: std::ops::Range<u64>) {
     let mut fails = Vec::new();
     for seed in range {
         let rate = if seed % 3 == 0 { 0.2 } else { 0.0 };
-        let mix = if seed % 2 == 0 { FeatureMix::Benchmarks } else { FeatureMix::Csmith };
+        let mix = if seed % 2 == 0 {
+            FeatureMix::Benchmarks
+        } else {
+            FeatureMix::Csmith
+        };
         let cfg = GenConfig {
             seed,
             functions: 3,
@@ -27,10 +31,16 @@ fn sweep(range: std::ops::Range<u64>) {
         let (out, report) = run_pipeline(&m, &PassConfig::default());
         for step in &report.steps {
             if let StepOutcome::Failed(reason) = &step.outcome {
-                fails.push(format!("seed {seed}: {} @{}: {reason}", step.pass, step.func));
+                fails.push(format!(
+                    "seed {seed}: {} @{}: {reason}",
+                    step.pass, step.func
+                ));
             }
         }
-        let rc = RunConfig { undef: UndefPolicy::Seeded(seed), ..RunConfig::default() };
+        let rc = RunConfig {
+            undef: UndefPolicy::Seeded(seed),
+            ..RunConfig::default()
+        };
         let (a, b) = (run_main(&m, &rc), run_main(&out, &rc));
         if let Err(e) = check_refinement(&a, &b) {
             fails.push(format!("seed {seed}: refinement violated: {e}"));

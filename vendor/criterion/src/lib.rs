@@ -1,0 +1,97 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark harness,
+//! vendored so the workspace builds without network access.
+//!
+//! `bench_function` runs the closure through a short warm-up followed by a
+//! fixed measurement loop and prints the mean wall-clock time. There is no
+//! statistical analysis, plotting, or comparison against saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from eliding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark registry/driver handed to each benchmark function.
+pub struct Criterion {
+    warmup_iters: u64,
+    measure_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup_iters: 3,
+            measure_iters: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: self.warmup_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        bencher.iters = self.measure_iters;
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        let mean = bencher.elapsed / self.measure_iters.max(1) as u32;
+        println!(
+            "{name:<48} {mean:>12.3?}/iter ({} iters)",
+            self.measure_iters
+        );
+        self
+    }
+
+    /// Compatibility no-op (the real API's config hook).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Group benchmark functions under a name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

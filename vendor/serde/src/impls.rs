@@ -1,0 +1,531 @@
+//! `Serialize`/`Deserialize` impls for the std types this workspace uses.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::de::{self, Deserialize, Deserializer, MapAccess, SeqAccess, Visitor};
+use crate::ser::{
+    Serialize, SerializeMap, SerializeSeq, SerializeStruct, SerializeTuple, Serializer,
+};
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impl {
+    ($ty:ty, $ser:ident, $deser:ident, $visit:ident, $expect:literal) => {
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$ser(*self)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                        f.write_str($expect)
+                    }
+                    fn visit_i8<E: de::Error>(self, v: i8) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                    fn visit_i16<E: de::Error>(self, v: i16) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                    fn visit_i32<E: de::Error>(self, v: i32) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                    fn visit_i64<E: de::Error>(self, v: i64) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                    fn visit_u8<E: de::Error>(self, v: u8) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                    fn visit_u16<E: de::Error>(self, v: u16) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                    fn visit_u32<E: de::Error>(self, v: u32) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                    fn visit_u64<E: de::Error>(self, v: u64) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                }
+                deserializer.$deser(V)
+            }
+        }
+    };
+}
+
+int_impl!(i8, serialize_i8, deserialize_i8, visit_i8, "an i8");
+int_impl!(i16, serialize_i16, deserialize_i16, visit_i16, "an i16");
+int_impl!(i32, serialize_i32, deserialize_i32, visit_i32, "an i32");
+int_impl!(i64, serialize_i64, deserialize_i64, visit_i64, "an i64");
+int_impl!(u8, serialize_u8, deserialize_u8, visit_u8, "a u8");
+int_impl!(u16, serialize_u16, deserialize_u16, visit_u16, "a u16");
+int_impl!(u32, serialize_u32, deserialize_u32, visit_u32, "a u32");
+int_impl!(u64, serialize_u64, deserialize_u64, visit_u64, "a u64");
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = u64::deserialize(deserializer)?;
+        usize::try_from(v).map_err(|_| de::Error::custom("usize out of range"))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = i64::deserialize(deserializer)?;
+        isize::try_from(v).map_err(|_| de::Error::custom("isize out of range"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = bool;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a bool")
+            }
+            fn visit_bool<E: de::Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_bool(V)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f32(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = f32;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("an f32")
+            }
+            fn visit_f32<E: de::Error>(self, v: f32) -> Result<f32, E> {
+                Ok(v)
+            }
+            fn visit_f64<E: de::Error>(self, v: f64) -> Result<f32, E> {
+                Ok(v as f32)
+            }
+            fn visit_i64<E: de::Error>(self, v: i64) -> Result<f32, E> {
+                Ok(v as f32)
+            }
+            fn visit_u64<E: de::Error>(self, v: u64) -> Result<f32, E> {
+                Ok(v as f32)
+            }
+        }
+        deserializer.deserialize_f32(V)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = f64;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("an f64")
+            }
+            fn visit_f32<E: de::Error>(self, v: f32) -> Result<f64, E> {
+                Ok(v as f64)
+            }
+            fn visit_f64<E: de::Error>(self, v: f64) -> Result<f64, E> {
+                Ok(v)
+            }
+            fn visit_i64<E: de::Error>(self, v: i64) -> Result<f64, E> {
+                Ok(v as f64)
+            }
+            fn visit_u64<E: de::Error>(self, v: u64) -> Result<f64, E> {
+                Ok(v as f64)
+            }
+        }
+        deserializer.deserialize_f64(V)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_char(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = char;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a char")
+            }
+            fn visit_char<E: de::Error>(self, v: char) -> Result<char, E> {
+                Ok(v)
+            }
+            fn visit_u32<E: de::Error>(self, v: u32) -> Result<char, E> {
+                char::from_u32(v).ok_or_else(|| E::custom("invalid char scalar"))
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<char, E> {
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(E::custom("expected a single-character string")),
+                }
+            }
+        }
+        deserializer.deserialize_char(V)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: de::Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(V)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// References, Box, unit
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(V)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Option
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("an optional value")
+            }
+            fn visit_none<E: de::Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Option<T>, D::Error> {
+                T::deserialize(d).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V(std::marker::PhantomData))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequences and collections
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(std::marker::PhantomData))
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de> + Ord> Visitor<'de> for V<T> {
+            type Value = BTreeSet<T>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<BTreeSet<T>, A::Error> {
+                let mut out = BTreeSet::new();
+                while let Some(item) = seq.next_element()? {
+                    out.insert(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(std::marker::PhantomData))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_key(k)?;
+            map.serialize_value(v)?;
+        }
+        map.end()
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct Vis<K, V>(std::marker::PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Visitor<'de> for Vis<K, V> {
+            type Value = BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<BTreeMap<K, V>, A::Error> {
+                let mut out = BTreeMap::new();
+                while let Some(key) = map.next_key()? {
+                    let value = map.next_value()?;
+                    out.insert(key, value);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(Vis(std::marker::PhantomData))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_impl {
+    ($len:expr => $($n:tt $name:ident)+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut tup = serializer.serialize_tuple($len)?;
+                $(tup.serialize_element(&self.$n)?;)+
+                tup.end()
+            }
+        }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V<$($name),+>(std::marker::PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for V<$($name),+> {
+                    type Value = ($($name,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                        write!(f, "a tuple of {} elements", $len)
+                    }
+                    #[allow(non_snake_case)]
+                    fn visit_seq<A: SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        $(
+                            let $name = seq
+                                .next_element()?
+                                .ok_or_else(|| de::Error::custom("tuple too short"))?;
+                        )+
+                        Ok(($($name,)+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, V(std::marker::PhantomData))
+            }
+        }
+    };
+}
+
+tuple_impl!(1 => 0 T0);
+tuple_impl!(2 => 0 T0 1 T1);
+tuple_impl!(3 => 0 T0 1 T1 2 T2);
+tuple_impl!(4 => 0 T0 1 T1 2 T2 3 T3);
+
+// ---------------------------------------------------------------------------
+// std::time::Duration (used by pipeline reports)
+// ---------------------------------------------------------------------------
+
+impl Serialize for std::time::Duration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Duration", 2)?;
+        s.serialize_field("secs", &self.as_secs())?;
+        s.serialize_field("nanos", &self.subsec_nanos())?;
+        s.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = std::time::Duration;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a Duration")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let secs: u64 = seq
+                    .next_element()?
+                    .ok_or_else(|| de::Error::custom("missing secs"))?;
+                let nanos: u32 = seq
+                    .next_element()?
+                    .ok_or_else(|| de::Error::custom("missing nanos"))?;
+                Ok(std::time::Duration::new(secs, nanos))
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut secs: Option<u64> = None;
+                let mut nanos: Option<u32> = None;
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "secs" => secs = Some(map.next_value()?),
+                        "nanos" => nanos = Some(map.next_value()?),
+                        _ => {
+                            map.next_value::<crate::de::IgnoredAny>()?;
+                        }
+                    }
+                }
+                Ok(std::time::Duration::new(
+                    secs.ok_or_else(|| de::Error::missing_field("secs"))?,
+                    nanos.ok_or_else(|| de::Error::missing_field("nanos"))?,
+                ))
+            }
+        }
+        deserializer.deserialize_struct("Duration", &["secs", "nanos"], V)
+    }
+}

@@ -1,0 +1,21 @@
+//! A minimal, dependency-free reimplementation of the serde data-model
+//! traits, vendored so the workspace builds without network access.
+//!
+//! It deliberately mirrors the real serde API surface that this repository
+//! uses: the `Serialize`/`Deserialize` traits, the `ser`/`de` trait
+//! families (including the full `Serializer`/`Deserializer` method sets
+//! required by `crellvm-core`'s hand-written binary codec), derive macros
+//! (re-exported from the sibling `serde_derive` stub), and impls for the
+//! std types that appear in serialized data (integers, `String`, `Vec`,
+//! `Option`, `Box`, tuples, `BTreeMap`, `BTreeSet`, …).
+//!
+//! Anything the workspace does not exercise is intentionally omitted.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;

@@ -1,0 +1,658 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` without
+//! syn/quote, vendored so the workspace builds offline.
+//!
+//! The input is parsed structurally from the raw `TokenStream` and the impl
+//! is emitted as formatted source text. Supported shapes are exactly what
+//! this repository uses: non-generic structs (named, tuple/newtype, unit)
+//! and non-generic enums with unit / newtype / tuple / struct variants.
+//! `#[serde(...)]` customization attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::str::FromStr;
+
+// ---------------------------------------------------------------------------
+// Shape model
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len() {
+        match (&tokens[*i], &tokens[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stub: expected {what}, found {other:?}"),
+    }
+}
+
+/// Parse `name: Type,` pairs out of a brace-group body.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i, "field name");
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive stub: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        // Skip the type: consume tokens until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count comma-separated segments at the top level of a paren-group body.
+fn tuple_arity(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut depth = 0i32;
+    let mut segments = 0usize;
+    let mut in_segment = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if in_segment {
+                    segments += 1;
+                    in_segment = false;
+                }
+            }
+            _ => in_segment = true,
+        }
+    }
+    if in_segment {
+        segments += 1;
+    }
+    segments
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i, "variant name");
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume up to and including the separating comma (discriminants are
+        // not supported; none exist in this workspace).
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kw = expect_ident(&tokens, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&tokens, &mut i, "type name");
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported (`{name}`)");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: tuple_arity(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde_derive stub: unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive stub: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde_derive stub: expected struct or enum, found `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let mut __state = ::serde::Serializer::serialize_struct(serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__state)\n");
+            serialize_impl(name, &body)
+        }
+        Shape::TupleStruct { name, arity: 1 } => serialize_impl(
+            name,
+            &format!(
+                "::serde::Serializer::serialize_newtype_struct(serializer, \"{name}\", &self.0)\n"
+            ),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let mut body = format!(
+                "let mut __state = ::serde::Serializer::serialize_tuple_struct(serializer, \"{name}\", {arity})?;\n"
+            );
+            for idx in 0..*arity {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{idx})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeTupleStruct::end(__state)\n");
+            serialize_impl(name, &body)
+        }
+        Shape::UnitStruct { name } => serialize_impl(
+            name,
+            &format!("::serde::Serializer::serialize_unit_struct(serializer, \"{name}\")\n"),
+        ),
+        Shape::Enum { name, variants } => {
+            let mut body = String::from("match self {\n");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => body.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    VariantKind::Tuple(1) => body.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut __state = ::serde::Serializer::serialize_tuple_variant(serializer, \"{name}\", {idx}u32, \"{vname}\", {arity})?;\n",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {b})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(__state)\n}\n");
+                        body.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __state = ::serde::Serializer::serialize_struct_variant(serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__state)\n}\n");
+                        body.push_str(&arm);
+                    }
+                }
+            }
+            body.push_str("}\n");
+            serialize_impl(name, &body)
+        }
+    };
+    TokenStream::from_str(&code)
+        .expect("serde_derive stub: generated Serialize impl failed to parse")
+}
+
+fn serialize_impl(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, serializer: __S) \
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\
+             }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let visitor = named_fields_visitor("__Visitor", name, name, "", fields);
+            let field_list = fields
+                .iter()
+                .map(|f| format!("\"{f}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            deserialize_impl(
+                name,
+                &format!(
+                    "{visitor}\n\
+                     ::serde::Deserializer::deserialize_struct(deserializer, \"{name}\", &[{field_list}], __Visitor)\n"
+                ),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => deserialize_impl(
+            name,
+            &format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+                         __f.write_str(\"newtype struct {name}\")\n\
+                     }}\n\
+                     fn visit_newtype_struct<__D: ::serde::Deserializer<'de>>(self, __d: __D) \
+                         -> ::std::result::Result<Self::Value, __D::Error> {{\n\
+                         ::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__d)?))\n\
+                     }}\n\
+                     fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                         -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                         let __f0 = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                             ::std::option::Option::Some(__v) => __v,\n\
+                             ::std::option::Option::None => \
+                                 return ::std::result::Result::Err(::serde::de::Error::custom(\"newtype struct {name}: missing value\")),\n\
+                         }};\n\
+                         ::std::result::Result::Ok({name}(__f0))\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::Deserializer::deserialize_newtype_struct(deserializer, \"{name}\", __Visitor)\n"
+            ),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let visitor = tuple_visitor("__Visitor", name, name, "", *arity);
+            deserialize_impl(
+                name,
+                &format!(
+                    "{visitor}\n\
+                     ::serde::Deserializer::deserialize_tuple_struct(deserializer, \"{name}\", {arity}, __Visitor)\n"
+                ),
+            )
+        }
+        Shape::UnitStruct { name } => deserialize_impl(
+            name,
+            &format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+                         __f.write_str(\"unit struct {name}\")\n\
+                     }}\n\
+                     fn visit_unit<__E: ::serde::de::Error>(self) -> ::std::result::Result<Self::Value, __E> {{\n\
+                         ::std::result::Result::Ok({name})\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::Deserializer::deserialize_unit_struct(deserializer, \"{name}\", __Visitor)\n"
+            ),
+        ),
+        Shape::Enum { name, variants } => {
+            let n = variants.len();
+            // Tag deserializer: accepts a numeric index (binary format) or a
+            // variant-name string (JSON).
+            let str_arms = variants
+                .iter()
+                .enumerate()
+                .map(|(idx, v)| format!("\"{}\" => ::std::result::Result::Ok(__Tag({idx}u32)),\n", v.name))
+                .collect::<String>();
+            let variant_list = variants
+                .iter()
+                .map(|v| format!("\"{}\"", v.name))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let tag = format!(
+                "struct __Tag(u32);\n\
+                 impl<'de> ::serde::Deserialize<'de> for __Tag {{\n\
+                     fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+                         -> ::std::result::Result<Self, __D::Error> {{\n\
+                         struct __TagVisitor;\n\
+                         impl<'de> ::serde::de::Visitor<'de> for __TagVisitor {{\n\
+                             type Value = __Tag;\n\
+                             fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+                                 __f.write_str(\"variant of {name}\")\n\
+                             }}\n\
+                             fn visit_u32<__E: ::serde::de::Error>(self, __v: u32) \
+                                 -> ::std::result::Result<__Tag, __E> {{\n\
+                                 if (__v as usize) < {n} {{ ::std::result::Result::Ok(__Tag(__v)) }}\n\
+                                 else {{ ::std::result::Result::Err(::serde::de::Error::custom(\"variant index out of range for {name}\")) }}\n\
+                             }}\n\
+                             fn visit_u64<__E: ::serde::de::Error>(self, __v: u64) \
+                                 -> ::std::result::Result<__Tag, __E> {{\n\
+                                 if (__v as usize) < {n} {{ ::std::result::Result::Ok(__Tag(__v as u32)) }}\n\
+                                 else {{ ::std::result::Result::Err(::serde::de::Error::custom(\"variant index out of range for {name}\")) }}\n\
+                             }}\n\
+                             fn visit_str<__E: ::serde::de::Error>(self, __v: &str) \
+                                 -> ::std::result::Result<__Tag, __E> {{\n\
+                                 match __v {{\n\
+                                     {str_arms}\
+                                     __other => ::std::result::Result::Err(\
+                                         ::serde::de::Error::unknown_field(__other, &[{variant_list}])),\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                         ::serde::Deserializer::deserialize_identifier(__d, __TagVisitor)\n\
+                     }}\n\
+                 }}\n"
+            );
+            // Per-variant dispatch.
+            let mut arms = String::new();
+            let mut helper_visitors = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{idx}u32 => {{\n\
+                             ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                             ::std::result::Result::Ok({name}::{vname})\n\
+                         }}\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{idx}u32 => ::std::result::Result::Ok(\
+                             {name}::{vname}(::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let vis_name = format!("__V{idx}");
+                        helper_visitors.push_str(&tuple_visitor(
+                            &vis_name,
+                            name,
+                            name,
+                            &format!("::{vname}"),
+                            *arity,
+                        ));
+                        arms.push_str(&format!(
+                            "{idx}u32 => ::serde::de::VariantAccess::tuple_variant(__variant, {arity}, {vis_name}),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let vis_name = format!("__V{idx}");
+                        helper_visitors.push_str(&named_fields_visitor(
+                            &vis_name,
+                            name,
+                            name,
+                            &format!("::{vname}"),
+                            fields,
+                        ));
+                        let field_list = fields
+                            .iter()
+                            .map(|f| format!("\"{f}\""))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{idx}u32 => ::serde::de::VariantAccess::struct_variant(__variant, &[{field_list}], {vis_name}),\n"
+                        ));
+                    }
+                }
+            }
+            deserialize_impl(
+                name,
+                &format!(
+                    "{tag}\
+                     {helper_visitors}\
+                     struct __Visitor;\n\
+                     impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                         type Value = {name};\n\
+                         fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+                             __f.write_str(\"enum {name}\")\n\
+                         }}\n\
+                         fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __a: __A) \
+                             -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                             let (__tag, __variant) = ::serde::de::EnumAccess::variant::<__Tag>(__a)?;\n\
+                             match __tag.0 {{\n\
+                                 {arms}\
+                                 _ => ::std::result::Result::Err(\
+                                     ::serde::de::Error::custom(\"invalid variant index for {name}\")),\n\
+                             }}\n\
+                         }}\n\
+                     }}\n\
+                     ::serde::Deserializer::deserialize_enum(deserializer, \"{name}\", &[{variant_list}], __Visitor)\n"
+                ),
+            )
+        }
+    };
+    TokenStream::from_str(&code)
+        .expect("serde_derive stub: generated Deserialize impl failed to parse")
+}
+
+fn deserialize_impl(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(deserializer: __D) \
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 {body}\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Visitor over named fields producing `TYPE CTOR { field: .., .. }`.
+/// `ctor_suffix` is "" for plain structs or "::Variant" for struct variants.
+fn named_fields_visitor(
+    vis_name: &str,
+    value_ty: &str,
+    ctor_base: &str,
+    ctor_suffix: &str,
+    fields: &[String],
+) -> String {
+    let desc = format!("{ctor_base}{ctor_suffix}");
+    // visit_seq: positional (binary format maps structs to tuples).
+    let mut seq_body = String::new();
+    for f in fields {
+        seq_body.push_str(&format!(
+            "let __v_{f} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                 ::std::option::Option::Some(__v) => __v,\n\
+                 ::std::option::Option::None => \
+                     return ::std::result::Result::Err(::serde::de::Error::missing_field(\"{f}\")),\n\
+             }};\n"
+        ));
+    }
+    let ctor_fields = fields
+        .iter()
+        .map(|f| format!("{f}: __v_{f}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    // visit_map: keyed (JSON), unknown keys skipped.
+    let mut map_init = String::new();
+    let mut map_arms = String::new();
+    let mut map_ctor = Vec::new();
+    for f in fields {
+        map_init.push_str(&format!("let mut __v_{f} = ::std::option::Option::None;\n"));
+        map_arms.push_str(&format!(
+            "\"{f}\" => {{ __v_{f} = ::std::option::Option::Some(::serde::de::MapAccess::next_value(&mut __map)?); }}\n"
+        ));
+        map_ctor.push(format!(
+            "{f}: match __v_{f} {{\n\
+                 ::std::option::Option::Some(__v) => __v,\n\
+                 ::std::option::Option::None => \
+                     return ::std::result::Result::Err(::serde::de::Error::missing_field(\"{f}\")),\n\
+             }}"
+        ));
+    }
+    let map_ctor = map_ctor.join(", ");
+    format!(
+        "struct {vis_name};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {vis_name} {{\n\
+             type Value = {value_ty};\n\
+             fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+                 __f.write_str(\"{desc}\")\n\
+             }}\n\
+             fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                 -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                 {seq_body}\
+                 ::std::result::Result::Ok({ctor_base}{ctor_suffix} {{ {ctor_fields} }})\n\
+             }}\n\
+             fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) \
+                 -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                 {map_init}\
+                 while let ::std::option::Option::Some(__key) = \
+                     ::serde::de::MapAccess::next_key::<::std::string::String>(&mut __map)? {{\n\
+                     match __key.as_str() {{\n\
+                         {map_arms}\
+                         _ => {{ ::serde::de::MapAccess::next_value::<::serde::de::IgnoredAny>(&mut __map)?; }}\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Ok({ctor_base}{ctor_suffix} {{ {map_ctor} }})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Visitor over positional fields producing `TYPE CTOR(f0, f1, ...)`.
+fn tuple_visitor(
+    vis_name: &str,
+    value_ty: &str,
+    ctor_base: &str,
+    ctor_suffix: &str,
+    arity: usize,
+) -> String {
+    let desc = format!("{ctor_base}{ctor_suffix}");
+    let mut seq_body = String::new();
+    for k in 0..arity {
+        seq_body.push_str(&format!(
+            "let __f{k} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                 ::std::option::Option::Some(__v) => __v,\n\
+                 ::std::option::Option::None => \
+                     return ::std::result::Result::Err(::serde::de::Error::custom(\"{desc}: too few elements\")),\n\
+             }};\n"
+        ));
+    }
+    let binders = (0..arity)
+        .map(|k| format!("__f{k}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "struct {vis_name};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {vis_name} {{\n\
+             type Value = {value_ty};\n\
+             fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+                 __f.write_str(\"{desc}\")\n\
+             }}\n\
+             fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                 -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                 {seq_body}\
+                 ::std::result::Result::Ok({ctor_base}{ctor_suffix}({binders}))\n\
+             }}\n\
+         }}\n"
+    )
+}
