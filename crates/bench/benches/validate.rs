@@ -1,0 +1,171 @@
+//! The parallel-validation-engine benchmark: full-pipeline wall time at
+//! several worker counts over a generated corpus, emitting
+//! `BENCH_validate.json` (override the path with `CRELLVM_BENCH_OUT`).
+//!
+//! Reported per worker count: wall time, the four Fig 6/8 phase columns
+//! (Orig/PCal/I-O/PCheck), speedup versus one worker, and steal totals;
+//! plus the expression-interner hit rate, the proxy for allocations the
+//! hash-consing arena saves the checker hot path.
+//!
+//! The ≥2× speedup target assumes ≥4 available cores; the JSON records
+//! `available_parallelism` so results from throttled CI runners (often a
+//! single core, where speedup is necessarily ~1×) read correctly.
+
+use crellvm_gen::{generate_module, GenConfig};
+use crellvm_passes::{
+    default_jobs, run_pipeline_parallel, ParallelOptions, PassConfig, PipelineReport, ProofFormat,
+};
+use crellvm_telemetry::Telemetry;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct PhasesMs {
+    orig: f64,
+    pcal: f64,
+    io: f64,
+    pcheck: f64,
+}
+
+#[derive(Serialize)]
+struct JobsResult {
+    jobs: usize,
+    wall_ms: f64,
+    speedup_vs_1: f64,
+    phases_ms: PhasesMs,
+    steals: u64,
+    validations: usize,
+    failures: usize,
+}
+
+#[derive(Serialize)]
+struct BenchOutput {
+    available_parallelism: usize,
+    corpus_modules: usize,
+    corpus_functions: usize,
+    intern_hits: u64,
+    intern_misses: u64,
+    intern_hit_rate: f64,
+    results: Vec<JobsResult>,
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn corpus() -> Vec<crellvm_ir::Module> {
+    let modules: usize = std::env::var("CRELLVM_BENCH_MODULES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    (0..modules)
+        .map(|k| {
+            generate_module(&GenConfig {
+                seed: 0xbe9c + k as u64,
+                functions: 16,
+                ..GenConfig::default()
+            })
+        })
+        .collect()
+}
+
+fn run_once(modules: &[crellvm_ir::Module], jobs: usize) -> (f64, PipelineReport, u64, u64, u64) {
+    let tel = Telemetry::disabled();
+    let opts = ParallelOptions {
+        jobs,
+        format: ProofFormat::Json,
+    };
+    let config = PassConfig::default();
+    let mut merged = PipelineReport::default();
+    let t = Instant::now();
+    for m in modules {
+        let (_, report) = run_pipeline_parallel(m, &config, &opts, &tel);
+        merged.merge(report);
+    }
+    let wall = ms(t.elapsed());
+    let snap = tel.registry().snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let steals = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("validate.steal."))
+        .map(|(_, v)| *v)
+        .sum();
+    (
+        wall,
+        merged,
+        counter("expr.intern.hits"),
+        counter("expr.intern.misses"),
+        steals,
+    )
+}
+
+fn main() {
+    let modules = corpus();
+    let n_functions: usize = modules.iter().map(|m| m.functions.len()).sum();
+
+    // Warm-up: touch every code path once so the first timed run does not
+    // pay one-time costs (lazy page-ins, allocator growth).
+    let _ = run_once(&modules, default_jobs());
+
+    let mut thread_counts = vec![1, 2, 4, default_jobs()];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let mut results: Vec<JobsResult> = Vec::new();
+    let mut intern = (0u64, 0u64);
+    let mut wall_1 = f64::NAN;
+    println!(
+        "{:>5} {:>10} {:>8}   {:>8} {:>8} {:>8} {:>8} {:>7}",
+        "jobs", "wall(ms)", "speedup", "Orig", "PCal", "I-O", "PCheck", "steals"
+    );
+    for &jobs in &thread_counts {
+        let (wall, report, hits, misses, steals) = run_once(&modules, jobs);
+        if jobs == 1 {
+            wall_1 = wall;
+        }
+        intern = (hits, misses);
+        let speedup = wall_1 / wall;
+        println!(
+            "{jobs:>5} {wall:>10.2} {speedup:>7.2}x   {:>8.2} {:>8.2} {:>8.2} {:>8.2} {steals:>7}",
+            ms(report.time_orig),
+            ms(report.time_pcal),
+            ms(report.time_io),
+            ms(report.time_pcheck),
+        );
+        results.push(JobsResult {
+            jobs,
+            wall_ms: wall,
+            speedup_vs_1: speedup,
+            phases_ms: PhasesMs {
+                orig: ms(report.time_orig),
+                pcal: ms(report.time_pcal),
+                io: ms(report.time_io),
+                pcheck: ms(report.time_pcheck),
+            },
+            steals,
+            validations: report.validations(),
+            failures: report.failures(),
+        });
+    }
+
+    let (hits, misses) = intern;
+    let output = BenchOutput {
+        available_parallelism: default_jobs(),
+        corpus_modules: modules.len(),
+        corpus_functions: n_functions,
+        intern_hits: hits,
+        intern_misses: misses,
+        intern_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        results,
+    };
+    let path =
+        std::env::var("CRELLVM_BENCH_OUT").unwrap_or_else(|_| "BENCH_validate.json".to_string());
+    let json = serde_json::to_string(&output).expect("serialize bench output");
+    std::fs::write(&path, &json).expect("write bench output");
+    println!(
+        "\ninterner: {hits} hits / {misses} misses ({:.1}% hit rate)",
+        100.0 * output.intern_hit_rate
+    );
+    println!("wrote {path}");
+}

@@ -3,8 +3,10 @@
 
 use crate::expr::{Expr, Side, TReg, TValue};
 use crellvm_ir::RegId;
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use serde::de::{self, MapAccess, SeqAccess, Visitor};
+use serde::ser::{SerializeSeq, SerializeStruct};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A unary predicate over one side's (extended) state.
@@ -56,10 +58,38 @@ impl fmt::Display for Pred {
 }
 
 /// A set of unary predicates for one side.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// Lessdef predicates — the bulk of every real assertion and the target of
+/// the checker's hottest lookups — are stored *decomposed* in a by-LHS map
+/// (plus a by-RHS reverse index kept in sync), so `has_lessdef`,
+/// `lessdef_rhs_of` and `lessdef_lhs_of` are keyed lookups instead of
+/// clone-and-scan over a flat `BTreeSet<Pred>`. The remaining predicate
+/// kinds (`Uniq` / `Priv` / `Noalias`) live in `others`.
+///
+/// Iteration order is unchanged from the flat-set representation:
+/// `Pred::Lessdef` is the first enum variant, so the old `BTreeSet<Pred>`
+/// yielded all lessdefs (sorted by `(lhs, rhs)`) before the other
+/// predicates — exactly what chaining the sorted `fwd` map with `others`
+/// reproduces. Serialized form is byte-identical (`{"preds": [...]}`).
+#[derive(Debug, Clone, Default)]
 pub struct Unary {
-    preds: BTreeSet<Pred>,
+    /// `lhs ⊒ rhs` pairs, keyed by lhs.
+    fwd: BTreeMap<Expr, BTreeSet<Expr>>,
+    /// Reverse index of `fwd`, keyed by rhs. Derived data — never compared
+    /// or serialized.
+    rev: BTreeMap<Expr, BTreeSet<Expr>>,
+    /// Non-lessdef predicates (`Uniq`, `Priv`, `Noalias`).
+    others: BTreeSet<Pred>,
 }
+
+impl PartialEq for Unary {
+    fn eq(&self, other: &Unary) -> bool {
+        // `rev` is derived from `fwd`; comparing it would be redundant.
+        self.fwd == other.fwd && self.others == other.others
+    }
+}
+
+impl Eq for Unary {}
 
 impl Unary {
     /// The empty assertion.
@@ -69,111 +99,176 @@ impl Unary {
 
     /// Insert a predicate.
     pub fn insert(&mut self, p: Pred) {
-        self.preds.insert(p);
+        match p {
+            Pred::Lessdef(a, b) => self.insert_lessdef(a, b),
+            other => {
+                self.others.insert(other);
+            }
+        }
     }
 
     /// Insert `e1 ⊒ e2`.
     pub fn insert_lessdef(&mut self, e1: Expr, e2: Expr) {
-        self.preds.insert(Pred::Lessdef(e1, e2));
+        if self.fwd.entry(e1.clone()).or_default().insert(e2.clone()) {
+            self.rev.entry(e2).or_default().insert(e1);
+        }
     }
 
     /// Remove a predicate; returns whether it was present.
     pub fn remove(&mut self, p: &Pred) -> bool {
-        self.preds.remove(p)
+        match p {
+            Pred::Lessdef(a, b) => {
+                let Some(rhss) = self.fwd.get_mut(a) else {
+                    return false;
+                };
+                if !rhss.remove(b) {
+                    return false;
+                }
+                if rhss.is_empty() {
+                    self.fwd.remove(a);
+                }
+                let lhss = self.rev.get_mut(b).expect("rev index in sync with fwd");
+                lhss.remove(a);
+                if lhss.is_empty() {
+                    self.rev.remove(b);
+                }
+                true
+            }
+            other => self.others.remove(other),
+        }
     }
 
     /// Does the set contain `p` (syntactically, plus lessdef reflexivity)?
     pub fn holds(&self, p: &Pred) -> bool {
-        if let Pred::Lessdef(a, b) = p {
-            if a == b {
-                return true;
-            }
+        match p {
+            Pred::Lessdef(a, b) => self.has_lessdef(a, b),
+            other => self.others.contains(other),
         }
-        self.preds.contains(p)
     }
 
     /// Does `e1 ⊒ e2` hold (syntactically or by reflexivity)?
     pub fn has_lessdef(&self, e1: &Expr, e2: &Expr) -> bool {
-        e1 == e2 || self.preds.contains(&Pred::Lessdef(e1.clone(), e2.clone()))
+        e1 == e2 || self.fwd.get(e1).is_some_and(|rhss| rhss.contains(e2))
     }
 
-    /// Iterate over all predicates.
-    pub fn iter(&self) -> impl Iterator<Item = &Pred> {
-        self.preds.iter()
+    /// Iterate over all predicates, in the same order the flat
+    /// `BTreeSet<Pred>` representation used (lessdefs sorted by
+    /// `(lhs, rhs)`, then the rest). Yields owned predicates; the hot
+    /// paths use the keyed accessors or [`Unary::mentions_reg`] instead.
+    pub fn iter(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.lessdefs()
+            .map(|(a, b)| Pred::Lessdef(a.clone(), b.clone()))
+            .chain(self.others.iter().cloned())
     }
 
-    /// Iterate over lessdef pairs.
+    /// Iterate over lessdef pairs (sorted by `(lhs, rhs)`).
     pub fn lessdefs(&self) -> impl Iterator<Item = (&Expr, &Expr)> {
-        self.preds.iter().filter_map(|p| match p {
-            Pred::Lessdef(a, b) => Some((a, b)),
-            _ => None,
-        })
+        self.fwd
+            .iter()
+            .flat_map(|(a, rhss)| rhss.iter().map(move |b| (a, b)))
     }
 
-    /// Everything `e` such that `lhs ⊒ e` is present.
+    /// Everything `e` such that `lhs ⊒ e` is present (keyed lookup).
     pub fn lessdef_rhs_of(&self, lhs: &Expr) -> Vec<&Expr> {
-        self.lessdefs()
-            .filter(|(a, _)| *a == lhs)
-            .map(|(_, b)| b)
-            .collect()
+        self.fwd.get(lhs).into_iter().flatten().collect()
     }
 
-    /// Everything `e` such that `e ⊒ rhs` is present.
+    /// Everything `e` such that `e ⊒ rhs` is present (keyed lookup on the
+    /// reverse index).
     pub fn lessdef_lhs_of(&self, rhs: &Expr) -> Vec<&Expr> {
-        self.lessdefs()
-            .filter(|(_, b)| *b == rhs)
-            .map(|(a, _)| a)
-            .collect()
+        self.rev.get(rhs).into_iter().flatten().collect()
     }
 
     /// Is `Uniq(r)` present?
     pub fn has_uniq(&self, r: RegId) -> bool {
-        self.preds.contains(&Pred::Uniq(r))
+        self.others.contains(&Pred::Uniq(r))
     }
 
     /// Is `Priv(r)` (or the stronger `Uniq`) present for a tagged register?
     pub fn has_priv(&self, r: &TReg) -> bool {
-        if self.preds.contains(&Pred::Priv(r.clone())) {
+        if self.others.contains(&Pred::Priv(r.clone())) {
             return true;
         }
         match r {
-            TReg::Phy(p) => self.preds.contains(&Pred::Uniq(*p)),
+            TReg::Phy(p) => self.others.contains(&Pred::Uniq(*p)),
             _ => false,
         }
+    }
+
+    /// Iterate over the non-lessdef predicates (`Uniq`, `Priv`,
+    /// `Noalias`), in sorted order.
+    pub fn others(&self) -> impl Iterator<Item = &Pred> {
+        self.others.iter()
+    }
+
+    /// Does any predicate mention tagged register `r`? Clone-free
+    /// replacement for `iter().any(|p| p.mentions(r))`.
+    pub fn mentions_reg(&self, r: &TReg) -> bool {
+        self.lessdefs().any(|(a, b)| a.mentions(r) || b.mentions(r))
+            || self.others.iter().any(|p| p.mentions(r))
     }
 
     /// Remove every predicate mentioning tagged register `r`; returns the
     /// number removed.
     pub fn kill_reg(&mut self, r: &TReg) -> usize {
-        let before = self.preds.len();
-        self.preds.retain(|p| !p.mentions(r));
-        before - self.preds.len()
+        let doomed: Vec<(Expr, Expr)> = self
+            .lessdefs()
+            .filter(|(a, b)| a.mentions(r) || b.mentions(r))
+            .map(|(a, b)| (a.clone(), b.clone()))
+            .collect();
+        let mut removed = doomed.len();
+        for (a, b) in doomed {
+            self.remove(&Pred::Lessdef(a, b));
+        }
+        let before = self.others.len();
+        self.others.retain(|p| !p.mentions(r));
+        removed += before - self.others.len();
+        removed
     }
 
-    /// Retain only predicates satisfying `keep`.
-    pub fn retain(&mut self, keep: impl FnMut(&Pred) -> bool) {
-        self.preds.retain(keep);
+    /// Retain only predicates satisfying `keep` (visited in iteration
+    /// order: lessdefs first, then the rest).
+    pub fn retain(&mut self, mut keep: impl FnMut(&Pred) -> bool) {
+        let doomed: Vec<Pred> = self
+            .lessdefs()
+            .map(|(a, b)| Pred::Lessdef(a.clone(), b.clone()))
+            .filter(|p| !keep(p))
+            .collect();
+        for p in &doomed {
+            self.remove(p);
+        }
+        self.others.retain(keep);
     }
 
     /// Number of predicates.
     pub fn len(&self) -> usize {
-        self.preds.len()
+        self.fwd.values().map(BTreeSet::len).sum::<usize>() + self.others.len()
     }
 
     /// Is the set empty?
     pub fn is_empty(&self) -> bool {
-        self.preds.is_empty()
+        self.fwd.is_empty() && self.others.is_empty()
     }
 
     /// Set inclusion: does `self` contain every predicate of `other`
     /// (modulo lessdef reflexivity)?
     pub fn includes(&self, other: &Unary) -> bool {
-        other.iter().all(|p| self.holds(p))
+        other.lessdefs().all(|(a, b)| self.has_lessdef(a, b))
+            && other.others.iter().all(|p| self.others.contains(p))
     }
 
     /// The first predicate of `other` missing from `self`, for diagnostics.
-    pub fn first_missing<'a>(&self, other: &'a Unary) -> Option<&'a Pred> {
-        other.iter().find(|p| !self.holds(p))
+    pub fn first_missing(&self, other: &Unary) -> Option<Pred> {
+        for (a, b) in other.lessdefs() {
+            if !self.has_lessdef(a, b) {
+                return Some(Pred::Lessdef(a.clone(), b.clone()));
+            }
+        }
+        other
+            .others
+            .iter()
+            .find(|p| !self.others.contains(*p))
+            .cloned()
     }
 
     /// Can we conclude that the addresses in `p` and `q` are disjoint?
@@ -182,8 +277,8 @@ impl Unary {
     /// and the other is a *different* physical register or a constant
     /// (paper §H.2 `PruneU`).
     pub fn provably_disjoint(&self, p: &TValue, q: &TValue) -> bool {
-        if self.preds.contains(&Pred::Noalias(p.clone(), q.clone()))
-            || self.preds.contains(&Pred::Noalias(q.clone(), p.clone()))
+        if self.others.contains(&Pred::Noalias(p.clone(), q.clone()))
+            || self.others.contains(&Pred::Noalias(q.clone(), p.clone()))
         {
             return true;
         }
@@ -198,22 +293,88 @@ impl Unary {
 
 impl FromIterator<Pred> for Unary {
     fn from_iter<I: IntoIterator<Item = Pred>>(iter: I) -> Unary {
-        Unary {
-            preds: iter.into_iter().collect(),
-        }
+        let mut u = Unary::new();
+        u.extend(iter);
+        u
     }
 }
 
 impl Extend<Pred> for Unary {
     fn extend<I: IntoIterator<Item = Pred>>(&mut self, iter: I) {
-        self.preds.extend(iter);
+        for p in iter {
+            self.insert(p);
+        }
     }
 }
 
 impl fmt::Display for Unary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let items: Vec<String> = self.preds.iter().map(Pred::to_string).collect();
+        let items: Vec<String> = self.iter().map(|p| p.to_string()).collect();
         write!(f, "{{ {} }}", items.join(", "))
+    }
+}
+
+/// Serializes the predicates of a [`Unary`] as a sequence, in iteration
+/// order — the same order the old `BTreeSet<Pred>` field produced.
+struct PredSeq<'a>(&'a Unary);
+
+impl Serialize for PredSeq<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.0.len()))?;
+        for p in self.0.iter() {
+            seq.serialize_element(&p)?;
+        }
+        seq.end()
+    }
+}
+
+// The wire shape must stay exactly what `#[derive(Serialize, Deserialize)]`
+// produced for `struct Unary { preds: BTreeSet<Pred> }`: a one-field struct
+// (`{"preds": [...]}` in JSON, a positional 1-tuple in the binary codec).
+impl Serialize for Unary {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("Unary", 1)?;
+        st.serialize_field("preds", &PredSeq(self))?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Unary {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Unary, D::Error> {
+        struct UnaryVisitor;
+
+        impl<'de> Visitor<'de> for UnaryVisitor {
+            type Value = Unary;
+
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("struct Unary")
+            }
+
+            // Positional form (the binary codec decodes structs as tuples).
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Unary, A::Error> {
+                let preds: Vec<Pred> = seq
+                    .next_element()?
+                    .ok_or_else(|| de::Error::missing_field("preds"))?;
+                Ok(preds.into_iter().collect())
+            }
+
+            // Keyed form (JSON), unknown keys skipped.
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Unary, A::Error> {
+                let mut preds: Option<Vec<Pred>> = None;
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "preds" => preds = Some(map.next_value()?),
+                        _ => {
+                            map.next_value::<de::IgnoredAny>()?;
+                        }
+                    }
+                }
+                let preds = preds.ok_or_else(|| de::Error::missing_field("preds"))?;
+                Ok(preds.into_iter().collect())
+            }
+        }
+
+        deserializer.deserialize_struct("Unary", &["preds"], UnaryVisitor)
     }
 }
 
@@ -498,6 +659,113 @@ mod tests {
         assert!(a.exprs_equivalent(&e1, &e2));
         let e3 = Expr::bin(BinOp::Sub, Type::I32, TValue::phy(r(0)), TValue::phy(r(1)));
         assert!(!a.exprs_equivalent(&e1, &e3));
+    }
+
+    /// Satellite check: the keyed `lessdef_rhs_of` / `lessdef_lhs_of`
+    /// lookups must agree (contents *and* order) with the naive linear
+    /// scan over all predicates that they replaced.
+    #[test]
+    fn lessdef_indexes_agree_with_naive_scan() {
+        let mut u = Unary::new();
+        let e = |i: usize| Expr::value(TValue::phy(r(i)));
+        let c = |v: i64| Expr::value(TValue::int(Type::I32, v));
+        // Several lhs with multiple rhs each, plus shared rhs across lhs.
+        for (a, b) in [
+            (e(0), c(1)),
+            (e(0), e(2)),
+            (e(0), Expr::value(TValue::ghost("g"))),
+            (e(1), e(2)),
+            (e(1), c(1)),
+            (e(3), e(0)),
+            (
+                Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(0)), TValue::phy(r(1))),
+                e(2),
+            ),
+        ] {
+            u.insert_lessdef(a, b);
+        }
+        u.insert(Pred::Uniq(r(5)));
+        u.insert(Pred::Priv(TReg::ghost("p")));
+
+        let all: Vec<Pred> = u.iter().collect();
+        let naive_rhs = |lhs: &Expr| -> Vec<Expr> {
+            all.iter()
+                .filter_map(|p| match p {
+                    Pred::Lessdef(a, b) if a == lhs => Some(b.clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        let naive_lhs = |rhs: &Expr| -> Vec<Expr> {
+            all.iter()
+                .filter_map(|p| match p {
+                    Pred::Lessdef(a, b) if b == rhs => Some(a.clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        for probe in [
+            e(0),
+            e(1),
+            e(2),
+            e(3),
+            c(1),
+            Expr::value(TValue::ghost("g")),
+            e(9),
+        ] {
+            let keyed: Vec<Expr> = u.lessdef_rhs_of(&probe).into_iter().cloned().collect();
+            assert_eq!(keyed, naive_rhs(&probe), "rhs_of({probe})");
+            let keyed: Vec<Expr> = u.lessdef_lhs_of(&probe).into_iter().cloned().collect();
+            assert_eq!(keyed, naive_lhs(&probe), "lhs_of({probe})");
+        }
+    }
+
+    /// The decomposed storage must iterate in the exact order of the old
+    /// flat `BTreeSet<Pred>` (lessdefs sorted by `(lhs, rhs)` first, then
+    /// the rest) — serialized proofs depend on it.
+    #[test]
+    fn iteration_order_matches_flat_set() {
+        let preds = vec![
+            Pred::Noalias(TValue::phy(r(0)), TValue::phy(r(1))),
+            Pred::Lessdef(
+                Expr::value(TValue::phy(r(2))),
+                Expr::value(TValue::phy(r(0))),
+            ),
+            Pred::Uniq(r(7)),
+            Pred::Lessdef(
+                Expr::value(TValue::phy(r(0))),
+                Expr::value(TValue::ghost("a")),
+            ),
+            Pred::Priv(TReg::Phy(r(3))),
+            Pred::Lessdef(
+                Expr::value(TValue::phy(r(0))),
+                Expr::value(TValue::phy(r(1))),
+            ),
+        ];
+        let flat: BTreeSet<Pred> = preds.iter().cloned().collect();
+        let u: Unary = preds.into_iter().collect();
+        let got: Vec<Pred> = u.iter().collect();
+        let want: Vec<Pred> = flat.into_iter().collect();
+        assert_eq!(got, want);
+        assert_eq!(u.len(), want.len());
+    }
+
+    /// Removing a lessdef must keep the reverse index in sync.
+    #[test]
+    fn remove_keeps_reverse_index_in_sync() {
+        let mut u = Unary::new();
+        let a = Expr::value(TValue::phy(r(0)));
+        let b = Expr::value(TValue::phy(r(1)));
+        let g = Expr::value(TValue::ghost("g"));
+        u.insert_lessdef(a.clone(), g.clone());
+        u.insert_lessdef(b.clone(), g.clone());
+        assert_eq!(u.lessdef_lhs_of(&g), vec![&a, &b]);
+        assert!(u.remove(&Pred::Lessdef(a.clone(), g.clone())));
+        assert!(!u.remove(&Pred::Lessdef(a.clone(), g.clone())));
+        assert_eq!(u.lessdef_lhs_of(&g), vec![&b]);
+        assert!(u.remove(&Pred::Lessdef(b, g.clone())));
+        assert!(u.lessdef_lhs_of(&g).is_empty());
+        assert!(u.is_empty());
     }
 
     #[test]

@@ -15,16 +15,17 @@
 //! paper highlights for debugging miscompilations ("a logical reason for
 //! the failure").
 
-use crate::assertion::{Assertion, Pred};
+use crate::assertion::{Assertion, Pred, Unary};
 use crate::auto::run_auto;
 use crate::equivbeh::check_equiv_beh;
-use crate::expr::TValue;
-use crate::infrule::{apply_inf, CheckerConfig};
+use crate::expr::{ExprInterner, ExprRef, TValue};
+use crate::infrule::{apply_inf_owned, CheckerConfig};
 use crate::postcond::{calc_post_cmd, calc_post_phi};
 use crate::proof::{ProofUnit, RulePos, SlotId};
 use crellvm_ir::{RegId, Term, Value};
 use crellvm_telemetry::{Event, Telemetry};
-use std::collections::BTreeSet;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 
 /// A successful validation outcome.
@@ -66,6 +67,11 @@ struct Ctx<'a> {
     unit: &'a ProofUnit,
     config: &'a CheckerConfig,
     tel: &'a Telemetry,
+    /// Hash-consing arena for the inclusion checks of this validation
+    /// unit. Owned per unit (never shared across workers of the parallel
+    /// engine), so interning is lock-free; its hit/miss totals are flushed
+    /// to `expr.intern.hits` / `expr.intern.misses` when the unit is done.
+    interner: RefCell<ExprInterner>,
 }
 
 impl Ctx<'_> {
@@ -146,7 +152,7 @@ impl Ctx<'_> {
         let at = "CheckInit (entry assertion)";
         for (side_name, unary) in [("source", &entry.src), ("target", &entry.tgt)] {
             for pred in unary.iter() {
-                match pred {
+                match &pred {
                     Pred::Uniq(r) | Pred::Priv(crate::expr::TReg::Phy(r)) => {
                         if params.contains(r) {
                             return Err(self.err(
@@ -195,14 +201,59 @@ impl Ctx<'_> {
             .filter(|m| {
                 !m.is_phy()
                     && !goal.maydiff.contains(*m)
-                    && !goal.src.iter().any(|p| p.mentions(m))
-                    && !goal.tgt.iter().any(|p| p.mentions(m))
+                    && !goal.src.mentions_reg(m)
+                    && !goal.tgt.mentions_reg(m)
             })
             .cloned()
             .collect();
         for m in stale {
             q.maydiff.remove(&m);
         }
+    }
+
+    /// Intern every lessdef pair of a unary assertion.
+    fn intern_pairs(&self, u: &Unary) -> Vec<(ExprRef, ExprRef)> {
+        let mut interner = self.interner.borrow_mut();
+        u.lessdefs()
+            .map(|(a, b)| (interner.intern(a), interner.intern(b)))
+            .collect()
+    }
+
+    /// The inclusion check `q ⇒ goal` over interned handles: the goal's
+    /// lessdef pairs are interned once per [`Ctx::discharge`] and compared
+    /// as `(u32, u32)` pairs against `q`'s (hash-consed equality instead
+    /// of deep tree comparison). Equivalent to [`Assertion::implies`].
+    fn implies_interned(
+        &self,
+        q: &Assertion,
+        goal: &Assertion,
+        goal_src: &[(ExprRef, ExprRef)],
+        goal_tgt: &[(ExprRef, ExprRef)],
+    ) -> bool {
+        if !q.maydiff.is_subset(&goal.maydiff) {
+            return false;
+        }
+        let mut interner = self.interner.borrow_mut();
+        for (have_side, goal_pairs, goal_side) in
+            [(&q.src, goal_src, &goal.src), (&q.tgt, goal_tgt, &goal.tgt)]
+        {
+            let have: HashSet<(ExprRef, ExprRef)> = have_side
+                .lessdefs()
+                .map(|(a, b)| (interner.intern(a), interner.intern(b)))
+                .collect();
+            // Lessdef reflexivity: `a ⊒ a` holds vacuously, which on
+            // hash-consed handles is just `ra == rb`.
+            if !goal_pairs
+                .iter()
+                .all(|&(ra, rb)| ra == rb || have.contains(&(ra, rb)))
+            {
+                return false;
+            }
+            if !goal_side.others().all(|p| have_side.holds(p)) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Close the gap `q ⇒ goal` with explicit rules then automation.
@@ -215,23 +266,31 @@ impl Ctx<'_> {
     ) -> Result<(), ValidationError> {
         for rule in rules {
             self.count_rule(rule);
-            q = apply_inf(rule, &q, self.config).map_err(|e| {
+            q = apply_inf_owned(rule, q, self.config).map_err(|(_, e)| {
                 self.tel.count("checker.rule_failures", 1);
                 self.err(at, e.to_string())
             })?;
         }
         Self::cleanup_logical_maydiff(&mut q, goal);
-        if q.implies(goal) {
+        let goal_src = self.intern_pairs(&goal.src);
+        let goal_tgt = self.intern_pairs(&goal.tgt);
+        if self.implies_interned(&q, goal, &goal_src, &goal_tgt) {
             return Ok(());
         }
         for kind in &self.unit.autos {
             for rule in run_auto(*kind, &q, goal) {
-                if let Ok(next) = apply_inf(&rule, &q, self.config) {
-                    self.count_rule(&rule);
-                    q = next;
+                // `apply_inf_owned` hands the assertion back untouched on
+                // a failed premise, so speculative application needs no
+                // defensive clone.
+                match apply_inf_owned(&rule, q, self.config) {
+                    Ok(next) => {
+                        self.count_rule(&rule);
+                        q = next;
+                    }
+                    Err((orig, _)) => q = orig,
                 }
             }
-            if q.implies(goal) {
+            if self.implies_interned(&q, goal, &goal_src, &goal_tgt) {
                 return Ok(());
             }
         }
@@ -315,7 +374,7 @@ impl Ctx<'_> {
             for row in 0..nrows {
                 let a = self.unit.assertion(SlotId::new(b, row)).clone();
                 self.tel.count("checker.rows", 1);
-                let preds = a.src.iter().count() + a.tgt.iter().count() + a.maydiff.len();
+                let preds = a.src.len() + a.tgt.len() + a.maydiff.len();
                 self.tel.observe("checker.assertion_preds", preds as u64);
                 let (ms, mt) = self.unit.row(b, row);
                 let at = format!("block {}, row {row}", self.block_name(b));
@@ -406,7 +465,19 @@ pub fn validate_with_telemetry(
         tel.emit(step("not_supported").str("reason", reason.clone()));
         return Ok(Verdict::NotSupported(reason.clone()));
     }
-    match (Ctx { unit, config, tel }).run() {
+    let ctx = Ctx {
+        unit,
+        config,
+        tel,
+        interner: RefCell::new(ExprInterner::new()),
+    };
+    let result = ctx.run();
+    {
+        let interner = ctx.interner.borrow();
+        tel.count("expr.intern.hits", interner.hits());
+        tel.count("expr.intern.misses", interner.misses());
+    }
+    match result {
         Ok(()) => {
             tel.count("checker.valid", 1);
             tel.emit(step("valid"));

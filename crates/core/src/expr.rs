@@ -570,6 +570,86 @@ impl fmt::Display for Expr {
     }
 }
 
+/// An interned handle into an [`ExprInterner`].
+///
+/// Handles are plain `u32` indices: equality and hashing are O(1), and two
+/// handles from the *same* interner are equal iff the expressions they
+/// denote are structurally equal (hash-consing invariant). Handles from
+/// different interners must never be mixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExprRef(u32);
+
+impl ExprRef {
+    /// The arena index of the handle.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A hash-consing arena for [`Expr`].
+///
+/// Each validation unit owns its own interner — workers of the parallel
+/// validation engine never share one, so interning needs no locks. An
+/// expression is deep-cloned into the arena only the first time it is
+/// seen; every later [`intern`](ExprInterner::intern) of an equal tree is
+/// a table hit returning the existing handle. The hit/miss counters
+/// double as the pipeline's allocation proxy (`expr.intern.hits` /
+/// `expr.intern.misses` in telemetry): every miss is one tree cloned,
+/// every hit a clone avoided.
+#[derive(Debug, Default)]
+pub struct ExprInterner {
+    map: std::collections::HashMap<Expr, u32>,
+    exprs: Vec<Expr>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ExprInterner {
+    /// An empty arena.
+    pub fn new() -> ExprInterner {
+        ExprInterner::default()
+    }
+
+    /// Intern an expression, cloning it into the arena only on first
+    /// sight.
+    pub fn intern(&mut self, e: &Expr) -> ExprRef {
+        if let Some(&i) = self.map.get(e) {
+            self.hits += 1;
+            return ExprRef(i);
+        }
+        self.misses += 1;
+        let i = u32::try_from(self.exprs.len()).expect("expression arena overflow");
+        self.exprs.push(e.clone());
+        self.map.insert(e.clone(), i);
+        ExprRef(i)
+    }
+
+    /// The expression behind a handle (must come from this interner).
+    pub fn resolve(&self, r: ExprRef) -> &Expr {
+        &self.exprs[r.index()]
+    }
+
+    /// Number of distinct expressions interned.
+    pub fn len(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Is the arena empty?
+    pub fn is_empty(&self) -> bool {
+        self.exprs.is_empty()
+    }
+
+    /// Lookups that found an existing entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to clone a new tree into the arena.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -674,6 +754,24 @@ mod tests {
             TValue::int(Type::I32, 0),
         );
         assert!(e.mentions_trapping_const());
+    }
+
+    #[test]
+    fn interner_hash_conses() {
+        let mut it = ExprInterner::new();
+        let e1 = Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(0)), TValue::phy(r(1)));
+        let e2 = Expr::bin(BinOp::Add, Type::I32, TValue::phy(r(0)), TValue::phy(r(1)));
+        let e3 = Expr::bin(BinOp::Sub, Type::I32, TValue::phy(r(0)), TValue::phy(r(1)));
+        let h1 = it.intern(&e1);
+        let h2 = it.intern(&e2);
+        let h3 = it.intern(&e3);
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+        assert_eq!(it.resolve(h1), &e1);
+        assert_eq!(it.resolve(h3), &e3);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.hits(), 1);
+        assert_eq!(it.misses(), 2);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! exactly the assumption LLVM's mem2reg makes — and the semantic test
 //! suite refutes the combination.
 
-use crate::assertion::{Assertion, Pred};
+use crate::assertion::Assertion;
 use crate::expr::{Expr, Side, TReg, TValue};
 use crate::rules_arith::ArithRule;
 use crellvm_ir::{IcmpPred, Type};
@@ -199,32 +199,52 @@ pub fn apply_inf(
     q: &Assertion,
     config: &CheckerConfig,
 ) -> Result<Assertion, InfError> {
-    let mut out = q.clone();
+    apply_inf_owned(rule, q.clone(), config).map_err(|(_, e)| e)
+}
+
+/// [`apply_inf`] without the defensive clone: takes the assertion by value
+/// and, on failure, hands it back *unmodified* alongside the error. Every
+/// rule checks all of its premises before mutating, so the error-path
+/// assertion is bit-for-bit the input — the checker's speculative
+/// auto-rule loop relies on this to try rules without cloning `Q` first.
+///
+/// The `Err` variant is deliberately assertion-sized: boxing it would put
+/// an allocation on the speculative path, which exists to avoid exactly
+/// that.
+#[allow(clippy::result_large_err)]
+pub fn apply_inf_owned(
+    rule: &InfRule,
+    q: Assertion,
+    config: &CheckerConfig,
+) -> Result<Assertion, (Assertion, InfError)> {
+    let mut out = q;
     match rule {
         InfRule::Transitivity { side, e1, e2, e3 } => {
             let u = out.side_mut(*side);
             if !u.has_lessdef(e1, e2) {
-                return Err(err(rule, format!("missing premise {e1} >= {e2}")));
+                let e = err(rule, format!("missing premise {e1} >= {e2}"));
+                return Err((out, e));
             }
             if !u.has_lessdef(e2, e3) {
-                return Err(err(rule, format!("missing premise {e2} >= {e3}")));
+                let e = err(rule, format!("missing premise {e2} >= {e3}"));
+                return Err((out, e));
             }
             u.insert_lessdef(e1.clone(), e3.clone());
         }
         InfRule::Substitute { side, from, to, e } => {
             let u = out.side_mut(*side);
-            let prem = Pred::Lessdef(Expr::Value(from.clone()), Expr::Value(to.clone()));
-            if !u.holds(&prem) {
-                return Err(err(rule, format!("missing premise {from} >= {to}")));
+            if !u.has_lessdef(&Expr::Value(from.clone()), &Expr::Value(to.clone())) {
+                let e = err(rule, format!("missing premise {from} >= {to}"));
+                return Err((out, e));
             }
             let e2 = e.subst(from, to);
             u.insert_lessdef(e.clone(), e2);
         }
         InfRule::SubstituteRev { side, from, to, e } => {
             let u = out.side_mut(*side);
-            let prem = Pred::Lessdef(Expr::Value(from.clone()), Expr::Value(to.clone()));
-            if !u.holds(&prem) {
-                return Err(err(rule, format!("missing premise {from} >= {to}")));
+            if !u.has_lessdef(&Expr::Value(from.clone()), &Expr::Value(to.clone())) {
+                let e = err(rule, format!("missing premise {from} >= {to}"));
+                return Err((out, e));
             }
             let e2 = e.subst(to, from);
             u.insert_lessdef(e2, e.clone());
@@ -232,16 +252,16 @@ pub fn apply_inf(
         InfRule::IntroGhost { g, e } => {
             let ghost = TReg::ghost(g.clone());
             if e.mentions(&ghost) {
-                return Err(err(rule, "ghost occurs in its own definition"));
+                let er = err(rule, "ghost occurs in its own definition");
+                return Err((out, er));
             }
             if !out.expr_injected(e) {
-                return Err(err(
-                    rule,
-                    format!("expression {e} mentions maydiff registers"),
-                ));
+                let er = err(rule, format!("expression {e} mentions maydiff registers"));
+                return Err((out, er));
             }
             if e.is_load() {
-                return Err(err(rule, "loads cannot be mediated by intro_ghost"));
+                let er = err(rule, "loads cannot be mediated by intro_ghost");
+                return Err((out, er));
             }
             // Make ĝ fresh.
             out.src.kill_reg(&ghost);
@@ -259,52 +279,58 @@ pub fn apply_inf(
             let trapping = match e {
                 Expr::Value(TValue::Const(c)) => c.may_trap(),
                 Expr::Value(TValue::Reg(_)) => {
-                    return Err(err(rule, "intro_lessdef_undef requires a constant"))
+                    let er = err(rule, "intro_lessdef_undef requires a constant");
+                    return Err((out, er));
                 }
-                _ => return Err(err(rule, "intro_lessdef_undef requires a value expression")),
+                _ => {
+                    let er = err(rule, "intro_lessdef_undef requires a value expression");
+                    return Err((out, er));
+                }
             };
             if trapping && !config.trust_trapping_constexprs {
-                return Err(err(
+                let er = err(
                     rule,
                     "constant expression may raise undefined behaviour (e.g. division by zero)",
-                ));
+                );
+                return Err((out, er));
             }
             out.side_mut(*side)
                 .insert_lessdef(Expr::undef(*ty), e.clone());
         }
         InfRule::ReduceMaydiffNonPhysical { r } => {
             if r.is_phy() {
-                return Err(err(rule, "register is physical"));
+                let er = err(rule, "register is physical");
+                return Err((out, er));
             }
-            let used =
-                out.src.iter().any(|p| p.mentions(r)) || out.tgt.iter().any(|p| p.mentions(r));
-            if used {
-                return Err(err(
+            if out.src.mentions_reg(r) || out.tgt.mentions_reg(r) {
+                let er = err(
                     rule,
                     format!("register {r} is still mentioned by a predicate"),
-                ));
+                );
+                return Err((out, er));
             }
             out.remove_maydiff(r);
         }
         InfRule::ReduceMaydiffLessdef { r, via } => {
             let rv = Expr::Value(TValue::Reg(r.clone()));
             if !out.src.has_lessdef(&rv, via) {
-                return Err(err(rule, format!("missing source premise {r} >= {via}")));
+                let er = err(rule, format!("missing source premise {r} >= {via}"));
+                return Err((out, er));
             }
             if !out.tgt.has_lessdef(via, &rv) {
-                return Err(err(rule, format!("missing target premise {via} >= {r}")));
+                let er = err(rule, format!("missing target premise {via} >= {r}"));
+                return Err((out, er));
             }
             if via.mentions(r) {
-                return Err(err(
-                    rule,
-                    "mediating expression mentions the register itself",
-                ));
+                let er = err(rule, "mediating expression mentions the register itself");
+                return Err((out, er));
             }
             if !out.expr_injected(via) {
-                return Err(err(
+                let er = err(
                     rule,
                     format!("mediating expression {via} mentions maydiff registers"),
-                ));
+                );
+                return Err((out, er));
             }
             out.remove_maydiff(r);
         }
@@ -325,16 +351,23 @@ pub fn apply_inf(
             let flag_e = Expr::Value(TValue::Const(crellvm_ir::Const::bool(*flag)));
             let u = out.side_mut(*side);
             if !u.has_lessdef(&flag_e, &cmp) {
-                return Err(err(rule, format!("missing premise {flag} >= {cmp}")));
+                let e = err(rule, format!("missing premise {flag} >= {cmp}"));
+                return Err((out, e));
             }
             u.insert_lessdef(Expr::Value(a.clone()), Expr::Value(b.clone()));
             u.insert_lessdef(Expr::Value(b.clone()), Expr::Value(a.clone()));
         }
         InfRule::Arith(ar) => {
-            return crate::rules_arith::apply_arith(ar, q).map_err(|reason| InfError {
-                rule: format!("{ar:?}"),
-                reason,
-            });
+            return match crate::rules_arith::apply_arith(ar, &out) {
+                Ok(next) => Ok(next),
+                Err(reason) => {
+                    let e = InfError {
+                        rule: format!("{ar:?}"),
+                        reason,
+                    };
+                    Err((out, e))
+                }
+            };
         }
     }
     Ok(out)

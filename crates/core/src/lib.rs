@@ -60,8 +60,8 @@ pub use checker::{
     validate, validate_with_config, validate_with_telemetry, ValidationError, Verdict,
 };
 pub use equivbeh::check_equiv_beh;
-pub use expr::{Expr, Side, TReg, TValue};
-pub use infrule::{apply_inf, CheckerConfig, InfError, InfRule};
+pub use expr::{Expr, ExprInterner, ExprRef, Side, TReg, TValue};
+pub use infrule::{apply_inf, apply_inf_owned, CheckerConfig, InfError, InfRule};
 pub use postcond::{calc_post_cmd, calc_post_phi};
 pub use proof::{Loc, ProofBuilder, ProofUnit, RowShape, RulePos, SlotId};
 pub use rules_arith::ArithRule;

@@ -359,14 +359,14 @@ pub fn eval_pred(p: &Pred, s: &ExtState) -> Option<bool> {
 /// component is not expressible.)
 pub fn eval_assertion(a: &Assertion, src: &ExtState, tgt: &ExtState) -> Option<bool> {
     for p in a.src.iter() {
-        match eval_pred(p, src) {
+        match eval_pred(&p, src) {
             Some(false) => return Some(false),
             Some(true) => {}
             None => return None,
         }
     }
     for p in a.tgt.iter() {
-        match eval_pred(p, tgt) {
+        match eval_pred(&p, tgt) {
             Some(false) => return Some(false),
             Some(true) => {}
             None => return None,

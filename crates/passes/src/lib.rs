@@ -59,6 +59,7 @@ pub mod gvn;
 pub mod instcombine;
 pub mod licm;
 pub mod mem2reg;
+pub mod parallel;
 pub mod pipeline;
 pub(crate) mod util;
 
@@ -67,4 +68,9 @@ pub use gvn::{gvn, gvn_traced};
 pub use instcombine::{instcombine, instcombine_traced};
 pub use licm::{licm, licm_traced};
 pub use mem2reg::{mem2reg, mem2reg_traced};
-pub use pipeline::{run_pipeline, run_pipeline_traced, PipelineReport, ProofFormat, StepRecord};
+pub use parallel::{
+    default_jobs, run_pipeline_parallel, run_validated_pass_parallel, ParallelOptions,
+};
+pub use pipeline::{
+    run_pipeline, run_pipeline_traced, PipelineReport, ProofFormat, StepOutcome, StepRecord,
+};

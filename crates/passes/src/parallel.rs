@@ -1,0 +1,388 @@
+//! The parallel validation engine: per-function (pass → proof → check)
+//! fan-out over a std-only scoped work-stealing pool.
+//!
+//! The paper's validation unit is one function under one pass, and units
+//! are independent — embarrassingly parallel. This module exploits that:
+//!
+//! * **Work items** are function indices. Worker `w` is seeded with a
+//!   contiguous chunk of the module's functions in its own deque; when the
+//!   deque runs dry it *steals* from the back of a sibling's deque, so an
+//!   unlucky chunk of expensive functions does not serialize the run.
+//! * **No shared mutable state on the hot path.** Each worker records into
+//!   its own private [`Registry`]; each validation unit owns its own
+//!   expression interner (see `crellvm_core::checker`). Workers share only
+//!   the immutable input module and, when tracing, the append-only trace
+//!   sink.
+//! * **Deterministic merging.** Results are scattered back by function
+//!   index, so [`PipelineReport`] step order is the module's function
+//!   order at any thread count. Worker registries are merged in worker
+//!   order with [`Registry::merge_snapshot`]; every measurement metric is
+//!   a commutative per-item sum, so the merged values are independent of
+//!   scheduling. The only schedule-dependent metrics are wall-clock
+//!   timers, `pipeline.jobs`, and the per-worker `validate.steal.*`
+//!   counters — exactly the set [`Snapshot::deterministic`] excludes.
+//!
+//! [`Snapshot::deterministic`]: crellvm_telemetry::Snapshot::deterministic
+
+use crate::config::{PassConfig, PassOutcome};
+use crate::pipeline::{PipelineReport, ProofFormat, StepOutcome, StepRecord, PASS_ORDER};
+use crellvm_core::{validate_with_telemetry, CheckerConfig, ProofUnit, Verdict};
+use crellvm_ir::{Function, Module};
+use crellvm_telemetry::{Registry, Telemetry};
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Options of the parallel validation engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelOptions {
+    /// Number of worker threads to fan validation out over. The engine
+    /// never spawns more workers than there are functions.
+    pub jobs: usize,
+    /// Proof wire format for the I/O phase.
+    pub format: ProofFormat,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            jobs: default_jobs(),
+            format: ProofFormat::Json,
+        }
+    }
+}
+
+impl ParallelOptions {
+    /// Options with an explicit worker count (`0` means the default).
+    pub fn with_jobs(jobs: usize) -> ParallelOptions {
+        ParallelOptions {
+            jobs: if jobs == 0 { default_jobs() } else { jobs },
+            ..ParallelOptions::default()
+        }
+    }
+}
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run one pass over a single function (the per-function slice of
+/// `pipeline::run_pass`).
+fn run_pass_function(name: &str, f: &Function, config: &PassConfig, tel: &Telemetry) -> ProofUnit {
+    match name {
+        "mem2reg" => crate::mem2reg::promote_function_traced(f, config, tel),
+        "instcombine" => crate::instcombine::instcombine_function_traced(f, config, tel),
+        "gvn" => crate::gvn::gvn_function_traced(f, config, tel),
+        "licm" => crate::licm::licm_function_traced(f, config, tel),
+        other => panic!("unknown pass {other}"),
+    }
+}
+
+/// Everything one work item produces: the proof unit (still holding the
+/// transformed function body), the step record, and the four Fig 6/8 time
+/// columns.
+struct ItemResult {
+    unit: ProofUnit,
+    record: StepRecord,
+    orig: Duration,
+    pcal: Duration,
+    io: Duration,
+    pcheck: Duration,
+}
+
+/// One work item: the full Orig / PCal / I-O / PCheck protocol for one
+/// function under one pass, recording into the worker's telemetry.
+fn process_item(
+    pass: &str,
+    f: &Function,
+    config: &PassConfig,
+    checker: &CheckerConfig,
+    format: ProofFormat,
+    tel: &Telemetry,
+) -> ItemResult {
+    // Orig: the bare pass, proof generation genuinely disabled, telemetry
+    // disabled so domain counters are not double-counted.
+    let t0 = Instant::now();
+    let _ = run_pass_function(pass, f, &config.without_proofs(), &Telemetry::disabled());
+    let orig = t0.elapsed();
+    tel.registry().record_duration("time.orig", orig);
+
+    let t1 = Instant::now();
+    let unit = run_pass_function(pass, f, config, tel);
+    let pcal = t1.elapsed();
+    tel.registry().record_duration("time.pcal", pcal);
+
+    tel.count("pipeline.steps", 1);
+    let t2 = Instant::now();
+    let (unit2, wire_len) = format.roundtrip(&unit);
+    let io = t2.elapsed();
+    tel.registry().record_duration("time.io", io);
+    tel.observe("pipeline.proof_bytes", wire_len as u64);
+
+    let t3 = Instant::now();
+    let outcome = match validate_with_telemetry(&unit2, checker, tel) {
+        Ok(Verdict::Valid) => {
+            tel.count("pipeline.validated", 1);
+            StepOutcome::Valid
+        }
+        Ok(Verdict::NotSupported(r)) => {
+            tel.count("pipeline.not_supported", 1);
+            StepOutcome::NotSupported(r)
+        }
+        Err(e) => {
+            tel.count("pipeline.failed", 1);
+            StepOutcome::Failed(e.to_string())
+        }
+    };
+    let pcheck = t3.elapsed();
+    tel.registry().record_duration("time.pcheck", pcheck);
+
+    let record = StepRecord {
+        pass: pass.to_string(),
+        func: unit.src.name.clone(),
+        outcome,
+        proof_bytes: wire_len,
+    };
+    ItemResult {
+        unit,
+        record,
+        orig,
+        pcal,
+        io,
+        pcheck,
+    }
+}
+
+/// Run one pass over a module with full validation instrumentation,
+/// fanning the per-function work across `opts.jobs` workers.
+///
+/// Equivalent to `pipeline::run_validated_pass_traced` in every
+/// deterministic observable: same transformed module, same step records in
+/// function order, same measurement counters and histograms. Per-worker
+/// registries are merged into `tel`'s registry after the pool joins.
+pub fn run_validated_pass_parallel(
+    name: &str,
+    m: &Module,
+    config: &PassConfig,
+    checker: &CheckerConfig,
+    opts: &ParallelOptions,
+    tel: &Telemetry,
+    report: &mut PipelineReport,
+) -> PassOutcome {
+    let n = m.functions.len();
+    let workers = opts.jobs.max(1).min(n.max(1));
+
+    // Chunked injector: worker `w` owns functions [w*n/workers,
+    // (w+1)*n/workers), popped from the front; thieves take from the back
+    // so owner and thief rarely contend on the same end.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            let lo = w * n / workers;
+            let hi = (w + 1) * n / workers;
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+
+    let mut slots: Vec<Option<ItemResult>> = (0..n).map(|_| None).collect();
+    let mut worker_outputs = std::thread::scope(|scope| {
+        let queues = &queues;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let registry = Arc::new(Registry::new());
+                    let mut wtel = Telemetry::with_registry(Arc::clone(&registry));
+                    if let Some(trace) = tel.trace_handle() {
+                        wtel = wtel.with_trace(trace);
+                    }
+                    let mut produced: Vec<(usize, ItemResult)> = Vec::new();
+                    let mut steals = 0u64;
+                    loop {
+                        let mut item = queues[w].lock().expect("queue poisoned").pop_front();
+                        if item.is_none() {
+                            for off in 1..workers {
+                                let victim = (w + off) % workers;
+                                let stolen =
+                                    queues[victim].lock().expect("queue poisoned").pop_back();
+                                if stolen.is_some() {
+                                    steals += 1;
+                                    item = stolen;
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(i) = item else { break };
+                        let result = process_item(
+                            name,
+                            &m.functions[i],
+                            config,
+                            checker,
+                            opts.format,
+                            &wtel,
+                        );
+                        produced.push((i, result));
+                    }
+                    // Recorded even at zero so the counter exists for
+                    // every worker in the report.
+                    registry.add(&format!("validate.steal.w{w}"), steals);
+                    (produced, registry.snapshot())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("validation worker panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    // Merge per-worker registries in worker order (every metric is an
+    // order-independent sum; the fixed order keeps even timer totals
+    // reproducible given identical durations).
+    for (produced, snapshot) in &mut worker_outputs {
+        tel.registry().merge_snapshot(snapshot);
+        for (i, result) in produced.drain(..) {
+            debug_assert!(slots[i].is_none(), "function {i} processed twice");
+            slots[i] = Some(result);
+        }
+    }
+
+    // Reassemble in function order: deterministic report and module
+    // regardless of which worker ran what.
+    let mut out = m.clone();
+    let mut proofs = Vec::with_capacity(n);
+    for (f, slot) in m.functions.iter().zip(slots) {
+        let result = slot.expect("every function processed exactly once");
+        *out.function_mut(&f.name).expect("function exists") = result.unit.tgt.clone();
+        report.time_orig += result.orig;
+        report.time_pcal += result.pcal;
+        report.time_io += result.io;
+        report.time_pcheck += result.pcheck;
+        report.steps.push(result.record);
+        proofs.push(result.unit);
+    }
+    PassOutcome {
+        module: out,
+        proofs,
+    }
+}
+
+/// Run the full `-O2`-like pipeline in parallel, validating every step.
+///
+/// Records the engine width under `pipeline.jobs` (a schedule-scoped
+/// metric, excluded from the deterministic snapshot view).
+pub fn run_pipeline_parallel(
+    m: &Module,
+    config: &PassConfig,
+    opts: &ParallelOptions,
+    tel: &Telemetry,
+) -> (Module, PipelineReport) {
+    tel.count("pipeline.jobs", opts.jobs.max(1) as u64);
+    let mut report = PipelineReport::default();
+    let checker = CheckerConfig::sound();
+    let mut cur = m.clone();
+    for pass in PASS_ORDER {
+        cur = run_validated_pass_parallel(pass, &cur, config, &checker, opts, tel, &mut report)
+            .module;
+    }
+    (cur, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crellvm_ir::parse_module;
+
+    const PROGRAM: &str = r#"
+        declare @print(i32)
+        define @f(i32 %n) -> i32 {
+        entry:
+          %p = alloca i32
+          store i32 0, ptr %p
+          %a = load i32, ptr %p
+          %b = add i32 %a, %n
+          ret i32 %b
+        }
+        define @g(i32 %n) -> i32 {
+        entry:
+          %x = mul i32 %n, 1
+          %y = add i32 %x, 0
+          ret i32 %y
+        }
+        define @main() {
+        entry:
+          %r = call i32 @f(i32 3)
+          %s = call i32 @g(i32 %r)
+          call void @print(i32 %s)
+          ret void
+        }
+    "#;
+
+    fn run_at(jobs: usize) -> (String, PipelineReport, crellvm_telemetry::Snapshot) {
+        let m = parse_module(PROGRAM).unwrap();
+        let tel = Telemetry::disabled();
+        let opts = ParallelOptions {
+            jobs,
+            format: ProofFormat::Json,
+        };
+        let (out, report) = run_pipeline_parallel(&m, &PassConfig::default(), &opts, &tel);
+        (
+            crellvm_ir::printer::print_module(&out),
+            report,
+            tel.registry().snapshot(),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_sequential_pipeline() {
+        let m = parse_module(PROGRAM).unwrap();
+        let seq_tel = Telemetry::disabled();
+        let (seq_out, seq_report) =
+            crate::pipeline::run_pipeline_traced(&m, &PassConfig::default(), &seq_tel);
+        let (par_out, par_report, par_snap) = run_at(4);
+        assert_eq!(crellvm_ir::printer::print_module(&seq_out), par_out);
+        assert_eq!(seq_report.steps.len(), par_report.steps.len());
+        for (a, b) in seq_report.steps.iter().zip(&par_report.steps) {
+            assert_eq!((&a.pass, &a.func), (&b.pass, &b.func));
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.proof_bytes, b.proof_bytes);
+        }
+        // Measurement metrics agree with the sequential engine.
+        let seq_det = seq_tel.registry().snapshot().deterministic();
+        let par_det = par_snap.deterministic();
+        assert_eq!(seq_det.counters, par_det.counters);
+        assert_eq!(seq_det.histograms, par_det.histograms);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_observables() {
+        let (out1, rep1, snap1) = run_at(1);
+        for jobs in [2, 3, 8] {
+            let (out, rep, snap) = run_at(jobs);
+            assert_eq!(out1, out, "module differs at jobs={jobs}");
+            assert_eq!(rep1.steps.len(), rep.steps.len());
+            for (a, b) in rep1.steps.iter().zip(&rep.steps) {
+                assert_eq!(
+                    (&a.pass, &a.func, &a.outcome),
+                    (&b.pass, &b.func, &b.outcome)
+                );
+                assert_eq!(a.proof_bytes, b.proof_bytes);
+            }
+            assert_eq!(
+                snap1.deterministic(),
+                snap.deterministic(),
+                "metrics differ at jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn steal_counters_exist_per_worker() {
+        let (_, _, snap) = run_at(2);
+        assert!(snap.counters.contains_key("validate.steal.w0"));
+        assert!(snap.counters.contains_key("validate.steal.w1"));
+        assert_eq!(snap.counters.get("pipeline.jobs"), Some(&2));
+    }
+}

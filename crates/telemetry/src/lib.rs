@@ -111,6 +111,13 @@ impl Telemetry {
     pub fn tracing(&self) -> bool {
         self.trace.is_some()
     }
+
+    /// The attached trace sink, if any. The parallel validation engine
+    /// uses this to give each worker a private registry while all workers
+    /// keep emitting into the session's one trace file.
+    pub fn trace_handle(&self) -> Option<Arc<Trace>> {
+        self.trace.clone()
+    }
 }
 
 #[cfg(test)]

@@ -143,6 +143,32 @@ impl Registry {
             .unwrap_or(Duration::ZERO)
     }
 
+    // -- merging -----------------------------------------------------------
+
+    /// Fold a snapshot into this registry additively: counters and timer
+    /// totals add, histogram counts/sums/buckets add. Used by the parallel
+    /// validation engine to merge per-worker registries into the main one;
+    /// because every operation is a commutative add, the merged result is
+    /// independent of worker count and merge order.
+    pub fn merge_snapshot(&self, snap: &Snapshot) {
+        for (name, v) in &snap.counters {
+            self.add(name, *v);
+        }
+        for (name, h) in &snap.histograms {
+            let cell = intern(&self.histograms, name);
+            cell.count.fetch_add(h.count, Ordering::Relaxed);
+            cell.sum.fetch_add(h.sum, Ordering::Relaxed);
+            for (i, n) in &h.buckets {
+                cell.buckets[*i as usize].fetch_add(*n, Ordering::Relaxed);
+            }
+        }
+        for (name, t) in &snap.timers {
+            let cell = intern(&self.timers, name);
+            cell.count.fetch_add(t.count, Ordering::Relaxed);
+            cell.total_nanos.fetch_add(t.total_nanos, Ordering::Relaxed);
+        }
+    }
+
     // -- snapshots ---------------------------------------------------------
 
     /// Consistent-enough point-in-time copy of every metric. ("Enough":
@@ -305,6 +331,28 @@ impl Snapshot {
         Value::Obj(root).to_json()
     }
 
+    /// The scheduling-independent restriction of the snapshot: drops every
+    /// timer (wall-clock measurements vary run to run) and the counters
+    /// that describe the *schedule* rather than the *work* —
+    /// `pipeline.jobs` and the per-worker `validate.steal.*` counters.
+    /// Everything that remains is a commutative sum over per-function
+    /// work items, so it is byte-identical at any `--jobs` value; the
+    /// determinism tests compare exactly this view.
+    pub fn deterministic(&self) -> Snapshot {
+        let schedule_scoped =
+            |name: &str| name == "pipeline.jobs" || name.starts_with("validate.steal.");
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(k, _)| !schedule_scoped(k))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: self.histograms.clone(),
+            timers: BTreeMap::new(),
+        }
+    }
+
     /// Parse a metrics-file JSON document.
     pub fn from_json(input: &str) -> Result<Snapshot, String> {
         let root = crate::json::parse(input).map_err(|e| e.to_string())?;
@@ -418,6 +466,61 @@ mod tests {
         }
         assert!(registry.timer_total("time.block") >= Duration::from_millis(1));
         assert_eq!(registry.snapshot().timers["time.block"].count, 1);
+    }
+
+    #[test]
+    fn merge_snapshot_is_additive_and_order_independent() {
+        // Three "workers" record disjoint and overlapping metrics…
+        let mk = |base: u64| {
+            let r = Registry::new();
+            r.add("pipeline.validated", base);
+            r.add("checker.rule.transitivity", base * 2);
+            r.observe("checker.assertion_preds", base);
+            r.observe("checker.assertion_preds", base + 1);
+            r.record_duration("time.pcheck", Duration::from_nanos(base * 100));
+            r.snapshot()
+        };
+        let snaps = [mk(1), mk(2), mk(3)];
+
+        let forward = Registry::new();
+        for s in &snaps {
+            forward.merge_snapshot(s);
+        }
+        let backward = Registry::new();
+        for s in snaps.iter().rev() {
+            backward.merge_snapshot(s);
+        }
+        assert_eq!(forward.snapshot(), backward.snapshot());
+        assert_eq!(forward.counter_value("pipeline.validated"), 6);
+        assert_eq!(forward.counter_value("checker.rule.transitivity"), 12);
+        let merged = forward.snapshot();
+        assert_eq!(merged.histograms["checker.assertion_preds"].count, 6);
+        assert_eq!(
+            merged.histograms["checker.assertion_preds"].sum,
+            1 + 2 + 2 + 3 + 3 + 4
+        );
+        assert_eq!(merged.timers["time.pcheck"].count, 3);
+        assert_eq!(merged.timers["time.pcheck"].total_nanos, 600);
+    }
+
+    #[test]
+    fn deterministic_view_drops_schedule_scoped_metrics() {
+        let r = Registry::new();
+        r.add("pipeline.validated", 4);
+        r.add("pipeline.jobs", 8);
+        r.add("validate.steal.w0", 3);
+        r.add("validate.steal.w7", 1);
+        r.observe("checker.assertion_preds", 5);
+        r.record_duration("time.orig", Duration::from_millis(2));
+        let det = r.snapshot().deterministic();
+        assert_eq!(det.counters.get("pipeline.validated"), Some(&4));
+        assert!(!det.counters.contains_key("pipeline.jobs"));
+        assert!(!det
+            .counters
+            .keys()
+            .any(|k| k.starts_with("validate.steal.")));
+        assert!(det.timers.is_empty());
+        assert!(det.histograms.contains_key("checker.assertion_preds"));
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //! streams the proof-audit log — one JSON-lines event per validation
 //! step — as it happens. `report <metrics.json>` renders a snapshot as
 //! the paper's Fig 6/8-style tables.
+//!
+//! `opt --jobs N` and `check --jobs N` fan the per-function validation
+//! work across N worker threads (default: the machine's available
+//! parallelism). Validation units are independent, so the transformed
+//! module, the per-step output lines, and every measurement metric are
+//! identical at any thread count; only wall-clock timers and the
+//! scheduling counters (`pipeline.jobs`, `validate.steal.*`) vary.
 
 use crellvm::diff::diff_modules;
 use crellvm::erhl::{
@@ -36,17 +43,17 @@ use crellvm::gen::{generate_module, GenConfig};
 use crellvm::interp::{run_main, RunConfig, UndefPolicy};
 use crellvm::ir::{parse_module, printer::print_module, verify_module, Module};
 use crellvm::passes::{
-    gvn_traced, instcombine_traced, licm_traced, mem2reg_traced, BugSet, PassConfig, PassOutcome,
-    ProofFormat,
+    default_jobs, run_validated_pass_parallel, BugSet, ParallelOptions, PassConfig, PipelineReport,
+    ProofFormat, StepOutcome,
 };
 use crellvm::telemetry::{Registry, Snapshot, Telemetry, Trace};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--metrics FILE] [--trace FILE]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] <proof-file>...\n  crellvm report <metrics.json>"
+        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--jobs N] [--metrics FILE] [--trace FILE]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] [--jobs N] <proof-file>...\n  crellvm report <metrics.json>"
     );
     ExitCode::from(2)
 }
@@ -71,14 +78,14 @@ fn load(path: &str) -> Result<Module, String> {
     Ok(m)
 }
 
-fn run_pass(name: &str, m: &Module, config: &PassConfig, tel: &Telemetry) -> Option<PassOutcome> {
-    Some(match name {
-        "mem2reg" => mem2reg_traced(m, config, tel),
-        "gvn" => gvn_traced(m, config, tel),
-        "licm" => licm_traced(m, config, tel),
-        "instcombine" => instcombine_traced(m, config, tel),
-        _ => return None,
-    })
+const PASS_NAMES: [&str; 4] = ["mem2reg", "gvn", "licm", "instcombine"];
+
+fn parse_jobs(arg: Option<&String>) -> Result<usize, String> {
+    let n: usize = arg
+        .ok_or("--jobs needs a count")?
+        .parse()
+        .map_err(|e| format!("bad job count: {e}"))?;
+    Ok(if n == 0 { default_jobs() } else { n })
 }
 
 fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
@@ -88,6 +95,7 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
     let mut emit = false;
     let mut proof_dir: Option<String> = None;
     let mut binary = false;
+    let mut jobs = default_jobs();
     let mut metrics: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut it = args[1..].iter();
@@ -105,6 +113,7 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
             "--emit" => emit = true,
             "--proof-dir" => proof_dir = Some(it.next().ok_or("--proof-dir needs a path")?.clone()),
             "--binary" => binary = true,
+            "--jobs" => jobs = parse_jobs(it.next())?,
             "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a path")?.clone()),
             "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
             other => return Err(format!("opt: unknown flag {other}")),
@@ -118,31 +127,30 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
             .map(String::from)
             .to_vec();
     }
+    if let Some(bad) = passes.iter().find(|p| !PASS_NAMES.contains(&p.as_str())) {
+        return Err(format!("unknown pass {bad}"));
+    }
     let config = PassConfig::with_bugs(bugs);
     let (registry, tel) = make_telemetry(trace.as_deref())?;
     let checker = CheckerConfig::sound();
-    let format = if binary {
-        ProofFormat::Binary
-    } else {
-        ProofFormat::Json
+    let opts = ParallelOptions {
+        jobs,
+        format: if binary {
+            ProofFormat::Binary
+        } else {
+            ProofFormat::Json
+        },
     };
+    tel.count("pipeline.jobs", jobs as u64);
     let mut cur = load(file)?;
+    let mut report = PipelineReport::default();
     let mut failures = 0usize;
     for pass in &passes {
-        // Orig: the bare pass (no proof bookkeeping, no telemetry — see
-        // `run_validated_pass_traced` for the same protocol).
-        let t0 = Instant::now();
-        let _ = run_pass(pass, &cur, &config.without_proofs(), &Telemetry::disabled())
-            .ok_or_else(|| format!("unknown pass {pass}"))?;
-        registry.record_duration("time.orig", t0.elapsed());
-
-        let t1 = Instant::now();
-        let out = run_pass(pass, &cur, &config, &tel).expect("pass name already checked");
-        registry.record_duration("time.pcal", t1.elapsed());
-
-        for unit in &out.proofs {
-            tel.count("pipeline.steps", 1);
-            if let Some(dir) = &proof_dir {
+        let steps_before = report.steps.len();
+        let out =
+            run_validated_pass_parallel(pass, &cur, &config, &checker, &opts, &tel, &mut report);
+        if let Some(dir) = &proof_dir {
+            for unit in &out.proofs {
                 let (path, bytes) = if binary {
                     (
                         format!("{dir}/{pass}.{}.cpb", unit.src.name),
@@ -156,30 +164,19 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
                 };
                 std::fs::write(&path, bytes).map_err(|e| format!("{path}: {e}"))?;
             }
-
-            // I/O: the proof's trip over the compiler/checker wire.
-            let t2 = Instant::now();
-            let (unit2, wire_len) = format.roundtrip(unit);
-            registry.record_duration("time.io", t2.elapsed());
-            tel.observe("pipeline.proof_bytes", wire_len as u64);
-
-            let t3 = Instant::now();
-            let verdict = validate_with_telemetry(&unit2, &checker, &tel);
-            registry.record_duration("time.pcheck", t3.elapsed());
-            match verdict {
-                Ok(Verdict::Valid) => {
-                    tel.count("pipeline.validated", 1);
-                    println!("{pass:<12} @{:<20} valid", unit.src.name)
+        }
+        // Step records come back in function order regardless of which
+        // worker validated what, so this output is thread-count stable.
+        for step in &report.steps[steps_before..] {
+            match &step.outcome {
+                StepOutcome::Valid => println!("{pass:<12} @{:<20} valid", step.func),
+                StepOutcome::NotSupported(r) => {
+                    println!("{pass:<12} @{:<20} not-supported ({r})", step.func)
                 }
-                Ok(Verdict::NotSupported(r)) => {
-                    tel.count("pipeline.not_supported", 1);
-                    println!("{pass:<12} @{:<20} not-supported ({r})", unit.src.name)
-                }
-                Err(e) => {
-                    tel.count("pipeline.failed", 1);
+                StepOutcome::Failed(e) => {
                     failures += 1;
-                    println!("{pass:<12} @{:<20} FAILED at {}", unit.src.name, e.at);
-                    println!("{:>34}reason: {}", "", e.reason);
+                    println!("{pass:<12} @{:<20} FAILED", step.func);
+                    println!("{:>34}reason: {e}", "");
                 }
             }
         }
@@ -277,20 +274,23 @@ fn cmd_gen(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let mut trace: Option<String> = None;
+    let mut jobs = default_jobs();
     let mut files: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
+            "--jobs" => jobs = parse_jobs(it.next())?,
             _ => files.push(a),
         }
     }
     if files.is_empty() {
         return Err("check: need at least one proof file".into());
     }
-    let (_registry, tel) = make_telemetry(trace.as_deref())?;
+    let (registry, tel) = make_telemetry(trace.as_deref())?;
+    tel.count("pipeline.jobs", jobs as u64);
     let checker = CheckerConfig::sound();
-    let mut failures = 0usize;
+    let mut units = Vec::with_capacity(files.len());
     for path in files {
         let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
         let unit = if path.ends_with(".cpb") {
@@ -299,15 +299,63 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             let text = String::from_utf8(bytes).map_err(|e| format!("{path}: {e}"))?;
             proof_from_json(&text).map_err(|e| format!("{path}: {e}"))?
         };
-        match validate_with_telemetry(&unit, &checker, &tel) {
-            Ok(Verdict::Valid) => println!("{path}: valid ({} @{})", unit.pass, unit.src.name),
-            Ok(Verdict::NotSupported(r)) => println!("{path}: not-supported ({r})"),
-            Err(e) => {
-                failures += 1;
-                println!("{path}: FAILED at {}", e.at);
-                println!("    reason: {}", e.reason);
-            }
+        units.push((path, unit));
+    }
+    // Fan validation across workers; results are scattered back by file
+    // index so the output order matches the command line at any -j.
+    let workers = jobs.max(1).min(units.len());
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<(String, bool)>> = units.iter().map(|_| None).collect();
+    let worker_outputs = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let wreg = Arc::new(Registry::new());
+                    let mut wtel = Telemetry::with_registry(Arc::clone(&wreg));
+                    if let Some(t) = tel.trace_handle() {
+                        wtel = wtel.with_trace(t);
+                    }
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((path, unit)) = units.get(i) else {
+                            break;
+                        };
+                        let item = match validate_with_telemetry(unit, &checker, &wtel) {
+                            Ok(Verdict::Valid) => (
+                                format!("{path}: valid ({} @{})", unit.pass, unit.src.name),
+                                false,
+                            ),
+                            Ok(Verdict::NotSupported(r)) => {
+                                (format!("{path}: not-supported ({r})"), false)
+                            }
+                            Err(e) => (
+                                format!("{path}: FAILED at {}\n    reason: {}", e.at, e.reason),
+                                true,
+                            ),
+                        };
+                        produced.push((i, item));
+                    }
+                    (produced, wreg.snapshot())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("check worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (produced, snapshot) in worker_outputs {
+        registry.merge_snapshot(&snapshot);
+        for (i, item) in produced {
+            slots[i] = Some(item);
         }
+    }
+    let mut failures = 0usize;
+    for slot in slots {
+        let (line, failed) = slot.expect("every proof file validated");
+        println!("{line}");
+        failures += usize::from(failed);
     }
     Ok(if failures == 0 {
         ExitCode::SUCCESS
@@ -356,6 +404,38 @@ fn render_report(snap: &Snapshot) -> String {
         ms("time.io"),
         ms("time.pcheck"),
     );
+
+    // Validation-engine health: worker count, expression-interner
+    // effectiveness (hit rate ~ allocations avoided), steal balance.
+    let hits = counter("expr.intern.hits");
+    let misses = counter("expr.intern.misses");
+    let mut steals: Vec<(&String, u64)> = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("validate.steal."))
+        .map(|(k, v)| (k, *v))
+        .collect();
+    steals.sort_by_key(|(k, _)| {
+        k.strip_prefix("validate.steal.w")
+            .and_then(|n| n.parse::<u64>().ok())
+            .unwrap_or(u64::MAX)
+    });
+    if counter("pipeline.jobs") > 0 || hits + misses > 0 || !steals.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{:<34} {:>12}", "engine", "value");
+        if counter("pipeline.jobs") > 0 {
+            let _ = writeln!(out, "  {:<32} {:>12}", "jobs", counter("pipeline.jobs"));
+        }
+        if hits + misses > 0 {
+            let _ = writeln!(out, "  {:<32} {hits:>12}", "expr.intern.hits");
+            let _ = writeln!(out, "  {:<32} {misses:>12}", "expr.intern.misses");
+            let rate = 100.0 * hits as f64 / (hits + misses) as f64;
+            let _ = writeln!(out, "  {:<32} {:>11.1}%", "expr.intern.hit_rate", rate);
+        }
+        for (name, n) in steals {
+            let _ = writeln!(out, "  {:<32} {n:>12}", &name["validate.".len()..]);
+        }
+    }
 
     // Fig 7 axis: inference-rule applications, most-used first.
     let mut rules: Vec<(&str, u64)> = snap

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_automation-1188e46b9b3b53ea.d: crates/bench/benches/ablation_automation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_automation-1188e46b9b3b53ea.rmeta: crates/bench/benches/ablation_automation.rs Cargo.toml
+
+crates/bench/benches/ablation_automation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

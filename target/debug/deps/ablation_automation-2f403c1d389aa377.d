@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_automation-2f403c1d389aa377.d: crates/bench/benches/ablation_automation.rs
+
+/root/repo/target/debug/deps/libablation_automation-2f403c1d389aa377.rmeta: crates/bench/benches/ablation_automation.rs
+
+crates/bench/benches/ablation_automation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_automation-d6befc5d7cdf00de.d: crates/bench/benches/ablation_automation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_automation-d6befc5d7cdf00de.rmeta: crates/bench/benches/ablation_automation.rs Cargo.toml
+
+crates/bench/benches/ablation_automation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

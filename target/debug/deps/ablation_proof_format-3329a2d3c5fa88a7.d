@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_proof_format-3329a2d3c5fa88a7.d: crates/bench/benches/ablation_proof_format.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_proof_format-3329a2d3c5fa88a7.rmeta: crates/bench/benches/ablation_proof_format.rs Cargo.toml
+
+crates/bench/benches/ablation_proof_format.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_proof_format-9aa358b6d7584162.d: crates/bench/benches/ablation_proof_format.rs
+
+/root/repo/target/debug/deps/libablation_proof_format-9aa358b6d7584162.rmeta: crates/bench/benches/ablation_proof_format.rs
+
+crates/bench/benches/ablation_proof_format.rs:

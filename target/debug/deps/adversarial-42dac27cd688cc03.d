@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversarial-42dac27cd688cc03.d: tests/adversarial.rs
+
+/root/repo/target/debug/deps/libadversarial-42dac27cd688cc03.rmeta: tests/adversarial.rs
+
+tests/adversarial.rs:

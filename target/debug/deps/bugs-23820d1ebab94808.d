@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bugs-23820d1ebab94808.d: tests/bugs.rs
+
+/root/repo/target/debug/deps/libbugs-23820d1ebab94808.rmeta: tests/bugs.rs
+
+tests/bugs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-6ceacc23e17b9559.d: tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-6ceacc23e17b9559.rmeta: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_crellvm=placeholder:crellvm

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crellvm-84a5fadc293e7a5e.d: src/main.rs
+
+/root/repo/target/debug/deps/libcrellvm-84a5fadc293e7a5e.rmeta: src/main.rs
+
+src/main.rs:

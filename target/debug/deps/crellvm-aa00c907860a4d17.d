@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crellvm-aa00c907860a4d17.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcrellvm-aa00c907860a4d17.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/crellvm_bench-0200b43913d8cfe2.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/sloc.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/crellvm_bench-0200b43913d8cfe2: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/sloc.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/sloc.rs:
+crates/bench/src/tables.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/crellvm_bench-a4bbdfbe96358e3a.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/sloc.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libcrellvm_bench-a4bbdfbe96358e3a.rlib: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/sloc.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libcrellvm_bench-a4bbdfbe96358e3a.rmeta: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/sloc.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/sloc.rs:
+crates/bench/src/tables.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

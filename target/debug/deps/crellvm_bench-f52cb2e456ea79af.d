@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/crellvm_bench-f52cb2e456ea79af.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/sloc.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libcrellvm_bench-f52cb2e456ea79af.rmeta: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/sloc.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/sloc.rs:
+crates/bench/src/tables.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/crellvm_core-6c5db9ef614afb3b.d: crates/core/src/lib.rs crates/core/src/assertion.rs crates/core/src/auto.rs crates/core/src/checker.rs crates/core/src/equivbeh.rs crates/core/src/expr.rs crates/core/src/infrule.rs crates/core/src/postcond.rs crates/core/src/proof.rs crates/core/src/rules_arith.rs crates/core/src/rules_composite.rs crates/core/src/semantics.rs crates/core/src/serialize.rs crates/core/src/serialize_bin.rs
+
+/root/repo/target/debug/deps/libcrellvm_core-6c5db9ef614afb3b.rmeta: crates/core/src/lib.rs crates/core/src/assertion.rs crates/core/src/auto.rs crates/core/src/checker.rs crates/core/src/equivbeh.rs crates/core/src/expr.rs crates/core/src/infrule.rs crates/core/src/postcond.rs crates/core/src/proof.rs crates/core/src/rules_arith.rs crates/core/src/rules_composite.rs crates/core/src/semantics.rs crates/core/src/serialize.rs crates/core/src/serialize_bin.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assertion.rs:
+crates/core/src/auto.rs:
+crates/core/src/checker.rs:
+crates/core/src/equivbeh.rs:
+crates/core/src/expr.rs:
+crates/core/src/infrule.rs:
+crates/core/src/postcond.rs:
+crates/core/src/proof.rs:
+crates/core/src/rules_arith.rs:
+crates/core/src/rules_composite.rs:
+crates/core/src/semantics.rs:
+crates/core/src/serialize.rs:
+crates/core/src/serialize_bin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crellvm_diff-9fbe779e44030b15.d: crates/diff/src/lib.rs
+
+/root/repo/target/debug/deps/libcrellvm_diff-9fbe779e44030b15.rmeta: crates/diff/src/lib.rs
+
+crates/diff/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crellvm_gen-b378c0e4284a74d3.d: crates/gen/src/lib.rs crates/gen/src/corpus.rs crates/gen/src/rand_prog.rs
+
+/root/repo/target/debug/deps/libcrellvm_gen-b378c0e4284a74d3.rmeta: crates/gen/src/lib.rs crates/gen/src/corpus.rs crates/gen/src/rand_prog.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/corpus.rs:
+crates/gen/src/rand_prog.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/crellvm_interp-3db553f5e8cbcb73.d: crates/interp/src/lib.rs crates/interp/src/event.rs crates/interp/src/exec.rs crates/interp/src/mem.rs crates/interp/src/refine.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/libcrellvm_interp-3db553f5e8cbcb73.rmeta: crates/interp/src/lib.rs crates/interp/src/event.rs crates/interp/src/exec.rs crates/interp/src/mem.rs crates/interp/src/refine.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/event.rs:
+crates/interp/src/exec.rs:
+crates/interp/src/mem.rs:
+crates/interp/src/refine.rs:
+crates/interp/src/value.rs:

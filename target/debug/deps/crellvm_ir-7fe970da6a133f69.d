@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/crellvm_ir-7fe970da6a133f69.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/constant.rs crates/ir/src/dom.rs crates/ir/src/function.rs crates/ir/src/inst.rs crates/ir/src/module.rs crates/ir/src/parser.rs crates/ir/src/printer.rs crates/ir/src/types.rs crates/ir/src/value.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/libcrellvm_ir-7fe970da6a133f69.rmeta: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/constant.rs crates/ir/src/dom.rs crates/ir/src/function.rs crates/ir/src/inst.rs crates/ir/src/module.rs crates/ir/src/parser.rs crates/ir/src/printer.rs crates/ir/src/types.rs crates/ir/src/value.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/constant.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/function.rs:
+crates/ir/src/inst.rs:
+crates/ir/src/module.rs:
+crates/ir/src/parser.rs:
+crates/ir/src/printer.rs:
+crates/ir/src/types.rs:
+crates/ir/src/value.rs:
+crates/ir/src/verify.rs:

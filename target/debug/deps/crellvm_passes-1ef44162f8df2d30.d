@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/crellvm_passes-1ef44162f8df2d30.d: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/parallel.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
+
+/root/repo/target/debug/deps/libcrellvm_passes-1ef44162f8df2d30.rmeta: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/parallel.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
+
+crates/passes/src/lib.rs:
+crates/passes/src/config.rs:
+crates/passes/src/gvn.rs:
+crates/passes/src/instcombine.rs:
+crates/passes/src/licm.rs:
+crates/passes/src/mem2reg.rs:
+crates/passes/src/parallel.rs:
+crates/passes/src/pipeline.rs:
+crates/passes/src/util.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/crellvm_passes-503b58ad98b8aea4.d: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
+/root/repo/target/debug/deps/crellvm_passes-503b58ad98b8aea4.d: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/parallel.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
 
-/root/repo/target/debug/deps/crellvm_passes-503b58ad98b8aea4: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
+/root/repo/target/debug/deps/crellvm_passes-503b58ad98b8aea4: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/parallel.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
 
 crates/passes/src/lib.rs:
 crates/passes/src/config.rs:
@@ -8,5 +8,6 @@ crates/passes/src/gvn.rs:
 crates/passes/src/instcombine.rs:
 crates/passes/src/licm.rs:
 crates/passes/src/mem2reg.rs:
+crates/passes/src/parallel.rs:
 crates/passes/src/pipeline.rs:
 crates/passes/src/util.rs:

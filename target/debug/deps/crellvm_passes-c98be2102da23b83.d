@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/crellvm_passes-c98be2102da23b83.d: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
+/root/repo/target/debug/deps/crellvm_passes-c98be2102da23b83.d: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/parallel.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
 
-/root/repo/target/debug/deps/libcrellvm_passes-c98be2102da23b83.rlib: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
+/root/repo/target/debug/deps/libcrellvm_passes-c98be2102da23b83.rlib: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/parallel.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
 
-/root/repo/target/debug/deps/libcrellvm_passes-c98be2102da23b83.rmeta: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
+/root/repo/target/debug/deps/libcrellvm_passes-c98be2102da23b83.rmeta: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/parallel.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
 
 crates/passes/src/lib.rs:
 crates/passes/src/config.rs:
@@ -10,5 +10,6 @@ crates/passes/src/gvn.rs:
 crates/passes/src/instcombine.rs:
 crates/passes/src/licm.rs:
 crates/passes/src/mem2reg.rs:
+crates/passes/src/parallel.rs:
 crates/passes/src/pipeline.rs:
 crates/passes/src/util.rs:

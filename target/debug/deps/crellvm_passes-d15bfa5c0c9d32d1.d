@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/crellvm_passes-d15bfa5c0c9d32d1.d: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs Cargo.toml
+/root/repo/target/debug/deps/crellvm_passes-d15bfa5c0c9d32d1.d: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/parallel.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcrellvm_passes-d15bfa5c0c9d32d1.rmeta: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs Cargo.toml
+/root/repo/target/debug/deps/libcrellvm_passes-d15bfa5c0c9d32d1.rmeta: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/parallel.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs Cargo.toml
 
 crates/passes/src/lib.rs:
 crates/passes/src/config.rs:
@@ -8,6 +8,7 @@ crates/passes/src/gvn.rs:
 crates/passes/src/instcombine.rs:
 crates/passes/src/licm.rs:
 crates/passes/src/mem2reg.rs:
+crates/passes/src/parallel.rs:
 crates/passes/src/pipeline.rs:
 crates/passes/src/util.rs:
 Cargo.toml:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/crellvm_telemetry-edc70b6f7c4170c9.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libcrellvm_telemetry-edc70b6f7c4170c9.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-eb98b4b02dd44a04.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-eb98b4b02dd44a04.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csmith_validation-3618ab4068c03e69.d: crates/bench/benches/csmith_validation.rs
+
+/root/repo/target/debug/deps/libcsmith_validation-3618ab4068c03e69.rmeta: crates/bench/benches/csmith_validation.rs
+
+crates/bench/benches/csmith_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csmith_validation-7bc542e40039b093.d: crates/bench/benches/csmith_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsmith_validation-7bc542e40039b093.rmeta: crates/bench/benches/csmith_validation.rs Cargo.toml
+
+crates/bench/benches/csmith_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diff_props-40502f170acd1319.d: tests/diff_props.rs
+
+/root/repo/target/debug/deps/libdiff_props-40502f170acd1319.rmeta: tests/diff_props.rs
+
+tests/diff_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_llvm501_postpatch-1239257049568895.d: crates/bench/benches/fig12_llvm501_postpatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_llvm501_postpatch-1239257049568895.rmeta: crates/bench/benches/fig12_llvm501_postpatch.rs Cargo.toml
+
+crates/bench/benches/fig12_llvm501_postpatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

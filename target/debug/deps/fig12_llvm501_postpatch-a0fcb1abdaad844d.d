@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_llvm501_postpatch-a0fcb1abdaad844d.d: crates/bench/benches/fig12_llvm501_postpatch.rs
+
+/root/repo/target/debug/deps/libfig12_llvm501_postpatch-a0fcb1abdaad844d.rmeta: crates/bench/benches/fig12_llvm501_postpatch.rs
+
+crates/bench/benches/fig12_llvm501_postpatch.rs:

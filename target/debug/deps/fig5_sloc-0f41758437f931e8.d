@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_sloc-0f41758437f931e8.d: crates/bench/benches/fig5_sloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_sloc-0f41758437f931e8.rmeta: crates/bench/benches/fig5_sloc.rs Cargo.toml
+
+crates/bench/benches/fig5_sloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_sloc-5a43f3684f1e2648.d: crates/bench/benches/fig5_sloc.rs
+
+/root/repo/target/debug/deps/libfig5_sloc-5a43f3684f1e2648.rmeta: crates/bench/benches/fig5_sloc.rs
+
+crates/bench/benches/fig5_sloc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_sloc-e74c4b07a1d84106.d: crates/bench/benches/fig5_sloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_sloc-e74c4b07a1d84106.rmeta: crates/bench/benches/fig5_sloc.rs Cargo.toml
+
+crates/bench/benches/fig5_sloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_summary-059c770235d2ab05.d: crates/bench/benches/fig6_summary.rs
+
+/root/repo/target/debug/deps/libfig6_summary-059c770235d2ab05.rmeta: crates/bench/benches/fig6_summary.rs
+
+crates/bench/benches/fig6_summary.rs:

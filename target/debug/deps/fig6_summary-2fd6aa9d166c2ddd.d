@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_summary-2fd6aa9d166c2ddd.d: crates/bench/benches/fig6_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_summary-2fd6aa9d166c2ddd.rmeta: crates/bench/benches/fig6_summary.rs Cargo.toml
+
+crates/bench/benches/fig6_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_per_benchmark-20bae36a09c49da3.d: crates/bench/benches/fig7_per_benchmark.rs
+
+/root/repo/target/debug/deps/libfig7_per_benchmark-20bae36a09c49da3.rmeta: crates/bench/benches/fig7_per_benchmark.rs
+
+crates/bench/benches/fig7_per_benchmark.rs:

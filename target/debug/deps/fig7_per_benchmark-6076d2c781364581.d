@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_per_benchmark-6076d2c781364581.d: crates/bench/benches/fig7_per_benchmark.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_per_benchmark-6076d2c781364581.rmeta: crates/bench/benches/fig7_per_benchmark.rs Cargo.toml
+
+crates/bench/benches/fig7_per_benchmark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_times-5a581d12d118ad80.d: crates/bench/benches/fig8_times.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_times-5a581d12d118ad80.rmeta: crates/bench/benches/fig8_times.rs Cargo.toml
+
+crates/bench/benches/fig8_times.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

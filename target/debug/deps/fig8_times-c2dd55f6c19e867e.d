@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_times-c2dd55f6c19e867e.d: crates/bench/benches/fig8_times.rs
+
+/root/repo/target/debug/deps/libfig8_times-c2dd55f6c19e867e.rmeta: crates/bench/benches/fig8_times.rs
+
+crates/bench/benches/fig8_times.rs:

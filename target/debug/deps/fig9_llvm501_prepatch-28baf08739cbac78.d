@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_llvm501_prepatch-28baf08739cbac78.d: crates/bench/benches/fig9_llvm501_prepatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_llvm501_prepatch-28baf08739cbac78.rmeta: crates/bench/benches/fig9_llvm501_prepatch.rs Cargo.toml
+
+crates/bench/benches/fig9_llvm501_prepatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_llvm501_prepatch-853a37d3254546ac.d: crates/bench/benches/fig9_llvm501_prepatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_llvm501_prepatch-853a37d3254546ac.rmeta: crates/bench/benches/fig9_llvm501_prepatch.rs Cargo.toml
+
+crates/bench/benches/fig9_llvm501_prepatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_llvm501_prepatch-c996d83a6fe93aab.d: crates/bench/benches/fig9_llvm501_prepatch.rs
+
+/root/repo/target/debug/deps/libfig9_llvm501_prepatch-c996d83a6fe93aab.rmeta: crates/bench/benches/fig9_llvm501_prepatch.rs
+
+crates/bench/benches/fig9_llvm501_prepatch.rs:

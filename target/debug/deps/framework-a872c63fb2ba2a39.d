@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framework-a872c63fb2ba2a39.d: tests/framework.rs
+
+/root/repo/target/debug/deps/libframework-a872c63fb2ba2a39.rmeta: tests/framework.rs
+
+tests/framework.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp_coverage-d208846a0824668e.d: tests/interp_coverage.rs
+
+/root/repo/target/debug/deps/libinterp_coverage-d208846a0824668e.rmeta: tests/interp_coverage.rs
+
+tests/interp_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp_props-3c5fa9735d87844a.d: tests/interp_props.rs
+
+/root/repo/target/debug/deps/libinterp_props-3c5fa9735d87844a.rmeta: tests/interp_props.rs
+
+tests/interp_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ir_props-4087823282bada70.d: tests/ir_props.rs
+
+/root/repo/target/debug/deps/libir_props-4087823282bada70.rmeta: tests/ir_props.rs
+
+tests/ir_props.rs:

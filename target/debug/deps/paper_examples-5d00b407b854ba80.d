@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-5d00b407b854ba80.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/libpaper_examples-5d00b407b854ba80.rmeta: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-87bd990889ea5d86.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-87bd990889ea5d86: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proof_props-dca2db553318ad42.d: tests/proof_props.rs
+
+/root/repo/target/debug/deps/libproof_props-dca2db553318ad42.rmeta: tests/proof_props.rs
+
+tests/proof_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-d0718346c4f3aaa1.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d0718346c4f3aaa1.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

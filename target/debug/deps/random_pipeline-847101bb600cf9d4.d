@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_pipeline-847101bb600cf9d4.d: tests/random_pipeline.rs
+
+/root/repo/target/debug/deps/librandom_pipeline-847101bb600cf9d4.rmeta: tests/random_pipeline.rs
+
+tests/random_pipeline.rs:

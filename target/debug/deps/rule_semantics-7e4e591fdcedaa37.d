@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rule_semantics-7e4e591fdcedaa37.d: tests/rule_semantics.rs
+
+/root/repo/target/debug/deps/librule_semantics-7e4e591fdcedaa37.rmeta: tests/rule_semantics.rs
+
+tests/rule_semantics.rs:

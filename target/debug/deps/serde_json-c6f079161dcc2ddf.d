@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-c6f079161dcc2ddf.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c6f079161dcc2ddf.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-74ef15f1594387ea.d: tests/stress.rs
+
+/root/repo/target/debug/deps/libstress-74ef15f1594387ea.rmeta: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-c52c3fd2964748dd.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/libtelemetry-c52c3fd2964748dd.rmeta: tests/telemetry.rs
+
+tests/telemetry.rs:

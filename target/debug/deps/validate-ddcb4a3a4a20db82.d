@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate-ddcb4a3a4a20db82.d: crates/bench/benches/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate-ddcb4a3a4a20db82.rmeta: crates/bench/benches/validate.rs Cargo.toml
+
+crates/bench/benches/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bug_hunt-970168c272b4155e.d: examples/bug_hunt.rs
+
+/root/repo/target/debug/examples/libbug_hunt-970168c272b4155e.rmeta: examples/bug_hunt.rs
+
+examples/bug_hunt.rs:

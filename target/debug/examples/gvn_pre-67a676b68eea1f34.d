@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gvn_pre-67a676b68eea1f34.d: examples/gvn_pre.rs
+
+/root/repo/target/debug/examples/libgvn_pre-67a676b68eea1f34.rmeta: examples/gvn_pre.rs
+
+examples/gvn_pre.rs:

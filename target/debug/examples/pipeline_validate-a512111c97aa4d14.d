@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_validate-a512111c97aa4d14.d: examples/pipeline_validate.rs
+
+/root/repo/target/debug/examples/libpipeline_validate-a512111c97aa4d14.rmeta: examples/pipeline_validate.rs
+
+examples/pipeline_validate.rs:

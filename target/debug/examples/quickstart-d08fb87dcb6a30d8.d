@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d08fb87dcb6a30d8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-d08fb87dcb6a30d8.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

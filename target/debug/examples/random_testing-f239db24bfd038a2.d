@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/random_testing-f239db24bfd038a2.d: examples/random_testing.rs
+
+/root/repo/target/debug/examples/librandom_testing-f239db24bfd038a2.rmeta: examples/random_testing.rs
+
+examples/random_testing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/crellvm_bench-2a71d01b9e9fca9c.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/sloc.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libcrellvm_bench-2a71d01b9e9fca9c.rlib: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/sloc.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libcrellvm_bench-2a71d01b9e9fca9c.rmeta: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/sloc.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/sloc.rs:
+crates/bench/src/tables.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/crellvm_passes-47f57713bbe15973.d: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
+/root/repo/target/release/deps/crellvm_passes-47f57713bbe15973.d: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/parallel.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
 
-/root/repo/target/release/deps/libcrellvm_passes-47f57713bbe15973.rlib: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
+/root/repo/target/release/deps/libcrellvm_passes-47f57713bbe15973.rlib: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/parallel.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
 
-/root/repo/target/release/deps/libcrellvm_passes-47f57713bbe15973.rmeta: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
+/root/repo/target/release/deps/libcrellvm_passes-47f57713bbe15973.rmeta: crates/passes/src/lib.rs crates/passes/src/config.rs crates/passes/src/gvn.rs crates/passes/src/instcombine.rs crates/passes/src/licm.rs crates/passes/src/mem2reg.rs crates/passes/src/parallel.rs crates/passes/src/pipeline.rs crates/passes/src/util.rs
 
 crates/passes/src/lib.rs:
 crates/passes/src/config.rs:
@@ -10,5 +10,6 @@ crates/passes/src/gvn.rs:
 crates/passes/src/instcombine.rs:
 crates/passes/src/licm.rs:
 crates/passes/src/mem2reg.rs:
+crates/passes/src/parallel.rs:
 crates/passes/src/pipeline.rs:
 crates/passes/src/util.rs:

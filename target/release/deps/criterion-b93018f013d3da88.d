@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-b93018f013d3da88.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b93018f013d3da88.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b93018f013d3da88.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-9c73ad0845be4788.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-9c73ad0845be4788.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-9c73ad0845be4788.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/test_runner.rs:

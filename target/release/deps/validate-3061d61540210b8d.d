@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate-3061d61540210b8d.d: crates/bench/benches/validate.rs
+
+/root/repo/target/release/deps/validate-3061d61540210b8d: crates/bench/benches/validate.rs
+
+crates/bench/benches/validate.rs:

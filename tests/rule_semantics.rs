@@ -158,7 +158,7 @@ proptest! {
         let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
         // Every source predicate of the strengthened assertion holds.
         for p in q2.src.iter() {
-            prop_assert_ne!(eval_pred(p, &st), Some(false), "violated: {}", p);
+            prop_assert_ne!(eval_pred(&p, &st), Some(false), "violated: {}", p);
         }
     }
 
@@ -193,7 +193,7 @@ proptest! {
         };
         let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
         for p in q2.src.iter() {
-            prop_assert_ne!(eval_pred(p, &st), Some(false), "violated: {}", p);
+            prop_assert_ne!(eval_pred(&p, &st), Some(false), "violated: {}", p);
         }
     }
 
@@ -222,7 +222,7 @@ proptest! {
         };
         let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
         for p in q2.src.iter() {
-            prop_assert_ne!(eval_pred(p, &st), Some(false), "violated: {}", p);
+            prop_assert_ne!(eval_pred(&p, &st), Some(false), "violated: {}", p);
         }
     }
 
@@ -243,11 +243,11 @@ proptest! {
         let mut q = Assertion::new();
         q.src.insert_lessdef(e(0), e(1));
         q.src.insert_lessdef(e(1), e(2));
-        prop_assume!(q.src.iter().all(|p| eval_pred(p, &st) == Some(true)));
+        prop_assume!(q.src.iter().all(|p| eval_pred(&p, &st) == Some(true)));
         let rule = InfRule::Transitivity { side: Side::Src, e1: e(0), e2: e(1), e3: e(2) };
         let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
         for p in q2.src.iter() {
-            prop_assert_ne!(eval_pred(p, &st), Some(false), "violated: {}", p);
+            prop_assert_ne!(eval_pred(&p, &st), Some(false), "violated: {}", p);
         }
     }
 
@@ -385,7 +385,7 @@ mod composite_soundness {
         )
         .map_err(|e| e.to_string())?;
         for p in q2.src.iter() {
-            if eval_pred(p, st) == Some(false) {
+            if eval_pred(&p, st) == Some(false) {
                 return Err(format!("violated: {p}"));
             }
         }
@@ -746,7 +746,7 @@ mod composite_soundness2 {
                     }));
                     let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
                     for p in q2.src.iter() {
-                        prop_assert_ne!(eval_pred(p, &st), Some(false), "violated: {}", p);
+                        prop_assert_ne!(eval_pred(&p, &st), Some(false), "violated: {}", p);
                     }
                 }
             }
@@ -769,7 +769,7 @@ mod composite_soundness2 {
                     }));
                     let q2 = apply_inf(&rule, &q, &CheckerConfig::sound()).unwrap();
                     for p in q2.src.iter() {
-                        prop_assert_ne!(eval_pred(p, &st), Some(false), "violated: {}", p);
+                        prop_assert_ne!(eval_pred(&p, &st), Some(false), "violated: {}", p);
                     }
                 }
             }
