@@ -74,6 +74,7 @@ fn run_once(modules: &[crellvm_ir::Module], jobs: usize) -> (f64, PipelineReport
     let opts = ParallelOptions {
         jobs,
         format: ProofFormat::Json,
+        ..ParallelOptions::default()
     };
     let config = PassConfig::default();
     let mut merged = PipelineReport::default();

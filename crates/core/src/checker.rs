@@ -15,6 +15,11 @@
 //! paper highlights for debugging miscompilations ("a logical reason for
 //! the failure").
 
+// `ValidationError` carries forensic context (rule history, the failing
+// assertion) and is deliberately large; it only exists on the cold
+// rejection path, where its size is irrelevant.
+#![allow(clippy::result_large_err)]
+
 use crate::assertion::{Assertion, Pred, Unary};
 use crate::auto::run_auto;
 use crate::equivbeh::check_equiv_beh;
@@ -38,7 +43,13 @@ pub enum Verdict {
     NotSupported(String),
 }
 
-/// A validation failure: where and why.
+/// Number of recently applied inference rules kept for forensics.
+pub const RULE_HISTORY_CAP: usize = 16;
+
+/// A validation failure: where and why, plus the forensic context the
+/// provenance layer packages into replayable bundles — the last-K applied
+/// inference rules and the rendered `have ⇏ want` assertion pair at the
+/// failure point.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValidationError {
     /// Function name.
@@ -49,6 +60,12 @@ pub struct ValidationError {
     pub at: String,
     /// The logical reason.
     pub reason: String,
+    /// The last applied inference rules (at most [`RULE_HISTORY_CAP`]),
+    /// oldest first, each as `<rule> @ <position>`.
+    pub rule_history: Vec<String>,
+    /// `have:`/`want:` rendering of the assertion pair whose inclusion (or
+    /// rule application) failed, when the failure happened in a discharge.
+    pub failing_assertion: Option<String>,
 }
 
 impl fmt::Display for ValidationError {
@@ -72,6 +89,9 @@ struct Ctx<'a> {
     /// engine), so interning is lock-free; its hit/miss totals are flushed
     /// to `expr.intern.hits` / `expr.intern.misses` when the unit is done.
     interner: RefCell<ExprInterner>,
+    /// Ring of the last [`RULE_HISTORY_CAP`] applied inference rules,
+    /// attached to any [`ValidationError`] this unit produces.
+    history: RefCell<Vec<String>>,
 }
 
 impl Ctx<'_> {
@@ -81,6 +101,8 @@ impl Ctx<'_> {
             pass: self.unit.pass.clone(),
             at: at.into(),
             reason: reason.into(),
+            rule_history: self.history.borrow().clone(),
+            failing_assertion: None,
         }
     }
 
@@ -265,11 +287,16 @@ impl Ctx<'_> {
         at: &str,
     ) -> Result<(), ValidationError> {
         for rule in rules {
-            self.count_rule(rule);
-            q = apply_inf_owned(rule, q, self.config).map_err(|(_, e)| {
-                self.tel.count("checker.rule_failures", 1);
-                self.err(at, e.to_string())
-            })?;
+            self.count_rule(rule, at);
+            q = match apply_inf_owned(rule, q, self.config) {
+                Ok(next) => next,
+                Err((orig, e)) => {
+                    self.tel.count("checker.rule_failures", 1);
+                    let mut err = self.err(at, e.to_string());
+                    err.failing_assertion = Some(format!("have: {orig}\nwant: {goal}"));
+                    return Err(err);
+                }
+            };
         }
         Self::cleanup_logical_maydiff(&mut q, goal);
         let goal_src = self.intern_pairs(&goal.src);
@@ -284,7 +311,7 @@ impl Ctx<'_> {
                 // defensive clone.
                 match apply_inf_owned(&rule, q, self.config) {
                     Ok(next) => {
-                        self.count_rule(&rule);
+                        self.count_rule(&rule, at);
                         q = next;
                     }
                     Err((orig, _)) => q = orig,
@@ -297,13 +324,21 @@ impl Ctx<'_> {
         let why = q
             .why_not_implies(goal)
             .unwrap_or_else(|| "inclusion check failed".into());
-        Err(self.err(at, why))
+        let mut err = self.err(at, why);
+        err.failing_assertion = Some(format!("have: {q}\nwant: {goal}"));
+        Err(err)
     }
 
     /// Record one inference-rule application (explicit or automation-
-    /// generated) under `checker.rule.<name>` — the paper's Fig 7 axis.
-    fn count_rule(&self, rule: &crate::infrule::InfRule) {
+    /// generated) under `checker.rule.<name>` — the paper's Fig 7 axis —
+    /// and in the forensic rule-history ring.
+    fn count_rule(&self, rule: &crate::infrule::InfRule, at: &str) {
         self.tel.count(&format!("checker.rule.{}", rule.name()), 1);
+        let mut history = self.history.borrow_mut();
+        if history.len() == RULE_HISTORY_CAP {
+            history.remove(0);
+        }
+        history.push(format!("{} @ {at}", rule.name()));
     }
 
     /// Equivalence of terminators under the block's final assertion.
@@ -366,9 +401,21 @@ impl Ctx<'_> {
         }
     }
 
+    /// Open a causal proof-command span when a collector is attached (the
+    /// `spanning` gate keeps the name formatting off the common path).
+    fn proof_span(&self, name: &str) -> Option<crellvm_telemetry::CausalSpan> {
+        self.tel.spanning().then(|| self.tel.causal(name, "proof"))
+    }
+
     fn run(&self) -> Result<(), ValidationError> {
-        self.check_cfg()?;
-        self.check_init()?;
+        {
+            let _g = self.proof_span("CheckCFG");
+            self.check_cfg()?;
+        }
+        {
+            let _g = self.proof_span("CheckInit");
+            self.check_init()?;
+        }
         for b in 0..self.unit.src.blocks.len() {
             let nrows = self.unit.row_count(b);
             for row in 0..nrows {
@@ -378,6 +425,7 @@ impl Ctx<'_> {
                 self.tel.observe("checker.assertion_preds", preds as u64);
                 let (ms, mt) = self.unit.row(b, row);
                 let at = format!("block {}, row {row}", self.block_name(b));
+                let _g = self.proof_span(&at);
                 check_equiv_beh(&a, ms.stmt(), mt.stmt(), self.config)
                     .map_err(|e| self.err(&at, e.to_string()))?;
                 let post = calc_post_cmd(&a, ms.stmt(), mt.stmt());
@@ -389,7 +437,10 @@ impl Ctx<'_> {
                 self.discharge(post, goal, rules, &at)?;
             }
             let end = self.unit.assertion(SlotId::new(b, nrows)).clone();
-            self.check_term(b, &end)?;
+            {
+                let _g = self.proof_span(&format!("terminator of block {}", self.block_name(b)));
+                self.check_term(b, &end)?;
+            }
 
             let mut seen = BTreeSet::new();
             for succ in self.unit.src.blocks[b].term.successors() {
@@ -398,6 +449,7 @@ impl Ctx<'_> {
                 }
                 let sb = succ.index();
                 let at = format!("edge {} -> {}", self.block_name(b), self.block_name(sb));
+                let _g = self.proof_span(&at);
                 let mut post = calc_post_phi(
                     &end,
                     &self.unit.src.blocks[sb].phis,
@@ -470,6 +522,7 @@ pub fn validate_with_telemetry(
         config,
         tel,
         interner: RefCell::new(ExprInterner::new()),
+        history: RefCell::new(Vec::new()),
     };
     let result = ctx.run();
     {

@@ -25,10 +25,12 @@
 //! [`Snapshot::deterministic`]: crellvm_telemetry::Snapshot::deterministic
 
 use crate::config::{PassConfig, PassOutcome};
-use crate::pipeline::{PipelineReport, ProofFormat, StepOutcome, StepRecord, PASS_ORDER};
-use crellvm_core::{validate_with_telemetry, CheckerConfig, ProofUnit, Verdict};
+use crate::pipeline::{PipelineReport, ProofFormat, SpanItem, StepOutcome, StepRecord, PASS_ORDER};
+use crellvm_core::{validate_with_telemetry, CheckerConfig, ProofUnit, ValidationError, Verdict};
 use crellvm_ir::{Function, Module};
-use crellvm_telemetry::{Registry, Telemetry};
+use crellvm_telemetry::forensics::ForensicBundle;
+use crellvm_telemetry::json::Value;
+use crellvm_telemetry::{Registry, SpanCollector, SpanNode, Telemetry};
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::sync::{Arc, Mutex};
@@ -42,6 +44,12 @@ pub struct ParallelOptions {
     pub jobs: usize,
     /// Proof wire format for the I/O phase.
     pub format: ProofFormat,
+    /// Collect causal spans (module → function → pass → phase →
+    /// proof-command) into [`PipelineReport::span_items`].
+    pub spans: bool,
+    /// Build a replayable [`ForensicBundle`] for every failed step into
+    /// [`PipelineReport::bundles`].
+    pub forensics: bool,
 }
 
 impl Default for ParallelOptions {
@@ -49,6 +57,8 @@ impl Default for ParallelOptions {
         ParallelOptions {
             jobs: default_jobs(),
             format: ProofFormat::Json,
+            spans: false,
+            forensics: false,
         }
     }
 }
@@ -83,8 +93,9 @@ fn run_pass_function(name: &str, f: &Function, config: &PassConfig, tel: &Teleme
 }
 
 /// Everything one work item produces: the proof unit (still holding the
-/// transformed function body), the step record, and the four Fig 6/8 time
-/// columns.
+/// transformed function body), the step record, the four Fig 6/8 time
+/// columns, and — when enabled — the item's causal span subtree and the
+/// forensic bundle of a failed check.
 struct ItemResult {
     unit: ProofUnit,
     record: StepRecord,
@@ -92,54 +103,115 @@ struct ItemResult {
     pcal: Duration,
     io: Duration,
     pcheck: Duration,
+    span: Option<SpanNode>,
+    bundle: Option<ForensicBundle>,
 }
 
 /// One work item: the full Orig / PCal / I-O / PCheck protocol for one
 /// function under one pass, recording into the worker's telemetry.
+///
+/// When span collection is on, the item gets a *fresh* [`SpanCollector`]
+/// — never shared with another thread — so recording stays lock-free and
+/// the finished subtree can travel back with the result for deterministic
+/// assembly.
 fn process_item(
     pass: &str,
     f: &Function,
     config: &PassConfig,
     checker: &CheckerConfig,
-    format: ProofFormat,
+    opts: &ParallelOptions,
     tel: &Telemetry,
 ) -> ItemResult {
+    let collector = if opts.spans {
+        Some(Arc::new(SpanCollector::new()))
+    } else {
+        None
+    };
+    let tel = &match &collector {
+        Some(c) => tel.clone().with_spans(Arc::clone(c)),
+        None => tel.clone(),
+    };
+    let pass_span = tel.causal(pass, "pass");
+    pass_span.field("func", Value::Str(f.name.clone()));
+
     // Orig: the bare pass, proof generation genuinely disabled, telemetry
     // disabled so domain counters are not double-counted.
     let t0 = Instant::now();
-    let _ = run_pass_function(pass, f, &config.without_proofs(), &Telemetry::disabled());
+    {
+        let _g = tel.causal("orig", "phase");
+        let _ = run_pass_function(pass, f, &config.without_proofs(), &Telemetry::disabled());
+    }
     let orig = t0.elapsed();
     tel.registry().record_duration("time.orig", orig);
 
     let t1 = Instant::now();
-    let unit = run_pass_function(pass, f, config, tel);
+    let unit = {
+        let _g = tel.causal("pcal", "phase");
+        run_pass_function(pass, f, config, tel)
+    };
     let pcal = t1.elapsed();
     tel.registry().record_duration("time.pcal", pcal);
 
     tel.count("pipeline.steps", 1);
     let t2 = Instant::now();
-    let (unit2, wire_len) = format.roundtrip(&unit);
+    let (unit2, wire_len) = {
+        let _g = tel.causal("io", "phase");
+        opts.format.roundtrip(&unit)
+    };
     let io = t2.elapsed();
     tel.registry().record_duration("time.io", io);
     tel.observe("pipeline.proof_bytes", wire_len as u64);
 
     let t3 = Instant::now();
-    let outcome = match validate_with_telemetry(&unit2, checker, tel) {
-        Ok(Verdict::Valid) => {
-            tel.count("pipeline.validated", 1);
-            StepOutcome::Valid
-        }
-        Ok(Verdict::NotSupported(r)) => {
-            tel.count("pipeline.not_supported", 1);
-            StepOutcome::NotSupported(r)
-        }
-        Err(e) => {
-            tel.count("pipeline.failed", 1);
-            StepOutcome::Failed(e.to_string())
+    let mut failure: Option<ValidationError> = None;
+    let outcome = {
+        let _g = tel.causal("pcheck", "phase");
+        match validate_with_telemetry(&unit2, checker, tel) {
+            Ok(Verdict::Valid) => {
+                tel.count("pipeline.validated", 1);
+                StepOutcome::Valid
+            }
+            Ok(Verdict::NotSupported(r)) => {
+                tel.count("pipeline.not_supported", 1);
+                StepOutcome::NotSupported(r)
+            }
+            Err(e) => {
+                tel.count("pipeline.failed", 1);
+                let msg = e.to_string();
+                failure = Some(e);
+                StepOutcome::Failed(msg)
+            }
         }
     };
     let pcheck = t3.elapsed();
     tel.registry().record_duration("time.pcheck", pcheck);
+
+    // Forensics run outside the PCheck timing window (minimization
+    // re-validates the proof many times) with disabled telemetry inside
+    // `forensic_bundle`, so the Fig 6/8 columns and the deterministic
+    // metric view stay untouched apart from the bundle counter.
+    let bundle = match &failure {
+        Some(e) if opts.forensics => {
+            tel.count("forensics.bundles", 1);
+            Some(crellvm_core::forensics::forensic_bundle(&unit2, e, checker))
+        }
+        _ => None,
+    };
+
+    pass_span.field("proof_bytes", Value::UInt(wire_len as u64));
+    pass_span.field(
+        "verdict",
+        Value::Str(
+            match &outcome {
+                StepOutcome::Valid => "valid",
+                StepOutcome::Failed(_) => "failed",
+                StepOutcome::NotSupported(_) => "not_supported",
+            }
+            .to_string(),
+        ),
+    );
+    drop(pass_span);
+    let span = collector.as_ref().and_then(|c| c.take_roots().pop());
 
     let record = StepRecord {
         pass: pass.to_string(),
@@ -154,6 +226,8 @@ fn process_item(
         pcal,
         io,
         pcheck,
+        span,
+        bundle,
     }
 }
 
@@ -215,14 +289,8 @@ pub fn run_validated_pass_parallel(
                             }
                         }
                         let Some(i) = item else { break };
-                        let result = process_item(
-                            name,
-                            &m.functions[i],
-                            config,
-                            checker,
-                            opts.format,
-                            &wtel,
-                        );
+                        let result =
+                            process_item(name, &m.functions[i], config, checker, opts, &wtel);
                         produced.push((i, result));
                     }
                     // Recorded even at zero so the counter exists for
@@ -260,6 +328,16 @@ pub fn run_validated_pass_parallel(
         report.time_pcal += result.pcal;
         report.time_io += result.io;
         report.time_pcheck += result.pcheck;
+        if let Some(root) = result.span {
+            report.span_items.push(SpanItem {
+                pass: name.to_string(),
+                func: f.name.clone(),
+                root,
+            });
+        }
+        if let Some(bundle) = result.bundle {
+            report.bundles.push(bundle);
+        }
         report.steps.push(result.record);
         proofs.push(result.unit);
     }
@@ -326,6 +404,7 @@ mod tests {
         let opts = ParallelOptions {
             jobs,
             format: ProofFormat::Json,
+            ..ParallelOptions::default()
         };
         let (out, report) = run_pipeline_parallel(&m, &PassConfig::default(), &opts, &tel);
         (
@@ -376,6 +455,35 @@ mod tests {
                 "metrics differ at jobs={jobs}"
             );
         }
+    }
+
+    #[test]
+    fn span_trees_are_identical_at_any_jobs_count() {
+        let run = |jobs: usize| {
+            let m = parse_module(PROGRAM).unwrap();
+            let tel = Telemetry::disabled();
+            let opts = ParallelOptions {
+                jobs,
+                spans: true,
+                ..ParallelOptions::default()
+            };
+            let (_, report) = run_pipeline_parallel(&m, &PassConfig::default(), &opts, &tel);
+            report.span_tree("m").deterministic().to_json()
+        };
+        let base = run(1);
+        assert_eq!(base, run(2), "span tree differs at jobs=2");
+        assert_eq!(base, run(8), "span tree differs at jobs=8");
+        // The tree reaches all the way down to proof commands.
+        assert!(base.contains("\"cat\":\"proof\""));
+        assert!(base.contains("CheckCFG"));
+        assert!(base.contains("\"cat\":\"phase\""));
+    }
+
+    #[test]
+    fn forensics_off_means_no_bundles() {
+        let (_, rep, _) = run_at(2);
+        assert!(rep.bundles.is_empty());
+        assert!(rep.span_items.is_empty());
     }
 
     #[test]

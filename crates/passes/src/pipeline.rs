@@ -13,7 +13,8 @@ use crellvm_core::{
     CheckerConfig, ProofUnit, Verdict,
 };
 use crellvm_ir::Module;
-use crellvm_telemetry::Telemetry;
+use crellvm_telemetry::forensics::ForensicBundle;
+use crellvm_telemetry::{SpanNode, SpanTree, Telemetry};
 use std::time::{Duration, Instant};
 
 /// On-the-wire encoding of proofs between the compiler and the checker.
@@ -73,11 +74,29 @@ pub struct StepRecord {
     pub proof_bytes: usize,
 }
 
+/// One per-item causal span subtree awaiting assembly into the module
+/// span tree (see [`PipelineReport::span_tree`]).
+#[derive(Debug, Clone)]
+pub struct SpanItem {
+    /// Pass name.
+    pub pass: String,
+    /// Function name.
+    pub func: String,
+    /// The recorded pass-level span subtree.
+    pub root: SpanNode,
+}
+
 /// Aggregate report of a pipeline run.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineReport {
     /// Per-step records.
     pub steps: Vec<StepRecord>,
+    /// Per-item causal span subtrees, in step order (present when the run
+    /// collected spans).
+    pub span_items: Vec<SpanItem>,
+    /// Forensic bundles for failed steps, in step order (present when the
+    /// run had forensics enabled).
+    pub bundles: Vec<ForensicBundle>,
     /// Time running the plain passes (the paper's `Orig`).
     pub time_orig: Duration,
     /// Time running the proof-generating passes (`PCal`).
@@ -113,10 +132,26 @@ impl PipelineReport {
     /// Merge another report into this one.
     pub fn merge(&mut self, other: PipelineReport) {
         self.steps.extend(other.steps);
+        self.span_items.extend(other.span_items);
+        self.bundles.extend(other.bundles);
         self.time_orig += other.time_orig;
         self.time_pcal += other.time_pcal;
         self.time_io += other.time_io;
         self.time_pcheck += other.time_pcheck;
+    }
+
+    /// Assemble the collected span subtrees into the module span tree.
+    ///
+    /// `span_items` arrive in step order (pass-major, functions in module
+    /// order within each pass) — a schedule-independent order — so the
+    /// resulting tree is identical at any worker count.
+    pub fn span_tree(&self, module_name: &str) -> SpanTree {
+        SpanTree::assemble(
+            module_name,
+            self.span_items
+                .iter()
+                .map(|s| (s.func.clone(), s.root.clone())),
+        )
     }
 }
 

@@ -1,0 +1,215 @@
+//! Standard-format exporters: OpenMetrics text for registry snapshots and
+//! Chrome `trace_event` JSON (loadable in Perfetto / `chrome://tracing`)
+//! for causal span trees.
+//!
+//! Both formats are emitted from the already-deterministic in-memory
+//! structures ([`Snapshot`], [`SpanTree`]), so exporting never perturbs the
+//! pipeline being observed.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::json::Value;
+use crate::registry::Snapshot;
+use crate::span::SpanTree;
+
+/// Map a dotted metric name (`checker.rule.add_assoc`) to an
+/// OpenMetrics-legal one (`checker_rule_add_assoc`).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Inclusive upper bound of log₂ bucket `i` as an OpenMetrics `le` label
+/// value (bucket 0 is exactly zero; bucket `i` holds values of bit length
+/// `i`, so its upper bound is `2^i - 1`).
+fn bucket_le(i: u32) -> String {
+    if i == 0 {
+        "0".to_string()
+    } else {
+        ((1u128 << i) - 1).to_string()
+    }
+}
+
+/// Render a snapshot in the OpenMetrics text exposition format.
+///
+/// Counters become `<name>_total` samples, histograms become cumulative
+/// `<name>_bucket{le="..."}` series plus `_sum`/`_count`, and timers become
+/// `<name>_seconds` counters (with a matching `<name>_spans` count). The
+/// output always terminates with the mandatory `# EOF` line.
+pub fn openmetrics(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n}_total {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cum = 0u64;
+        for (i, c) in &h.buckets {
+            cum += c;
+            let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", bucket_le(*i));
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    for (name, t) in &snap.timers {
+        let n = sanitize_metric_name(name);
+        let secs = t.total_nanos as f64 / 1e9;
+        let _ = writeln!(out, "# TYPE {n}_seconds counter");
+        let _ = writeln!(out, "# UNIT {n}_seconds seconds");
+        let _ = writeln!(out, "{n}_seconds_total {secs}");
+        let _ = writeln!(out, "# TYPE {n}_spans counter");
+        let _ = writeln!(out, "{n}_spans_total {}", t.count);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Render a span tree as Chrome `trace_event` JSON (one complete-event
+/// `"ph":"X"` entry per span, single pid/tid).
+///
+/// Spans from different workers were timed on incomparable clocks, so the
+/// exporter lays the tree out on a *synthetic* timeline: a leaf's width is
+/// its recorded duration (at least one microsecond tick) and a parent's
+/// width is the sum of its children's, with children placed back to back
+/// from the parent's start. This guarantees every child interval is
+/// strictly contained in its parent's, so the viewer's nesting depths
+/// reproduce the span tree exactly; the real measured duration of every
+/// span is preserved in `args.recorded_dur_ns`.
+pub fn chrome_trace(tree: &SpanTree) -> String {
+    let n = tree.records.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, r) in tree.records.iter().enumerate() {
+        match r.parent {
+            Some(p) => children[p as usize].push(i),
+            None => roots.push(i),
+        }
+    }
+    // Synthetic widths, children before parents (reverse preorder).
+    let mut width = vec![0u64; n];
+    for i in (0..n).rev() {
+        width[i] = if children[i].is_empty() {
+            (tree.records[i].dur_ns / 1_000).max(1)
+        } else {
+            children[i].iter().map(|&c| width[c]).sum()
+        };
+    }
+    // Synthetic start ticks, parents before children (preorder).
+    let mut ts = vec![0u64; n];
+    let mut cursor = 0u64;
+    for &r in &roots {
+        ts[r] = cursor;
+        cursor += width[r];
+    }
+    for i in 0..n {
+        let mut offset = ts[i];
+        for &c in &children[i] {
+            ts[c] = offset;
+            offset += width[c];
+        }
+    }
+    let events: Vec<Value> = tree
+        .records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut args = r.fields.clone();
+            args.insert("recorded_dur_ns".to_string(), Value::UInt(r.dur_ns));
+            args.insert("span_id".to_string(), Value::UInt(r.id as u64));
+            if let Some(p) = r.parent {
+                args.insert("span_parent".to_string(), Value::UInt(p as u64));
+            }
+            let mut ev = BTreeMap::new();
+            ev.insert("name".to_string(), Value::Str(r.name.clone()));
+            ev.insert("cat".to_string(), Value::Str(r.cat.clone()));
+            ev.insert("ph".to_string(), Value::Str("X".to_string()));
+            ev.insert("ts".to_string(), Value::UInt(ts[i]));
+            ev.insert("dur".to_string(), Value::UInt(width[i]));
+            ev.insert("pid".to_string(), Value::UInt(1));
+            ev.insert("tid".to_string(), Value::UInt(1));
+            ev.insert("args".to_string(), Value::Obj(args));
+            Value::Obj(ev)
+        })
+        .collect();
+    let mut root = BTreeMap::new();
+    root.insert("traceEvents".to_string(), Value::Arr(events));
+    root.insert("displayTimeUnit".to_string(), Value::Str("ms".to_string()));
+    Value::Obj(root).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanNode;
+    use crate::Registry;
+    use std::time::Duration;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_metric_name("checker.rule.x"), "checker_rule_x");
+        assert_eq!(sanitize_metric_name("3bad"), "_3bad");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn openmetrics_has_all_families_and_eof() {
+        let r = Registry::new();
+        r.add("pipeline.validated", 4);
+        r.observe("checker.assertion_preds", 0);
+        r.observe("checker.assertion_preds", 5);
+        r.record_duration("time.pcheck", Duration::from_millis(2));
+        let text = openmetrics(&r.snapshot());
+        assert!(text.ends_with("# EOF\n"));
+        assert!(text.contains("# TYPE pipeline_validated counter\n"));
+        assert!(text.contains("pipeline_validated_total 4\n"));
+        assert!(text.contains("# TYPE checker_assertion_preds histogram\n"));
+        assert!(text.contains("checker_assertion_preds_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("checker_assertion_preds_bucket{le=\"7\"} 2\n"));
+        assert!(text.contains("checker_assertion_preds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("checker_assertion_preds_sum 5\n"));
+        assert!(text.contains("checker_assertion_preds_count 2\n"));
+        assert!(text.contains("# UNIT time_pcheck_seconds seconds\n"));
+        assert!(text.contains("time_pcheck_spans_total 1\n"));
+    }
+
+    #[test]
+    fn chrome_trace_nests_children_inside_parents() {
+        let mut pass = SpanNode::new("gvn", "pass");
+        let mut phase = SpanNode::new("pcheck", "phase");
+        phase.children.push(SpanNode::new("row entry.0", "proof"));
+        phase.children.push(SpanNode::new("row entry.1", "proof"));
+        pass.children.push(phase);
+        let tree = SpanTree::assemble("m", vec![("f".to_string(), pass)]);
+        let json = chrome_trace(&tree);
+        let doc = crate::json::parse(&json).unwrap();
+        let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+        assert_eq!(events.len(), tree.records.len());
+        // Every non-root event's interval is contained in its parent's.
+        let interval = |e: &Value| {
+            let ts = e.get("ts").and_then(Value::as_u64).unwrap();
+            let dur = e.get("dur").and_then(Value::as_u64).unwrap();
+            (ts, ts + dur)
+        };
+        for (i, r) in tree.records.iter().enumerate() {
+            if let Some(p) = r.parent {
+                let (cs, ce) = interval(&events[i]);
+                let (ps, pe) = interval(&events[p as usize]);
+                assert!(ps <= cs && ce <= pe, "span {i} escapes its parent");
+            }
+        }
+    }
+}

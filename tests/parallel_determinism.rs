@@ -37,6 +37,7 @@ fn run_at(modules: &[Module], jobs: usize) -> (Vec<String>, PipelineReport, Snap
     let opts = ParallelOptions {
         jobs,
         format: ProofFormat::Json,
+        ..ParallelOptions::default()
     };
     let mut merged = PipelineReport::default();
     let mut outputs = Vec::with_capacity(modules.len());

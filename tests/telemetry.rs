@@ -151,3 +151,101 @@ fn disabling_proofs_transforms_identically_but_skips_proof_work() {
         .iter()
         .all(|u| u.assertions.is_empty() && u.infrules.is_empty()));
 }
+
+#[test]
+fn event_from_json_line_rejects_malformed_input() {
+    let malformed = [
+        "",                      // empty
+        "{",                     // truncated object
+        "[1]",                   // not an object
+        "\"x\"",                 // bare string
+        "42",                    // bare number
+        "{}",                    // no `kind`
+        "{\"kind\": 3}",         // `kind` is not a string
+        "{\"kind\": null}",      // `kind` is null
+        "{\"kind\":\"k\"} junk", // trailing garbage
+        "{\"kind\":\"k\",}",     // trailing comma
+    ];
+    for line in malformed {
+        assert!(
+            Event::from_json_line(line).is_err(),
+            "malformed line accepted: {line:?}"
+        );
+    }
+    // The minimal well-formed line still parses, extra fields intact.
+    let ok = Event::from_json_line("{\"kind\":\"k\",\"n\":7}").expect("well-formed line");
+    assert_eq!(ok.kind, "k");
+    assert_eq!(ok.field_u64("n"), Some(7));
+}
+
+#[test]
+fn merge_snapshot_is_commutative_on_the_deterministic_view() {
+    let make = |seed: u64| {
+        let r = Registry::new();
+        r.add("shared.counter", seed * 3 + 1);
+        r.add(&format!("only.{seed}"), seed + 10);
+        for v in 0..seed * 5 + 2 {
+            r.observe("shared.hist", v * v);
+            r.observe(&format!("hist.{seed}"), v + seed);
+        }
+        r.record_duration("shared.timer", std::time::Duration::from_micros(seed + 1));
+        r.snapshot()
+    };
+    let (a, b) = (make(2), make(7));
+
+    let ab = Registry::new();
+    ab.merge_snapshot(&a);
+    ab.merge_snapshot(&b);
+    let ba = Registry::new();
+    ba.merge_snapshot(&b);
+    ba.merge_snapshot(&a);
+
+    // Merge order must not be observable in the deterministic view (the
+    // raw view legitimately differs in wall-clock timer totals only when
+    // the inputs do; here even those match, but the guarantee we rely on
+    // everywhere is the deterministic one).
+    assert_eq!(ab.snapshot().deterministic(), ba.snapshot().deterministic());
+    // Merging is also additive: both orders see the sum of both inputs.
+    assert_eq!(ab.counter_value("shared.counter"), 2 * 3 + 1 + 7 * 3 + 1);
+    assert_eq!(ba.counter_value("only.2"), 12);
+    assert_eq!(ba.counter_value("only.7"), 17);
+}
+
+/// A writer whose every write fails, for exercising the drop counter.
+struct BrokenPipe;
+
+impl std::io::Write for BrokenPipe {
+    fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "broken pipe",
+        ))
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn failed_trace_writes_surface_as_the_dropped_counter() {
+    // At the sink: emit reports the failure and counts it.
+    let trace = Trace::new(Box::new(BrokenPipe));
+    assert!(!trace.emit(&Event::new("x")));
+    assert!(!trace.emit(&Event::new("y")));
+    assert_eq!(trace.dropped(), 2);
+
+    // Through Telemetry: every dropped event lands in `trace.dropped`, so
+    // a metrics snapshot reveals an audit log with holes in it.
+    let registry = Arc::new(Registry::new());
+    let tel = Telemetry::with_registry(registry.clone())
+        .with_trace(Arc::new(Trace::new(Box::new(BrokenPipe))));
+    tel.emit(Event::new("validation.step"));
+    tel.emit(Event::new("validation.step"));
+    tel.emit(Event::new("validation.failure"));
+    assert_eq!(registry.counter_value("trace.dropped"), 3);
+
+    // A healthy in-memory sink drops nothing.
+    let (trace, _buffer) = Trace::in_memory();
+    assert!(trace.emit(&Event::new("x")));
+    assert_eq!(trace.dropped(), 0);
+}
