@@ -3,20 +3,26 @@
 //! `BENCH_validate.json` (override the path with `CRELLVM_BENCH_OUT`).
 //!
 //! Reported per worker count: wall time, the four Fig 6/8 phase columns
-//! (Orig/PCal/I-O/PCheck), speedup versus one worker, and steal totals;
-//! plus the expression-interner hit rate, the proxy for allocations the
-//! hash-consing arena saves the checker hot path.
+//! (Orig/PCal/I-O/PCheck) with the I-O phase split into encode and decode,
+//! speedup versus one worker, and steal totals. The `proof_io` section
+//! compares the three wire formats (JSON, binary v1, binary v2) on the
+//! same proof corpus — total bytes plus encode/decode time — and the
+//! `cache` section times a cold versus a warm `--cache-dir`-style run.
 //!
 //! The ≥2× speedup target assumes ≥4 available cores; the JSON records
 //! `available_parallelism` so results from throttled CI runners (often a
 //! single core, where speedup is necessarily ~1×) read correctly.
 
+use crellvm_core::{proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_json, ProofUnit};
+use crellvm_core::{CheckerConfig, ValidationCache};
 use crellvm_gen::{generate_module, GenConfig};
 use crellvm_passes::{
-    default_jobs, run_pipeline_parallel, ParallelOptions, PassConfig, PipelineReport, ProofFormat,
+    default_jobs, run_pipeline_parallel, run_validated_pass_parallel, CodecScratch,
+    ParallelOptions, PassConfig, PipelineReport, ProofFormat,
 };
-use crellvm_telemetry::Telemetry;
+use crellvm_telemetry::{Snapshot, Telemetry};
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 #[derive(Serialize)]
@@ -24,6 +30,8 @@ struct PhasesMs {
     orig: f64,
     pcal: f64,
     io: f64,
+    io_encode: f64,
+    io_decode: f64,
     pcheck: f64,
 }
 
@@ -39,18 +47,51 @@ struct JobsResult {
 }
 
 #[derive(Serialize)]
+struct FormatStats {
+    format: String,
+    bytes: u64,
+    bytes_vs_json: f64,
+    encode_ms: f64,
+    decode_ms: f64,
+}
+
+#[derive(Serialize)]
+struct CacheRun {
+    wall_ms: f64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Serialize)]
+struct CacheBench {
+    jobs: usize,
+    cold: CacheRun,
+    warm: CacheRun,
+    warm_over_cold_wall: f64,
+}
+
+#[derive(Serialize)]
 struct BenchOutput {
     available_parallelism: usize,
     corpus_modules: usize,
     corpus_functions: usize,
+    wire_format: String,
     intern_hits: u64,
     intern_misses: u64,
     intern_hit_rate: f64,
     results: Vec<JobsResult>,
+    proof_io: Vec<FormatStats>,
+    cache: CacheBench,
 }
 
 fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+fn timer_ms(snap: &Snapshot, name: &str) -> f64 {
+    snap.timers
+        .get(name)
+        .map_or(0.0, |t| t.total_nanos as f64 / 1e6)
 }
 
 fn corpus() -> Vec<crellvm_ir::Module> {
@@ -69,11 +110,15 @@ fn corpus() -> Vec<crellvm_ir::Module> {
         .collect()
 }
 
-fn run_once(modules: &[crellvm_ir::Module], jobs: usize) -> (f64, PipelineReport, u64, u64, u64) {
+fn run_once(
+    modules: &[crellvm_ir::Module],
+    jobs: usize,
+    cache: Option<&Arc<ValidationCache>>,
+) -> (f64, PipelineReport, Snapshot) {
     let tel = Telemetry::disabled();
     let opts = ParallelOptions {
         jobs,
-        format: ProofFormat::Json,
+        cache: cache.map(Arc::clone),
         ..ParallelOptions::default()
     };
     let config = PassConfig::default();
@@ -84,21 +129,66 @@ fn run_once(modules: &[crellvm_ir::Module], jobs: usize) -> (f64, PipelineReport
         merged.merge(report);
     }
     let wall = ms(t.elapsed());
-    let snap = tel.registry().snapshot();
-    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
-    let steals = snap
-        .counters
-        .iter()
-        .filter(|(k, _)| k.starts_with("validate.steal."))
-        .map(|(_, v)| *v)
-        .sum();
-    (
-        wall,
-        merged,
-        counter("expr.intern.hits"),
-        counter("expr.intern.misses"),
-        steals,
-    )
+    (wall, merged, tel.registry().snapshot())
+}
+
+/// Every proof unit the pipeline produces over the corpus, for the
+/// format-comparison section.
+fn collect_proofs(modules: &[crellvm_ir::Module]) -> Vec<ProofUnit> {
+    let tel = Telemetry::disabled();
+    let opts = ParallelOptions::with_jobs(default_jobs());
+    let config = PassConfig::default();
+    let checker = CheckerConfig::sound();
+    let mut proofs = Vec::new();
+    for m in modules {
+        let mut cur = m.clone();
+        for pass in ["mem2reg", "instcombine", "gvn", "licm"] {
+            let mut report = PipelineReport::default();
+            let out = run_validated_pass_parallel(
+                pass,
+                &cur,
+                &config,
+                &checker,
+                &opts,
+                &tel,
+                &mut report,
+            );
+            proofs.extend(out.proofs);
+            cur = out.module;
+        }
+    }
+    proofs
+}
+
+fn format_stats(proofs: &[ProofUnit], json_bytes: u64, format: ProofFormat) -> FormatStats {
+    let mut scratch = CodecScratch::default();
+    let mut bytes = 0u64;
+    let mut blobs: Vec<Vec<u8>> = Vec::with_capacity(proofs.len());
+    let t = Instant::now();
+    for unit in proofs {
+        let n = format.encode_into(unit, &mut scratch);
+        bytes += n as u64;
+        blobs.push(scratch.buf.clone());
+    }
+    let encode_ms = ms(t.elapsed());
+    let t = Instant::now();
+    for blob in &blobs {
+        let unit = match format {
+            ProofFormat::Json => {
+                proof_from_json(std::str::from_utf8(blob).expect("json is utf-8")).expect("decodes")
+            }
+            _ => proof_from_bytes(blob).expect("decodes"),
+        };
+        std::hint::black_box(&unit);
+    }
+    let decode_ms = ms(t.elapsed());
+    FormatStats {
+        format: format.name().to_string(),
+        bytes,
+        bytes_vs_json: bytes as f64 / json_bytes.max(1) as f64,
+        encode_ms,
+        decode_ms,
+    }
 }
 
 fn main() {
@@ -107,7 +197,7 @@ fn main() {
 
     // Warm-up: touch every code path once so the first timed run does not
     // pay one-time costs (lazy page-ins, allocator growth).
-    let _ = run_once(&modules, default_jobs());
+    let _ = run_once(&modules, default_jobs(), None);
 
     let mut thread_counts = vec![1, 2, 4, default_jobs()];
     thread_counts.sort_unstable();
@@ -121,11 +211,18 @@ fn main() {
         "jobs", "wall(ms)", "speedup", "Orig", "PCal", "I-O", "PCheck", "steals"
     );
     for &jobs in &thread_counts {
-        let (wall, report, hits, misses, steals) = run_once(&modules, jobs);
+        let (wall, report, snap) = run_once(&modules, jobs, None);
         if jobs == 1 {
             wall_1 = wall;
         }
-        intern = (hits, misses);
+        let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        intern = (counter("expr.intern.hits"), counter("expr.intern.misses"));
+        let steals: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("validate.steal."))
+            .map(|(_, v)| *v)
+            .sum();
         let speedup = wall_1 / wall;
         println!(
             "{jobs:>5} {wall:>10.2} {speedup:>7.2}x   {:>8.2} {:>8.2} {:>8.2} {:>8.2} {steals:>7}",
@@ -142,6 +239,8 @@ fn main() {
                 orig: ms(report.time_orig),
                 pcal: ms(report.time_pcal),
                 io: ms(report.time_io),
+                io_encode: timer_ms(&snap, "time.io.encode"),
+                io_decode: timer_ms(&snap, "time.io.decode"),
                 pcheck: ms(report.time_pcheck),
             },
             steals,
@@ -150,15 +249,88 @@ fn main() {
         });
     }
 
+    // Wire-format comparison on the same proof corpus.
+    let proofs = collect_proofs(&modules);
+    let json_bytes: u64 = proofs
+        .iter()
+        .map(|u| proof_to_json(u).expect("encodes").len() as u64)
+        .sum();
+    let proof_io: Vec<FormatStats> = [
+        ProofFormat::Json,
+        ProofFormat::BinaryV1,
+        ProofFormat::Binary,
+    ]
+    .into_iter()
+    .map(|f| format_stats(&proofs, json_bytes, f))
+    .collect();
+    // Sanity anchor: v1 measured through the direct API must agree.
+    let v1_direct: u64 = proofs
+        .iter()
+        .map(|u| proof_to_bytes(u).expect("encodes").len() as u64)
+        .sum();
+    assert_eq!(proof_io[1].bytes, v1_direct);
+    println!(
+        "\n{:>10} {:>10} {:>9} {:>11} {:>11}",
+        "format", "bytes", "vs json", "encode(ms)", "decode(ms)"
+    );
+    for f in &proof_io {
+        println!(
+            "{:>10} {:>10} {:>8.1}% {:>11.2} {:>11.2}",
+            f.format,
+            f.bytes,
+            100.0 * f.bytes_vs_json,
+            f.encode_ms,
+            f.decode_ms
+        );
+    }
+
+    // Cold-versus-warm cached run over a fresh on-disk cache directory.
+    let cache_dir =
+        std::env::temp_dir().join(format!("crellvm_bench_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let jobs = default_jobs();
+    let cache_stats = {
+        let cache = Arc::new(ValidationCache::with_dir(&cache_dir).expect("cache dir"));
+        let (cold_wall, _, cold_snap) = run_once(&modules, jobs, Some(&cache));
+        let (warm_wall, _, warm_snap) = run_once(&modules, jobs, Some(&cache));
+        let counter = |s: &Snapshot, n: &str| s.counters.get(n).copied().unwrap_or(0);
+        CacheBench {
+            jobs,
+            cold: CacheRun {
+                wall_ms: cold_wall,
+                hits: counter(&cold_snap, "cache.hits"),
+                misses: counter(&cold_snap, "cache.misses"),
+            },
+            warm: CacheRun {
+                wall_ms: warm_wall,
+                hits: counter(&warm_snap, "cache.hits"),
+                misses: counter(&warm_snap, "cache.misses"),
+            },
+            warm_over_cold_wall: warm_wall / cold_wall,
+        }
+    };
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!(
+        "\ncache: cold {:.2} ms ({} misses) -> warm {:.2} ms ({} hits), warm/cold = {:.2}",
+        cache_stats.cold.wall_ms,
+        cache_stats.cold.misses,
+        cache_stats.warm.wall_ms,
+        cache_stats.warm.hits,
+        cache_stats.warm_over_cold_wall
+    );
+
     let (hits, misses) = intern;
     let output = BenchOutput {
         available_parallelism: default_jobs(),
         corpus_modules: modules.len(),
         corpus_functions: n_functions,
+        wire_format: ProofFormat::default().name().to_string(),
         intern_hits: hits,
         intern_misses: misses,
         intern_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
         results,
+        proof_io,
+        cache: cache_stats,
     };
     let path =
         std::env::var("CRELLVM_BENCH_OUT").unwrap_or_else(|_| "BENCH_validate.json".to_string());

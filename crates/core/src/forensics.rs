@@ -130,6 +130,7 @@ pub fn forensic_bundle(
         commands,
         minimized,
         proof_json: proof_to_json(unit).unwrap_or_default(),
+        wire_format: "json".to_string(),
     }
 }
 

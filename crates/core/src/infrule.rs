@@ -42,6 +42,25 @@ impl CheckerConfig {
             trust_trapping_constexprs: true,
         }
     }
+
+    /// The checker component of a validation-cache key: folds the current
+    /// [`crate::cache::CHECKER_VERSION`] together with every configuration
+    /// switch that can change a verdict.
+    #[must_use]
+    pub fn cache_token(&self) -> u64 {
+        self.cache_token_versioned(crate::cache::CHECKER_VERSION)
+    }
+
+    /// [`Self::cache_token`] with an explicit checker version (exposed so
+    /// invalidation-on-version-bump is testable without editing the
+    /// constant).
+    #[must_use]
+    pub fn cache_token_versioned(&self, version: u32) -> u64 {
+        let mut bytes = Vec::with_capacity(5);
+        bytes.extend_from_slice(&version.to_le_bytes());
+        bytes.push(u8::from(self.trust_trapping_constexprs));
+        crate::serialize_bin::fnv64(&bytes)
+    }
 }
 
 /// An inference rule instance.

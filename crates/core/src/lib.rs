@@ -42,6 +42,7 @@
 
 pub mod assertion;
 pub mod auto;
+pub mod cache;
 pub mod checker;
 pub mod equivbeh;
 pub mod expr;
@@ -57,6 +58,7 @@ pub mod serialize_bin;
 
 pub use assertion::{Assertion, Pred, Unary};
 pub use auto::AutoKind;
+pub use cache::{CacheEntry, CacheKey, ValidationCache, CHECKER_VERSION};
 pub use checker::{
     validate, validate_with_config, validate_with_telemetry, ValidationError, Verdict,
 };
@@ -68,4 +70,7 @@ pub use postcond::{calc_post_cmd, calc_post_phi};
 pub use proof::{Loc, ProofBuilder, ProofUnit, RowShape, RulePos, SlotId};
 pub use rules_arith::ArithRule;
 pub use rules_composite::CompositeRule;
-pub use serialize::{proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_json};
+pub use serialize::{
+    proof_from_bytes, proof_from_bytes_v1, proof_from_bytes_v2, proof_from_bytes_v2_with,
+    proof_from_json, proof_to_bytes, proof_to_bytes_v2, proof_to_bytes_v2_into, proof_to_json,
+};

@@ -10,7 +10,8 @@ use crate::assertion::Assertion;
 use crate::auto::AutoKind;
 use crate::infrule::InfRule;
 use crate::proof::{ProofUnit, RowShape, RulePos, SlotId};
-use crellvm_ir::Function;
+use crate::serialize_bin::{self, DecodeScratch, EncodeScratch};
+use crellvm_ir::{Block, Function};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -87,13 +88,205 @@ pub fn proof_to_bytes(unit: &ProofUnit) -> Result<Vec<u8>, crate::serialize_bin:
     crate::serialize_bin::to_bytes(&ProofUnitWire::from(unit))
 }
 
-/// Deserialize a proof unit from the compact binary format.
+/// Deserialize a proof unit from either binary format, sniffing the
+/// version from the leading bytes (v2 streams carry a magic prefix; v1
+/// streams cannot start with it).
 ///
 /// # Errors
 ///
 /// Fails on truncated or corrupted input.
-pub fn proof_from_bytes(bytes: &[u8]) -> Result<ProofUnit, crate::serialize_bin::Error> {
-    crate::serialize_bin::from_bytes::<ProofUnitWire>(bytes).map(ProofUnit::from)
+pub fn proof_from_bytes(bytes: &[u8]) -> Result<ProofUnit, serialize_bin::Error> {
+    if serialize_bin::is_v2(bytes) {
+        proof_from_bytes_v2(bytes)
+    } else {
+        proof_from_bytes_v1(bytes)
+    }
+}
+
+/// Deserialize a proof unit from the v1 binary format only.
+///
+/// # Errors
+///
+/// Fails on truncated or corrupted input.
+pub fn proof_from_bytes_v1(bytes: &[u8]) -> Result<ProofUnit, serialize_bin::Error> {
+    serialize_bin::from_bytes::<ProofUnitWire>(bytes).map(ProofUnit::from)
+}
+
+// ------------------------------------------------------- wire format v2
+
+/// Wire format v2 payload. On top of the dictionary-coded container of
+/// [`crate::serialize_bin`], the proof itself is delta-compressed:
+///
+/// * source and target share one deduplicated basic-block table — a pass
+///   rewrites few blocks, so most target blocks are byte-identical to
+///   their source counterparts and cost a single varint backref;
+/// * per-slot assertions reference a deduplicated assertion table — the
+///   same assertion typically holds over whole ranges of program points.
+#[derive(Debug, Serialize, Deserialize)]
+struct ProofUnitWireV2 {
+    pass: String,
+    src_shell: Function,
+    src_blocks: Vec<u32>,
+    tgt_shell: Function,
+    tgt_blocks: Vec<u32>,
+    block_table: Vec<Block>,
+    alignment: Vec<Vec<RowShape>>,
+    assertion_table: Vec<Assertion>,
+    assertion_slots: Vec<(SlotId, u32)>,
+    infrules: Vec<(RulePos, Vec<InfRule>)>,
+    autos: BTreeSet<AutoKind>,
+    not_supported: Option<String>,
+}
+
+/// First-seen-order interning by deep equality. Tables here are small
+/// (blocks per function pair, distinct assertions per proof), so a linear
+/// scan beats maintaining a hash index.
+fn intern<T: PartialEq + Clone>(table: &mut Vec<T>, v: &T) -> u32 {
+    match table.iter().position(|x| x == v) {
+        Some(i) => i as u32,
+        None => {
+            table.push(v.clone());
+            (table.len() - 1) as u32
+        }
+    }
+}
+
+impl From<&ProofUnit> for ProofUnitWireV2 {
+    fn from(u: &ProofUnit) -> ProofUnitWireV2 {
+        let mut block_table = Vec::new();
+        let src_blocks = u
+            .src
+            .blocks
+            .iter()
+            .map(|b| intern(&mut block_table, b))
+            .collect();
+        let tgt_blocks = u
+            .tgt
+            .blocks
+            .iter()
+            .map(|b| intern(&mut block_table, b))
+            .collect();
+        let mut assertion_table = Vec::new();
+        let assertion_slots = u
+            .assertions
+            .iter()
+            .map(|(k, a)| (*k, intern(&mut assertion_table, a)))
+            .collect();
+        ProofUnitWireV2 {
+            pass: u.pass.clone(),
+            src_shell: u.src.clone_shell(),
+            src_blocks,
+            tgt_shell: u.tgt.clone_shell(),
+            tgt_blocks,
+            block_table,
+            alignment: u.alignment.clone(),
+            assertion_table,
+            assertion_slots,
+            infrules: u.infrules.iter().map(|(k, v)| (*k, v.clone())).collect(),
+            autos: u.autos.clone(),
+            not_supported: u.not_supported.clone(),
+        }
+    }
+}
+
+fn bad_ref(what: &str, idx: u32) -> serialize_bin::Error {
+    <serialize_bin::Error as serde::de::Error>::custom(format!("{what} index {idx} beyond table"))
+}
+
+fn reattach(
+    mut shell: Function,
+    refs: &[u32],
+    table: &[Block],
+) -> Result<Function, serialize_bin::Error> {
+    shell.blocks = refs
+        .iter()
+        .map(|&i| {
+            table
+                .get(i as usize)
+                .cloned()
+                .ok_or_else(|| bad_ref("block", i))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(shell)
+}
+
+impl TryFrom<ProofUnitWireV2> for ProofUnit {
+    type Error = serialize_bin::Error;
+
+    fn try_from(w: ProofUnitWireV2) -> Result<ProofUnit, serialize_bin::Error> {
+        let src = reattach(w.src_shell, &w.src_blocks, &w.block_table)?;
+        let tgt = reattach(w.tgt_shell, &w.tgt_blocks, &w.block_table)?;
+        let assertions = w
+            .assertion_slots
+            .into_iter()
+            .map(|(k, i)| {
+                w.assertion_table
+                    .get(i as usize)
+                    .cloned()
+                    .map(|a| (k, a))
+                    .ok_or_else(|| bad_ref("assertion", i))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(ProofUnit {
+            pass: w.pass,
+            src,
+            tgt,
+            alignment: w.alignment,
+            assertions,
+            infrules: w.infrules.into_iter().collect(),
+            autos: w.autos,
+            not_supported: w.not_supported,
+        })
+    }
+}
+
+/// Serialize a proof unit to wire format v2 (dictionary-coded strings +
+/// block/assertion delta tables) — the default on-the-wire format of the
+/// parallel validation engine.
+///
+/// # Errors
+///
+/// Effectively unreachable for these types (kept for API symmetry).
+pub fn proof_to_bytes_v2(unit: &ProofUnit) -> Result<Vec<u8>, serialize_bin::Error> {
+    serialize_bin::to_bytes_v2(&ProofUnitWireV2::from(unit))
+}
+
+/// [`proof_to_bytes_v2`] writing into a caller-owned buffer with reusable
+/// encoder scratch (the per-worker buffer-pooling entry point).
+///
+/// # Errors
+///
+/// Effectively unreachable for these types (kept for API symmetry).
+pub fn proof_to_bytes_v2_into(
+    unit: &ProofUnit,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) -> Result<(), serialize_bin::Error> {
+    serialize_bin::to_bytes_v2_into(&ProofUnitWireV2::from(unit), scratch, out)
+}
+
+/// Deserialize a proof unit from wire format v2.
+///
+/// # Errors
+///
+/// Fails cleanly on a missing magic, checksum mismatch, corrupt string
+/// table, or out-of-range block/assertion backreference.
+pub fn proof_from_bytes_v2(bytes: &[u8]) -> Result<ProofUnit, serialize_bin::Error> {
+    serialize_bin::from_bytes_v2::<ProofUnitWireV2>(bytes).and_then(ProofUnit::try_from)
+}
+
+/// [`proof_from_bytes_v2`] with reusable decoder scratch (the per-worker
+/// decode-arena entry point).
+///
+/// # Errors
+///
+/// Same failure modes as [`proof_from_bytes_v2`].
+pub fn proof_from_bytes_v2_with(
+    bytes: &[u8],
+    scratch: &mut DecodeScratch,
+) -> Result<ProofUnit, serialize_bin::Error> {
+    serialize_bin::from_bytes_v2_with::<ProofUnitWireV2>(bytes, scratch)
+        .and_then(ProofUnit::try_from)
 }
 
 #[cfg(test)]
@@ -163,5 +356,51 @@ mod tests {
     fn malformed_json_is_rejected() {
         assert!(proof_from_json("{").is_err());
         assert!(proof_from_json("{\"pass\": 3}").is_err());
+    }
+
+    fn assert_units_equal(a: &ProofUnit, b: &ProofUnit) {
+        assert_eq!(a.pass, b.pass);
+        assert_eq!(a.src, b.src);
+        assert_eq!(a.tgt, b.tgt);
+        assert_eq!(a.alignment, b.alignment);
+        assert_eq!(a.assertions, b.assertions);
+        assert_eq!(a.infrules, b.infrules);
+        assert_eq!(a.autos, b.autos);
+        assert_eq!(a.not_supported, b.not_supported);
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_everything() {
+        let unit = sample_unit();
+        let bytes = proof_to_bytes_v2(&unit).unwrap();
+        assert_units_equal(&unit, &proof_from_bytes_v2(&bytes).unwrap());
+        // The sniffing entry point takes both formats.
+        assert_units_equal(&unit, &proof_from_bytes(&bytes).unwrap());
+        let v1 = proof_to_bytes(&unit).unwrap();
+        assert_units_equal(&unit, &proof_from_bytes(&v1).unwrap());
+    }
+
+    #[test]
+    fn v2_is_smaller_than_v1() {
+        let unit = sample_unit();
+        let v1 = proof_to_bytes(&unit).unwrap();
+        let v2 = proof_to_bytes_v2(&unit).unwrap();
+        assert!(
+            v2.len() < v1.len(),
+            "v2 ({}) not smaller than v1 ({})",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn v2_corruption_is_a_clean_error() {
+        let bytes = proof_to_bytes_v2(&sample_unit()).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(proof_from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut flipped = bytes.clone();
+        flipped[12] ^= 0x40;
+        assert!(proof_from_bytes_v2(&flipped).is_err());
     }
 }

@@ -14,9 +14,34 @@
 //! The `io/proof_binary_roundtrip` micro-benchmark measures the resulting
 //! speedup over JSON; `serialize::proof_to_bytes` / `proof_from_bytes`
 //! are the proof-level entry points.
+//!
+//! # Wire format v2: dictionary-coded strings
+//!
+//! Proofs are overwhelmingly repeated symbols (register names, block
+//! labels, pass names), so v1 pays the full `len + bytes` cost for every
+//! occurrence. The v2 container fixes that:
+//!
+//! ```text
+//! [0xC5, 0x02]            magic + format version
+//! [u64 LE]                FNV-1a checksum of everything that follows
+//! varint count            string-table entry count
+//! count × (varint len, utf-8 bytes)
+//! <body>                  v1 encoding, except every string is a varint
+//!                         backreference into the table
+//! ```
+//!
+//! The magic byte `0xC5` has its high bit set, while every v1 stream for
+//! the proof wire type begins with the varint length of a short pass-name
+//! string (< 0x80), so [`from_bytes_auto`] can sniff the version from the
+//! first byte. The checksum turns any truncation or bit flip into a clean
+//! [`Error`] before the body is ever interpreted. Encode and decode both
+//! take optional scratch state ([`EncodeScratch`], [`DecodeScratch`]) so
+//! hot loops reuse the dictionary map, the body buffer, and the span
+//! table instead of reallocating per proof.
 
 use serde::de::{self, DeserializeSeed, IntoDeserializer, Visitor};
 use serde::{ser, Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 
 /// A (de)serialization failure.
@@ -54,9 +79,13 @@ fn err(msg: impl Into<String>) -> Error {
 /// Fails only on values the data model cannot express (e.g. sequences of
 /// unknown length), which the proof wire types never produce.
 pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
-    let mut s = BinSerializer { out: Vec::new() };
+    let mut out = Vec::new();
+    let mut s = BinSerializer {
+        out: &mut out,
+        dict: None,
+    };
     value.serialize(&mut s)?;
-    Ok(s.out)
+    Ok(out)
 }
 
 /// Deserialize a value previously produced by [`to_bytes`] for the same
@@ -66,7 +95,11 @@ pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
 ///
 /// Fails on truncated or corrupted input.
 pub fn from_bytes<'de, T: Deserialize<'de>>(bytes: &'de [u8]) -> Result<T, Error> {
-    let mut d = BinDeserializer { input: bytes };
+    let mut d = BinDeserializer {
+        input: bytes,
+        full: bytes,
+        table: None,
+    };
     let v = T::deserialize(&mut d)?;
     if d.input.is_empty() {
         Ok(v)
@@ -75,23 +108,221 @@ pub fn from_bytes<'de, T: Deserialize<'de>>(bytes: &'de [u8]) -> Result<T, Error
     }
 }
 
-// ---------------------------------------------------------------- writer
+// ------------------------------------------------------------ v2 container
 
-struct BinSerializer {
-    out: Vec<u8>,
+/// Magic prefix of a v2 stream: a marker byte with the high bit set (so
+/// it can never be the first byte of a v1 proof stream) plus the format
+/// version.
+pub const V2_MAGIC: [u8; 2] = [0xC5, 0x02];
+
+/// v1 format version number (implicit on the wire — v1 streams carry no
+/// header).
+pub const FORMAT_V1: u8 = 1;
+
+/// v2 format version number (the second magic byte).
+pub const FORMAT_V2: u8 = 2;
+
+/// Bytes of header before the string table: magic + checksum.
+const V2_HEADER: usize = 2 + 8;
+
+/// 64-bit FNV-1a — the stable, dependency-free content hash used for the
+/// v2 stream checksum and the validation cache keys.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
-impl BinSerializer {
-    fn varint(&mut self, mut v: u64) {
-        loop {
-            let byte = (v & 0x7f) as u8;
-            v >>= 7;
-            if v == 0 {
-                self.out.push(byte);
-                return;
-            }
-            self.out.push(byte | 0x80);
+/// Continue an FNV-1a hash from a previous state (for hashing multiple
+/// components into one key without concatenating them first).
+#[must_use]
+pub fn fnv64_extend(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Reusable encoder state for [`to_bytes_v2_into`]: the string dictionary
+/// and the body buffer survive across proofs, so a per-worker scratch
+/// turns the per-proof allocation churn into a handful of amortized
+/// buffers.
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    dict: HashMap<String, u32>,
+    body: Vec<u8>,
+}
+
+/// Reusable decoder state for [`from_bytes_v2_with`]: the string-table
+/// span list (offsets into the input, so it holds no borrowed data and
+/// can be reused across proofs).
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    spans: Vec<(u32, u32)>,
+}
+
+/// Does `bytes` start with the v2 magic?
+#[must_use]
+pub fn is_v2(bytes: &[u8]) -> bool {
+    bytes.len() >= 2 && bytes[..2] == V2_MAGIC
+}
+
+/// Serialize to the dictionary-coded v2 container.
+///
+/// # Errors
+///
+/// Fails only on values the data model cannot express.
+pub fn to_bytes_v2<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    let mut scratch = EncodeScratch::default();
+    let mut out = Vec::new();
+    to_bytes_v2_into(value, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// [`to_bytes_v2`] writing into a caller-owned buffer with reusable
+/// scratch state. `out` is cleared first.
+///
+/// # Errors
+///
+/// Fails only on values the data model cannot express.
+pub fn to_bytes_v2_into<T: Serialize>(
+    value: &T,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) -> Result<(), Error> {
+    out.clear();
+    scratch.body.clear();
+    scratch.dict.clear();
+    {
+        let mut s = BinSerializer {
+            out: &mut scratch.body,
+            dict: Some(&mut scratch.dict),
+        };
+        value.serialize(&mut s)?;
+    }
+    out.extend_from_slice(&V2_MAGIC);
+    out.extend_from_slice(&[0u8; 8]); // checksum, patched below
+    let mut entries: Vec<(&str, u32)> =
+        scratch.dict.iter().map(|(s, &i)| (s.as_str(), i)).collect();
+    entries.sort_unstable_by_key(|&(_, i)| i);
+    varint_into(out, entries.len() as u64);
+    for (s, _) in entries {
+        varint_into(out, s.len() as u64);
+        out.extend_from_slice(s.as_bytes());
+    }
+    out.extend_from_slice(&scratch.body);
+    let sum = fnv64(&out[V2_HEADER..]);
+    out[2..V2_HEADER].copy_from_slice(&sum.to_le_bytes());
+    Ok(())
+}
+
+/// Deserialize a v2 stream produced by [`to_bytes_v2`] for the same type.
+///
+/// # Errors
+///
+/// Fails with a clean error (never a panic) on a missing magic, checksum
+/// mismatch, truncated or corrupt string table, or malformed body.
+pub fn from_bytes_v2<'de, T: Deserialize<'de>>(bytes: &'de [u8]) -> Result<T, Error> {
+    let mut scratch = DecodeScratch::default();
+    from_bytes_v2_with(bytes, &mut scratch)
+}
+
+/// [`from_bytes_v2`] with reusable scratch state for the string-table
+/// spans.
+///
+/// # Errors
+///
+/// Same failure modes as [`from_bytes_v2`].
+pub fn from_bytes_v2_with<'de, T: Deserialize<'de>>(
+    bytes: &'de [u8],
+    scratch: &mut DecodeScratch,
+) -> Result<T, Error> {
+    if !is_v2(bytes) {
+        return Err(err("missing v2 magic"));
+    }
+    if bytes.len() < V2_HEADER {
+        return Err(err("truncated v2 header"));
+    }
+    let sum = u64::from_le_bytes(bytes[2..V2_HEADER].try_into().expect("8 bytes"));
+    let rest = &bytes[V2_HEADER..];
+    if fnv64(rest) != sum {
+        return Err(err("v2 checksum mismatch (truncated or corrupted stream)"));
+    }
+    // Parse the string table into (offset, len) spans over `bytes`.
+    scratch.spans.clear();
+    let mut d = BinDeserializer {
+        input: rest,
+        full: bytes,
+        table: None,
+    };
+    let count = d.len()?;
+    for _ in 0..count {
+        let n = d.len()?;
+        let start = bytes.len() - d.input.len();
+        let entry = d.take(n)?;
+        std::str::from_utf8(entry).map_err(|_| err("string table entry is not utf-8"))?;
+        scratch.spans.push((start as u32, n as u32));
+    }
+    let mut body = BinDeserializer {
+        input: d.input,
+        full: bytes,
+        table: Some(std::mem::take(&mut scratch.spans)),
+    };
+    let result = T::deserialize(&mut body);
+    let trailing = body.input.len();
+    // Hand the span buffer back for reuse whether or not decoding worked.
+    scratch.spans = body.table.take().unwrap_or_default();
+    let v = result?;
+    if trailing == 0 {
+        Ok(v)
+    } else {
+        Err(err(format!("{trailing} trailing bytes")))
+    }
+}
+
+/// Deserialize either format, sniffing the version from the magic bytes
+/// (see module docs for why the sniff is unambiguous).
+///
+/// # Errors
+///
+/// Fails on truncated or corrupted input in either format.
+pub fn from_bytes_auto<'de, T: Deserialize<'de>>(bytes: &'de [u8]) -> Result<T, Error> {
+    if is_v2(bytes) {
+        from_bytes_v2(bytes)
+    } else {
+        from_bytes(bytes)
+    }
+}
+
+// ---------------------------------------------------------------- writer
+
+fn varint_into(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
         }
+        out.push(byte | 0x80);
+    }
+}
+
+struct BinSerializer<'a> {
+    out: &'a mut Vec<u8>,
+    /// When present (v2), strings are interned here and emitted as varint
+    /// backreferences instead of inline `len + bytes`.
+    dict: Option<&'a mut HashMap<String, u32>>,
+}
+
+impl BinSerializer<'_> {
+    fn varint(&mut self, v: u64) {
+        varint_into(self.out, v);
     }
 
     fn zigzag(&mut self, v: i64) {
@@ -99,7 +330,7 @@ impl BinSerializer {
     }
 }
 
-impl ser::Serializer for &mut BinSerializer {
+impl ser::Serializer for &mut BinSerializer<'_> {
     type Ok = ();
     type Error = Error;
     type SerializeSeq = Self;
@@ -175,8 +406,20 @@ impl ser::Serializer for &mut BinSerializer {
     }
 
     fn serialize_str(self, v: &str) -> Result<(), Error> {
-        self.varint(v.len() as u64);
-        self.out.extend_from_slice(v.as_bytes());
+        if let Some(dict) = self.dict.as_deref_mut() {
+            let idx = match dict.get(v) {
+                Some(&i) => i,
+                None => {
+                    let i = u32::try_from(dict.len()).map_err(|_| err("string table overflow"))?;
+                    dict.insert(v.to_owned(), i);
+                    i
+                }
+            };
+            varint_into(self.out, u64::from(idx));
+        } else {
+            self.varint(v.len() as u64);
+            self.out.extend_from_slice(v.as_bytes());
+        }
         Ok(())
     }
 
@@ -280,7 +523,7 @@ impl ser::Serializer for &mut BinSerializer {
     }
 }
 
-impl ser::SerializeSeq for &mut BinSerializer {
+impl ser::SerializeSeq for &mut BinSerializer<'_> {
     type Ok = ();
     type Error = Error;
 
@@ -293,7 +536,7 @@ impl ser::SerializeSeq for &mut BinSerializer {
     }
 }
 
-impl ser::SerializeTuple for &mut BinSerializer {
+impl ser::SerializeTuple for &mut BinSerializer<'_> {
     type Ok = ();
     type Error = Error;
 
@@ -306,7 +549,7 @@ impl ser::SerializeTuple for &mut BinSerializer {
     }
 }
 
-impl ser::SerializeTupleStruct for &mut BinSerializer {
+impl ser::SerializeTupleStruct for &mut BinSerializer<'_> {
     type Ok = ();
     type Error = Error;
 
@@ -319,7 +562,7 @@ impl ser::SerializeTupleStruct for &mut BinSerializer {
     }
 }
 
-impl ser::SerializeTupleVariant for &mut BinSerializer {
+impl ser::SerializeTupleVariant for &mut BinSerializer<'_> {
     type Ok = ();
     type Error = Error;
 
@@ -332,7 +575,7 @@ impl ser::SerializeTupleVariant for &mut BinSerializer {
     }
 }
 
-impl ser::SerializeMap for &mut BinSerializer {
+impl ser::SerializeMap for &mut BinSerializer<'_> {
     type Ok = ();
     type Error = Error;
 
@@ -349,7 +592,7 @@ impl ser::SerializeMap for &mut BinSerializer {
     }
 }
 
-impl ser::SerializeStruct for &mut BinSerializer {
+impl ser::SerializeStruct for &mut BinSerializer<'_> {
     type Ok = ();
     type Error = Error;
 
@@ -366,7 +609,7 @@ impl ser::SerializeStruct for &mut BinSerializer {
     }
 }
 
-impl ser::SerializeStructVariant for &mut BinSerializer {
+impl ser::SerializeStructVariant for &mut BinSerializer<'_> {
     type Ok = ();
     type Error = Error;
 
@@ -387,6 +630,12 @@ impl ser::SerializeStructVariant for &mut BinSerializer {
 
 struct BinDeserializer<'de> {
     input: &'de [u8],
+    /// The complete stream (string-table spans index into this).
+    full: &'de [u8],
+    /// v2 string table as (offset, len) spans into `full`; `None` means
+    /// v1 inline strings. Owned (taken from the scratch and handed back)
+    /// so the deserializer needs no second lifetime.
+    table: Option<Vec<(u32, u32)>>,
 }
 
 impl<'de> BinDeserializer<'de> {
@@ -516,6 +765,20 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
     }
 
     fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        if self.table.is_some() {
+            let idx = self.varint()?;
+            let table = self.table.as_ref().expect("checked above");
+            let &(off, len) = usize::try_from(idx)
+                .ok()
+                .and_then(|i| table.get(i))
+                .ok_or_else(|| err(format!("string index {idx} beyond table")))?;
+            let span = self
+                .full
+                .get(off as usize..off as usize + len as usize)
+                .ok_or_else(|| err("string span out of range"))?;
+            let s = std::str::from_utf8(span).map_err(|_| err("invalid utf-8"))?;
+            return visitor.visit_borrowed_str(s);
+        }
         let n = self.len()?;
         let bytes = self.take(n)?;
         visitor.visit_borrowed_str(std::str::from_utf8(bytes).map_err(|_| err("invalid utf-8"))?)
@@ -788,5 +1051,100 @@ mod tests {
         let bytes = [0xff, 0xff, 0xff, 0xff, 0x7f];
         assert!(from_bytes::<String>(&bytes).is_err());
         assert!(from_bytes::<Vec<u8>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn v2_roundtrip_covers_the_data_model() {
+        let v = sample();
+        let bytes = to_bytes_v2(&v).unwrap();
+        assert!(is_v2(&bytes));
+        assert_eq!(from_bytes_v2::<Nested>(&bytes).unwrap(), v);
+        assert_eq!(from_bytes_auto::<Nested>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn auto_sniff_still_decodes_v1() {
+        let v = sample();
+        let v1 = to_bytes(&v).unwrap();
+        assert!(!is_v2(&v1));
+        assert_eq!(from_bytes_auto::<Nested>(&v1).unwrap(), v);
+    }
+
+    #[test]
+    fn dictionary_pays_off_on_repeated_strings() {
+        let v: Vec<String> = (0..64).map(|i| format!("block_{}", i % 4)).collect();
+        let v1 = to_bytes(&v).unwrap();
+        let v2 = to_bytes_v2(&v).unwrap();
+        assert!(
+            v2.len() < v1.len(),
+            "v2 ({}) not smaller than v1 ({})",
+            v2.len(),
+            v1.len()
+        );
+        assert_eq!(from_bytes_v2::<Vec<String>>(&v2).unwrap(), v);
+    }
+
+    #[test]
+    fn v2_truncation_and_bit_flips_are_clean_errors() {
+        let bytes = to_bytes_v2(&sample()).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                from_bytes_v2::<Nested>(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // The checksum catches a flip anywhere in the table or body.
+        for pos in 0..bytes.len() {
+            for bit in [0x01u8, 0x80u8] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= bit;
+                assert!(
+                    from_bytes_auto::<Nested>(&corrupt).is_err(),
+                    "flip {bit:#x} at {pos} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bogus_string_index_is_rejected() {
+        // Hand-build a v2 stream whose body references entry 7 of a
+        // 1-entry table, with a valid checksum.
+        let mut out = Vec::from(V2_MAGIC);
+        out.extend_from_slice(&[0u8; 8]);
+        let mut tail = Vec::new();
+        varint_into(&mut tail, 1); // table count
+        varint_into(&mut tail, 2); // entry len
+        tail.extend_from_slice(b"ab");
+        varint_into(&mut tail, 7); // body: string backref out of range
+        let sum = fnv64(&tail);
+        out[2..10].copy_from_slice(&sum.to_le_bytes());
+        out.extend_from_slice(&tail);
+        let e = from_bytes_v2::<String>(&out).unwrap_err();
+        assert!(e.to_string().contains("beyond table"), "{e}");
+    }
+
+    #[test]
+    fn scratch_state_is_reusable_across_values() {
+        let mut enc = EncodeScratch::default();
+        let mut dec = DecodeScratch::default();
+        let mut out = Vec::new();
+        for i in 0..4u32 {
+            let v = Nested {
+                name: format!("proof{i}"),
+                ..sample()
+            };
+            to_bytes_v2_into(&v, &mut enc, &mut out).unwrap();
+            assert_eq!(from_bytes_v2_with::<Nested>(&out, &mut dec).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        // Reference vectors for the FNV-1a parameters; cache keys persist
+        // on disk, so the hash must never drift.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64_extend(fnv64(b"ab"), b"c"), fnv64(b"abc"));
     }
 }

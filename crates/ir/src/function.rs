@@ -170,6 +170,21 @@ impl Function {
         BlockId::from_index(0)
     }
 
+    /// Clone the function header — name, params, return type, register
+    /// names — with an *empty* block list. Wire formats that share basic
+    /// blocks across functions (a source/target pair is mostly identical
+    /// blocks) serialize this shell next to a deduplicated block table and
+    /// reattach the blocks on decode via the public `blocks` field.
+    pub fn clone_shell(&self) -> Function {
+        Function {
+            name: self.name.clone(),
+            params: self.params.clone(),
+            ret: self.ret,
+            blocks: Vec::new(),
+            reg_names: self.reg_names.clone(),
+        }
+    }
+
     /// Number of registers ever created in this function.
     pub fn reg_count(&self) -> usize {
         self.reg_names.len()

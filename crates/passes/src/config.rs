@@ -102,6 +102,17 @@ impl PassConfig {
         self.gen_proofs = false;
         self
     }
+
+    /// Stable token folding every behaviour-affecting switch, for
+    /// validation-cache keys: two configurations produce the same token
+    /// iff they transform and prove identically.
+    pub fn cache_token(&self) -> u64 {
+        u64::from(self.bugs.pr24179)
+            | u64::from(self.bugs.pr33673) << 1
+            | u64::from(self.bugs.pr28562) << 2
+            | u64::from(self.bugs.d38619) << 3
+            | u64::from(self.gen_proofs) << 4
+    }
 }
 
 /// The result of applying one pass to a module.
@@ -125,5 +136,22 @@ mod tests {
         let pre = BugSet::llvm_5_0_1_prepatch();
         assert!(!pre.pr24179 && !pre.pr28562 && pre.d38619);
         assert_eq!(BugSet::llvm_5_0_1_postpatch(), BugSet::none());
+    }
+
+    #[test]
+    fn cache_tokens_separate_every_configuration() {
+        let mut seen = std::collections::BTreeSet::new();
+        for bits in 0..32u64 {
+            let config = PassConfig {
+                bugs: BugSet {
+                    pr24179: bits & 1 != 0,
+                    pr33673: bits & 2 != 0,
+                    pr28562: bits & 4 != 0,
+                    d38619: bits & 8 != 0,
+                },
+                gen_proofs: bits & 16 != 0,
+            };
+            assert!(seen.insert(config.cache_token()), "collision at {bits:#x}");
+        }
     }
 }

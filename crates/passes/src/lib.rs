@@ -72,6 +72,6 @@ pub use parallel::{
     default_jobs, run_pipeline_parallel, run_validated_pass_parallel, ParallelOptions,
 };
 pub use pipeline::{
-    run_pipeline, run_pipeline_traced, PipelineReport, ProofFormat, SpanItem, StepOutcome,
-    StepRecord,
+    run_pipeline, run_pipeline_traced, CodecScratch, PipelineReport, ProofFormat, SpanItem,
+    StepOutcome, StepRecord,
 };

@@ -4,15 +4,30 @@
 //! The paper's validation unit is one function under one pass, and units
 //! are independent — embarrassingly parallel. This module exploits that:
 //!
-//! * **Work items** are function indices. Worker `w` is seeded with a
-//!   contiguous chunk of the module's functions in its own deque; when the
-//!   deque runs dry it *steals* from the back of a sibling's deque, so an
-//!   unlucky chunk of expensive functions does not serialize the run.
+//! * **Work items** are function indices, seeded by *interleaved
+//!   size-rank*: functions are ranked by statement count (largest first)
+//!   and rank `r` lands in worker `r mod workers`' deque, so every worker
+//!   starts with a comparable mix of big and small functions instead of
+//!   one worker owning the expensive head of the module. When a deque
+//!   runs dry the worker *steals* from the back of a sibling's deque, so
+//!   a residual imbalance still cannot serialize the run.
 //! * **No shared mutable state on the hot path.** Each worker records into
-//!   its own private [`Registry`]; each validation unit owns its own
-//!   expression interner (see `crellvm_core::checker`). Workers share only
-//!   the immutable input module and, when tracing, the append-only trace
-//!   sink.
+//!   its own private [`Registry`] and reuses its own
+//!   [`CodecScratch`](crate::pipeline::CodecScratch) buffers for the io
+//!   phase; each validation unit owns its own expression interner (see
+//!   `crellvm_core::checker`). Workers share only the immutable input
+//!   module, the optional [`ValidationCache`], and, when tracing, the
+//!   append-only trace sink.
+//! * **Incremental validation.** With [`ParallelOptions::cache`] set, the
+//!   scheduler consults a content-addressed [`ValidationCache`] before
+//!   dispatching a unit: a hit replays the stored verdict, proof, and the
+//!   unit's deterministic metrics snapshot instead of running
+//!   PCal / I-O / PCheck. Misses run with a per-item registry so the
+//!   unit's metric delta can be captured into the new cache entry —
+//!   which is what makes a warm run's `Snapshot::deterministic` view
+//!   byte-identical to a cold one. Only `cache.hits` / `cache.misses` /
+//!   `cache.evictions` (schedule- and history-scoped, excluded from the
+//!   deterministic view) differ.
 //! * **Deterministic merging.** Results are scattered back by function
 //!   index, so [`PipelineReport`] step order is the module's function
 //!   order at any thread count. Worker registries are merged in worker
@@ -25,24 +40,30 @@
 //! [`Snapshot::deterministic`]: crellvm_telemetry::Snapshot::deterministic
 
 use crate::config::{PassConfig, PassOutcome};
-use crate::pipeline::{PipelineReport, ProofFormat, SpanItem, StepOutcome, StepRecord, PASS_ORDER};
-use crellvm_core::{validate_with_telemetry, CheckerConfig, ProofUnit, ValidationError, Verdict};
+use crate::pipeline::{
+    CodecScratch, PipelineReport, ProofFormat, SpanItem, StepOutcome, StepRecord, PASS_ORDER,
+};
+use crellvm_core::cache::{OUTCOME_FAILED, OUTCOME_NOT_SUPPORTED, OUTCOME_VALID};
+use crellvm_core::{
+    proof_from_bytes, proof_to_bytes_v2, serialize_bin, validate_with_telemetry, CacheEntry,
+    CacheKey, CheckerConfig, ProofUnit, ValidationCache, ValidationError, Verdict,
+};
 use crellvm_ir::{Function, Module};
 use crellvm_telemetry::forensics::ForensicBundle;
 use crellvm_telemetry::json::Value;
-use crellvm_telemetry::{Registry, SpanCollector, SpanNode, Telemetry};
+use crellvm_telemetry::{Registry, Snapshot, SpanCollector, SpanNode, Telemetry};
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Options of the parallel validation engine.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ParallelOptions {
     /// Number of worker threads to fan validation out over. The engine
     /// never spawns more workers than there are functions.
     pub jobs: usize,
-    /// Proof wire format for the I/O phase.
+    /// Proof wire format for the I/O phase (wire format v2 by default).
     pub format: ProofFormat,
     /// Collect causal spans (module → function → pass → phase →
     /// proof-command) into [`PipelineReport::span_items`].
@@ -50,15 +71,20 @@ pub struct ParallelOptions {
     /// Build a replayable [`ForensicBundle`] for every failed step into
     /// [`PipelineReport::bundles`].
     pub forensics: bool,
+    /// Content-addressed validation cache consulted before dispatching a
+    /// unit. Ignored while `spans` or `forensics` are on — those need the
+    /// unit to actually run.
+    pub cache: Option<Arc<ValidationCache>>,
 }
 
 impl Default for ParallelOptions {
     fn default() -> Self {
         ParallelOptions {
             jobs: default_jobs(),
-            format: ProofFormat::Json,
+            format: ProofFormat::default(),
             spans: false,
             forensics: false,
+            cache: None,
         }
     }
 }
@@ -121,6 +147,7 @@ fn process_item(
     checker: &CheckerConfig,
     opts: &ParallelOptions,
     tel: &Telemetry,
+    scratch: &mut CodecScratch,
 ) -> ItemResult {
     let collector = if opts.spans {
         Some(Arc::new(SpanCollector::new()))
@@ -156,11 +183,19 @@ fn process_item(
     let t2 = Instant::now();
     let (unit2, wire_len) = {
         let _g = tel.causal("io", "phase");
-        opts.format.roundtrip(&unit)
+        let wire_len = opts.format.encode_into(&unit, scratch);
+        tel.registry()
+            .record_duration("time.io.encode", t2.elapsed());
+        let td = Instant::now();
+        let unit2 = opts.format.decode_scratch(scratch);
+        tel.registry()
+            .record_duration("time.io.decode", td.elapsed());
+        (unit2, wire_len)
     };
     let io = t2.elapsed();
     tel.registry().record_duration("time.io", io);
     tel.observe("pipeline.proof_bytes", wire_len as u64);
+    tel.count(opts.format.bytes_counter(), wire_len as u64);
 
     let t3 = Instant::now();
     let mut failure: Option<ValidationError> = None;
@@ -193,7 +228,9 @@ fn process_item(
     let bundle = match &failure {
         Some(e) if opts.forensics => {
             tel.count("forensics.bundles", 1);
-            Some(crellvm_core::forensics::forensic_bundle(&unit2, e, checker))
+            let mut b = crellvm_core::forensics::forensic_bundle(&unit2, e, checker);
+            b.wire_format = opts.format.name().to_string();
+            Some(b)
         }
         _ => None,
     };
@@ -231,6 +268,114 @@ fn process_item(
     }
 }
 
+/// The cache-entry verdict encoding of a step outcome.
+fn outcome_to_entry(outcome: &StepOutcome) -> (u8, String) {
+    match outcome {
+        StepOutcome::Valid => (OUTCOME_VALID, String::new()),
+        StepOutcome::Failed(r) => (OUTCOME_FAILED, r.clone()),
+        StepOutcome::NotSupported(r) => (OUTCOME_NOT_SUPPORTED, r.clone()),
+    }
+}
+
+/// Decode a cache entry's verdict tag back into a step outcome (`None`
+/// for a tag from a future version — treated as a miss).
+fn entry_to_outcome(entry: &CacheEntry) -> Option<StepOutcome> {
+    match entry.outcome {
+        OUTCOME_VALID => Some(StepOutcome::Valid),
+        OUTCOME_FAILED => Some(StepOutcome::Failed(entry.reason.clone())),
+        OUTCOME_NOT_SUPPORTED => Some(StepOutcome::NotSupported(entry.reason.clone())),
+        _ => None,
+    }
+}
+
+/// Replay a cache hit: decode the stored proof (it carries the
+/// transformed function), restore the verdict, and fold the unit's stored
+/// deterministic metric delta into the worker registry — which is what
+/// makes a warm run's `Snapshot::deterministic` view byte-identical to a
+/// cold one's. Returns `None` when the entry does not decode (corruption,
+/// version skew), in which case the caller falls through to a miss.
+fn replay_cache_hit(pass: &str, entry: &CacheEntry, tel: &Telemetry) -> Option<ItemResult> {
+    let t = Instant::now();
+    let unit = proof_from_bytes(&entry.proof).ok()?;
+    let outcome = entry_to_outcome(entry)?;
+    let stored = Snapshot::from_json(&entry.metrics_json).ok()?;
+    tel.count("cache.hits", 1);
+    tel.registry().merge_snapshot(&stored);
+    let io = t.elapsed();
+    tel.registry().record_duration("time.io", io);
+    tel.registry().record_duration("time.io.decode", io);
+    let record = StepRecord {
+        pass: pass.to_string(),
+        func: unit.src.name.clone(),
+        outcome,
+        proof_bytes: entry.proof_bytes as usize,
+    };
+    Some(ItemResult {
+        unit,
+        record,
+        orig: Duration::ZERO,
+        pcal: Duration::ZERO,
+        io,
+        pcheck: Duration::ZERO,
+        span: None,
+        bundle: None,
+    })
+}
+
+/// [`process_item`] behind the content-addressed validation cache.
+///
+/// The key folds everything the verdict depends on: the function's exact
+/// bytes, the pass, the pass configuration, the checker configuration and
+/// version, and the wire format (so cached byte counts match the run's
+/// format). A hit replays the stored verdict, proof, and deterministic
+/// metric delta; a miss runs the unit against a fresh per-item registry so
+/// that delta can be captured verbatim into the new entry, then folds it
+/// into the worker registry — a cold cached run records exactly what an
+/// uncached run does.
+#[allow(clippy::too_many_arguments)]
+fn process_item_cached(
+    pass: &str,
+    f: &Function,
+    config: &PassConfig,
+    checker: &CheckerConfig,
+    opts: &ParallelOptions,
+    tel: &Telemetry,
+    scratch: &mut CodecScratch,
+    cache: &ValidationCache,
+) -> ItemResult {
+    let func_bytes = serialize_bin::to_bytes(f).expect("function serializes");
+    let key = CacheKey::for_unit(
+        &func_bytes,
+        pass,
+        config.cache_token(),
+        checker.cache_token(),
+        opts.format.wire_token(),
+    );
+    if let Some(entry) = cache.get(key) {
+        if let Some(result) = replay_cache_hit(pass, &entry, tel) {
+            return result;
+        }
+    }
+    tel.count("cache.misses", 1);
+    let item_registry = Arc::new(Registry::new());
+    let mut itel = Telemetry::with_registry(Arc::clone(&item_registry));
+    if let Some(trace) = tel.trace_handle() {
+        itel = itel.with_trace(trace);
+    }
+    let result = process_item(pass, f, config, checker, opts, &itel, scratch);
+    let snapshot = item_registry.snapshot();
+    tel.registry().merge_snapshot(&snapshot);
+    let (tag, reason) = outcome_to_entry(&result.record.outcome);
+    let mut entry = CacheEntry::new(tag, reason);
+    entry.proof = proof_to_bytes_v2(&result.unit).unwrap_or_default();
+    entry.proof_bytes = result.record.proof_bytes as u64;
+    entry.metrics_json = snapshot.deterministic().to_json();
+    if cache.insert(key, entry) {
+        tel.count("cache.evictions", 1);
+    }
+    result
+}
+
 /// Run one pass over a module with full validation instrumentation,
 /// fanning the per-function work across `opts.jobs` workers.
 ///
@@ -250,15 +395,24 @@ pub fn run_validated_pass_parallel(
     let n = m.functions.len();
     let workers = opts.jobs.max(1).min(n.max(1));
 
-    // Chunked injector: worker `w` owns functions [w*n/workers,
-    // (w+1)*n/workers), popped from the front; thieves take from the back
-    // so owner and thief rarely contend on the same end.
+    // Spans and forensics need the unit to actually run (they capture its
+    // live execution), so the cache stands aside while either is on.
+    let cache = opts
+        .cache
+        .as_deref()
+        .filter(|_| !opts.spans && !opts.forensics);
+
+    // Interleaved size-rank seeding: rank functions by statement count
+    // (largest first, original index as tie-break) and deal rank `r` to
+    // worker `r mod workers`, so every deque starts with a comparable mix
+    // of big and small functions instead of one worker owning the
+    // expensive head of the module. Owners pop from the front; thieves
+    // take from the back, so owner and thief rarely contend on the same
+    // end.
+    let mut ranked: Vec<usize> = (0..n).collect();
+    ranked.sort_by_key(|&i| (std::cmp::Reverse(m.functions[i].stmt_count()), i));
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-        .map(|w| {
-            let lo = w * n / workers;
-            let hi = (w + 1) * n / workers;
-            Mutex::new((lo..hi).collect())
-        })
+        .map(|w| Mutex::new(ranked.iter().copied().skip(w).step_by(workers).collect()))
         .collect();
 
     let mut slots: Vec<Option<ItemResult>> = (0..n).map(|_| None).collect();
@@ -273,6 +427,7 @@ pub fn run_validated_pass_parallel(
                         wtel = wtel.with_trace(trace);
                     }
                     let mut produced: Vec<(usize, ItemResult)> = Vec::new();
+                    let mut scratch = CodecScratch::default();
                     let mut steals = 0u64;
                     loop {
                         let mut item = queues[w].lock().expect("queue poisoned").pop_front();
@@ -289,8 +444,22 @@ pub fn run_validated_pass_parallel(
                             }
                         }
                         let Some(i) = item else { break };
-                        let result =
-                            process_item(name, &m.functions[i], config, checker, opts, &wtel);
+                        let f = &m.functions[i];
+                        let result = match cache {
+                            Some(cache) => process_item_cached(
+                                name,
+                                f,
+                                config,
+                                checker,
+                                opts,
+                                &wtel,
+                                &mut scratch,
+                                cache,
+                            ),
+                            None => {
+                                process_item(name, f, config, checker, opts, &wtel, &mut scratch)
+                            }
+                        };
                         produced.push((i, result));
                     }
                     // Recorded even at zero so the counter exists for

@@ -8,9 +8,11 @@
 //! `I/O` (JSON round-trip of the proof), and `PCheck` (the checker).
 
 use crate::config::{PassConfig, PassOutcome};
+use crellvm_core::serialize_bin::{DecodeScratch, EncodeScratch};
 use crellvm_core::{
-    proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_json, validate_with_telemetry,
-    CheckerConfig, ProofUnit, Verdict,
+    proof_from_bytes_v1, proof_from_bytes_v2_with, proof_from_json, proof_to_bytes,
+    proof_to_bytes_v2_into, proof_to_json, validate_with_telemetry, CheckerConfig, ProofUnit,
+    Verdict,
 };
 use crellvm_ir::Module;
 use crellvm_telemetry::forensics::ForensicBundle;
@@ -20,31 +22,112 @@ use std::time::{Duration, Instant};
 /// On-the-wire encoding of proofs between the compiler and the checker.
 ///
 /// The paper ships JSON and measures it as the dominant cost column; §7
-/// proposes binary proofs as the remedy. Both are available here so the
-/// `ablation_proof_format` bench can quantify the difference end-to-end.
+/// proposes binary proofs as the remedy. All three stages are available
+/// so the benches can quantify each step of the remedy end-to-end: the
+/// paper's JSON, the tag-free v1 binary codec, and the dictionary-coded
+/// v2 container that is now the engine default.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ProofFormat {
     /// JSON text, as in the paper's pipeline.
-    #[default]
     Json,
-    /// The compact binary codec of `crellvm_core::serialize_bin`.
+    /// The tag-free v1 binary codec of `crellvm_core::serialize_bin`.
+    BinaryV1,
+    /// Wire format v2: dictionary-coded strings plus block/assertion
+    /// delta tables. The default on-the-wire format.
+    #[default]
     Binary,
 }
 
+/// Reusable per-worker codec buffers: the encode output, the v2 encoder
+/// dictionary/body, and the v2 decoder span table all survive across
+/// proofs, removing the per-unit allocation churn from the io phase.
+#[derive(Debug, Default)]
+pub struct CodecScratch {
+    enc: EncodeScratch,
+    dec: DecodeScratch,
+    /// The last encoded proof (`encode_into` output, `decode_scratch`
+    /// input).
+    pub buf: Vec<u8>,
+}
+
 impl ProofFormat {
-    /// Serialize + deserialize one proof, returning the wire size.
-    pub fn roundtrip(self, unit: &ProofUnit) -> (ProofUnit, usize) {
+    /// Serialize one proof into `scratch.buf`, returning the wire size.
+    pub fn encode_into(self, unit: &ProofUnit, scratch: &mut CodecScratch) -> usize {
         match self {
             ProofFormat::Json => {
                 let json = proof_to_json(unit).expect("serialize proof");
-                let n = json.len();
-                (proof_from_json(&json).expect("deserialize proof"), n)
+                scratch.buf.clear();
+                scratch.buf.extend_from_slice(json.as_bytes());
+            }
+            ProofFormat::BinaryV1 => {
+                scratch.buf = proof_to_bytes(unit).expect("serialize proof");
             }
             ProofFormat::Binary => {
-                let bytes = proof_to_bytes(unit).expect("serialize proof");
-                let n = bytes.len();
-                (proof_from_bytes(&bytes).expect("deserialize proof"), n)
+                proof_to_bytes_v2_into(unit, &mut scratch.enc, &mut scratch.buf)
+                    .expect("serialize proof");
             }
+        }
+        scratch.buf.len()
+    }
+
+    /// Deserialize the proof last encoded into `scratch.buf`.
+    pub fn decode_scratch(self, scratch: &mut CodecScratch) -> ProofUnit {
+        let CodecScratch { dec, buf, .. } = scratch;
+        match self {
+            ProofFormat::Json => {
+                let json = std::str::from_utf8(buf).expect("json proof is utf-8");
+                proof_from_json(json).expect("deserialize proof")
+            }
+            ProofFormat::BinaryV1 => proof_from_bytes_v1(buf).expect("deserialize proof"),
+            ProofFormat::Binary => proof_from_bytes_v2_with(buf, dec).expect("deserialize proof"),
+        }
+    }
+
+    /// Serialize + deserialize one proof, returning the wire size.
+    pub fn roundtrip(self, unit: &ProofUnit) -> (ProofUnit, usize) {
+        let mut scratch = CodecScratch::default();
+        self.roundtrip_with(unit, &mut scratch)
+    }
+
+    /// [`Self::roundtrip`] with reusable codec buffers.
+    pub fn roundtrip_with(
+        self,
+        unit: &ProofUnit,
+        scratch: &mut CodecScratch,
+    ) -> (ProofUnit, usize) {
+        let n = self.encode_into(unit, scratch);
+        (self.decode_scratch(scratch), n)
+    }
+
+    /// Short stable name (CLI values, telemetry suffixes, bundle field).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProofFormat::Json => "json",
+            ProofFormat::BinaryV1 => "binary-v1",
+            ProofFormat::Binary => "binary-v2",
+        }
+    }
+
+    /// The `io.bytes.*` counter fed by this format.
+    #[must_use]
+    pub fn bytes_counter(self) -> &'static str {
+        match self {
+            ProofFormat::Json => "io.bytes.json",
+            ProofFormat::BinaryV1 => "io.bytes.v1",
+            ProofFormat::Binary => "io.bytes.v2",
+        }
+    }
+
+    /// Stable discriminant mixed into validation-cache keys (entries must
+    /// not be shared across wire formats — step records carry the wire
+    /// size).
+    #[must_use]
+    pub fn wire_token(self) -> u64 {
+        match self {
+            ProofFormat::Json => 0,
+            ProofFormat::BinaryV1 => 1,
+            ProofFormat::Binary => 2,
         }
     }
 }
@@ -227,15 +310,17 @@ pub fn run_validated_pass_traced(
     report.time_pcal += pcal;
     tel.registry().record_duration("time.pcal", pcal);
 
+    let mut scratch = CodecScratch::default();
     for unit in &out.proofs {
         tel.count("pipeline.steps", 1);
 
         let t2 = Instant::now();
-        let (unit2, wire_len) = format.roundtrip(unit);
+        let (unit2, wire_len) = format.roundtrip_with(unit, &mut scratch);
         let io = t2.elapsed();
         report.time_io += io;
         tel.registry().record_duration("time.io", io);
         tel.observe("pipeline.proof_bytes", wire_len as u64);
+        tel.count(format.bytes_counter(), wire_len as u64);
 
         let t3 = Instant::now();
         let outcome = match validate_with_telemetry(&unit2, checker, tel) {
@@ -387,39 +472,52 @@ mod tests {
     }
 
     #[test]
-    fn binary_proof_format_agrees_with_json() {
+    fn binary_proof_formats_agree_with_json() {
         let m = parse_module(PROGRAM).unwrap();
         let config = PassConfig::default();
         let checker = CheckerConfig::sound();
         let mut jrep = PipelineReport::default();
-        let mut brep = PipelineReport::default();
         let mut jm = m.clone();
-        let mut bm = m;
         for pass in PASS_ORDER {
             jm =
                 run_validated_pass_with(pass, &jm, &config, &checker, ProofFormat::Json, &mut jrep);
-            bm = run_validated_pass_with(
-                pass,
-                &bm,
-                &config,
-                &checker,
-                ProofFormat::Binary,
-                &mut brep,
-            );
         }
         verify_module(&jm).unwrap();
-        assert_eq!(
-            crellvm_ir::printer::print_module(&jm),
-            crellvm_ir::printer::print_module(&bm)
-        );
-        assert_eq!(jrep.steps.len(), brep.steps.len());
-        for (a, b) in jrep.steps.iter().zip(&brep.steps) {
-            assert_eq!(a.outcome, b.outcome, "@{} ({})", a.func, a.pass);
-            assert!(
-                b.proof_bytes < a.proof_bytes,
-                "binary not smaller at @{}",
-                a.func
+        for format in [ProofFormat::BinaryV1, ProofFormat::Binary] {
+            let mut brep = PipelineReport::default();
+            let mut bm = m.clone();
+            for pass in PASS_ORDER {
+                bm = run_validated_pass_with(pass, &bm, &config, &checker, format, &mut brep);
+            }
+            assert_eq!(
+                crellvm_ir::printer::print_module(&jm),
+                crellvm_ir::printer::print_module(&bm)
             );
+            assert_eq!(jrep.steps.len(), brep.steps.len());
+            for (a, b) in jrep.steps.iter().zip(&brep.steps) {
+                assert_eq!(a.outcome, b.outcome, "@{} ({})", a.func, a.pass);
+                assert!(
+                    b.proof_bytes < a.proof_bytes,
+                    "{} not smaller at @{}",
+                    format.name(),
+                    a.func
+                );
+            }
         }
+    }
+
+    #[test]
+    fn format_metadata_is_stable() {
+        assert_eq!(ProofFormat::default(), ProofFormat::Binary);
+        for f in [
+            ProofFormat::Json,
+            ProofFormat::BinaryV1,
+            ProofFormat::Binary,
+        ] {
+            assert_eq!(f.wire_token(), f.wire_token());
+        }
+        assert_eq!(ProofFormat::Binary.name(), "binary-v2");
+        assert_eq!(ProofFormat::Binary.bytes_counter(), "io.bytes.v2");
+        assert_eq!(ProofFormat::BinaryV1.bytes_counter(), "io.bytes.v1");
     }
 }

@@ -202,6 +202,11 @@ pub struct ForensicBundle {
     /// The full proof unit as JSON (replayable via
     /// `crellvm-core::forensics::replay`).
     pub proof_json: String,
+    /// On-the-wire proof format name of the session that produced the
+    /// bundle (`"json"`, `"binary-v1"`, or `"binary-v2"`). The proof in
+    /// the bundle itself is always JSON for replayability; this records
+    /// which transport encoding the failing proof actually travelled in.
+    pub wire_format: String,
 }
 
 impl ForensicBundle {
@@ -257,6 +262,10 @@ impl ForensicBundle {
             "proof_json".to_string(),
             Value::Str(self.proof_json.clone()),
         );
+        obj.insert(
+            "wire_format".to_string(),
+            Value::Str(self.wire_format.clone()),
+        );
         Value::Obj(obj).to_json()
     }
 
@@ -311,6 +320,11 @@ impl ForensicBundle {
                 })
                 .unwrap_or_default(),
             proof_json: str_field("proof_json")?,
+            wire_format: root
+                .get("wire_format")
+                .and_then(Value::as_str)
+                .unwrap_or("json")
+                .to_string(),
         })
     }
 }
@@ -427,10 +441,39 @@ mod tests {
             commands: vec!["rule a".into(), "rule b".into(), "auto Transitivity".into()],
             minimized: vec![1],
             proof_json: "{\"pass\":\"gvn\"}".into(),
+            wire_format: "binary-v2".into(),
         };
         let back = ForensicBundle::from_json(&bundle.to_json()).unwrap();
         assert_eq!(back, bundle);
         assert!(ForensicBundle::from_json("{}").is_err());
         assert!(ForensicBundle::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn bundle_wire_format_defaults_to_json_for_old_documents() {
+        // A v1 bundle document written before `wire_format` existed must
+        // still parse, with the transport defaulted to "json".
+        let bundle = ForensicBundle {
+            version: 1,
+            pass: "gvn".into(),
+            func: "main".into(),
+            at: "block entry, row 3".into(),
+            reason: "r".into(),
+            class: FailureClass::Internal,
+            failing_assertion: None,
+            rule_history: Vec::new(),
+            src_ir: String::new(),
+            tgt_ir: String::new(),
+            commands: Vec::new(),
+            minimized: Vec::new(),
+            proof_json: "{}".into(),
+            wire_format: "json".into(),
+        };
+        let mut doc = bundle.to_json();
+        let needle = ",\"wire_format\":\"json\"";
+        assert!(doc.contains(needle));
+        doc = doc.replace(needle, "");
+        let back = ForensicBundle::from_json(&doc).unwrap();
+        assert_eq!(back, bundle);
     }
 }

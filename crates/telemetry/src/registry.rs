@@ -384,14 +384,19 @@ impl Snapshot {
 
     /// The scheduling-independent restriction of the snapshot: drops every
     /// timer (wall-clock measurements vary run to run) and the counters
-    /// that describe the *schedule* rather than the *work* —
-    /// `pipeline.jobs` and the per-worker `validate.steal.*` counters.
-    /// Everything that remains is a commutative sum over per-function
-    /// work items, so it is byte-identical at any `--jobs` value; the
-    /// determinism tests compare exactly this view.
+    /// that describe the *schedule* or *history* rather than the *work* —
+    /// `pipeline.jobs`, the per-worker `validate.steal.*` counters, and the
+    /// `cache.*` hit/miss/eviction counters (which depend on what previous
+    /// runs left in the validation cache). Everything that remains is a
+    /// commutative sum over per-function work items, so it is
+    /// byte-identical at any `--jobs` value and with any cache state; the
+    /// determinism and cache-correctness tests compare exactly this view.
     pub fn deterministic(&self) -> Snapshot {
-        let schedule_scoped =
-            |name: &str| name == "pipeline.jobs" || name.starts_with("validate.steal.");
+        let schedule_scoped = |name: &str| {
+            name == "pipeline.jobs"
+                || name.starts_with("validate.steal.")
+                || name.starts_with("cache.")
+        };
         Snapshot {
             counters: self
                 .counters
@@ -561,6 +566,8 @@ mod tests {
         r.add("pipeline.jobs", 8);
         r.add("validate.steal.w0", 3);
         r.add("validate.steal.w7", 1);
+        r.add("cache.hits", 11);
+        r.add("cache.misses", 2);
         r.observe("checker.assertion_preds", 5);
         r.record_duration("time.orig", Duration::from_millis(2));
         let det = r.snapshot().deterministic();
@@ -570,6 +577,7 @@ mod tests {
             .counters
             .keys()
             .any(|k| k.starts_with("validate.steal.")));
+        assert!(!det.counters.keys().any(|k| k.starts_with("cache.")));
         assert!(det.timers.is_empty());
         assert!(det.histograms.contains_key("checker.assertion_preds"));
     }

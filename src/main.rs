@@ -49,8 +49,8 @@
 
 use crellvm::diff::diff_modules;
 use crellvm::erhl::{
-    proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_json, replay,
-    validate_with_telemetry, CheckerConfig, Verdict,
+    proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_bytes_v2, proof_to_json, replay,
+    validate_with_telemetry, CacheEntry, CacheKey, CheckerConfig, ValidationCache, Verdict,
 };
 use crellvm::gen::{generate_module, GenConfig};
 use crellvm::interp::{run_main, RunConfig, UndefPolicy};
@@ -68,7 +68,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--jobs N] [--metrics FILE] [--trace FILE] [--spans FILE] [--forensics-dir DIR]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] [--jobs N] <proof-file>...\n  crellvm report [--format text|openmetrics|chrome-trace] <file>\n  crellvm forensics <bundle.forensic.json>"
+        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--format json|binary-v1|binary-v2] [--jobs N] [--cache-dir DIR] [--metrics FILE] [--trace FILE] [--spans FILE] [--forensics-dir DIR]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] [--jobs N] [--cache-dir DIR] <proof-file>...\n  crellvm report [--format text|openmetrics|chrome-trace] <file>\n  crellvm forensics <bundle.forensic.json>"
     );
     ExitCode::from(2)
 }
@@ -103,6 +103,24 @@ fn parse_jobs(arg: Option<&String>) -> Result<usize, String> {
     Ok(if n == 0 { default_jobs() } else { n })
 }
 
+fn parse_format(arg: Option<&String>) -> Result<ProofFormat, String> {
+    match arg.ok_or("--format needs a name")?.as_str() {
+        "json" => Ok(ProofFormat::Json),
+        "binary-v1" => Ok(ProofFormat::BinaryV1),
+        "binary-v2" | "binary" => Ok(ProofFormat::Binary),
+        other => Err(format!(
+            "unknown proof format {other} (json|binary-v1|binary-v2)"
+        )),
+    }
+}
+
+fn open_cache(arg: Option<&String>) -> Result<Arc<ValidationCache>, String> {
+    let dir = arg.ok_or("--cache-dir needs a path")?;
+    Ok(Arc::new(
+        ValidationCache::with_dir(dir).map_err(|e| format!("{dir}: {e}"))?,
+    ))
+}
+
 fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
     let file = args.first().ok_or("opt: missing input file")?;
     let mut passes: Vec<String> = Vec::new();
@@ -110,7 +128,9 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
     let mut emit = false;
     let mut proof_dir: Option<String> = None;
     let mut binary = false;
+    let mut format = ProofFormat::default();
     let mut jobs = default_jobs();
+    let mut cache: Option<Arc<ValidationCache>> = None;
     let mut metrics: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut spans: Option<String> = None;
@@ -130,7 +150,14 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
             "--emit" => emit = true,
             "--proof-dir" => proof_dir = Some(it.next().ok_or("--proof-dir needs a path")?.clone()),
             "--binary" => binary = true,
+            "--format" => {
+                format = parse_format(it.next())?;
+                // An explicit binary format selects binary proof dumps
+                // too; plain `--proof-dir` keeps the JSON default.
+                binary = !matches!(format, ProofFormat::Json);
+            }
             "--jobs" => jobs = parse_jobs(it.next())?,
+            "--cache-dir" => cache = Some(open_cache(it.next())?),
             "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a path")?.clone()),
             "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
             "--spans" => spans = Some(it.next().ok_or("--spans needs a path")?.clone()),
@@ -156,13 +183,10 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
     let checker = CheckerConfig::sound();
     let opts = ParallelOptions {
         jobs,
-        format: if binary {
-            ProofFormat::Binary
-        } else {
-            ProofFormat::Json
-        },
+        format,
         spans: spans.is_some(),
         forensics: forensics_dir.is_some(),
+        cache,
     };
     tel.count("pipeline.jobs", jobs as u64);
     let mut cur = load(file)?;
@@ -174,10 +198,17 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
             run_validated_pass_parallel(pass, &cur, &config, &checker, &opts, &tel, &mut report);
         if let Some(dir) = &proof_dir {
             for unit in &out.proofs {
+                // Binary dumps follow the selected wire format (v2 unless
+                // --format binary-v1 asked for the legacy encoding);
+                // `check` sniffs both.
                 let (path, bytes) = if binary {
+                    let bytes = match opts.format {
+                        ProofFormat::BinaryV1 => proof_to_bytes(unit),
+                        _ => proof_to_bytes_v2(unit),
+                    };
                     (
                         format!("{dir}/{pass}.{}.cpb", unit.src.name),
-                        proof_to_bytes(unit).map_err(|e| e.to_string())?,
+                        bytes.map_err(|e| e.to_string())?,
                     )
                 } else {
                     (
@@ -315,15 +346,42 @@ fn cmd_gen(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Reconstruct `check`'s output line from a cached verdict; `None` for a
+/// verdict tag from a future version (treated as a miss).
+fn check_line_from_entry(
+    path: &str,
+    unit: &crellvm::erhl::ProofUnit,
+    entry: &CacheEntry,
+) -> Option<(String, bool)> {
+    use crellvm::erhl::cache::{OUTCOME_FAILED, OUTCOME_NOT_SUPPORTED, OUTCOME_VALID};
+    match entry.outcome {
+        OUTCOME_VALID => Some((
+            format!("{path}: valid ({} @{})", unit.pass, unit.src.name),
+            false,
+        )),
+        OUTCOME_NOT_SUPPORTED => Some((format!("{path}: not-supported ({})", entry.reason), false)),
+        OUTCOME_FAILED => {
+            let (at, reason) = entry.reason.split_once('\n')?;
+            Some((
+                format!("{path}: FAILED at {at}\n    reason: {reason}"),
+                true,
+            ))
+        }
+        _ => None,
+    }
+}
+
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let mut trace: Option<String> = None;
     let mut jobs = default_jobs();
+    let mut cache: Option<Arc<ValidationCache>> = None;
     let mut files: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
             "--jobs" => jobs = parse_jobs(it.next())?,
+            "--cache-dir" => cache = Some(open_cache(it.next())?),
             _ => files.push(a),
         }
     }
@@ -336,19 +394,24 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let mut units = Vec::with_capacity(files.len());
     for path in files {
         let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        // The cache key is the proof's exact bytes plus the checker
+        // token: re-checking an unchanged proof file with an unchanged
+        // checker replays the stored verdict.
+        let key = CacheKey::for_proof(&bytes, checker.cache_token());
         let unit = if path.ends_with(".cpb") {
             proof_from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?
         } else {
             let text = String::from_utf8(bytes).map_err(|e| format!("{path}: {e}"))?;
             proof_from_json(&text).map_err(|e| format!("{path}: {e}"))?
         };
-        units.push((path, unit));
+        units.push((path, key, unit));
     }
     // Fan validation across workers; results are scattered back by file
     // index so the output order matches the command line at any -j.
     let workers = jobs.max(1).min(units.len());
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<(String, bool)>> = units.iter().map(|_| None).collect();
+    let cache = cache.as_deref();
     let worker_outputs = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -361,21 +424,63 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                     let mut produced = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((path, unit)) = units.get(i) else {
+                        let Some((path, key, unit)) = units.get(i) else {
                             break;
                         };
-                        let item = match validate_with_telemetry(unit, &checker, &wtel) {
-                            Ok(Verdict::Valid) => (
-                                format!("{path}: valid ({} @{})", unit.pass, unit.src.name),
-                                false,
-                            ),
-                            Ok(Verdict::NotSupported(r)) => {
-                                (format!("{path}: not-supported ({r})"), false)
+                        let cached = cache.and_then(|c| c.get(*key)).and_then(|e| {
+                            let item = check_line_from_entry(path.as_str(), unit, &e)?;
+                            wtel.count("cache.hits", 1);
+                            Some(item)
+                        });
+                        let item = match cached {
+                            Some(item) => item,
+                            None => {
+                                if cache.is_some() {
+                                    wtel.count("cache.misses", 1);
+                                }
+                                let (item, entry) =
+                                    match validate_with_telemetry(unit, &checker, &wtel) {
+                                        Ok(Verdict::Valid) => (
+                                            (
+                                                format!(
+                                                    "{path}: valid ({} @{})",
+                                                    unit.pass, unit.src.name
+                                                ),
+                                                false,
+                                            ),
+                                            CacheEntry::new(
+                                                crellvm::erhl::cache::OUTCOME_VALID,
+                                                String::new(),
+                                            ),
+                                        ),
+                                        Ok(Verdict::NotSupported(r)) => (
+                                            (format!("{path}: not-supported ({r})"), false),
+                                            CacheEntry::new(
+                                                crellvm::erhl::cache::OUTCOME_NOT_SUPPORTED,
+                                                r,
+                                            ),
+                                        ),
+                                        Err(e) => (
+                                            (
+                                                format!(
+                                                    "{path}: FAILED at {}\n    reason: {}",
+                                                    e.at, e.reason
+                                                ),
+                                                true,
+                                            ),
+                                            CacheEntry::new(
+                                                crellvm::erhl::cache::OUTCOME_FAILED,
+                                                format!("{}\n{}", e.at, e.reason),
+                                            ),
+                                        ),
+                                    };
+                                if let Some(c) = cache {
+                                    if c.insert(*key, entry) {
+                                        wtel.count("cache.evictions", 1);
+                                    }
+                                }
+                                item
                             }
-                            Err(e) => (
-                                format!("{path}: FAILED at {}\n    reason: {}", e.at, e.reason),
-                                true,
-                            ),
                         };
                         produced.push((i, item));
                     }
@@ -463,7 +568,16 @@ fn render_report(snap: &Snapshot) -> String {
             .and_then(|n| n.parse::<u64>().ok())
             .unwrap_or(u64::MAX)
     });
-    if counter("pipeline.jobs") > 0 || hits + misses > 0 || !steals.is_empty() {
+    let cache_hits = counter("cache.hits");
+    let cache_misses = counter("cache.misses");
+    let io_rows = ["io.bytes.json", "io.bytes.v1", "io.bytes.v2"];
+    let io_total: u64 = io_rows.iter().map(|r| counter(r)).sum();
+    if counter("pipeline.jobs") > 0
+        || hits + misses > 0
+        || !steals.is_empty()
+        || cache_hits + cache_misses > 0
+        || io_total > 0
+    {
         let _ = writeln!(out);
         let _ = writeln!(out, "{:<34} {:>12}", "engine", "value");
         if counter("pipeline.jobs") > 0 {
@@ -474,6 +588,25 @@ fn render_report(snap: &Snapshot) -> String {
             let _ = writeln!(out, "  {:<32} {misses:>12}", "expr.intern.misses");
             let rate = 100.0 * hits as f64 / (hits + misses) as f64;
             let _ = writeln!(out, "  {:<32} {:>11.1}%", "expr.intern.hit_rate", rate);
+        }
+        if cache_hits + cache_misses > 0 {
+            let _ = writeln!(out, "  {:<32} {cache_hits:>12}", "cache.hits");
+            let _ = writeln!(out, "  {:<32} {cache_misses:>12}", "cache.misses");
+            let rate = 100.0 * cache_hits as f64 / (cache_hits + cache_misses) as f64;
+            let _ = writeln!(out, "  {:<32} {:>11.1}%", "cache.hit_rate", rate);
+            if counter("cache.evictions") > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {:<32} {:>12}",
+                    "cache.evictions",
+                    counter("cache.evictions")
+                );
+            }
+        }
+        for row in io_rows {
+            if counter(row) > 0 {
+                let _ = writeln!(out, "  {:<32} {:>12}", row, counter(row));
+            }
         }
         for (name, n) in steals {
             let _ = writeln!(out, "  {:<32} {n:>12}", &name["validate.".len()..]);

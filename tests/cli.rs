@@ -259,6 +259,98 @@ fn metrics_trace_and_report() {
 }
 
 #[test]
+fn cache_dir_serves_warm_runs_with_identical_verdicts() {
+    let prog = tmpfile("cache.cll");
+    let out = run(&[
+        "gen",
+        "--seed",
+        "41",
+        "--functions",
+        "3",
+        "--out",
+        prog.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let dir = std::env::temp_dir().join("crellvm_cli_cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let metrics_cold = tmpfile("cache_cold.json");
+    let metrics_warm = tmpfile("cache_warm.json");
+
+    let run_cached = |metrics: &PathBuf| {
+        run(&[
+            "opt",
+            prog.to_str().unwrap(),
+            "--cache-dir",
+            dir.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+    };
+    let cold = run_cached(&metrics_cold);
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stdout)
+    );
+    let warm = run_cached(&metrics_warm);
+    assert!(warm.status.success());
+
+    // Same verdict lines, cold and warm.
+    assert_eq!(cold.stdout, warm.stdout, "verdicts differ on a warm run");
+
+    let snap = |p: &PathBuf| {
+        crellvm::telemetry::Snapshot::from_json(&std::fs::read_to_string(p).unwrap()).unwrap()
+    };
+    let (cold_snap, warm_snap) = (snap(&metrics_cold), snap(&metrics_warm));
+    let steps = cold_snap.counters["pipeline.steps"];
+    assert!(steps > 0);
+    assert_eq!(cold_snap.counters.get("cache.misses"), Some(&steps));
+    assert_eq!(warm_snap.counters.get("cache.hits"), Some(&steps));
+    assert_eq!(
+        cold_snap.deterministic().to_json(),
+        warm_snap.deterministic().to_json(),
+        "deterministic metrics differ between cold and warm --cache-dir runs"
+    );
+
+    // The report renders the cache and io byte columns.
+    let out = run(&["report", metrics_warm.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache.hits"), "{stdout}");
+    assert!(stdout.contains("cache.hit_rate"), "{stdout}");
+    assert!(stdout.contains("io.bytes.v2"), "{stdout}");
+
+    // `check --cache-dir`: a proof checked twice hits on the second run.
+    let pdir = std::env::temp_dir().join("crellvm_cli_cache_proofs");
+    let _ = std::fs::remove_dir_all(&pdir);
+    let out = run(&[
+        "opt",
+        prog.to_str().unwrap(),
+        "--pass",
+        "mem2reg",
+        "--proof-dir",
+        pdir.to_str().unwrap(),
+        "--binary",
+    ]);
+    assert!(out.status.success());
+    let proofs: Vec<String> = std::fs::read_dir(&pdir)
+        .unwrap()
+        .map(|e| e.unwrap().path().to_str().unwrap().to_string())
+        .collect();
+    assert!(!proofs.is_empty());
+    let cdir = std::env::temp_dir().join("crellvm_cli_cache_check");
+    let _ = std::fs::remove_dir_all(&cdir);
+    let mut args: Vec<&str> = vec!["check", "--cache-dir", cdir.to_str().unwrap()];
+    args.extend(proofs.iter().map(String::as_str));
+    let first = run(&args);
+    assert!(first.status.success());
+    let second = run(&args);
+    assert!(second.status.success());
+    assert_eq!(first.stdout, second.stdout);
+}
+
+#[test]
 fn bad_usage_is_reported() {
     let out = run(&[]);
     assert_eq!(out.status.code(), Some(2));

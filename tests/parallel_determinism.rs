@@ -32,11 +32,15 @@ fn test_corpus() -> Vec<Module> {
     modules
 }
 
-fn run_at(modules: &[Module], jobs: usize) -> (Vec<String>, PipelineReport, Snapshot) {
+fn run_with(
+    modules: &[Module],
+    jobs: usize,
+    format: ProofFormat,
+) -> (Vec<String>, PipelineReport, Snapshot) {
     let tel = Telemetry::disabled();
     let opts = ParallelOptions {
         jobs,
-        format: ProofFormat::Json,
+        format,
         ..ParallelOptions::default()
     };
     let mut merged = PipelineReport::default();
@@ -47,6 +51,10 @@ fn run_at(modules: &[Module], jobs: usize) -> (Vec<String>, PipelineReport, Snap
         outputs.push(print_module(&out));
     }
     (outputs, merged, tel.registry().snapshot())
+}
+
+fn run_at(modules: &[Module], jobs: usize) -> (Vec<String>, PipelineReport, Snapshot) {
+    run_with(modules, jobs, ProofFormat::Json)
 }
 
 #[test]
@@ -105,4 +113,61 @@ fn schedule_scoped_metrics_are_the_only_difference() {
 
     // Scrubbing exactly those plus the timers makes them equal.
     assert_eq!(snap1.deterministic(), snap8.deterministic());
+}
+
+#[test]
+fn determinism_holds_with_the_default_v2_wire_format() {
+    // The default on-the-wire format is binary v2 (dictionary-coded
+    // string table); the engine must stay a pure performance knob there
+    // too, and v2 must report strictly smaller proofs than JSON.
+    let modules = &test_corpus()[..3];
+    let (out1, rep1, snap1) = run_with(modules, 1, ProofFormat::default());
+    let (out8, rep8, snap8) = run_with(modules, 8, ProofFormat::default());
+    assert_eq!(out1, out8);
+    assert_eq!(snap1.deterministic(), snap8.deterministic());
+    assert!(snap1.counters.get("io.bytes.v2").copied().unwrap_or(0) > 0);
+
+    let (_, repj, _) = run_with(modules, 1, ProofFormat::Json);
+    let v2_bytes: usize = rep1.steps.iter().map(|s| s.proof_bytes).sum();
+    let json_bytes: usize = repj.steps.iter().map(|s| s.proof_bytes).sum();
+    assert!(
+        v2_bytes < json_bytes,
+        "v2 ({v2_bytes}) not smaller than JSON ({json_bytes})"
+    );
+    assert_eq!(rep1.steps.len(), rep8.steps.len());
+}
+
+#[test]
+fn two_worker_steals_stay_under_the_seeding_bound() {
+    // With interleaved size-rank seeding at jobs=2, the two deques start
+    // balanced to within one item, and an item is stolen at most once —
+    // only after the thief's own deque ran dry. Once a deque is empty it
+    // stays empty, so all steals in one pass run drain from a single
+    // sibling deque: at most ⌈n/2⌉ per (module, pass). A contiguous-chunk
+    // seeding regression (one worker owning the module's expensive head)
+    // shows up here as a steal count blowing past the bound.
+    let modules = test_corpus();
+    let tel = Telemetry::disabled();
+    let opts = ParallelOptions {
+        jobs: 2,
+        format: ProofFormat::Json,
+        ..ParallelOptions::default()
+    };
+    let mut bound = 0u64;
+    for m in &modules {
+        let _ = run_pipeline_parallel(m, &PassConfig::default(), &opts, &tel);
+        // Four passes per pipeline, each reseeding both deques.
+        bound += 4 * (m.functions.len() as u64).div_ceil(2);
+    }
+    let snap = tel.registry().snapshot();
+    let steals: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("validate.steal."))
+        .map(|(_, v)| *v)
+        .sum();
+    assert!(
+        steals <= bound,
+        "steals {steals} exceed the seeding bound {bound}"
+    );
 }
