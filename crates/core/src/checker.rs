@@ -517,6 +517,13 @@ pub fn validate_with_telemetry(
         tel.emit(step("not_supported").str("reason", reason.clone()));
         return Ok(Verdict::NotSupported(reason.clone()));
     }
+    if config.accept_unchecked {
+        // The test-only maximally weakened checker: accept blindly so the
+        // oracle matrix suite can show the refinement oracle stands alone.
+        tel.count("checker.valid", 1);
+        tel.emit(step("valid"));
+        return Ok(Verdict::Valid);
+    }
     let ctx = Ctx {
         unit,
         config,

@@ -27,6 +27,12 @@ pub struct CheckerConfig {
     /// Treat trapping constant expressions as ordinary constants (the
     /// unsound PR33673 assumption). **Off by default.**
     pub trust_trapping_constexprs: bool,
+    /// Accept every supported proof unit without checking anything — the
+    /// maximally weakened checker. **Test-only**: exists so the oracle
+    /// matrix suite can pin that the interpreter-based refinement oracle
+    /// catches miscompilations *independently* of the ERHL checker.
+    /// **Off by default.**
+    pub accept_unchecked: bool,
 }
 
 impl CheckerConfig {
@@ -40,6 +46,16 @@ impl CheckerConfig {
     pub fn with_unsound_constexpr_rule() -> CheckerConfig {
         CheckerConfig {
             trust_trapping_constexprs: true,
+            ..CheckerConfig::default()
+        }
+    }
+
+    /// The maximally weakened, accept-everything configuration (test-only;
+    /// see [`CheckerConfig::accept_unchecked`]).
+    pub fn weakened_accept_all() -> CheckerConfig {
+        CheckerConfig {
+            accept_unchecked: true,
+            ..CheckerConfig::default()
         }
     }
 
@@ -56,9 +72,10 @@ impl CheckerConfig {
     /// constant).
     #[must_use]
     pub fn cache_token_versioned(&self, version: u32) -> u64 {
-        let mut bytes = Vec::with_capacity(5);
+        let mut bytes = Vec::with_capacity(6);
         bytes.extend_from_slice(&version.to_le_bytes());
         bytes.push(u8::from(self.trust_trapping_constexprs));
+        bytes.push(u8::from(self.accept_unchecked));
         crate::serialize_bin::fnv64(&bytes)
     }
 }
@@ -180,6 +197,56 @@ impl InfRule {
             InfRule::Arith(ar) => ar.name(),
         }
     }
+}
+
+/// Every registered inference-rule name, as reported under the
+/// `checker.rule.<name>` telemetry counters: the base ERHL rules, the
+/// arithmetic library, and the composite (Fig 16-style) library.
+///
+/// The rule-coverage audit (`tests/rule_coverage.rs`) diffs campaign
+/// telemetry against this list; keep it in sync with the `name()`
+/// implementations of [`InfRule`], [`ArithRule`], and
+/// [`crate::rules_composite::CompositeRule`].
+pub fn all_rule_names() -> &'static [&'static str] {
+    &[
+        // Base ERHL rules (InfRule).
+        "transitivity",
+        "substitute",
+        "substitute_rev",
+        "intro_ghost",
+        "intro_eq",
+        "intro_lessdef_undef",
+        "reduce_maydiff_non_physical",
+        "reduce_maydiff_lessdef",
+        "icmp_to_eq",
+        // Arithmetic library (ArithRule).
+        "identity",
+        "add_assoc",
+        "add_sub_fold",
+        "sub_add_fold",
+        "xor_xor_fold",
+        "cast_cast",
+        "gep_gep_fold",
+        // Composite library (CompositeRule).
+        "sub_const_add",
+        "add_const_not",
+        "sub_const_not",
+        "sub_or_xor",
+        "add_xor_and",
+        "add_or_and",
+        "and_or_absorb",
+        "or_and_absorb",
+        "mul_neg",
+        "shl_shl",
+        "icmp_eq_sub",
+        "icmp_eq_add_add",
+        "icmp_eq_xor_xor",
+        "select_icmp_eq",
+        "or_xor",
+        "sub_sub",
+        "or_and_xor",
+        "zext_trunc_and",
+    ]
 }
 
 /// Why a rule application failed.

@@ -65,7 +65,7 @@ pub use checker::{
 pub use equivbeh::check_equiv_beh;
 pub use expr::{Expr, ExprInterner, ExprRef, Side, TReg, TValue};
 pub use forensics::{forensic_bundle, replay, ReplayReport};
-pub use infrule::{apply_inf, apply_inf_owned, CheckerConfig, InfError, InfRule};
+pub use infrule::{all_rule_names, apply_inf, apply_inf_owned, CheckerConfig, InfError, InfRule};
 pub use postcond::{calc_post_cmd, calc_post_phi};
 pub use proof::{Loc, ProofBuilder, ProofUnit, RowShape, RulePos, SlotId};
 pub use rules_arith::ArithRule;

@@ -1,0 +1,371 @@
+//! The three-way oracle: ERHL checker × interpreter refinement × diff.
+//!
+//! Our checker has no Coq proof behind it (unlike the paper's), so it is
+//! itself part of the trusted computing base and must be adversarially
+//! cross-checked. For every `(program, pass)` translation step, the oracle
+//! gathers three *independent* observations:
+//!
+//! 1. **Checker** — the ERHL verdict on each proof unit (the thing under
+//!    test);
+//! 2. **Refinement** — interpreter-based `Beh(src) ⊇ Beh(tgt)` on a set of
+//!    generated concrete inputs (environment seeds + undef resolutions);
+//! 3. **Diff** — alpha-equivalence of the *observed* target against the
+//!    honest pass output, which detects injected mutations even when no
+//!    concrete run can witness them (e.g. stripping `inbounds`, which only
+//!    *removes* behaviours).
+//!
+//! [`classify`] folds the observations into the verdict lattice the
+//! campaign reports on: **soundness alarm** (checker accepts, refinement
+//! refutes), **completeness gap** (checker rejects a translation that is
+//! clean and holds on every conclusive run), **agree**, and
+//! **inconclusive**. A fuel-exhausted run is *never* evidence: it can
+//! neither witness a violation nor count as a pass, so it only ever
+//! produces `Inconclusive` (the ISSUE-level contract this module pins).
+
+use crellvm_core::{validate_with_telemetry, CheckerConfig, ProofUnit, ValidationError, Verdict};
+use crellvm_interp::{check_refinement, run_main, End, RunConfig, RunResult, UndefPolicy};
+use crellvm_ir::Module;
+use crellvm_telemetry::Telemetry;
+
+/// Oracle configuration: how hard the refinement leg tries.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Number of concrete input seeds to execute both modules on. Each
+    /// seed drives the external environment (`get` results) *and* the
+    /// undef resolution policy.
+    pub input_seeds: u64,
+    /// Interpreter fuel per run; an exhausted run makes the refinement
+    /// observation inconclusive, never a pass.
+    pub fuel: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> OracleConfig {
+        OracleConfig {
+            input_seeds: 4,
+            fuel: RunConfig::default().fuel,
+        }
+    }
+}
+
+/// The checker leg, folded over all proof units of the step.
+#[derive(Debug, Clone)]
+pub enum CheckerSummary {
+    /// Every supported unit validated.
+    Accept,
+    /// At least one unit failed validation (the first, in function order).
+    Reject(Box<ValidationError>),
+    /// No failure, but at least one unit was not supported (#NS).
+    Abstain(String),
+}
+
+/// The interpreter-refinement leg over all generated inputs.
+#[derive(Debug, Clone)]
+pub enum RefinementSummary {
+    /// `Beh(src) ⊇ Beh(tgt)` held on every input, and every run ended
+    /// conclusively (no fuel exhaustion).
+    Holds,
+    /// A concrete input witnessed a refinement violation.
+    Fails {
+        /// The violating input seed (replay with the same seed).
+        input_seed: u64,
+        /// The refinement error, rendered.
+        reason: String,
+    },
+    /// No violation found, but some runs exhausted their fuel — counted
+    /// as *no evidence*, never as a pass.
+    Inconclusive {
+        /// How many of the input seeds ran out of fuel.
+        out_of_fuel: u64,
+    },
+}
+
+/// The structural-diff leg: observed target vs honest pass output.
+#[derive(Debug, Clone)]
+pub enum DiffSummary {
+    /// The observed target is alpha-equivalent to the honest output.
+    Clean,
+    /// The observed target differs (first difference, rendered) — the
+    /// injected-mutation detector.
+    Differs(String),
+}
+
+/// One step's worth of oracle observations.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// The ERHL checker leg.
+    pub checker: CheckerSummary,
+    /// The interpreter refinement leg.
+    pub refinement: RefinementSummary,
+    /// The structural diff leg.
+    pub diff: DiffSummary,
+}
+
+/// The oracle verdict lattice (see module docs and DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleVerdict {
+    /// Checker accepts, refinement refutes: the checker would have let a
+    /// miscompilation through. The campaign's nonzero-exit condition.
+    SoundnessAlarm,
+    /// Checker rejects a translation that is structurally clean and whose
+    /// refinement held conclusively on every input: the checker (or the
+    /// proof generator) is too weak.
+    CompletenessGap,
+    /// The oracles tell a consistent story.
+    Agree,
+    /// Not enough evidence to cross-check (#NS unit, fuel exhaustion
+    /// without a witness, rejection with nothing to corroborate).
+    Inconclusive,
+}
+
+impl OracleVerdict {
+    /// Stable lowercase name used in reports and telemetry counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleVerdict::SoundnessAlarm => "soundness_alarm",
+            OracleVerdict::CompletenessGap => "completeness_gap",
+            OracleVerdict::Agree => "agree",
+            OracleVerdict::Inconclusive => "inconclusive",
+        }
+    }
+}
+
+/// The [`RunConfig`] for input seed `k`: the seed drives both the
+/// external environment stream and the undef-resolution policy, so two
+/// oracles replaying the same `k` see the same world.
+pub fn input_run_config(k: u64, fuel: u64) -> RunConfig {
+    RunConfig {
+        fuel,
+        env_seed: k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC0FFEE,
+        undef: UndefPolicy::Seeded(k ^ 0x5EED_5EED),
+        ..RunConfig::default()
+    }
+}
+
+/// Execute the refinement leg: run `src` and `tgt` on every input seed
+/// and fold the outcomes (first violation wins; otherwise fuel exhaustion
+/// anywhere makes the summary inconclusive).
+pub fn refinement_leg(src: &Module, tgt: &Module, cfg: &OracleConfig) -> RefinementSummary {
+    let mut out_of_fuel = 0u64;
+    for k in 0..cfg.input_seeds {
+        let rc = input_run_config(k, cfg.fuel);
+        let rs = run_main(src, &rc);
+        let rt = run_main(tgt, &rc);
+        if let Err(e) = check_refinement(&rs, &rt) {
+            return RefinementSummary::Fails {
+                input_seed: k,
+                reason: e.to_string(),
+            };
+        }
+        if ran_out(&rs) || ran_out(&rt) {
+            out_of_fuel += 1;
+        }
+    }
+    if out_of_fuel > 0 {
+        RefinementSummary::Inconclusive { out_of_fuel }
+    } else {
+        RefinementSummary::Holds
+    }
+}
+
+fn ran_out(r: &RunResult) -> bool {
+    matches!(r.end, End::OutOfFuel)
+}
+
+/// Execute the checker leg over the step's proof units, in unit order.
+pub fn checker_leg(
+    units: &[ProofUnit],
+    checker: &CheckerConfig,
+    tel: &Telemetry,
+) -> CheckerSummary {
+    let mut abstained: Option<String> = None;
+    for unit in units {
+        match validate_with_telemetry(unit, checker, tel) {
+            Ok(Verdict::Valid) => {}
+            Ok(Verdict::NotSupported(r)) => {
+                abstained.get_or_insert(r);
+            }
+            Err(e) => return CheckerSummary::Reject(Box::new(e)),
+        }
+    }
+    match abstained {
+        Some(r) => CheckerSummary::Abstain(r),
+        None => CheckerSummary::Accept,
+    }
+}
+
+/// Execute the diff leg: observed target module vs the honest output.
+pub fn diff_leg(honest: &Module, observed: &Module) -> DiffSummary {
+    match crellvm_diff::diff_modules(honest, observed) {
+        Ok(()) => DiffSummary::Clean,
+        Err(e) => DiffSummary::Differs(e.to_string()),
+    }
+}
+
+/// Gather all three observations for one `(program, pass)` step.
+///
+/// * `src` — the pass input module;
+/// * `observed` — the (possibly mutation-injected) pass output actually
+///   being shipped;
+/// * `honest` — the unmutated pass output (diff baseline);
+/// * `units` — the proof units whose `tgt` matches `observed`.
+pub fn observe_step(
+    src: &Module,
+    observed: &Module,
+    honest: &Module,
+    units: &[ProofUnit],
+    checker: &CheckerConfig,
+    cfg: &OracleConfig,
+    tel: &Telemetry,
+) -> Observation {
+    Observation {
+        checker: checker_leg(units, checker, tel),
+        refinement: refinement_leg(src, observed, cfg),
+        diff: diff_leg(honest, observed),
+    }
+}
+
+/// Fold one step's observations into the verdict lattice.
+pub fn classify(obs: &Observation) -> OracleVerdict {
+    match (&obs.checker, &obs.refinement) {
+        (CheckerSummary::Accept, RefinementSummary::Fails { .. }) => OracleVerdict::SoundnessAlarm,
+        (CheckerSummary::Accept, RefinementSummary::Holds) => OracleVerdict::Agree,
+        (CheckerSummary::Accept, RefinementSummary::Inconclusive { .. }) => {
+            OracleVerdict::Inconclusive
+        }
+        (CheckerSummary::Reject(_), RefinementSummary::Fails { .. }) => OracleVerdict::Agree,
+        (CheckerSummary::Reject(_), rest) => {
+            if matches!(obs.diff, DiffSummary::Differs(_)) {
+                // The rejection is justified by the injected difference
+                // even when no concrete run can witness it (e.g. a
+                // stripped `inbounds`, which only removes behaviours).
+                OracleVerdict::Agree
+            } else if matches!(rest, RefinementSummary::Holds) {
+                OracleVerdict::CompletenessGap
+            } else {
+                OracleVerdict::Inconclusive
+            }
+        }
+        (CheckerSummary::Abstain(_), _) => OracleVerdict::Inconclusive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reject() -> CheckerSummary {
+        CheckerSummary::Reject(Box::new(ValidationError {
+            func: "f".into(),
+            pass: "gvn".into(),
+            at: "row".into(),
+            reason: "test".into(),
+            rule_history: Vec::new(),
+            failing_assertion: None,
+        }))
+    }
+
+    #[test]
+    fn lattice_corners() {
+        let obs = |checker, refinement, diff| Observation {
+            checker,
+            refinement,
+            diff,
+        };
+        use CheckerSummary::*;
+        use DiffSummary::*;
+        use RefinementSummary::*;
+        // Accept row.
+        assert_eq!(
+            classify(&obs(
+                Accept,
+                Fails {
+                    input_seed: 0,
+                    reason: String::new()
+                },
+                Clean
+            )),
+            OracleVerdict::SoundnessAlarm
+        );
+        assert_eq!(classify(&obs(Accept, Holds, Clean)), OracleVerdict::Agree);
+        assert_eq!(
+            classify(&obs(Accept, Inconclusive { out_of_fuel: 1 }, Clean)),
+            OracleVerdict::Inconclusive
+        );
+        // Reject row: a witnessed violation or an injected diff justifies
+        // the rejection; a conclusive clean hold exposes a gap; fuel
+        // exhaustion proves nothing.
+        assert_eq!(
+            classify(&obs(
+                reject(),
+                Fails {
+                    input_seed: 1,
+                    reason: String::new()
+                },
+                Clean
+            )),
+            OracleVerdict::Agree
+        );
+        assert_eq!(
+            classify(&obs(reject(), Holds, Differs("x".into()))),
+            OracleVerdict::Agree
+        );
+        assert_eq!(
+            classify(&obs(reject(), Holds, Clean)),
+            OracleVerdict::CompletenessGap
+        );
+        assert_eq!(
+            classify(&obs(reject(), Inconclusive { out_of_fuel: 2 }, Clean)),
+            OracleVerdict::Inconclusive
+        );
+        // Abstain row.
+        assert_eq!(
+            classify(&obs(Abstain("ns".into()), Holds, Clean)),
+            OracleVerdict::Inconclusive
+        );
+    }
+
+    #[test]
+    fn out_of_fuel_is_never_a_pass() {
+        // A module whose main loops far beyond the configured fuel.
+        let m = crellvm_ir::parse_module(
+            r#"
+            declare @print(i32)
+            define @main() {
+            entry:
+              br label loop
+            loop:
+              %i = phi i32 [ 0, entry ], [ %j, loop ]
+              %j = add i32 %i, 1
+              %c = icmp slt i32 %j, 1000000
+              br i1 %c, label loop, label done
+            done:
+              call void @print(i32 %j)
+              ret void
+            }
+            "#,
+        )
+        .unwrap();
+        let cfg = OracleConfig {
+            input_seeds: 2,
+            fuel: 100,
+        };
+        match refinement_leg(&m, &m, &cfg) {
+            RefinementSummary::Inconclusive { out_of_fuel } => assert_eq!(out_of_fuel, 2),
+            other => panic!("expected inconclusive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_modules_hold() {
+        let m = crellvm_gen::generate_module(&crellvm_gen::GenConfig {
+            seed: 5,
+            ..Default::default()
+        });
+        assert!(matches!(
+            refinement_leg(&m, &m, &OracleConfig::default()),
+            RefinementSummary::Holds
+        ));
+        assert!(matches!(diff_leg(&m, &m), DiffSummary::Clean));
+    }
+}

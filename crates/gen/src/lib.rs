@@ -22,7 +22,13 @@
 //! ```
 
 pub mod corpus;
+pub mod mutate;
+pub mod prng;
 pub mod rand_prog;
 
 pub use corpus::{corpus, Benchmark, BENCHMARKS};
+pub use mutate::{
+    apply_mutation, mutate_function, mutation_sites, BugClass, Mutation, MutationPlan,
+};
+pub use prng::{SplitMix64, GEN_PRNG_VERSION};
 pub use rand_prog::{generate_module, FeatureMix, GenConfig};

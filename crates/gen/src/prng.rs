@@ -1,0 +1,160 @@
+//! The generator's inlined, explicitly versioned PRNG.
+//!
+//! Seed reproducibility is a public contract of the fuzzing engine: a
+//! finding bundle records only `(seed, generator config, pass config)`,
+//! and replaying it must regenerate the *same program* years later. An
+//! external `rand` dependency cannot promise that — its stream is allowed
+//! to change between versions — so the generator owns its PRNG.
+//!
+//! The algorithm is SplitMix64 (Steele, Lea & Flood, "Fast Splittable
+//! Pseudorandom Number Generators", OOPSLA 2014), chosen because it is
+//! tiny, seedable from a single `u64`, and statistically adequate for
+//! program generation. The sampling derivations (range reduction by
+//! modulo, 53-bit mantissa floats) are part of the versioned contract:
+//! changing *any* of them requires bumping [`GEN_PRNG_VERSION`].
+
+use std::ops::{Range, RangeInclusive};
+
+/// Version of the PRNG algorithm **and** its sampling derivations.
+///
+/// Recorded in campaign reports and finding bundles; a bundle produced
+/// under a different version is not replayable and must be rejected
+/// rather than silently regenerating a different program.
+pub const GEN_PRNG_VERSION: u32 = 1;
+
+/// SplitMix64: `state += γ; output = mix(state)` with the finalizer from
+/// the reference implementation.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Construct from a 64-bit seed. The seed is the initial state
+    /// directly (no pre-mixing), so seed 0 is a valid, distinct stream.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`: 53 mantissa bits.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Sample uniformly from a (half-open or inclusive) integer range.
+    ///
+    /// Reduction is by modulo over the span — slightly biased for spans
+    /// that do not divide 2⁶⁴, which is irrelevant at generator span
+    /// sizes and keeps the stream derivation trivially stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Ranges samplable to a `T` (implemented for the primitive integers).
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample(self, rng: &mut SplitMix64) -> T;
+}
+
+macro_rules! range_impl {
+    ($($ty:ty),*) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample(self, rng: &mut SplitMix64) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $ty
+                }
+            }
+
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample(self, rng: &mut SplitMix64) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (start as i128 + v as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+range_impl!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden outputs pinning the version-1 stream. If this test fails,
+    /// the PRNG changed: bump [`GEN_PRNG_VERSION`] and accept that every
+    /// recorded seed now generates a different program.
+    #[test]
+    fn version_1_stream_is_pinned() {
+        let mut r = SplitMix64::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+
+        let mut r = SplitMix64::seed_from_u64(42);
+        assert_eq!(r.next_u64(), 0xBDD7_3226_2FEB_6E95);
+        assert_eq!(GEN_PRNG_VERSION, 1);
+    }
+
+    #[test]
+    fn ranges_are_in_bounds_and_cover() {
+        let mut r = SplitMix64::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            let v = r.gen_range(0..10usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..200 {
+            let v = r.gen_range(-8i64..64);
+            assert!((-8..64).contains(&v));
+            let w = r.gen_range(2i64..=4);
+            assert!((2..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SplitMix64::seed_from_u64(1);
+        let hits = (0..2000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((380..=620).contains(&hits), "p=0.25 gave {hits}/2000");
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_streams() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(2);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+}

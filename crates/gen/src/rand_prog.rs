@@ -14,12 +14,11 @@
 //!   paper's Fig 6 feature distribution (vector 90%, aggregate 5.3%,
 //!   debug 1.5%, atomic 0.3%) — or all-`lifetime` in CSmith mode.
 
+use crate::prng::SplitMix64;
 use crellvm_ir::{
-    BinOp, BlockId, ExternDecl, Function, FunctionBuilder, IcmpPred, Inst, Module, RegId, Type,
-    Value,
+    BinOp, BlockId, Const, ConstExpr, ExternDecl, Function, FunctionBuilder, Global, IcmpPred,
+    Inst, Module, RegId, Type, Value,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Which unsupported-feature distribution to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -52,8 +51,8 @@ pub struct GenConfig {
     pub loops: bool,
     /// Probability (per function) of emitting one "bug bait" pattern —
     /// code shapes that trigger the historical LLVM bugs when their
-    /// switches are on (PR24179 / PR28562 / D38619), and are ordinary
-    /// correct code otherwise.
+    /// switches are on (PR24179 / PR28562 / PR33673 / D38619), and are
+    /// ordinary correct code otherwise.
     pub bug_bait_rate: f64,
 }
 
@@ -76,7 +75,7 @@ impl Default for GenConfig {
 struct Gen<'a> {
     b: FunctionBuilder,
     cur: BlockId,
-    rng: &'a mut StdRng,
+    rng: &'a mut SplitMix64,
     cfg: &'a GenConfig,
     /// Available i32 values (dominating the current point).
     env32: Vec<Value>,
@@ -137,7 +136,7 @@ impl Gen<'_> {
             // Instcombine fodder: identities and reassociation chains.
             30..=39 => {
                 let a = self.pick32();
-                match self.rng.gen_range(0..8) {
+                match self.rng.gen_range(0..12) {
                     0 => {
                         let n = self.name("z");
                         let r = self.b.bin(&n, BinOp::Add, Type::I32, a, 0i64);
@@ -200,6 +199,100 @@ impl Gen<'_> {
                         let n = self.name("ss");
                         let r = self.b.select(&n, Type::I32, c, a, bv);
                         self.env32.push(Value::Reg(r));
+                    }
+                    8 => {
+                        // The or/xor/and triangle: (a|b) - (a^b),
+                        // (a^b) + (a&b), (a|b) + (a&b), (a&b) | (a^b)
+                        // (sub-or-xor / add-xor-and / add-or-and /
+                        // or-and-xor fodder, sharing subterms).
+                        let bv = self.pick32();
+                        let n = self.name("po");
+                        let or_ = self.b.bin(&n, BinOp::Or, Type::I32, a.clone(), bv.clone());
+                        let n = self.name("px");
+                        let xor_ = self.b.bin(&n, BinOp::Xor, Type::I32, a.clone(), bv.clone());
+                        let n = self.name("pa");
+                        let and_ = self.b.bin(&n, BinOp::And, Type::I32, a, bv);
+                        let n = self.name("ps");
+                        let s = self.b.bin(&n, BinOp::Sub, Type::I32, or_, xor_);
+                        let n = self.name("p1");
+                        let t1 = self.b.bin(&n, BinOp::Add, Type::I32, xor_, and_);
+                        let n = self.name("p2");
+                        let t2 = self.b.bin(&n, BinOp::Add, Type::I32, or_, and_);
+                        let n = self.name("p3");
+                        let t3 = self.b.bin(&n, BinOp::Or, Type::I32, and_, xor_);
+                        for r in [s, t1, t2, t3] {
+                            self.env32.push(Value::Reg(r));
+                        }
+                    }
+                    9 => {
+                        // (0-a) * (0-b) (mul-neg fodder).
+                        let bv = self.pick32();
+                        let n = self.name("n1");
+                        let m1 = self.b.bin(&n, BinOp::Sub, Type::I32, 0i64, a);
+                        let n = self.name("n2");
+                        let m2 = self.b.bin(&n, BinOp::Sub, Type::I32, 0i64, bv);
+                        let n = self.name("mn");
+                        let m = self.b.bin(&n, BinOp::Mul, Type::I32, m1, m2);
+                        self.env32.push(Value::Reg(m));
+                    }
+                    10 => {
+                        // (a-b) ==/!= 0 and (a^c) ==/!= (b^c)
+                        // (icmp-eq-sub / icmp-eq-xor-xor fodder).
+                        let bv = self.pick32();
+                        let cv = self.pick32();
+                        let p = if self.rng.gen_bool(0.5) {
+                            IcmpPred::Eq
+                        } else {
+                            IcmpPred::Ne
+                        };
+                        let n = self.name("is");
+                        let s = self.b.bin(&n, BinOp::Sub, Type::I32, a.clone(), bv.clone());
+                        let n = self.name("ic");
+                        let c1 = self.b.icmp(&n, p, Type::I32, s, 0i64);
+                        let n = self.name("x1");
+                        let x1 = self.b.bin(&n, BinOp::Xor, Type::I32, a.clone(), cv.clone());
+                        let n = self.name("x2");
+                        let x2 = self
+                            .b
+                            .bin(&n, BinOp::Xor, Type::I32, bv.clone(), cv.clone());
+                        let n = self.name("ix");
+                        let c2 = self.b.icmp(&n, p, Type::I32, x1, x2);
+                        // (a^c)^c → a (xor-xor fodder).
+                        let n = self.name("xf");
+                        let xf = self.b.bin(&n, BinOp::Xor, Type::I32, x1, cv.clone());
+                        // (a+c) ==/!= (b+c) (icmp-eq-add-add fodder).
+                        let n = self.name("s1");
+                        let s1 = self.b.bin(&n, BinOp::Add, Type::I32, a, cv.clone());
+                        let n = self.name("s2");
+                        let s2 = self.b.bin(&n, BinOp::Add, Type::I32, bv, cv);
+                        let n = self.name("ia");
+                        let c3 = self.b.icmp(&n, p, Type::I32, s1, s2);
+                        self.env32.push(Value::Reg(xf));
+                        self.env1.push(Value::Reg(c1));
+                        self.env1.push(Value::Reg(c2));
+                        self.env1.push(Value::Reg(c3));
+                    }
+                    11 => {
+                        // C - ¬a (sub-const-not fodder), plus a constant
+                        // gep-of-gep chain when a multi-slot allocation is
+                        // in scope (gep-gep-fold fodder).
+                        let n = self.name("nt");
+                        let t = self.b.bin(&n, BinOp::Xor, Type::I32, a, -1i64);
+                        let c = self.rng.gen_range(-6i64..6);
+                        let n = self.name("sn");
+                        let r = self.b.bin(&n, BinOp::Sub, Type::I32, c, t);
+                        self.env32.push(Value::Reg(r));
+                        if let Some(&(p, size)) = self.ptrs.iter().find(|(_, size)| *size >= 2) {
+                            let c1 = self.rng.gen_range(0..size) as i64;
+                            let c2 = self.rng.gen_range(0..=(size as i64 - 1 - c1));
+                            let n = self.name("g1");
+                            let g1 = self.b.gep(&n, true, p, c1);
+                            let n = self.name("g2");
+                            let g2 = self.b.gep(&n, true, g1, c2);
+                            let n = self.name("gl");
+                            let l = self.b.load(&n, Type::I32, g2);
+                            self.env32.push(Value::Reg(l));
+                        }
                     }
                     _ => {
                         // trunc/zext roundtrip (zext-trunc-and fodder) —
@@ -429,12 +522,45 @@ impl Gen<'_> {
         self.has_print = true;
     }
 
+    /// PR33673 bait: a single-store alloca whose only load sits in the
+    /// *opposite* branch arm, so the store does not dominate it, and the
+    /// stored value is a trapping constant expression over the module
+    /// global `@G` (the paper's §1.1 example shape).
+    fn bait_trapping_constexpr_store(&mut self) {
+        let n = self.name("bug_cslot");
+        let slot = self.b.alloca(&n, Type::I32, 1);
+        let cond = self.pick1();
+        let names: Vec<String> = ["buses", "bstores", "bcjoin"]
+            .iter()
+            .map(|n| self.name(n))
+            .collect();
+        let uses = self.b.block(&names[0]);
+        let stores = self.b.block(&names[1]);
+        let join = self.b.block(&names[2]);
+        self.b.cond_br(cond, uses, stores);
+
+        self.b.switch_to(uses);
+        let n = self.name("bcl");
+        let r = self.b.load(&n, Type::I32, slot);
+        self.b.call_void("print", vec![(Type::I32, Value::Reg(r))]);
+        self.b.br(join);
+
+        self.b.switch_to(stores);
+        self.b.store(Type::I32, trapping_constexpr(), slot);
+        self.b.br(join);
+
+        self.b.switch_to(join);
+        self.cur = join;
+        self.has_print = true;
+    }
+
     fn emit_bug_bait(&mut self) {
         // Weighted toward the gvn patterns: the paper's #F distribution is
         // 453 gvn vs 10 mem2reg (Fig 6).
         match self.rng.gen_range(0..20) {
-            0..=10 => self.bait_gep_pair(),
-            11..=17 => self.bait_wrong_polarity_pre(),
+            0..=7 => self.bait_gep_pair(),
+            8..=13 => self.bait_wrong_polarity_pre(),
+            14..=16 => self.bait_trapping_constexpr_store(),
             _ => self.bait_load_before_store_loop(),
         }
     }
@@ -584,12 +710,34 @@ impl Gen<'_> {
     }
 }
 
+/// `sdiv(i32 1, sub(i32 ptrtoint(@G to i32), ptrtoint(@G to i32)))` — the
+/// PR33673 trigger: semantically a division by zero, but syntactically a
+/// "constant" the buggy mem2reg assumes never traps.
+fn trapping_constexpr() -> Value {
+    let p2i = Const::Expr(Box::new(ConstExpr::PtrToInt(
+        Const::Global("G".into()),
+        Type::I32,
+    )));
+    let denom = Const::Expr(Box::new(ConstExpr::Bin(
+        BinOp::Sub,
+        Type::I32,
+        p2i.clone(),
+        p2i,
+    )));
+    Value::Const(Const::Expr(Box::new(ConstExpr::Bin(
+        BinOp::SDiv,
+        Type::I32,
+        Const::int(Type::I32, 1),
+        denom,
+    ))))
+}
+
 /// Sample an unsupported-feature name.
-fn sample_feature(rng: &mut StdRng, mix: FeatureMix) -> String {
+fn sample_feature(rng: &mut SplitMix64, mix: FeatureMix) -> String {
     match mix {
         FeatureMix::Csmith => "lifetime.start".to_string(),
         FeatureMix::Benchmarks => {
-            let roll: f64 = rng.gen();
+            let roll = rng.gen_f64();
             if roll < 0.90 {
                 "vector.add".to_string()
             } else if roll < 0.953 {
@@ -605,7 +753,7 @@ fn sample_feature(rng: &mut StdRng, mix: FeatureMix) -> String {
     }
 }
 
-fn generate_function(name: &str, rng: &mut StdRng, cfg: &GenConfig) -> Function {
+fn generate_function(name: &str, rng: &mut SplitMix64, cfg: &GenConfig) -> Function {
     let mut b = FunctionBuilder::new(name, Some(Type::I32));
     let nparams = rng.gen_range(1..=3);
     let mut params = Vec::new();
@@ -679,8 +827,16 @@ fn generate_function(name: &str, rng: &mut StdRng, cfg: &GenConfig) -> Function 
 /// Generate a whole module: `functions` workers plus a `main` that calls
 /// each of them with constant arguments and prints the results.
 pub fn generate_module(cfg: &GenConfig) -> Module {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
     let mut m = Module::new();
+    // The anchor global for PR33673-shaped trapping constant expressions
+    // (`ptrtoint @G` differences); harmless when no bait references it.
+    m.globals.push(Global {
+        name: "G".into(),
+        ty: Type::I32,
+        size: 1,
+        init: None,
+    });
     m.declares.push(ExternDecl {
         name: "print".into(),
         ret: None,
@@ -805,7 +961,7 @@ mod tests {
 
     #[test]
     fn csmith_mix_is_all_lifetime() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         for _ in 0..20 {
             assert!(sample_feature(&mut rng, FeatureMix::Csmith).starts_with("lifetime"));
         }

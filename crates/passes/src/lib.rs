@@ -61,6 +61,7 @@ pub mod licm;
 pub mod mem2reg;
 pub mod parallel;
 pub mod pipeline;
+pub mod schedule;
 pub(crate) mod util;
 
 pub use config::{BugSet, PassConfig, PassOutcome};
@@ -75,3 +76,4 @@ pub use pipeline::{
     run_pipeline, run_pipeline_traced, CodecScratch, PipelineReport, ProofFormat, SpanItem,
     StepOutcome, StepRecord,
 };
+pub use schedule::{run_work_stealing, PoolOutput};

@@ -52,9 +52,8 @@ use crellvm_ir::{Function, Module};
 use crellvm_telemetry::forensics::ForensicBundle;
 use crellvm_telemetry::json::Value;
 use crellvm_telemetry::{Registry, Snapshot, SpanCollector, SpanNode, Telemetry};
-use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Options of the parallel validation engine.
@@ -402,96 +401,75 @@ pub fn run_validated_pass_parallel(
         .as_deref()
         .filter(|_| !opts.spans && !opts.forensics);
 
-    // Interleaved size-rank seeding: rank functions by statement count
-    // (largest first, original index as tie-break) and deal rank `r` to
-    // worker `r mod workers`, so every deque starts with a comparable mix
-    // of big and small functions instead of one worker owning the
-    // expensive head of the module. Owners pop from the front; thieves
-    // take from the back, so owner and thief rarely contend on the same
-    // end.
-    let mut ranked: Vec<usize> = (0..n).collect();
-    ranked.sort_by_key(|&i| (std::cmp::Reverse(m.functions[i].stmt_count()), i));
-    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-        .map(|w| Mutex::new(ranked.iter().copied().skip(w).step_by(workers).collect()))
-        .collect();
-
-    let mut slots: Vec<Option<ItemResult>> = (0..n).map(|_| None).collect();
-    let mut worker_outputs = std::thread::scope(|scope| {
-        let queues = &queues;
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    let registry = Arc::new(Registry::new());
-                    let mut wtel = Telemetry::with_registry(Arc::clone(&registry));
-                    if let Some(trace) = tel.trace_handle() {
-                        wtel = wtel.with_trace(trace);
-                    }
-                    let mut produced: Vec<(usize, ItemResult)> = Vec::new();
-                    let mut scratch = CodecScratch::default();
-                    let mut steals = 0u64;
-                    loop {
-                        let mut item = queues[w].lock().expect("queue poisoned").pop_front();
-                        if item.is_none() {
-                            for off in 1..workers {
-                                let victim = (w + off) % workers;
-                                let stolen =
-                                    queues[victim].lock().expect("queue poisoned").pop_back();
-                                if stolen.is_some() {
-                                    steals += 1;
-                                    item = stolen;
-                                    break;
-                                }
-                            }
-                        }
-                        let Some(i) = item else { break };
-                        let f = &m.functions[i];
-                        let result = match cache {
-                            Some(cache) => process_item_cached(
-                                name,
-                                f,
-                                config,
-                                checker,
-                                opts,
-                                &wtel,
-                                &mut scratch,
-                                cache,
-                            ),
-                            None => {
-                                process_item(name, f, config, checker, opts, &wtel, &mut scratch)
-                            }
-                        };
-                        produced.push((i, result));
-                    }
-                    // Recorded even at zero so the counter exists for
-                    // every worker in the report.
-                    registry.add(&format!("validate.steal.w{w}"), steals);
-                    (produced, registry.snapshot())
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("validation worker panicked"))
-            .collect::<Vec<_>>()
-    });
+    // Fan out over the shared work-stealing pool (see `crate::schedule`):
+    // functions are dealt by interleaved statement-count rank, each worker
+    // records into its own registry and reuses its own codec scratch, and
+    // results come back scattered by function index.
+    struct WorkerState {
+        registry: Arc<Registry>,
+        wtel: Telemetry,
+        scratch: CodecScratch,
+    }
+    let pool = crate::schedule::run_work_stealing(
+        n,
+        workers,
+        |i| m.functions[i].stmt_count(),
+        |_w| {
+            let registry = Arc::new(Registry::new());
+            let mut wtel = Telemetry::with_registry(Arc::clone(&registry));
+            if let Some(trace) = tel.trace_handle() {
+                wtel = wtel.with_trace(trace);
+            }
+            WorkerState {
+                registry,
+                wtel,
+                scratch: CodecScratch::default(),
+            }
+        },
+        |_w, state, i| {
+            let f = &m.functions[i];
+            match cache {
+                Some(cache) => process_item_cached(
+                    name,
+                    f,
+                    config,
+                    checker,
+                    opts,
+                    &state.wtel,
+                    &mut state.scratch,
+                    cache,
+                ),
+                None => process_item(
+                    name,
+                    f,
+                    config,
+                    checker,
+                    opts,
+                    &state.wtel,
+                    &mut state.scratch,
+                ),
+            }
+        },
+        |w, state, steals| {
+            // Recorded even at zero so the counter exists for every
+            // worker in the report.
+            state.registry.add(&format!("validate.steal.w{w}"), steals);
+            state.registry.snapshot()
+        },
+    );
 
     // Merge per-worker registries in worker order (every metric is an
     // order-independent sum; the fixed order keeps even timer totals
     // reproducible given identical durations).
-    for (produced, snapshot) in &mut worker_outputs {
+    for snapshot in &pool.worker_summaries {
         tel.registry().merge_snapshot(snapshot);
-        for (i, result) in produced.drain(..) {
-            debug_assert!(slots[i].is_none(), "function {i} processed twice");
-            slots[i] = Some(result);
-        }
     }
 
     // Reassemble in function order: deterministic report and module
     // regardless of which worker ran what.
     let mut out = m.clone();
     let mut proofs = Vec::with_capacity(n);
-    for (f, slot) in m.functions.iter().zip(slots) {
-        let result = slot.expect("every function processed exactly once");
+    for (f, result) in m.functions.iter().zip(pool.results) {
         *out.function_mut(&f.name).expect("function exists") = result.unit.tgt.clone();
         report.time_orig += result.orig;
         report.time_pcal += result.pcal;

@@ -1,163 +1,88 @@
-//! The compiler developer workflow of the paper (§1.1): run the
-//! proof-generating compiler with each historical bug re-enabled and watch
-//! validation pinpoint the miscompilation with a logical reason.
+//! The compiler developer workflow of the paper (§1.1): re-enable each
+//! historical bug in turn and watch the campaign engine catch the
+//! miscompilation, attribute it, and emit a replayable repro — the same
+//! three-way oracle `crellvm fuzz` runs, so this walkthrough and the
+//! engine cannot drift apart.
 //!
 //! ```text
 //! cargo run --example bug_hunt
 //! ```
 
-use crellvm::erhl::validate;
-use crellvm::ir::parse_module;
-use crellvm::passes::{gvn, mem2reg, BugSet, PassConfig};
+use crellvm::fuzz::{run_campaign, CampaignConfig, FindingKind};
+use crellvm::passes::BugSet;
+use crellvm::telemetry::Telemetry;
 
-fn report(title: &str, proofs: &[crellvm::erhl::ProofUnit]) {
-    println!("--- {title} ---");
-    let mut failed = false;
-    for unit in proofs {
-        match validate(unit) {
-            Ok(v) => println!("  @{}: {v:?}", unit.src.name),
-            Err(e) => {
-                failed = true;
-                println!("  @{}: FAILED at {}", unit.src.name, e.at);
-                println!("      reason: {}", e.reason);
+/// One historical bug per row: its id (also a valid `--compiler` value,
+/// so the printed repro commands replay as-is) and the paper's
+/// description of the miscompilation.
+const BUGS: [(&str, &str); 4] = [
+    (
+        "pr24179",
+        "mem2reg promotes a load before the store in a loop to undef",
+    ),
+    (
+        "pr33673",
+        "mem2reg propagates a trapping constant expression (\"constants never trap\")",
+    ),
+    (
+        "pr28562",
+        "gvn erases the inbounds flag from the leader's hash",
+    ),
+    (
+        "d38619",
+        "gvn-PRE reads the branch constant off the wrong polarity edge",
+    ),
+];
+
+fn main() {
+    for (name, what) in BUGS {
+        println!("--- {name}: {what} ---");
+        let cfg = CampaignConfig {
+            seed_start: 0,
+            seed_end: 200,
+            jobs: 0,
+            // Honest pipeline only — the bug itself is the miscompiler.
+            mutate_rate: 0.0,
+            bugs: CampaignConfig::bugs_for_compiler(name).expect("bug id"),
+            compiler: name.into(),
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&cfg, &Telemetry::disabled());
+        let mut caught = report.findings_of(FindingKind::Rejection);
+        match caught.next() {
+            Some(f) => {
+                println!("  miscompilation detected (file a compiler bug!)");
+                println!("  seed {} pass {} @{}", f.seed, f.pass, f.func);
+                println!("  reason: {}", f.reason);
+                println!(
+                    "  attribution: {:?}, forensic bundle: {}",
+                    f.attributed_bugs,
+                    if f.forensic_bundle_json.is_some() {
+                        "minimized + replayable"
+                    } else {
+                        "none"
+                    }
+                );
+                println!("  repro: {}", f.repro);
+                println!("  (+{} more finding(s))\n", caught.count());
             }
+            None => println!("  no findings — bug not exercised by this corpus?\n"),
         }
+
+        // The fixed compiler on the same corpus must validate cleanly.
+        let fixed = CampaignConfig {
+            bugs: BugSet::none(),
+            compiler: "fixed".into(),
+            ..cfg
+        };
+        let clean = run_campaign(&fixed, &Telemetry::disabled());
+        assert!(
+            clean.findings.is_empty(),
+            "fixed compiler still produced findings"
+        );
+        println!(
+            "  fixed compiler on the same corpus: all {} steps validate\n",
+            clean.steps
+        );
     }
-    if failed {
-        println!("  => miscompilation detected (file a compiler bug!)\n");
-    } else {
-        println!("  => all translations validated\n");
-    }
-}
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // PR24179: the single-block promotion bug (paper §1.2, first example).
-    let loopy = parse_module(
-        r#"
-        declare @foo(i32)
-        define @main(i32 %n) {
-        entry:
-          %p = alloca i32
-          br label loop
-        loop:
-          %i = phi i32 [ 0, entry ], [ %i2, loop ]
-          %r = load i32, ptr %p
-          call void @foo(i32 %r)
-          store i32 42, ptr %p
-          %i2 = add i32 %i, 1
-          %c = icmp slt i32 %i2, %n
-          br i1 %c, label loop, label exit
-        exit:
-          ret void
-        }
-        "#,
-    )?;
-    let buggy = PassConfig::with_bugs(BugSet {
-        pr24179: true,
-        ..BugSet::default()
-    });
-    report(
-        "mem2reg with PR24179 (loads before stores in a loop → undef)",
-        &mem2reg(&loopy, &buggy).proofs,
-    );
-    report(
-        "mem2reg fixed on the same program",
-        &mem2reg(&loopy, &PassConfig::default()).proofs,
-    );
-
-    // PR28562/PR29057: gvn conflates gep inbounds with plain gep (§1.2,
-    // second example: bar(q1, q2) becomes bar(q1, q1)).
-    let geps = parse_module(
-        r#"
-        declare @bar(ptr, ptr)
-        define @main(ptr %p) {
-        entry:
-          %q1 = gep inbounds ptr %p, i64 10
-          %q2 = gep ptr %p, i64 10
-          call void @bar(ptr %q1, ptr %q2)
-          ret void
-        }
-        "#,
-    )?;
-    let buggy = PassConfig::with_bugs(BugSet {
-        pr28562: true,
-        ..BugSet::default()
-    });
-    report(
-        "gvn with PR28562 (inbounds flag erased from the hash)",
-        &gvn(&geps, &buggy).proofs,
-    );
-    report(
-        "gvn fixed on the same program",
-        &gvn(&geps, &PassConfig::default()).proofs,
-    );
-
-    // PR33673: a trapping constant expression propagated to a load the
-    // store does not dominate (§1.1's example).
-    let constexpr = parse_module(
-        r#"
-        global @G : i32[1]
-        declare @foo(i32)
-        define @main(i1 %c) {
-        entry:
-          %p = alloca i32
-          br i1 %c, label uses, label stores
-        uses:
-          %r = load i32, ptr %p
-          call void @foo(i32 %r)
-          ret void
-        stores:
-          store i32 sdiv(i32 1, sub(i32 ptrtoint(@G to i32), ptrtoint(@G to i32))), ptr %p
-          ret void
-        }
-        "#,
-    )?;
-    let buggy = PassConfig::with_bugs(BugSet {
-        pr33673: true,
-        ..BugSet::default()
-    });
-    report(
-        "mem2reg with PR33673 (constexprs assumed trap-free)",
-        &mem2reg(&constexpr, &buggy).proofs,
-    );
-
-    // D38619: PRE's branch-constant used with the wrong polarity.
-    let pre = parse_module(
-        r#"
-        declare @print(i32)
-        define @main(i32 %n, i1 %c1) {
-        entry:
-          br i1 %c1, label left, label right
-        left:
-          %w = mul i32 %n, 3
-          %cmp = icmp eq i32 %w, 12
-          br i1 %cmp, label other, label exit
-        other:
-          call void @print(i32 1)
-          ret void
-        right:
-          %l = mul i32 %n, 3
-          call void @print(i32 %l)
-          br label exit
-        exit:
-          %x = mul i32 %n, 3
-          call void @print(i32 %x)
-          ret void
-        }
-        "#,
-    )?;
-    let buggy = PassConfig::with_bugs(BugSet {
-        d38619: true,
-        ..BugSet::default()
-    });
-    report(
-        "gvn-PRE with D38619 (branch constant on the wrong edge)",
-        &gvn(&pre, &buggy).proofs,
-    );
-    report(
-        "gvn-PRE fixed on the same program",
-        &gvn(&pre, &PassConfig::default()).proofs,
-    );
-
-    Ok(())
 }

@@ -1,82 +1,61 @@
 //! The paper's §7 workflow as a user would run it: a random-testing
 //! campaign over generated programs, validating every translation of
-//! every pass under a chosen compiler version, and summarizing the
-//! verdicts — the CSmith experiment in miniature.
+//! every pass under a chosen compiler version — the CSmith experiment in
+//! miniature, now riding directly on the fuzzing engine's campaign API
+//! so this example and `crellvm fuzz` cannot drift apart.
 //!
 //! ```text
 //! cargo run --example random_testing               # 50 programs, LLVM 3.7.1 bugs
 //! cargo run --example random_testing -- 200 none   # 200 programs, fixed compiler
 //! ```
 
-use crellvm::gen::{generate_module, FeatureMix, GenConfig};
-use crellvm::passes::pipeline::{run_pipeline, StepOutcome, PASS_ORDER};
-use crellvm::passes::{BugSet, PassConfig};
-use std::collections::BTreeMap;
-
-#[derive(Default)]
-struct Tally {
-    valid: usize,
-    failed: usize,
-    not_supported: usize,
-    first_failure: Option<String>,
-}
+use crellvm::fuzz::{run_campaign, CampaignConfig};
+use crellvm::telemetry::Telemetry;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let n: u64 = args
         .next()
         .map_or(50, |a| a.parse().expect("program count"));
-    let bugs = match args.next().as_deref() {
-        None | Some("3.7.1") => BugSet::llvm_3_7_1(),
-        Some("5.0.1-pre") => BugSet::llvm_5_0_1_prepatch(),
-        Some("none" | "5.0.1-post") => BugSet::llvm_5_0_1_postpatch(),
-        Some(other) => panic!("unknown compiler version {other}"),
+    let compiler = args.next().unwrap_or_else(|| "3.7.1".to_string());
+    let bugs = CampaignConfig::bugs_for_compiler(&compiler)
+        .unwrap_or_else(|| panic!("unknown compiler version {compiler}"));
+
+    let cfg = CampaignConfig {
+        seed_start: 0,
+        seed_end: n,
+        jobs: 0,
+        // Pure random testing: no injected mutations, the campaign
+        // cross-checks the honest pipeline only.
+        mutate_rate: 0.0,
+        bugs,
+        compiler,
+        ..CampaignConfig::default()
     };
-    let config = PassConfig::with_bugs(bugs);
+    let report = run_campaign(&cfg, &Telemetry::disabled());
 
-    let mut per_pass: BTreeMap<&str, Tally> =
-        PASS_ORDER.iter().map(|p| (*p, Tally::default())).collect();
-    for seed in 0..n {
-        let m = generate_module(&GenConfig {
-            seed,
-            functions: 3,
-            feature_mix: FeatureMix::Csmith,
-            unsupported_rate: if seed % 4 == 0 { 0.3 } else { 0.0 },
-            ..GenConfig::default()
-        });
-        let (_, report) = run_pipeline(&m, &config);
-        for step in &report.steps {
-            let t = per_pass.get_mut(step.pass.as_str()).expect("known pass");
-            match &step.outcome {
-                StepOutcome::Valid => t.valid += 1,
-                StepOutcome::NotSupported(_) => t.not_supported += 1,
-                StepOutcome::Failed(reason) => {
-                    t.failed += 1;
-                    t.first_failure
-                        .get_or_insert_with(|| format!("seed {seed} @{}: {reason}", step.func));
-                }
-            }
+    println!(
+        "validated {} (program, pass) translation steps for seeds {}..{} under LLVM {}",
+        report.steps, report.seed_start, report.seed_end, report.compiler
+    );
+    for (verdict, count) in &report.verdicts {
+        println!("  {verdict:<17} {count}");
+    }
+    if report.attributed.is_empty() {
+        println!("no miscompilations detected — this compiler version is clean on this corpus");
+    } else {
+        println!("historical bugs caught (validation failures attributed by re-run):");
+        for (bug, count) in &report.attributed {
+            println!("  {bug:<10} {count} finding(s)");
+        }
+        if let Some(f) = report.findings.first() {
+            println!("first finding: seed {} pass {} @{}", f.seed, f.pass, f.func);
+            println!("  reason: {}", f.reason);
+            println!("  repro:  {}", f.repro);
         }
     }
-
-    println!("{n} random programs, all four passes:\n");
-    println!("{:<14}{:>8}{:>8}{:>8}", "pass", "#V", "#F", "#NS");
-    for (pass, t) in &per_pass {
-        println!(
-            "{pass:<14}{:>8}{:>8}{:>8}",
-            t.valid + t.failed,
-            t.failed,
-            t.not_supported
-        );
-    }
-    let mut any = false;
-    for (pass, t) in &per_pass {
-        if let Some(f) = &t.first_failure {
-            any = true;
-            println!("\nfirst {pass} failure: {f}");
-        }
-    }
-    if !any {
-        println!("\nno validation failures — this compiler version is clean on this corpus");
-    }
+    println!(
+        "rule coverage: {} inference rules fired across the campaign",
+        report.rule_coverage.len()
+    );
 }

@@ -15,8 +15,11 @@
 //! * [`passes`] — proof-generating optimizations: mem2reg, gvn (+PRE),
 //!   licm, instcombine, with injectable historical LLVM bugs.
 //! * [`diff`] — alpha-equivalence checking (the `llvm-diff` analogue).
-//! * [`gen`] — random program generation and the synthetic benchmark
-//!   corpus.
+//! * [`gen`] — random program generation, the synthetic benchmark
+//!   corpus, and the seeded miscompilation injector.
+//! * [`fuzz`] — the soundness fuzzing engine: a three-way
+//!   checker/interpreter/diff oracle and reproducible parallel
+//!   campaigns with `ddmin`-minimized, replayable findings.
 //! * [`telemetry`] — metrics registry, span timers, and the structured
 //!   JSON-lines proof-audit trace (zero external dependencies).
 //!
@@ -53,6 +56,7 @@
 
 pub use crellvm_core as erhl;
 pub use crellvm_diff as diff;
+pub use crellvm_fuzz as fuzz;
 pub use crellvm_gen as gen;
 pub use crellvm_interp as interp;
 pub use crellvm_ir as ir;

@@ -16,6 +16,13 @@
 //!     Render a metrics snapshot (or, for chrome-trace, a span file).
 //! crellvm forensics <bundle.forensic.json>
 //!     Inspect and replay a failure forensic bundle.
+//! crellvm fuzz [--seeds A..B] [--jobs N] [--mutate-rate R]
+//!              [--compiler 3.7.1|5.0.1-pre|none] [--out DIR]
+//!     Run a reproducible soundness fuzzing campaign: generate programs,
+//!     optimize, inject seeded miscompilations, and cross-check the
+//!     checker against interpreter refinement; exits non-zero iff a
+//!     soundness alarm (checker accepts, refinement refutes) survives
+//!     minimization.
 //! ```
 //!
 //! `opt --proof-dir DIR [--binary]` writes each translation's proof to
@@ -52,6 +59,7 @@ use crellvm::erhl::{
     proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_bytes_v2, proof_to_json, replay,
     validate_with_telemetry, CacheEntry, CacheKey, CheckerConfig, ValidationCache, Verdict,
 };
+use crellvm::fuzz::{run_campaign, write_findings, CampaignConfig};
 use crellvm::gen::{generate_module, GenConfig};
 use crellvm::interp::{run_main, RunConfig, UndefPolicy};
 use crellvm::ir::{parse_module, printer::print_module, verify_module, Module};
@@ -68,7 +76,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--format json|binary-v1|binary-v2] [--jobs N] [--cache-dir DIR] [--metrics FILE] [--trace FILE] [--spans FILE] [--forensics-dir DIR]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] [--jobs N] [--cache-dir DIR] <proof-file>...\n  crellvm report [--format text|openmetrics|chrome-trace] <file>\n  crellvm forensics <bundle.forensic.json>"
+        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--format json|binary-v1|binary-v2] [--jobs N] [--cache-dir DIR] [--metrics FILE] [--trace FILE] [--spans FILE] [--forensics-dir DIR]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] [--jobs N] [--cache-dir DIR] <proof-file>...\n  crellvm report [--format text|openmetrics|chrome-trace] <file>\n  crellvm forensics <bundle.forensic.json>\n  crellvm fuzz [--seeds A..B] [--jobs N] [--mutate-rate R] [--compiler 3.7.1|5.0.1-pre|none] [--out DIR] [--metrics FILE]"
     );
     ExitCode::from(2)
 }
@@ -774,6 +782,116 @@ fn cmd_forensics(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = CampaignConfig {
+        seed_start: 0,
+        seed_end: 100,
+        jobs: default_jobs(),
+        mutate_rate: 0.25,
+        ..CampaignConfig::default()
+    };
+    let mut out: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                let spec = it.next().ok_or("--seeds needs a range A..B")?;
+                let (a, b) = spec
+                    .split_once("..")
+                    .ok_or_else(|| format!("bad seed range {spec} (want A..B)"))?;
+                cfg.seed_start = a.parse().map_err(|e| format!("bad seed start: {e}"))?;
+                cfg.seed_end = b.parse().map_err(|e| format!("bad seed end: {e}"))?;
+                if cfg.seed_end <= cfg.seed_start {
+                    return Err(format!("empty seed range {spec}"));
+                }
+            }
+            "--jobs" => cfg.jobs = parse_jobs(it.next())?,
+            "--mutate-rate" => {
+                let r: f64 = it
+                    .next()
+                    .ok_or("--mutate-rate needs a probability")?
+                    .parse()
+                    .map_err(|e| format!("bad mutate rate: {e}"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("mutate rate {r} outside [0, 1]"));
+                }
+                cfg.mutate_rate = r;
+            }
+            "--compiler" => {
+                let name = it.next().ok_or("--compiler needs a population")?;
+                cfg.bugs = CampaignConfig::bugs_for_compiler(name).ok_or_else(|| {
+                    format!("unknown compiler {name} (3.7.1|5.0.1-pre|none, or a single bug id like pr24179)")
+                })?;
+                cfg.compiler = name.clone();
+            }
+            "--out" => out = Some(it.next().ok_or("--out needs a directory")?.clone()),
+            "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a path")?.clone()),
+            other => return Err(format!("fuzz: unknown flag {other}")),
+        }
+    }
+
+    let (registry, tel) = make_telemetry(None)?;
+    let report = run_campaign(&cfg, &tel);
+
+    println!(
+        "campaign: seeds {}..{} compiler {} mutate-rate {} ({} steps)",
+        report.seed_start, report.seed_end, report.compiler, report.mutate_rate, report.steps
+    );
+    for (verdict, n) in &report.verdicts {
+        println!("  {verdict:<17} {n}");
+    }
+    if !report.attributed.is_empty() {
+        println!("historical bugs caught:");
+        for (bug, n) in &report.attributed {
+            println!("  {bug:<17} {n}");
+        }
+    }
+    let fired = report.rule_coverage.len();
+    println!(
+        "rule coverage: {fired}/{} rules fired",
+        crellvm::erhl::all_rule_names().len()
+    );
+    for finding in &report.findings {
+        println!();
+        println!(
+            "[{:?}] seed {} pass {} @{}",
+            finding.kind, finding.seed, finding.pass, finding.func
+        );
+        println!("  reason: {}", finding.reason);
+        for m in &finding.mutations {
+            println!("  mutation: {} ({})", m.describe(), m.bug_class().name());
+        }
+        for bug in &finding.attributed_bugs {
+            println!("  attributed: {bug}");
+        }
+        println!("  repro: {}", finding.repro);
+    }
+
+    if let Some(dir) = &out {
+        let written = write_findings(&report, std::path::Path::new(dir))
+            .map_err(|e| format!("{dir}: {e}"))?;
+        println!();
+        println!("wrote {} files to {dir}/", written.len());
+    }
+    if let Some(path) = &metrics {
+        let json = registry.snapshot().to_json();
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    }
+
+    if report.has_soundness_alarm() {
+        eprintln!(
+            "SOUNDNESS ALARM: checker accepted a refinement-violating translation ({} finding(s))",
+            report
+                .findings_of(crellvm::fuzz::FindingKind::SoundnessAlarm)
+                .count()
+        );
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -787,6 +905,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(rest),
         "report" => cmd_report(rest),
         "forensics" => cmd_forensics(rest),
+        "fuzz" => cmd_fuzz(rest),
         _ => return usage(),
     };
     match result {
