@@ -287,6 +287,7 @@ impl Ctx<'_> {
         at: &str,
     ) -> Result<(), ValidationError> {
         for rule in rules {
+            let _g = self.rule_span(rule);
             self.count_rule(rule, at);
             q = match apply_inf_owned(rule, q, self.config) {
                 Ok(next) => next,
@@ -309,6 +310,7 @@ impl Ctx<'_> {
                 // `apply_inf_owned` hands the assertion back untouched on
                 // a failed premise, so speculative application needs no
                 // defensive clone.
+                let _g = self.rule_span(&rule);
                 match apply_inf_owned(&rule, q, self.config) {
                     Ok(next) => {
                         self.count_rule(&rule, at);
@@ -327,6 +329,18 @@ impl Ctx<'_> {
         let mut err = self.err(at, why);
         err.failing_assertion = Some(format!("have: {q}\nwant: {goal}"));
         Err(err)
+    }
+
+    /// Open a causal rule span (cat `rule`) when a collector is attached:
+    /// rule-granularity timing for the cost profile, nested under the
+    /// enclosing proof-command span. Rule application is a pure function
+    /// of the proof, so the span *structure* is identical at any thread
+    /// count — only the recorded durations vary, exactly like every other
+    /// span.
+    fn rule_span(&self, rule: &crate::infrule::InfRule) -> Option<crellvm_telemetry::CausalSpan> {
+        self.tel
+            .spanning()
+            .then(|| self.tel.causal(rule.name(), "rule"))
     }
 
     /// Record one inference-rule application (explicit or automation-
@@ -536,6 +550,14 @@ pub fn validate_with_telemetry(
         let interner = ctx.interner.borrow();
         tel.count("expr.intern.hits", interner.hits());
         tel.count("expr.intern.misses", interner.misses());
+        // Attribute the unit's interner effectiveness to the enclosing
+        // phase span (the engine's `pcheck`), so cost profiles can carry
+        // intern hit/miss columns per stack.
+        if tel.spanning() {
+            use crellvm_telemetry::json::Value as JsonValue;
+            tel.annotate("intern_hits", JsonValue::UInt(interner.hits()));
+            tel.annotate("intern_misses", JsonValue::UInt(interner.misses()));
+        }
     }
     match result {
         Ok(()) => {

@@ -43,7 +43,7 @@ use crellvm_ir::Module;
 use crellvm_passes::pipeline::PASS_ORDER;
 use crellvm_passes::{gvn, instcombine, licm, mem2reg, BugSet, PassConfig, PassOutcome};
 use crellvm_telemetry::forensics::ddmin;
-use crellvm_telemetry::{Registry, Telemetry};
+use crellvm_telemetry::{Progress, Registry, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -567,6 +567,19 @@ fn minimize_alarm(
 /// (`fuzz.verdict.*`), and the per-worker `fuzz.steal.*` counters are
 /// also merged into `tel`'s registry for observability.
 pub fn run_campaign(cfg: &CampaignConfig, tel: &Telemetry) -> CampaignReport {
+    run_campaign_with_progress(cfg, tel, None)
+}
+
+/// [`run_campaign`] with a live heartbeat: each finished seed pushes its
+/// step count (so the reporter's rate column reads as oracle executions
+/// per second) and any soundness alarms into `progress`. The reporter
+/// renders to stderr only, so the deterministic [`CampaignReport`] is
+/// byte-identical with or without it.
+pub fn run_campaign_with_progress(
+    cfg: &CampaignConfig,
+    tel: &Telemetry,
+    progress: Option<Arc<Progress>>,
+) -> CampaignReport {
     let n = (cfg.seed_end.saturating_sub(cfg.seed_start)) as usize;
     let jobs = if cfg.jobs == 0 {
         crellvm_passes::default_jobs()
@@ -587,7 +600,19 @@ pub fn run_campaign(cfg: &CampaignConfig, tel: &Telemetry) -> CampaignReport {
             let wtel = Telemetry::with_registry(Arc::clone(&registry));
             WorkerState { registry, wtel }
         },
-        |_w, state, i| run_seed(cfg.seed_start + i as u64, cfg, &state.wtel),
+        |_w, state, i| {
+            let outcome = run_seed(cfg.seed_start + i as u64, cfg, &state.wtel);
+            if let Some(p) = &progress {
+                p.add_done(outcome.verdicts.len() as u64);
+                let alarms = outcome
+                    .findings
+                    .iter()
+                    .filter(|f| f.kind == FindingKind::SoundnessAlarm)
+                    .count();
+                p.add_alarms(alarms as u64);
+            }
+            outcome
+        },
         |w, state, steals| {
             state.registry.add(&format!("fuzz.steal.w{w}"), steals);
             state.registry.snapshot()

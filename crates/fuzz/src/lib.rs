@@ -27,7 +27,8 @@ pub mod campaign;
 pub mod oracle;
 
 pub use campaign::{
-    run_campaign, write_findings, CampaignConfig, CampaignReport, Finding, FindingKind,
+    run_campaign, run_campaign_with_progress, write_findings, CampaignConfig, CampaignReport,
+    Finding, FindingKind,
 };
 pub use oracle::{
     classify, observe_step, CheckerSummary, DiffSummary, Observation, OracleConfig, OracleVerdict,

@@ -51,7 +51,7 @@ use crellvm_core::{
 use crellvm_ir::{Function, Module};
 use crellvm_telemetry::forensics::ForensicBundle;
 use crellvm_telemetry::json::Value;
-use crellvm_telemetry::{Registry, Snapshot, SpanCollector, SpanNode, Telemetry};
+use crellvm_telemetry::{Progress, Registry, Snapshot, SpanCollector, SpanNode, Telemetry};
 use std::num::NonZeroUsize;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -74,6 +74,10 @@ pub struct ParallelOptions {
     /// unit. Ignored while `spans` or `forensics` are on — those need the
     /// unit to actually run.
     pub cache: Option<Arc<ValidationCache>>,
+    /// Live heartbeat reporter (`--progress`). Workers push item and
+    /// cache-outcome counts into it lock-free; it renders to stderr only,
+    /// so the deterministic metrics/span view is untouched.
+    pub progress: Option<Arc<Progress>>,
 }
 
 impl Default for ParallelOptions {
@@ -84,6 +88,7 @@ impl Default for ParallelOptions {
             spans: false,
             forensics: false,
             cache: None,
+            progress: None,
         }
     }
 }
@@ -352,10 +357,16 @@ fn process_item_cached(
     );
     if let Some(entry) = cache.get(key) {
         if let Some(result) = replay_cache_hit(pass, &entry, tel) {
+            if let Some(p) = &opts.progress {
+                p.add_cache_hit();
+            }
             return result;
         }
     }
     tel.count("cache.misses", 1);
+    if let Some(p) = &opts.progress {
+        p.add_cache_miss();
+    }
     let item_registry = Arc::new(Registry::new());
     let mut itel = Telemetry::with_registry(Arc::clone(&item_registry));
     if let Some(trace) = tel.trace_handle() {
@@ -428,7 +439,7 @@ pub fn run_validated_pass_parallel(
         },
         |_w, state, i| {
             let f = &m.functions[i];
-            match cache {
+            let result = match cache {
                 Some(cache) => process_item_cached(
                     name,
                     f,
@@ -448,7 +459,11 @@ pub fn run_validated_pass_parallel(
                     &state.wtel,
                     &mut state.scratch,
                 ),
+            };
+            if let Some(p) = &opts.progress {
+                p.add_done(1);
             }
+            result
         },
         |w, state, steals| {
             // Recorded even at zero so the counter exists for every

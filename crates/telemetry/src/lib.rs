@@ -31,10 +31,14 @@
 pub mod export;
 pub mod forensics;
 pub mod json;
+pub mod profile;
+pub mod progress;
 mod registry;
 mod span;
 mod trace;
 
+pub use profile::{Profile, ProfileEntry, ProfileWeight};
+pub use progress::{Progress, ProgressMode};
 pub use registry::{HistogramSnapshot, Registry, Snapshot, Span, TimerSnapshot};
 pub use span::{CausalSpan, SpanCollector, SpanNode, SpanRecord, SpanTree};
 pub use trace::{Event, Trace};
@@ -142,6 +146,16 @@ impl Telemetry {
     /// returned guard drops. A no-op guard when no collector is attached.
     pub fn causal(&self, name: &str, cat: &str) -> CausalSpan {
         CausalSpan::open(self.spans.clone(), name, cat)
+    }
+
+    /// Attach a field to the innermost open causal span (no-op without a
+    /// collector or an open span). Lets deep callees — e.g. the checker
+    /// flushing interner statistics — annotate the enclosing phase span
+    /// without threading the guard down the call stack.
+    pub fn annotate(&self, key: &str, value: json::Value) {
+        if let Some(spans) = &self.spans {
+            spans.field(key, value);
+        }
     }
 
     /// The attached span collector, if any.

@@ -22,6 +22,8 @@
 //!   campaigns with `ddmin`-minimized, replayable findings.
 //! * [`telemetry`] — metrics registry, span timers, and the structured
 //!   JSON-lines proof-audit trace (zero external dependencies).
+//! * [`bench`] — the experiment driver regenerating the paper's tables,
+//!   plus bench history and the noise-aware regression sentinel.
 //!
 //! # Quickstart
 //!
@@ -54,6 +56,7 @@
 //! # }
 //! ```
 
+pub use crellvm_bench as bench;
 pub use crellvm_core as erhl;
 pub use crellvm_diff as diff;
 pub use crellvm_fuzz as fuzz;

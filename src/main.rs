@@ -12,10 +12,15 @@
 //!     Generate a random program.
 //! crellvm check [--trace FILE] <proof-file>...
 //!     Validate saved proofs (the separate checker process of Fig 1).
-//! crellvm report [--format text|openmetrics|chrome-trace] <file>
-//!     Render a metrics snapshot (or, for chrome-trace, a span file).
+//! crellvm report [--format text|openmetrics|chrome-trace|profile|folded]
+//!                [--top N] [--weight time|cost] <file>
+//!     Render a metrics snapshot (or, for the span-file formats, a cost
+//!     profile table / collapsed-stack flamegraph lines).
 //! crellvm forensics <bundle.forensic.json>
 //!     Inspect and replay a failure forensic bundle.
+//! crellvm bench compare [--history FILE] [--baseline last|FILE]
+//!     Judge the newest bench-history record against the recent window
+//!     with MAD noise bands; exits non-zero on a regression.
 //! crellvm fuzz [--seeds A..B] [--jobs N] [--mutate-rate R]
 //!              [--compiler 3.7.1|5.0.1-pre|none] [--out DIR]
 //!     Run a reproducible soundness fuzzing campaign: generate programs,
@@ -53,13 +58,20 @@
 //! module, the per-step output lines, and every measurement metric are
 //! identical at any thread count; only wall-clock timers and the
 //! scheduling counters (`pipeline.jobs`, `validate.steal.*`) vary.
+//!
+//! `opt`, `check`, and `fuzz` accept `--progress human|json`: a live
+//! heartbeat line (items done/total, rate, ETA, cache hit rate, alarms)
+//! on stderr every 200 ms. Heartbeats never touch stdout or the
+//! deterministic metrics/span views, so piped output and recorded
+//! snapshots are byte-identical with or without them.
 
+use crellvm::bench::history::{self, CompareConfig};
 use crellvm::diff::diff_modules;
 use crellvm::erhl::{
     proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_bytes_v2, proof_to_json, replay,
     validate_with_telemetry, CacheEntry, CacheKey, CheckerConfig, ValidationCache, Verdict,
 };
-use crellvm::fuzz::{run_campaign, write_findings, CampaignConfig};
+use crellvm::fuzz::{run_campaign_with_progress, write_findings, CampaignConfig};
 use crellvm::gen::{generate_module, GenConfig};
 use crellvm::interp::{run_main, RunConfig, UndefPolicy};
 use crellvm::ir::{parse_module, printer::print_module, verify_module, Module};
@@ -69,14 +81,20 @@ use crellvm::passes::{
 };
 use crellvm::telemetry::export::{chrome_trace, openmetrics};
 use crellvm::telemetry::forensics::ForensicBundle;
-use crellvm::telemetry::{Registry, Snapshot, SpanTree, Telemetry, Trace};
+use crellvm::telemetry::{
+    Profile, ProfileWeight, Progress, ProgressMode, Registry, Snapshot, SpanTree, Telemetry, Trace,
+};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Heartbeat period for `--progress`.
+const PROGRESS_PERIOD: Duration = Duration::from_millis(200);
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--format json|binary-v1|binary-v2] [--jobs N] [--cache-dir DIR] [--metrics FILE] [--trace FILE] [--spans FILE] [--forensics-dir DIR]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] [--jobs N] [--cache-dir DIR] <proof-file>...\n  crellvm report [--format text|openmetrics|chrome-trace] <file>\n  crellvm forensics <bundle.forensic.json>\n  crellvm fuzz [--seeds A..B] [--jobs N] [--mutate-rate R] [--compiler 3.7.1|5.0.1-pre|none] [--out DIR] [--metrics FILE]"
+        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--format json|binary-v1|binary-v2] [--jobs N] [--cache-dir DIR] [--metrics FILE] [--trace FILE] [--spans FILE] [--forensics-dir DIR] [--progress human|json]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] [--jobs N] [--cache-dir DIR] [--progress human|json] <proof-file>...\n  crellvm report [--format text|openmetrics|chrome-trace|profile|folded] [--top N] [--weight time|cost] <file>\n  crellvm forensics <bundle.forensic.json>\n  crellvm fuzz [--seeds A..B] [--jobs N] [--mutate-rate R] [--compiler 3.7.1|5.0.1-pre|none] [--out DIR] [--metrics FILE] [--progress human|json]\n  crellvm bench compare [--history FILE] [--baseline last|FILE] [--window N] [--rel-tol F] [--mad-k F]"
     );
     ExitCode::from(2)
 }
@@ -122,6 +140,11 @@ fn parse_format(arg: Option<&String>) -> Result<ProofFormat, String> {
     }
 }
 
+fn parse_progress(arg: Option<&String>) -> Result<ProgressMode, String> {
+    let name = arg.ok_or("--progress needs a mode (human|json)")?;
+    ProgressMode::parse(name).ok_or_else(|| format!("unknown progress mode {name} (human|json)"))
+}
+
 fn open_cache(arg: Option<&String>) -> Result<Arc<ValidationCache>, String> {
     let dir = arg.ok_or("--cache-dir needs a path")?;
     Ok(Arc::new(
@@ -143,6 +166,7 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
     let mut trace: Option<String> = None;
     let mut spans: Option<String> = None;
     let mut forensics_dir: Option<String> = None;
+    let mut progress_mode: Option<ProgressMode> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -172,6 +196,7 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
             "--forensics-dir" => {
                 forensics_dir = Some(it.next().ok_or("--forensics-dir needs a path")?.clone())
             }
+            "--progress" => progress_mode = Some(parse_progress(it.next())?),
             other => return Err(format!("opt: unknown flag {other}")),
         }
     }
@@ -189,15 +214,23 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
     let config = PassConfig::with_bugs(bugs);
     let (registry, tel) = make_telemetry(trace.as_deref())?;
     let checker = CheckerConfig::sound();
+    let mut cur = load(file)?;
+    // One progress unit per (pass, function) validation step.
+    let progress = progress_mode.map(|mode| {
+        let total = (passes.len() * cur.functions.len()) as u64;
+        let p = Progress::new(mode, "opt", total);
+        p.start_ticker(PROGRESS_PERIOD);
+        p
+    });
     let opts = ParallelOptions {
         jobs,
         format,
         spans: spans.is_some(),
         forensics: forensics_dir.is_some(),
         cache,
+        progress: progress.clone(),
     };
     tel.count("pipeline.jobs", jobs as u64);
-    let mut cur = load(file)?;
     let mut report = PipelineReport::default();
     let mut failures = 0usize;
     for pass in &passes {
@@ -243,6 +276,9 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
             }
         }
         cur = out.module;
+    }
+    if let Some(p) = &progress {
+        p.finish();
     }
     if emit {
         print!("{}", print_module(&cur));
@@ -383,6 +419,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let mut trace: Option<String> = None;
     let mut jobs = default_jobs();
     let mut cache: Option<Arc<ValidationCache>> = None;
+    let mut progress_mode: Option<ProgressMode> = None;
     let mut files: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -390,12 +427,18 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
             "--jobs" => jobs = parse_jobs(it.next())?,
             "--cache-dir" => cache = Some(open_cache(it.next())?),
+            "--progress" => progress_mode = Some(parse_progress(it.next())?),
             _ => files.push(a),
         }
     }
     if files.is_empty() {
         return Err("check: need at least one proof file".into());
     }
+    let progress = progress_mode.map(|mode| {
+        let p = Progress::new(mode, "check", files.len() as u64);
+        p.start_ticker(PROGRESS_PERIOD);
+        p
+    });
     let (registry, tel) = make_telemetry(trace.as_deref())?;
     tel.count("pipeline.jobs", jobs as u64);
     let checker = CheckerConfig::sound();
@@ -438,6 +481,9 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                         let cached = cache.and_then(|c| c.get(*key)).and_then(|e| {
                             let item = check_line_from_entry(path.as_str(), unit, &e)?;
                             wtel.count("cache.hits", 1);
+                            if let Some(p) = &progress {
+                                p.add_cache_hit();
+                            }
                             Some(item)
                         });
                         let item = match cached {
@@ -445,6 +491,9 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                             None => {
                                 if cache.is_some() {
                                     wtel.count("cache.misses", 1);
+                                    if let Some(p) = &progress {
+                                        p.add_cache_miss();
+                                    }
                                 }
                                 let (item, entry) =
                                     match validate_with_telemetry(unit, &checker, &wtel) {
@@ -491,6 +540,9 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                             }
                         };
                         produced.push((i, item));
+                        if let Some(p) = &progress {
+                            p.add_done(1);
+                        }
                     }
                     (produced, wreg.snapshot())
                 })
@@ -501,6 +553,9 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             .map(|h| h.join().expect("check worker panicked"))
             .collect::<Vec<_>>()
     });
+    if let Some(p) = &progress {
+        p.finish();
+    }
     for (produced, snapshot) in worker_outputs {
         registry.merge_snapshot(&snapshot);
         for (i, item) in produced {
@@ -520,8 +575,9 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-/// Render a metrics snapshot as the paper's Fig 6/8-style tables.
-fn render_report(snap: &Snapshot) -> String {
+/// Render a metrics snapshot as the paper's Fig 6/8-style tables. The
+/// inference-rule table shows the `top` most-applied rules.
+fn render_report(snap: &Snapshot, top: usize) -> String {
     use std::fmt::Write;
     let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
     let ms = |name: &str| {
@@ -631,8 +687,16 @@ fn render_report(snap: &Snapshot) -> String {
     if !rules.is_empty() {
         let _ = writeln!(out);
         let _ = writeln!(out, "{:<34} {:>12}", "inference rule", "applications");
-        for (rule, n) in rules {
+        let shown = rules.len().min(top.max(1));
+        for (rule, n) in &rules[..shown] {
             let _ = writeln!(out, "  {rule:<32} {n:>12}");
+        }
+        if rules.len() > shown {
+            let _ = writeln!(
+                out,
+                "  ... ({} more rules; raise --top)",
+                rules.len() - shown
+            );
         }
     }
 
@@ -677,11 +741,30 @@ fn render_report(snap: &Snapshot) -> String {
 
 fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
     let mut format = "text".to_string();
+    let mut top = 20usize;
+    let mut weight = ProfileWeight::Time;
     let mut file: Option<&String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--format" => format = it.next().ok_or("--format needs a name")?.clone(),
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("--top needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --top count: {e}"))?;
+                if top == 0 {
+                    return Err("--top must be at least 1".into());
+                }
+            }
+            "--weight" => {
+                weight = match it.next().ok_or("--weight needs a name")?.as_str() {
+                    "time" => ProfileWeight::Time,
+                    "cost" => ProfileWeight::Cost,
+                    other => return Err(format!("unknown weight {other} (time|cost)")),
+                }
+            }
             other if other.starts_with("--") => {
                 return Err(format!("report: unknown flag {other}"))
             }
@@ -697,7 +780,7 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
     match format.as_str() {
         "text" => {
             let snap = Snapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
-            print!("{}", render_report(&snap));
+            print!("{}", render_report(&snap, top));
         }
         "openmetrics" => {
             let snap = Snapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -707,9 +790,17 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
             let tree = SpanTree::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
             print!("{}", chrome_trace(&tree));
         }
+        "profile" => {
+            let tree = SpanTree::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", Profile::from_tree(&tree).top_table(weight, top));
+        }
+        "folded" => {
+            let tree = SpanTree::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", Profile::from_tree(&tree).folded(weight));
+        }
         other => {
             return Err(format!(
-                "report: unknown format {other} (text|openmetrics|chrome-trace)"
+                "report: unknown format {other} (text|openmetrics|chrome-trace|profile|folded)"
             ))
         }
     }
@@ -792,6 +883,7 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
     };
     let mut out: Option<String> = None;
     let mut metrics: Option<String> = None;
+    let mut progress_mode: Option<ProgressMode> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -827,12 +919,25 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
             }
             "--out" => out = Some(it.next().ok_or("--out needs a directory")?.clone()),
             "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a path")?.clone()),
+            "--progress" => progress_mode = Some(parse_progress(it.next())?),
             other => return Err(format!("fuzz: unknown flag {other}")),
         }
     }
 
     let (registry, tel) = make_telemetry(None)?;
-    let report = run_campaign(&cfg, &tel);
+    // One progress unit per oracle step: seeds × passes, so the rate
+    // column is the fuzzer's exec/s.
+    let progress = progress_mode.map(|mode| {
+        let steps =
+            (cfg.seed_end - cfg.seed_start) * crellvm::passes::pipeline::PASS_ORDER.len() as u64;
+        let p = Progress::new_with_alarms(mode, "fuzz", steps);
+        p.start_ticker(PROGRESS_PERIOD);
+        p
+    });
+    let report = run_campaign_with_progress(&cfg, &tel, progress.clone());
+    if let Some(p) = &progress {
+        p.finish();
+    }
 
     println!(
         "campaign: seeds {}..{} compiler {} mutate-rate {} ({} steps)",
@@ -892,6 +997,92 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// The regression sentinel: judge the newest history record against the
+/// preceding window.
+fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err("bench: need a subcommand (compare)".into());
+    };
+    if sub != "compare" {
+        return Err(format!("bench: unknown subcommand {sub} (compare)"));
+    }
+    let mut history_path = "BENCH_history.jsonl".to_string();
+    let mut baseline = "last".to_string();
+    let mut cfg = CompareConfig::default();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--history" => history_path = it.next().ok_or("--history needs a path")?.clone(),
+            "--baseline" => baseline = it.next().ok_or("--baseline needs last|FILE")?.clone(),
+            "--window" => {
+                cfg.window = it
+                    .next()
+                    .ok_or("--window needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --window count: {e}"))?;
+                if cfg.window == 0 {
+                    return Err("--window must be at least 1".into());
+                }
+            }
+            "--rel-tol" => {
+                cfg.rel_tol = it
+                    .next()
+                    .ok_or("--rel-tol needs a fraction")?
+                    .parse()
+                    .map_err(|e| format!("bad --rel-tol: {e}"))?
+            }
+            "--mad-k" => {
+                cfg.mad_k = it
+                    .next()
+                    .ok_or("--mad-k needs a multiplier")?
+                    .parse()
+                    .map_err(|e| format!("bad --mad-k: {e}"))?
+            }
+            other => return Err(format!("bench compare: unknown flag {other}")),
+        }
+    }
+    let records = history::load(std::path::Path::new(&history_path))
+        .map_err(|e| format!("{history_path}: {e}"))?;
+    // `--baseline last` judges the newest record against everything before
+    // it; `--baseline FILE` judges it against a separate history file
+    // (e.g. one downloaded from the main branch's CI artifact).
+    let (current, baseline_records) = if baseline == "last" {
+        match records.split_last() {
+            Some((current, before)) => (current.clone(), before.to_vec()),
+            None => {
+                println!("bench compare: {history_path} is empty — no baseline yet, passing");
+                return Ok(ExitCode::SUCCESS);
+            }
+        }
+    } else {
+        let Some(current) = records.last() else {
+            println!("bench compare: {history_path} is empty — no baseline yet, passing");
+            return Ok(ExitCode::SUCCESS);
+        };
+        let base = history::load(std::path::Path::new(&baseline))
+            .map_err(|e| format!("{baseline}: {e}"))?;
+        (current.clone(), base)
+    };
+    if baseline_records.is_empty() {
+        println!(
+            "bench compare: no prior runs to compare against (first record in {history_path}), passing"
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let report = history::compare(&current, &baseline_records, &cfg);
+    print!("{}", report.render());
+    println!(
+        "current: {} @ {} ({} cores, {})",
+        current.git_sha, current.timestamp, current.cores, current.wire_format
+    );
+    if report.has_regression() {
+        eprintln!("bench compare: REGRESSION detected (see table above)");
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -906,6 +1097,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(rest),
         "forensics" => cmd_forensics(rest),
         "fuzz" => cmd_fuzz(rest),
+        "bench" => cmd_bench(rest),
         _ => return usage(),
     };
     match result {
