@@ -218,7 +218,17 @@ pub enum Direction {
 
 /// Infer the direction from the metric name.
 pub fn direction_of(metric: &str) -> Direction {
-    const HIGHER: &[&str] = &["rate", "speedup", "exec_per_s", "exec_s", "hits", "per_s"];
+    const HIGHER: &[&str] = &[
+        "rate",
+        "speedup",
+        "exec_per_s",
+        "exec_s",
+        "hits",
+        "per_s",
+        "rps",
+        "qps",
+        "throughput",
+    ];
     if HIGHER.iter().any(|k| metric.contains(k)) {
         Direction::HigherIsBetter
     } else {
@@ -497,6 +507,10 @@ mod tests {
 
     #[test]
     fn direction_inference() {
+        assert_eq!(direction_of("serve.rps"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("serve.qps_target"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("serve.throughput"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("serve.p99_ms"), Direction::LowerIsBetter);
         assert_eq!(direction_of("pcheck_ms.j1"), Direction::LowerIsBetter);
         assert_eq!(direction_of("proof_bytes.v2"), Direction::LowerIsBetter);
         assert_eq!(

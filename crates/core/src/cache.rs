@@ -82,6 +82,25 @@ impl CacheKey {
         h = fnv64_extend(h, &checker_token.to_le_bytes());
         CacheKey(h)
     }
+
+    /// Layer a tenant namespace over this key: the serving daemon keys one
+    /// shared cache per tenant so tenants never observe each other's
+    /// verdicts. The empty namespace is the identity (the single-tenant
+    /// offline path keeps its keys, so a daemon and an `opt --cache-dir`
+    /// run over the same store share entries for the default tenant).
+    /// Non-empty namespaces go through a fresh domain separator, so a
+    /// tenant named after a key's hex form cannot collide with it.
+    #[must_use]
+    pub fn namespaced(self, tenant: &str) -> CacheKey {
+        if tenant.is_empty() {
+            return self;
+        }
+        let mut h = fnv64(b"crellvm.tenant.v1");
+        h = fnv64_extend(h, &(tenant.len() as u64).to_le_bytes());
+        h = fnv64_extend(h, tenant.as_bytes());
+        h = fnv64_extend(h, &self.0.to_le_bytes());
+        CacheKey(h)
+    }
 }
 
 /// Everything a cache hit needs to reproduce a cold validation's
@@ -274,6 +293,23 @@ mod tests {
             CacheKey::for_proof(b"proof", 0),
             CacheKey::for_unit(b"proof", "", 0, 0, 0)
         );
+    }
+
+    #[test]
+    fn tenant_namespaces_partition_keys() {
+        let base = CacheKey::for_unit(b"func", "gvn", 0, 0, 2);
+        // Empty tenant is the identity: offline and default-tenant served
+        // runs share cache entries.
+        assert_eq!(base.namespaced(""), base);
+        let a = base.namespaced("tenant-a");
+        let b = base.namespaced("tenant-b");
+        assert_ne!(a, base);
+        assert_ne!(a, b);
+        // Deterministic per tenant.
+        assert_eq!(a, base.namespaced("tenant-a"));
+        // Namespacing composes with distinct inner keys.
+        let other = CacheKey::for_unit(b"func2", "gvn", 0, 0, 2).namespaced("tenant-a");
+        assert_ne!(a, other);
     }
 
     #[test]

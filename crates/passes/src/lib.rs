@@ -73,7 +73,7 @@ pub use parallel::{
     default_jobs, run_pipeline_parallel, run_validated_pass_parallel, ParallelOptions,
 };
 pub use pipeline::{
-    run_pipeline, run_pipeline_traced, CodecScratch, PipelineReport, ProofFormat, SpanItem,
-    StepOutcome, StepRecord,
+    format_step_line, run_pipeline, run_pipeline_traced, CodecScratch, PipelineReport, ProofFormat,
+    SpanItem, StepOutcome, StepRecord,
 };
 pub use schedule::{run_work_stealing, PoolOutput};

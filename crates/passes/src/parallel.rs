@@ -74,6 +74,19 @@ pub struct ParallelOptions {
     /// unit. Ignored while `spans` or `forensics` are on — those need the
     /// unit to actually run.
     pub cache: Option<Arc<ValidationCache>>,
+    /// Tenant namespace layered over every cache key (see
+    /// [`CacheKey::namespaced`]). Empty (the default) keeps the offline
+    /// single-tenant keys; the serving daemon sets it per request so
+    /// tenants sharing one cache store never observe each other's
+    /// verdicts.
+    pub cache_namespace: String,
+    /// Live-state gauge tap: when set, the engine maintains
+    /// `pool.workers` (the fan-out width) and `pool.inflight` (units
+    /// being validated right now) gauges in this registry. This is a
+    /// *shared external* registry — typically the serving daemon's — not
+    /// the per-worker measurement registries, so live observability never
+    /// perturbs the deterministic metric view.
+    pub pool_gauges: Option<Arc<Registry>>,
     /// Live heartbeat reporter (`--progress`). Workers push item and
     /// cache-outcome counts into it lock-free; it renders to stderr only,
     /// so the deterministic metrics/span view is untouched.
@@ -88,6 +101,8 @@ impl Default for ParallelOptions {
             spans: false,
             forensics: false,
             cache: None,
+            cache_namespace: String::new(),
+            pool_gauges: None,
             progress: None,
         }
     }
@@ -354,7 +369,8 @@ fn process_item_cached(
         config.cache_token(),
         checker.cache_token(),
         opts.format.wire_token(),
-    );
+    )
+    .namespaced(&opts.cache_namespace);
     if let Some(entry) = cache.get(key) {
         if let Some(result) = replay_cache_hit(pass, &entry, tel) {
             if let Some(p) = &opts.progress {
@@ -405,6 +421,15 @@ pub fn run_validated_pass_parallel(
     let n = m.functions.len();
     let workers = opts.jobs.max(1).min(n.max(1));
 
+    // Live pool gauges for an external observer (the serving daemon's
+    // /metrics): fan-out width while the pass runs, inflight units per
+    // item. Recorded into the shared gauge registry only — never into the
+    // per-worker measurement registries — so the deterministic view is
+    // untouched.
+    if let Some(g) = &opts.pool_gauges {
+        g.gauge_set("pool.workers", workers as i64);
+    }
+
     // Spans and forensics need the unit to actually run (they capture its
     // live execution), so the cache stands aside while either is on.
     let cache = opts
@@ -439,6 +464,9 @@ pub fn run_validated_pass_parallel(
         },
         |_w, state, i| {
             let f = &m.functions[i];
+            if let Some(g) = &opts.pool_gauges {
+                g.gauge_add("pool.inflight", 1);
+            }
             let result = match cache {
                 Some(cache) => process_item_cached(
                     name,
@@ -460,6 +488,9 @@ pub fn run_validated_pass_parallel(
                     &mut state.scratch,
                 ),
             };
+            if let Some(g) = &opts.pool_gauges {
+                g.gauge_sub("pool.inflight", 1);
+            }
             if let Some(p) = &opts.progress {
                 p.add_done(1);
             }

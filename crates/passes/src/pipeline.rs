@@ -144,6 +144,36 @@ pub enum StepOutcome {
     NotSupported(String),
 }
 
+impl StepOutcome {
+    /// The short verdict tag (`valid` / `failed` / `not_supported`).
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            StepOutcome::Valid => "valid",
+            StepOutcome::Failed(_) => "failed",
+            StepOutcome::NotSupported(_) => "not_supported",
+        }
+    }
+}
+
+/// Render one step's verdict exactly as `crellvm opt` prints it.
+///
+/// This is the canonical human-readable verdict line; the serving daemon
+/// uses the same function, so served verdicts are byte-identical to the
+/// offline path by construction (the serve-smoke CI job diffs them).
+#[must_use]
+pub fn format_step_line(pass: &str, func: &str, outcome: &StepOutcome) -> String {
+    match outcome {
+        StepOutcome::Valid => format!("{pass:<12} @{func:<20} valid"),
+        StepOutcome::NotSupported(r) => {
+            format!("{pass:<12} @{func:<20} not-supported ({r})")
+        }
+        StepOutcome::Failed(e) => {
+            format!("{pass:<12} @{func:<20} FAILED\n{:>34}reason: {e}", "")
+        }
+    }
+}
+
 /// One validated translation step.
 #[derive(Debug, Clone)]
 pub struct StepRecord {

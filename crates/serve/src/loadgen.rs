@@ -1,0 +1,265 @@
+//! The serving-plane load generator (`crellvm serve --bench`).
+//!
+//! Replays the synthetic Fig 7 corpus against a daemon at a target QPS
+//! and measures what an operator would: end-to-end latency percentiles
+//! (exact, from the recorded per-request samples — not bucket
+//! interpolation), sustained throughput, cache behaviour, and byte
+//! traffic. The report lands in `BENCH_serve.json` and one flattened
+//! record feeds `BENCH_history.jsonl`, where the MAD-banded regression
+//! sentinel watches `serve.rps` (higher is better) and the latency
+//! percentiles (lower is better) across commits.
+
+use crellvm_bench::history::{self, HistoryRecord};
+use crellvm_gen::corpus;
+use crellvm_ir::printer::print_module;
+use serde::Serialize;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Load run configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Total requests to send.
+    pub requests: usize,
+    /// Target request rate; `0.0` means as fast as the daemon answers.
+    pub qps: f64,
+    /// Corpus scale (functions per KLoC of the Fig 7 originals).
+    pub scale: f64,
+    /// Corpus seed.
+    pub seed: u64,
+    /// Tenant names to round-robin across (empty = single default
+    /// tenant), exercising the per-tenant cache namespaces.
+    pub tenants: Vec<String>,
+    /// Cap on distinct corpus modules to replay (0 = all). A cap below
+    /// `requests` makes the replay revisit modules, exercising the warm
+    /// cache path.
+    pub modules: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            requests: 50,
+            qps: 0.0,
+            scale: 0.002,
+            seed: 1,
+            tenants: Vec::new(),
+            modules: 0,
+        }
+    }
+}
+
+/// Latency percentile block (milliseconds).
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyMs {
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub max: f64,
+    pub mean: f64,
+}
+
+/// The load run's measured outcome (serialized to `BENCH_serve.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    pub requests: usize,
+    pub ok: usize,
+    pub rejected: usize,
+    pub errors: usize,
+    pub target_qps: f64,
+    pub wall_ms: f64,
+    /// Sustained throughput actually achieved.
+    pub rps: f64,
+    pub latency_ms: LatencyMs,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_hit_rate: f64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub corpus_modules: usize,
+    pub tenants: usize,
+}
+
+/// Exact percentile from recorded samples (nearest-rank).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Replay the corpus against `addr` and measure.
+pub fn run(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, String> {
+    // A compact corpus slice: the module texts are generated once and
+    // reused round-robin, so the load is deterministic given the seed.
+    let mut bodies: Vec<String> = corpus(cfg.scale, cfg.seed)
+        .iter()
+        .flat_map(|(_, modules)| modules.iter().map(print_module))
+        .collect();
+    if cfg.modules > 0 {
+        bodies.truncate(cfg.modules);
+    }
+    if bodies.is_empty() {
+        return Err("empty corpus".to_string());
+    }
+    let interval = if cfg.qps > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / cfg.qps))
+    } else {
+        None
+    };
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(cfg.requests);
+    let (mut ok, mut rejected, mut errors) = (0usize, 0usize, 0usize);
+    let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+    let (mut bytes_in, mut bytes_out) = (0u64, 0u64);
+    let started = Instant::now();
+    for i in 0..cfg.requests {
+        if let Some(interval) = interval {
+            // Open-loop pacing against the schedule, not the previous
+            // response: lag is not silently absorbed into the rate.
+            let due = started + interval.mul_f64(i as f64);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let body = &bodies[i % bodies.len()];
+        let tenant = if cfg.tenants.is_empty() {
+            String::new()
+        } else {
+            cfg.tenants[i % cfg.tenants.len()].clone()
+        };
+        let mut headers: Vec<(&str, &str)> = vec![("Content-Type", "text/plain")];
+        if !tenant.is_empty() {
+            headers.push(("X-Crellvm-Tenant", &tenant));
+        }
+        let t0 = Instant::now();
+        match crate::http::call(addr, "POST", "/v1/validate", &headers, body.as_bytes()) {
+            Ok((200, _, resp)) => {
+                latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                ok += 1;
+                bytes_in += body.len() as u64;
+                bytes_out += resp.len() as u64;
+                if let Ok(doc) = crellvm_telemetry::json::parse(&String::from_utf8_lossy(&resp)) {
+                    if let Some(cache) = doc.get("cache") {
+                        cache_hits += cache.get("hits").and_then(|v| v.as_u64()).unwrap_or(0);
+                        cache_misses += cache.get("misses").and_then(|v| v.as_u64()).unwrap_or(0);
+                    }
+                }
+            }
+            Ok((429, _, _)) => rejected += 1,
+            Ok(_) | Err(_) => errors += 1,
+        }
+    }
+    let wall = started.elapsed();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = if latencies_ms.is_empty() {
+        0.0
+    } else {
+        latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
+    };
+    Ok(LoadReport {
+        requests: cfg.requests,
+        ok,
+        rejected,
+        errors,
+        target_qps: cfg.qps,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        rps: ok as f64 / wall.as_secs_f64().max(1e-9),
+        latency_ms: LatencyMs {
+            p50: percentile(&latencies_ms, 0.50),
+            p95: percentile(&latencies_ms, 0.95),
+            p99: percentile(&latencies_ms, 0.99),
+            max: latencies_ms.last().copied().unwrap_or(0.0),
+            mean,
+        },
+        cache_hits,
+        cache_misses,
+        cache_hit_rate: cache_hits as f64 / (cache_hits + cache_misses).max(1) as f64,
+        bytes_in,
+        bytes_out,
+        corpus_modules: bodies.len(),
+        tenants: cfg.tenants.len().max(1),
+    })
+}
+
+/// Write the report pretty-printed and atomically to `path`.
+pub fn write_report(path: &Path, report: &LoadReport) -> Result<(), String> {
+    let compact = serde_json::to_string(report).map_err(|e| e.to_string())?;
+    history::write_atomic(path, &history::pretty(&compact))
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Flatten a load report into the sentinel's history record. Provenance
+/// comes from `CRELLVM_GIT_SHA` / `CRELLVM_BENCH_TIMESTAMP` like the
+/// validate bench, keeping the run itself clock-free for provenance.
+pub fn history_record(report: &LoadReport) -> HistoryRecord {
+    let sha = std::env::var("CRELLVM_GIT_SHA").unwrap_or_else(|_| "unknown".to_string());
+    let ts = std::env::var("CRELLVM_BENCH_TIMESTAMP").unwrap_or_else(|_| "unknown".to_string());
+    let mut rec = HistoryRecord::new(
+        &sha,
+        &ts,
+        crellvm_passes::default_jobs(),
+        crellvm_passes::ProofFormat::default().name(),
+    );
+    // Direction is inferred from the name: `rps`/`hit_rate` higher is
+    // better, the `_ms` latencies lower is better.
+    rec.metric("serve.rps", report.rps);
+    rec.metric("serve.p50_ms", report.latency_ms.p50);
+    rec.metric("serve.p95_ms", report.latency_ms.p95);
+    rec.metric("serve.p99_ms", report.latency_ms.p99);
+    rec.metric("serve.cache_hit_rate", report.cache_hit_rate);
+    rec.metric("serve.wall_ms", report.wall_ms);
+    rec
+}
+
+/// Append the report's history record to `path` (the shared
+/// `BENCH_history.jsonl`).
+pub fn append_history(path: &Path, report: &LoadReport) -> Result<HistoryRecord, String> {
+    let rec = history_record(report);
+    history::append(path, &rec).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{start, ServeConfig};
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&s, 0.50), 50.0);
+        assert_eq!(percentile(&s, 0.95), 95.0);
+        assert_eq!(percentile(&s, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn replays_a_tiny_corpus_and_reports() {
+        let handle = start(ServeConfig::default()).unwrap();
+        let addr = handle.addr().to_string();
+        let cfg = LoadConfig {
+            requests: 6,
+            scale: 0.0005,
+            modules: 3,
+            ..LoadConfig::default()
+        };
+        let report = run(&addr, &cfg).unwrap();
+        handle.shutdown();
+        assert_eq!(report.ok, 6, "errors: {}", report.errors);
+        assert_eq!(report.errors, 0);
+        assert!(report.rps > 0.0);
+        assert!(report.latency_ms.p50 > 0.0);
+        assert!(report.latency_ms.p99 >= report.latency_ms.p50);
+        // The corpus repeats modules, so a warm cache must show hits.
+        assert!(report.cache_hits > 0);
+        let rec = history_record(&report);
+        assert!(rec.metrics.contains_key("serve.rps"));
+        assert!(rec.metrics.contains_key("serve.p99_ms"));
+        // Sentinel direction: throughput up is good, latency up is bad.
+        use crellvm_bench::history::{direction_of, Direction};
+        assert_eq!(direction_of("serve.rps"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("serve.p99_ms"), Direction::LowerIsBetter);
+    }
+}

@@ -1,0 +1,265 @@
+//! `crellvm top`: a one-screen fleet view of a running daemon, fed by
+//! nothing but the `/metrics` endpoint.
+//!
+//! The view is deliberately *scrape-only*: it consumes the exact
+//! OpenMetrics text any other collector would, so what `top` shows is by
+//! construction what a Prometheus-style pipeline would ingest. The
+//! parser reverses the exporter: `_total` samples back into counters,
+//! bare gauge samples, and cumulative `_bucket{le="..."}` series
+//! de-accumulated into the registry's log₂ [`HistogramSnapshot`] shape so
+//! the same quantile interpolation that works in-process works over the
+//! wire.
+
+use crellvm_telemetry::HistogramSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed `/metrics` scrape.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsView {
+    /// Counter families (`name_total` with the suffix stripped).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge families at their sampled value.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram families rebuilt into log₂-bucket snapshots.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsView {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Bucket index for an inclusive upper bound emitted by the exporter:
+/// `le="0"` is bucket 0; `le="2^i - 1"` is bucket `i` (values of bit
+/// length `i`).
+fn bucket_index(le: u64) -> u32 {
+    64 - le.leading_zeros()
+}
+
+/// Parse OpenMetrics text exposition back into a [`MetricsView`].
+///
+/// Rejects a scrape without the terminating `# EOF` line — a truncated
+/// body must never masquerade as a quiet fleet.
+pub fn parse_openmetrics(text: &str) -> Result<MetricsView, String> {
+    if !text.trim_end().ends_with("# EOF") {
+        return Err("scrape is not terminated by # EOF (truncated?)".to_string());
+    }
+    let mut view = MetricsView::default();
+    let mut hist_types: BTreeMap<String, ()> = BTreeMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some((name, kind)) = rest.rsplit_once(' ') {
+                if kind == "histogram" {
+                    hist_types.insert(name.to_string(), ());
+                }
+            }
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let Some((sample, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        if let Some((name, label)) = sample.split_once('{') {
+            // Histogram bucket series: name_bucket{le="..."} cum
+            let Some(base) = name.strip_suffix("_bucket") else {
+                continue;
+            };
+            if !hist_types.contains_key(base) {
+                continue;
+            }
+            let Some(le) = label
+                .strip_prefix("le=\"")
+                .and_then(|l| l.strip_suffix("\"}"))
+            else {
+                continue;
+            };
+            if le == "+Inf" {
+                continue;
+            }
+            let le: u64 = le.parse().map_err(|e| format!("{line}: {e}"))?;
+            let cum: u64 = value.parse().map_err(|e| format!("{line}: {e}"))?;
+            let h = view.histograms.entry(base.to_string()).or_default();
+            // De-accumulate: this bucket's own count is cum minus
+            // everything already seen (buckets arrive in le order).
+            let seen: u64 = h.buckets.iter().map(|(_, c)| c).sum();
+            let own = cum.saturating_sub(seen);
+            if own > 0 {
+                h.buckets.push((bucket_index(le), own));
+            }
+        } else if let Some(base) = sample.strip_suffix("_sum") {
+            if let Some(h) = view.histograms.get_mut(base) {
+                h.sum = value.parse().map_err(|e| format!("{line}: {e}"))?;
+            }
+        } else if let Some(base) = sample.strip_suffix("_count") {
+            if let Some(h) = view.histograms.get_mut(base) {
+                h.count = value.parse().map_err(|e| format!("{line}: {e}"))?;
+            }
+        } else if let Some(base) = sample.strip_suffix("_total") {
+            if let Ok(v) = value.parse::<f64>() {
+                view.counters.insert(base.to_string(), v as u64);
+            }
+        } else if let Ok(v) = value.parse::<i64>() {
+            view.gauges.insert(sample.to_string(), v);
+        }
+    }
+    Ok(view)
+}
+
+fn rate(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Render the one-screen fleet view from a scrape.
+pub fn render(view: &MetricsView) -> String {
+    let mut out = String::new();
+    let ready = if view.gauge("serve_ready") == 1 {
+        "ready"
+    } else {
+        "DRAINING"
+    };
+    let _ = writeln!(out, "crellvm serve — fleet view [{ready}]");
+    let _ = writeln!(
+        out,
+        "queue {:>5}   inflight {:>4}   pool workers {:>3}   pool inflight {:>4}",
+        view.gauge("serve_queue_depth"),
+        view.gauge("serve_inflight"),
+        view.gauge("pool_workers"),
+        view.gauge("pool_inflight"),
+    );
+    let hits = view.counter("cache_hits");
+    let misses = view.counter("cache_misses");
+    let _ = writeln!(
+        out,
+        "requests {:>7}   rejected(429) {:>5}   cache {:>6.1}% hit ({hits}/{})",
+        view.counter("serve_requests"),
+        view.counter("serve_responses_429"),
+        100.0 * rate(hits, hits + misses),
+        hits + misses,
+    );
+    let _ = writeln!(
+        out,
+        "verdicts: {:>6} valid   {:>5} failed   {:>5} not-supported",
+        view.counter("serve_verdict_valid"),
+        view.counter("serve_verdict_failed"),
+        view.counter("serve_verdict_not_supported"),
+    );
+    for (label, name) in [
+        ("latency", "serve_latency_us"),
+        ("queue wait", "serve_queue_wait_us"),
+    ] {
+        if let Some(h) = view.histograms.get(name) {
+            let _ = writeln!(
+                out,
+                "{label:<10}  p50 {:>9.2} ms   p95 {:>9.2} ms   p99 {:>9.2} ms   ({} samples)",
+                h.p50() / 1e3,
+                h.p95() / 1e3,
+                h.p99() / 1e3,
+                h.count,
+            );
+        }
+    }
+    // Per-tenant request/verdict counters.
+    let tenants: Vec<&str> = view
+        .counters
+        .keys()
+        .filter_map(|k| {
+            k.strip_prefix("serve_tenant_")
+                .and_then(|r| r.strip_suffix("_requests"))
+        })
+        .collect();
+    if !tenants.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>8} {:>8} {:>14}",
+            "tenant", "requests", "valid", "failed", "not-supported"
+        );
+        for t in tenants {
+            let c = |suffix: &str| view.counter(&format!("serve_tenant_{t}_{suffix}"));
+            let _ = writeln!(
+                out,
+                "{t:<16} {:>9} {:>8} {:>8} {:>14}",
+                c("requests"),
+                c("valid"),
+                c("failed"),
+                c("not_supported"),
+            );
+        }
+    }
+    out
+}
+
+/// One `top` frame: scrape `addr` and render.
+pub fn frame(addr: &str) -> Result<String, String> {
+    let (status, _, body) =
+        crate::http::call(addr, "GET", "/metrics", &[], &[]).map_err(|e| format!("{addr}: {e}"))?;
+    if status != 200 {
+        return Err(format!("{addr}: /metrics returned {status}"));
+    }
+    let text = String::from_utf8_lossy(&body);
+    Ok(render(&parse_openmetrics(&text)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crellvm_telemetry::{export::openmetrics, Registry};
+
+    #[test]
+    fn parse_inverts_the_exporter() {
+        let r = Registry::new();
+        r.add("serve.requests", 41);
+        r.gauge_set("serve.queue_depth", 3);
+        for v in [100, 900, 5000, 120_000] {
+            r.observe("serve.latency_us", v);
+        }
+        let text = openmetrics(&r.snapshot());
+        let view = parse_openmetrics(&text).unwrap();
+        assert_eq!(view.counter("serve_requests"), 41);
+        assert_eq!(view.gauge("serve_queue_depth"), 3);
+        let h = view.histograms.get("serve_latency_us").unwrap();
+        // The rebuilt snapshot matches the in-process one exactly.
+        assert_eq!(*h, r.snapshot().histograms["serve.latency_us"]);
+        assert!(h.p50() > 0.0);
+    }
+
+    #[test]
+    fn truncated_scrape_is_rejected() {
+        let r = Registry::new();
+        r.add("serve.requests", 1);
+        let text = openmetrics(&r.snapshot());
+        let cut = &text[..text.len() - 6];
+        assert!(parse_openmetrics(cut).is_err());
+    }
+
+    #[test]
+    fn renders_a_fleet_view() {
+        let r = Registry::new();
+        r.add("serve.requests", 10);
+        r.add("serve.tenant.acme.requests", 6);
+        r.add("serve.tenant.acme.valid", 20);
+        r.add("serve.verdict.valid", 30);
+        r.add("cache.hits", 9);
+        r.add("cache.misses", 3);
+        r.gauge_set("serve.ready", 1);
+        r.gauge_set("serve.queue_depth", 2);
+        r.observe("serve.latency_us", 2500);
+        let view = parse_openmetrics(&openmetrics(&r.snapshot())).unwrap();
+        let screen = render(&view);
+        assert!(screen.contains("[ready]"));
+        assert!(screen.contains("75.0% hit"));
+        assert!(screen.contains("acme"));
+        assert!(screen.contains("latency"));
+    }
+}

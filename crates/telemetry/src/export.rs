@@ -42,7 +42,8 @@ fn bucket_le(i: u32) -> String {
 
 /// Render a snapshot in the OpenMetrics text exposition format.
 ///
-/// Counters become `<name>_total` samples, histograms become cumulative
+/// Counters become `<name>_total` samples, gauges become `gauge` families
+/// sampled at their last value, histograms become cumulative
 /// `<name>_bucket{le="..."}` series plus `_sum`/`_count`, and timers become
 /// `<name>_seconds` counters (with a matching `<name>_spans` count). The
 /// output always terminates with the mandatory `# EOF` line.
@@ -52,6 +53,11 @@ pub fn openmetrics(snap: &Snapshot) -> String {
         let n = sanitize_metric_name(name);
         let _ = writeln!(out, "# TYPE {n} counter");
         let _ = writeln!(out, "{n}_total {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
     }
     for (name, h) in &snap.histograms {
         let n = sanitize_metric_name(name);
@@ -89,6 +95,12 @@ pub fn openmetrics(snap: &Snapshot) -> String {
 /// strictly contained in its parent's, so the viewer's nesting depths
 /// reproduce the span tree exactly; the real measured duration of every
 /// span is preserved in `args.recorded_dur_ns`.
+///
+/// When the tree's root span carries a `trace_id` field (the serving
+/// daemon stamps one per admitted request), every event gets a stable
+/// top-level `id` and an `args.trace_id`, so the causal trees of a single
+/// request correlate across workers and across span-log lines in
+/// `about://tracing` / Perfetto.
 pub fn chrome_trace(tree: &SpanTree) -> String {
     let n = tree.records.len();
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -122,6 +134,15 @@ pub fn chrome_trace(tree: &SpanTree) -> String {
             offset += width[c];
         }
     }
+    // A request-scoped trace id on the root span propagates to every
+    // event, giving the whole causal tree one stable correlation key.
+    let trace_id = tree
+        .records
+        .iter()
+        .find(|r| r.parent.is_none())
+        .and_then(|r| r.fields.get("trace_id"))
+        .and_then(Value::as_str)
+        .map(str::to_string);
     let events: Vec<Value> = tree
         .records
         .iter()
@@ -141,6 +162,10 @@ pub fn chrome_trace(tree: &SpanTree) -> String {
             ev.insert("dur".to_string(), Value::UInt(width[i]));
             ev.insert("pid".to_string(), Value::UInt(1));
             ev.insert("tid".to_string(), Value::UInt(1));
+            if let Some(tid) = &trace_id {
+                args.insert("trace_id".to_string(), Value::Str(tid.clone()));
+                ev.insert("id".to_string(), Value::Str(format!("{tid}.{}", r.id)));
+            }
             ev.insert("args".to_string(), Value::Obj(args));
             Value::Obj(ev)
         })
@@ -184,6 +209,49 @@ mod tests {
         assert!(text.contains("checker_assertion_preds_count 2\n"));
         assert!(text.contains("# UNIT time_pcheck_seconds seconds\n"));
         assert!(text.contains("time_pcheck_spans_total 1\n"));
+    }
+
+    #[test]
+    fn openmetrics_emits_gauge_families() {
+        let r = Registry::new();
+        r.gauge_set("serve.queue_depth", 7);
+        r.gauge_set("serve.inflight", -2);
+        let text = openmetrics(&r.snapshot());
+        assert!(text.contains("# TYPE serve_queue_depth gauge\n"));
+        assert!(text.contains("serve_queue_depth 7\n"));
+        assert!(text.contains("serve_inflight -2\n"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn chrome_trace_propagates_trace_id_to_every_event() {
+        let mut pass = SpanNode::new("gvn", "pass");
+        pass.children.push(SpanNode::new("pcheck", "phase"));
+        let mut tree = SpanTree::assemble("m", vec![("f".to_string(), pass)]);
+        tree.records[0]
+            .fields
+            .insert("trace_id".to_string(), Value::Str("t-00abc-7".into()));
+        let json = chrome_trace(&tree);
+        let doc = crate::json::parse(&json).unwrap();
+        let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(
+                e.get("args").and_then(|a| a.get("trace_id")),
+                Some(&Value::Str("t-00abc-7".into())),
+                "event {i} lost the trace id"
+            );
+            assert_eq!(
+                e.get("id").and_then(Value::as_str),
+                Some(format!("t-00abc-7.{i}").as_str()),
+                "event {i} has an unstable id"
+            );
+        }
+        // Without a trace_id field, no id is emitted (back-compat).
+        let plain = chrome_trace(&SpanTree::assemble(
+            "m",
+            vec![("f".to_string(), SpanNode::new("gvn", "pass"))],
+        ));
+        assert!(!plain.contains("trace_id"));
     }
 
     #[test]

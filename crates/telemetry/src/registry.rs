@@ -7,7 +7,7 @@
 //! parallel/sharded pipeline.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
@@ -55,8 +55,36 @@ struct TimerCell {
 #[derive(Default)]
 pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicI64>>>,
     histograms: RwLock<BTreeMap<String, Arc<HistogramCell>>>,
     timers: RwLock<BTreeMap<String, Arc<TimerCell>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field(
+                "counters",
+                &self.counters.read().expect("registry lock poisoned").len(),
+            )
+            .field(
+                "gauges",
+                &self.gauges.read().expect("registry lock poisoned").len(),
+            )
+            .field(
+                "histograms",
+                &self
+                    .histograms
+                    .read()
+                    .expect("registry lock poisoned")
+                    .len(),
+            )
+            .field(
+                "timers",
+                &self.timers.read().expect("registry lock poisoned").len(),
+            )
+            .finish()
+    }
 }
 
 fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
@@ -92,6 +120,38 @@ impl Registry {
             .expect("registry lock poisoned")
             .get(name)
             .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    // -- gauges ------------------------------------------------------------
+
+    /// Set gauge `name` to an absolute value (creating it on first use).
+    ///
+    /// Gauges are *live-state* metrics — queue depth, inflight units,
+    /// worker occupancy — sampled at snapshot time rather than accumulated
+    /// over the run. They are therefore excluded from the deterministic
+    /// snapshot view, like wall-clock timers.
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        intern(&self.gauges, name).store(value, Ordering::Relaxed);
+    }
+
+    /// Add `n` (possibly negative) to gauge `name`.
+    pub fn gauge_add(&self, name: &str, n: i64) {
+        intern(&self.gauges, name).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n` from gauge `name`.
+    pub fn gauge_sub(&self, name: &str, n: i64) {
+        self.gauge_add(name, -n);
+    }
+
+    /// Current value of gauge `name` (zero when never set).
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        self.gauges
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .map(|g| g.load(Ordering::Relaxed))
             .unwrap_or(0)
     }
 
@@ -154,6 +214,12 @@ impl Registry {
         for (name, v) in &snap.counters {
             self.add(name, *v);
         }
+        // Gauges merge additively too: a worker's snapshot carries its
+        // *contribution* to the live value (e.g. its inflight units), so
+        // summing contributions is the order-independent combination.
+        for (name, v) in &snap.gauges {
+            self.gauge_add(name, *v);
+        }
         for (name, h) in &snap.histograms {
             let cell = intern(&self.histograms, name);
             cell.count.fetch_add(h.count, Ordering::Relaxed);
@@ -177,6 +243,13 @@ impl Registry {
     pub fn snapshot(&self) -> Snapshot {
         let counters = self
             .counters
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
             .read()
             .expect("registry lock poisoned")
             .iter()
@@ -222,6 +295,7 @@ impl Registry {
             .collect();
         Snapshot {
             counters,
+            gauges,
             histograms,
             timers,
         }
@@ -243,7 +317,7 @@ impl Drop for Span<'_> {
 }
 
 /// Point-in-time copy of a histogram.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Number of recorded values.
     pub count: u64,
@@ -331,6 +405,8 @@ pub struct TimerSnapshot {
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge last-values by name (live state at snapshot time).
+    pub gauges: BTreeMap<String, i64>,
     /// Histograms by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Timers by name.
@@ -344,6 +420,12 @@ impl Snapshot {
             self.counters
                 .iter()
                 .map(|(k, v)| (k.clone(), Value::UInt(*v)))
+                .collect(),
+        );
+        let gauges = Value::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Int(*v)))
                 .collect(),
         );
         let histograms = Value::Obj(
@@ -377,14 +459,19 @@ impl Snapshot {
         );
         let mut root = BTreeMap::new();
         root.insert("counters".to_string(), counters);
+        if !self.gauges.is_empty() {
+            root.insert("gauges".to_string(), gauges);
+        }
         root.insert("histograms".to_string(), histograms);
         root.insert("timers".to_string(), timers);
         Value::Obj(root).to_json()
     }
 
     /// The scheduling-independent restriction of the snapshot: drops every
-    /// timer (wall-clock measurements vary run to run) and the counters
-    /// that describe the *schedule* or *history* rather than the *work* —
+    /// timer (wall-clock measurements vary run to run), every gauge (live
+    /// state — queue depth, inflight units — is a property of *when* the
+    /// snapshot was taken, not of the work), and the counters that
+    /// describe the *schedule* or *history* rather than the *work* —
     /// `pipeline.jobs`, the per-worker `validate.steal.*` counters, and the
     /// `cache.*` hit/miss/eviction counters (which depend on what previous
     /// runs left in the validation cache). Everything that remains is a
@@ -404,6 +491,7 @@ impl Snapshot {
                 .filter(|(k, _)| !schedule_scoped(k))
                 .map(|(k, v)| (k.clone(), *v))
                 .collect(),
+            gauges: BTreeMap::new(),
             histograms: self.histograms.clone(),
             timers: BTreeMap::new(),
         }
@@ -419,6 +507,14 @@ impl Snapshot {
                     .as_u64()
                     .ok_or_else(|| format!("counter `{k}` is not a u64"))?;
                 snap.counters.insert(k.clone(), v);
+            }
+        }
+        if let Some(gauges) = root.get("gauges").and_then(Value::as_obj) {
+            for (k, v) in gauges {
+                let v = v
+                    .as_i64()
+                    .ok_or_else(|| format!("gauge `{k}` is not an i64"))?;
+                snap.gauges.insert(k.clone(), v);
             }
         }
         if let Some(histograms) = root.get("histograms").and_then(Value::as_obj) {
@@ -498,6 +594,40 @@ mod tests {
         assert_eq!(hist.count, threads * per_thread);
         let bucket_total: u64 = hist.buckets.iter().map(|(_, n)| n).sum();
         assert_eq!(bucket_total, hist.count);
+    }
+
+    #[test]
+    fn gauges_set_add_sub_and_snapshot() {
+        let r = Registry::new();
+        r.gauge_set("serve.queue_depth", 5);
+        r.gauge_add("serve.queue_depth", 3);
+        r.gauge_sub("serve.queue_depth", 6);
+        assert_eq!(r.gauge_value("serve.queue_depth"), 2);
+        r.gauge_sub("serve.inflight", 1);
+        assert_eq!(r.gauge_value("serve.inflight"), -1);
+        assert_eq!(r.gauge_value("never.touched"), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauges.get("serve.queue_depth"), Some(&2));
+        assert_eq!(snap.gauges.get("serve.inflight"), Some(&-1));
+        // JSON roundtrip carries gauges (including negative values).
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        // The deterministic view drops live state.
+        assert!(snap.deterministic().gauges.is_empty());
+    }
+
+    #[test]
+    fn gauge_merge_is_additive() {
+        let mk = |v: i64| {
+            let r = Registry::new();
+            r.gauge_set("pool.inflight", v);
+            r.snapshot()
+        };
+        let merged = Registry::new();
+        merged.merge_snapshot(&mk(3));
+        merged.merge_snapshot(&mk(-1));
+        merged.merge_snapshot(&mk(4));
+        assert_eq!(merged.gauge_value("pool.inflight"), 6);
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   JSON-lines proof-audit trace (zero external dependencies).
 //! * [`bench`] — the experiment driver regenerating the paper's tables,
 //!   plus bench history and the noise-aware regression sentinel.
+//! * [`serve`] — validation-as-a-service: the loopback daemon with a
+//!   bounded admission queue, tenant-namespaced verdict cache, and a
+//!   live observability plane (`crellvm serve`, `crellvm top`).
 //!
 //! # Quickstart
 //!
@@ -64,4 +67,5 @@ pub use crellvm_gen as gen;
 pub use crellvm_interp as interp;
 pub use crellvm_ir as ir;
 pub use crellvm_passes as passes;
+pub use crellvm_serve as serve;
 pub use crellvm_telemetry as telemetry;

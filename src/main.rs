@@ -28,6 +28,18 @@
 //!     checker against interpreter refinement; exits non-zero iff a
 //!     soundness alarm (checker accepts, refinement refutes) survives
 //!     minimization.
+//! crellvm serve [--addr HOST:PORT] [--queue N] [--cache-dir DIR]
+//!               [--access-log FILE] [--span-log FILE] [--bench ...]
+//!     Run the validation daemon: POST /v1/validate (IR text, JSON, or
+//!     v2-wire module bodies) with a bounded admission queue (429 +
+//!     Retry-After on overflow), tenant-namespaced verdict cache, live
+//!     /metrics (OpenMetrics), /healthz + /readyz probes, per-request
+//!     trace ids, and structured JSON-lines access/span logs. With
+//!     --bench, replays the synthetic corpus against the daemon at a
+//!     target QPS and writes BENCH_serve.json + a history record.
+//! crellvm top --addr HOST:PORT [--once] [--interval-ms N]
+//!     A refreshing one-screen fleet view of a running daemon, fed
+//!     entirely by scraping its /metrics endpoint.
 //! ```
 //!
 //! `opt --proof-dir DIR [--binary]` writes each translation's proof to
@@ -94,7 +106,7 @@ const PROGRESS_PERIOD: Duration = Duration::from_millis(200);
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--format json|binary-v1|binary-v2] [--jobs N] [--cache-dir DIR] [--metrics FILE] [--trace FILE] [--spans FILE] [--forensics-dir DIR] [--progress human|json]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] [--jobs N] [--cache-dir DIR] [--progress human|json] <proof-file>...\n  crellvm report [--format text|openmetrics|chrome-trace|profile|folded] [--top N] [--weight time|cost] <file>\n  crellvm forensics <bundle.forensic.json>\n  crellvm fuzz [--seeds A..B] [--jobs N] [--mutate-rate R] [--compiler 3.7.1|5.0.1-pre|none] [--out DIR] [--metrics FILE] [--progress human|json]\n  crellvm bench compare [--history FILE] [--baseline last|FILE] [--window N] [--rel-tol F] [--mad-k F]"
+        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--format json|binary-v1|binary-v2] [--jobs N] [--cache-dir DIR] [--metrics FILE] [--trace FILE] [--spans FILE] [--forensics-dir DIR] [--progress human|json]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] [--jobs N] [--cache-dir DIR] [--progress human|json] <proof-file>...\n  crellvm report [--format text|openmetrics|chrome-trace|profile|folded] [--top N] [--weight time|cost] <file>\n  crellvm forensics <bundle.forensic.json>\n  crellvm fuzz [--seeds A..B] [--jobs N] [--mutate-rate R] [--compiler 3.7.1|5.0.1-pre|none] [--out DIR] [--metrics FILE] [--progress human|json]\n  crellvm bench compare [--history FILE] [--baseline last|FILE] [--window N] [--rel-tol F] [--mad-k F]\n  crellvm serve [--addr HOST:PORT] [--jobs N] [--executors N] [--queue N] [--cache-dir DIR] [--access-log FILE] [--span-log FILE] [--bench] [--qps F] [--requests N] [--seed N] [--scale F] [--modules N] [--tenants A,B] [--out FILE] [--history FILE]\n  crellvm top --addr HOST:PORT [--once] [--interval-ms N]"
     );
     ExitCode::from(2)
 }
@@ -229,6 +241,7 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
         forensics: forensics_dir.is_some(),
         cache,
         progress: progress.clone(),
+        ..ParallelOptions::default()
     };
     tel.count("pipeline.jobs", jobs as u64);
     let mut report = PipelineReport::default();
@@ -263,17 +276,13 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
         // Step records come back in function order regardless of which
         // worker validated what, so this output is thread-count stable.
         for step in &report.steps[steps_before..] {
-            match &step.outcome {
-                StepOutcome::Valid => println!("{pass:<12} @{:<20} valid", step.func),
-                StepOutcome::NotSupported(r) => {
-                    println!("{pass:<12} @{:<20} not-supported ({r})", step.func)
-                }
-                StepOutcome::Failed(e) => {
-                    failures += 1;
-                    println!("{pass:<12} @{:<20} FAILED", step.func);
-                    println!("{:>34}reason: {e}", "");
-                }
+            if matches!(step.outcome, StepOutcome::Failed(_)) {
+                failures += 1;
             }
+            println!(
+                "{}",
+                crellvm::passes::format_step_line(pass, &step.func, &step.outcome)
+            );
         }
         cur = out.module;
     }
@@ -1083,6 +1092,189 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    use crellvm::serve::{loadgen, LoadConfig, ServeConfig};
+    let mut cfg = ServeConfig::default();
+    let mut addr_explicit = false;
+    let mut bench = false;
+    let mut load = LoadConfig::default();
+    let mut out = "BENCH_serve.json".to_string();
+    let mut history_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                cfg.addr = it.next().ok_or("--addr needs host:port")?.clone();
+                addr_explicit = true;
+            }
+            "--jobs" => cfg.jobs = parse_jobs(it.next())?,
+            "--executors" => {
+                cfg.executors = it
+                    .next()
+                    .ok_or("--executors needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --executors: {e}"))?
+            }
+            "--queue" => {
+                cfg.queue_capacity = it
+                    .next()
+                    .ok_or("--queue needs a capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue: {e}"))?
+            }
+            "--cache-dir" => {
+                let dir = it.next().ok_or("--cache-dir needs a path")?;
+                std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+                cfg.cache_dir = Some(dir.clone());
+            }
+            "--access-log" => {
+                cfg.access_log = Some(it.next().ok_or("--access-log needs a path")?.clone())
+            }
+            "--span-log" => {
+                cfg.span_log = Some(it.next().ok_or("--span-log needs a path")?.clone())
+            }
+            "--bench" => bench = true,
+            "--qps" => {
+                load.qps = it
+                    .next()
+                    .ok_or("--qps needs a rate")?
+                    .parse()
+                    .map_err(|e| format!("bad --qps: {e}"))?
+            }
+            "--requests" => {
+                load.requests = it
+                    .next()
+                    .ok_or("--requests needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --requests: {e}"))?
+            }
+            "--seed" => {
+                load.seed = it
+                    .next()
+                    .ok_or("--seed needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--scale" => {
+                load.scale = it
+                    .next()
+                    .ok_or("--scale needs functions-per-kloc")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?
+            }
+            "--modules" => {
+                load.modules = it
+                    .next()
+                    .ok_or("--modules needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --modules: {e}"))?
+            }
+            "--tenants" => {
+                load.tenants = it
+                    .next()
+                    .ok_or("--tenants needs a comma-separated list")?
+                    .split(',')
+                    .map(str::to_string)
+                    .filter(|t| !t.is_empty())
+                    .collect()
+            }
+            "--out" => out = it.next().ok_or("--out needs a path")?.clone(),
+            "--history" => history_path = Some(it.next().ok_or("--history needs a path")?.clone()),
+            other => return Err(format!("serve: unknown flag {other}")),
+        }
+    }
+
+    if bench && addr_explicit {
+        // Benchmark an already-running daemon.
+        let report = loadgen::run(&cfg.addr, &load)?;
+        return finish_serve_bench(&report, &out, history_path.as_deref());
+    }
+    let handle = crellvm::serve::start(cfg)?;
+    println!("listening on http://{}", handle.addr());
+    // Tests and scripts scrape the line above to find the port.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if bench {
+        let report = loadgen::run(&handle.addr().to_string(), &load)?;
+        let code = finish_serve_bench(&report, &out, history_path.as_deref());
+        handle.shutdown();
+        return code;
+    }
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Write the load report, append bench history, print the operator
+/// summary.
+fn finish_serve_bench(
+    report: &crellvm::serve::LoadReport,
+    out: &str,
+    history_path: Option<&str>,
+) -> Result<ExitCode, String> {
+    use crellvm::serve::loadgen;
+    loadgen::write_report(std::path::Path::new(out), report)?;
+    println!(
+        "serve bench: {}/{} ok ({} rejected, {} errors) in {:.1} ms -> {:.1} rps",
+        report.ok, report.requests, report.rejected, report.errors, report.wall_ms, report.rps
+    );
+    println!(
+        "latency: p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms  max {:.2} ms",
+        report.latency_ms.p50, report.latency_ms.p95, report.latency_ms.p99, report.latency_ms.max
+    );
+    println!(
+        "cache: {} hits / {} misses ({:.1}% hit rate)",
+        report.cache_hits,
+        report.cache_misses,
+        100.0 * report.cache_hit_rate
+    );
+    println!("wrote {out}");
+    let history = history_path.unwrap_or("BENCH_history.jsonl");
+    let rec = loadgen::append_history(std::path::Path::new(history), report)?;
+    println!("appended {history} ({} metrics)", rec.metrics.len());
+    Ok(if report.errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_top(args: &[String]) -> Result<ExitCode, String> {
+    use crellvm::serve::top;
+    let mut addr: Option<String> = None;
+    let mut once = false;
+    let mut interval = Duration::from_millis(1000);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().ok_or("--addr needs host:port")?.clone()),
+            "--once" => once = true,
+            "--interval-ms" => {
+                interval = Duration::from_millis(
+                    it.next()
+                        .ok_or("--interval-ms needs a count")?
+                        .parse()
+                        .map_err(|e| format!("bad --interval-ms: {e}"))?,
+                )
+            }
+            other => return Err(format!("top: unknown flag {other}")),
+        }
+    }
+    let addr = addr.ok_or("top: --addr host:port is required")?;
+    if once {
+        print!("{}", top::frame(&addr)?);
+        return Ok(ExitCode::SUCCESS);
+    }
+    loop {
+        let frame = top::frame(&addr)?;
+        // Clear screen + home, then one coherent frame.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(interval);
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -1098,6 +1290,8 @@ fn main() -> ExitCode {
         "forensics" => cmd_forensics(rest),
         "fuzz" => cmd_fuzz(rest),
         "bench" => cmd_bench(rest),
+        "serve" => cmd_serve(rest),
+        "top" => cmd_top(rest),
         _ => return usage(),
     };
     match result {

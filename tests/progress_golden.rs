@@ -1,0 +1,132 @@
+//! Golden tests for the `--progress json` heartbeat: the line format is
+//! machine-consumed (dashboards, CI log scrapers), so its schema — key
+//! set, key order, types — is pinned here byte-for-byte. Breaking it
+//! silently would break every consumer; breaking this test first makes
+//! the change deliberate.
+
+use crellvm::telemetry::json::{parse, Value};
+use crellvm::telemetry::{Progress, ProgressMode};
+use std::process::Command;
+use std::time::Duration;
+
+/// The exact serialized heartbeat for a fixed state and elapsed time.
+/// Keys are alphabetically ordered (BTreeMap) and floats render via
+/// Rust's shortest-representation `to_string`.
+#[test]
+fn json_heartbeat_bytes_are_golden() {
+    let p = Progress::new(ProgressMode::Json, "opt", 8);
+    p.add_done(4);
+    p.add_cache_hit();
+    p.add_cache_miss();
+    let line = p.line_at(Duration::from_secs(2));
+    assert_eq!(
+        line,
+        "{\"cache_hits\":1,\"cache_misses\":1,\"done\":4,\"elapsed_ms\":2000,\
+         \"eta_s\":2,\"label\":\"opt\",\"rate_per_s\":2,\"total\":8}"
+    );
+}
+
+/// The alarm-reporting variant (fuzz) adds exactly one key.
+#[test]
+fn json_heartbeat_with_alarms_is_golden() {
+    let p = Progress::new_with_alarms(ProgressMode::Json, "fuzz", 10);
+    p.add_done(5);
+    p.add_alarms(1);
+    let line = p.line_at(Duration::from_secs(1));
+    assert_eq!(
+        line,
+        "{\"alarms\":1,\"cache_hits\":0,\"cache_misses\":0,\"done\":5,\
+         \"elapsed_ms\":1000,\"eta_s\":1,\"label\":\"fuzz\",\"rate_per_s\":5,\"total\":10}"
+    );
+}
+
+/// When the run is complete or rate is zero, `eta_s` must be JSON null —
+/// never a sentinel number.
+#[test]
+fn json_heartbeat_eta_null_when_done() {
+    let p = Progress::new(ProgressMode::Json, "opt", 4);
+    p.add_done(4);
+    let line = p.line_at(Duration::from_secs(1));
+    let doc = parse(&line).unwrap();
+    assert_eq!(doc.get("eta_s"), Some(&Value::Null));
+}
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_crellvm")
+}
+
+/// End to end: every heartbeat line a real `opt --progress json` run
+/// emits on stderr conforms to the schema, stdout stays byte-identical
+/// to a silent run, and the final line reports completion.
+#[test]
+fn opt_progress_json_lines_conform_and_leave_stdout_untouched() {
+    let dir = std::env::temp_dir().join(format!("crellvm_prog_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let module = dir.join("m.cll");
+    let out = Command::new(bin())
+        .args([
+            "gen",
+            "--seed",
+            "5",
+            "--functions",
+            "4",
+            "--out",
+            module.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let silent = Command::new(bin())
+        .args(["opt", module.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(silent.status.success());
+
+    let noisy = Command::new(bin())
+        .args(["opt", module.to_str().unwrap(), "--progress", "json"])
+        .output()
+        .unwrap();
+    assert!(noisy.status.success());
+    assert_eq!(
+        silent.stdout, noisy.stdout,
+        "--progress must never perturb stdout"
+    );
+
+    let stderr = String::from_utf8(noisy.stderr).unwrap();
+    let lines: Vec<&str> = stderr.lines().filter(|l| l.starts_with('{')).collect();
+    assert!(!lines.is_empty(), "no heartbeat lines on stderr: {stderr}");
+    const REQUIRED: [&str; 8] = [
+        "label",
+        "done",
+        "total",
+        "rate_per_s",
+        "eta_s",
+        "elapsed_ms",
+        "cache_hits",
+        "cache_misses",
+    ];
+    for line in &lines {
+        let doc = parse(line).unwrap_or_else(|e| panic!("bad heartbeat {line}: {e}"));
+        let obj = doc.as_obj().expect("heartbeat is an object");
+        for key in REQUIRED {
+            assert!(obj.contains_key(key), "missing {key} in {line}");
+        }
+        assert_eq!(obj.len(), REQUIRED.len(), "unexpected extra keys: {line}");
+        assert_eq!(doc.get("label").and_then(Value::as_str), Some("opt"));
+        // done/total/elapsed_ms/cache counters are unsigned integers.
+        for key in ["done", "total", "elapsed_ms", "cache_hits", "cache_misses"] {
+            assert!(
+                doc.get(key).and_then(Value::as_u64).is_some(),
+                "{key} not a u64 in {line}"
+            );
+        }
+    }
+    // The final heartbeat reports the run complete: done == total > 0.
+    let last = parse(lines.last().unwrap()).unwrap();
+    let done = last.get("done").and_then(Value::as_u64).unwrap();
+    let total = last.get("total").and_then(Value::as_u64).unwrap();
+    assert_eq!(done, total);
+    assert!(total > 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
