@@ -43,6 +43,10 @@ struct PhasesMs {
     io: f64,
     io_encode: f64,
     io_decode: f64,
+    /// Decode time hidden behind PCheck by the decode-ahead pipeline
+    /// (`time.io.decode_overlap`); at jobs 1 this is what the zero-copy
+    /// pipelining saves off the critical path.
+    io_decode_overlap: f64,
     pcheck: f64,
 }
 
@@ -297,6 +301,7 @@ fn main() {
                 io: ms(report.time_io),
                 io_encode: timer_ms(&snap, "time.io.encode"),
                 io_decode: timer_ms(&snap, "time.io.decode"),
+                io_decode_overlap: timer_ms(&snap, "time.io.decode_overlap"),
                 pcheck: ms(report.time_pcheck),
             },
             steals,
@@ -473,6 +478,10 @@ fn history_record(out: &BenchOutput) -> HistoryRecord {
             rec.metric(&format!("io_ms.{j}"), r.phases_ms.io);
             rec.metric(&format!("io_encode_ms.{j}"), r.phases_ms.io_encode);
             rec.metric(&format!("io_decode_ms.{j}"), r.phases_ms.io_decode);
+            rec.metric(
+                &format!("io_decode_overlap_ms.{j}"),
+                r.phases_ms.io_decode_overlap,
+            );
             rec.metric(&format!("pcheck_ms.{j}"), r.phases_ms.pcheck);
         }
     }

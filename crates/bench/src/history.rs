@@ -236,6 +236,22 @@ pub fn direction_of(metric: &str) -> Direction {
     }
 }
 
+/// Is this metric meaningful only on a multi-core host? Speedup ratios
+/// and any per-jobs series above one worker (`wall_ms.j4`, …) measure
+/// parallel scaling; on a single-core runner they collapse to ~1× and to
+/// time-sliced wall times, so comparing them across hosts with different
+/// core counts judges the hardware, not the code.
+pub fn parallelism_sensitive(metric: &str) -> bool {
+    if metric.contains("speedup") {
+        return true;
+    }
+    // A trailing `.jN` with N > 1 marks a multi-worker measurement.
+    match metric.rfind(".j") {
+        Some(pos) => matches!(metric[pos + 2..].parse::<u64>(), Ok(n) if n > 1),
+        None => false,
+    }
+}
+
 /// Sentinel tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct CompareConfig {
@@ -283,6 +299,9 @@ pub struct CompareReport {
     pub deltas: Vec<MetricDelta>,
     /// Metrics present in the current record with no baseline history.
     pub new_metrics: Vec<String>,
+    /// Parallelism-sensitive metrics left unjudged because the current
+    /// run or part of its baseline window ran on a single core.
+    pub skipped: Vec<String>,
     /// How many baseline records were considered.
     pub baseline_runs: usize,
 }
@@ -328,6 +347,12 @@ impl CompareReport {
         for m in &self.new_metrics {
             let _ = writeln!(out, "{m:<28} (new metric; no baseline yet)");
         }
+        for m in &self.skipped {
+            let _ = writeln!(
+                out,
+                "{m:<28} (skipped: single-core run; scaling not comparable)"
+            );
+        }
         out
     }
 }
@@ -359,15 +384,24 @@ pub fn compare(
         ..CompareReport::default()
     };
     for (name, &value) in &current.metrics {
-        let mut values: Vec<f64> = window
+        let contributors: Vec<&HistoryRecord> = window
             .iter()
-            .filter_map(|r| r.metrics.get(name).copied())
-            .filter(|v| v.is_finite())
+            .filter(|r| r.metrics.get(name).is_some_and(|v| v.is_finite()))
             .collect();
-        if values.is_empty() {
+        if contributors.is_empty() {
             report.new_metrics.push(name.clone());
             continue;
         }
+        // Scaling metrics are only comparable between multi-core runs: a
+        // 1-core leg (current or baseline) would judge host throttling,
+        // not the code under test.
+        if parallelism_sensitive(name)
+            && (current.cores == 1 || contributors.iter().any(|r| r.cores == 1))
+        {
+            report.skipped.push(name.clone());
+            continue;
+        }
+        let mut values: Vec<f64> = contributors.iter().map(|r| r.metrics[name]).collect();
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = median(&values);
         let mut devs: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
@@ -503,6 +537,70 @@ mod tests {
             }
         }
         assert_eq!(stripped, compact);
+    }
+
+    fn rec_cores(cores: usize, metrics: &[(&str, f64)]) -> HistoryRecord {
+        let mut r = HistoryRecord::new("abc123", "2026-01-01T00:00:00Z", cores, "binary-v2");
+        for (k, v) in metrics {
+            r.metric(k, *v);
+        }
+        r
+    }
+
+    #[test]
+    fn parallelism_sensitive_classification() {
+        assert!(parallelism_sensitive("speedup.jmax"));
+        assert!(parallelism_sensitive("wall_ms.j4"));
+        assert!(parallelism_sensitive("wall_ms.j2"));
+        assert!(!parallelism_sensitive("wall_ms.j1"));
+        assert!(!parallelism_sensitive("pcheck_ms.j1"));
+        assert!(!parallelism_sensitive("fuzz.exec_per_s"));
+        assert!(!parallelism_sensitive("cache.warm_over_cold"));
+    }
+
+    #[test]
+    fn single_core_current_skips_scaling_metrics() {
+        // Baseline from a 4-core host; the current run was throttled to
+        // one core, so its ~1x speedup must not read as a regression.
+        let baseline: Vec<HistoryRecord> = [3.1, 3.0, 3.2]
+            .iter()
+            .map(|&v| rec_cores(4, &[("speedup.jmax", v), ("pcheck_ms.j1", 100.0)]))
+            .collect();
+        let cfg = CompareConfig::default();
+        let current = rec_cores(1, &[("speedup.jmax", 1.0), ("pcheck_ms.j1", 101.0)]);
+        let report = compare(&current, &baseline, &cfg);
+        assert!(!report.has_regression(), "skipped metric must not flag");
+        assert_eq!(report.skipped, vec!["speedup.jmax".to_string()]);
+        // The single-worker phase is still judged normally.
+        assert!(report.deltas.iter().any(|d| d.metric == "pcheck_ms.j1"));
+        assert!(report.render().contains("scaling not comparable"));
+    }
+
+    #[test]
+    fn single_core_baseline_skips_scaling_metrics() {
+        // The converse: history written on a 1-core CI runner cannot
+        // anchor a multi-core run's wall_ms.j4.
+        let baseline = vec![rec_cores(1, &[("wall_ms.j4", 400.0)])];
+        let cfg = CompareConfig::default();
+        let current = rec_cores(8, &[("wall_ms.j4", 120.0)]);
+        let report = compare(&current, &baseline, &cfg);
+        assert!(report.deltas.is_empty());
+        assert_eq!(report.skipped, vec!["wall_ms.j4".to_string()]);
+    }
+
+    #[test]
+    fn multi_core_runs_still_judge_scaling_metrics() {
+        let baseline: Vec<HistoryRecord> = [3.0, 3.1, 2.9]
+            .iter()
+            .map(|&v| rec_cores(4, &[("speedup.jmax", v)]))
+            .collect();
+        let cfg = CompareConfig::default();
+        let report = compare(&rec_cores(4, &[("speedup.jmax", 1.1)]), &baseline, &cfg);
+        assert!(report.skipped.is_empty());
+        assert!(
+            report.has_regression(),
+            "a real scaling collapse still flags"
+        );
     }
 
     #[test]

@@ -519,6 +519,67 @@ pub fn validate_with_telemetry(
     config: &CheckerConfig,
     tel: &Telemetry,
 ) -> Result<Verdict, ValidationError> {
+    validate_with_interner(unit, config, tel, seed_interner(unit))
+}
+
+/// A decoded proof unit paired with its pre-seeded expression interner —
+/// what the decode stage of the validation engine hands to PCheck. The
+/// interner already holds every lessdef expression of the unit's
+/// assertions (see [`seed_interner`]), so the checker's goal interning is
+/// all hits and the arena clones moved into the (overlappable) decode
+/// stage.
+#[derive(Debug)]
+pub struct DecodedProof {
+    /// The decoded proof unit.
+    pub unit: ProofUnit,
+    /// The expression interner seeded from the unit's assertions.
+    pub interner: ExprInterner,
+}
+
+impl DecodedProof {
+    /// Decode-stage constructor: seed the interner from the unit.
+    pub fn seed(unit: ProofUnit) -> DecodedProof {
+        let interner = seed_interner(&unit);
+        DecodedProof { unit, interner }
+    }
+}
+
+/// Pre-seed an expression interner with every lessdef expression of the
+/// unit's assertions, in slot order.
+///
+/// This is the canonical seeding walk: it is a pure function of the
+/// decoded unit (never of the wire format or the schedule that decoded
+/// it), so the flushed `expr.intern.hits` / `expr.intern.misses` counters
+/// stay in the deterministic snapshot view — identical across formats,
+/// thread counts, and the inline/pipelined decode paths.
+pub fn seed_interner(unit: &ProofUnit) -> ExprInterner {
+    let mut interner = ExprInterner::new();
+    for a in unit.assertions.values() {
+        for side in [&a.src, &a.tgt] {
+            for (x, y) in side.lessdefs() {
+                interner.intern(x);
+                interner.intern(y);
+            }
+        }
+    }
+    interner
+}
+
+/// [`validate_with_telemetry`] with a caller-provided (typically
+/// pre-seeded, see [`DecodedProof`]) expression interner. The interner's
+/// accumulated hit/miss counts are flushed together with the checker's
+/// own, so seeding at decode and seeding here are observationally
+/// identical.
+///
+/// # Errors
+///
+/// See [`validate_with_config`].
+pub fn validate_with_interner(
+    unit: &ProofUnit,
+    config: &CheckerConfig,
+    tel: &Telemetry,
+    interner: ExprInterner,
+) -> Result<Verdict, ValidationError> {
     tel.count("checker.validations", 1);
     let step = |verdict: &str| {
         Event::new("validation.step")
@@ -542,7 +603,7 @@ pub fn validate_with_telemetry(
         unit,
         config,
         tel,
-        interner: RefCell::new(ExprInterner::new()),
+        interner: RefCell::new(interner),
         history: RefCell::new(Vec::new()),
     };
     let result = ctx.run();

@@ -596,12 +596,45 @@ impl ExprRef {
 /// double as the pipeline's allocation proxy (`expr.intern.hits` /
 /// `expr.intern.misses` in telemetry): every miss is one tree cloned,
 /// every hit a clone avoided.
+///
+/// The index is an intrusive hash chain over the arena (`heads` maps an
+/// FNV-1a structural hash to the newest arena entry with that hash,
+/// `chain[i]` links same-hash entries), so a miss clones the tree exactly
+/// once — into the arena — instead of once for the arena and once for a
+/// `HashMap<Expr, _>` key, and no per-entry side allocation exists at all.
 #[derive(Debug, Default)]
 pub struct ExprInterner {
-    map: std::collections::HashMap<Expr, u32>,
+    heads: std::collections::HashMap<u64, u32>,
+    chain: Vec<u32>,
     exprs: Vec<Expr>,
     hits: u64,
     misses: u64,
+}
+
+/// End-of-chain sentinel (an arena can never hold `u32::MAX` entries — the
+/// overflow check in `intern` fires first).
+const CHAIN_END: u32 = u32::MAX;
+
+/// Structural FNV-1a hash of an expression tree, via the `Hash` derive
+/// driving a 64-bit FNV state. Deterministic within a process run, which
+/// is all the chain index needs (equality, not hash order, decides
+/// hit/miss counts).
+fn fnv_hash(e: &Expr) -> u64 {
+    struct Fnv(u64);
+    impl std::hash::Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    std::hash::Hash::hash(e, &mut h);
+    std::hash::Hasher::finish(&h)
 }
 
 impl ExprInterner {
@@ -613,14 +646,25 @@ impl ExprInterner {
     /// Intern an expression, cloning it into the arena only on first
     /// sight.
     pub fn intern(&mut self, e: &Expr) -> ExprRef {
-        if let Some(&i) = self.map.get(e) {
-            self.hits += 1;
-            return ExprRef(i);
+        let h = fnv_hash(e);
+        if let Some(&head) = self.heads.get(&h) {
+            let mut i = head;
+            while i != CHAIN_END {
+                if self.exprs[i as usize] == *e {
+                    self.hits += 1;
+                    return ExprRef(i);
+                }
+                i = self.chain[i as usize];
+            }
         }
         self.misses += 1;
-        let i = u32::try_from(self.exprs.len()).expect("expression arena overflow");
+        let i = u32::try_from(self.exprs.len())
+            .ok()
+            .filter(|&i| i != CHAIN_END)
+            .expect("expression arena overflow");
         self.exprs.push(e.clone());
-        self.map.insert(e.clone(), i);
+        self.chain
+            .push(self.heads.insert(h, i).unwrap_or(CHAIN_END));
         ExprRef(i)
     }
 

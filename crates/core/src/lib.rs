@@ -48,6 +48,7 @@ pub mod equivbeh;
 pub mod expr;
 pub mod forensics;
 pub mod infrule;
+pub mod mmapio;
 pub mod postcond;
 pub mod proof;
 pub mod rules_arith;
@@ -60,12 +61,14 @@ pub use assertion::{Assertion, Pred, Unary};
 pub use auto::AutoKind;
 pub use cache::{CacheEntry, CacheKey, ValidationCache, CHECKER_VERSION};
 pub use checker::{
-    validate, validate_with_config, validate_with_telemetry, ValidationError, Verdict,
+    seed_interner, validate, validate_with_config, validate_with_interner, validate_with_telemetry,
+    DecodedProof, ValidationError, Verdict,
 };
 pub use equivbeh::check_equiv_beh;
 pub use expr::{Expr, ExprInterner, ExprRef, Side, TReg, TValue};
 pub use forensics::{forensic_bundle, replay, ReplayReport};
 pub use infrule::{all_rule_names, apply_inf, apply_inf_owned, CheckerConfig, InfError, InfRule};
+pub use mmapio::{read_bytes, ProofBytes};
 pub use postcond::{calc_post_cmd, calc_post_phi};
 pub use proof::{Loc, ProofBuilder, ProofUnit, RowShape, RulePos, SlotId};
 pub use rules_arith::ArithRule;

@@ -1,0 +1,338 @@
+//! Mmap-style zero-copy file reader with a read-to-heap fallback.
+//!
+//! Disk-cache `.cpe` archives and proof files are read-once inputs whose
+//! decode path already borrows the buffer (the v2 codec slices its string
+//! table straight out of the input). Mapping the file instead of copying
+//! it into a heap buffer means the kernel's page cache *is* the buffer:
+//! the only full-buffer touch left is the v2 checksum pass, which is also
+//! the container's trust boundary — a mapping of a truncated or corrupted
+//! archive fails the checksum exactly like a heap read would.
+//!
+//! The mapping is implemented with raw `mmap`/`munmap` syscalls (this
+//! workspace deliberately has no libc dependency), gated to Linux on
+//! x86_64/aarch64. Anywhere else — and on *any* mapping failure (empty
+//! file, exotic filesystem, fd limits) — [`read_bytes`] silently falls
+//! back to `std::fs::read`, so `--mmap` is a pure optimization toggle:
+//! behaviour and bytes are identical either way.
+//!
+//! Concurrency caveat, accepted by design: unlike a heap read, a mapping
+//! observes later in-place rewrites of the file. Every producer in this
+//! codebase writes via temp-file-then-rename (the cache store, the bench
+//! history), so a mapped archive is never rewritten in place; and any torn
+//! content a hostile writer could produce is rejected by the v2 checksum
+//! before the body is interpreted.
+
+use std::io;
+use std::path::Path;
+
+/// Bytes read from a file: either an owned heap buffer or a private
+/// read-only file mapping. Dereferences to `&[u8]` either way, so decode
+/// paths are agnostic to which one they got.
+#[derive(Debug)]
+pub enum ProofBytes {
+    /// `std::fs::read` result (the portable path and universal fallback).
+    Heap(Vec<u8>),
+    /// A live `mmap` of the file (unmapped on drop).
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Mapped(Mmap),
+}
+
+impl std::ops::Deref for ProofBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            ProofBytes::Heap(v) => v,
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            ProofBytes::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+impl ProofBytes {
+    /// Was this buffer actually mapped (vs. the heap fallback)?
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            ProofBytes::Heap(_) => false,
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            ProofBytes::Mapped(_) => true,
+        }
+    }
+}
+
+/// Read a file's bytes. With `mmap` set, try a private read-only mapping
+/// first and fall back to a heap read on any mapping failure; with it
+/// unset, always read to the heap.
+///
+/// # Errors
+///
+/// Propagates `open`/`read` I/O errors (a *mapping* failure is not an
+/// error — it falls back).
+pub fn read_bytes(path: &Path, mmap: bool) -> io::Result<ProofBytes> {
+    if mmap {
+        if let Some(mapped) = try_mmap(path)? {
+            return Ok(mapped);
+        }
+    }
+    Ok(ProofBytes::Heap(std::fs::read(path)?))
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+fn try_mmap(path: &Path) -> io::Result<Option<ProofBytes>> {
+    use std::os::unix::io::AsRawFd;
+    let file = std::fs::File::open(path)?;
+    let len = file.metadata()?.len();
+    // mmap rejects zero-length mappings (EINVAL); usize overflow cannot
+    // happen for on-disk proofs but is cheap to refuse.
+    let Ok(len) = usize::try_from(len) else {
+        return Ok(None);
+    };
+    if len == 0 {
+        return Ok(None);
+    }
+    Ok(Mmap::map_readonly(file.as_raw_fd(), len).map(ProofBytes::Mapped))
+    // `file` drops (closes) here; the mapping survives the fd per POSIX.
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn try_mmap(_path: &Path) -> io::Result<Option<ProofBytes>> {
+    Ok(None)
+}
+
+/// A private read-only file mapping (Linux x86_64/aarch64 only), created
+/// and torn down with raw syscalls.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+#[derive(Debug)]
+pub struct Mmap {
+    addr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is PROT_READ + MAP_PRIVATE — an immutable byte
+// region owned exclusively by this handle until munmap in Drop — so
+// sharing references across threads and moving the handle are both fine.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+unsafe impl Send for Mmap {}
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+unsafe impl Sync for Mmap {}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+impl Mmap {
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// Map `len` bytes of `fd` read-only; `None` on any kernel refusal
+    /// (the caller falls back to a heap read).
+    fn map_readonly(fd: i32, len: usize) -> Option<Mmap> {
+        let ret = unsafe { sys_mmap(len, Self::PROT_READ, Self::MAP_PRIVATE, fd) };
+        // Linux returns -errno in [-4095, -1] on failure.
+        if ret.wrapping_neg() < 4096 {
+            return None;
+        }
+        Some(Mmap {
+            addr: ret as *mut u8,
+            len,
+        })
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        // SAFETY: `addr..addr+len` is a live PROT_READ mapping created in
+        // `map_readonly` and not unmapped until Drop; the kernel
+        // guarantees initialized, aligned-for-u8 memory for the whole
+        // range.
+        unsafe { std::slice::from_raw_parts(self.addr, self.len) }
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: unmapping exactly the range mmap returned, once.
+        unsafe { sys_munmap(self.addr as usize, self.len) };
+    }
+}
+
+/// Raw `mmap(NULL, len, prot, flags, fd, 0)`.
+///
+/// # Safety
+///
+/// Pure syscall wrapper: safe to *call* with any arguments (the kernel
+/// validates), unsafe because using the returned address is only sound
+/// while the mapping lives.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn sys_mmap(len: usize, prot: usize, flags: usize, fd: i32) -> usize {
+    let ret: usize;
+    // SAFETY: x86_64 Linux syscall ABI — number in rax (mmap = 9), args in
+    // rdi/rsi/rdx/r10/r8/r9, rcx/r11 clobbered by `syscall`.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 9usize => ret,
+            in("rdi") 0usize,
+            in("rsi") len,
+            in("rdx") prot,
+            in("r10") flags,
+            in("r8") fd as isize,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+    }
+    ret
+}
+
+/// Raw `munmap(addr, len)`.
+///
+/// # Safety
+///
+/// `addr..addr+len` must be a mapping previously returned by [`sys_mmap`]
+/// and not yet unmapped; no references into it may outlive the call.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn sys_munmap(addr: usize, len: usize) -> usize {
+    let ret: usize;
+    // SAFETY: see sys_mmap; munmap = 11.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 11usize => ret,
+            in("rdi") addr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+    }
+    ret
+}
+
+/// Raw `mmap(NULL, len, prot, flags, fd, 0)` (aarch64).
+///
+/// # Safety
+///
+/// See the x86_64 variant.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+unsafe fn sys_mmap(len: usize, prot: usize, flags: usize, fd: i32) -> usize {
+    let ret: usize;
+    // SAFETY: aarch64 Linux syscall ABI — number in x8 (mmap = 222), args
+    // in x0..x5, result in x0.
+    unsafe {
+        std::arch::asm!(
+            "svc 0",
+            in("x8") 222usize,
+            inlateout("x0") 0usize => ret,
+            in("x1") len,
+            in("x2") prot,
+            in("x3") flags,
+            in("x4") fd as isize,
+            in("x5") 0usize,
+            options(nostack)
+        );
+    }
+    ret
+}
+
+/// Raw `munmap(addr, len)` (aarch64).
+///
+/// # Safety
+///
+/// See the x86_64 variant.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+unsafe fn sys_munmap(addr: usize, len: usize) -> usize {
+    let ret: usize;
+    // SAFETY: see sys_mmap; munmap = 215.
+    unsafe {
+        std::arch::asm!(
+            "svc 0",
+            in("x8") 215usize,
+            inlateout("x0") addr => ret,
+            in("x1") len,
+            options(nostack)
+        );
+    }
+    ret
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("crellvm-mmapio-{}-{name}", std::process::id()));
+        std::fs::write(&p, bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn mapped_and_heap_reads_are_identical() {
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let p = tmp("payload", &payload);
+        let heap = read_bytes(&p, false).unwrap();
+        let mapped = read_bytes(&p, true).unwrap();
+        assert!(!heap.is_mapped());
+        assert_eq!(&*heap, &payload[..]);
+        assert_eq!(&*mapped, &payload[..]);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    #[test]
+    fn linux_actually_maps() {
+        let p = tmp("maps", b"some proof bytes");
+        let mapped = read_bytes(&p, true).unwrap();
+        assert!(mapped.is_mapped());
+        assert_eq!(&*mapped, b"some proof bytes");
+        drop(mapped); // munmap must not fault
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_heap() {
+        let p = tmp("empty", b"");
+        let b = read_bytes(&p, true).unwrap();
+        assert!(!b.is_mapped());
+        assert!(b.is_empty());
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn missing_file_is_an_error_both_ways() {
+        let p = std::env::temp_dir().join("crellvm-mmapio-definitely-missing");
+        assert!(read_bytes(&p, false).is_err());
+        assert!(read_bytes(&p, true).is_err());
+    }
+}

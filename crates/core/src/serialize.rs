@@ -11,9 +11,9 @@ use crate::auto::AutoKind;
 use crate::infrule::InfRule;
 use crate::proof::{ProofUnit, RowShape, RulePos, SlotId};
 use crate::serialize_bin::{self, DecodeScratch, EncodeScratch};
-use crellvm_ir::{Block, Function};
+use crellvm_ir::{Block, Function, FunctionShellRef};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Wire format: JSON objects cannot use struct keys, so the maps become
 /// association lists.
@@ -138,21 +138,165 @@ struct ProofUnitWireV2 {
     not_supported: Option<String>,
 }
 
+/// Serialize-only borrowed mirror of [`ProofUnitWireV2`]: every field is a
+/// view into the proof unit, so encoding never deep-clones the functions,
+/// blocks, or assertions it is about to write out. Field order and serde
+/// shapes must stay byte-compatible with [`ProofUnitWireV2`] (a `&[T]`
+/// encodes like a `Vec<T>`, a `BTreeMap` like its sorted pair list, and
+/// [`FunctionShellRef`] like `Function::clone_shell`), which
+/// `v2_borrowed_encode_matches_owned` pins. `Serialize` is hand-written —
+/// derives don't take lifetime parameters here — and mirrors the derive
+/// on the owned struct field for field.
+#[derive(Debug)]
+struct ProofUnitWireV2Ref<'a> {
+    pass: &'a str,
+    src_shell: FunctionShellRef<'a>,
+    src_blocks: Vec<u32>,
+    tgt_shell: FunctionShellRef<'a>,
+    tgt_blocks: Vec<u32>,
+    block_table: Vec<&'a Block>,
+    alignment: &'a [Vec<RowShape>],
+    assertion_table: Vec<&'a Assertion>,
+    assertion_slots: Vec<(SlotId, u32)>,
+    infrules: &'a BTreeMap<RulePos, Vec<InfRule>>,
+    autos: &'a BTreeSet<AutoKind>,
+    not_supported: &'a Option<String>,
+}
+
+impl Serialize for ProofUnitWireV2Ref<'_> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut s = serializer.serialize_struct("ProofUnitWireV2", 12)?;
+        s.serialize_field("pass", &self.pass)?;
+        s.serialize_field("src_shell", &self.src_shell)?;
+        s.serialize_field("src_blocks", &self.src_blocks)?;
+        s.serialize_field("tgt_shell", &self.tgt_shell)?;
+        s.serialize_field("tgt_blocks", &self.tgt_blocks)?;
+        s.serialize_field("block_table", &self.block_table)?;
+        s.serialize_field("alignment", &self.alignment)?;
+        s.serialize_field("assertion_table", &self.assertion_table)?;
+        s.serialize_field("assertion_slots", &self.assertion_slots)?;
+        s.serialize_field("infrules", self.infrules)?;
+        s.serialize_field("autos", self.autos)?;
+        s.serialize_field("not_supported", self.not_supported)?;
+        s.end()
+    }
+}
+
 /// First-seen-order interning by deep equality. Tables here are small
 /// (blocks per function pair, distinct assertions per proof), so a linear
-/// scan beats maintaining a hash index.
-fn intern<T: PartialEq + Clone>(table: &mut Vec<T>, v: &T) -> u32 {
-    match table.iter().position(|x| x == v) {
+/// scan beats maintaining a hash index. The table holds references — the
+/// encoder never owns what it writes.
+fn intern_ref<'a, T: PartialEq>(table: &mut Vec<&'a T>, v: &'a T) -> u32 {
+    match table.iter().position(|&x| x == v) {
         Some(i) => i as u32,
         None => {
-            table.push(v.clone());
+            table.push(v);
             (table.len() - 1) as u32
         }
     }
 }
 
+impl<'a> From<&'a ProofUnit> for ProofUnitWireV2Ref<'a> {
+    fn from(u: &'a ProofUnit) -> ProofUnitWireV2Ref<'a> {
+        let mut block_table = Vec::new();
+        let src_blocks = u
+            .src
+            .blocks
+            .iter()
+            .map(|b| intern_ref(&mut block_table, b))
+            .collect();
+        let tgt_blocks = u
+            .tgt
+            .blocks
+            .iter()
+            .map(|b| intern_ref(&mut block_table, b))
+            .collect();
+        let mut assertion_table = Vec::new();
+        let assertion_slots = u
+            .assertions
+            .iter()
+            .map(|(k, a)| (*k, intern_ref(&mut assertion_table, a)))
+            .collect();
+        ProofUnitWireV2Ref {
+            pass: &u.pass,
+            src_shell: u.src.shell_ref(),
+            src_blocks,
+            tgt_shell: u.tgt.shell_ref(),
+            tgt_blocks,
+            block_table,
+            alignment: &u.alignment,
+            assertion_table,
+            assertion_slots,
+            infrules: &u.infrules,
+            autos: &u.autos,
+            not_supported: &u.not_supported,
+        }
+    }
+}
+
+fn bad_ref(what: &str, idx: u32) -> serialize_bin::Error {
+    <serialize_bin::Error as serde::de::Error>::custom(format!("{what} index {idx} beyond table"))
+}
+
+/// Move-on-last-use table dispenser: the decoder counts how often each
+/// table entry is referenced up front, then every reference but the last
+/// clones and the last one *moves* the entry out. Each distinct block and
+/// assertion is thus materialized exactly `refs` times — not `refs + 1`
+/// (table + clones) as a naive reattach would.
+struct TakeTable<T> {
+    slots: Vec<Option<T>>,
+    remaining: Vec<u32>,
+    what: &'static str,
+}
+
+impl<T: Clone> TakeTable<T> {
+    fn new(table: Vec<T>, what: &'static str) -> TakeTable<T> {
+        let remaining = vec![0u32; table.len()];
+        TakeTable {
+            slots: table.into_iter().map(Some).collect(),
+            remaining,
+            what,
+        }
+    }
+
+    /// Pre-register a reference (validates the index).
+    fn will_take(&mut self, i: u32) -> Result<(), serialize_bin::Error> {
+        match self.remaining.get_mut(i as usize) {
+            Some(n) => {
+                *n += 1;
+                Ok(())
+            }
+            None => Err(bad_ref(self.what, i)),
+        }
+    }
+
+    /// Resolve a pre-registered reference.
+    fn take(&mut self, i: u32) -> T {
+        let i = i as usize;
+        self.remaining[i] -= 1;
+        if self.remaining[i] == 0 {
+            self.slots[i].take().expect("reference was pre-registered")
+        } else {
+            self.slots[i].clone().expect("reference was pre-registered")
+        }
+    }
+}
+
+/// The retired owned construction, kept (test-only) as the reference the
+/// borrowed mirror is pinned byte-identical against.
+#[cfg(test)]
 impl From<&ProofUnit> for ProofUnitWireV2 {
     fn from(u: &ProofUnit) -> ProofUnitWireV2 {
+        fn intern<T: PartialEq + Clone>(table: &mut Vec<T>, v: &T) -> u32 {
+            match table.iter().position(|x| x == v) {
+                Some(i) => i as u32,
+                None => {
+                    table.push(v.clone());
+                    (table.len() - 1) as u32
+                }
+            }
+        }
         let mut block_table = Vec::new();
         let src_blocks = u
             .src
@@ -189,44 +333,28 @@ impl From<&ProofUnit> for ProofUnitWireV2 {
     }
 }
 
-fn bad_ref(what: &str, idx: u32) -> serialize_bin::Error {
-    <serialize_bin::Error as serde::de::Error>::custom(format!("{what} index {idx} beyond table"))
-}
-
-fn reattach(
-    mut shell: Function,
-    refs: &[u32],
-    table: &[Block],
-) -> Result<Function, serialize_bin::Error> {
-    shell.blocks = refs
-        .iter()
-        .map(|&i| {
-            table
-                .get(i as usize)
-                .cloned()
-                .ok_or_else(|| bad_ref("block", i))
-        })
-        .collect::<Result<_, _>>()?;
-    Ok(shell)
-}
-
 impl TryFrom<ProofUnitWireV2> for ProofUnit {
     type Error = serialize_bin::Error;
 
     fn try_from(w: ProofUnitWireV2) -> Result<ProofUnit, serialize_bin::Error> {
-        let src = reattach(w.src_shell, &w.src_blocks, &w.block_table)?;
-        let tgt = reattach(w.tgt_shell, &w.tgt_blocks, &w.block_table)?;
+        let mut blocks = TakeTable::new(w.block_table, "block");
+        for &i in w.src_blocks.iter().chain(&w.tgt_blocks) {
+            blocks.will_take(i)?;
+        }
+        let mut src = w.src_shell;
+        src.blocks = w.src_blocks.iter().map(|&i| blocks.take(i)).collect();
+        let mut tgt = w.tgt_shell;
+        tgt.blocks = w.tgt_blocks.iter().map(|&i| blocks.take(i)).collect();
+
+        let mut table = TakeTable::new(w.assertion_table, "assertion");
+        for &(_, i) in &w.assertion_slots {
+            table.will_take(i)?;
+        }
         let assertions = w
             .assertion_slots
             .into_iter()
-            .map(|(k, i)| {
-                w.assertion_table
-                    .get(i as usize)
-                    .cloned()
-                    .map(|a| (k, a))
-                    .ok_or_else(|| bad_ref("assertion", i))
-            })
-            .collect::<Result<_, _>>()?;
+            .map(|(k, i)| (k, table.take(i)))
+            .collect();
         Ok(ProofUnit {
             pass: w.pass,
             src,
@@ -248,7 +376,7 @@ impl TryFrom<ProofUnitWireV2> for ProofUnit {
 ///
 /// Effectively unreachable for these types (kept for API symmetry).
 pub fn proof_to_bytes_v2(unit: &ProofUnit) -> Result<Vec<u8>, serialize_bin::Error> {
-    serialize_bin::to_bytes_v2(&ProofUnitWireV2::from(unit))
+    serialize_bin::to_bytes_v2(&ProofUnitWireV2Ref::from(unit))
 }
 
 /// [`proof_to_bytes_v2`] writing into a caller-owned buffer with reusable
@@ -262,7 +390,7 @@ pub fn proof_to_bytes_v2_into(
     scratch: &mut EncodeScratch,
     out: &mut Vec<u8>,
 ) -> Result<(), serialize_bin::Error> {
-    serialize_bin::to_bytes_v2_into(&ProofUnitWireV2::from(unit), scratch, out)
+    serialize_bin::to_bytes_v2_into(&ProofUnitWireV2Ref::from(unit), scratch, out)
 }
 
 /// Deserialize a proof unit from wire format v2.
@@ -378,6 +506,17 @@ mod tests {
         assert_units_equal(&unit, &proof_from_bytes(&bytes).unwrap());
         let v1 = proof_to_bytes(&unit).unwrap();
         assert_units_equal(&unit, &proof_from_bytes(&v1).unwrap());
+    }
+
+    #[test]
+    fn v2_borrowed_encode_matches_owned() {
+        // The zero-copy encode mirror must stay byte-identical to the
+        // owned construction it replaced: same tables, same field order,
+        // same serde shapes. Cache keys and `.cpe` archives depend on it.
+        let unit = sample_unit();
+        let borrowed = serialize_bin::to_bytes_v2(&ProofUnitWireV2Ref::from(&unit)).unwrap();
+        let owned = serialize_bin::to_bytes_v2(&ProofUnitWireV2::from(&unit)).unwrap();
+        assert_eq!(borrowed, owned);
     }
 
     #[test]

@@ -34,10 +34,13 @@
 //! the proof wire type begins with the varint length of a short pass-name
 //! string (< 0x80), so [`from_bytes_auto`] can sniff the version from the
 //! first byte. The checksum turns any truncation or bit flip into a clean
-//! [`Error`] before the body is ever interpreted. Encode and decode both
-//! take optional scratch state ([`EncodeScratch`], [`DecodeScratch`]) so
-//! hot loops reuse the dictionary map, the body buffer, and the span
-//! table instead of reallocating per proof.
+//! [`Error`] before the body is ever interpreted — and it is the *only*
+//! full-buffer pass the decoder makes: after it, the string table is
+//! sliced and UTF-8-validated entry by entry exactly once, and the body
+//! borrows those pre-checked `&str` spans for every backreference. Encode
+//! and decode both take optional scratch state ([`EncodeScratch`],
+//! [`DecodeScratch`]) so hot loops reuse the dictionary map, the body
+//! buffer, and the table capacity instead of reallocating per proof.
 
 use serde::de::{self, DeserializeSeed, IntoDeserializer, Visitor};
 use serde::{ser, Deserialize, Serialize};
@@ -97,7 +100,6 @@ pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
 pub fn from_bytes<'de, T: Deserialize<'de>>(bytes: &'de [u8]) -> Result<T, Error> {
     let mut d = BinDeserializer {
         input: bytes,
-        full: bytes,
         table: None,
     };
     let v = T::deserialize(&mut d)?;
@@ -158,12 +160,15 @@ pub struct EncodeScratch {
     body: Vec<u8>,
 }
 
-/// Reusable decoder state for [`from_bytes_v2_with`]: the string-table
-/// span list (offsets into the input, so it holds no borrowed data and
-/// can be reused across proofs).
+/// Reusable decoder state for [`from_bytes_v2_with`].
+///
+/// The string table itself is a `Vec<&str>` borrowing the input archive,
+/// so it cannot outlive one decode; what carries over is the capacity
+/// hint, letting every decode after the first allocate the table at its
+/// final size in one shot.
 #[derive(Debug, Default)]
 pub struct DecodeScratch {
-    spans: Vec<(u32, u32)>,
+    table_cap: usize,
 }
 
 /// Does `bytes` start with the v2 magic?
@@ -253,30 +258,28 @@ pub fn from_bytes_v2_with<'de, T: Deserialize<'de>>(
     if fnv64(rest) != sum {
         return Err(err("v2 checksum mismatch (truncated or corrupted stream)"));
     }
-    // Parse the string table into (offset, len) spans over `bytes`.
-    scratch.spans.clear();
+    // Parse the string table once up front: every entry is sliced out of
+    // the input and validated as UTF-8 exactly here, so backref resolution
+    // in the body below is a bare indexed load of a pre-checked `&str`
+    // (no per-occurrence bounds arithmetic or re-validation).
     let mut d = BinDeserializer {
         input: rest,
-        full: bytes,
         table: None,
     };
     let count = d.len()?;
+    let mut table: Vec<&'de str> = Vec::with_capacity(count.max(scratch.table_cap));
     for _ in 0..count {
         let n = d.len()?;
-        let start = bytes.len() - d.input.len();
         let entry = d.take(n)?;
-        std::str::from_utf8(entry).map_err(|_| err("string table entry is not utf-8"))?;
-        scratch.spans.push((start as u32, n as u32));
+        table.push(std::str::from_utf8(entry).map_err(|_| err("string table entry is not utf-8"))?);
     }
+    scratch.table_cap = scratch.table_cap.max(table.len());
     let mut body = BinDeserializer {
         input: d.input,
-        full: bytes,
-        table: Some(std::mem::take(&mut scratch.spans)),
+        table: Some(table),
     };
     let result = T::deserialize(&mut body);
     let trailing = body.input.len();
-    // Hand the span buffer back for reuse whether or not decoding worked.
-    scratch.spans = body.table.take().unwrap_or_default();
     let v = result?;
     if trailing == 0 {
         Ok(v)
@@ -630,12 +633,10 @@ impl ser::SerializeStructVariant for &mut BinSerializer<'_> {
 
 struct BinDeserializer<'de> {
     input: &'de [u8],
-    /// The complete stream (string-table spans index into this).
-    full: &'de [u8],
-    /// v2 string table as (offset, len) spans into `full`; `None` means
-    /// v1 inline strings. Owned (taken from the scratch and handed back)
-    /// so the deserializer needs no second lifetime.
-    table: Option<Vec<(u32, u32)>>,
+    /// v2 string table as pre-validated `&str` slices of the input archive
+    /// (each entry bounds- and UTF-8-checked once, when the table was
+    /// parsed); `None` means v1 inline strings.
+    table: Option<Vec<&'de str>>,
 }
 
 impl<'de> BinDeserializer<'de> {
@@ -767,16 +768,12 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
     fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
         if self.table.is_some() {
             let idx = self.varint()?;
-            let table = self.table.as_ref().expect("checked above");
-            let &(off, len) = usize::try_from(idx)
+            let table = self.table.as_deref().expect("checked above");
+            let s = usize::try_from(idx)
                 .ok()
                 .and_then(|i| table.get(i))
+                .copied()
                 .ok_or_else(|| err(format!("string index {idx} beyond table")))?;
-            let span = self
-                .full
-                .get(off as usize..off as usize + len as usize)
-                .ok_or_else(|| err("string span out of range"))?;
-            let s = std::str::from_utf8(span).map_err(|_| err("invalid utf-8"))?;
             return visitor.visit_borrowed_str(s);
         }
         let n = self.len()?;

@@ -139,6 +139,35 @@ pub enum DefSite {
     Stmt(BlockId, usize),
 }
 
+/// Borrowed serialize-only mirror of a [`Function`] header with no blocks
+/// (see [`Function::shell_ref`]). Field order and types must stay
+/// byte-compatible with [`Function`] under every tag-free codec: a decoder
+/// reading a `Function` out of a stream written from this view must see an
+/// identical layout. (`Serialize` is hand-written — derives don't take
+/// lifetime parameters here — and mirrors the derive on [`Function`]
+/// field for field.)
+#[derive(Debug)]
+pub struct FunctionShellRef<'a> {
+    name: &'a str,
+    params: &'a [(Type, RegId)],
+    ret: &'a Option<Type>,
+    blocks: &'a [Block],
+    reg_names: &'a [String],
+}
+
+impl Serialize for FunctionShellRef<'_> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut s = serializer.serialize_struct("Function", 5)?;
+        s.serialize_field("name", &self.name)?;
+        s.serialize_field("params", &self.params)?;
+        s.serialize_field("ret", self.ret)?;
+        s.serialize_field("blocks", &self.blocks)?;
+        s.serialize_field("reg_names", &self.reg_names)?;
+        s.end()
+    }
+}
+
 /// A function definition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Function {
@@ -182,6 +211,21 @@ impl Function {
             ret: self.ret,
             blocks: Vec::new(),
             reg_names: self.reg_names.clone(),
+        }
+    }
+
+    /// A serialize-only borrowed view of [`Self::clone_shell`]: the same
+    /// fields in the same serde order with an empty block list, but
+    /// borrowing the header instead of cloning it. Encoders that emit the
+    /// shell next to a deduplicated block table use this to keep whole-proof
+    /// serialization allocation-free.
+    pub fn shell_ref(&self) -> FunctionShellRef<'_> {
+        FunctionShellRef {
+            name: &self.name,
+            params: &self.params,
+            ret: &self.ret,
+            blocks: &[],
+            reg_names: &self.reg_names,
         }
     }
 

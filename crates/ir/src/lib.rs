@@ -60,7 +60,7 @@ pub use builder::FunctionBuilder;
 pub use cfg::Cfg;
 pub use constant::{Const, ConstExpr};
 pub use dom::{DomTree, DominanceFrontier};
-pub use function::{Block, BlockId, DefSite, Function, Phi, RegId, Stmt};
+pub use function::{Block, BlockId, DefSite, Function, FunctionShellRef, Phi, RegId, Stmt};
 pub use inst::{BinOp, CastOp, IcmpPred, Inst, Term};
 pub use module::{ExternDecl, Global, Module};
 pub use parser::{parse_module, ParseError};

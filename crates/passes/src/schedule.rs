@@ -56,6 +56,42 @@ where
     R: Send,
     S: Send,
 {
+    run_work_stealing_batched(
+        n,
+        workers,
+        weight,
+        init,
+        |w, state, i| vec![(i, work(w, state, i))],
+        |w, state, steals| (Vec::new(), finish(w, state, steals)),
+    )
+}
+
+/// [`run_work_stealing`] for *pipelined* callers: `work` may complete
+/// items out of band, returning zero or more `(item, result)` pairs per
+/// call, and `finish` returns any results still pending when the worker's
+/// queue runs dry. This is what lets a worker overlap stages — dispatch
+/// item `i` to a helper (e.g. the decode-ahead thread), keep pulling new
+/// items, and emit `i`'s result on a later call once the helper delivers.
+///
+/// The contract is unchanged: across all `work` and `finish` returns,
+/// every item index in `0..n` must appear exactly once.
+///
+/// # Panics
+///
+/// Propagates panics from worker closures; panics if an item is reported
+/// twice or never.
+pub fn run_work_stealing_batched<R, S, St>(
+    n: usize,
+    workers: usize,
+    weight: impl Fn(usize) -> usize + Sync,
+    init: impl Fn(usize) -> St + Sync,
+    work: impl Fn(usize, &mut St, usize) -> Vec<(usize, R)> + Sync,
+    finish: impl Fn(usize, St, u64) -> (Vec<(usize, R)>, S) + Sync,
+) -> PoolOutput<R, S>
+where
+    R: Send,
+    S: Send,
+{
     let workers = workers.max(1).min(n.max(1));
 
     // Interleaved size-rank seeding (see module docs).
@@ -91,9 +127,11 @@ where
                             }
                         }
                         let Some(i) = item else { break };
-                        produced.push((i, work(w, &mut state, i)));
+                        produced.extend(work(w, &mut state, i));
                     }
-                    (produced, finish(w, state, steals))
+                    let (rest, summary) = finish(w, state, steals);
+                    produced.extend(rest);
+                    (produced, summary)
                 })
             })
             .collect();
@@ -140,6 +178,31 @@ mod tests {
             );
             assert_eq!(out.results, (0..10).map(|i| i * 2).collect::<Vec<_>>());
             assert_eq!(out.worker_summaries.len(), workers.min(10));
+        }
+    }
+
+    #[test]
+    fn batched_workers_may_defer_results_to_finish() {
+        // Each worker holds results back and flushes two at a time; the
+        // stragglers come out through `finish`. The pool must still
+        // reassemble every item in order.
+        for workers in [1, 2, 4] {
+            let out = run_work_stealing_batched(
+                9,
+                workers,
+                |i| i,
+                |_| Vec::new(),
+                |_, held: &mut Vec<usize>, i| {
+                    held.push(i);
+                    if held.len() >= 2 {
+                        held.drain(..).map(|j| (j, j * 3)).collect()
+                    } else {
+                        Vec::new()
+                    }
+                },
+                |_, held, steals| (held.into_iter().map(|j| (j, j * 3)).collect(), steals),
+            );
+            assert_eq!(out.results, (0..9).map(|i| i * 3).collect::<Vec<_>>());
         }
     }
 

@@ -106,7 +106,7 @@ const PROGRESS_PERIOD: Duration = Duration::from_millis(200);
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--format json|binary-v1|binary-v2] [--jobs N] [--cache-dir DIR] [--metrics FILE] [--trace FILE] [--spans FILE] [--forensics-dir DIR] [--progress human|json]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] [--jobs N] [--cache-dir DIR] [--progress human|json] <proof-file>...\n  crellvm report [--format text|openmetrics|chrome-trace|profile|folded] [--top N] [--weight time|cost] <file>\n  crellvm forensics <bundle.forensic.json>\n  crellvm fuzz [--seeds A..B] [--jobs N] [--mutate-rate R] [--compiler 3.7.1|5.0.1-pre|none] [--out DIR] [--metrics FILE] [--progress human|json]\n  crellvm bench compare [--history FILE] [--baseline last|FILE] [--window N] [--rel-tol F] [--mad-k F]\n  crellvm serve [--addr HOST:PORT] [--jobs N] [--executors N] [--queue N] [--cache-dir DIR] [--access-log FILE] [--span-log FILE] [--bench] [--qps F] [--requests N] [--seed N] [--scale F] [--modules N] [--tenants A,B] [--out FILE] [--history FILE]\n  crellvm top --addr HOST:PORT [--once] [--interval-ms N]"
+        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--format json|binary-v1|binary-v2] [--jobs N] [--decode-ahead N] [--cache-dir DIR] [--mmap] [--metrics FILE] [--trace FILE] [--spans FILE] [--forensics-dir DIR] [--progress human|json]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] [--jobs N] [--cache-dir DIR] [--mmap] [--progress human|json] <proof-file>...\n  crellvm report [--format text|openmetrics|chrome-trace|profile|folded] [--top N] [--weight time|cost] <file>\n  crellvm forensics <bundle.forensic.json>\n  crellvm fuzz [--seeds A..B] [--jobs N] [--mutate-rate R] [--compiler 3.7.1|5.0.1-pre|none] [--out DIR] [--metrics FILE] [--progress human|json]\n  crellvm bench compare [--history FILE] [--baseline last|FILE] [--window N] [--rel-tol F] [--mad-k F]\n  crellvm serve [--addr HOST:PORT] [--jobs N] [--executors N] [--queue N] [--cache-dir DIR] [--mmap] [--access-log FILE] [--span-log FILE] [--bench] [--qps F] [--requests N] [--seed N] [--scale F] [--modules N] [--tenants A,B] [--out FILE] [--history FILE]\n  crellvm top --addr HOST:PORT [--once] [--interval-ms N]"
     );
     ExitCode::from(2)
 }
@@ -157,10 +157,12 @@ fn parse_progress(arg: Option<&String>) -> Result<ProgressMode, String> {
     ProgressMode::parse(name).ok_or_else(|| format!("unknown progress mode {name} (human|json)"))
 }
 
-fn open_cache(arg: Option<&String>) -> Result<Arc<ValidationCache>, String> {
+fn open_cache(arg: Option<&String>, mmap: bool) -> Result<Arc<ValidationCache>, String> {
     let dir = arg.ok_or("--cache-dir needs a path")?;
     Ok(Arc::new(
-        ValidationCache::with_dir(dir).map_err(|e| format!("{dir}: {e}"))?,
+        ValidationCache::with_dir(dir)
+            .map_err(|e| format!("{dir}: {e}"))?
+            .with_mmap(mmap),
     ))
 }
 
@@ -173,7 +175,9 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
     let mut binary = false;
     let mut format = ProofFormat::default();
     let mut jobs = default_jobs();
-    let mut cache: Option<Arc<ValidationCache>> = None;
+    let mut decode_ahead: Option<usize> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut mmap = false;
     let mut metrics: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut spans: Option<String> = None;
@@ -201,7 +205,16 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
                 binary = !matches!(format, ProofFormat::Json);
             }
             "--jobs" => jobs = parse_jobs(it.next())?,
-            "--cache-dir" => cache = Some(open_cache(it.next())?),
+            "--decode-ahead" => {
+                decode_ahead = Some(
+                    it.next()
+                        .ok_or("--decode-ahead needs a window size")?
+                        .parse()
+                        .map_err(|e| format!("bad --decode-ahead: {e}"))?,
+                )
+            }
+            "--cache-dir" => cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone()),
+            "--mmap" => mmap = true,
             "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a path")?.clone()),
             "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
             "--spans" => spans = Some(it.next().ok_or("--spans needs a path")?.clone()),
@@ -223,6 +236,10 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
     if let Some(bad) = passes.iter().find(|p| !PASS_NAMES.contains(&p.as_str())) {
         return Err(format!("unknown pass {bad}"));
     }
+    let cache = cache_dir
+        .as_ref()
+        .map(|d| open_cache(Some(d), mmap))
+        .transpose()?;
     let config = PassConfig::with_bugs(bugs);
     let (registry, tel) = make_telemetry(trace.as_deref())?;
     let checker = CheckerConfig::sound();
@@ -234,7 +251,7 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
         p.start_ticker(PROGRESS_PERIOD);
         p
     });
-    let opts = ParallelOptions {
+    let mut opts = ParallelOptions {
         jobs,
         format,
         spans: spans.is_some(),
@@ -243,6 +260,9 @@ fn cmd_opt(args: &[String]) -> Result<ExitCode, String> {
         progress: progress.clone(),
         ..ParallelOptions::default()
     };
+    if let Some(window) = decode_ahead {
+        opts.decode_ahead = window;
+    }
     tel.count("pipeline.jobs", jobs as u64);
     let mut report = PipelineReport::default();
     let mut failures = 0usize;
@@ -427,7 +447,8 @@ fn check_line_from_entry(
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let mut trace: Option<String> = None;
     let mut jobs = default_jobs();
-    let mut cache: Option<Arc<ValidationCache>> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut mmap = false;
     let mut progress_mode: Option<ProgressMode> = None;
     let mut files: Vec<&String> = Vec::new();
     let mut it = args.iter();
@@ -435,7 +456,8 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         match a.as_str() {
             "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
             "--jobs" => jobs = parse_jobs(it.next())?,
-            "--cache-dir" => cache = Some(open_cache(it.next())?),
+            "--cache-dir" => cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone()),
+            "--mmap" => mmap = true,
             "--progress" => progress_mode = Some(parse_progress(it.next())?),
             _ => files.push(a),
         }
@@ -443,6 +465,10 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     if files.is_empty() {
         return Err("check: need at least one proof file".into());
     }
+    let cache = cache_dir
+        .as_ref()
+        .map(|d| open_cache(Some(d), mmap))
+        .transpose()?;
     let progress = progress_mode.map(|mode| {
         let p = Progress::new(mode, "check", files.len() as u64);
         p.start_ticker(PROGRESS_PERIOD);
@@ -453,7 +479,10 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let checker = CheckerConfig::sound();
     let mut units = Vec::with_capacity(files.len());
     for path in files {
-        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        // With --mmap the proof file is mapped, not copied: the binary
+        // decoder borrows its string table straight out of the mapping.
+        let bytes = crellvm::erhl::read_bytes(std::path::Path::new(path), mmap)
+            .map_err(|e| format!("{path}: {e}"))?;
         // The cache key is the proof's exact bytes plus the checker
         // token: re-checking an unchanged proof file with an unchanged
         // checker replays the stored verdict.
@@ -461,8 +490,8 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         let unit = if path.ends_with(".cpb") {
             proof_from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?
         } else {
-            let text = String::from_utf8(bytes).map_err(|e| format!("{path}: {e}"))?;
-            proof_from_json(&text).map_err(|e| format!("{path}: {e}"))?
+            let text = std::str::from_utf8(&bytes).map_err(|e| format!("{path}: {e}"))?;
+            proof_from_json(text).map_err(|e| format!("{path}: {e}"))?
         };
         units.push((path, key, unit));
     }
@@ -1127,6 +1156,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
                 std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
                 cfg.cache_dir = Some(dir.clone());
             }
+            "--mmap" => cfg.mmap = true,
             "--access-log" => {
                 cfg.access_log = Some(it.next().ok_or("--access-log needs a path")?.clone())
             }
