@@ -19,13 +19,16 @@
 //! appends a flat [`HistoryRecord`] to `BENCH_history.jsonl` (override
 //! with `CRELLVM_BENCH_HISTORY`; provenance from `CRELLVM_GIT_SHA` /
 //! `CRELLVM_BENCH_TIMESTAMP`) and times a small fuzz campaign into
-//! `BENCH_fuzz.json` for the oracle-throughput (exec/s) axis.
+//! `BENCH_fuzz.json` for the oracle-throughput (exec/s) axis, alongside
+//! a pure-interpreter microbench comparing the tree-walk and bytecode
+//! tiers (`fuzz.exec_per_s.tree` / `fuzz.exec_per_s.bc`).
 
 use crellvm_bench::history::{self, HistoryRecord};
 use crellvm_core::{proof_from_bytes, proof_from_json, proof_to_bytes, proof_to_json, ProofUnit};
 use crellvm_core::{CheckerConfig, ValidationCache};
 use crellvm_fuzz::{run_campaign, CampaignConfig};
 use crellvm_gen::{generate_module, GenConfig};
+use crellvm_interp::{compile_module, run_main_tiered, RunConfig, Tier};
 use crellvm_passes::{
     default_jobs, run_pipeline_parallel, run_validated_pass_parallel, CodecScratch,
     ParallelOptions, PassConfig, PipelineReport, ProofFormat,
@@ -85,6 +88,20 @@ struct CacheBench {
     warm_over_cold_wall: f64,
 }
 
+/// Pure-interpreter throughput for one tier over the kernel corpus.
+#[derive(Serialize)]
+struct TierExec {
+    tier: String,
+    /// `main` invocations timed (kernels × repeat runs).
+    runs: u64,
+    /// Interpreter steps executed; identical across tiers by parity.
+    steps: u64,
+    wall_ms: f64,
+    /// Steps per second. Equal step counts make the cross-tier ratio a
+    /// pure measure of dispatch cost.
+    exec_per_s: f64,
+}
+
 #[derive(Serialize)]
 struct FuzzBench {
     seeds: u64,
@@ -92,6 +109,12 @@ struct FuzzBench {
     wall_ms: f64,
     exec_per_s: f64,
     verdicts: std::collections::BTreeMap<String, u64>,
+    /// Per-tier interpreter throughput (tree, then bytecode), measured
+    /// with compilation hoisted out of the timed region.
+    interp_tiers: Vec<TierExec>,
+    /// Bytecode exec/s over tree exec/s — the tiering win the bytecode
+    /// interpreter exists to deliver (target ≥5×).
+    interp_bc_over_tree: f64,
 }
 
 #[derive(Serialize)]
@@ -160,6 +183,26 @@ fn corpus() -> Vec<crellvm_ir::Module> {
             generate_module(&GenConfig {
                 seed: 0xbe9c + k as u64,
                 functions: 16,
+                ..GenConfig::default()
+            })
+        })
+        .collect()
+}
+
+/// Corpus for the interpreter-tier microbench: generated modules from
+/// the same generator family the fuzz campaign executes. The bytecode
+/// tier exists to make the oracle's refinement legs cheap, so its
+/// speedup is measured on the oracle's own workload, not on synthetic
+/// kernels (those live in `tests/tier_differential.rs` as parity
+/// regressions).
+fn interp_corpus() -> Vec<crellvm_ir::Module> {
+    let modules = env_usize("CRELLVM_BENCH_INTERP_MODULES", 8);
+    (0..modules)
+        .map(|k| {
+            generate_module(&GenConfig {
+                seed: 0x7e57 + k as u64,
+                // The fuzz campaign's own shape (CampaignConfig::default).
+                functions: 3,
                 ..GenConfig::default()
             })
         })
@@ -401,15 +444,59 @@ fn main() {
         let report = run_campaign(&fuzz_cfg, &tel);
         (ms(t.elapsed()), report)
     });
+    // Interpreter-tier microbench: the same corpus under each tier,
+    // compilation hoisted out of the timed region. Tier parity makes the
+    // step counts identical, so the exec/s ratio is pure dispatch speed.
+    let kernels = interp_corpus();
+    let kernels_bc: Vec<_> = kernels.iter().map(compile_module).collect();
+    let interp_runs = env_usize("CRELLVM_BENCH_INTERP_RUNS", 8) as u64;
+    let run_tier = |tier: Tier| -> TierExec {
+        let cfg = RunConfig {
+            tier,
+            fuel: 1_000_000,
+            ..RunConfig::default()
+        };
+        let (wall, steps) = median_rep(reps, || {
+            let mut steps = 0u64;
+            let t = Instant::now();
+            for _ in 0..interp_runs {
+                for (m, bc) in kernels.iter().zip(&kernels_bc) {
+                    steps += run_main_tiered(m, &cfg, Some(bc)).result.steps;
+                }
+            }
+            (ms(t.elapsed()), steps)
+        });
+        TierExec {
+            tier: tier.name().to_string(),
+            runs: interp_runs * kernels.len() as u64,
+            steps,
+            wall_ms: wall,
+            exec_per_s: steps as f64 / (wall / 1e3).max(1e-9),
+        }
+    };
+    let tier_tree = run_tier(Tier::Tree);
+    let tier_bc = run_tier(Tier::Bytecode);
+    assert_eq!(
+        tier_tree.steps, tier_bc.steps,
+        "tier parity: both tiers must execute identical step counts"
+    );
+    let interp_bc_over_tree = tier_bc.exec_per_s / tier_tree.exec_per_s.max(1e-9);
+    println!(
+        "\ninterp: tree {:.0} exec/s, bytecode {:.0} exec/s ({:.2}x) over {} runs",
+        tier_tree.exec_per_s, tier_bc.exec_per_s, interp_bc_over_tree, tier_tree.runs
+    );
+
     let fuzz = FuzzBench {
         seeds: fuzz_seeds,
         steps: fuzz_report.steps,
         wall_ms: fuzz_wall,
         exec_per_s: fuzz_report.steps as f64 / (fuzz_wall / 1e3).max(1e-9),
         verdicts: fuzz_report.verdicts.clone(),
+        interp_tiers: vec![tier_tree, tier_bc],
+        interp_bc_over_tree,
     };
     println!(
-        "\nfuzz: {} seeds, {} steps in {:.2} ms -> {:.0} exec/s",
+        "fuzz: {} seeds, {} steps in {:.2} ms -> {:.0} exec/s",
         fuzz.seeds, fuzz.steps, fuzz.wall_ms, fuzz.exec_per_s
     );
 
@@ -499,5 +586,14 @@ fn history_record(out: &BenchOutput) -> HistoryRecord {
         warm.hits as f64 / (warm.hits + warm.misses).max(1) as f64,
     );
     rec.metric("fuzz.exec_per_s", out.fuzz.exec_per_s);
+    // Per-tier interpreter throughput; "exec_per_s" in the name makes
+    // the sentinel treat both as higher-is-better.
+    for t in &out.fuzz.interp_tiers {
+        let key = match t.tier.as_str() {
+            "bytecode" => "bc",
+            other => other,
+        };
+        rec.metric(&format!("fuzz.exec_per_s.{key}"), t.exec_per_s);
+    }
     rec
 }

@@ -616,6 +616,17 @@ mod tests {
             Direction::HigherIsBetter
         );
         assert_eq!(direction_of("fuzz.exec_per_s"), Direction::HigherIsBetter);
+        // Per-tier interpreter throughput: a bytecode-tier slowdown must
+        // read as a regression, and neither key is parallelism-gated.
+        assert_eq!(
+            direction_of("fuzz.exec_per_s.tree"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_of("fuzz.exec_per_s.bc"),
+            Direction::HigherIsBetter
+        );
+        assert!(!parallelism_sensitive("fuzz.exec_per_s.bc"));
         assert_eq!(direction_of("speedup.jmax"), Direction::HigherIsBetter);
     }
 }

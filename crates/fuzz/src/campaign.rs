@@ -32,13 +32,14 @@
 //! commutatively, and results reassemble in seed order.
 
 use crate::oracle::{
-    classify, observe_step, CheckerSummary, DiffSummary, Observation, OracleConfig, OracleVerdict,
-    RefinementSummary,
+    classify, input_run_config, observe_step_cached, CheckerSummary, DiffSummary,
+    DivergenceObservation, Observation, OracleConfig, OracleVerdict, RefinementSummary,
 };
 use crellvm_core::{validate, CheckerConfig, ProofUnit};
 use crellvm_gen::{
     generate_module, GenConfig, Mutation, MutationPlan, SplitMix64, GEN_PRNG_VERSION,
 };
+use crellvm_interp::{compile_module_with, run_main_tiered, BcCache, CompileOptions, Tier};
 use crellvm_ir::Module;
 use crellvm_passes::pipeline::PASS_ORDER;
 use crellvm_passes::{gvn, instcombine, licm, mem2reg, BugSet, PassConfig, PassOutcome};
@@ -81,6 +82,11 @@ pub struct CampaignConfig {
     /// ([`CheckerConfig::weakened_accept_all`]) to drive the
     /// soundness-alarm path end to end.
     pub checker: CheckerConfig,
+    /// TEST-ONLY: compile the bytecode tier with a deliberately broken
+    /// lowering ([`CompileOptions::miscompile_sub_as_add`]) so the
+    /// `TierDivergence` path can be driven end to end — the mirror of
+    /// `weakened_accept_all` for the interpreter oracle.
+    pub bc_miscompile: bool,
 }
 
 impl Default for CampaignConfig {
@@ -97,6 +103,7 @@ impl Default for CampaignConfig {
             bait_rate: 0.25,
             oracle: OracleConfig::default(),
             checker: CheckerConfig::sound(),
+            bc_miscompile: false,
         }
     }
 }
@@ -153,6 +160,10 @@ pub enum FindingKind {
     /// Checker rejected an *uninjected* translation: a (historical) pass
     /// bug caught, the paper's §7 outcome.
     Rejection,
+    /// The interpreter tiers disagreed on an observable: a bug in the
+    /// fuzzing *oracle itself* (bytecode lowering, dispatch loop, or the
+    /// shared core), found for free by differential execution.
+    TierDivergence,
 }
 
 /// A minimized, replayable campaign finding.
@@ -399,6 +410,15 @@ fn run_seed(seed: u64, cfg: &CampaignConfig, tel: &Telemetry) -> SeedOutcome {
     let pass_config = PassConfig::with_bugs(cfg.bugs);
     let checker = cfg.checker.clone();
 
+    // One compile cache per seed: the 4+ input seeds × both modules of
+    // every step share lowerings, and hit/miss counts stay a pure
+    // function of the seed's workload (schedule-independent).
+    let mut bc_cache = (cfg.oracle.tier != Tier::Tree).then(|| {
+        BcCache::with_options(CompileOptions {
+            miscompile_sub_as_add: cfg.bc_miscompile,
+        })
+    });
+
     let mut verdicts = Vec::with_capacity(PASS_ORDER.len());
     let mut findings = Vec::new();
     let mut cur = m0;
@@ -422,19 +442,29 @@ fn run_seed(seed: u64, cfg: &CampaignConfig, tel: &Telemetry) -> SeedOutcome {
         let (observed, units) =
             rebuild_observed(&honest.module, &honest.proofs, &plans, &full_mask);
 
-        let obs = observe_step(
+        let obs = observe_step_cached(
             &cur,
             &observed,
             &honest.module,
             &units,
             &checker,
             &cfg.oracle,
+            bc_cache.as_mut(),
             tel,
         );
         let verdict = classify(&obs);
         tel.count(&format!("fuzz.verdict.{}", verdict.name()), 1);
 
         match verdict {
+            OracleVerdict::TierDivergence => {
+                let div = &obs.tier_divergences[0];
+                let module = if div.module_role == "src" {
+                    &cur
+                } else {
+                    &observed
+                };
+                findings.push(minimize_divergence(seed, pass, module, div, cfg));
+            }
             OracleVerdict::SoundnessAlarm => {
                 findings.push(minimize_alarm(
                     seed, pass, &cur, &honest, &plans, &obs, cfg, &checker,
@@ -485,7 +515,124 @@ fn run_seed(seed: u64, cfg: &CampaignConfig, tel: &Telemetry) -> SeedOutcome {
         // Honest propagation: one injected step cannot poison the next.
         cur = honest.module;
     }
+    if let Some(c) = &bc_cache {
+        tel.count("interp.bc.cache.hits", c.hits);
+        tel.count("interp.bc.cache.misses", c.misses);
+    }
     SeedOutcome { verdicts, findings }
+}
+
+/// Every statement site of a module, in deterministic order.
+fn stmt_sites(m: &Module) -> Vec<(usize, usize, usize)> {
+    let mut v = Vec::new();
+    for (fi, f) in m.functions.iter().enumerate() {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for si in 0..b.stmts.len() {
+                v.push((fi, bi, si));
+            }
+        }
+    }
+    v
+}
+
+/// Drop every statement whose `keep` bit is clear (highest index first,
+/// so earlier sites stay valid).
+fn reduced_module(m: &Module, sites: &[(usize, usize, usize)], keep: &[bool]) -> Module {
+    let mut out = m.clone();
+    for (i, (fi, bi, si)) in sites.iter().enumerate().rev() {
+        if !keep[i] {
+            out.functions[*fi].blocks[*bi].stmts.remove(*si);
+        }
+    }
+    out
+}
+
+/// Does any oracle input seed witness a tier divergence on this module?
+/// Returns the first mismatch description. The interpreter tolerates
+/// unverifiable modules (dangling registers read as `undef`), so `ddmin`
+/// can cut statements freely.
+fn diverges_anywhere(m: &Module, oracle: &OracleConfig, opts: CompileOptions) -> Option<String> {
+    let compiled = compile_module_with(m, opts);
+    for k in 0..oracle.input_seeds {
+        let mut rc = input_run_config(k, oracle.fuel);
+        rc.tier = Tier::Differential;
+        if let Some(d) = run_main_tiered(m, &rc, Some(&compiled)).divergence {
+            return Some(d.mismatch);
+        }
+    }
+    None
+}
+
+/// Minimize a tier divergence by `ddmin` over the module's statements:
+/// the reduced module must still make the tiers disagree on some oracle
+/// input. The finding carries a forensic bundle with both runs'
+/// observables and the printed minimal module, and a `--tier
+/// differential` repro line.
+fn minimize_divergence(
+    seed: u64,
+    pass: &str,
+    module: &Module,
+    div: &DivergenceObservation,
+    cfg: &CampaignConfig,
+) -> Finding {
+    let opts = CompileOptions {
+        miscompile_sub_as_add: cfg.bc_miscompile,
+    };
+    let sites = stmt_sites(module);
+    let keep = ddmin(sites.len(), |mask| {
+        diverges_anywhere(&reduced_module(module, &sites, mask), &cfg.oracle, opts).is_some()
+    });
+    let min_module = reduced_module(module, &sites, &keep);
+    let min_mismatch = diverges_anywhere(&min_module, &cfg.oracle, opts)
+        .unwrap_or_else(|| div.divergence.mismatch.clone());
+
+    #[derive(Serialize)]
+    struct DivergenceBundle {
+        kind: &'static str,
+        input_seed: u64,
+        module_role: &'static str,
+        mismatch: String,
+        tree_end: String,
+        bytecode_end: String,
+        tree_steps: u64,
+        bytecode_steps: u64,
+        tree_events: usize,
+        bytecode_events: usize,
+        minimized_mismatch: String,
+        minimized_module: String,
+    }
+    let bundle = DivergenceBundle {
+        kind: "tier_divergence",
+        input_seed: div.input_seed,
+        module_role: div.module_role,
+        mismatch: div.divergence.mismatch.clone(),
+        tree_end: format!("{:?}", div.divergence.tree.end),
+        bytecode_end: format!("{:?}", div.divergence.bytecode.end),
+        tree_steps: div.divergence.tree.steps,
+        bytecode_steps: div.divergence.bytecode.steps,
+        tree_events: div.divergence.tree.events.len(),
+        bytecode_events: div.divergence.bytecode.events.len(),
+        minimized_mismatch: min_mismatch,
+        minimized_module: crellvm_ir::printer::print_module(&min_module),
+    };
+    let bundle = serde_json::to_string(&bundle).expect("bundle serializes");
+    Finding {
+        seed,
+        pass: pass.to_string(),
+        func: div.module_role.to_string(),
+        kind: FindingKind::TierDivergence,
+        reason: format!(
+            "tier divergence on input seed {}: {}",
+            div.input_seed, div.divergence.mismatch
+        ),
+        mutations: Vec::new(),
+        mutation_classes: Vec::new(),
+        attributed_bugs: Vec::new(),
+        minimized: true,
+        forensic_bundle_json: Some(bundle),
+        repro: format!("{} --tier differential", cfg.repro_command(seed)),
+        gen_prng_version: GEN_PRNG_VERSION,
+    }
 }
 
 /// Minimize a soundness alarm by `ddmin` over the flattened mutation
@@ -634,6 +781,7 @@ pub fn run_campaign_with_progress(
         OracleVerdict::SoundnessAlarm,
         OracleVerdict::CompletenessGap,
         OracleVerdict::Inconclusive,
+        OracleVerdict::TierDivergence,
     ] {
         verdict_counts.insert(v.name().to_string(), 0);
     }
@@ -765,6 +913,78 @@ mod tests {
         let report = run_campaign(&cfg, &Telemetry::disabled());
         assert!(!report.has_soundness_alarm());
         assert_eq!(report.verdicts["completeness_gap"], 0);
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_tiers() {
+        // The bytecode tier must be a pure performance substitution: the
+        // deterministic report cannot depend on which tier executed the
+        // refinement leg (nor on the jobs count).
+        let base = CampaignConfig {
+            seed_start: 0,
+            seed_end: 5,
+            jobs: 1,
+            mutate_rate: 0.5,
+            ..CampaignConfig::default()
+        };
+        let tree = run_campaign(&base, &Telemetry::disabled()).to_json();
+        let bc_cfg = CampaignConfig {
+            jobs: 2,
+            oracle: OracleConfig {
+                tier: Tier::Bytecode,
+                ..OracleConfig::default()
+            },
+            ..base.clone()
+        };
+        let bytecode = run_campaign(&bc_cfg, &Telemetry::disabled()).to_json();
+        assert_eq!(tree, bytecode);
+    }
+
+    #[test]
+    fn differential_tier_is_clean_on_healthy_lowering() {
+        let cfg = CampaignConfig {
+            seed_start: 0,
+            seed_end: 5,
+            jobs: 2,
+            mutate_rate: 0.5,
+            oracle: OracleConfig {
+                tier: Tier::Differential,
+                ..OracleConfig::default()
+            },
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&cfg, &Telemetry::disabled());
+        assert_eq!(report.verdicts["tier_divergence"], 0);
+    }
+
+    #[test]
+    fn sabotaged_lowering_is_caught_as_tier_divergence() {
+        let cfg = CampaignConfig {
+            seed_start: 0,
+            seed_end: 6,
+            jobs: 2,
+            mutate_rate: 0.0,
+            bc_miscompile: true,
+            oracle: OracleConfig {
+                tier: Tier::Differential,
+                ..OracleConfig::default()
+            },
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&cfg, &Telemetry::disabled());
+        assert!(
+            report.verdicts["tier_divergence"] > 0,
+            "sub-as-add sabotage must diverge somewhere in 6 seeds"
+        );
+        let f = report
+            .findings_of(FindingKind::TierDivergence)
+            .next()
+            .expect("divergence verdicts must file findings");
+        assert!(f.repro.ends_with("--tier differential"), "{}", f.repro);
+        assert!(f.minimized);
+        let bundle = f.forensic_bundle_json.as_deref().expect("bundle");
+        assert!(bundle.contains("tier_divergence"));
+        assert!(bundle.contains("minimized_module"));
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub use campaign::{
     Finding, FindingKind,
 };
 pub use oracle::{
-    classify, observe_step, CheckerSummary, DiffSummary, Observation, OracleConfig, OracleVerdict,
+    classify, observe_step, observe_step_cached, refinement_leg, refinement_leg_cached,
+    CheckerSummary, DiffSummary, DivergenceObservation, Observation, OracleConfig, OracleVerdict,
     RefinementSummary,
 };

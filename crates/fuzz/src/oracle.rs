@@ -23,9 +23,14 @@
 //! produces `Inconclusive` (the ISSUE-level contract this module pins).
 
 use crellvm_core::{validate_with_telemetry, CheckerConfig, ProofUnit, ValidationError, Verdict};
-use crellvm_interp::{check_refinement, run_main, End, RunConfig, RunResult, UndefPolicy};
+use crellvm_interp::{
+    check_refinement, compile_module, run_main_tiered, BcCache, CompiledModule, End, RunConfig,
+    RunResult, Tier, TierDivergence, UndefPolicy,
+};
 use crellvm_ir::Module;
 use crellvm_telemetry::Telemetry;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Oracle configuration: how hard the refinement leg tries.
 #[derive(Debug, Clone)]
@@ -37,6 +42,11 @@ pub struct OracleConfig {
     /// Interpreter fuel per run; an exhausted run makes the refinement
     /// observation inconclusive, never a pass.
     pub fuel: u64,
+    /// Which interpreter tier executes the refinement runs.
+    /// [`Tier::Differential`] turns tier disagreement into a fourth free
+    /// oracle: any bit-level mismatch between the tree-walk reference and
+    /// the bytecode tier surfaces as [`OracleVerdict::TierDivergence`].
+    pub tier: Tier,
 }
 
 impl Default for OracleConfig {
@@ -44,6 +54,7 @@ impl Default for OracleConfig {
         OracleConfig {
             input_seeds: 4,
             fuel: RunConfig::default().fuel,
+            tier: Tier::Tree,
         }
     }
 }
@@ -90,6 +101,18 @@ pub enum DiffSummary {
     Differs(String),
 }
 
+/// One tier disagreement witnessed while executing the refinement leg
+/// under [`Tier::Differential`].
+#[derive(Debug, Clone)]
+pub struct DivergenceObservation {
+    /// The input seed whose run diverged (replayable).
+    pub input_seed: u64,
+    /// Which module diverged: `"src"` or `"tgt"`.
+    pub module_role: &'static str,
+    /// The full divergence (first mismatching observable + both runs).
+    pub divergence: TierDivergence,
+}
+
 /// One step's worth of oracle observations.
 #[derive(Debug, Clone)]
 pub struct Observation {
@@ -99,11 +122,19 @@ pub struct Observation {
     pub refinement: RefinementSummary,
     /// The structural diff leg.
     pub diff: DiffSummary,
+    /// Tier disagreements seen while running the refinement leg (always
+    /// empty unless the oracle ran with [`Tier::Differential`]).
+    pub tier_divergences: Vec<DivergenceObservation>,
 }
 
 /// The oracle verdict lattice (see module docs and DESIGN.md §11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OracleVerdict {
+    /// The interpreter tiers disagreed on an observable. This is not a
+    /// compiler or checker bug but an *oracle* bug (the bytecode tier —
+    /// or worse, the shared core — is wrong), so it overrides the rest of
+    /// the lattice: no other verdict from this step can be trusted.
+    TierDivergence,
     /// Checker accepts, refinement refutes: the checker would have let a
     /// miscompilation through. The campaign's nonzero-exit condition.
     SoundnessAlarm,
@@ -122,6 +153,7 @@ impl OracleVerdict {
     /// Stable lowercase name used in reports and telemetry counters.
     pub fn name(self) -> &'static str {
         match self {
+            OracleVerdict::TierDivergence => "tier_divergence",
             OracleVerdict::SoundnessAlarm => "soundness_alarm",
             OracleVerdict::CompletenessGap => "completeness_gap",
             OracleVerdict::Agree => "agree",
@@ -146,26 +178,94 @@ pub fn input_run_config(k: u64, fuel: u64) -> RunConfig {
 /// and fold the outcomes (first violation wins; otherwise fuel exhaustion
 /// anywhere makes the summary inconclusive).
 pub fn refinement_leg(src: &Module, tgt: &Module, cfg: &OracleConfig) -> RefinementSummary {
+    refinement_leg_cached(src, tgt, cfg, None, &Telemetry::disabled()).0
+}
+
+/// [`refinement_leg`] with an optional compile cache and telemetry.
+///
+/// On the bytecode and differential tiers each module is lowered once
+/// (per cache lifetime — the campaign keeps one cache per seed, so the
+/// 4+ input seeds × both modules × every step of a seed all share
+/// compilations). Records `interp.tier.compile` / `interp.tier.exec`
+/// timers; divergences witnessed under [`Tier::Differential`] come back
+/// alongside the summary.
+pub fn refinement_leg_cached(
+    src: &Module,
+    tgt: &Module,
+    cfg: &OracleConfig,
+    cache: Option<&mut BcCache>,
+    tel: &Telemetry,
+) -> (RefinementSummary, Vec<DivergenceObservation>) {
+    // Compilation is RunConfig-independent: lower both modules once for
+    // the whole seed fan-out.
+    let compiled: Option<(Arc<CompiledModule>, Arc<CompiledModule>)> = if cfg.tier == Tier::Tree {
+        None
+    } else {
+        match cache {
+            Some(c) => {
+                let n0 = c.compile_nanos;
+                let pair = (c.get_or_compile(src), c.get_or_compile(tgt));
+                let spent = c.compile_nanos - n0;
+                if spent > 0 {
+                    tel.registry()
+                        .record_duration("interp.tier.compile", Duration::from_nanos(spent));
+                }
+                Some(pair)
+            }
+            None => {
+                let t0 = Instant::now();
+                let pair = (Arc::new(compile_module(src)), Arc::new(compile_module(tgt)));
+                tel.registry()
+                    .record_duration("interp.tier.compile", t0.elapsed());
+                Some(pair)
+            }
+        }
+    };
+    let src_bc = compiled.as_ref().map(|pair| pair.0.as_ref());
+    let tgt_bc = compiled.as_ref().map(|pair| pair.1.as_ref());
+
+    let mut divergences = Vec::new();
     let mut out_of_fuel = 0u64;
+    let mut summary = None;
     for k in 0..cfg.input_seeds {
-        let rc = input_run_config(k, cfg.fuel);
-        let rs = run_main(src, &rc);
-        let rt = run_main(tgt, &rc);
+        let mut rc = input_run_config(k, cfg.fuel);
+        rc.tier = cfg.tier;
+        let span = tel.span("interp.tier.exec");
+        let ts = run_main_tiered(src, &rc, src_bc);
+        let tt = run_main_tiered(tgt, &rc, tgt_bc);
+        drop(span);
+        if let Some(d) = ts.divergence {
+            divergences.push(DivergenceObservation {
+                input_seed: k,
+                module_role: "src",
+                divergence: d,
+            });
+        }
+        if let Some(d) = tt.divergence {
+            divergences.push(DivergenceObservation {
+                input_seed: k,
+                module_role: "tgt",
+                divergence: d,
+            });
+        }
+        let (rs, rt) = (ts.result, tt.result);
         if let Err(e) = check_refinement(&rs, &rt) {
-            return RefinementSummary::Fails {
+            summary = Some(RefinementSummary::Fails {
                 input_seed: k,
                 reason: e.to_string(),
-            };
+            });
+            break;
         }
         if ran_out(&rs) || ran_out(&rt) {
             out_of_fuel += 1;
         }
     }
-    if out_of_fuel > 0 {
+    let summary = summary.unwrap_or(if out_of_fuel > 0 {
         RefinementSummary::Inconclusive { out_of_fuel }
     } else {
         RefinementSummary::Holds
-    }
+    });
+    (summary, divergences)
 }
 
 fn ran_out(r: &RunResult) -> bool {
@@ -218,15 +318,38 @@ pub fn observe_step(
     cfg: &OracleConfig,
     tel: &Telemetry,
 ) -> Observation {
+    observe_step_cached(src, observed, honest, units, checker, cfg, None, tel)
+}
+
+/// [`observe_step`] with an optional bytecode compile cache (see
+/// [`refinement_leg_cached`]).
+#[allow(clippy::too_many_arguments)]
+pub fn observe_step_cached(
+    src: &Module,
+    observed: &Module,
+    honest: &Module,
+    units: &[ProofUnit],
+    checker: &CheckerConfig,
+    cfg: &OracleConfig,
+    cache: Option<&mut BcCache>,
+    tel: &Telemetry,
+) -> Observation {
+    let (refinement, tier_divergences) = refinement_leg_cached(src, observed, cfg, cache, tel);
     Observation {
         checker: checker_leg(units, checker, tel),
-        refinement: refinement_leg(src, observed, cfg),
+        refinement,
         diff: diff_leg(honest, observed),
+        tier_divergences,
     }
 }
 
 /// Fold one step's observations into the verdict lattice.
 pub fn classify(obs: &Observation) -> OracleVerdict {
+    if !obs.tier_divergences.is_empty() {
+        // An interpreter that disagrees with itself invalidates every
+        // other observation of this step.
+        return OracleVerdict::TierDivergence;
+    }
     match (&obs.checker, &obs.refinement) {
         (CheckerSummary::Accept, RefinementSummary::Fails { .. }) => OracleVerdict::SoundnessAlarm,
         (CheckerSummary::Accept, RefinementSummary::Holds) => OracleVerdict::Agree,
@@ -271,6 +394,7 @@ mod tests {
             checker,
             refinement,
             diff,
+            tier_divergences: Vec::new(),
         };
         use CheckerSummary::*;
         use DiffSummary::*;
@@ -326,6 +450,54 @@ mod tests {
     }
 
     #[test]
+    fn tier_divergence_overrides_the_lattice() {
+        let run = crellvm_interp::RunResult {
+            events: Vec::new(),
+            end: End::Ret(None),
+            steps: 1,
+        };
+        let mut diverged = run.clone();
+        diverged.steps = 2;
+        let obs = Observation {
+            checker: CheckerSummary::Accept,
+            refinement: RefinementSummary::Holds,
+            diff: DiffSummary::Clean,
+            tier_divergences: vec![DivergenceObservation {
+                input_seed: 0,
+                module_role: "src",
+                divergence: TierDivergence {
+                    mismatch: "steps: tree=1 bytecode=2".into(),
+                    tree: run,
+                    bytecode: diverged,
+                },
+            }],
+        };
+        // Even an otherwise-agreeing step is untrustworthy if the
+        // interpreter disagrees with itself.
+        assert_eq!(classify(&obs), OracleVerdict::TierDivergence);
+        assert_eq!(OracleVerdict::TierDivergence.name(), "tier_divergence");
+    }
+
+    #[test]
+    fn differential_tier_is_silent_on_clean_modules() {
+        let m = crellvm_gen::generate_module(&crellvm_gen::GenConfig {
+            seed: 11,
+            ..Default::default()
+        });
+        let cfg = OracleConfig {
+            tier: Tier::Differential,
+            ..OracleConfig::default()
+        };
+        let mut cache = BcCache::new();
+        let tel = Telemetry::disabled();
+        let (summary, divs) = refinement_leg_cached(&m, &m, &cfg, Some(&mut cache), &tel);
+        assert!(divs.is_empty(), "{divs:?}");
+        assert!(matches!(summary, RefinementSummary::Holds));
+        // One module, two lookups: one miss, one hit.
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+    }
+
+    #[test]
     fn out_of_fuel_is_never_a_pass() {
         // A module whose main loops far beyond the configured fuel.
         let m = crellvm_ir::parse_module(
@@ -349,6 +521,7 @@ mod tests {
         let cfg = OracleConfig {
             input_seeds: 2,
             fuel: 100,
+            tier: Tier::Tree,
         };
         match refinement_leg(&m, &m, &cfg) {
             RefinementSummary::Inconclusive { out_of_fuel } => assert_eq!(out_of_fuel, 2),

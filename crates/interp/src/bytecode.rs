@@ -1,0 +1,213 @@
+//! The compact register bytecode of the baseline tier.
+//!
+//! [`crate::compile`] lowers each [`crellvm_ir::Function`] once into a
+//! flat [`BcInst`] array:
+//!
+//! * **Preallocated frame slots** — registers become dense `u32` slots
+//!   ([`Function::reg_count`](crellvm_ir::Function::reg_count)-sized
+//!   `Vec<Val>` frames), eliminating the tree-walker's per-operand
+//!   `HashMap<RegId, Val>` hashing;
+//! * **Resolved block targets** — branches carry the target's program
+//!   counter directly, plus an index into the per-edge phi-move table
+//!   (phi nodes are lowered to explicit simultaneous move lists per
+//!   incoming edge at compile time);
+//! * **Pre-evaluated operands** — constants that need no machine state
+//!   (ints, undef, null, constant expressions, which stay lazy by
+//!   design) are compiled to immediate [`Val`]s; globals are resolved to
+//!   indices into the per-run global block table.
+//!
+//! The bytecode tier is deliberately **outside the TCB**: nothing here
+//! re-proves the semantics. Instead `exec_bc` shares the value-level
+//! core ([`crate::machine::MachineCore`]) with the tree-walker and the
+//! fuzz oracle runs both tiers differentially — any disagreement is an
+//! interpreter bug surfaced as a `TierDivergence` verdict.
+
+use crate::value::Val;
+use crellvm_ir::{BinOp, CastOp, IcmpPred, Type};
+
+/// A dense frame-slot index (a [`crellvm_ir::RegId`] by another name).
+pub(crate) type Slot = u32;
+
+/// A pre-resolved operand.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// Read a frame slot (missing writes read as `Undef(i64)`, matching
+    /// the tree-walker's absent-`HashMap`-entry behaviour).
+    Slot(Slot),
+    /// A precomputed immediate: int/undef/null constants, and constant
+    /// expressions as `Val::Lazy` (forced only on consumption).
+    Imm(Val),
+    /// A global, resolved per run through the global block table (index
+    /// into [`crate::machine::MachineCore::global_blocks`]).
+    Global(u32),
+    /// A named global that does not exist — UB when evaluated, matching
+    /// `force_const` on a missing `@name`.
+    MissingGlobal(Box<str>),
+}
+
+/// One action of a phi-edge move list.
+#[derive(Debug, Clone)]
+pub(crate) enum PhiAction {
+    /// Copy `src` (evaluated against the pre-jump frame) into `dst`.
+    Move { dst: Slot, src: Op },
+    /// The phi had no incoming entry for this edge: UB (`MalformedPhi`).
+    /// Compiled in phi order, so earlier moves still execute first.
+    Malformed,
+}
+
+/// A resolved jump target: the target block's first pc and the phi-move
+/// list of this specific edge.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JumpTarget {
+    /// Program counter of the target block's first instruction.
+    pub pc: u32,
+    /// Index into [`BcFunction::edges`].
+    pub edge: u32,
+}
+
+/// Who a call resolves to (decided once at compile time, mirroring the
+/// tree-walker's defined-then-declared lookup order).
+#[derive(Debug, Clone)]
+pub(crate) enum Callee {
+    /// An internal function: index into the compiled module.
+    Internal(u32),
+    /// A declared external: emits an [`crate::event::Event`].
+    External(Box<str>),
+    /// Neither defined nor declared: UB (`MissingFunction`).
+    Missing(Box<str>),
+}
+
+/// One bytecode instruction. Statements carry `dst: Option<Slot>` and
+/// write `result.unwrap_or(Undef(i64))` exactly like the tree-walker's
+/// `frame_insert`; terminators are inline (the code array is one flat
+/// block-ordered sequence, so a fallthrough never exists — every block
+/// ends in a terminator instruction).
+#[derive(Debug, Clone)]
+pub(crate) enum BcInst {
+    Bin {
+        op: BinOp,
+        ty: Type,
+        lhs: Op,
+        rhs: Op,
+        dst: Option<Slot>,
+    },
+    Icmp {
+        pred: IcmpPred,
+        ty: Type,
+        lhs: Op,
+        rhs: Op,
+        dst: Option<Slot>,
+    },
+    Select {
+        ty: Type,
+        cond: Op,
+        on_true: Op,
+        on_false: Op,
+        dst: Option<Slot>,
+    },
+    Cast {
+        op: CastOp,
+        from: Type,
+        to: Type,
+        val: Op,
+        dst: Option<Slot>,
+    },
+    Alloca {
+        ty: Type,
+        count: u64,
+        dst: Option<Slot>,
+    },
+    Load {
+        ty: Type,
+        ptr: Op,
+        dst: Option<Slot>,
+    },
+    Store {
+        val: Op,
+        ptr: Op,
+        dst: Option<Slot>,
+    },
+    Gep {
+        inbounds: bool,
+        ptr: Op,
+        offset: Op,
+        dst: Option<Slot>,
+    },
+    Call {
+        ret: Option<Type>,
+        callee: Callee,
+        args: Vec<Op>,
+        dst: Option<Slot>,
+    },
+    Unsupported {
+        /// Precomputed `unsupported.<feature>` event name.
+        event_name: Box<str>,
+        dst: Option<Slot>,
+    },
+    Ret(Option<Op>),
+    Jump(JumpTarget),
+    CondBr {
+        cond: Op,
+        if_true: JumpTarget,
+        if_false: JumpTarget,
+    },
+    /// Fused `icmp` + conditional branch, emitted when a block's final
+    /// statement is an `icmp` whose result register is exactly the
+    /// block's own branch condition. Burns fuel twice (once per fused
+    /// instruction), still writes `dst`, and branches on the computed
+    /// value — bit-for-bit the unfused pair, one dispatch cheaper.
+    IcmpBr {
+        pred: IcmpPred,
+        ty: Type,
+        lhs: Op,
+        rhs: Op,
+        dst: Option<Slot>,
+        if_true: JumpTarget,
+        if_false: JumpTarget,
+    },
+    Switch {
+        ty: Type,
+        val: Op,
+        default: JumpTarget,
+        cases: Vec<(u64, JumpTarget)>,
+    },
+    Unreachable,
+}
+
+/// A function lowered once into flat bytecode.
+#[derive(Debug, Clone)]
+pub(crate) struct BcFunction {
+    /// Parameter slots, in declaration order (zipped with call args).
+    pub params: Vec<Slot>,
+    /// Frame size in slots.
+    pub frame_size: u32,
+    /// The entry block has phi nodes: entering it with no predecessor is
+    /// `MalformedPhi` before any fuel burns, matching the tree-walker.
+    pub entry_has_phis: bool,
+    /// Flat block-ordered instruction stream; pc 0 is the entry block.
+    pub code: Vec<BcInst>,
+    /// Per-edge phi-move lists, indexed by [`JumpTarget::edge`].
+    pub edges: Vec<Vec<PhiAction>>,
+}
+
+/// A whole module lowered once; reused across every run (and, through
+/// [`crate::tier::BcCache`], across the fuzz oracle's seed fan-out).
+#[derive(Debug, Clone)]
+pub struct CompiledModule {
+    pub(crate) funcs: Vec<BcFunction>,
+    /// Function name → index (first definition wins, matching
+    /// [`crellvm_ir::Module::function`]).
+    pub(crate) by_name: std::collections::HashMap<String, u32>,
+}
+
+impl CompiledModule {
+    /// Index of a compiled function by name.
+    pub(crate) fn func_index(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of compiled functions.
+    pub fn function_count(&self) -> usize {
+        self.funcs.len()
+    }
+}

@@ -1,0 +1,416 @@
+//! One-time lowering of `crellvm-ir` functions into the baseline
+//! bytecode.
+//!
+//! Compilation is a pure function of the module: operands are
+//! pre-classified (slot / immediate / global index), block targets are
+//! resolved to program counters, and every phi node is lowered into
+//! per-incoming-edge simultaneous move lists. Nothing about a `RunConfig`
+//! leaks in, so one [`CompiledModule`] is reusable across all input
+//! seeds, undef policies, and environment seeds — the amortization the
+//! fuzz oracle's 4+ seeds × 2 modules per step fan-out depends on.
+
+use crate::bytecode::{BcFunction, BcInst, Callee, CompiledModule, JumpTarget, Op, PhiAction};
+use crate::machine::null_ptr;
+use crate::value::Val;
+use crellvm_ir::{BinOp, BlockId, Const, Function, Inst, Module, Term, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Compile-time knobs.
+///
+/// `miscompile_sub_as_add` is a **test-only** sabotage hook mirroring
+/// `CheckerConfig::weakened_accept_all`: it deliberately lowers integer
+/// `sub` as `add`, so differential campaigns can prove end-to-end that a
+/// buggy lowering is caught as a `TierDivergence` finding. Production
+/// paths always compile with [`CompileOptions::default`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// TEST-ONLY: lower `sub` as `add` to fake a miscompiled tier.
+    pub miscompile_sub_as_add: bool,
+}
+
+/// Lower a whole module once (default options).
+pub fn compile_module(module: &Module) -> CompiledModule {
+    compile_module_with(module, CompileOptions::default())
+}
+
+/// Lower a whole module once with explicit [`CompileOptions`].
+pub fn compile_module_with(module: &Module, opts: CompileOptions) -> CompiledModule {
+    let mut by_name: HashMap<String, u32> = HashMap::new();
+    for (i, f) in module.functions.iter().enumerate() {
+        // First definition wins, matching `Module::function`.
+        by_name.entry(f.name.clone()).or_insert(i as u32);
+    }
+    let funcs = module
+        .functions
+        .iter()
+        .map(|f| compile_function(f, module, &by_name, opts))
+        .collect();
+    CompiledModule { funcs, by_name }
+}
+
+/// A deterministic structural fingerprint of a module, used as the
+/// [`crate::tier::BcCache`] key. `DefaultHasher` with the default keys is
+/// SipHash with fixed constants, so the fingerprint is stable within and
+/// across processes for a given toolchain.
+pub fn module_fingerprint(module: &Module) -> u64 {
+    let mut h = DefaultHasher::new();
+    module.globals.len().hash(&mut h);
+    for g in &module.globals {
+        g.name.hash(&mut h);
+        g.ty.hash(&mut h);
+        g.size.hash(&mut h);
+        g.init.hash(&mut h);
+    }
+    module.declares.len().hash(&mut h);
+    for d in &module.declares {
+        d.name.hash(&mut h);
+        d.ret.hash(&mut h);
+        d.params.hash(&mut h);
+    }
+    module.functions.len().hash(&mut h);
+    for f in &module.functions {
+        f.name.hash(&mut h);
+        f.params.hash(&mut h);
+        f.ret.hash(&mut h);
+        f.blocks.len().hash(&mut h);
+        for b in &f.blocks {
+            // Block does not derive Hash (its label is cosmetic anyway);
+            // hash the semantically relevant fields.
+            b.phis.hash(&mut h);
+            b.stmts.hash(&mut h);
+            b.term.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+struct FnCompiler<'m> {
+    module: &'m Module,
+    by_name: &'m HashMap<String, u32>,
+    opts: CompileOptions,
+    /// Last-definition-wins global name → index, matching the insertion
+    /// order of `MachineCore::new`'s HashMap.
+    global_index: HashMap<&'m str, u32>,
+    code: Vec<BcInst>,
+    edges: Vec<Vec<PhiAction>>,
+    max_slot: u32,
+}
+
+fn compile_function(
+    f: &Function,
+    module: &Module,
+    by_name: &HashMap<String, u32>,
+    opts: CompileOptions,
+) -> BcFunction {
+    let mut global_index = HashMap::new();
+    for (i, g) in module.globals.iter().enumerate() {
+        global_index.insert(g.name.as_str(), i as u32);
+    }
+    let mut c = FnCompiler {
+        module,
+        by_name,
+        opts,
+        global_index,
+        code: Vec::new(),
+        edges: Vec::new(),
+        max_slot: 0,
+    };
+
+    // Pass 1: block start pcs (each block emits stmts + one terminator,
+    // minus one when its trailing icmp fuses into the branch).
+    let mut starts = Vec::with_capacity(f.blocks.len());
+    let mut pc = 0u32;
+    for b in &f.blocks {
+        starts.push(pc);
+        pc += b.stmts.len() as u32 + 1 - fuses_icmp_br(b) as u32;
+    }
+
+    // Pass 2: lower.
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (r, _) in &b.phis {
+            c.touch(r.index() as u32);
+        }
+        let fused = fuses_icmp_br(b);
+        let plain = &b.stmts[..b.stmts.len() - fused as usize];
+        for stmt in plain {
+            let dst = stmt.result.map(|r| {
+                c.touch(r.index() as u32);
+                r.index() as u32
+            });
+            let inst = c.lower_inst(&stmt.inst, dst);
+            c.code.push(inst);
+        }
+        if fused {
+            let inst = c.lower_fused_icmp_br(b, f, BlockId::from_index(bi), &starts);
+            c.code.push(inst);
+        } else {
+            let term = c.lower_term(&b.term, f, BlockId::from_index(bi), &starts);
+            c.code.push(term);
+        }
+    }
+
+    let mut params = Vec::with_capacity(f.params.len());
+    for (_, p) in &f.params {
+        c.touch(p.index() as u32);
+        params.push(p.index() as u32);
+    }
+
+    let entry_has_phis = f
+        .blocks
+        .first()
+        .map(|b| !b.phis.is_empty())
+        .unwrap_or(false);
+
+    BcFunction {
+        params,
+        frame_size: c.max_slot,
+        entry_has_phis,
+        code: c.code,
+        edges: c.edges,
+    }
+}
+
+/// Does the block end in an `icmp` whose result register is exactly its
+/// own conditional branch's condition? Such pairs lower into one fused
+/// [`BcInst::IcmpBr`]. Both lowering passes call this, keeping the
+/// pc layout and the emitted code in agreement by construction.
+fn fuses_icmp_br(b: &crellvm_ir::Block) -> bool {
+    let Term::CondBr {
+        cond: Value::Reg(r),
+        ..
+    } = &b.term
+    else {
+        return false;
+    };
+    match b.stmts.last() {
+        Some(s) => matches!(&s.inst, Inst::Icmp { .. }) && s.result == Some(*r),
+        None => false,
+    }
+}
+
+impl<'m> FnCompiler<'m> {
+    /// Grow the frame to cover slot `s`.
+    fn touch(&mut self, s: u32) {
+        if s + 1 > self.max_slot {
+            self.max_slot = s + 1;
+        }
+    }
+
+    fn lower_operand(&mut self, v: &Value) -> Op {
+        match v {
+            Value::Reg(r) => {
+                let s = r.index() as u32;
+                self.touch(s);
+                Op::Slot(s)
+            }
+            Value::Const(c) => match c {
+                // Constant expressions stay lazy: forced only when an
+                // executing instruction consumes them (PR33673).
+                Const::Expr(_) => Op::Imm(Val::Lazy(c.clone())),
+                Const::Int { ty, bits } => Op::Imm(Val::Int {
+                    ty: *ty,
+                    bits: *bits,
+                    tainted: false,
+                }),
+                Const::Undef(ty) => Op::Imm(Val::Undef(*ty)),
+                Const::Null => Op::Imm(null_ptr()),
+                Const::Global(name) => match self.global_index.get(name.as_str()) {
+                    Some(i) => Op::Global(*i),
+                    None => Op::MissingGlobal(name.as_str().into()),
+                },
+            },
+        }
+    }
+
+    fn lower_inst(&mut self, inst: &Inst, dst: Option<u32>) -> BcInst {
+        match inst {
+            Inst::Bin { op, ty, lhs, rhs } => {
+                let op = if self.opts.miscompile_sub_as_add && *op == BinOp::Sub {
+                    BinOp::Add
+                } else {
+                    *op
+                };
+                BcInst::Bin {
+                    op,
+                    ty: *ty,
+                    lhs: self.lower_operand(lhs),
+                    rhs: self.lower_operand(rhs),
+                    dst,
+                }
+            }
+            Inst::Icmp { pred, ty, lhs, rhs } => BcInst::Icmp {
+                pred: *pred,
+                ty: *ty,
+                lhs: self.lower_operand(lhs),
+                rhs: self.lower_operand(rhs),
+                dst,
+            },
+            Inst::Select {
+                ty,
+                cond,
+                on_true,
+                on_false,
+            } => BcInst::Select {
+                ty: *ty,
+                cond: self.lower_operand(cond),
+                on_true: self.lower_operand(on_true),
+                on_false: self.lower_operand(on_false),
+                dst,
+            },
+            Inst::Cast { op, from, val, to } => BcInst::Cast {
+                op: *op,
+                from: *from,
+                to: *to,
+                val: self.lower_operand(val),
+                dst,
+            },
+            Inst::Alloca { ty, count } => BcInst::Alloca {
+                ty: *ty,
+                count: *count,
+                dst,
+            },
+            Inst::Load { ty, ptr } => BcInst::Load {
+                ty: *ty,
+                ptr: self.lower_operand(ptr),
+                dst,
+            },
+            Inst::Store { val, ptr, .. } => BcInst::Store {
+                val: self.lower_operand(val),
+                ptr: self.lower_operand(ptr),
+                dst,
+            },
+            Inst::Gep {
+                inbounds,
+                ptr,
+                offset,
+            } => BcInst::Gep {
+                inbounds: *inbounds,
+                ptr: self.lower_operand(ptr),
+                offset: self.lower_operand(offset),
+                dst,
+            },
+            Inst::Call { ret, callee, args } => {
+                let resolved = if let Some(i) = self.by_name.get(callee) {
+                    Callee::Internal(*i)
+                } else if self.module.declare(callee).is_some() {
+                    Callee::External(callee.as_str().into())
+                } else {
+                    Callee::Missing(callee.as_str().into())
+                };
+                BcInst::Call {
+                    ret: *ret,
+                    callee: resolved,
+                    args: args.iter().map(|(_, a)| self.lower_operand(a)).collect(),
+                    dst,
+                }
+            }
+            Inst::Unsupported { feature } => BcInst::Unsupported {
+                event_name: format!("unsupported.{feature}").into(),
+                dst,
+            },
+        }
+    }
+
+    /// Build the phi-move list for the edge `from → to` and return its
+    /// index. Moves are emitted in phi order; the first phi without a
+    /// filled incoming entry for `from` compiles to [`PhiAction::Malformed`]
+    /// (everything after it is unreachable at runtime and dropped).
+    fn lower_edge(&mut self, f: &Function, from: BlockId, to: BlockId) -> u32 {
+        let mut actions = Vec::new();
+        for (r, phi) in &f.block(to).phis {
+            match phi.value_from(from) {
+                Some(v) => {
+                    let v = v.clone();
+                    let src = self.lower_operand(&v);
+                    actions.push(PhiAction::Move {
+                        dst: r.index() as u32,
+                        src,
+                    });
+                }
+                None => {
+                    actions.push(PhiAction::Malformed);
+                    break;
+                }
+            }
+        }
+        let i = self.edges.len() as u32;
+        self.edges.push(actions);
+        i
+    }
+
+    fn target(&mut self, f: &Function, from: BlockId, to: BlockId, starts: &[u32]) -> JumpTarget {
+        JumpTarget {
+            pc: starts[to.index()],
+            edge: self.lower_edge(f, from, to),
+        }
+    }
+
+    /// Lower a block known to satisfy [`fuses_icmp_br`] into the fused
+    /// instruction (trailing icmp + its own conditional branch).
+    fn lower_fused_icmp_br(
+        &mut self,
+        b: &crellvm_ir::Block,
+        f: &Function,
+        cur: BlockId,
+        starts: &[u32],
+    ) -> BcInst {
+        let last = b.stmts.last().expect("fused block has a trailing icmp");
+        let Inst::Icmp { pred, ty, lhs, rhs } = &last.inst else {
+            unreachable!("fuses_icmp_br checked the trailing statement");
+        };
+        let Term::CondBr {
+            if_true, if_false, ..
+        } = &b.term
+        else {
+            unreachable!("fuses_icmp_br checked the terminator");
+        };
+        let (tt, ff) = (*if_true, *if_false);
+        let dst = last.result.map(|r| {
+            self.touch(r.index() as u32);
+            r.index() as u32
+        });
+        BcInst::IcmpBr {
+            pred: *pred,
+            ty: *ty,
+            lhs: self.lower_operand(lhs),
+            rhs: self.lower_operand(rhs),
+            dst,
+            if_true: self.target(f, cur, tt, starts),
+            if_false: self.target(f, cur, ff, starts),
+        }
+    }
+
+    fn lower_term(&mut self, term: &Term, f: &Function, cur: BlockId, starts: &[u32]) -> BcInst {
+        match term {
+            Term::Ret(None) => BcInst::Ret(None),
+            Term::Ret(Some((_, v))) => BcInst::Ret(Some(self.lower_operand(v))),
+            Term::Br(t) => BcInst::Jump(self.target(f, cur, *t, starts)),
+            Term::CondBr {
+                cond,
+                if_true,
+                if_false,
+            } => BcInst::CondBr {
+                cond: self.lower_operand(cond),
+                if_true: self.target(f, cur, *if_true, starts),
+                if_false: self.target(f, cur, *if_false, starts),
+            },
+            Term::Switch {
+                ty,
+                val,
+                default,
+                cases,
+            } => BcInst::Switch {
+                ty: *ty,
+                val: self.lower_operand(val),
+                default: self.target(f, cur, *default, starts),
+                cases: cases
+                    .iter()
+                    .map(|(v, b)| (*v, self.target(f, cur, *b, starts)))
+                    .collect(),
+            },
+            Term::Unreachable => BcInst::Unreachable,
+        }
+    }
+}

@@ -1,24 +1,22 @@
-//! The fueled small-step interpreter.
+//! The fueled small-step interpreter (the tree-walking reference tier).
+//!
+//! Value-level semantics (constant forcing, undef resolution, binops,
+//! casts, environment returns, fuel) live in [`crate::machine`] and are
+//! shared with the bytecode tier; this module owns only the tree-walking
+//! instruction dispatch and control flow. The tree-walker is the trusted
+//! reference: the bytecode tier ([`crate::exec_bc`]) is checked against
+//! it differentially and stays outside the TCB.
 
 use crate::event::Event;
-use crate::mem::{MemBlockId, MemError, Memory};
+use crate::machine::{MachineCore, Stop};
+use crate::mem::{MemBlockId, MemError};
+use crate::tier::Tier;
 use crate::value::Val;
-use crellvm_ir::{
-    BinOp, BlockId, CastOp, Const, ConstExpr, Function, IcmpPred, Inst, Module, RegId, Term, Type,
-    Value,
-};
+use crellvm_ir::{BlockId, Function, Inst, Module, RegId, Term, Type, Value};
 use std::collections::HashMap;
 use std::fmt;
 
 pub use crate::mem::NULL_BLOCK;
-
-/// The null-pointer value.
-fn null_ptr() -> Val {
-    Val::Ptr {
-        block: NULL_BLOCK,
-        offset: 0,
-    }
-}
 
 /// How `undef` is resolved when an operation must observe a concrete value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -100,6 +98,8 @@ pub struct RunConfig {
     pub undef: UndefPolicy,
     /// Maximum internal call depth.
     pub max_depth: u32,
+    /// Which interpreter tier executes the run (see [`Tier`]).
+    pub tier: Tier,
 }
 
 impl Default for RunConfig {
@@ -109,139 +109,21 @@ impl Default for RunConfig {
             env_seed: 0xC0FFEE,
             undef: UndefPolicy::Zero,
             max_depth: 64,
+            tier: Tier::Tree,
         }
     }
-}
-
-#[derive(Debug)]
-enum Stop {
-    Ub(UbReason),
-    OutOfFuel,
-}
-
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
 }
 
 struct Machine<'m> {
     module: &'m Module,
-    mem: Memory,
-    globals: HashMap<String, MemBlockId>,
-    events: Vec<Event>,
-    fuel: u64,
-    steps: u64,
-    env_seed: u64,
-    undef: UndefPolicy,
-    undef_counter: u64,
-    max_depth: u32,
+    core: MachineCore,
 }
 
 impl<'m> Machine<'m> {
     fn new(module: &'m Module, config: &RunConfig) -> Machine<'m> {
-        let mut mem = Memory::new();
-        let mut globals = HashMap::new();
-        for g in &module.globals {
-            let b = mem.alloc(g.ty, g.size);
-            if let Some(init) = &g.init {
-                let v = match init {
-                    Const::Int { ty, bits } => Val::Int {
-                        ty: *ty,
-                        bits: *bits,
-                        tainted: false,
-                    },
-                    Const::Undef(ty) => Val::Undef(*ty),
-                    Const::Null => null_ptr(),
-                    other => Val::Lazy(other.clone()),
-                };
-                let _ = mem.store(b, 0, v);
-            }
-            globals.insert(g.name.clone(), b);
-        }
         Machine {
             module,
-            mem,
-            globals,
-            events: Vec::new(),
-            fuel: config.fuel,
-            steps: 0,
-            env_seed: config.env_seed,
-            undef: config.undef,
-            undef_counter: 0,
-            max_depth: config.max_depth,
-        }
-    }
-
-    fn resolve_undef(&mut self, ty: Type) -> Val {
-        self.undef_counter += 1;
-        match self.undef {
-            UndefPolicy::Zero => {
-                if ty == Type::Ptr {
-                    null_ptr()
-                } else {
-                    Val::tainted_int(ty, 0)
-                }
-            }
-            UndefPolicy::Seeded(s) => {
-                if ty == Type::Ptr {
-                    null_ptr()
-                } else {
-                    Val::Int {
-                        ty,
-                        bits: ty.truncate(splitmix64(s ^ self.undef_counter)),
-                        tainted: true,
-                    }
-                }
-            }
-        }
-    }
-
-    /// Evaluate a constant *by force*: trapping subexpressions trap.
-    fn force_const(&mut self, c: &Const) -> Result<Val, Stop> {
-        match c {
-            Const::Int { ty, bits } => Ok(Val::Int {
-                ty: *ty,
-                bits: *bits,
-                tainted: false,
-            }),
-            Const::Undef(ty) => Ok(Val::Undef(*ty)),
-            Const::Null => Ok(null_ptr()),
-            Const::Global(name) => match self.globals.get(name) {
-                Some(b) => Ok(Val::Ptr {
-                    block: *b,
-                    offset: 0,
-                }),
-                None => Err(Stop::Ub(UbReason::MissingFunction(name.clone()))),
-            },
-            Const::Expr(e) => match &**e {
-                ConstExpr::PtrToInt(inner, to) => {
-                    let v = self.force_const(inner)?;
-                    match v {
-                        Val::Ptr { block, offset } => {
-                            let addr = if block == NULL_BLOCK {
-                                (offset as u64).wrapping_mul(crate::mem::SLOT_SIZE)
-                            } else {
-                                Memory::address_of(block, offset)
-                            };
-                            Ok(Val::Int {
-                                ty: *to,
-                                bits: to.truncate(addr),
-                                tainted: false,
-                            })
-                        }
-                        Val::Undef(_) => Ok(Val::Undef(*to)),
-                        _ => Err(Stop::Ub(UbReason::TrappingConstant)),
-                    }
-                }
-                ConstExpr::Bin(op, ty, a, b) => {
-                    let av = self.force_const(a)?;
-                    let bv = self.force_const(b)?;
-                    self.bin_op(*op, *ty, av, bv)
-                        .map_err(|_| Stop::Ub(UbReason::TrappingConstant))
-                }
-            },
+            core: MachineCore::new(module, config),
         }
     }
 
@@ -250,179 +132,10 @@ impl<'m> Machine<'m> {
         match v {
             Value::Reg(r) => Ok(frame.get(r).cloned().unwrap_or(Val::Undef(Type::I64))),
             Value::Const(c) => match c {
-                Const::Expr(_) => Ok(Val::Lazy(c.clone())),
-                other => self.force_const(other),
+                crellvm_ir::Const::Expr(_) => Ok(Val::Lazy(c.clone())),
+                other => self.core.force_const(other),
             },
         }
-    }
-
-    /// Force a value for consumption by an operation: lazy constants are
-    /// evaluated (possibly trapping); `undef` is resolved per policy;
-    /// poison propagates as `None`.
-    fn force(&mut self, v: Val) -> Result<Option<Val>, Stop> {
-        match v {
-            Val::Lazy(c) => self.force_const(&c).map(Some),
-            Val::Undef(ty) => Ok(Some(self.resolve_undef(ty))),
-            Val::Poison(_) => Ok(None),
-            other => Ok(Some(other)),
-        }
-    }
-
-    /// Force a value all the way to a concrete integer; poison propagates
-    /// as `None`.
-    fn force_int(&mut self, v: Val) -> Result<Option<u64>, Stop> {
-        match self.force(v)? {
-            None => Ok(None),
-            Some(Val::Int { bits, .. }) => Ok(Some(bits)),
-            Some(Val::Undef(ty)) => {
-                // force_const may surface a fresh undef (e.g. ptrtoint undef).
-                match self.resolve_undef(ty) {
-                    Val::Int { bits, .. } => Ok(Some(bits)),
-                    _ => Ok(Some(0)),
-                }
-            }
-            Some(other) => {
-                // An integer-typed operation observed a pointer (possible
-                // only through lazy global arithmetic); use its address.
-                match other {
-                    Val::Ptr { block, offset } => Ok(Some(Memory::address_of(block, offset))),
-                    _ => Ok(Some(0)),
-                }
-            }
-        }
-    }
-
-    fn bin_op(&mut self, op: BinOp, ty: Type, a: Val, b: Val) -> Result<Val, Stop> {
-        let tainted = a.is_undef_derived() || b.is_undef_derived();
-        let (Some(a), Some(b)) = (self.force_int(a)?, self.force_int(b)?) else {
-            return Ok(Val::Poison(ty));
-        };
-        let bits = ty.bits();
-        let out: Option<u64> = match op {
-            BinOp::Add => Some(a.wrapping_add(b)),
-            BinOp::Sub => Some(a.wrapping_sub(b)),
-            BinOp::Mul => Some(a.wrapping_mul(b)),
-            BinOp::UDiv => {
-                let (a, b) = (ty.truncate(a), ty.truncate(b));
-                if b == 0 {
-                    return Err(Stop::Ub(UbReason::DivisionByZero));
-                }
-                Some(a / b)
-            }
-            BinOp::SDiv => {
-                let (sa, sb) = (ty.sext(a), ty.sext(b));
-                if sb == 0 || (sa == ty.sext(1u64 << (bits - 1)) && sb == -1) {
-                    return Err(Stop::Ub(UbReason::DivisionByZero));
-                }
-                Some((sa / sb) as u64)
-            }
-            BinOp::URem => {
-                let (a, b) = (ty.truncate(a), ty.truncate(b));
-                if b == 0 {
-                    return Err(Stop::Ub(UbReason::DivisionByZero));
-                }
-                Some(a % b)
-            }
-            BinOp::SRem => {
-                let (sa, sb) = (ty.sext(a), ty.sext(b));
-                if sb == 0 || (sa == ty.sext(1u64 << (bits - 1)) && sb == -1) {
-                    return Err(Stop::Ub(UbReason::DivisionByZero));
-                }
-                Some((sa % sb) as u64)
-            }
-            BinOp::Shl => {
-                let amt = ty.truncate(b);
-                if amt >= bits as u64 {
-                    None
-                } else {
-                    Some(a << amt)
-                }
-            }
-            BinOp::LShr => {
-                let amt = ty.truncate(b);
-                if amt >= bits as u64 {
-                    None
-                } else {
-                    Some(ty.truncate(a) >> amt)
-                }
-            }
-            BinOp::AShr => {
-                let amt = ty.truncate(b);
-                if amt >= bits as u64 {
-                    None
-                } else {
-                    Some((ty.sext(a) >> amt) as u64)
-                }
-            }
-            BinOp::And => Some(a & b),
-            BinOp::Or => Some(a | b),
-            BinOp::Xor => Some(a ^ b),
-        };
-        Ok(match out {
-            Some(v) => Val::Int {
-                ty,
-                bits: ty.truncate(v),
-                tainted,
-            },
-            None => Val::Undef(ty), // over-shift
-        })
-    }
-
-    fn icmp_op(&mut self, pred: IcmpPred, ty: Type, a: Val, b: Val) -> Result<Val, Stop> {
-        let tainted = a.is_undef_derived() || b.is_undef_derived();
-        let (Some(a), Some(b)) = (self.force_int(a)?, self.force_int(b)?) else {
-            return Ok(Val::Poison(Type::I1));
-        };
-        let (ua, ub) = (ty.truncate(a), ty.truncate(b));
-        let (sa, sb) = (ty.sext(a), ty.sext(b));
-        let r = match pred {
-            IcmpPred::Eq => ua == ub,
-            IcmpPred::Ne => ua != ub,
-            IcmpPred::Ugt => ua > ub,
-            IcmpPred::Uge => ua >= ub,
-            IcmpPred::Ult => ua < ub,
-            IcmpPred::Ule => ua <= ub,
-            IcmpPred::Sgt => sa > sb,
-            IcmpPred::Sge => sa >= sb,
-            IcmpPred::Slt => sa < sb,
-            IcmpPred::Sle => sa <= sb,
-        };
-        Ok(Val::Int {
-            ty: Type::I1,
-            bits: r as u64,
-            tainted,
-        })
-    }
-
-    fn force_ptr(&mut self, v: Val) -> Result<(MemBlockId, i64), Stop> {
-        match self.force(v)? {
-            None => Err(Stop::Ub(UbReason::IndeterminateAddress)),
-            Some(Val::Ptr { block, offset }) => Ok((block, offset)),
-            Some(Val::Undef(_)) => Err(Stop::Ub(UbReason::IndeterminateAddress)),
-            Some(_) => Err(Stop::Ub(UbReason::IndeterminateAddress)),
-        }
-    }
-
-    fn env_return(&mut self, ty: Type) -> Val {
-        let idx = self.events.len() as u64;
-        if ty == Type::Ptr {
-            null_ptr()
-        } else {
-            Val::Int {
-                ty,
-                bits: ty.truncate(splitmix64(self.env_seed ^ idx.wrapping_mul(0x51ED))),
-                tainted: false,
-            }
-        }
-    }
-
-    fn burn(&mut self) -> Result<(), Stop> {
-        if self.fuel == 0 {
-            return Err(Stop::OutOfFuel);
-        }
-        self.fuel -= 1;
-        self.steps += 1;
-        Ok(())
     }
 
     fn exec_function(
@@ -431,7 +144,7 @@ impl<'m> Machine<'m> {
         args: Vec<Val>,
         depth: u32,
     ) -> Result<Option<Val>, Stop> {
-        if depth > self.max_depth {
+        if depth > self.core.max_depth {
             return Err(Stop::OutOfFuel);
         }
         let mut frame: HashMap<RegId, Val> = HashMap::new();
@@ -462,17 +175,17 @@ impl<'m> Machine<'m> {
             }
 
             for stmt in &block.stmts {
-                self.burn()?;
+                self.core.burn()?;
                 let result: Option<Val> = match &stmt.inst {
                     Inst::Bin { op, ty, lhs, rhs } => {
                         let a = self.operand(&frame, lhs)?;
                         let b = self.operand(&frame, rhs)?;
-                        Some(self.bin_op(*op, *ty, a, b)?)
+                        Some(self.core.bin_op(*op, *ty, a, b)?)
                     }
                     Inst::Icmp { pred, ty, lhs, rhs } => {
                         let a = self.operand(&frame, lhs)?;
                         let b = self.operand(&frame, rhs)?;
-                        Some(self.icmp_op(*pred, *ty, a, b)?)
+                        Some(self.core.icmp_op(*pred, *ty, a, b)?)
                     }
                     Inst::Select {
                         ty,
@@ -481,7 +194,7 @@ impl<'m> Machine<'m> {
                         on_false,
                     } => {
                         let c = self.operand(&frame, cond)?;
-                        match self.force(c)? {
+                        match self.core.force(c)? {
                             None => Some(Val::Poison(*ty)),
                             Some(v) => {
                                 let taken = v.as_bool().unwrap_or(false);
@@ -492,10 +205,10 @@ impl<'m> Machine<'m> {
                     }
                     Inst::Cast { op, from, val, to } => {
                         let v = self.operand(&frame, val)?;
-                        Some(self.cast_op(*op, *from, v, *to)?)
+                        Some(self.core.cast_op(*op, *from, v, *to)?)
                     }
                     Inst::Alloca { ty, count } => {
-                        let b = self.mem.alloc(*ty, *count);
+                        let b = self.core.mem.alloc(*ty, *count);
                         allocas.push(b);
                         Some(Val::Ptr {
                             block: b,
@@ -504,8 +217,8 @@ impl<'m> Machine<'m> {
                     }
                     Inst::Load { ty, ptr } => {
                         let p = self.operand(&frame, ptr)?;
-                        let (b, off) = self.force_ptr(p)?;
-                        match self.mem.load(b, off) {
+                        let (b, off) = self.core.force_ptr(p)?;
+                        match self.core.mem.load(b, off) {
                             Ok(v) => Some(
                                 if v.ty() != *ty && !matches!(v, Val::Undef(_) | Val::Lazy(_)) {
                                     // Type-punned load: reinterpret as undef.
@@ -520,8 +233,8 @@ impl<'m> Machine<'m> {
                     Inst::Store { val, ptr, .. } => {
                         let v = self.operand(&frame, val)?;
                         let p = self.operand(&frame, ptr)?;
-                        let (b, off) = self.force_ptr(p)?;
-                        if let Err(e) = self.mem.store(b, off, v) {
+                        let (b, off) = self.core.force_ptr(p)?;
+                        if let Err(e) = self.core.mem.store(b, off, v) {
                             break 'outer Err(Stop::Ub(UbReason::Memory(e)));
                         }
                         None
@@ -533,14 +246,14 @@ impl<'m> Machine<'m> {
                     } => {
                         let p = self.operand(&frame, ptr)?;
                         let o = self.operand(&frame, offset)?;
-                        let off = match self.force_int(o)? {
+                        let off = match self.core.force_int(o)? {
                             Some(v) => Type::I64.sext(v),
                             None => {
                                 frame_insert(&mut frame, stmt.result, Val::Poison(Type::Ptr));
                                 continue;
                             }
                         };
-                        match self.force(p)? {
+                        match self.core.force(p)? {
                             None => Some(Val::Poison(Type::Ptr)),
                             Some(Val::Ptr {
                                 block,
@@ -548,7 +261,7 @@ impl<'m> Machine<'m> {
                             }) => {
                                 let new_off = base.wrapping_add(off);
                                 if *inbounds {
-                                    let size = self.mem.size_of(block).unwrap_or(0) as i64;
+                                    let size = self.core.mem.size_of(block).unwrap_or(0) as i64;
                                     if block == NULL_BLOCK || new_off < 0 || new_off > size {
                                         Some(Val::Poison(Type::Ptr))
                                     } else {
@@ -574,7 +287,7 @@ impl<'m> Machine<'m> {
                             // Argument evaluation consumes lazy constants
                             // (this is where PR33673's division fires).
                             let v = match v {
-                                Val::Lazy(c) => self.force_const(&c)?,
+                                Val::Lazy(c) => self.core.force_const(&c)?,
                                 other => other,
                             };
                             arg_vals.push(v);
@@ -583,8 +296,8 @@ impl<'m> Machine<'m> {
                             let callee_fn = callee_fn.clone();
                             self.exec_function(&callee_fn, arg_vals, depth + 1)?
                         } else if self.module.declare(callee).is_some() {
-                            let ret_val = ret.map(|t| self.env_return(t));
-                            self.events.push(Event {
+                            let ret_val = ret.map(|t| self.core.env_return(t));
+                            self.core.events.push(Event {
                                 callee: callee.clone(),
                                 args: arg_vals,
                                 ret: ret_val.clone(),
@@ -596,8 +309,8 @@ impl<'m> Machine<'m> {
                     }
                     Inst::Unsupported { feature } => {
                         // Modelled as an opaque external operation.
-                        let ret_val = self.env_return(Type::I64);
-                        self.events.push(Event {
+                        let ret_val = self.core.env_return(Type::I64);
+                        self.core.events.push(Event {
                             callee: format!("unsupported.{feature}"),
                             args: Vec::new(),
                             ret: Some(ret_val.clone()),
@@ -615,7 +328,7 @@ impl<'m> Machine<'m> {
                 }
             }
 
-            self.burn()?;
+            self.core.burn()?;
             match &block.term {
                 Term::Ret(None) => break Ok(None),
                 Term::Ret(Some((_, v))) => {
@@ -632,7 +345,7 @@ impl<'m> Machine<'m> {
                     if_false,
                 } => {
                     let c = self.operand(&frame, cond)?;
-                    match self.force(c)? {
+                    match self.core.force(c)? {
                         None => break Err(Stop::Ub(UbReason::BranchOnPoison)),
                         Some(v) => {
                             let taken = v.as_bool().unwrap_or(false);
@@ -648,7 +361,7 @@ impl<'m> Machine<'m> {
                     cases,
                 } => {
                     let v = self.operand(&frame, val)?;
-                    match self.force(v)? {
+                    match self.core.force(v)? {
                         None => break Err(Stop::Ub(UbReason::BranchOnPoison)),
                         Some(v) => {
                             let bits = v.as_int().map(|b| ty.truncate(b)).unwrap_or(0);
@@ -667,7 +380,7 @@ impl<'m> Machine<'m> {
         };
 
         for b in allocas {
-            self.mem.free(b);
+            self.core.mem.free(b);
         }
         ret
     }
@@ -679,75 +392,15 @@ fn frame_insert(frame: &mut HashMap<RegId, Val>, r: Option<RegId>, v: Val) {
     }
 }
 
-impl Machine<'_> {
-    fn cast_op(&mut self, op: CastOp, from: Type, v: Val, to: Type) -> Result<Val, Stop> {
-        let tainted = v.is_undef_derived();
-        match op {
-            CastOp::Bitcast => Ok(v),
-            CastOp::Trunc => match self.force_int(v)? {
-                None => Ok(Val::Poison(to)),
-                Some(bits) => Ok(Val::Int {
-                    ty: to,
-                    bits: to.truncate(bits),
-                    tainted,
-                }),
-            },
-            CastOp::Zext => match self.force_int(v)? {
-                None => Ok(Val::Poison(to)),
-                Some(bits) => Ok(Val::Int {
-                    ty: to,
-                    bits: from.truncate(bits),
-                    tainted,
-                }),
-            },
-            CastOp::Sext => match self.force_int(v)? {
-                None => Ok(Val::Poison(to)),
-                Some(bits) => Ok(Val::Int {
-                    ty: to,
-                    bits: to.truncate(from.sext(bits) as u64),
-                    tainted,
-                }),
-            },
-            CastOp::PtrToInt => match self.force(v)? {
-                None => Ok(Val::Poison(to)),
-                Some(Val::Ptr { block, offset }) => {
-                    let addr = if block == NULL_BLOCK {
-                        (offset as u64).wrapping_mul(crate::mem::SLOT_SIZE)
-                    } else {
-                        Memory::address_of(block, offset)
-                    };
-                    Ok(Val::Int {
-                        ty: to,
-                        bits: to.truncate(addr),
-                        tainted,
-                    })
-                }
-                Some(_) => Ok(Val::Undef(to)),
-            },
-            CastOp::IntToPtr => match self.force_int(v)? {
-                None => Ok(Val::Poison(Type::Ptr)),
-                Some(bits) => {
-                    if bits == 0 {
-                        Ok(null_ptr())
-                    } else {
-                        match self.mem.pointer_of(bits) {
-                            Some((b, off)) => Ok(Val::Ptr {
-                                block: b,
-                                offset: off,
-                            }),
-                            None => Ok(Val::Poison(Type::Ptr)),
-                        }
-                    }
-                }
-            },
-        }
-    }
-}
-
-/// Run a named function with the given arguments.
-///
-/// Never panics on malformed input: errors surface as [`End::Ub`].
-pub fn run_function(module: &Module, name: &str, args: Vec<Val>, config: &RunConfig) -> RunResult {
+/// Run a named function on the *tree-walking* tier, ignoring
+/// `config.tier`. This is the raw trusted-reference executor the tier
+/// dispatcher and the differential runner build on.
+pub(crate) fn run_function_tree(
+    module: &Module,
+    name: &str,
+    args: Vec<Val>,
+    config: &RunConfig,
+) -> RunResult {
     let mut machine = Machine::new(module, config);
     let Some(f) = module.function(name) else {
         return RunResult {
@@ -764,9 +417,24 @@ pub fn run_function(module: &Module, name: &str, args: Vec<Val>, config: &RunCon
         Err(Stop::OutOfFuel) => End::OutOfFuel,
     };
     RunResult {
-        events: machine.events,
+        events: machine.core.events,
         end,
-        steps: machine.steps,
+        steps: machine.core.steps,
+    }
+}
+
+/// Run a named function with the given arguments on the tier selected by
+/// `config.tier` (`Differential` executes both tiers and returns the
+/// trusted tree-walk result; use [`crate::tier::run_function_tiered`] to
+/// observe divergences).
+///
+/// Never panics on malformed input: errors surface as [`End::Ub`].
+pub fn run_function(module: &Module, name: &str, args: Vec<Val>, config: &RunConfig) -> RunResult {
+    match config.tier {
+        Tier::Tree => run_function_tree(module, name, args, config),
+        Tier::Bytecode | Tier::Differential => {
+            crate::tier::run_function_tiered(module, name, args, config, None).result
+        }
     }
 }
 
@@ -779,6 +447,7 @@ pub fn run_main(module: &Module, config: &RunConfig) -> RunResult {
 mod tests {
     use super::*;
     use crellvm_ir::parse_module;
+    use crellvm_ir::Type;
 
     fn run(src: &str) -> RunResult {
         let m = parse_module(src).expect("parse");

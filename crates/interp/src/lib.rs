@@ -46,14 +46,24 @@
 //! # }
 //! ```
 
+pub mod bytecode;
+pub mod compile;
 pub mod event;
 pub mod exec;
+pub mod exec_bc;
+mod machine;
 pub mod mem;
 pub mod refine;
+pub mod tier;
 pub mod value;
 
+pub use bytecode::CompiledModule;
+pub use compile::{compile_module, compile_module_with, module_fingerprint, CompileOptions};
 pub use event::Event;
 pub use exec::{run_function, run_main, End, RunConfig, RunResult, UbReason, UndefPolicy};
 pub use mem::{MemBlockId, Memory};
 pub use refine::{check_refinement, RefineError};
+pub use tier::{
+    divergence, run_function_tiered, run_main_tiered, BcCache, Tier, TierDivergence, TieredRun,
+};
 pub use value::Val;

@@ -1,0 +1,361 @@
+//! Tier selection, differential execution, and the compile cache.
+//!
+//! The interpreter has two tiers sharing one value-semantics core
+//! ([`crate::machine::MachineCore`]):
+//!
+//! * [`Tier::Tree`] — the tree-walking reference ([`crate::exec`]),
+//!   inside the TCB;
+//! * [`Tier::Bytecode`] — the baseline bytecode loop
+//!   ([`crate::exec_bc`]), compiled once per module by
+//!   [`crate::compile`], outside the TCB;
+//! * [`Tier::Differential`] — run **both**, compare every observable
+//!   bit-for-bit, and report the trusted tree result plus any
+//!   [`TierDivergence`]. Divergence is a free oracle: the fuzz campaign
+//!   files it alongside soundness alarms and completeness gaps.
+
+use crate::bytecode::CompiledModule;
+use crate::compile::{compile_module_with, module_fingerprint, CompileOptions};
+use crate::exec::{RunConfig, RunResult};
+use crate::exec_bc::run_function_bc;
+use crate::value::Val;
+use crellvm_ir::Module;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which interpreter executes a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// Tree-walking reference interpreter (trusted).
+    #[default]
+    Tree,
+    /// Baseline bytecode interpreter (fast, outside the TCB).
+    Bytecode,
+    /// Run both tiers and compare observables bit-for-bit.
+    Differential,
+}
+
+impl Tier {
+    /// Stable lowercase name (CLI surface, telemetry labels, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Tree => "tree",
+            Tier::Bytecode => "bytecode",
+            Tier::Differential => "differential",
+        }
+    }
+
+    /// Parse a CLI spelling of a tier.
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s {
+            "tree" => Some(Tier::Tree),
+            "bytecode" | "bc" => Some(Tier::Bytecode),
+            "differential" | "diff" => Some(Tier::Differential),
+            _ => None,
+        }
+    }
+}
+
+/// A bit-for-bit disagreement between the two tiers on one run.
+///
+/// Either tier could be wrong in principle, but the tree-walker is the
+/// trusted reference, so campaigns treat the tree result as ground truth
+/// and file the divergence as an interpreter bug to fix in the bytecode
+/// pipeline (or, more interestingly, in the shared core).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierDivergence {
+    /// First observable that differs (human-readable, deterministic).
+    pub mismatch: String,
+    /// The trusted tree-walk result.
+    pub tree: RunResult,
+    /// The bytecode-tier result.
+    pub bytecode: RunResult,
+}
+
+/// Compare two runs observable-by-observable; `None` means identical.
+/// The description names the *first* mismatching observable so minimized
+/// repros stay stable.
+pub fn divergence(tree: &RunResult, bytecode: &RunResult) -> Option<String> {
+    if tree.end != bytecode.end {
+        return Some(format!(
+            "end: tree={:?} bytecode={:?}",
+            tree.end, bytecode.end
+        ));
+    }
+    if tree.steps != bytecode.steps {
+        return Some(format!(
+            "steps: tree={} bytecode={}",
+            tree.steps, bytecode.steps
+        ));
+    }
+    if tree.events.len() != bytecode.events.len() {
+        return Some(format!(
+            "event count: tree={} bytecode={}",
+            tree.events.len(),
+            bytecode.events.len()
+        ));
+    }
+    for (i, (a, b)) in tree.events.iter().zip(&bytecode.events).enumerate() {
+        if a != b {
+            return Some(format!("event[{i}]: tree={a:?} bytecode={b:?}"));
+        }
+    }
+    None
+}
+
+/// The outcome of a tier-dispatched run.
+#[derive(Debug, Clone)]
+pub struct TieredRun {
+    /// The result the caller should act on. For `Tree` and
+    /// `Differential` this is the tree-walk result; for `Bytecode` it is
+    /// the bytecode result.
+    pub result: RunResult,
+    /// Present iff the tier was `Differential` and the tiers disagreed.
+    pub divergence: Option<TierDivergence>,
+}
+
+/// A cache of compiled modules keyed by structural fingerprint.
+///
+/// The fuzz oracle runs 4+ input seeds over both modules of every
+/// campaign step; compilation is config-independent, so one entry serves
+/// the whole fan-out. Hit/miss counters and cumulative compile time are
+/// recorded here and flushed to telemetry by the oracle
+/// (`interp.bc.cache.{hits,misses}`, `interp.tier.compile`).
+pub struct BcCache {
+    entries: HashMap<u64, Arc<CompiledModule>>,
+    opts: CompileOptions,
+    /// Cache hits since construction (deterministic for a fixed
+    /// workload, independent of worker scheduling: one cache per seed).
+    pub hits: u64,
+    /// Cache misses (== compilations performed).
+    pub misses: u64,
+    /// Total nanoseconds spent compiling on misses.
+    pub compile_nanos: u64,
+}
+
+impl BcCache {
+    /// An empty cache compiling with default options.
+    pub fn new() -> BcCache {
+        BcCache::with_options(CompileOptions::default())
+    }
+
+    /// An empty cache with explicit [`CompileOptions`] (test-only
+    /// sabotage hooks enter here).
+    pub fn with_options(opts: CompileOptions) -> BcCache {
+        BcCache {
+            entries: HashMap::new(),
+            opts,
+            hits: 0,
+            misses: 0,
+            compile_nanos: 0,
+        }
+    }
+
+    /// Fetch the compiled form of `module`, compiling on first sight.
+    pub fn get_or_compile(&mut self, module: &Module) -> Arc<CompiledModule> {
+        let key = module_fingerprint(module);
+        if let Some(c) = self.entries.get(&key) {
+            self.hits += 1;
+            return Arc::clone(c);
+        }
+        self.misses += 1;
+        let t0 = std::time::Instant::now();
+        let compiled = Arc::new(compile_module_with(module, self.opts));
+        self.compile_nanos += t0.elapsed().as_nanos() as u64;
+        self.entries.insert(key, Arc::clone(&compiled));
+        compiled
+    }
+
+    /// Number of distinct modules compiled so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for BcCache {
+    fn default() -> BcCache {
+        BcCache::new()
+    }
+}
+
+/// Run a named function on the tier selected by `config.tier`.
+///
+/// `compiled` lets callers (the fuzz oracle, benches) supply a cached
+/// [`CompiledModule`]; pass `None` to compile on the fly. The supplied
+/// module **must** have been compiled from `module` (the [`BcCache`]
+/// fingerprint key enforces this for cache users).
+pub fn run_function_tiered(
+    module: &Module,
+    name: &str,
+    args: Vec<Val>,
+    config: &RunConfig,
+    compiled: Option<&CompiledModule>,
+) -> TieredRun {
+    if config.tier == Tier::Tree {
+        return TieredRun {
+            result: crate::exec::run_function_tree(module, name, args, config),
+            divergence: None,
+        };
+    }
+    let owned;
+    let bc = match compiled {
+        Some(c) => c,
+        None => {
+            owned = compile_module_with(module, CompileOptions::default());
+            &owned
+        }
+    };
+    match config.tier {
+        Tier::Tree => unreachable!(),
+        Tier::Bytecode => TieredRun {
+            result: run_function_bc(module, bc, name, args, config),
+            divergence: None,
+        },
+        Tier::Differential => {
+            let tree = crate::exec::run_function_tree(module, name, args.clone(), config);
+            let bytecode = run_function_bc(module, bc, name, args, config);
+            let div = divergence(&tree, &bytecode).map(|mismatch| TierDivergence {
+                mismatch,
+                tree: tree.clone(),
+                bytecode,
+            });
+            TieredRun {
+                result: tree,
+                divergence: div,
+            }
+        }
+    }
+}
+
+/// Run `@main` with no arguments on the selected tier.
+pub fn run_main_tiered(
+    module: &Module,
+    config: &RunConfig,
+    compiled: Option<&CompiledModule>,
+) -> TieredRun {
+    run_function_tiered(module, "main", Vec::new(), config, compiled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::UndefPolicy;
+
+    fn diff_run(src: &str) -> TieredRun {
+        let m = crellvm_ir::parse_module(src).expect("parse");
+        crellvm_ir::verify_module(&m).expect("verify");
+        let cfg = RunConfig {
+            tier: Tier::Differential,
+            undef: UndefPolicy::Seeded(7),
+            ..RunConfig::default()
+        };
+        run_main_tiered(&m, &cfg, None)
+    }
+
+    #[test]
+    fn tiers_agree_on_loops_phis_and_memory() {
+        let r = diff_run(
+            r#"
+            declare @print(i32)
+            define @main() {
+            entry:
+              %p = alloca i32, 4
+              br label loop
+            loop:
+              %i = phi i32 [ 0, entry ], [ %i2, loop ]
+              %ix = sext i32 %i to i64
+              %q = gep ptr %p, i64 %ix
+              store i32 %i, ptr %q
+              %a = load i32, ptr %q
+              call void @print(i32 %a)
+              %i2 = add i32 %i, 1
+              %c = icmp slt i32 %i2, 4
+              br i1 %c, label loop, label exit
+            exit:
+              ret void
+            }
+            "#,
+        );
+        assert!(r.divergence.is_none(), "{:?}", r.divergence);
+        assert_eq!(r.result.events.len(), 4);
+    }
+
+    #[test]
+    fn tiers_agree_on_undef_draw_order_and_fuel() {
+        // Two undef resolutions + an external return: counter/seed state
+        // must advance identically on both tiers.
+        let r = diff_run(
+            r#"
+            declare @get() -> i32
+            declare @print(i32)
+            define @main() {
+            entry:
+              %p = alloca i32
+              %u = load i32, ptr %p
+              %v = add i32 %u, 1
+              %w = sub i32 %v, %u
+              %g = call i32 @get()
+              %s = add i32 %w, %g
+              call void @print(i32 %s)
+              ret void
+            }
+            "#,
+        );
+        assert!(r.divergence.is_none(), "{:?}", r.divergence);
+    }
+
+    #[test]
+    fn miscompiled_lowering_is_caught_as_divergence() {
+        let m = crellvm_ir::parse_module(
+            r#"
+            declare @print(i32)
+            define @main() {
+            entry:
+              %x = sub i32 10, 3
+              call void @print(i32 %x)
+              ret void
+            }
+            "#,
+        )
+        .unwrap();
+        let compiled = compile_module_with(
+            &m,
+            CompileOptions {
+                miscompile_sub_as_add: true,
+            },
+        );
+        let cfg = RunConfig {
+            tier: Tier::Differential,
+            ..RunConfig::default()
+        };
+        let r = run_main_tiered(&m, &cfg, Some(&compiled));
+        let d = r.divergence.expect("sabotaged lowering must diverge");
+        assert!(d.mismatch.starts_with("event[0]"), "{}", d.mismatch);
+        // The caller still gets the trusted tree result.
+        assert_eq!(r.result, d.tree);
+    }
+
+    #[test]
+    fn cache_hits_are_deterministic() {
+        let m = crellvm_ir::parse_module("define @main() {\nentry:\n  ret void\n}\n").unwrap();
+        let mut cache = BcCache::new();
+        let a = cache.get_or_compile(&m);
+        let b = cache.get_or_compile(&m);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn tier_names_roundtrip() {
+        for t in [Tier::Tree, Tier::Bytecode, Tier::Differential] {
+            assert_eq!(Tier::parse(t.name()), Some(t));
+        }
+        assert_eq!(Tier::parse("bc"), Some(Tier::Bytecode));
+        assert_eq!(Tier::parse("nope"), None);
+    }
+}

@@ -47,6 +47,7 @@ impl BinOp {
     }
 
     /// Can executing the operator raise undefined behaviour?
+    #[inline]
     pub fn may_trap(self) -> bool {
         matches!(self, BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem)
     }

@@ -32,6 +32,7 @@ impl Type {
     /// # Panics
     ///
     /// Panics if the type is not an integer type.
+    #[inline]
     pub fn bits(self) -> u32 {
         match self {
             Type::I1 => 1,
@@ -48,6 +49,7 @@ impl Type {
     /// # Panics
     ///
     /// Panics if the type is not an integer type.
+    #[inline]
     pub fn mask(self) -> u64 {
         let b = self.bits();
         if b == 64 {
@@ -58,11 +60,13 @@ impl Type {
     }
 
     /// Truncate `bits` to this integer width.
+    #[inline]
     pub fn truncate(self, bits: u64) -> u64 {
         bits & self.mask()
     }
 
     /// Sign-extend the `bits` of this width to a full `i64`.
+    #[inline]
     pub fn sext(self, bits: u64) -> i64 {
         let w = self.bits();
         if w == 64 {
@@ -74,6 +78,7 @@ impl Type {
     }
 
     /// Is this one of the integer types?
+    #[inline]
     pub fn is_int(self) -> bool {
         matches!(
             self,
@@ -82,6 +87,7 @@ impl Type {
     }
 
     /// Is this a first-class value type (integer or pointer)?
+    #[inline]
     pub fn is_value(self) -> bool {
         self != Type::Void
     }

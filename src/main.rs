@@ -106,7 +106,7 @@ const PROGRESS_PERIOD: Duration = Duration::from_millis(200);
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--format json|binary-v1|binary-v2] [--jobs N] [--decode-ahead N] [--cache-dir DIR] [--mmap] [--metrics FILE] [--trace FILE] [--spans FILE] [--forensics-dir DIR] [--progress human|json]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] [--jobs N] [--cache-dir DIR] [--mmap] [--progress human|json] <proof-file>...\n  crellvm report [--format text|openmetrics|chrome-trace|profile|folded] [--top N] [--weight time|cost] <file>\n  crellvm forensics <bundle.forensic.json>\n  crellvm fuzz [--seeds A..B] [--jobs N] [--mutate-rate R] [--compiler 3.7.1|5.0.1-pre|none] [--out DIR] [--metrics FILE] [--progress human|json]\n  crellvm bench compare [--history FILE] [--baseline last|FILE] [--window N] [--rel-tol F] [--mad-k F]\n  crellvm serve [--addr HOST:PORT] [--jobs N] [--executors N] [--queue N] [--cache-dir DIR] [--mmap] [--access-log FILE] [--span-log FILE] [--bench] [--qps F] [--requests N] [--seed N] [--scale F] [--modules N] [--tenants A,B] [--out FILE] [--history FILE]\n  crellvm top --addr HOST:PORT [--once] [--interval-ms N]"
+        "usage:\n  crellvm opt <file.cll> [--pass mem2reg|gvn|licm|instcombine]... [--bugs 3.7.1|5.0.1-pre|none] [--emit] [--proof-dir DIR] [--binary] [--format json|binary-v1|binary-v2] [--jobs N] [--decode-ahead N] [--cache-dir DIR] [--mmap] [--metrics FILE] [--trace FILE] [--spans FILE] [--forensics-dir DIR] [--progress human|json]\n  crellvm run <file.cll> [--seed N]\n  crellvm diff <a.cll> <b.cll>\n  crellvm gen --seed N [--functions K]\n  crellvm check [--trace FILE] [--jobs N] [--cache-dir DIR] [--mmap] [--progress human|json] <proof-file>...\n  crellvm report [--format text|openmetrics|chrome-trace|profile|folded] [--top N] [--weight time|cost] <file>\n  crellvm forensics <bundle.forensic.json>\n  crellvm fuzz [--seeds A..B] [--jobs N] [--mutate-rate R] [--compiler 3.7.1|5.0.1-pre|none] [--tier tree|bytecode|differential] [--out DIR] [--metrics FILE] [--progress human|json]\n  crellvm bench compare [--history FILE] [--baseline last|FILE] [--window N] [--rel-tol F] [--mad-k F]\n  crellvm serve [--addr HOST:PORT] [--jobs N] [--executors N] [--queue N] [--cache-dir DIR] [--mmap] [--access-log FILE] [--span-log FILE] [--bench] [--qps F] [--requests N] [--seed N] [--scale F] [--modules N] [--tenants A,B] [--out FILE] [--history FILE]\n  crellvm top --addr HOST:PORT [--once] [--interval-ms N]"
     );
     ExitCode::from(2)
 }
@@ -955,6 +955,11 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
                 })?;
                 cfg.compiler = name.clone();
             }
+            "--tier" => {
+                let name = it.next().ok_or("--tier needs tree|bytecode|differential")?;
+                cfg.oracle.tier = crellvm::interp::Tier::parse(name)
+                    .ok_or_else(|| format!("unknown tier {name} (tree|bytecode|differential)"))?;
+            }
             "--out" => out = Some(it.next().ok_or("--out needs a directory")?.clone()),
             "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a path")?.clone()),
             "--progress" => progress_mode = Some(parse_progress(it.next())?),
@@ -1022,6 +1027,14 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
     }
 
+    let divergences = report
+        .findings_of(crellvm::fuzz::FindingKind::TierDivergence)
+        .count();
+    if divergences > 0 {
+        eprintln!(
+            "TIER DIVERGENCE: the interpreter tiers disagreed on an observable ({divergences} finding(s))"
+        );
+    }
     if report.has_soundness_alarm() {
         eprintln!(
             "SOUNDNESS ALARM: checker accepted a refinement-violating translation ({} finding(s))",
@@ -1029,6 +1042,8 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
                 .findings_of(crellvm::fuzz::FindingKind::SoundnessAlarm)
                 .count()
         );
+        Ok(ExitCode::FAILURE)
+    } else if divergences > 0 {
         Ok(ExitCode::FAILURE)
     } else {
         Ok(ExitCode::SUCCESS)

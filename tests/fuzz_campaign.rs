@@ -3,8 +3,9 @@
 //! path under a deliberately weakened checker.
 
 use crellvm::erhl::CheckerConfig;
-use crellvm::fuzz::{run_campaign, write_findings, CampaignConfig, FindingKind};
+use crellvm::fuzz::{run_campaign, write_findings, CampaignConfig, FindingKind, OracleConfig};
 use crellvm::gen::GEN_PRNG_VERSION;
+use crellvm::interp::Tier;
 use crellvm::telemetry::Telemetry;
 
 fn campaign(compiler: &str, seeds: std::ops::Range<u64>, mutate: f64) -> CampaignConfig {
@@ -20,17 +21,76 @@ fn campaign(compiler: &str, seeds: std::ops::Range<u64>, mutate: f64) -> Campaig
 }
 
 #[test]
-fn reports_are_byte_identical_across_jobs() {
+fn reports_are_byte_identical_across_jobs_and_tiers() {
+    // The report is a pure function of (seed range, config): neither the
+    // worker count nor the interpreter tier executing the refinement leg
+    // may leak into a single byte of it.
     let mut texts = Vec::new();
-    for jobs in [1, 2, 8] {
-        let cfg = CampaignConfig {
-            jobs,
-            ..campaign("3.7.1", 0..25, 0.3)
-        };
-        texts.push(run_campaign(&cfg, &Telemetry::disabled()).to_json());
+    for tier in [Tier::Tree, Tier::Bytecode] {
+        for jobs in [1, 2, 8] {
+            let cfg = CampaignConfig {
+                jobs,
+                oracle: OracleConfig {
+                    tier,
+                    ..OracleConfig::default()
+                },
+                ..campaign("3.7.1", 0..25, 0.3)
+            };
+            texts.push(run_campaign(&cfg, &Telemetry::disabled()).to_json());
+        }
     }
-    assert_eq!(texts[0], texts[1], "jobs=1 vs jobs=2 reports differ");
-    assert_eq!(texts[0], texts[2], "jobs=1 vs jobs=8 reports differ");
+    for (i, t) in texts.iter().enumerate().skip(1) {
+        assert_eq!(
+            &texts[0], t,
+            "report {i} (tier x jobs grid) differs from the tree/jobs=1 baseline"
+        );
+    }
+}
+
+#[test]
+fn miscompiled_lowering_surfaces_as_tier_divergence_finding() {
+    // End-to-end negative control for the differential tier: a sabotaged
+    // bytecode lowering (sub compiled as add) must surface as a
+    // TierDivergence finding with a minimized, replayable repro — not be
+    // silently absorbed by the oracle verdict lattice.
+    let cfg = CampaignConfig {
+        bc_miscompile: true,
+        oracle: OracleConfig {
+            tier: Tier::Differential,
+            ..OracleConfig::default()
+        },
+        ..campaign("none", 0..6, 0.0)
+    };
+    let report = run_campaign(&cfg, &Telemetry::disabled());
+    assert!(
+        report.verdicts["tier_divergence"] > 0,
+        "sub-as-add sabotage must diverge somewhere in 6 seeds: {:?}",
+        report.verdicts
+    );
+    let f = report
+        .findings_of(FindingKind::TierDivergence)
+        .next()
+        .expect("divergence verdicts must file findings");
+    assert!(f.minimized, "divergence at seed {} not minimized", f.seed);
+    assert!(
+        f.repro.ends_with("--tier differential"),
+        "repro must replay under the differential tier: {}",
+        f.repro
+    );
+    let bundle = f
+        .forensic_bundle_json
+        .as_deref()
+        .expect("divergence finding lacks a forensic bundle");
+    assert!(bundle.contains("minimized_module"));
+    // The same seeds with a healthy lowering are divergence-free.
+    let clean = run_campaign(
+        &CampaignConfig {
+            bc_miscompile: false,
+            ..cfg.clone()
+        },
+        &Telemetry::disabled(),
+    );
+    assert_eq!(clean.verdicts["tier_divergence"], 0);
 }
 
 #[test]

@@ -1,14 +1,36 @@
 //! Additional interpreter semantics coverage: undef policies, switch on
 //! indeterminate values, recursion limits, type-punned loads, and the
 //! determinism guarantees the differential framework relies on.
+//!
+//! Every scenario here runs under *both* interpreter tiers: `run_with`
+//! executes the tree-walk reference and the bytecode baseline and
+//! asserts full `RunResult` equality before returning, so each semantic
+//! assertion below implicitly covers the lowering too.
 
-use crellvm::interp::{check_refinement, run_function, run_main, End, RunConfig, UndefPolicy, Val};
+use crellvm::interp::{
+    check_refinement, run_function, run_main, End, RunConfig, Tier, UndefPolicy, Val,
+};
 use crellvm::ir::{parse_module, Type};
 
 fn run_with(src: &str, cfg: &RunConfig) -> crellvm::interp::RunResult {
     let m = parse_module(src).expect("parse");
     crellvm::ir::verify_module(&m).expect("verify");
-    run_main(&m, cfg)
+    let tree = run_main(
+        &m,
+        &RunConfig {
+            tier: Tier::Tree,
+            ..cfg.clone()
+        },
+    );
+    let bc = run_main(
+        &m,
+        &RunConfig {
+            tier: Tier::Bytecode,
+            ..cfg.clone()
+        },
+    );
+    assert_eq!(tree, bc, "interpreter tiers disagree on this scenario");
+    tree
 }
 
 #[test]
@@ -134,16 +156,17 @@ fn run_function_with_arguments() {
         "#,
     )
     .unwrap();
-    let r = run_function(
-        &m,
-        "sq",
-        vec![Val::int(Type::I32, 9)],
-        &RunConfig::default(),
-    );
-    assert_eq!(r.end, End::Ret(Some(Val::int(Type::I32, 81))));
-    // Missing function is UB, not a panic.
-    let r = run_function(&m, "nope", vec![], &RunConfig::default());
-    assert!(matches!(r.end, End::Ub(_)));
+    for tier in [Tier::Tree, Tier::Bytecode] {
+        let cfg = RunConfig {
+            tier,
+            ..RunConfig::default()
+        };
+        let r = run_function(&m, "sq", vec![Val::int(Type::I32, 9)], &cfg);
+        assert_eq!(r.end, End::Ret(Some(Val::int(Type::I32, 81))));
+        // Missing function is UB, not a panic.
+        let r = run_function(&m, "nope", vec![], &cfg);
+        assert!(matches!(r.end, End::Ub(_)));
+    }
 }
 
 #[test]

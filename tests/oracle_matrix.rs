@@ -153,6 +153,57 @@ fn every_mutation_class_is_caught_by_both_oracles() {
 }
 
 #[test]
+fn differential_tier_is_clean_over_the_matrix_corpus() {
+    // Acceptance gate for the bytecode tier: over the same corpus the
+    // matrix sweeps — generated modules, every pass output, and a sample
+    // of mutated translations — `Tier::Differential` must report zero
+    // divergences. The lowering has to stay faithful on adversarial
+    // modules (mutated IR) just as much as on healthy ones, because the
+    // fuzz oracle executes both.
+    use crellvm::interp::{run_main_tiered, RunConfig, Tier};
+    let honest = PassConfig::default();
+    let mut modules = 0u32;
+    let mut check = |m: &Module| {
+        for env_seed in [0xC0FFEE_u64, 3] {
+            let cfg = RunConfig {
+                tier: Tier::Differential,
+                env_seed,
+                ..RunConfig::default()
+            };
+            let run = run_main_tiered(m, &cfg, None);
+            assert!(
+                run.divergence.is_none(),
+                "tier divergence on the matrix corpus: {}",
+                run.divergence.unwrap().mismatch
+            );
+        }
+        modules += 1;
+    };
+    for seed in 0..40u64 {
+        let mut cur = generate_module(&GenConfig {
+            seed,
+            bug_bait_rate: 0.5,
+            ..GenConfig::default()
+        });
+        check(&cur);
+        for pass in PASS_ORDER {
+            let out = run_pass(pass, &cur, &honest);
+            check(&out.module);
+            if let Some(f0) = out.module.functions.first() {
+                if let Some(m) = mutation_sites(f0).into_iter().next() {
+                    let plan = MutationPlan { mutations: vec![m] };
+                    let mut observed = out.module.clone();
+                    observed.functions[0] = plan.applied(f0);
+                    check(&observed);
+                }
+            }
+            cur = out.module;
+        }
+    }
+    assert!(modules > 100, "matrix corpus unexpectedly small: {modules}");
+}
+
+#[test]
 fn mutation_classes_map_to_paper_bugs() {
     for (variant_name, class, _) in MATRIX {
         // The table itself must agree with the injector's own tagging.
